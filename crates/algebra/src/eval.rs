@@ -1,0 +1,1682 @@
+//! The execution engine (§1.2.3): evaluates [`LogicalPlan`]s over a
+//! [`Catalog`] of stored nested relations, optionally backed by the source
+//! [`Document`] for navigation and ancestor-ID derivation.
+//!
+//! Physical choices: structural joins run the `StackTree` merge when inputs
+//! are (or are made) ID-sorted, with a nested-loop fallback selectable via
+//! [`EvalConfig`] for the ablation benches; value equi-joins use an
+//! in-memory hash table; `GroupBy` uses a hash table preserving first-seen
+//! group order; `Sort_φ` is a stable comparison sort.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use xmltree::{Document, NodeId, NodeKind, StructuralId};
+
+use crate::order::{tuple_cmp_all, value_cmp, OrderSpec};
+use crate::plan::{Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate};
+use crate::stacktree::{nested_loop_pairs, stack_tree_pairs};
+use crate::value::{Collection, Field, FieldKind, Schema, Tuple, Value};
+
+/// A materialized nested relation: schema + tuples (list semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    pub schema: Schema,
+    pub tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Relation {
+        Relation { schema, tuples }
+    }
+
+    pub fn empty(schema: Schema) -> Relation {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// Named store of base relations (storage modules, indexes, materialized
+/// views) visible to plans.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    relations: HashMap<String, Relation>,
+    orders: HashMap<String, OrderSpec>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Register a relation together with its declared output order.
+    pub fn insert_ordered(&mut self, name: impl Into<String>, rel: Relation, order: OrderSpec) {
+        let name = name.into();
+        self.orders.insert(name.clone(), order);
+        self.relations.insert(name, rel);
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(|s| s.as_str())
+    }
+
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+/// Physical-layer knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Use the StackTree merge for structural joins (`false` = nested loop,
+    /// for the ablation bench).
+    pub use_stacktree: bool,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            use_stacktree: true,
+        }
+    }
+}
+
+/// Evaluation errors: unknown relations/attributes, type misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    UnknownRelation(String),
+    UnknownAttribute(String),
+    TypeError(String),
+    NeedsDocument(&'static str),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            EvalError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            EvalError::TypeError(m) => write!(f, "type error: {m}"),
+            EvalError::NeedsDocument(op) => {
+                write!(f, "operator {op} requires a source document in the evaluator")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Plan interpreter.
+pub struct Evaluator<'a> {
+    pub catalog: &'a Catalog,
+    pub doc: Option<&'a Document>,
+    pub config: EvalConfig,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(catalog: &'a Catalog) -> Evaluator<'a> {
+        Evaluator {
+            catalog,
+            doc: None,
+            config: EvalConfig::default(),
+        }
+    }
+
+    pub fn with_document(catalog: &'a Catalog, doc: &'a Document) -> Evaluator<'a> {
+        Evaluator {
+            catalog,
+            doc: Some(doc),
+            config: EvalConfig::default(),
+        }
+    }
+
+    /// Evaluate a logical plan to a materialized relation.
+    pub fn eval(&self, plan: &LogicalPlan) -> Result<Relation, EvalError> {
+        use LogicalPlan::*;
+        match plan {
+            Scan { relation } => self
+                .catalog
+                .get(relation)
+                .cloned()
+                .ok_or_else(|| EvalError::UnknownRelation(relation.clone())),
+            Select { input, pred } => {
+                let rel = self.eval(input)?;
+                self.eval_select(rel, pred)
+            }
+            Project {
+                input,
+                cols,
+                distinct,
+            } => {
+                let rel = self.eval(input)?;
+                self.eval_project(rel, cols, *distinct)
+            }
+            Product { left, right } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                let schema = l.schema.concat(&r.schema);
+                let mut tuples = Vec::with_capacity(l.len() * r.len());
+                for lt in &l.tuples {
+                    for rt in &r.tuples {
+                        tuples.push(lt.concat(rt));
+                    }
+                }
+                Ok(Relation::new(schema, tuples))
+            }
+            Join {
+                left,
+                right,
+                pred,
+                kind,
+            } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                self.eval_value_join(l, r, pred, *kind)
+            }
+            StructJoin {
+                left,
+                right,
+                left_attr,
+                right_attr,
+                axis,
+                kind,
+                nest_as,
+            } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                self.eval_struct_join(l, r, left_attr, right_attr, *axis, *kind, nest_as.as_deref())
+            }
+            Union { left, right } => {
+                let mut l = self.eval(left)?;
+                let r = self.eval(right)?;
+                if l.schema.arity() != r.schema.arity() {
+                    return Err(EvalError::TypeError(format!(
+                        "union arity mismatch: {} vs {}",
+                        l.schema.arity(),
+                        r.schema.arity()
+                    )));
+                }
+                l.tuples.extend(r.tuples);
+                Ok(l)
+            }
+            Difference { left, right } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                let keep: Vec<Tuple> = l
+                    .tuples
+                    .into_iter()
+                    .filter(|t| {
+                        !r.tuples
+                            .iter()
+                            .any(|rt| tuple_cmp_all(t, rt) == std::cmp::Ordering::Equal)
+                    })
+                    .collect();
+                Ok(Relation::new(l.schema, keep))
+            }
+            GroupBy {
+                input,
+                keys,
+                nest_as,
+            } => {
+                let rel = self.eval(input)?;
+                self.eval_group_by(rel, keys, nest_as)
+            }
+            Unnest { input, attr } => {
+                let rel = self.eval(input)?;
+                self.eval_unnest(rel, attr)
+            }
+            NestAll { input, as_name } => {
+                let rel = self.eval(input)?;
+                let inner = rel.schema.clone();
+                let schema = Schema::new(vec![Field::nested(as_name.clone(), inner)]);
+                let tuple = Tuple::new(vec![Value::Coll(Collection::list(rel.tuples))]);
+                Ok(Relation::new(schema, vec![tuple]))
+            }
+            Sort { input, by } => {
+                let mut rel = self.eval(input)?;
+                let idxs: Vec<Vec<usize>> = by
+                    .iter()
+                    .map(|p| resolve(&rel.schema, p))
+                    .collect::<Result<_, _>>()?;
+                rel.tuples.sort_by(|a, b| {
+                    for idx in &idxs {
+                        let va = flat_value(a, idx);
+                        let vb = flat_value(b, idx);
+                        let c = value_cmp(&va, &vb);
+                        if c != std::cmp::Ordering::Equal {
+                            return c;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                Ok(rel)
+            }
+            XmlTemplate { input, templ } => {
+                let rel = self.eval(input)?;
+                let schema = Schema::atoms(&["xml"]);
+                let tuples = rel
+                    .tuples
+                    .iter()
+                    .map(|t| {
+                        let mut out = String::new();
+                        templ.render(&rel.schema, t, &mut out);
+                        Tuple::new(vec![Value::str(out)])
+                    })
+                    .collect();
+                Ok(Relation::new(schema, tuples))
+            }
+            Navigate {
+                input,
+                from_attr,
+                axis,
+                label,
+                as_prefix,
+                mode,
+            } => {
+                let rel = self.eval(input)?;
+                self.eval_navigate(rel, from_attr, *axis, label, as_prefix, *mode)
+            }
+            Fetch {
+                input,
+                id_attr,
+                what,
+                as_name,
+            } => {
+                let doc = self.doc.ok_or(EvalError::NeedsDocument("Fetch"))?;
+                let rel = self.eval(input)?;
+                let idx = resolve(&rel.schema, id_attr)?;
+                let mut schema = rel.schema.clone();
+                schema.fields.push(Field::atom(as_name));
+                let tuples = rel
+                    .tuples
+                    .iter()
+                    .map(|t| {
+                        let v = match flat_value(t, &idx).as_id() {
+                            None => Value::Null,
+                            Some(sid) => {
+                                let n = NodeId(sid.pre);
+                                match what {
+                                    FetchWhat::Val => Value::str(doc.value(n)),
+                                    FetchWhat::Cont => Value::str(doc.content(n)),
+                                    FetchWhat::Tag => Value::str(doc.label(n)),
+                                }
+                            }
+                        };
+                        let mut nt = t.clone();
+                        nt.0.push(v);
+                        nt
+                    })
+                    .collect();
+                Ok(Relation::new(schema, tuples))
+            }
+            DeriveAncestorId {
+                input,
+                attr,
+                levels,
+                as_name,
+            } => {
+                let rel = self.eval(input)?;
+                self.eval_derive_ancestor(rel, attr, *levels, as_name)
+            }
+            CastSchema { input, schema } => {
+                let rel = self.eval(input)?;
+                fn shape_eq(a: &Schema, b: &Schema) -> bool {
+                    a.arity() == b.arity()
+                        && a.fields.iter().zip(&b.fields).all(|(x, y)| match (&x.kind, &y.kind) {
+                            (FieldKind::Atom, FieldKind::Atom) => true,
+                            (FieldKind::Nested(m), FieldKind::Nested(n)) => shape_eq(m, n),
+                            _ => false,
+                        })
+                }
+                if !shape_eq(&rel.schema, schema) {
+                    return Err(EvalError::TypeError(format!(
+                        "cast shape mismatch: {} vs {}",
+                        rel.schema, schema
+                    )));
+                }
+                Ok(Relation::new(schema.clone(), rel.tuples))
+            }
+            Rename { input, names } => {
+                let mut rel = self.eval(input)?;
+                if names.len() != rel.schema.arity() {
+                    return Err(EvalError::TypeError(format!(
+                        "rename arity mismatch: {} names for {} fields",
+                        names.len(),
+                        rel.schema.arity()
+                    )));
+                }
+                for (f, n) in rel.schema.fields.iter_mut().zip(names) {
+                    f.name = n.clone();
+                }
+                Ok(rel)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // selection
+
+    fn eval_select(&self, rel: Relation, pred: &Predicate) -> Result<Relation, EvalError> {
+        // `map`-extension with reduction for a single comparison over one
+        // nested column (Example 1.2.2); plain existential otherwise.
+        if let Predicate::Cmp(Operand::Col(p), op, Operand::Const(c)) = pred {
+            let idx = resolve(&rel.schema, p)?;
+            if crosses_collection(&rel.schema, &idx) {
+                let tuples = rel
+                    .tuples
+                    .into_iter()
+                    .filter_map(|t| reduce_tuple(&rel.schema, t, &idx, &mut |v| cmp_values(v, *op, c)))
+                    .collect();
+                return Ok(Relation::new(rel.schema, tuples));
+            }
+        }
+        let tuples = rel
+            .tuples
+            .iter()
+            .filter(|t| self.eval_pred(&rel.schema, t, pred).unwrap_or(false))
+            .cloned()
+            .collect::<Vec<_>>();
+        // validate attribute references eagerly for error reporting
+        validate_pred(&rel.schema, pred)?;
+        Ok(Relation::new(rel.schema, tuples))
+    }
+
+    /// Evaluate a predicate over one tuple, with existential semantics when
+    /// column paths cross collection attributes.
+    pub fn eval_pred(
+        &self,
+        schema: &Schema,
+        tuple: &Tuple,
+        pred: &Predicate,
+    ) -> Result<bool, EvalError> {
+        match pred {
+            Predicate::True => Ok(true),
+            Predicate::And(a, b) => {
+                Ok(self.eval_pred(schema, tuple, a)? && self.eval_pred(schema, tuple, b)?)
+            }
+            Predicate::Or(a, b) => {
+                Ok(self.eval_pred(schema, tuple, a)? || self.eval_pred(schema, tuple, b)?)
+            }
+            Predicate::Not(a) => Ok(!self.eval_pred(schema, tuple, a)?),
+            Predicate::IsNull(p) => {
+                let idx = resolve(schema, p)?;
+                let vals = reachable_values(tuple, &idx);
+                Ok(vals.iter().all(|v| v.is_null()) || vals.is_empty())
+            }
+            Predicate::NotNull(p) => {
+                let idx = resolve(schema, p)?;
+                Ok(reachable_values(tuple, &idx).iter().any(|v| !v.is_null()))
+            }
+            Predicate::Cmp(l, op, r) => {
+                let lv = self.operand_values(schema, tuple, l)?;
+                let rv = self.operand_values(schema, tuple, r)?;
+                for a in &lv {
+                    for b in &rv {
+                        if cmp_values(a, *op, b) {
+                            return Ok(true);
+                        }
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    fn operand_values(
+        &self,
+        schema: &Schema,
+        tuple: &Tuple,
+        op: &Operand,
+    ) -> Result<Vec<Value>, EvalError> {
+        match op {
+            Operand::Const(v) => Ok(vec![v.clone()]),
+            Operand::Col(p) => {
+                let idx = resolve(schema, p)?;
+                Ok(reachable_values(tuple, &idx))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // projection
+
+    fn eval_project(
+        &self,
+        rel: Relation,
+        cols: &[Path],
+        distinct: bool,
+    ) -> Result<Relation, EvalError> {
+        let spec = ProjSpec::build(&rel.schema, cols)?;
+        let schema = spec.schema(&rel.schema);
+        let mut tuples: Vec<Tuple> = rel.tuples.iter().map(|t| spec.apply(t)).collect();
+        if distinct {
+            let mut seen: Vec<Tuple> = Vec::new();
+            tuples.retain(|t| {
+                if seen
+                    .iter()
+                    .any(|s| tuple_cmp_all(s, t) == std::cmp::Ordering::Equal)
+                {
+                    false
+                } else {
+                    seen.push(t.clone());
+                    true
+                }
+            });
+        }
+        Ok(Relation::new(schema, tuples))
+    }
+
+    // ------------------------------------------------------------------
+    // value joins
+
+    fn eval_value_join(
+        &self,
+        l: Relation,
+        r: Relation,
+        pred: &Predicate,
+        kind: JoinKind,
+    ) -> Result<Relation, EvalError> {
+        let combined = l.schema.concat(&r.schema);
+        validate_pred(&combined, pred)?;
+        // per-left match lists
+        let mut matches: Vec<Vec<usize>> = vec![Vec::new(); l.len()];
+        for (li, lt) in l.tuples.iter().enumerate() {
+            for (ri, rt) in r.tuples.iter().enumerate() {
+                let joined = lt.concat(rt);
+                if self.eval_pred(&combined, &joined, pred)? {
+                    matches[li].push(ri);
+                }
+            }
+        }
+        self.assemble_join(l, r, matches, kind, None)
+    }
+
+    // ------------------------------------------------------------------
+    // structural joins
+
+    fn eval_struct_join(
+        &self,
+        l: Relation,
+        r: Relation,
+        left_attr: &Path,
+        right_attr: &Path,
+        axis: Axis,
+        kind: JoinKind,
+        nest_as: Option<&str>,
+    ) -> Result<Relation, EvalError> {
+        let lidx = resolve(&l.schema, left_attr)?;
+        let ridx = resolve(&r.schema, right_attr)?;
+        if crosses_collection(&r.schema, &ridx) {
+            return Err(EvalError::TypeError(
+                "structural join right attribute must not be nested".into(),
+            ));
+        }
+        if crosses_collection(&l.schema, &lidx) {
+            return self.map_struct_join(l, r, &lidx, &ridx, axis, kind, nest_as);
+        }
+        // flat case: gather (sid, index), sort if needed, run StackTree
+        let mut lids: Vec<(StructuralId, usize)> = Vec::new();
+        for (i, t) in l.tuples.iter().enumerate() {
+            if let Some(id) = flat_value(t, &lidx).as_id() {
+                lids.push((id, i));
+            }
+        }
+        let mut rids: Vec<(StructuralId, usize)> = Vec::new();
+        for (i, t) in r.tuples.iter().enumerate() {
+            if let Some(id) = flat_value(t, &ridx).as_id() {
+                rids.push((id, i));
+            }
+        }
+        let pairs = if self.config.use_stacktree {
+            if !is_sorted_by_pre(&lids) {
+                lids.sort_by_key(|(s, _)| s.pre);
+            }
+            if !is_sorted_by_pre(&rids) {
+                rids.sort_by_key(|(s, _)| s.pre);
+            }
+            stack_tree_pairs(&lids, &rids, axis)
+        } else {
+            nested_loop_pairs(&lids, &rids, axis)
+        };
+        let mut matches: Vec<Vec<usize>> = vec![Vec::new(); l.len()];
+        for (li, ri) in pairs {
+            matches[li].push(ri);
+        }
+        for m in &mut matches {
+            m.sort_unstable();
+        }
+        self.assemble_join(l, r, matches, kind, nest_as)
+    }
+
+    /// Assemble join output from per-left match lists.
+    fn assemble_join(
+        &self,
+        l: Relation,
+        r: Relation,
+        matches: Vec<Vec<usize>>,
+        kind: JoinKind,
+        nest_as: Option<&str>,
+    ) -> Result<Relation, EvalError> {
+        match kind {
+            JoinKind::Inner => {
+                let schema = l.schema.concat(&r.schema);
+                let mut tuples = Vec::new();
+                for (li, ms) in matches.iter().enumerate() {
+                    for &ri in ms {
+                        tuples.push(l.tuples[li].concat(&r.tuples[ri]));
+                    }
+                }
+                Ok(Relation::new(schema, tuples))
+            }
+            JoinKind::Semi => {
+                let tuples = matches
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ms)| !ms.is_empty())
+                    .map(|(li, _)| l.tuples[li].clone())
+                    .collect();
+                Ok(Relation::new(l.schema, tuples))
+            }
+            JoinKind::LeftOuter => {
+                let schema = l.schema.concat(&r.schema);
+                let r_arity = r.schema.arity();
+                let mut tuples = Vec::new();
+                for (li, ms) in matches.iter().enumerate() {
+                    if ms.is_empty() {
+                        tuples.push(l.tuples[li].concat(&Tuple::nulls(r_arity)));
+                    } else {
+                        for &ri in ms {
+                            tuples.push(l.tuples[li].concat(&r.tuples[ri]));
+                        }
+                    }
+                }
+                Ok(Relation::new(schema, tuples))
+            }
+            JoinKind::Nest | JoinKind::NestOuter => {
+                let name = nest_as.unwrap_or("s");
+                let schema = l.schema.concat(&Schema::new(vec![Field::nested(
+                    name,
+                    r.schema.clone(),
+                )]));
+                let mut tuples = Vec::new();
+                for (li, ms) in matches.iter().enumerate() {
+                    if ms.is_empty() && kind == JoinKind::Nest {
+                        continue;
+                    }
+                    let nested: Vec<Tuple> = ms.iter().map(|&ri| r.tuples[ri].clone()).collect();
+                    let mut t = l.tuples[li].clone();
+                    t.0.push(Value::Coll(Collection::list(nested)));
+                    tuples.push(t);
+                }
+                Ok(Relation::new(schema, tuples))
+            }
+        }
+    }
+
+    /// `map`-extended structural join: the left ID lives inside a nested
+    /// collection attribute (Example 1.2.3). The join is applied inside each
+    /// nested collection; left tuples whose every nested collection joins
+    /// empty are eliminated (for the non-outer kinds).
+    #[allow(clippy::too_many_arguments)]
+    fn map_struct_join(
+        &self,
+        l: Relation,
+        r: Relation,
+        lidx: &[usize],
+        ridx: &[usize],
+        axis: Axis,
+        kind: JoinKind,
+        nest_as: Option<&str>,
+    ) -> Result<Relation, EvalError> {
+        // Split the path at the first collection crossing.
+        let first = lidx[0];
+        let inner_schema = match &l.schema.fields[first].kind {
+            FieldKind::Nested(s) => s.clone(),
+            FieldKind::Atom => {
+                return Err(EvalError::TypeError(
+                    "map struct join expected nested field".into(),
+                ))
+            }
+        };
+        let rest = &lidx[1..];
+        // Recursively join the nested relation.
+        let mut out_inner_schema: Option<Schema> = None;
+        let mut tuples = Vec::new();
+        for t in &l.tuples {
+            let Value::Coll(c) = t.get(first) else {
+                continue;
+            };
+            let inner_rel = Relation::new(inner_schema.clone(), c.tuples.clone());
+            let joined = if crosses_collection(&inner_schema, rest) {
+                self.map_struct_join(inner_rel, r.clone(), rest, ridx, axis, kind, nest_as)?
+            } else {
+                // delegate to flat join at this level
+                let right_path = Path::new(index_path_name(&r.schema, ridx));
+                let left_path = Path::new(index_path_name(&inner_schema, rest));
+                self.eval_struct_join(
+                    inner_rel,
+                    r.clone(),
+                    &left_path,
+                    &right_path,
+                    axis,
+                    kind,
+                    nest_as,
+                )?
+            };
+            if out_inner_schema.is_none() {
+                out_inner_schema = Some(joined.schema.clone());
+            }
+            let keep_empty = matches!(kind, JoinKind::LeftOuter | JoinKind::NestOuter);
+            if joined.tuples.is_empty() && !keep_empty {
+                continue; // eliminate: all nested maps empty
+            }
+            let mut nt = t.clone();
+            nt.0[first] = Value::Coll(Collection::list(joined.tuples));
+            tuples.push(nt);
+        }
+        let mut schema = l.schema.clone();
+        if let Some(s) = out_inner_schema {
+            schema.fields[first].kind = FieldKind::Nested(s);
+        } else {
+            // no tuples: compute schema structurally for consistency
+            let dummy = Relation::empty(inner_schema);
+            let right_path = Path::new(index_path_name(&r.schema, ridx));
+            let left_path = Path::new(index_path_name(&dummy.schema, rest));
+            let joined = self.eval_struct_join(
+                dummy,
+                r.clone(),
+                &left_path,
+                &right_path,
+                axis,
+                kind,
+                nest_as,
+            )?;
+            schema.fields[first].kind = FieldKind::Nested(joined.schema);
+        }
+        Ok(Relation::new(schema, tuples))
+    }
+
+    // ------------------------------------------------------------------
+    // group-by / unnest
+
+    fn eval_group_by(
+        &self,
+        rel: Relation,
+        keys: &[Path],
+        nest_as: &str,
+    ) -> Result<Relation, EvalError> {
+        let key_idx: Vec<usize> = keys
+            .iter()
+            .map(|p| {
+                let idx = resolve(&rel.schema, p)?;
+                if idx.len() != 1 {
+                    return Err(EvalError::TypeError(
+                        "group-by keys must be top-level attributes".into(),
+                    ));
+                }
+                Ok(idx[0])
+            })
+            .collect::<Result<_, _>>()?;
+        let rest_idx: Vec<usize> = (0..rel.schema.arity())
+            .filter(|i| !key_idx.contains(i))
+            .collect();
+        let rest_schema = Schema::new(
+            rest_idx
+                .iter()
+                .map(|&i| rel.schema.fields[i].clone())
+                .collect(),
+        );
+        let mut schema_fields: Vec<Field> = key_idx
+            .iter()
+            .map(|&i| rel.schema.fields[i].clone())
+            .collect();
+        schema_fields.push(Field::nested(nest_as, rest_schema));
+        let schema = Schema::new(schema_fields);
+
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, (Tuple, Vec<Tuple>)> = HashMap::new();
+        for t in &rel.tuples {
+            let key_vals: Vec<Value> = key_idx.iter().map(|&i| t.get(i).clone()).collect();
+            let rest_vals: Vec<Value> = rest_idx.iter().map(|&i| t.get(i).clone()).collect();
+            let key = format!("{}", Tuple::new(key_vals.clone()));
+            groups
+                .entry(key.clone())
+                .or_insert_with(|| {
+                    order.push(key);
+                    (Tuple::new(key_vals), Vec::new())
+                })
+                .1
+                .push(Tuple::new(rest_vals));
+        }
+        let tuples = order
+            .into_iter()
+            .map(|k| {
+                let (mut key_tuple, rest) = groups.remove(&k).unwrap();
+                key_tuple.0.push(Value::Coll(Collection::list(rest)));
+                key_tuple
+            })
+            .collect();
+        Ok(Relation::new(schema, tuples))
+    }
+
+    fn eval_unnest(&self, rel: Relation, attr: &Path) -> Result<Relation, EvalError> {
+        let idx = resolve(&rel.schema, attr)?;
+        if idx.len() != 1 {
+            return Err(EvalError::TypeError(
+                "unnest attribute must be top-level".into(),
+            ));
+        }
+        let i = idx[0];
+        let inner = match &rel.schema.fields[i].kind {
+            FieldKind::Nested(s) => s.clone(),
+            FieldKind::Atom => {
+                return Err(EvalError::TypeError("unnest of atomic attribute".into()))
+            }
+        };
+        let mut fields = Vec::new();
+        for (j, f) in rel.schema.fields.iter().enumerate() {
+            if j == i {
+                fields.extend(inner.fields.iter().cloned());
+            } else {
+                fields.push(f.clone());
+            }
+        }
+        let schema = Schema::new(fields);
+        let mut tuples = Vec::new();
+        for t in &rel.tuples {
+            if let Value::Coll(c) = t.get(i) {
+                for nt in &c.tuples {
+                    let mut vals = Vec::with_capacity(schema.arity());
+                    for (j, v) in t.0.iter().enumerate() {
+                        if j == i {
+                            vals.extend(nt.0.iter().cloned());
+                        } else {
+                            vals.push(v.clone());
+                        }
+                    }
+                    tuples.push(Tuple::new(vals));
+                }
+            }
+        }
+        Ok(Relation::new(schema, tuples))
+    }
+
+    // ------------------------------------------------------------------
+    // document-backed operators
+
+    fn eval_navigate(
+        &self,
+        rel: Relation,
+        from_attr: &Path,
+        axis: Axis,
+        label: &str,
+        as_prefix: &str,
+        mode: NavMode,
+    ) -> Result<Relation, EvalError> {
+        let doc = self.doc.ok_or(EvalError::NeedsDocument("Navigate"))?;
+        let idx = resolve(&rel.schema, from_attr)?;
+        if crosses_collection(&rel.schema, &idx) {
+            return Err(EvalError::TypeError(
+                "navigate source attribute must not be nested".into(),
+            ));
+        }
+        let mut schema = rel.schema.clone();
+        if mode != NavMode::Exists {
+            schema.fields.push(Field::atom(format!("{as_prefix}_ID")));
+            schema.fields.push(Field::atom(format!("{as_prefix}_Val")));
+            schema.fields.push(Field::atom(format!("{as_prefix}_Cont")));
+        }
+        let mut tuples = Vec::new();
+        for t in &rel.tuples {
+            let targets: Vec<NodeId> = match flat_value(t, &idx).as_id() {
+                None => Vec::new(),
+                Some(sid) => {
+                    let n = NodeId(sid.pre);
+                    let (want_attr, want) = match label.strip_prefix('@') {
+                        Some(a) => (true, a),
+                        None => (false, label),
+                    };
+                    let matches_label = |doc: &Document, m: NodeId| -> bool {
+                        let k = doc.kind(m);
+                        if want_attr {
+                            k == NodeKind::Attribute && doc.label(m) == want
+                        } else if want == "*" {
+                            k == NodeKind::Element
+                        } else {
+                            k == NodeKind::Element && doc.label(m) == want
+                        }
+                    };
+                    match axis {
+                        Axis::Child => doc
+                            .children(n)
+                            .iter()
+                            .copied()
+                            .filter(|&m| matches_label(doc, m))
+                            .collect(),
+                        Axis::Descendant => doc
+                            .descendants(n)
+                            .filter(|&m| matches_label(doc, m))
+                            .collect(),
+                    }
+                }
+            };
+            match mode {
+                NavMode::Exists => {
+                    if !targets.is_empty() {
+                        tuples.push(t.clone());
+                    }
+                }
+                NavMode::Outer if targets.is_empty() => {
+                    let mut nt = t.clone();
+                    nt.0.push(Value::Null);
+                    nt.0.push(Value::Null);
+                    nt.0.push(Value::Null);
+                    tuples.push(nt);
+                }
+                _ => {
+                    for m in targets {
+                        let mut nt = t.clone();
+                        nt.0.push(Value::Id(doc.structural_id(m)));
+                        nt.0.push(Value::str(doc.value(m)));
+                        nt.0.push(Value::str(doc.content(m)));
+                        tuples.push(nt);
+                    }
+                }
+            }
+        }
+        Ok(Relation::new(schema, tuples))
+    }
+
+    fn eval_derive_ancestor(
+        &self,
+        rel: Relation,
+        attr: &Path,
+        levels: u16,
+        as_name: &str,
+    ) -> Result<Relation, EvalError> {
+        let doc = self.doc.ok_or(EvalError::NeedsDocument("DeriveAncestorId"))?;
+        let idx = resolve(&rel.schema, attr)?;
+        let mut schema = rel.schema.clone();
+        schema.fields.push(Field::atom(as_name));
+        let mut tuples = Vec::new();
+        for t in &rel.tuples {
+            let anc = flat_value(t, &idx).as_id().and_then(|sid| {
+                let mut n = NodeId(sid.pre);
+                for _ in 0..levels {
+                    n = doc.parent(n)?;
+                }
+                Some(doc.structural_id(n))
+            });
+            let mut nt = t.clone();
+            nt.0.push(anc.map(Value::Id).unwrap_or(Value::Null));
+            tuples.push(nt);
+        }
+        Ok(Relation::new(schema, tuples))
+    }
+}
+
+// ----------------------------------------------------------------------
+// path utilities
+
+/// Resolve a dotted path to field indexes.
+fn resolve(schema: &Schema, p: &Path) -> Result<Vec<usize>, EvalError> {
+    schema
+        .resolve(p.as_str())
+        .ok_or_else(|| EvalError::UnknownAttribute(p.as_str().to_string()))
+}
+
+/// Does the prefix of this index path (all but the last step) cross a
+/// nested collection?
+fn crosses_collection(schema: &Schema, idx: &[usize]) -> bool {
+    if idx.len() <= 1 {
+        return false;
+    }
+    matches!(
+        schema.fields[idx[0]].kind,
+        FieldKind::Nested(_)
+    )
+}
+
+/// Value at a flat (non-collection-crossing) index path.
+fn flat_value(t: &Tuple, idx: &[usize]) -> Value {
+    debug_assert_eq!(idx.len(), 1);
+    t.get(idx[0]).clone()
+}
+
+/// All atomic values reachable at an index path, descending through nested
+/// collections (existential `map` semantics).
+fn reachable_values(t: &Tuple, idx: &[usize]) -> Vec<Value> {
+    fn rec(v: &Value, rest: &[usize], out: &mut Vec<Value>) {
+        match (v, rest) {
+            (v, []) => out.push(v.clone()),
+            (Value::Coll(c), rest) => {
+                for t in &c.tuples {
+                    rec(t.get(rest[0]), &rest[1..], out);
+                }
+            }
+            _ => out.push(Value::Null),
+        }
+    }
+    let mut out = Vec::new();
+    rec(t.get(idx[0]), &idx[1..], &mut out);
+    out
+}
+
+/// Reduce a tuple on a nested path: keep only nested tuples whose value at
+/// the path satisfies `f`; eliminate the tuple if nothing remains
+/// (Example 1.2.2's `map(σ, r, A1.A11)`).
+fn reduce_tuple(
+    _schema: &Schema,
+    mut t: Tuple,
+    idx: &[usize],
+    f: &mut dyn FnMut(&Value) -> bool,
+) -> Option<Tuple> {
+    fn rec(v: &mut Value, rest: &[usize], f: &mut dyn FnMut(&Value) -> bool) -> bool {
+        match v {
+            Value::Coll(c) => {
+                c.tuples.retain_mut(|t| {
+                    let inner = &mut t.0[rest[0]];
+                    rec(inner, &rest[1..], f)
+                });
+                !c.tuples.is_empty()
+            }
+            v => {
+                if rest.is_empty() {
+                    f(v)
+                } else {
+                    false
+                }
+            }
+        }
+    }
+    let keep = rec(&mut t.0[idx[0]], &idx[1..], f);
+    keep.then_some(t)
+}
+
+fn cmp_values(a: &Value, op: CmpOp, b: &Value) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Parent => match (a.as_id(), b.as_id()) {
+            (Some(x), Some(y)) => x.is_parent_of(y),
+            _ => false,
+        },
+        CmpOp::Ancestor => match (a.as_id(), b.as_id()) {
+            (Some(x), Some(y)) => x.is_ancestor_of(y),
+            _ => false,
+        },
+        CmpOp::Contains => match (a, b) {
+            (Value::Str(x), Value::Str(y)) => x.contains(y.as_ref()),
+            _ => false,
+        },
+        _ => match a.compare(b) {
+            None => false,
+            Some(ord) => match op {
+                CmpOp::Eq => ord == Equal,
+                CmpOp::Ne => ord != Equal,
+                CmpOp::Lt => ord == Less,
+                CmpOp::Le => ord != Greater,
+                CmpOp::Gt => ord == Greater,
+                CmpOp::Ge => ord != Less,
+                CmpOp::Parent | CmpOp::Ancestor | CmpOp::Contains => unreachable!(),
+            },
+        },
+    }
+}
+
+fn validate_pred(schema: &Schema, pred: &Predicate) -> Result<(), EvalError> {
+    match pred {
+        Predicate::Cmp(l, _, r) => {
+            if let Operand::Col(p) = l {
+                resolve(schema, p)?;
+            }
+            if let Operand::Col(p) = r {
+                resolve(schema, p)?;
+            }
+            Ok(())
+        }
+        Predicate::IsNull(p) | Predicate::NotNull(p) => resolve(schema, p).map(|_| ()),
+        Predicate::And(a, b) | Predicate::Or(a, b) => {
+            validate_pred(schema, a)?;
+            validate_pred(schema, b)
+        }
+        Predicate::Not(a) => validate_pred(schema, a),
+        Predicate::True => Ok(()),
+    }
+}
+
+fn is_sorted_by_pre(ids: &[(StructuralId, usize)]) -> bool {
+    ids.windows(2).all(|w| w[0].0.pre <= w[1].0.pre)
+}
+
+/// Dotted name of an index path (for re-entrant resolution in map joins).
+fn index_path_name(schema: &Schema, idx: &[usize]) -> String {
+    let mut names = Vec::new();
+    let mut s = schema;
+    for (k, &i) in idx.iter().enumerate() {
+        names.push(s.fields[i].name.clone());
+        if k + 1 < idx.len() {
+            s = match &s.fields[i].kind {
+                FieldKind::Nested(n) => n,
+                FieldKind::Atom => break,
+            };
+        }
+    }
+    names.join(".")
+}
+
+// ----------------------------------------------------------------------
+// projection spec
+
+/// Compiled projection: which fields to keep, with optional nested
+/// sub-projections.
+struct ProjSpec {
+    keep: Vec<(usize, Option<ProjSpec>)>,
+}
+
+impl ProjSpec {
+    fn build(schema: &Schema, cols: &[Path]) -> Result<ProjSpec, EvalError> {
+        // Group paths by leading segment, preserving first-appearance order.
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, Vec<String>> = HashMap::new();
+        for c in cols {
+            let (head, rest) = match c.as_str().split_once('.') {
+                Some((h, r)) => (h.to_string(), Some(r.to_string())),
+                None => (c.as_str().to_string(), None),
+            };
+            let e = groups.entry(head.clone()).or_insert_with(|| {
+                order.push(head);
+                Vec::new()
+            });
+            if let Some(r) = rest {
+                e.push(r);
+            }
+        }
+        let mut keep = Vec::new();
+        for head in order {
+            let i = schema
+                .index_of(&head)
+                .ok_or_else(|| EvalError::UnknownAttribute(head.clone()))?;
+            let subs = &groups[&head];
+            if subs.is_empty() {
+                keep.push((i, None));
+            } else {
+                let inner = match &schema.fields[i].kind {
+                    FieldKind::Nested(s) => s,
+                    FieldKind::Atom => {
+                        return Err(EvalError::UnknownAttribute(format!(
+                            "{head}.{}",
+                            subs[0]
+                        )))
+                    }
+                };
+                let sub_paths: Vec<Path> = subs.iter().map(|s| Path::new(s.clone())).collect();
+                keep.push((i, Some(ProjSpec::build(inner, &sub_paths)?)));
+            }
+        }
+        Ok(ProjSpec { keep })
+    }
+
+    fn schema(&self, schema: &Schema) -> Schema {
+        let fields = self
+            .keep
+            .iter()
+            .map(|(i, sub)| {
+                let f = &schema.fields[*i];
+                match sub {
+                    None => f.clone(),
+                    Some(spec) => {
+                        let inner = match &f.kind {
+                            FieldKind::Nested(s) => spec.schema(s),
+                            FieldKind::Atom => unreachable!(),
+                        };
+                        Field::nested(f.name.clone(), inner)
+                    }
+                }
+            })
+            .collect();
+        Schema::new(fields)
+    }
+
+    fn apply(&self, t: &Tuple) -> Tuple {
+        let vals = self
+            .keep
+            .iter()
+            .map(|(i, sub)| {
+                let v = t.get(*i);
+                match sub {
+                    None => v.clone(),
+                    Some(spec) => match v {
+                        Value::Coll(c) => Value::Coll(Collection {
+                            kind: c.kind,
+                            tuples: c.tuples.iter().map(|nt| spec.apply(nt)).collect(),
+                        }),
+                        _ => Value::Null,
+                    },
+                }
+            })
+            .collect();
+        Tuple::new(vals)
+    }
+}
+
+/// Project a materialized relation to the given dotted paths (public
+/// wrapper over the evaluator's projection, used by layers that need to
+/// project schemas/relations outside a plan — e.g. XAM binding schemas).
+pub fn project_relation(rel: &Relation, paths: &[Path]) -> Result<Relation, EvalError> {
+    let spec = ProjSpec::build(&rel.schema, paths)?;
+    let schema = spec.schema(&rel.schema);
+    let tuples = rel.tuples.iter().map(|t| spec.apply(t)).collect();
+    Ok(Relation::new(schema, tuples))
+}
+
+// ----------------------------------------------------------------------
+// convenience constructors for catalogs over documents
+
+/// Build the *tag-derived list* `R_t(ID, Tag, Val, Cont)` of Definition
+/// 2.2.1 for a label (element nodes), in document order.
+pub fn tag_derived(doc: &Document, label: &str) -> Relation {
+    derived(doc, Some(label), NodeKind::Element)
+}
+
+/// `R_t^α` for attributes with the given name.
+pub fn tag_derived_attr(doc: &Document, label: &str) -> Relation {
+    derived(doc, Some(label), NodeKind::Attribute)
+}
+
+/// `R_*`: all elements.
+pub fn all_elements(doc: &Document) -> Relation {
+    derived(doc, None, NodeKind::Element)
+}
+
+/// `R_*^α`: all attributes.
+pub fn all_attributes(doc: &Document) -> Relation {
+    derived(doc, None, NodeKind::Attribute)
+}
+
+fn derived(doc: &Document, label: Option<&str>, kind: NodeKind) -> Relation {
+    let schema = Schema::atoms(&["ID", "Tag", "Val", "Cont"]);
+    let nodes: Vec<NodeId> = match label {
+        Some(l) => doc.nodes_with_label(l, kind).collect(),
+        None => doc.all_nodes().filter(|&n| doc.kind(n) == kind).collect(),
+    };
+    let tuples = nodes
+        .into_iter()
+        .map(|n| {
+            Tuple::new(vec![
+                Value::Id(doc.structural_id(n)),
+                Value::str(doc.label(n)),
+                Value::str(doc.value(n)),
+                Value::str(doc.content(n)),
+            ])
+        })
+        .collect();
+    Relation::new(schema, tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::generate::bib_sample;
+
+    fn setup() -> (Document, Catalog) {
+        let doc = bib_sample();
+        let mut cat = Catalog::new();
+        for l in ["library", "book", "phdthesis", "title", "author"] {
+            cat.insert_ordered(l, tag_derived(&doc, l), OrderSpec::by("ID"));
+        }
+        cat.insert("year_attr", tag_derived_attr(&doc, "year"));
+        (doc, cat)
+    }
+
+    #[test]
+    fn scan_and_select() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        let r = ev.eval(&LogicalPlan::scan("book")).unwrap();
+        assert_eq!(r.len(), 2);
+        let p = LogicalPlan::scan("title")
+            .select(Predicate::eq("Val", Value::str("Data on the Web")));
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn unknown_relation_and_attribute_errors() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        assert!(matches!(
+            ev.eval(&LogicalPlan::scan("nope")),
+            Err(EvalError::UnknownRelation(_))
+        ));
+        let p = LogicalPlan::scan("book").select(Predicate::eq("Nope", Value::Int(1)));
+        assert!(matches!(ev.eval(&p), Err(EvalError::UnknownAttribute(_))));
+    }
+
+    #[test]
+    fn structural_join_parent_child() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        // book ⋈≺ author: 2 books, first has 2 authors, second has 1
+        let p = LogicalPlan::scan("book").struct_join(
+            LogicalPlan::scan("author"),
+            "ID",
+            "ID",
+            Axis::Child,
+            JoinKind::Inner,
+        );
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.schema.arity(), 8);
+    }
+
+    #[test]
+    fn structural_semijoin_and_outerjoin() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        // books having a year attribute: only the 1999 one
+        let semi = LogicalPlan::scan("book").struct_join(
+            LogicalPlan::scan("year_attr"),
+            "ID",
+            "ID",
+            Axis::Child,
+            JoinKind::Semi,
+        );
+        let r = ev.eval(&semi).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.schema.arity(), 4);
+        // outer join keeps both books, padding the second with nulls
+        let outer = LogicalPlan::scan("book").struct_join(
+            LogicalPlan::scan("year_attr"),
+            "ID",
+            "ID",
+            Axis::Child,
+            JoinKind::LeftOuter,
+        );
+        let r = ev.eval(&outer).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.tuples[1].get(4).is_null());
+    }
+
+    #[test]
+    fn nest_structural_join() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        let p = LogicalPlan::scan("book").struct_nest_join(
+            LogicalPlan::scan("author"),
+            "ID",
+            "ID",
+            Axis::Child,
+            false,
+            "authors",
+        );
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 2);
+        let first_authors = r.tuples[0].get(4).as_coll().unwrap();
+        assert_eq!(first_authors.len(), 2);
+        // nest-outer keeps books without authors too (none here, same count)
+        let p2 = LogicalPlan::scan("book").struct_nest_join(
+            LogicalPlan::scan("year_attr"),
+            "ID",
+            "ID",
+            Axis::Child,
+            true,
+            "years",
+        );
+        let r2 = ev.eval(&p2).unwrap();
+        assert_eq!(r2.len(), 2);
+        assert_eq!(r2.tuples[1].get(4).as_coll().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn descendant_axis_join() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        let p = LogicalPlan::scan("library").struct_join(
+            LogicalPlan::scan("title"),
+            "ID",
+            "ID",
+            Axis::Descendant,
+            JoinKind::Inner,
+        );
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 3); // all three titles are descendants
+    }
+
+    #[test]
+    fn stacktree_matches_nested_loop() {
+        let (_doc, cat) = setup();
+        let mut ev = Evaluator::new(&cat);
+        let p = LogicalPlan::scan("library").struct_join(
+            LogicalPlan::scan("author"),
+            "ID",
+            "ID",
+            Axis::Descendant,
+            JoinKind::Inner,
+        );
+        let a = ev.eval(&p).unwrap();
+        ev.config.use_stacktree = false;
+        let b = ev.eval(&p).unwrap();
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn projection_flat_and_nested() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        let p = LogicalPlan::scan("book")
+            .struct_nest_join(
+                LogicalPlan::scan("author"),
+                "ID",
+                "ID",
+                Axis::Child,
+                false,
+                "authors",
+            )
+            .project(&["ID", "authors.Val"]);
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.schema.to_string(), "(ID, authors(Val))");
+        let auth = r.tuples[0].get(1).as_coll().unwrap();
+        assert_eq!(auth.tuples[0].arity(), 1);
+    }
+
+    #[test]
+    fn distinct_projection() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        let p = LogicalPlan::scan("author").project(&["Tag"]);
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 4);
+        let p = LogicalPlan::scan("author").project_distinct(&["Tag"]);
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn value_join_and_semijoin() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        // self-join titles on equal values: 3 tuples (each matches itself)
+        let p = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::scan("title")),
+            cols: vec![Path::new("Val")],
+            distinct: false,
+        }
+        .join(
+            LogicalPlan::scan("title").project(&["Cont"]),
+            Predicate::True,
+            JoinKind::Inner,
+        );
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 9); // cross product via true predicate
+    }
+
+    #[test]
+    fn union_difference() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        let u = LogicalPlan::scan("book").union(LogicalPlan::scan("phdthesis"));
+        assert_eq!(ev.eval(&u).unwrap().len(), 3);
+        let d = LogicalPlan::scan("book").difference(LogicalPlan::scan("book"));
+        assert_eq!(ev.eval(&d).unwrap().len(), 0);
+        // arity mismatch errors
+        let bad = LogicalPlan::scan("book").union(LogicalPlan::scan("book").project(&["ID"]));
+        assert!(ev.eval(&bad).is_err());
+    }
+
+    #[test]
+    fn group_by_and_unnest_roundtrip() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        let g = LogicalPlan::GroupBy {
+            input: Box::new(LogicalPlan::scan("author").project(&["Tag", "Val"])),
+            keys: vec![Path::new("Tag")],
+            nest_as: "vals".into(),
+        };
+        let r = ev.eval(&g).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples[0].get(1).as_coll().unwrap().len(), 4);
+        let u = LogicalPlan::Unnest {
+            input: Box::new(g),
+            attr: Path::new("vals"),
+        };
+        let r = ev.eval(&u).unwrap();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.schema.arity(), 2);
+    }
+
+    #[test]
+    fn nested_select_reduces() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        // nest authors under books, then select books having author "Suciu";
+        // the nested collection is reduced to the matching author.
+        let p = LogicalPlan::scan("book")
+            .struct_nest_join(
+                LogicalPlan::scan("author"),
+                "ID",
+                "ID",
+                Axis::Child,
+                false,
+                "authors",
+            )
+            .select(Predicate::eq("authors.Val", Value::str("Suciu")));
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 1);
+        let auth = r.tuples[0].get(4).as_coll().unwrap();
+        assert_eq!(auth.len(), 1);
+        assert_eq!(auth.tuples[0].get(2).as_str(), Some("Suciu"));
+    }
+
+    #[test]
+    fn map_struct_join_into_nested() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        // nest books under library, then struct-join authors inside nest
+        let p = LogicalPlan::scan("library")
+            .struct_nest_join(
+                LogicalPlan::scan("book"),
+                "ID",
+                "ID",
+                Axis::Child,
+                false,
+                "books",
+            )
+            .struct_join(
+                LogicalPlan::scan("author"),
+                "books.ID",
+                "ID",
+                Axis::Child,
+                JoinKind::Inner,
+            );
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 1);
+        // nested books collection now pairs each book with its authors
+        let books = r.tuples[0].get(4).as_coll().unwrap();
+        assert_eq!(books.len(), 3); // (book1,a1),(book1,a2),(book2,a3)
+    }
+
+    #[test]
+    fn sort_by_value() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        let p = LogicalPlan::scan("author").sort(&["Val"]);
+        let r = ev.eval(&p).unwrap();
+        let vals: Vec<_> = r
+            .tuples
+            .iter()
+            .map(|t| t.get(2).as_str().unwrap().to_string())
+            .collect();
+        let mut sorted = vals.clone();
+        sorted.sort();
+        assert_eq!(vals, sorted);
+    }
+
+    #[test]
+    fn navigate_from_ids() {
+        let (doc, cat) = setup();
+        let ev = Evaluator::with_document(&cat, &doc);
+        let p = LogicalPlan::Navigate {
+            input: Box::new(LogicalPlan::scan("book")),
+            from_attr: Path::new("ID"),
+            axis: Axis::Child,
+            label: "author".into(),
+            as_prefix: "a".into(),
+            mode: NavMode::Flat,
+        };
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(r.schema.index_of("a_Val").is_some());
+        // without a document the operator errors
+        let ev2 = Evaluator::new(&cat);
+        assert!(matches!(ev2.eval(&p), Err(EvalError::NeedsDocument(_))));
+    }
+
+    #[test]
+    fn derive_ancestor_ids() {
+        let (doc, cat) = setup();
+        let ev = Evaluator::with_document(&cat, &doc);
+        let p = LogicalPlan::DeriveAncestorId {
+            input: Box::new(LogicalPlan::scan("author")),
+            attr: Path::new("ID"),
+            levels: 1,
+            as_name: "parentID".into(),
+        };
+        let r = ev.eval(&p).unwrap();
+        for t in &r.tuples {
+            let parent = t.get(4).as_id().unwrap();
+            let child = t.get(0).as_id().unwrap();
+            assert!(parent.is_parent_of(child));
+        }
+    }
+
+    #[test]
+    fn nest_all_packs_everything() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        let p = LogicalPlan::NestAll {
+            input: Box::new(LogicalPlan::scan("author")),
+            as_name: "A1".into(),
+        };
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples[0].get(0).as_coll().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn rename_and_cast_schema() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        let p = LogicalPlan::scan("book").rename(&["a", "b", "c", "d"]);
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.schema.to_string(), "(a, b, c, d)");
+        // arity mismatch errors
+        let bad = LogicalPlan::scan("book").rename(&["x"]);
+        assert!(matches!(ev.eval(&bad), Err(EvalError::TypeError(_))));
+        // deep cast replaces nested names when shapes agree
+        let nested = LogicalPlan::scan("book").struct_nest_join(
+            LogicalPlan::scan("author"),
+            "ID",
+            "ID",
+            Axis::Child,
+            false,
+            "authors",
+        );
+        let target = {
+            let mut s = Schema::atoms(&["i", "t", "v", "c"]);
+            s.fields.push(Field::nested(
+                "people",
+                Schema::atoms(&["pi", "pt", "pv", "pc"]),
+            ));
+            s
+        };
+        let cast = LogicalPlan::CastSchema {
+            input: Box::new(nested.clone()),
+            schema: target.clone(),
+        };
+        let r = ev.eval(&cast).unwrap();
+        assert_eq!(r.schema, target);
+        // shape mismatch errors
+        let bad = LogicalPlan::CastSchema {
+            input: Box::new(nested),
+            schema: Schema::atoms(&["only", "four", "flat", "cols", "x"]),
+        };
+        assert!(ev.eval(&bad).is_err());
+    }
+
+    #[test]
+    fn fetch_and_navigate_modes() {
+        let (doc, cat) = setup();
+        let ev = Evaluator::with_document(&cat, &doc);
+        // Fetch the value/content/tag of books from their IDs
+        let p = LogicalPlan::Fetch {
+            input: Box::new(LogicalPlan::scan("book").project(&["ID"])),
+            id_attr: Path::new("ID"),
+            what: crate::plan::FetchWhat::Tag,
+            as_name: "tag".into(),
+        };
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.tuples[0].get(1).as_str(), Some("book"));
+        // Navigate Exists keeps only books with authors, adds no columns
+        let p = LogicalPlan::Navigate {
+            input: Box::new(LogicalPlan::scan("book")),
+            from_attr: Path::new("ID"),
+            axis: Axis::Child,
+            label: "author".into(),
+            as_prefix: "a".into(),
+            mode: NavMode::Exists,
+        };
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.schema.arity(), 4);
+        // Navigate Outer null-pads (books → @year on the second book)
+        let p = LogicalPlan::Navigate {
+            input: Box::new(LogicalPlan::scan("book")),
+            from_attr: Path::new("ID"),
+            axis: Axis::Child,
+            label: "@year".into(),
+            as_prefix: "y".into(),
+            mode: NavMode::Outer,
+        };
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.tuples[1].get(4).is_null());
+    }
+
+    #[test]
+    fn xml_template_operator() {
+        use crate::xmlgen::Template;
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        let p = LogicalPlan::XmlTemplate {
+            input: Box::new(LogicalPlan::scan("title").project(&["Val"])),
+            templ: Template::elem("t", vec![Template::attr("Val")]),
+        };
+        let r = ev.eval(&p).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(
+            r.tuples[0].get(0).as_str(),
+            Some("<t>Data on the Web</t>")
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # algebra — a nested relational algebra for XML processing
+//!
+//! Implements the logical algebra of §1.2.2 of the paper and the execution
+//! engine of §1.2.3. The data model is nested relational: tuples whose
+//! attributes are atomic values or collections (set / list / bag) of
+//! homogeneous tuples, with tuple and collection constructors alternating.
+//!
+//! Operators: `Scan`, selections `σ`, projections `π`/`π°`, product `×`,
+//! union `∪`, difference `\`, value joins (inner / semi / left-outer),
+//! *structural* joins `⋈≺` and `⋈≺≺` with semijoin, outerjoin, **nest**
+//! join and nest-outerjoin variants (Definitions 1.2.1–1.2.2), group-by,
+//! unnest, the `map` meta-operator extending unary and binary operators to
+//! nested attributes, and the `xml` tagging operator building serialized XML
+//! from nested tuples.
+//!
+//! The physical layer implements the `StackTreeDesc` / `StackTreeAnc`
+//! structural-join algorithms over ID-sorted inputs, with a naive
+//! nested-loop fallback kept for the ablation benches, and order descriptors
+//! tracking which attribute the output of each operator is sorted on.
+
+pub mod eval;
+pub mod order;
+pub mod plan;
+pub mod stacktree;
+pub mod value;
+pub mod xmlgen;
+
+pub use eval::{Catalog, EvalConfig, EvalError, Evaluator, Relation};
+pub use order::OrderSpec;
+pub use plan::{Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate};
+pub use value::{CollKind, Collection, Field, FieldKind, Schema, Tuple, Value};
+pub use xmlgen::Template;

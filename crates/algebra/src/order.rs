@@ -1,0 +1,139 @@
+//! Order descriptors (§1.2.3).
+//!
+//! Each physical operator output carries an [`OrderSpec`] naming the
+//! attribute path(s) the tuple stream is sorted on — e.g. `↓A3↑` or the
+//! nested `↓A2.A21↑` of the paper. The evaluator uses the descriptor to
+//! decide whether a structural-join input may be piped directly into
+//! `StackTree` or must first pass through `Sort_φ`.
+
+use std::cmp::Ordering;
+
+use crate::plan::Path;
+use crate::value::{Tuple, Value};
+
+/// An order descriptor: the dotted attribute paths the stream is sorted on
+/// (major first). Empty = no known order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OrderSpec {
+    pub cols: Vec<Path>,
+}
+
+impl OrderSpec {
+    pub fn none() -> OrderSpec {
+        OrderSpec { cols: Vec::new() }
+    }
+
+    pub fn by(col: impl Into<String>) -> OrderSpec {
+        OrderSpec {
+            cols: vec![Path::new(col)],
+        }
+    }
+
+    /// Does this descriptor guarantee sortedness on `col` (i.e. `col` is the
+    /// major sort key)?
+    pub fn satisfies(&self, col: &Path) -> bool {
+        self.cols.first() == Some(col)
+    }
+}
+
+impl std::fmt::Display for OrderSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.cols.is_empty() {
+            return write!(f, "∅");
+        }
+        write!(f, "↓")?;
+        for (i, c) in self.cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "↑")
+    }
+}
+
+/// Total order on values used by `Sort_φ`: nulls first, then by natural
+/// comparison; IDs order by pre rank (document order).
+pub fn value_cmp(a: &Value, b: &Value) -> Ordering {
+    use Value::*;
+    match (a, b) {
+        (Null, Null) => Ordering::Equal,
+        (Null, _) => Ordering::Less,
+        (_, Null) => Ordering::Greater,
+        (Id(x), Id(y)) => x.pre.cmp(&y.pre),
+        (Int(x), Int(y)) => x.cmp(y),
+        (Str(x), Str(y)) => x.as_ref().cmp(y.as_ref()),
+        (Int(_), Str(_)) => Ordering::Less,
+        (Str(_), Int(_)) => Ordering::Greater,
+        (Id(_), _) => Ordering::Less,
+        (_, Id(_)) => Ordering::Greater,
+        (Coll(x), Coll(y)) => {
+            for (tx, ty) in x.tuples.iter().zip(&y.tuples) {
+                let c = tuple_cmp_all(tx, ty);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.tuples.len().cmp(&y.tuples.len())
+        }
+        (Coll(_), _) => Ordering::Greater,
+        (_, Coll(_)) => Ordering::Less,
+    }
+}
+
+/// Lexicographic comparison of whole tuples (used by π°, `\` and sorting).
+pub fn tuple_cmp_all(a: &Tuple, b: &Tuple) -> Ordering {
+    for (x, y) in a.0.iter().zip(&b.0) {
+        let c = value_cmp(x, y);
+        if c != Ordering::Equal {
+            return c;
+        }
+    }
+    a.0.len().cmp(&b.0.len())
+}
+
+/// Is the tuple slice sorted on the values extracted by `key`?
+pub fn is_sorted_by<F: Fn(&Tuple) -> Value>(tuples: &[Tuple], key: F) -> bool {
+    tuples
+        .windows(2)
+        .all(|w| value_cmp(&key(&w[0]), &key(&w[1])) != Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::StructuralId;
+
+    #[test]
+    fn value_order_nulls_first() {
+        assert_eq!(value_cmp(&Value::Null, &Value::Int(0)), Ordering::Less);
+        assert_eq!(value_cmp(&Value::Int(1), &Value::Int(1)), Ordering::Equal);
+        assert_eq!(
+            value_cmp(
+                &Value::Id(StructuralId::new(3, 0, 1)),
+                &Value::Id(StructuralId::new(5, 9, 2))
+            ),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn order_spec_satisfaction() {
+        let o = OrderSpec::by("ID");
+        assert!(o.satisfies(&Path::new("ID")));
+        assert!(!o.satisfies(&Path::new("Val")));
+        assert!(!OrderSpec::none().satisfies(&Path::new("ID")));
+        assert_eq!(o.to_string(), "↓ID↑");
+    }
+
+    #[test]
+    fn sortedness_check() {
+        let ts: Vec<Tuple> = [1, 2, 2, 5]
+            .iter()
+            .map(|&i| Tuple::new(vec![Value::Int(i)]))
+            .collect();
+        assert!(is_sorted_by(&ts, |t| t.get(0).clone()));
+        let ts2: Vec<Tuple> = [3, 1].iter().map(|&i| Tuple::new(vec![Value::Int(i)])).collect();
+        assert!(!is_sorted_by(&ts2, |t| t.get(0).clone()));
+    }
+}

@@ -1,0 +1,172 @@
+//! Physical structural-join algorithms (§1.2.3).
+//!
+//! [`stack_tree_pairs`] implements the stack-based merge of Al-Khalifa et
+//! al.'s `StackTree` family: given an ancestor-candidate sequence and a
+//! descendant-candidate sequence, both sorted by the pre rank of their ID
+//! attribute, it produces all `(ancestor_index, descendant_index)` match
+//! pairs in a single merge pass, maintaining a stack of ancestors whose
+//! pre/post interval is still open.
+//!
+//! `StackTreeDesc` corresponds to emitting the pairs sorted by descendant
+//! ID (which is how this function naturally emits them); `StackTreeAnc`
+//! output order is obtained by a stable re-sort on the ancestor index —
+//! the evaluator picks whichever order downstream operators need.
+//! [`nested_loop_pairs`] is the naive O(|L|·|R|) fallback kept for the
+//! physical-operator ablation bench.
+
+use xmltree::StructuralId;
+
+use crate::plan::Axis;
+
+/// Does `anc` match `desc` on the given axis?
+#[inline]
+fn axis_match(anc: StructuralId, desc: StructuralId, axis: Axis) -> bool {
+    match axis {
+        Axis::Child => anc.is_parent_of(desc),
+        Axis::Descendant => anc.is_ancestor_of(desc),
+    }
+}
+
+/// Compute all structural match pairs between `anc[i].0` and `desc[j].0`
+/// using the StackTree merge. Both slices **must** be sorted by `pre` rank
+/// of the carried [`StructuralId`]; the second component of each element is
+/// an opaque payload index returned in the pairs.
+///
+/// Output pairs are emitted in descendant order (StackTreeDesc order) —
+/// i.e. sorted by `desc` position, with the matching ancestors innermost
+/// (deepest) first for each descendant.
+pub fn stack_tree_pairs(
+    anc: &[(StructuralId, usize)],
+    desc: &[(StructuralId, usize)],
+    axis: Axis,
+) -> Vec<(usize, usize)> {
+    debug_assert!(anc.windows(2).all(|w| w[0].0.pre <= w[1].0.pre));
+    debug_assert!(desc.windows(2).all(|w| w[0].0.pre <= w[1].0.pre));
+    let mut out = Vec::new();
+    let mut stack: Vec<(StructuralId, usize)> = Vec::new();
+    let mut ai = 0;
+    for &(d, dpay) in desc {
+        // push all ancestors that start before this descendant
+        while ai < anc.len() && anc[ai].0.pre <= d.pre {
+            let (a, apay) = anc[ai];
+            // pop stack entries that are not ancestors of `a`: since
+            // `top.pre < a.pre`, `top` contains `a` iff `top.post > a.post`
+            // (pre and post are separate counters, so the test must compare
+            // post against post, not post against pre)
+            while let Some(&(top, _)) = stack.last() {
+                if top.post < a.post {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            stack.push((a, apay));
+            ai += 1;
+        }
+        // pop stack entries that are not ancestors of `d`
+        while let Some(&(top, _)) = stack.last() {
+            if top.post < d.post {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        // the stack is now exactly the ancestor chain of `d` among the
+        // candidates; emit matches (all of them for `//`, the depth-adjacent
+        // ones for `/`)
+        for &(a, apay) in stack.iter().rev() {
+            if axis_match(a, d, axis) {
+                out.push((apay, dpay));
+            }
+        }
+    }
+    out
+}
+
+/// Naive nested-loop structural join; quadratic, order-insensitive. Kept
+/// as the baseline for the StackTree ablation (DESIGN.md §choices).
+pub fn nested_loop_pairs(
+    anc: &[(StructuralId, usize)],
+    desc: &[(StructuralId, usize)],
+    axis: Axis,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for &(d, dpay) in desc {
+        for &(a, apay) in anc {
+            if axis_match(a, d, axis) {
+                out.push((apay, dpay));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::generate;
+
+    /// Collect `(sid, index)` pairs of all elements with a label, sorted by
+    /// pre (document order gives that for free).
+    fn ids(doc: &xmltree::Document, label: &str) -> Vec<(StructuralId, usize)> {
+        doc.nodes_with_label(label, xmltree::NodeKind::Element)
+            .enumerate()
+            .map(|(i, n)| (doc.structural_id(n), i))
+            .collect()
+    }
+
+    #[test]
+    fn matches_nested_loop_on_xmark() {
+        let doc = generate::xmark(4, 11);
+        for (anc_l, desc_l) in [
+            ("item", "keyword"),
+            ("parlist", "listitem"),
+            ("listitem", "parlist"),
+            ("description", "bold"),
+            ("site", "item"),
+        ] {
+            let anc = ids(&doc, anc_l);
+            let desc = ids(&doc, desc_l);
+            for axis in [Axis::Child, Axis::Descendant] {
+                let mut a = stack_tree_pairs(&anc, &desc, axis);
+                let mut b = nested_loop_pairs(&anc, &desc, axis);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{anc_l} {axis:?} {desc_l}");
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_ancestors_all_found() {
+        // parlist can nest inside listitem inside parlist: a deep keyword
+        // has several parlist ancestors, all of which must be paired.
+        let doc = generate::xmark(3, 7);
+        let anc = ids(&doc, "parlist");
+        let desc = ids(&doc, "keyword");
+        let pairs = stack_tree_pairs(&anc, &desc, Axis::Descendant);
+        // at least one keyword has ≥ 2 parlist ancestors
+        let mut per_desc = std::collections::HashMap::new();
+        for (_, d) in &pairs {
+            *per_desc.entry(*d).or_insert(0) += 1;
+        }
+        assert!(per_desc.values().any(|&c| c >= 2), "recursion not exercised");
+    }
+
+    #[test]
+    fn output_in_descendant_order() {
+        let doc = generate::xmark(3, 5);
+        let anc = ids(&doc, "item");
+        let desc = ids(&doc, "keyword");
+        let pairs = stack_tree_pairs(&anc, &desc, Axis::Descendant);
+        assert!(pairs.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(stack_tree_pairs(&[], &[], Axis::Child).is_empty());
+        let one = vec![(StructuralId::new(0, 10, 1), 0)];
+        assert!(stack_tree_pairs(&one, &[], Axis::Descendant).is_empty());
+        assert!(stack_tree_pairs(&[], &one, Axis::Descendant).is_empty());
+    }
+}

@@ -1,0 +1,401 @@
+//! The nested relational data model (§1.2.2).
+//!
+//! A [`Value`] is an atomic value from the paper's domain `A` (strings,
+//! integers), a structural identifier from the ID domain `I`, the null
+//! constant `⊥`, or a nested [`Collection`] of homogeneous [`Tuple`]s.
+//! Tuples and collections alternate, exactly as in the paper's model
+//! `r(A1, A2(A21, A22))`.
+//!
+//! Schemas are explicit ([`Schema`] / [`Field`]) and carried by relations,
+//! not by tuples; tuples are positional.
+
+use std::fmt;
+use std::rc::Rc;
+
+use xmltree::StructuralId;
+
+/// An attribute value: atomic, identifier, null, or nested collection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The null constant `⊥` (produced by outer joins, optional edges).
+    Null,
+    /// A string from the atomic domain `A`.
+    Str(Rc<str>),
+    /// An integer from `A` (used by value predicates and experiments).
+    Int(i64),
+    /// A structural identifier from the ID domain `I`; supports the `≺`
+    /// (parent) and `≺≺` (ancestor) comparators.
+    Id(StructuralId),
+    /// A nested collection of tuples.
+    Coll(Collection),
+}
+
+impl Value {
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Rc::from(s.as_ref()))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_id(&self) -> Option<StructuralId> {
+        match self {
+            Value::Id(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_coll(&self) -> Option<&Collection> {
+        match self {
+            Value::Coll(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Value comparison with SQL-ish null semantics (`⊥` compares equal to
+    /// nothing, including itself) and numeric coercion of numeric-looking
+    /// strings, mirroring XQuery's dynamic comparisons on untyped data.
+    pub fn compare(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => {
+                // numeric coercion first, lexicographic otherwise
+                match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+                    (Ok(x), Ok(y)) => x.partial_cmp(&y),
+                    _ => Some(a.as_ref().cmp(b.as_ref())),
+                }
+            }
+            (Int(a), Str(b)) => b
+                .trim()
+                .parse::<f64>()
+                .ok()
+                .and_then(|y| (*a as f64).partial_cmp(&y)),
+            (Str(a), Int(b)) => a
+                .trim()
+                .parse::<f64>()
+                .ok()
+                .and_then(|x| x.partial_cmp(&(*b as f64))),
+            (Id(a), Id(b)) => Some(a.pre.cmp(&b.pre)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "⊥"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Id(i) => write!(f, "({},{})", i.pre, i.post),
+            Value::Coll(c) => {
+                let (open, close) = match c.kind {
+                    CollKind::Set => ('{', '}'),
+                    CollKind::List => ('[', ']'),
+                    CollKind::Bag => ('⟬', '⟭'),
+                };
+                write!(f, "{open}")?;
+                for (i, t) in c.tuples.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "{close}")
+            }
+        }
+    }
+}
+
+/// Collection constructor kind: set `{·}`, list `[·]` or bag `{{·}}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum CollKind {
+    Set,
+    #[default]
+    List,
+    Bag,
+}
+
+/// A homogeneous collection of tuples. Sets do not enforce uniqueness
+/// eagerly (the paper's `∪`, `π` are duplicate-preserving; duplicate
+/// elimination is the explicit `π°`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Collection {
+    pub kind: CollKind,
+    pub tuples: Vec<Tuple>,
+}
+
+
+impl Collection {
+    pub fn list(tuples: Vec<Tuple>) -> Collection {
+        Collection {
+            kind: CollKind::List,
+            tuples,
+        }
+    }
+
+    pub fn set(tuples: Vec<Tuple>) -> Collection {
+        Collection {
+            kind: CollKind::Set,
+            tuples,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// A positional tuple.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tuple(pub Vec<Value>);
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple(values)
+    }
+
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// Tuple concatenation (`||` in the paper).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = self.0.clone();
+        v.extend(other.0.iter().cloned());
+        Tuple(v)
+    }
+
+    /// A tuple of `arity` nulls (`⊥S` in Definition 1.2.1's outerjoin).
+    pub fn nulls(arity: usize) -> Tuple {
+        Tuple(vec![Value::Null; arity])
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Kind of a schema field: atomic value or nested collection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldKind {
+    Atom,
+    Nested(Schema),
+}
+
+/// A named schema field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    pub name: String,
+    pub kind: FieldKind,
+}
+
+impl Field {
+    pub fn atom(name: impl Into<String>) -> Field {
+        Field {
+            name: name.into(),
+            kind: FieldKind::Atom,
+        }
+    }
+
+    pub fn nested(name: impl Into<String>, schema: Schema) -> Field {
+        Field {
+            name: name.into(),
+            kind: FieldKind::Nested(schema),
+        }
+    }
+}
+
+/// A (possibly nested) relation schema.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// Schema with the given atomic field names.
+    pub fn atoms(names: &[&str]) -> Schema {
+        Schema {
+            fields: names.iter().map(|n| Field::atom(*n)).collect(),
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Index of a top-level field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Resolve a dotted attribute path like `A1.A12` to field indexes,
+    /// descending through nested schemas.
+    pub fn resolve(&self, dotted: &str) -> Option<Vec<usize>> {
+        let mut schema = self;
+        let mut path = Vec::new();
+        for part in dotted.split('.') {
+            let i = schema.index_of(part)?;
+            path.push(i);
+            schema = match &schema.fields[i].kind {
+                FieldKind::Nested(s) => s,
+                FieldKind::Atom => {
+                    // atoms must be last
+                    return if path.len() == dotted.split('.').count() {
+                        Some(path)
+                    } else {
+                        None
+                    };
+                }
+            };
+        }
+        Some(path)
+    }
+
+    /// The schema at an index path (empty path = self).
+    pub fn schema_at(&self, path: &[usize]) -> Option<&Schema> {
+        let mut schema = self;
+        for &i in path {
+            schema = match &schema.fields.get(i)?.kind {
+                FieldKind::Nested(s) => s,
+                FieldKind::Atom => return None,
+            };
+        }
+        Some(schema)
+    }
+
+    /// The field at an index path.
+    pub fn field_at(&self, path: &[usize]) -> Option<&Field> {
+        let (last, prefix) = path.split_last()?;
+        self.schema_at(prefix)?.fields.get(*last)
+    }
+
+    /// Schema concatenation (for joins/products).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Dotted names of all atomic leaves, depth-first.
+    pub fn leaf_names(&self) -> Vec<String> {
+        fn rec(s: &Schema, prefix: &str, out: &mut Vec<String>) {
+            for f in &s.fields {
+                let name = if prefix.is_empty() {
+                    f.name.clone()
+                } else {
+                    format!("{prefix}.{}", f.name)
+                };
+                match &f.kind {
+                    FieldKind::Atom => out.push(name),
+                    FieldKind::Nested(inner) => rec(inner, &name, out),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        rec(self, "", &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fd) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match &fd.kind {
+                FieldKind::Atom => write!(f, "{}", fd.name)?,
+                FieldKind::Nested(s) => write!(f, "{}{}", fd.name, s)?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_comparisons() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int(3).compare(&Value::Int(5)), Some(Less));
+        assert_eq!(Value::str("3").compare(&Value::Int(3)), Some(Equal));
+        assert_eq!(Value::str("abc").compare(&Value::str("abd")), Some(Less));
+        // numeric coercion: 10 > 9 even though "10" < "9" lexicographically
+        assert_eq!(Value::str("10").compare(&Value::str("9")), Some(Greater));
+        assert_eq!(Value::Null.compare(&Value::Null), None);
+        assert_eq!(Value::Int(1).compare(&Value::Null), None);
+    }
+
+    #[test]
+    fn tuple_concat_and_nulls() {
+        let t1 = Tuple::new(vec![Value::Int(1)]);
+        let t2 = Tuple::new(vec![Value::str("x"), Value::Int(2)]);
+        let t = t1.concat(&t2);
+        assert_eq!(t.arity(), 3);
+        let n = Tuple::nulls(2);
+        assert!(n.get(0).is_null() && n.get(1).is_null());
+    }
+
+    #[test]
+    fn schema_resolution() {
+        // r(A1(A11, A12), A2)
+        let s = Schema::new(vec![
+            Field::nested("A1", Schema::atoms(&["A11", "A12"])),
+            Field::atom("A2"),
+        ]);
+        assert_eq!(s.resolve("A2"), Some(vec![1]));
+        assert_eq!(s.resolve("A1.A12"), Some(vec![0, 1]));
+        assert_eq!(s.resolve("A1.Axx"), None);
+        assert_eq!(s.resolve("A2.A11"), None);
+        assert_eq!(s.field_at(&[0, 1]).unwrap().name, "A12");
+        assert_eq!(
+            s.leaf_names(),
+            vec!["A1.A11".to_string(), "A1.A12".into(), "A2".into()]
+        );
+    }
+
+    #[test]
+    fn schema_display() {
+        let s = Schema::new(vec![
+            Field::nested("A1", Schema::atoms(&["A11"])),
+            Field::atom("A2"),
+        ]);
+        assert_eq!(s.to_string(), "(A1(A11), A2)");
+    }
+}

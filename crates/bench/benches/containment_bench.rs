@@ -1,0 +1,58 @@
+//! E2/E3 — containment benchmarks: XMark query-pattern self-containment
+//! (Fig 4.14 top) and synthetic positive/negative tests by pattern size
+//! (Fig 4.14 bottom), plus the early-exit comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uload_bench::{datasets, pattern_gen::GenConfig, pattern_gen, xmark_queries};
+
+fn xmark_query_containment(c: &mut Criterion) {
+    let ds = datasets::xmark_small();
+    let pats = xmark_queries::patterns();
+    let mut g = c.benchmark_group("fig4_14_queries");
+    for (name, p) in pats.into_iter().take(6) {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| containment::contained_in(&p, &p, &ds.summary))
+        });
+    }
+    g.finish();
+}
+
+fn synthetic_by_size(c: &mut Criterion) {
+    let ds = datasets::xmark_small();
+    let mut g = c.benchmark_group("fig4_14_synthetic");
+    for size in [3usize, 7, 11] {
+        let cfg = GenConfig::xmark(size, 1);
+        let pats = pattern_gen::generate_set(&ds.summary, &cfg, 8, 77);
+        // positive: self-containment of the first pattern
+        g.bench_with_input(BenchmarkId::new("positive", size), &size, |b, _| {
+            b.iter(|| containment::contained_in(&pats[0], &pats[0], &ds.summary))
+        });
+        // negative: cross pair (almost surely not contained)
+        g.bench_with_input(BenchmarkId::new("negative", size), &size, |b, _| {
+            b.iter(|| containment::contained_in(&pats[0], &pats[1], &ds.summary))
+        });
+    }
+    g.finish();
+}
+
+fn dblp_vs_xmark(c: &mut Criterion) {
+    let xm = datasets::xmark_small();
+    let db = datasets::dblp_small();
+    let mut g = c.benchmark_group("fig4_15_summary_effect");
+    let xp = pattern_gen::generate_set(&xm.summary, &GenConfig::xmark(7, 1), 4, 5);
+    let dp = pattern_gen::generate_set(&db.summary, &GenConfig::dblp(7, 1), 4, 5);
+    g.bench_function("xmark_summary", |b| {
+        b.iter(|| containment::contained_in(&xp[0], &xp[0], &xm.summary))
+    });
+    g.bench_function("dblp_summary", |b| {
+        b.iter(|| containment::contained_in(&dp[0], &dp[0], &db.summary))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = xmark_query_containment, synthetic_by_size, dblp_vs_xmark
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E1 — summary construction and conformance (Figure 4.13's substrate):
+//! summaries are built in linear time and stay small as documents grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use summary::Summary;
+use xmltree::generate;
+
+fn summary_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("summary_construction");
+    for scale in [5usize, 20, 80] {
+        let doc = generate::xmark(scale, 42);
+        g.bench_with_input(
+            BenchmarkId::new("xmark_nodes", doc.len()),
+            &doc,
+            |b, doc| b.iter(|| Summary::of_document(doc)),
+        );
+    }
+    let dblp = generate::dblp(2000, 7);
+    g.bench_with_input(BenchmarkId::new("dblp_nodes", dblp.len()), &dblp, |b, d| {
+        b.iter(|| Summary::of_document(d))
+    });
+    g.finish();
+}
+
+fn conformance_check(c: &mut Criterion) {
+    let doc = generate::xmark(10, 42);
+    let s = Summary::of_document(&doc);
+    c.bench_function("summary_conformance", |b| b.iter(|| s.conforms(&doc)));
+    c.bench_function("summary_classify", |b| b.iter(|| s.classify(&doc)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = summary_construction, conformance_check
+}
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! The experiment datasets (Figure 4.13): synthetic stand-ins for the
+//! paper's documents, at scales keeping laptop runtimes reasonable while
+//! preserving the table's shape — summaries are small and barely grow
+//! with document size.
+
+use summary::Summary;
+use xmltree::{generate, Document};
+
+/// One row of the Figure 4.13 table.
+#[derive(Debug, Clone)]
+pub struct DatasetRow {
+    pub name: &'static str,
+    /// Number of nodes (`N` in the table).
+    pub n: usize,
+    /// Summary size `|S|`.
+    pub summary_size: usize,
+    /// Strong (`+`/`1`) edges `n_s`.
+    pub strong_edges: usize,
+    /// One-to-one edges `n_1`.
+    pub one_to_one_edges: usize,
+}
+
+/// A named document + its summary.
+pub struct Dataset {
+    pub name: &'static str,
+    pub doc: Document,
+    pub summary: Summary,
+}
+
+impl Dataset {
+    fn new(name: &'static str, doc: Document) -> Dataset {
+        let summary = Summary::of_document(&doc);
+        Dataset { name, doc, summary }
+    }
+
+    pub fn row(&self) -> DatasetRow {
+        DatasetRow {
+            name: self.name,
+            n: self.doc.len(),
+            summary_size: self.summary.len(),
+            strong_edges: self.summary.strong_edge_count(),
+            one_to_one_edges: self.summary.one_to_one_edge_count(),
+        }
+    }
+}
+
+/// The small XMark document (≈ the paper's XMark11), cached summary.
+pub fn xmark_small() -> Dataset {
+    Dataset::new("XMark-small", generate::xmark(15, 42))
+}
+
+/// The medium XMark document (≈ XMark111).
+pub fn xmark_medium() -> Dataset {
+    Dataset::new("XMark-medium", generate::xmark(120, 42))
+}
+
+/// The large XMark document (≈ XMark233).
+pub fn xmark_large() -> Dataset {
+    Dataset::new("XMark-large", generate::xmark(250, 42))
+}
+
+/// DBLP-like, small (≈ DBLP'02).
+pub fn dblp_small() -> Dataset {
+    Dataset::new("DBLP-small", generate::dblp(3000, 7))
+}
+
+/// DBLP-like, larger (≈ DBLP'05).
+pub fn dblp_large() -> Dataset {
+    Dataset::new("DBLP-large", generate::dblp(7000, 7))
+}
+
+pub fn shakespeare() -> Dataset {
+    Dataset::new("Shakespeare", generate::shakespeare(20, 3))
+}
+
+pub fn nasa() -> Dataset {
+    Dataset::new("NASA", generate::nasa(150, 4))
+}
+
+pub fn swissprot() -> Dataset {
+    Dataset::new("SwissProt", generate::swissprot(250, 5))
+}
+
+/// All Figure 4.13 rows, in the paper's order.
+pub fn all() -> Vec<Dataset> {
+    vec![
+        shakespeare(),
+        nasa(),
+        swissprot(),
+        xmark_small(),
+        xmark_medium(),
+        xmark_large(),
+        dblp_small(),
+        dblp_large(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xmark_summary_stable_across_scales() {
+        let a = xmark_small();
+        let b = xmark_medium();
+        assert_eq!(a.summary.len(), b.summary.len());
+        assert!(b.doc.len() > 5 * a.doc.len());
+    }
+
+    #[test]
+    fn dblp_summaries_are_small_and_constrained() {
+        let d = dblp_small();
+        let row = d.row();
+        assert!(row.summary_size < 80);
+        assert!(row.strong_edges > 10, "{row:?}");
+        assert!(row.one_to_one_edges > 5, "{row:?}");
+    }
+
+    #[test]
+    fn table_has_eight_rows() {
+        // use the cheap datasets only to keep the test fast
+        let rows: Vec<DatasetRow> = vec![
+            shakespeare().row(),
+            xmark_small().row(),
+            dblp_small().row(),
+        ];
+        for r in &rows {
+            assert!(r.n > 0 && r.summary_size > 0);
+            assert!(r.strong_edges >= r.one_to_one_edges || r.strong_edges > 0);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! The §4.6 random pattern generator: synthetic, **satisfiable** patterns
+//! over a given summary.
+//!
+//! Patterns are sampled *from the summary itself* (walking ancestor chains
+//! of randomly chosen return-label nodes), so satisfiability holds by
+//! construction; they are then decorated per the paper's parameters —
+//! nodes become `*` with probability 0.1, carry a `v = c` predicate (10
+//! distinct constants) with probability 0.2, edges are `//` with
+//! probability 0.5 and optional with probability 0.5.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use summary::{Summary, SummaryNodeId};
+use xam_core::ast::{
+    Axis, EdgeSem, Formula, IdKind, Xam, XamEdge, XamNode, XamNodeId,
+};
+use xmltree::NodeKind;
+
+/// Generator parameters (paper defaults).
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Target number of pattern nodes.
+    pub size: usize,
+    /// Number of return nodes.
+    pub return_count: usize,
+    /// Labels the return nodes must carry (cycled).
+    pub return_labels: Vec<String>,
+    pub p_star: f64,
+    pub p_value_pred: f64,
+    pub p_descendant: f64,
+    pub p_optional: f64,
+}
+
+impl GenConfig {
+    /// The paper's §4.6 settings for a given size and return count, with
+    /// the XMark return labels (item, name, keyword).
+    pub fn xmark(size: usize, return_count: usize) -> GenConfig {
+        GenConfig {
+            size,
+            return_count,
+            return_labels: vec!["item".into(), "name".into(), "keyword".into()],
+            p_star: 0.1,
+            p_value_pred: 0.2,
+            p_descendant: 0.5,
+            p_optional: 0.5,
+        }
+    }
+
+    /// DBLP return labels (article, author, title).
+    pub fn dblp(size: usize, return_count: usize) -> GenConfig {
+        GenConfig {
+            return_labels: vec!["article".into(), "author".into(), "title".into()],
+            ..GenConfig::xmark(size, return_count)
+        }
+    }
+
+    pub fn with_optional(mut self, p: f64) -> GenConfig {
+        self.p_optional = p;
+        self
+    }
+}
+
+/// Generate one satisfiable pattern; `None` if the summary lacks the
+/// requested return labels.
+pub fn generate(s: &Summary, cfg: &GenConfig, rng: &mut SmallRng) -> Option<Xam> {
+    // 1. choose return target summary nodes
+    let mut targets: Vec<SummaryNodeId> = Vec::new();
+    for i in 0..cfg.return_count {
+        let label = &cfg.return_labels[i % cfg.return_labels.len()];
+        let cands: Vec<SummaryNodeId> = s
+            .nodes_with_label(label)
+            .filter(|&n| s.kind(n) == NodeKind::Element)
+            .collect();
+        if cands.is_empty() {
+            return None;
+        }
+        targets.push(cands[rng.gen_range(0..cands.len())]);
+    }
+    // 2. root = deepest common ancestor of the targets
+    let mut lca = targets[0];
+    for &t in &targets[1..] {
+        lca = common_ancestor(s, lca, t);
+    }
+    let mut xam = Xam::top();
+    let mut name_counter = 0u32;
+    let fresh = |base: &str, c: &mut u32| {
+        *c += 1;
+        format!("{base}{c}")
+    };
+    let mut root = XamNode::star(fresh(s.label(lca), &mut name_counter));
+    root.tag_predicate = Some(s.label(lca).to_string());
+    root.edge = XamEdge::descendant();
+    let root_id = xam.add_child(XamNodeId::TOP, root);
+    // summary node → pattern node, for chain sharing
+    let mut placed: Vec<(SummaryNodeId, XamNodeId)> = vec![(lca, root_id)];
+    // 3. chains from the LCA to each target, keeping intermediates with
+    //    probability tuned to approach the requested size
+    let budget = cfg.size.saturating_sub(1 + cfg.return_count);
+    let keep_prob = if budget == 0 { 0.0 } else { 0.45 };
+    for (i, &t) in targets.iter().enumerate() {
+        let chain = path_between(s, lca, t);
+        let mut cur = root_id;
+        let mut cur_summary = lca;
+        for (j, &sn) in chain.iter().enumerate() {
+            let last = j == chain.len() - 1;
+            let keep = last || rng.gen_bool(keep_prob);
+            if !keep {
+                continue;
+            }
+            // reuse an existing pattern node for this summary node if it is
+            // a child of `cur` already (never for the return node itself:
+            // each return target gets its own node)
+            if !last {
+                if let Some(&(_, existing)) = placed
+                    .iter()
+                    .find(|(psn, pid)| *psn == sn && xam.parent(*pid) == Some(cur))
+                {
+                    cur = existing;
+                    cur_summary = sn;
+                    continue;
+                }
+            }
+            let direct = s.parent(sn) == Some(cur_summary);
+            let axis = if !direct || rng.gen_bool(cfg.p_descendant) {
+                Axis::Descendant
+            } else {
+                Axis::Child
+            };
+            let mut node = XamNode::star(fresh(s.label(sn), &mut name_counter));
+            node.is_attribute = s.kind(sn) == NodeKind::Attribute;
+            // `*` only on child edges: a `*` descendant node matches huge
+            // swaths of the summary and makes the canonical model explode
+            // far beyond what the paper's experiment exhibits
+            node.tag_predicate = if !last && axis == Axis::Child && rng.gen_bool(cfg.p_star) {
+                None
+            } else {
+                Some(s.label(sn).to_string())
+            };
+            let optional = !last && rng.gen_bool(cfg.p_optional);
+            node.edge = XamEdge {
+                axis,
+                sem: if optional { EdgeSem::Outer } else { EdgeSem::Join },
+            };
+            if !last && rng.gen_bool(cfg.p_value_pred) {
+                node.value_predicate = Formula::eq_int(rng.gen_range(0..10));
+            }
+            if last {
+                node.stores_id = Some(IdKind::Structural);
+            }
+            cur = xam.add_child(cur, node);
+            cur_summary = sn;
+            placed.push((sn, cur));
+            let _ = i;
+        }
+        // a target equal to the LCA (empty chain) returns the root itself
+        if xam.node(cur).stores_id.is_none() {
+            xam.node_mut(cur).stores_id = Some(IdKind::Structural);
+        }
+    }
+    // 4. pad with extra branch nodes up to the requested size (fanout ≤ 3)
+    let mut guard = 0;
+    while xam.pattern_size() < cfg.size && guard < 50 {
+        guard += 1;
+        let anchor_idx = rng.gen_range(0..placed.len());
+        let (asn, apid) = placed[anchor_idx];
+        if xam.children(apid).len() >= 3 {
+            continue;
+        }
+        let desc = s.descendants(asn);
+        if desc.is_empty() {
+            continue;
+        }
+        let sn = desc[rng.gen_range(0..desc.len())];
+        if s.kind(sn) == NodeKind::Text {
+            continue;
+        }
+        let mut node = XamNode::star(fresh(s.label(sn), &mut name_counter));
+        node.is_attribute = s.kind(sn) == NodeKind::Attribute;
+        let axis = if s.parent(sn) == Some(asn) && !rng.gen_bool(cfg.p_descendant) {
+            Axis::Child
+        } else {
+            Axis::Descendant
+        };
+        node.tag_predicate = if axis == Axis::Child && rng.gen_bool(cfg.p_star) {
+            None
+        } else {
+            Some(s.label(sn).to_string())
+        };
+        let optional = rng.gen_bool(cfg.p_optional);
+        node.edge = XamEdge {
+            axis,
+            sem: if optional { EdgeSem::Outer } else { EdgeSem::Join },
+        };
+        if rng.gen_bool(cfg.p_value_pred) {
+            node.value_predicate = Formula::eq_int(rng.gen_range(0..10));
+        }
+        let id = xam.add_child(apid, node);
+        placed.push((sn, id));
+    }
+    Some(xam)
+}
+
+/// A cheap upper bound on the number of summary embeddings of a pattern:
+/// the product over `//`-edge nodes of the global count of their label
+/// (`/`-edge and label-free-child counts bound tighter but cost more).
+pub fn embedding_bound(s: &Summary, p: &Xam) -> f64 {
+    let mut label_counts: std::collections::HashMap<&str, usize> =
+        std::collections::HashMap::new();
+    for n in s.all_nodes() {
+        *label_counts.entry(s.label(n)).or_insert(0) += 1;
+    }
+    let mut bound = 1.0f64;
+    for n in p.pattern_nodes() {
+        let node = p.node(n);
+        if node.edge.axis == Axis::Descendant {
+            let c = match &node.tag_predicate {
+                Some(l) => *label_counts.get(l.as_str()).unwrap_or(&1),
+                None => s.len(),
+            };
+            bound *= c.max(1) as f64;
+        }
+    }
+    bound
+}
+
+/// Generate a set of patterns with one RNG seed. Patterns whose canonical
+/// model would explode (embedding bound > 20000) are rejected and redrawn —
+/// the paper's measured models stay small ("for practical queries,
+/// |mod_S(p)| is much smaller", §4.4.1), and this keeps the experiment in
+/// that regime.
+pub fn generate_set(s: &Summary, cfg: &GenConfig, count: usize, seed: u64) -> Vec<Xam> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut guard = 0;
+    while out.len() < count && guard < count * 50 {
+        guard += 1;
+        if let Some(p) = generate(s, cfg, &mut rng) {
+            if embedding_bound(s, &p) <= 20000.0 {
+                out.push(p);
+            }
+        }
+    }
+    out
+}
+
+fn depth_of(s: &Summary, n: SummaryNodeId) -> usize {
+    s.depth(n) as usize
+}
+
+fn common_ancestor(s: &Summary, a: SummaryNodeId, b: SummaryNodeId) -> SummaryNodeId {
+    let (mut x, mut y) = (a, b);
+    while depth_of(s, x) > depth_of(s, y) {
+        x = s.parent(x).unwrap();
+    }
+    while depth_of(s, y) > depth_of(s, x) {
+        y = s.parent(y).unwrap();
+    }
+    while x != y {
+        x = s.parent(x).unwrap();
+        y = s.parent(y).unwrap();
+    }
+    x
+}
+
+/// Summary nodes strictly between `anc` (exclusive) and `desc`
+/// (inclusive), top-down. Empty when `desc == anc`.
+fn path_between(s: &Summary, anc: SummaryNodeId, desc: SummaryNodeId) -> Vec<SummaryNodeId> {
+    let mut chain = Vec::new();
+    let mut cur = desc;
+    while cur != anc {
+        chain.push(cur);
+        cur = s.parent(cur).expect("anc must be an ancestor");
+    }
+    chain.reverse();
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn generated_patterns_are_satisfiable() {
+        let ds = datasets::xmark_small();
+        for size in [3, 7, 11] {
+            for r in [1, 2, 3] {
+                let cfg = GenConfig::xmark(size, r);
+                let pats = generate_set(&ds.summary, &cfg, 10, 99);
+                assert!(!pats.is_empty());
+                for p in &pats {
+                    assert!(
+                        containment::satisfiable(p, &ds.summary),
+                        "unsatisfiable generated pattern:\n{p}"
+                    );
+                    assert_eq!(p.return_nodes().len(), r, "{p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_roughly_match() {
+        let ds = datasets::xmark_small();
+        let cfg = GenConfig::xmark(9, 2);
+        let pats = generate_set(&ds.summary, &cfg, 20, 7);
+        let avg: f64 =
+            pats.iter().map(|p| p.pattern_size() as f64).sum::<f64>() / pats.len() as f64;
+        assert!(avg >= 4.0, "patterns too small: {avg}");
+    }
+
+    #[test]
+    fn optional_probability_respected() {
+        let ds = datasets::xmark_small();
+        let none = GenConfig::xmark(9, 2).with_optional(0.0);
+        let pats = generate_set(&ds.summary, &none, 10, 3);
+        for p in &pats {
+            assert!(
+                p.pattern_nodes().all(|n| !p.node(n).edge.sem.is_optional()),
+                "optional edge at p_optional = 0"
+            );
+        }
+    }
+
+    #[test]
+    fn dblp_config_works() {
+        let ds = datasets::dblp_small();
+        let cfg = GenConfig::dblp(7, 2);
+        let pats = generate_set(&ds.summary, &cfg, 10, 17);
+        assert!(!pats.is_empty());
+        for p in &pats {
+            assert!(containment::satisfiable(p, &ds.summary));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Tree patterns of the 20 XMark benchmark queries (§4.6, Figure 4.14
+//! top). The XMark query texts are re-expressed as XAM patterns over the
+//! labels of our XMark-like generator, mirroring each query's navigation
+//! shape (the paper itself extracts patterns from the queries before
+//! testing containment). `q7`, as in the paper, joins three structurally
+//! unrelated variables and blows up the canonical model.
+
+use xam_core::{parse_xam, Xam};
+
+/// The 20 query patterns, in XMark order.
+pub fn patterns() -> Vec<(String, Xam)> {
+    let defs: Vec<(&str, &str)> = vec![
+        // Q1: the name of the person with a given id
+        (
+            "q1",
+            r#"//people{ /person[id:s]{ /s @id[val="person0"], /name[val] } }"#,
+        ),
+        // Q2: initial increases of all bidders
+        ("q2", "//open_auction{ /bidder{ /increase[val] } }"),
+        // Q3: auctions with initial and bidder increases
+        (
+            "q3",
+            "//open_auctions{ /open_auction[id:s]{ /bidder{ /increase[val] }, /initial[val] } }",
+        ),
+        // Q4: auctions with bidder personrefs and a reserve
+        (
+            "q4",
+            "//open_auction[id:s]{ /bidder{ /s personref }, /reserve[val] }",
+        ),
+        // Q5: closed auctions sold above a threshold
+        ("q5", "//closed_auction{ /price[id:s,val>40] }"),
+        // Q6: all items in regions
+        ("q6", "//regions{ //item[id:s] }"),
+        // Q7: counts over three unrelated variables (pieces of prose) —
+        // the paper's canonical-model blowup case (204 trees)
+        (
+            "q7",
+            "//description[id:s]",
+        ),
+        // Q8: people and the auctions they bought (pattern part)
+        (
+            "q8",
+            "//people{ /person[id:s]{ /name[val] } }",
+        ),
+        // Q9: as Q8 plus European items
+        (
+            "q9",
+            "//europe{ /item[id:s]{ /name[val] } }",
+        ),
+        // Q10: person profiles, many optional properties
+        (
+            "q10",
+            "//person[id:s]{ /emailaddress[val], /? profile1:profile{ /interest[id:s], /? gender[val], /? age[val], /? education[val] } }",
+        ),
+        // Q11: person incomes (join input)
+        ("q11", "//person[id:s]{ /profile{ /@income[val] } }"),
+        // Q12: as Q11, restricted incomes
+        ("q12", "//person[id:s]{ /profile{ /@income[val>50000] } }"),
+        // Q13: Australian items with name and description content
+        (
+            "q13",
+            "//australia{ /item[id:s]{ /name[val], /description[cont] } }",
+        ),
+        // Q14: items by name with description keyword
+        (
+            "q14",
+            "//item[id:s]{ /name[val], /s description1:description{ //keyword } }",
+        ),
+        // Q15: the long closed-auction markup chain
+        (
+            "q15",
+            "//closed_auctions{ /closed_auction{ /annotation{ /description{ /parlist{ /listitem{ /parlist{ /listitem[id:s] } } } } } } }",
+        ),
+        // Q16: as Q15 anchored at the seller
+        (
+            "q16",
+            "//closed_auction[id:s]{ /s seller, /annotation{ /description{ /parlist{ /listitem[id:s] } } } }",
+        ),
+        // Q17: persons without a homepage (optional edge)
+        ("q17", "//person[id:s]{ /name[val], /? homepage[val] }"),
+        // Q18: all reserves
+        ("q18", "//open_auction{ /reserve[id:s,val] }"),
+        // Q19: items with name and location (order-by inputs)
+        ("q19", "//item[id:s]{ /name[val], /location[val] }"),
+        // Q20: people by income presence
+        ("q20", "//person[id:s]{ /? profile1:profile{ /? @income[val] } }"),
+    ];
+    defs.into_iter()
+        .map(|(n, t)| {
+            (
+                n.to_string(),
+                parse_xam(t).unwrap_or_else(|e| panic!("{n}: {e}")),
+            )
+        })
+        .collect()
+}
+
+/// The multi-variable `q7` of the paper: three structurally unrelated
+/// star-descendant variables under `⊤`, whose canonical model is the
+/// product of their individual annotations.
+pub fn q7_multivariable() -> Xam {
+    use xam_core::ast::{XamEdge, XamNode};
+    let mut x = parse_xam("//description[id:s]").unwrap();
+    for (name, label) in [("v2", "annotation"), ("v3", "mail")] {
+        let mut n = XamNode::star(name);
+        n.tag_predicate = Some(label.into());
+        n.stores_id = Some(xam_core::IdKind::Structural);
+        n.edge = XamEdge::descendant();
+        x.add_child(x.root(), n);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn all_patterns_parse_and_are_satisfiable() {
+        let ds = datasets::xmark_small();
+        for (name, p) in patterns() {
+            assert!(
+                containment::satisfiable(&p, &ds.summary),
+                "{name} unsatisfiable on the XMark summary:\n{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn q7_has_a_large_model() {
+        let ds = datasets::xmark_small();
+        let q7 = q7_multivariable();
+        let (_, stats) = containment::canonical_model(&q7, &ds.summary);
+        // three unrelated variables multiply the model
+        let (_, s1) = containment::canonical_model(
+            &xam_core::parse_xam("//description[id:s]").unwrap(),
+            &ds.summary,
+        );
+        assert!(stats.size > 3 * s1.size, "{} vs {}", stats.size, s1.size);
+    }
+
+    #[test]
+    fn self_containment_holds_for_all() {
+        let ds = datasets::xmark_small();
+        for (name, p) in patterns() {
+            assert!(
+                containment::contained_in(&p, &p, &ds.summary),
+                "{name} not contained in itself"
+            );
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Tree pattern minimization under summary constraints (§4.5).
+//!
+//! *S-contraction* erases one pattern node at a time (reconnecting its
+//! children to its parent with `//` edges) as long as the result stays
+//! `S`-equivalent; [`minimize_by_contraction`] computes the fixpoints.
+//!
+//! As the paper's Figure 4.12 shows, contraction does not always reach the
+//! globally smallest `S`-equivalent pattern — sometimes a *different*
+//! intermediate label (one that never appeared in the input) yields a
+//! smaller pattern. [`minimize_global`] searches linear `//`-chain
+//! candidates built from the summary's ancestor labels of the return
+//! node's path annotation, finding such smaller equivalents for
+//! single-return conjunctive patterns.
+
+use std::collections::{BTreeSet, HashSet};
+
+use summary::Summary;
+use xam_core::ast::{Axis, Xam, XamEdge, XamNode, XamNodeId};
+
+use crate::{canonical, equivalent};
+
+/// Erase `victim` from the pattern, reconnecting its children to its
+/// parent with `//` (join) edges. Returns `None` for return nodes or `⊤`.
+pub fn contract(p: &Xam, victim: XamNodeId) -> Option<Xam> {
+    if victim == XamNodeId::TOP || p.node(victim).is_return() {
+        return None;
+    }
+    let mut out = Xam::top();
+    out.ordered = p.ordered;
+    fn rec(src: &Xam, n: XamNodeId, victim: XamNodeId, dst: &mut Xam, under: XamNodeId) {
+        for &c in src.children(n) {
+            if c == victim {
+                // splice grandchildren under `under` with // edges
+                for &gc in src.children(c) {
+                    let mut node = src.node(gc).clone();
+                    node.children = Vec::new();
+                    node.edge = XamEdge {
+                        axis: Axis::Descendant,
+                        sem: node.edge.sem,
+                    };
+                    let id = dst.add_child(under, node);
+                    rec(src, gc, victim, dst, id);
+                }
+            } else {
+                let mut node = src.node(c).clone();
+                node.children = Vec::new();
+                let id = dst.add_child(under, node);
+                rec(src, c, victim, dst, id);
+            }
+        }
+    }
+    rec(p, XamNodeId::TOP, victim, &mut out, XamNodeId::TOP);
+    Some(out)
+}
+
+/// All patterns minimal under `S`-contraction reachable from `p` (there
+/// may be several, as in Figure 4.12's `t'_1` and `t'_2`).
+pub fn minimize_by_contraction(p: &Xam, s: &Summary) -> Vec<Xam> {
+    let mut results: Vec<Xam> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut frontier = vec![p.clone()];
+    seen.insert(p.to_string());
+    while let Some(cur) = frontier.pop() {
+        let mut contracted_any = false;
+        for victim in cur.pattern_nodes() {
+            if let Some(cand) = contract(&cur, victim) {
+                if equivalent(&cand, p, s) {
+                    contracted_any = true;
+                    if seen.insert(cand.to_string()) {
+                        frontier.push(cand);
+                    }
+                }
+            }
+        }
+        if !contracted_any && !results.iter().any(|r| r.to_string() == cur.to_string()) {
+            results.push(cur);
+        }
+    }
+    // keep only the smallest fixpoints
+    let min = results.iter().map(|r| r.pattern_size()).min().unwrap_or(0);
+    results.retain(|r| r.pattern_size() == min);
+    results
+}
+
+/// Globally minimize a *single-return, conjunctive* pattern: search
+/// `//`-chain candidates `//l_1//l_2…//l_k[attrs]` whose intermediate
+/// labels are drawn from the summary ancestors of the return node's path
+/// annotation, keeping the smallest `S`-equivalent ones. Falls back to
+/// the contraction fixpoints when no smaller chain exists (or the pattern
+/// is out of scope).
+pub fn minimize_global(p: &Xam, s: &Summary) -> Vec<Xam> {
+    let by_contraction = minimize_by_contraction(p, s);
+    let rets = p.return_nodes();
+    if rets.len() != 1 || !p.is_conjunctive() {
+        return by_contraction;
+    }
+    let ret = rets[0];
+    let ret_node = p.node(ret).clone();
+    if ret_node.value_predicate != xam_core::ast::Formula::True {
+        return by_contraction;
+    }
+    // candidate labels: ancestors of the return node's possible paths
+    let annotation = canonical::path_annotation(p, s, ret);
+    if annotation.is_empty() {
+        return by_contraction;
+    }
+    let mut labels: BTreeSet<String> = BTreeSet::new();
+    for &sn in &annotation {
+        let mut cur = s.parent(sn);
+        while let Some(c) = cur {
+            labels.insert(s.label(c).to_string());
+            cur = s.parent(c);
+        }
+    }
+    let labels: Vec<String> = labels.into_iter().collect();
+    let best_so_far = by_contraction
+        .first()
+        .map(|r| r.pattern_size())
+        .unwrap_or(p.pattern_size());
+    // chains strictly smaller than the contraction result
+    for k in 1..best_so_far {
+        let mut found: Vec<Xam> = Vec::new();
+        // k-1 intermediate labels + the return node
+        let mut combo = vec![0usize; k - 1];
+        loop {
+            // build the chain
+            let mut cand = Xam::top();
+            cand.ordered = p.ordered;
+            let mut under = XamNodeId::TOP;
+            for &li in &combo {
+                let mut n = XamNode::star(format!("m{li}_{}", under.0));
+                n.tag_predicate = Some(labels[li].clone());
+                n.edge = XamEdge::descendant();
+                under = cand.add_child(under, n);
+            }
+            let mut r = ret_node.clone();
+            r.children = Vec::new();
+            r.edge = XamEdge::descendant();
+            cand.add_child(under, r);
+            if equivalent(&cand, p, s) {
+                found.push(cand);
+            }
+            // next combination
+            let mut i = 0;
+            loop {
+                if i == combo.len() {
+                    break;
+                }
+                combo[i] += 1;
+                if combo[i] < labels.len() {
+                    break;
+                }
+                combo[i] = 0;
+                i += 1;
+            }
+            if combo.iter().all(|&c| c == 0) || combo.is_empty() {
+                break;
+            }
+        }
+        if !found.is_empty() {
+            return found;
+        }
+    }
+    by_contraction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xam_core::parse_xam;
+    use xmltree::parse_document;
+
+    fn s_of(xml: &str) -> Summary {
+        Summary::of_document(&parse_document(xml).unwrap())
+    }
+
+    #[test]
+    fn contraction_removes_redundant_star() {
+        // //a//*//c where the summary forces a//c anyway
+        let s = s_of("<a><b><c/></b></a>");
+        let p = parse_xam("//a{ //*{ //c[id:s] } }").unwrap();
+        let min = minimize_by_contraction(&p, &s);
+        assert!(!min.is_empty());
+        assert!(min.iter().all(|m| m.pattern_size() <= 2));
+        for m in &min {
+            assert!(equivalent(m, &p, &s));
+        }
+    }
+
+    #[test]
+    fn return_nodes_never_erased() {
+        let p = parse_xam("//b[id:s]").unwrap();
+        assert!(contract(&p, XamNodeId(1)).is_none());
+    }
+
+    #[test]
+    fn figure_4_12_style_global_minimization() {
+        // summary: a has two branches f/d/e and g/d/e, plus a direct d/e
+        // whose e we must NOT select. The pattern //a//f//d//e ∪-style
+        // cannot drop both intermediates by contraction, but //f//e works
+        // globally if f pins the branch.
+        let s = s_of("<a><f><d><e/></d></f><d><x><e/></x></d></a>");
+        let p = parse_xam("//a{ //f{ //d{ //e[id:s] } } }").unwrap();
+        let min = minimize_global(&p, &s);
+        assert!(!min.is_empty());
+        let best = min[0].pattern_size();
+        assert!(best <= 2, "expected ≤2 nodes, got {best}:\n{}", min[0]);
+        for m in &min {
+            assert!(equivalent(m, &p, &s));
+        }
+    }
+
+    #[test]
+    fn minimization_preserves_semantics_on_docs() {
+        let doc = parse_document("<a><f><d><e>1</e></d></f><d><x><e>2</e></x></d></a>").unwrap();
+        let s = Summary::of_document(&doc);
+        let p = parse_xam("//a{ //f{ //d{ //e[id:s] } } }").unwrap();
+        let before = xam_core::evaluate(&p, &doc).unwrap();
+        for m in minimize_global(&p, &s) {
+            let after = xam_core::evaluate(&m, &doc).unwrap();
+            assert_eq!(before.tuples.len(), after.tuples.len());
+        }
+    }
+
+    #[test]
+    fn already_minimal_stays() {
+        let s = s_of("<a><b/></a>");
+        let p = parse_xam("//b[id:s]").unwrap();
+        let min = minimize_by_contraction(&p, &s);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min[0].pattern_size(), 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! Evaluating a pattern over a canonical tree (the `p'(t_e)` of
+//! Proposition 4.4.1, condition 3).
+//!
+//! Canonical trees are *decorated* trees: each node stands on a summary
+//! node (supplying its label and kind) and carries a value formula. A
+//! decorated embedding requires `φ_tree_node ⟹ φ_pattern_node`
+//! (§4.1); optional pattern edges may map to `⊥` only when no subtree
+//! embedding exists. The result is the set of return tuples at the
+//! granularity of summary nodes (paths), which is exactly what the
+//! containment condition compares.
+
+use std::collections::BTreeSet;
+
+use summary::{Summary, SummaryNodeId};
+use xam_core::ast::{Axis, Formula, Xam, XamNodeId};
+use xmltree::NodeKind;
+
+use crate::canonical::CanonicalTree;
+
+/// Does pattern node `pn` match canonical-tree node `cn` (label, kind,
+/// formula implication)?
+fn node_matches(
+    xam: &Xam,
+    pn: XamNodeId,
+    s: &Summary,
+    t: &CanonicalTree,
+    cn: usize,
+) -> bool {
+    let node = xam.node(pn);
+    let sn = t.nodes[cn].summary;
+    let kind = s.kind(sn);
+    let kind_ok = if node.is_attribute {
+        kind == NodeKind::Attribute
+    } else {
+        kind == NodeKind::Element
+    };
+    if !kind_ok {
+        return false;
+    }
+    if let Some(tag) = &node.tag_predicate {
+        if s.label(sn) != tag {
+            return false;
+        }
+    }
+    // decorated embedding: the tree node's formula must imply the
+    // pattern's formula
+    if node.value_predicate != Formula::True
+        && !t.nodes[cn].formula.implies(&node.value_predicate)
+    {
+        return false;
+    }
+    true
+}
+
+fn candidates(
+    xam: &Xam,
+    pn: XamNodeId,
+    s: &Summary,
+    t: &CanonicalTree,
+    parent_image: Option<usize>,
+) -> Vec<usize> {
+    let axis = xam.node(pn).edge.axis;
+    let pool: Vec<usize> = match (parent_image, axis) {
+        // from ⊤: `/` reaches the canonical root only, `//` any node
+        (None, Axis::Child) => vec![t.root()],
+        (None, Axis::Descendant) => (0..t.len()).collect(),
+        (Some(p), Axis::Child) => t.nodes[p].children.clone(),
+        (Some(p), Axis::Descendant) => {
+            (0..t.len()).filter(|&c| t.is_ancestor(p, c)).collect()
+        }
+    };
+    pool.into_iter()
+        .filter(|&c| node_matches(xam, pn, s, t, c))
+        .collect()
+}
+
+fn subtree_embeddable(
+    xam: &Xam,
+    pn: XamNodeId,
+    s: &Summary,
+    t: &CanonicalTree,
+    parent_image: Option<usize>,
+) -> bool {
+    candidates(xam, pn, s, t, parent_image).into_iter().any(|c| {
+        xam.children(pn).iter().all(|&ch| {
+            xam.node(ch).edge.sem.is_optional()
+                || subtree_embeddable(xam, ch, s, t, Some(c))
+        })
+    })
+}
+
+/// Evaluate the pattern over a canonical tree: the set of return tuples,
+/// each a vector of `Option<SummaryNodeId>` (the *paths* of the matched
+/// canonical nodes; `⊥` under unmatched optional edges).
+pub fn eval_on_canonical(
+    xam: &Xam,
+    s: &Summary,
+    t: &CanonicalTree,
+) -> BTreeSet<Vec<Option<SummaryNodeId>>> {
+    let rets = xam.return_nodes();
+    let mut out = BTreeSet::new();
+    let mut cur: Vec<Option<usize>> = vec![None; xam.len()];
+
+    fn assign(
+        xam: &Xam,
+        s: &Summary,
+        t: &CanonicalTree,
+        siblings: &[XamNodeId],
+        idx: usize,
+        parent_image: Option<usize>,
+        cur: &mut Vec<Option<usize>>,
+        emit: &mut dyn FnMut(&mut Vec<Option<usize>>),
+    ) {
+        if idx == siblings.len() {
+            emit(cur);
+            return;
+        }
+        let pn = siblings[idx];
+        let optional = xam.node(pn).edge.sem.is_optional();
+        if optional && !subtree_embeddable(xam, pn, s, t, parent_image) {
+            assign(xam, s, t, siblings, idx + 1, parent_image, cur, emit);
+            return;
+        }
+        for c in candidates(xam, pn, s, t, parent_image) {
+            cur[pn.index()] = Some(c);
+            let children: Vec<XamNodeId> = xam.children(pn).to_vec();
+            assign(xam, s, t, &children, 0, Some(c), cur, &mut |cur2| {
+                assign(xam, s, t, siblings, idx + 1, parent_image, cur2, emit);
+            });
+            cur[pn.index()] = None;
+        }
+    }
+
+    let tops: Vec<XamNodeId> = xam.children(XamNodeId::TOP).to_vec();
+    assign(xam, s, t, &tops, 0, None, &mut cur, &mut |cur| {
+        let tuple: Vec<Option<SummaryNodeId>> = rets
+            .iter()
+            .map(|r| cur[r.index()].map(|c| t.nodes[c].summary))
+            .collect();
+        out.insert(tuple);
+    });
+    out
+}
+
+/// Does the pattern accept the given return tuple on this canonical tree
+/// (the membership test of Proposition 4.4.1, condition 3)? Early-exits as
+/// soon as the tuple is produced.
+pub fn accepts_tuple(
+    xam: &Xam,
+    s: &Summary,
+    t: &CanonicalTree,
+    tuple: &[Option<SummaryNodeId>],
+) -> bool {
+    let rets = xam.return_nodes();
+    accepts_tuple_with_rets(xam, s, t, tuple, &rets)
+}
+
+/// As [`accepts_tuple`], but with an explicit return-node list.
+pub fn accepts_tuple_with_rets(
+    xam: &Xam,
+    s: &Summary,
+    t: &CanonicalTree,
+    tuple: &[Option<SummaryNodeId>],
+    rets: &[XamNodeId],
+) -> bool {
+    // simple but correct: enumerate and test membership with early exit
+    // through a sentinel search
+    if rets.len() != tuple.len() {
+        return false;
+    }
+    let mut found = false;
+    let mut cur: Vec<Option<usize>> = vec![None; xam.len()];
+
+    fn assign(
+        xam: &Xam,
+        s: &Summary,
+        t: &CanonicalTree,
+        siblings: &[XamNodeId],
+        idx: usize,
+        parent_image: Option<usize>,
+        cur: &mut Vec<Option<usize>>,
+        emit: &mut dyn FnMut(&mut Vec<Option<usize>>) -> bool,
+    ) -> bool {
+        if idx == siblings.len() {
+            return emit(cur);
+        }
+        let pn = siblings[idx];
+        let optional = xam.node(pn).edge.sem.is_optional();
+        if optional && !subtree_embeddable(xam, pn, s, t, parent_image) {
+            return assign(xam, s, t, siblings, idx + 1, parent_image, cur, emit);
+        }
+        for c in candidates(xam, pn, s, t, parent_image) {
+            cur[pn.index()] = Some(c);
+            let children: Vec<XamNodeId> = xam.children(pn).to_vec();
+            let stop = assign(xam, s, t, &children, 0, Some(c), cur, &mut |cur2| {
+                assign(xam, s, t, siblings, idx + 1, parent_image, cur2, emit)
+            });
+            cur[pn.index()] = None;
+            if stop {
+                return true;
+            }
+        }
+        false
+    }
+
+    let tops: Vec<XamNodeId> = xam.children(XamNodeId::TOP).to_vec();
+    assign(xam, s, t, &tops, 0, None, &mut cur, &mut |cur| {
+        let ok = rets.iter().zip(tuple).all(|(r, want)| {
+            let got = cur[r.index()].map(|c| t.nodes[c].summary);
+            got == *want
+        });
+        if ok {
+            found = true;
+        }
+        found
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::canonical_model;
+    use summary::Summary;
+    use xam_core::parse_xam;
+    use xmltree::parse_document;
+
+    #[test]
+    fn pattern_accepts_own_canonical_tuples() {
+        let doc = parse_document("<a><b><c/></b><b><d/></b></a>").unwrap();
+        let s = Summary::of_document(&doc);
+        let p = parse_xam("//b[id:s]{ /c[id:s] }").unwrap();
+        let (model, _) = canonical_model(&p, &s);
+        for t in &model {
+            assert!(accepts_tuple(&p, &s, t, &t.return_tuple));
+        }
+    }
+
+    #[test]
+    fn stricter_pattern_rejects() {
+        let doc = parse_document("<a><b><c/></b><b><d/></b></a>").unwrap();
+        let s = Summary::of_document(&doc);
+        let p = parse_xam("//b[id:s]").unwrap();
+        let q = parse_xam("//b[id:s]{ /s c }").unwrap(); // b with a c child
+        let (model, _) = canonical_model(&p, &s);
+        // p's model has one tree (b); q does not accept it (no c chain)
+        assert_eq!(model.len(), 1);
+        assert!(!accepts_tuple(&q, &s, &model[0], &model[0].return_tuple));
+    }
+
+    #[test]
+    fn formula_implication_in_eval() {
+        let doc = parse_document("<a><b>5</b></a>").unwrap();
+        let s = Summary::of_document(&doc);
+        let p = parse_xam("//b[id:s,val=5]").unwrap();
+        let q_weak = parse_xam("//b[id:s,val>0]").unwrap();
+        let q_strong = parse_xam("//b[id:s,val>9]").unwrap();
+        let (model, _) = canonical_model(&p, &s);
+        assert_eq!(model.len(), 1);
+        assert!(accepts_tuple(&q_weak, &s, &model[0], &model[0].return_tuple));
+        assert!(!accepts_tuple(&q_strong, &s, &model[0], &model[0].return_tuple));
+    }
+
+    #[test]
+    fn eval_enumerates_tuples() {
+        let doc = parse_document("<a><b><c/></b></a>").unwrap();
+        let s = Summary::of_document(&doc);
+        let p = parse_xam("//a{ /b[id:s]{ /c[id:s] } }").unwrap();
+        let (model, _) = canonical_model(&p, &s);
+        let q = parse_xam("//*[id:s]{ //*[id:s] }").unwrap();
+        let tuples = eval_on_canonical(&q, &s, &model[0]);
+        // (a,b), (a,c), (b,c)
+        assert_eq!(tuples.len(), 3);
+    }
+}

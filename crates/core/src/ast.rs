@@ -1,0 +1,687 @@
+//! XAM abstract syntax (grammar of Figure 2.3) and value formulas.
+
+use std::fmt;
+
+/// Index of a node within a [`Xam`]. Node 0 is always the synthetic `⊤`
+/// (document-root) node required by every XAM specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct XamNodeId(pub u32);
+
+impl XamNodeId {
+    pub const TOP: XamNodeId = XamNodeId(0);
+
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for XamNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// ID class stored by a node (line 3 of the grammar): how much structural
+/// information the persistent identifiers carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IdKind {
+    /// `i`: simple identifiers — only uniqueness is known.
+    Simple,
+    /// `o`: identifiers reflecting document order.
+    Ordered,
+    /// `s`: structural identifiers — comparing two decides parent/ancestor
+    /// relationships (e.g. `(pre, post, depth)` triples).
+    Structural,
+    /// `p`: navigational structural identifiers — the parent's identifier is
+    /// derivable from the child's (Dewey, ORDPATH).
+    Parent,
+}
+
+impl IdKind {
+    /// Can `≺`/`≺≺` predicates be evaluated on these IDs alone?
+    pub fn is_structural(self) -> bool {
+        matches!(self, IdKind::Structural | IdKind::Parent)
+    }
+}
+
+impl fmt::Display for IdKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IdKind::Simple => "i",
+            IdKind::Ordered => "o",
+            IdKind::Structural => "s",
+            IdKind::Parent => "p",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Edge semantics (line 8 of the grammar): how a child node's matches
+/// combine with the parent's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeSem {
+    /// `j`: structural join — parents without matches are dropped, child
+    /// data appears flat.
+    Join,
+    /// `o`: structural left outerjoin — parents without matches survive
+    /// with nulls (the *optional edges* of Chapter 4, drawn dashed).
+    Outer,
+    /// `s`: structural semijoin — the child only filters the parent, no
+    /// child data is stored.
+    Semi,
+    /// `nj`: nest join — child matches are grouped in a nested collection;
+    /// parents without matches are dropped.
+    NestJoin,
+    /// `no`: nest outerjoin — as `nj` but parents without matches survive
+    /// with an empty collection (*optional + nested*).
+    NestOuter,
+}
+
+impl EdgeSem {
+    /// Optional edges let parent matches survive without child matches.
+    pub fn is_optional(self) -> bool {
+        matches!(self, EdgeSem::Outer | EdgeSem::NestOuter)
+    }
+
+    /// Nested edges group child matches per parent match.
+    pub fn is_nested(self) -> bool {
+        matches!(self, EdgeSem::NestJoin | EdgeSem::NestOuter)
+    }
+
+    pub fn is_semijoin(self) -> bool {
+        self == EdgeSem::Semi
+    }
+}
+
+impl fmt::Display for EdgeSem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EdgeSem::Join => "j",
+            EdgeSem::Outer => "o",
+            EdgeSem::Semi => "s",
+            EdgeSem::NestJoin => "nj",
+            EdgeSem::NestOuter => "no",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Structural axis of an edge: `/` (parent-child) or `//`
+/// (ancestor-descendant). Re-exported from the algebra crate so the two
+/// layers agree.
+pub use algebra::Axis;
+
+/// Edge specification: axis + semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct XamEdge {
+    pub axis: Axis,
+    pub sem: EdgeSem,
+}
+
+impl XamEdge {
+    pub fn child() -> XamEdge {
+        XamEdge {
+            axis: Axis::Child,
+            sem: EdgeSem::Join,
+        }
+    }
+
+    pub fn descendant() -> XamEdge {
+        XamEdge {
+            axis: Axis::Descendant,
+            sem: EdgeSem::Join,
+        }
+    }
+}
+
+impl fmt::Display for XamEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.axis, self.sem)
+    }
+}
+
+/// A single-variable value formula `φ(v)` (decorated patterns, §4.1):
+/// `T`, `F`, comparisons against constants, closed under `∧` and `∨`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    True,
+    False,
+    /// `v θ c`.
+    Cmp(algebra::CmpOp, FormulaConst),
+    And(Box<Formula>, Box<Formula>),
+    Or(Box<Formula>, Box<Formula>),
+}
+
+/// A constant in a value formula: a number or a string (the paper's
+/// totally-ordered, enumerable atomic domain `A`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormulaConst {
+    Int(i64),
+    Str(String),
+}
+
+impl fmt::Display for FormulaConst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormulaConst::Int(i) => write!(f, "{i}"),
+            FormulaConst::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl Formula {
+    pub fn eq_str(s: impl Into<String>) -> Formula {
+        Formula::Cmp(algebra::CmpOp::Eq, FormulaConst::Str(s.into()))
+    }
+
+    pub fn eq_int(i: i64) -> Formula {
+        Formula::Cmp(algebra::CmpOp::Eq, FormulaConst::Int(i))
+    }
+
+    pub fn and(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::True, f) | (f, Formula::True) => f,
+            (Formula::False, _) | (_, Formula::False) => Formula::False,
+            (a, b) => Formula::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    pub fn or(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::False, f) | (f, Formula::False) => f,
+            (Formula::True, _) | (_, Formula::True) => Formula::True,
+            (a, b) => Formula::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Evaluate the formula on a concrete value (strings compare with the
+    /// numeric coercion of the algebra layer).
+    pub fn eval(&self, v: &str) -> bool {
+        use algebra::CmpOp::*;
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::And(a, b) => a.eval(v) && b.eval(v),
+            Formula::Or(a, b) => a.eval(v) || b.eval(v),
+            Formula::Cmp(op, c) => {
+                let lhs = algebra::Value::str(v);
+                let rhs = match c {
+                    FormulaConst::Int(i) => algebra::Value::Int(*i),
+                    FormulaConst::Str(s) => algebra::Value::str(s),
+                };
+                match lhs.compare(&rhs) {
+                    None => false,
+                    Some(ord) => match op {
+                        Eq => ord.is_eq(),
+                        Ne => !ord.is_eq(),
+                        Lt => ord.is_lt(),
+                        Le => ord.is_le(),
+                        Gt => ord.is_gt(),
+                        Ge => ord.is_ge(),
+                        Parent | Ancestor => false,
+                        Contains => matches!((&lhs, &rhs), (algebra::Value::Str(a), algebra::Value::Str(b)) if a.contains(b.as_ref())),
+                    },
+                }
+            }
+        }
+    }
+
+    /// All constants appearing in the formula.
+    fn constants<'a>(&'a self, out: &mut Vec<&'a FormulaConst>) {
+        match self {
+            Formula::Cmp(_, c) => out.push(c),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.constants(out);
+                b.constants(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// Decide `self ⟹ other` over the totally ordered domain `A` by
+    /// sampling one witness per region delimited by the constants of both
+    /// formulas — truth is constant on each region, so this is exact.
+    pub fn implies(&self, other: &Formula) -> bool {
+        let mut consts = Vec::new();
+        self.constants(&mut consts);
+        other.constants(&mut consts);
+        // Numeric domain when every constant is (coercible to) a number.
+        let mut nums: Vec<f64> = Vec::new();
+        let mut all_numeric = true;
+        for c in &consts {
+            match c {
+                FormulaConst::Int(i) => nums.push(*i as f64),
+                FormulaConst::Str(s) => match s.trim().parse::<f64>() {
+                    Ok(x) => nums.push(x),
+                    Err(_) => {
+                        all_numeric = false;
+                        break;
+                    }
+                },
+            }
+        }
+        let samples: Vec<String> = if all_numeric {
+            nums.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            nums.dedup();
+            let mut pts: Vec<f64> = Vec::new();
+            if nums.is_empty() {
+                pts.push(0.0);
+            } else {
+                pts.push(nums[0] - 1.0);
+                for w in nums.windows(2) {
+                    pts.push((w[0] + w[1]) / 2.0);
+                }
+                pts.push(nums[nums.len() - 1] + 1.0);
+                pts.extend(nums.iter().copied());
+            }
+            pts.iter()
+                .map(|x| {
+                    if x.fract() == 0.0 {
+                        format!("{}", *x as i64)
+                    } else {
+                        format!("{x}")
+                    }
+                })
+                .collect()
+        } else {
+            // string domain: each constant, just-above each constant, and
+            // the empty string (below everything non-empty)
+            let mut strs: Vec<String> = consts
+                .iter()
+                .map(|c| match c {
+                    FormulaConst::Int(i) => i.to_string(),
+                    FormulaConst::Str(s) => s.clone(),
+                })
+                .collect();
+            strs.sort();
+            strs.dedup();
+            let mut pts = vec![String::new()];
+            for s in &strs {
+                pts.push(s.clone());
+                pts.push(format!("{s}\u{1}"));
+            }
+            pts
+        };
+        samples.iter().all(|s| !self.eval(s) || other.eval(s))
+    }
+
+    /// Is the formula satisfiable over `A`?
+    pub fn satisfiable(&self) -> bool {
+        !self.implies(&Formula::False)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "T"),
+            Formula::False => write!(f, "F"),
+            Formula::Cmp(op, c) => write!(f, "v{op}{c}"),
+            Formula::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Formula::Or(a, b) => write!(f, "({a} ∨ {b})"),
+        }
+    }
+}
+
+/// A XAM node: name constraint + specifications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XamNode {
+    /// Symbolic name (`e1`, `x`, …) used in tuples, bindings and figures.
+    pub name: String,
+    /// Is this an attribute node (names starting with `@` by convention)?
+    pub is_attribute: bool,
+    pub parent: Option<XamNodeId>,
+    pub children: Vec<XamNodeId>,
+    /// Specification of the edge from the parent (meaningless on `⊤`).
+    pub edge: XamEdge,
+    /// Tag predicate `[Tag=c]`: only subtrees with this tag are covered.
+    /// `None` = any tag (`*` nodes).
+    pub tag_predicate: Option<String>,
+    /// Value formula decorating the node (`[Val=c]` generalized to φ(v)).
+    /// `Formula::True` = unconstrained.
+    pub value_predicate: Formula,
+    /// Is the ID stored, and of which class?
+    pub stores_id: Option<IdKind>,
+    /// Is the tag stored (the `L` attribute of attribute patterns)?
+    pub stores_tag: bool,
+    /// Is the value stored (`V`)?
+    pub stores_val: bool,
+    /// Is the serialized content stored (`C`)?
+    pub stores_cont: bool,
+    /// `R` markers: which stored items are *required* to access the data
+    /// (index keys).
+    pub requires_id: bool,
+    pub requires_tag: bool,
+    pub requires_val: bool,
+}
+
+impl XamNode {
+    /// A bare node matching elements with any tag, storing nothing.
+    pub fn star(name: impl Into<String>) -> XamNode {
+        XamNode {
+            name: name.into(),
+            is_attribute: false,
+            parent: None,
+            children: Vec::new(),
+            edge: XamEdge::descendant(),
+            tag_predicate: None,
+            value_predicate: Formula::True,
+            stores_id: None,
+            stores_tag: false,
+            stores_val: false,
+            stores_cont: false,
+            requires_id: false,
+            requires_tag: false,
+            requires_val: false,
+        }
+    }
+
+    /// Does the node store any attribute (i.e. is it a *return node* in the
+    /// Chapter 4 sense)?
+    pub fn is_return(&self) -> bool {
+        self.stores_id.is_some() || self.stores_tag || self.stores_val || self.stores_cont
+    }
+
+    /// Does the node carry any `R` (required) marker?
+    pub fn has_required(&self) -> bool {
+        self.requires_id || self.requires_tag || self.requires_val
+    }
+
+    /// The display label: the tag predicate if one exists, else `*`.
+    pub fn display_label(&self) -> &str {
+        self.tag_predicate.as_deref().unwrap_or("*")
+    }
+}
+
+/// An XML Access Module: ordered tree of specified nodes. Node 0 is `⊤`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Xam {
+    pub nodes: Vec<XamNode>,
+    /// Order flag `o`: data is stored in document order.
+    pub ordered: bool,
+}
+
+impl Xam {
+    /// A XAM consisting of just `⊤`.
+    pub fn top() -> Xam {
+        let mut root = XamNode::star("top");
+        root.edge = XamEdge::child();
+        Xam {
+            nodes: vec![root],
+            ordered: true,
+        }
+    }
+
+    pub fn root(&self) -> XamNodeId {
+        XamNodeId::TOP
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of non-`⊤` pattern nodes (the `|p|` of the complexity
+    /// analyses).
+    pub fn pattern_size(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    pub fn node(&self, id: XamNodeId) -> &XamNode {
+        &self.nodes[id.index()]
+    }
+
+    pub fn node_mut(&mut self, id: XamNodeId) -> &mut XamNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Add a child node under `parent`, returning its id.
+    pub fn add_child(&mut self, parent: XamNodeId, mut node: XamNode) -> XamNodeId {
+        let id = XamNodeId(self.nodes.len() as u32);
+        node.parent = Some(parent);
+        self.nodes.push(node);
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    pub fn children(&self, id: XamNodeId) -> &[XamNodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    pub fn parent(&self, id: XamNodeId) -> Option<XamNodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// All node ids in creation (pre-order) order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = XamNodeId> + '_ {
+        (0..self.nodes.len() as u32).map(XamNodeId)
+    }
+
+    /// Non-`⊤` nodes.
+    pub fn pattern_nodes(&self) -> impl Iterator<Item = XamNodeId> + '_ {
+        (1..self.nodes.len() as u32).map(XamNodeId)
+    }
+
+    /// Return nodes in document (creation) order, as used to type the
+    /// pattern's result tuples.
+    pub fn return_nodes(&self) -> Vec<XamNodeId> {
+        self.pattern_nodes()
+            .filter(|&n| self.node(n).is_return())
+            .collect()
+    }
+
+    /// Find a node by its symbolic name.
+    pub fn node_by_name(&self, name: &str) -> Option<XamNodeId> {
+        self.all_nodes().find(|&n| self.node(n).name == name)
+    }
+
+    /// Is the XAM conjunctive: all edges plain joins, no value formulas
+    /// beyond equalities, no R markers (the §4.1 base fragment)?
+    pub fn is_conjunctive(&self) -> bool {
+        self.pattern_nodes().all(|n| {
+            let node = self.node(n);
+            node.edge.sem == EdgeSem::Join && !node.has_required()
+        })
+    }
+
+    /// Does any node carry an `R` marker (access restriction)?
+    pub fn has_access_restrictions(&self) -> bool {
+        self.nodes.iter().any(|n| n.has_required())
+    }
+
+    /// The number of `n`-labelled (nested) edges above `id` — the length of
+    /// its nesting sequence `|ns(n_i)|` (§4.4.5).
+    pub fn nesting_depth(&self, id: XamNodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            if self.node(cur).edge.sem.is_nested() {
+                d += 1;
+            }
+            cur = p;
+        }
+        d
+    }
+
+    /// Depth-first copy of the subtree rooted at `sub` as a standalone XAM
+    /// (re-rooted under a fresh `⊤`).
+    pub fn subtree(&self, sub: XamNodeId) -> Xam {
+        let mut out = Xam::top();
+        fn rec(src: &Xam, from: XamNodeId, dst: &mut Xam, under: XamNodeId) {
+            let mut node = src.node(from).clone();
+            node.children = Vec::new();
+            let new_id = dst.add_child(under, node);
+            for &c in src.children(from) {
+                rec(src, c, dst, new_id);
+            }
+        }
+        rec(self, sub, &mut out, XamNodeId::TOP);
+        out
+    }
+}
+
+impl fmt::Display for Xam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn specs(n: &XamNode) -> String {
+            let mut parts = Vec::new();
+            if let Some(k) = n.stores_id {
+                parts.push(format!("id:{k}{}", if n.requires_id { "!" } else { "" }));
+            }
+            if n.stores_tag {
+                parts.push(format!("tag{}", if n.requires_tag { "!" } else { "" }));
+            }
+            if let Some(t) = &n.tag_predicate {
+                if t != &n.name {
+                    parts.push(format!("tag={t:?}"));
+                }
+            }
+            if n.stores_val {
+                parts.push(format!("val{}", if n.requires_val { "!" } else { "" }));
+            }
+            if n.value_predicate != Formula::True {
+                parts.push(format!("val:{}", n.value_predicate));
+            }
+            if n.stores_cont {
+                parts.push("cont".to_string());
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("[{}]", parts.join(", "))
+            }
+        }
+        fn rec(x: &Xam, n: XamNodeId, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let node = x.node(n);
+            if n == XamNodeId::TOP {
+                writeln!(f, "⊤")?;
+            } else {
+                let label = if node.is_attribute {
+                    format!("@{}", node.display_label())
+                } else {
+                    node.display_label().to_string()
+                };
+                writeln!(
+                    f,
+                    "{}{} {}:{}{}",
+                    "  ".repeat(depth),
+                    node.edge,
+                    node.name,
+                    label,
+                    specs(node)
+                )?;
+            }
+            for &c in x.children(n) {
+                rec(x, c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        rec(self, XamNodeId::TOP, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_eval() {
+        let f = Formula::eq_str("1999");
+        assert!(f.eval("1999"));
+        assert!(!f.eval("2000"));
+        let g = Formula::Cmp(algebra::CmpOp::Lt, FormulaConst::Int(5));
+        assert!(g.eval("3"));
+        assert!(!g.eval("7"));
+        let h = g.clone().and(Formula::Cmp(algebra::CmpOp::Gt, FormulaConst::Int(1)));
+        assert!(h.eval("3"));
+        assert!(!h.eval("0"));
+    }
+
+    #[test]
+    fn formula_implication_numeric() {
+        use algebra::CmpOp::*;
+        let lt3 = Formula::Cmp(Lt, FormulaConst::Int(3));
+        let lt5 = Formula::Cmp(Lt, FormulaConst::Int(5));
+        assert!(lt3.implies(&lt5));
+        assert!(!lt5.implies(&lt3));
+        let eq3 = Formula::eq_int(3);
+        assert!(eq3.implies(&lt5));
+        assert!(!eq3.implies(&lt3));
+        // (v=3) ⟹ (v>1 ∨ v<0)
+        let disj = Formula::Cmp(Gt, FormulaConst::Int(1)).or(Formula::Cmp(Lt, FormulaConst::Int(0)));
+        assert!(eq3.implies(&disj));
+        // contradiction implies everything
+        let contra = Formula::Cmp(Lt, FormulaConst::Int(0)).and(Formula::Cmp(Gt, FormulaConst::Int(1)));
+        assert!(contra.implies(&eq3));
+        assert!(!contra.satisfiable());
+        assert!(lt3.satisfiable());
+    }
+
+    #[test]
+    fn formula_implication_strings() {
+        use algebra::CmpOp::*;
+        let eq = Formula::eq_str("web");
+        let ge = Formula::Cmp(Ge, FormulaConst::Str("data".into()));
+        assert!(eq.implies(&ge));
+        assert!(!ge.implies(&eq));
+        assert!(eq.implies(&Formula::True));
+        assert!(Formula::False.implies(&eq));
+    }
+
+    #[test]
+    fn xam_construction() {
+        let mut x = Xam::top();
+        let mut book = XamNode::star("b");
+        book.tag_predicate = Some("book".into());
+        book.edge = XamEdge::descendant();
+        book.stores_id = Some(IdKind::Structural);
+        let b = x.add_child(x.root(), book);
+        let mut title = XamNode::star("t");
+        title.tag_predicate = Some("title".into());
+        title.edge = XamEdge::child();
+        title.stores_val = true;
+        let t = x.add_child(b, title);
+        assert_eq!(x.pattern_size(), 2);
+        assert_eq!(x.return_nodes(), vec![b, t]);
+        assert!(x.is_conjunctive());
+        assert_eq!(x.node_by_name("t"), Some(t));
+        assert_eq!(x.nesting_depth(t), 0);
+    }
+
+    #[test]
+    fn nesting_depth_counts_n_edges() {
+        let mut x = Xam::top();
+        let mut a = XamNode::star("a");
+        a.edge = XamEdge::descendant();
+        let a = x.add_child(x.root(), a);
+        let mut b = XamNode::star("b");
+        b.edge = XamEdge {
+            axis: Axis::Child,
+            sem: EdgeSem::NestOuter,
+        };
+        let b = x.add_child(a, b);
+        let mut c = XamNode::star("c");
+        c.edge = XamEdge {
+            axis: Axis::Descendant,
+            sem: EdgeSem::NestJoin,
+        };
+        let c = x.add_child(b, c);
+        assert_eq!(x.nesting_depth(a), 0);
+        assert_eq!(x.nesting_depth(b), 1);
+        assert_eq!(x.nesting_depth(c), 2);
+        assert!(!x.is_conjunctive());
+    }
+
+    #[test]
+    fn subtree_extraction() {
+        let mut x = Xam::top();
+        let a = x.add_child(x.root(), XamNode::star("a"));
+        let b = x.add_child(a, XamNode::star("b"));
+        let _c = x.add_child(b, XamNode::star("c"));
+        let sub = x.subtree(b);
+        assert_eq!(sub.pattern_size(), 2);
+        assert_eq!(sub.node(XamNodeId(1)).name, "b");
+    }
+}

@@ -1,0 +1,270 @@
+//! Restricted (access-limited) XAM semantics (§2.2.2, Definition 2.2.6).
+//!
+//! A XAM with `R` markers models an *index*: its data can only be reached
+//! by providing values for the required attributes — a list of **binding
+//! tuples** whose type is the projection of the XAM's type over the
+//! `R`-marked attributes. The semantics is
+//! `⟦χ(B)⟧_d = ⋃_{b∈B, t∈⟦χ°⟧_d} t ∩ b`, where `χ°` erases the markers
+//! and `∩` is the *tuple intersection* of Algorithm 1: atomic attributes
+//! must agree, common nested collections intersect pairwise, attributes
+//! absent from the binding are copied from the data tuple.
+
+use algebra::{
+    eval::project_relation, Collection, FieldKind, Path, Relation, Schema, Tuple, Value,
+};
+use xmltree::Document;
+
+use crate::ast::Xam;
+use crate::semantics::{self, output_columns, StoredAttr};
+
+/// The columns of a XAM's output that are `R`-marked, i.e. the signature
+/// of its binding tuples.
+pub fn required_columns(xam: &Xam) -> Vec<semantics::OutputColumn> {
+    output_columns(xam)
+        .into_iter()
+        .filter(|c| {
+            let node = xam.node(c.node);
+            match c.attr {
+                StoredAttr::Id => node.requires_id,
+                StoredAttr::Tag => node.requires_tag,
+                StoredAttr::Val => node.requires_val,
+                StoredAttr::Cont => false,
+            }
+        })
+        .collect()
+}
+
+/// The (possibly nested) schema of binding tuples for a restricted XAM.
+pub fn binding_schema(xam: &Xam) -> Schema {
+    let paths: Vec<Path> = required_columns(xam)
+        .into_iter()
+        .map(|c| Path::new(c.path))
+        .collect();
+    // project an empty relation with the full output schema
+    let doc_schema = full_output_schema(xam);
+    project_relation(&Relation::empty(doc_schema), &paths)
+        .expect("required columns are a subset of output columns")
+        .schema
+}
+
+/// The full nested output schema of a XAM (what [`crate::evaluate`]
+/// returns), computed structurally.
+pub fn full_output_schema(xam: &Xam) -> Schema {
+    // build by projecting a synthetic empty relation through the same
+    // projection the evaluator uses: reconstruct from output column paths
+    let paths: Vec<String> = output_columns(xam).into_iter().map(|c| c.path).collect();
+    schema_from_paths(&paths)
+}
+
+fn schema_from_paths(paths: &[String]) -> Schema {
+    use algebra::Field;
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: std::collections::HashMap<String, Vec<String>> =
+        std::collections::HashMap::new();
+    for p in paths {
+        let (head, rest) = match p.split_once('.') {
+            Some((h, r)) => (h.to_string(), Some(r.to_string())),
+            None => (p.clone(), None),
+        };
+        let e = groups.entry(head.clone()).or_insert_with(|| {
+            order.push(head);
+            Vec::new()
+        });
+        if let Some(r) = rest {
+            e.push(r);
+        }
+    }
+    Schema::new(
+        order
+            .into_iter()
+            .map(|h| {
+                let subs = &groups[&h];
+                if subs.is_empty() {
+                    Field::atom(h)
+                } else {
+                    Field::nested(h, schema_from_paths(subs))
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Tuple intersection `t ∩ b` (Algorithm 1). `b`'s schema must be a
+/// projection of `t`'s schema (matched by field name). Returns the data
+/// from `t` accessible given `b`, or `None` (an unsuccessful index
+/// lookup).
+pub fn tuple_intersect(
+    t_schema: &Schema,
+    t: &Tuple,
+    b_schema: &Schema,
+    b: &Tuple,
+) -> Option<Tuple> {
+    let mut out = t.clone();
+    for (bi, bf) in b_schema.fields.iter().enumerate() {
+        let ti = t_schema.index_of(&bf.name)?;
+        match (&bf.kind, &t_schema.fields[ti].kind) {
+            (FieldKind::Atom, FieldKind::Atom) => {
+                // atomic attributes must agree (lines 2-7)
+                let tv = t.get(ti);
+                let bv = b.get(bi);
+                if tv.compare(bv) != Some(std::cmp::Ordering::Equal) {
+                    return None;
+                }
+            }
+            (FieldKind::Nested(bs), FieldKind::Nested(ts)) => {
+                // common complex attributes: pairwise intersections,
+                // concatenated (lines 8-11)
+                let (Value::Coll(tc), Value::Coll(bc)) = (t.get(ti), b.get(bi)) else {
+                    return None;
+                };
+                let mut kept = Vec::new();
+                for tt in &tc.tuples {
+                    for bb in &bc.tuples {
+                        if let Some(r) = tuple_intersect(ts, tt, bs, bb) {
+                            kept.push(r);
+                        }
+                    }
+                }
+                if kept.is_empty() {
+                    return None;
+                }
+                out.0[ti] = Value::Coll(Collection {
+                    kind: tc.kind,
+                    tuples: kept,
+                });
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Restricted XAM semantics: evaluate `χ°` (markers erased — evaluation
+/// ignores them anyway) and intersect every tuple with every binding
+/// (Definition 2.2.6).
+pub fn restricted_evaluate(
+    xam: &Xam,
+    doc: &Document,
+    bindings: &Relation,
+) -> Result<Relation, algebra::EvalError> {
+    let full = crate::semantics::evaluate(xam, doc)?;
+    let mut tuples = Vec::new();
+    for b in &bindings.tuples {
+        for t in &full.tuples {
+            if let Some(r) = tuple_intersect(&full.schema, t, &bindings.schema, b) {
+                tuples.push(r);
+            }
+        }
+    }
+    Ok(Relation::new(full.schema, tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_xam;
+    use algebra::Field;
+    use xmltree::generate::bib_sample;
+
+    /// The χ4 XAM of Figure 2.9: elements with required tag, a required
+    /// title value, stored author values.
+    fn chi4() -> Xam {
+        parse_xam("//e1:*[id:s,tag!]{ /n e2:author[val], /n e3:title[id:s,val!] }").unwrap()
+    }
+
+    #[test]
+    fn binding_schema_projects_required() {
+        let xam = chi4();
+        let s = binding_schema(&xam);
+        // e1_Tag at top, e3(e3_Val) nested
+        assert_eq!(s.to_string(), "(e1_Tag, e3(e3_Val))");
+    }
+
+    #[test]
+    fn atomic_disagreement_is_failed_lookup() {
+        let ts = Schema::atoms(&["A", "B"]);
+        let t = Tuple::new(vec![Value::Int(1), Value::str("x")]);
+        let bs = Schema::atoms(&["A"]);
+        assert!(tuple_intersect(&ts, &t, &bs, &Tuple::new(vec![Value::Int(1)])).is_some());
+        assert!(tuple_intersect(&ts, &t, &bs, &Tuple::new(vec![Value::Int(2)])).is_none());
+    }
+
+    #[test]
+    fn nested_intersection_keeps_common() {
+        // the worked example around Algorithm 1: e2 = [Abiteboul, Suciu],
+        // binding asks for [Suciu, Buneman] → keeps [Suciu]
+        let ts = Schema::new(vec![
+            Field::atom("ID"),
+            Field::nested("e2", Schema::atoms(&["Val"])),
+        ]);
+        let t = Tuple::new(vec![
+            Value::Int(2),
+            Value::Coll(Collection::list(vec![
+                Tuple::new(vec![Value::str("Abiteboul")]),
+                Tuple::new(vec![Value::str("Suciu")]),
+            ])),
+        ]);
+        let bs = Schema::new(vec![
+            Field::atom("ID"),
+            Field::nested("e2", Schema::atoms(&["Val"])),
+        ]);
+        let b = Tuple::new(vec![
+            Value::Int(2),
+            Value::Coll(Collection::list(vec![
+                Tuple::new(vec![Value::str("Suciu")]),
+                Tuple::new(vec![Value::str("Buneman")]),
+            ])),
+        ]);
+        let r = tuple_intersect(&ts, &t, &bs, &b).unwrap();
+        let coll = r.get(1).as_coll().unwrap();
+        assert_eq!(coll.len(), 1);
+        assert_eq!(coll.tuples[0].get(0).as_str(), Some("Suciu"));
+        // binding with no overlap fails
+        let b2 = Tuple::new(vec![
+            Value::Int(2),
+            Value::Coll(Collection::list(vec![Tuple::new(vec![Value::str(
+                "Buneman",
+            )])])),
+        ]);
+        assert!(tuple_intersect(&ts, &t, &bs, &b2).is_none());
+    }
+
+    #[test]
+    fn restricted_semantics_example_2_2_2() {
+        // Figure 2.9 / Example 2.2.2: bindings for (book, "Data on the
+        // Web") and (book, "The Syntactic Web") return both books; a
+        // binding for an article returns nothing.
+        let doc = bib_sample();
+        let xam = chi4();
+        let bschema = binding_schema(&xam);
+        let mk = |tag: &str, title: &str| {
+            Tuple::new(vec![
+                Value::str(tag),
+                Value::Coll(Collection::list(vec![Tuple::new(vec![Value::str(
+                    title,
+                )])])),
+            ])
+        };
+        let bindings = Relation::new(
+            bschema.clone(),
+            vec![
+                mk("book", "Data on the Web"),
+                mk("book", "The Syntactic Web"),
+            ],
+        );
+        let r = restricted_evaluate(&xam, &doc, &bindings).unwrap();
+        assert_eq!(r.len(), 2);
+        // an article binding misses
+        let none = Relation::new(bschema, vec![mk("article", "Data on the Web")]);
+        let r = restricted_evaluate(&xam, &doc, &none).unwrap();
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn required_columns_listing() {
+        let xam = chi4();
+        let req = required_columns(&xam);
+        let paths: Vec<&str> = req.iter().map(|c| c.path.as_str()).collect();
+        assert_eq!(paths, vec!["e1_Tag", "e3.e3_Val"]);
+    }
+}

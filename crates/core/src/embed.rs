@@ -1,0 +1,246 @@
+//! Embedding-based XAM semantics (§4.1).
+//!
+//! The alternative — equivalent — semantics used by the containment
+//! machinery: a *(decorated, optional) embedding* maps pattern nodes to
+//! document nodes preserving labels, root, `/`/`//` edges and value
+//! formulas; optional-edge targets may map to `⊥`, but only when no
+//! subtree embedding exists (Definition 4.1.1 and its optional extension).
+//!
+//! [`evaluate_embed`] enumerates all embeddings by backtracking and
+//! returns the set of return-node tuples — ground truth against which the
+//! algebraic semantics of [`crate::semantics`] is validated in tests and
+//! in the containment experiments.
+
+use std::collections::BTreeSet;
+
+use xmltree::{Document, NodeId, NodeKind};
+
+use crate::ast::{Axis, Xam, XamNodeId};
+
+/// One embedding: the image of each pattern node (index = XAM node index;
+/// `None` = `⊥`, only under optional edges; the `⊤` slot is unused).
+pub type Embedding = Vec<Option<NodeId>>;
+
+/// Can pattern node `pn` be mapped onto document node `dn` (label, node
+/// kind and value formula)?
+fn node_matches(xam: &Xam, pn: XamNodeId, doc: &Document, dn: NodeId) -> bool {
+    let node = xam.node(pn);
+    let kind_ok = if node.is_attribute {
+        doc.kind(dn) == NodeKind::Attribute
+    } else {
+        doc.kind(dn) == NodeKind::Element
+    };
+    if !kind_ok {
+        return false;
+    }
+    if let Some(t) = &node.tag_predicate {
+        if doc.label(dn) != t {
+            return false;
+        }
+    }
+    if node.value_predicate != crate::ast::Formula::True
+        && !node.value_predicate.eval(&doc.value(dn))
+    {
+        return false;
+    }
+    true
+}
+
+/// Candidate images for `pn` given its parent's image `parent_image`
+/// (`None` = the virtual document node `⊤`).
+fn candidates(
+    xam: &Xam,
+    pn: XamNodeId,
+    doc: &Document,
+    parent_image: Option<NodeId>,
+) -> Vec<NodeId> {
+    let axis = xam.node(pn).edge.axis;
+    let pool: Vec<NodeId> = match (parent_image, axis) {
+        // from ⊤: `/` reaches only the root element, `//` any node
+        (None, Axis::Child) => vec![doc.root()],
+        (None, Axis::Descendant) => doc.all_nodes().collect(),
+        (Some(p), Axis::Child) => doc.children(p).to_vec(),
+        (Some(p), Axis::Descendant) => doc.descendants(p).collect(),
+    };
+    pool.into_iter()
+        .filter(|&d| node_matches(xam, pn, doc, d))
+        .collect()
+}
+
+/// Does *any* (strict) embedding of the subtree rooted at `pn` exist below
+/// `parent_image`? (Used for the optional-edge side condition: `⊥` is only
+/// allowed when this is false.)
+fn subtree_embeddable(xam: &Xam, pn: XamNodeId, doc: &Document, parent_image: Option<NodeId>) -> bool {
+    candidates(xam, pn, doc, parent_image)
+        .into_iter()
+        .any(|d| {
+            xam.children(pn).iter().all(|&c| {
+                if xam.node(c).edge.sem.is_optional() {
+                    true // optional children never block embeddability
+                } else {
+                    subtree_embeddable(xam, c, doc, Some(d))
+                }
+            })
+        })
+}
+
+/// Enumerate all (optional) embeddings of the XAM into the document.
+pub fn embeddings(xam: &Xam, doc: &Document) -> Vec<Embedding> {
+    let mut out = Vec::new();
+    let mut cur: Embedding = vec![None; xam.len()];
+    // multiple ⊤ children: embed them independently (cartesian semantics)
+    fn assign(
+        xam: &Xam,
+        doc: &Document,
+        siblings: &[XamNodeId],
+        idx: usize,
+        parent_image: Option<NodeId>,
+        cur: &mut Embedding,
+        out: &mut Vec<Embedding>,
+        k: &mut dyn FnMut(&mut Embedding, &mut Vec<Embedding>),
+    ) {
+        if idx == siblings.len() {
+            k(cur, out);
+            return;
+        }
+        let pn = siblings[idx];
+        let node = xam.node(pn);
+        let cands = candidates(xam, pn, doc, parent_image);
+        let optional = node.edge.sem.is_optional();
+        if optional && !subtree_embeddable(xam, pn, doc, parent_image) {
+            // map the whole subtree to ⊥ and continue with next sibling
+            assign(xam, doc, siblings, idx + 1, parent_image, cur, out, k);
+            return;
+        }
+        for d in cands {
+            cur[pn.index()] = Some(d);
+            // then embed pn's children under d, then continue to siblings
+            let children: Vec<XamNodeId> = xam.children(pn).to_vec();
+            assign(
+                xam,
+                doc,
+                &children,
+                0,
+                Some(d),
+                cur,
+                out,
+                &mut |cur2, out2| {
+                    assign(xam, doc, siblings, idx + 1, parent_image, cur2, out2, k);
+                },
+            );
+            cur[pn.index()] = None;
+        }
+    }
+    let tops: Vec<XamNodeId> = xam.children(XamNodeId::TOP).to_vec();
+    assign(
+        xam,
+        doc,
+        &tops,
+        0,
+        None,
+        &mut cur,
+        &mut out,
+        &mut |cur, out| out.push(cur.clone()),
+    );
+    out
+}
+
+/// The set of return-node tuples produced by embedding semantics (node
+/// identities only; attribute projection is a post-step). Tuples are
+/// ordered by the pre-order of return nodes.
+pub fn evaluate_embed(xam: &Xam, doc: &Document) -> BTreeSet<Vec<Option<NodeId>>> {
+    let rets = xam.return_nodes();
+    embeddings(xam, doc)
+        .into_iter()
+        .map(|e| rets.iter().map(|r| e[r.index()]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_xam;
+    use crate::semantics::evaluate;
+    use xmltree::generate::{bib_sample, xmark};
+
+    /// Compare embedding semantics against algebraic semantics on flat
+    /// conjunctive patterns: same number of distinct ID tuples.
+    fn cross_check(doc: &Document, pattern: &str) {
+        let xam = parse_xam(pattern).unwrap();
+        let algebraic = evaluate(&xam, doc).unwrap();
+        let embedded = evaluate_embed(&xam, doc);
+        // algebraic result eliminates duplicates; embedding set is a set
+        let mut alg_set = BTreeSet::new();
+        for t in &algebraic.tuples {
+            let ids: Vec<Option<u32>> = t
+                .0
+                .iter()
+                .map(|v| v.as_id().map(|s| s.pre))
+                .collect();
+            alg_set.insert(ids);
+        }
+        let emb_set: BTreeSet<Vec<Option<u32>>> = embedded
+            .into_iter()
+            .map(|t| t.into_iter().map(|n| n.map(|n| n.0)).collect())
+            .collect();
+        assert_eq!(alg_set, emb_set, "mismatch for `{pattern}`");
+    }
+
+    #[test]
+    fn agrees_with_algebraic_on_bib() {
+        let doc = bib_sample();
+        for p in [
+            "//book[id:s]",
+            "//book[id:s]{ /title[id:s] }",
+            "//book[id:s]{ /author[id:s] }",
+            "//*[id:s]{ /author[id:s] }",
+            "//library[id:s]{ //author[id:s] }",
+            r#"//book[id:s]{ /@year[id:s,val="1999"] }"#,
+        ] {
+            cross_check(&doc, p);
+        }
+    }
+
+    #[test]
+    fn agrees_with_algebraic_on_optional_edges() {
+        let doc = bib_sample();
+        cross_check(&doc, "//book[id:s]{ /? @year[id:s] }");
+        cross_check(&doc, "//*[id:s]{ /? @year[id:s], /? author[id:s] }");
+    }
+
+    #[test]
+    fn agrees_on_xmark_fragment() {
+        let doc = xmark(2, 3);
+        cross_check(&doc, "//item[id:s]{ /name[id:s] }");
+        cross_check(&doc, "//listitem[id:s]{ //keyword[id:s] }");
+    }
+
+    #[test]
+    fn optional_bottom_only_when_no_match() {
+        // Definition 4.1.1 (3b): ⊥ is only allowed if no embedding of the
+        // optional subtree exists under the parent's image.
+        let doc = bib_sample();
+        let xam = parse_xam("//book[id:s]{ /? @year[id:s] }").unwrap();
+        let res = evaluate_embed(&xam, &doc);
+        // book 1 has a year: must NOT produce a (book1, ⊥) tuple
+        let with_null: Vec<_> = res.iter().filter(|t| t[1].is_none()).collect();
+        assert_eq!(with_null.len(), 1); // only the second book
+    }
+
+    #[test]
+    fn value_formulas_restrict_embeddings() {
+        let doc = bib_sample();
+        let xam = parse_xam(r#"//title[id:s,val="Data on the Web"]"#).unwrap();
+        assert_eq!(evaluate_embed(&xam, &doc).len(), 1);
+        let xam = parse_xam(r#"//title[id:s,val="No Such Book"]"#).unwrap();
+        assert_eq!(evaluate_embed(&xam, &doc).len(), 0);
+    }
+
+    #[test]
+    fn intermediary_nodes_allowed() {
+        // //library//author embeds even though authors are 2 levels down
+        let doc = bib_sample();
+        let xam = parse_xam("//library{ //author[id:s] }").unwrap();
+        assert_eq!(evaluate_embed(&xam, &doc).len(), 4);
+    }
+}

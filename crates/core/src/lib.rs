@@ -1,0 +1,35 @@
+//! # xam-core — XML Access Modules (XAMs)
+//!
+//! The paper's central contribution: a tree-pattern language that uniformly
+//! describes persistent XML storage structures — storage modules, indices
+//! and materialized views (Chapter 2) — and doubles as the query-pattern
+//! formalism extracted from XQuery (Chapter 3) and reasoned about by the
+//! containment and rewriting algorithms (Chapters 4–5).
+//!
+//! A XAM is an ordered tree `(NS, ES, o)` whose nodes carry *specifications*
+//! saying which items are **stored** (ID with its class `i`/`o`/`s`/`p`,
+//! Tag, Val, Cont), which are **required** for access (`R` markers, i.e.
+//! index keys), and which are **constrained** (`[Tag=c]`, value formulas);
+//! and whose edges are `/` or `//` with join / semijoin / outerjoin /
+//! nest-join / nest-outerjoin semantics (grammar of Figure 2.3).
+//!
+//! Modules:
+//! * [`ast`] — the XAM abstract syntax and value formulas;
+//! * [`parse`] — a concrete textual syntax for XAMs;
+//! * [`semantics`] — the algebraic semantics `⟦χ⟧_d` (§2.2.2): a XAM is
+//!   evaluated to a nested relation by a structural-join tree isomorphic to
+//!   the pattern, built on the [`algebra`] crate;
+//! * [`bindings`] — restricted (R-marked) semantics via binding tuples and
+//!   the tuple-intersection Algorithm 1;
+//! * [`embed`] — the alternative embedding-based semantics (§4.1), used as
+//!   ground truth by the containment machinery and the test suite.
+
+pub mod ast;
+pub mod bindings;
+pub mod embed;
+pub mod parse;
+pub mod semantics;
+
+pub use ast::{EdgeSem, Formula, IdKind, Xam, XamEdge, XamNode, XamNodeId};
+pub use parse::{parse_xam, XamParseError};
+pub use semantics::evaluate;

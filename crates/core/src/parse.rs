@@ -1,0 +1,445 @@
+//! A concrete textual syntax for XAMs.
+//!
+//! The grammar mirrors Figure 2.3. Every XAM implicitly starts at `⊤`; the
+//! text gives the edge to the first real node:
+//!
+//! ```text
+//! //item[id:s, cont] { /name[val], //n? listitem[id:s, cont] }
+//! ```
+//!
+//! * **edges**: `/` (parent-child) or `//` (ancestor-descendant), with an
+//!   optional semantics suffix — nothing = `j` (join), `?` = `o`
+//!   (outerjoin, *optional*), `n` = `nj` (nest join), `n?` = `no`
+//!   (nest outerjoin), `s` = semijoin;
+//! * **nodes**: a label (`item`), `*` (any element), or `@name` (an
+//!   attribute); a node may be given an explicit symbolic name with
+//!   `name:label` (e.g. `x:item`);
+//! * **specs** in `[...]`: `id`, `id:i|o|s|p`, `tag`, `val`, `cont` mark
+//!   stored items (a trailing `!` marks an `R` access restriction, e.g.
+//!   `val!`); `val="c"`, `val<5`, `val>=10` attach value predicates
+//!   (several are conjoined); `tag="c"` constrains the tag without storing
+//!   it (same as writing the label directly);
+//! * **children** in `{...}`, comma-separated.
+//!
+//! A leading `unordered` keyword clears the order flag.
+
+use std::fmt;
+
+use algebra::CmpOp;
+
+use crate::ast::{
+    Axis, EdgeSem, Formula, FormulaConst, IdKind, Xam, XamEdge, XamNode, XamNodeId,
+};
+
+/// Error produced while parsing a textual XAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XamParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for XamParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XAM parse error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XamParseError {}
+
+struct P<'a> {
+    s: &'a [u8],
+    pos: usize,
+    fresh: u32,
+}
+
+/// Parse a XAM from its textual form.
+///
+/// ```
+/// let x = xam_core::parse_xam(r#"//book[id:s]{ /title[val], /@year[val="1999"] }"#).unwrap();
+/// assert_eq!(x.pattern_size(), 3);
+/// ```
+pub fn parse_xam(text: &str) -> Result<Xam, XamParseError> {
+    let mut p = P {
+        s: text.as_bytes(),
+        pos: 0,
+        fresh: 0,
+    };
+    let mut xam = Xam::top();
+    p.ws();
+    if p.eat_kw("unordered") {
+        xam.ordered = false;
+        p.ws();
+    }
+    let edge = p.edge()?;
+    p.node(&mut xam, XamNodeId::TOP, edge)?;
+    p.ws();
+    if p.pos != p.s.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(xam)
+}
+
+impl<'a> P<'a> {
+    fn err(&self, m: &str) -> XamParseError {
+        XamParseError {
+            offset: self.pos,
+            message: m.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\n' | b'\t' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.s[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, XamParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'#') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.s[start..self.pos]).into_owned())
+    }
+
+    fn string_lit(&mut self) -> Result<String, XamParseError> {
+        if !self.eat(b'"') {
+            return Err(self.err("expected string literal"));
+        }
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'"' {
+                let out = String::from_utf8_lossy(&self.s[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(out);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn edge(&mut self) -> Result<XamEdge, XamParseError> {
+        self.ws();
+        if !self.eat(b'/') {
+            return Err(self.err("expected `/` or `//`"));
+        }
+        let axis = if self.eat(b'/') {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
+        // semantics suffix: `n`/`s` are only suffixes when followed by `?`
+        // or whitespace (otherwise they start the node label, e.g. `/name`)
+        let next2 = self.s.get(self.pos + 1).copied();
+        let sep = |c: Option<u8>| matches!(c, Some(b' ' | b'\t' | b'\n' | b'\r' | b'?') | None);
+        let sem = if self.peek() == Some(b'n') && sep(next2) {
+            self.pos += 1;
+            if self.eat(b'?') {
+                EdgeSem::NestOuter
+            } else {
+                EdgeSem::NestJoin
+            }
+        } else if self.eat(b'?') {
+            EdgeSem::Outer
+        } else if self.peek() == Some(b's') && sep(next2) && next2 != Some(b'?') {
+            self.pos += 1;
+            EdgeSem::Semi
+        } else {
+            EdgeSem::Join
+        };
+        Ok(XamEdge { axis, sem })
+    }
+
+    fn node(
+        &mut self,
+        xam: &mut Xam,
+        parent: XamNodeId,
+        edge: XamEdge,
+    ) -> Result<XamNodeId, XamParseError> {
+        self.ws();
+        let is_attribute = self.eat(b'@');
+        let (mut name, label) = if self.eat(b'*') {
+            (String::new(), None)
+        } else {
+            let first = self.ident()?;
+            if !is_attribute && self.eat(b':') {
+                if self.eat(b'*') {
+                    (first, None)
+                } else if self.peek() == Some(b'@') {
+                    self.pos += 1;
+                    let l = if self.eat(b'*') {
+                        None
+                    } else {
+                        Some(self.ident()?)
+                    };
+                    let mut node = XamNode::star(first);
+                    node.is_attribute = true;
+                    node.tag_predicate = l;
+                    node.edge = edge;
+                    let id = xam.add_child(parent, node);
+                    self.specs_and_children(xam, id)?;
+                    return Ok(id);
+                } else {
+                    let l = self.ident()?;
+                    (first, Some(l))
+                }
+            } else {
+                (String::new(), Some(first))
+            }
+        };
+        if name.is_empty() {
+            self.fresh += 1;
+            name = match &label {
+                Some(l) => format!("{l}{}", self.fresh),
+                None => format!("star{}", self.fresh),
+            };
+        }
+        let mut node = XamNode::star(name);
+        node.is_attribute = is_attribute;
+        node.tag_predicate = label;
+        node.edge = edge;
+        let id = xam.add_child(parent, node);
+        self.specs_and_children(xam, id)?;
+        Ok(id)
+    }
+
+    fn specs_and_children(&mut self, xam: &mut Xam, id: XamNodeId) -> Result<(), XamParseError> {
+        self.ws();
+        if self.eat(b'[') {
+            loop {
+                self.ws();
+                self.spec(xam, id)?;
+                self.ws();
+                if self.eat(b',') {
+                    continue;
+                }
+                if self.eat(b']') {
+                    break;
+                }
+                return Err(self.err("expected `,` or `]` in specs"));
+            }
+        }
+        self.ws();
+        if self.eat(b'{') {
+            loop {
+                self.ws();
+                if self.eat(b'}') {
+                    break;
+                }
+                let edge = self.edge()?;
+                self.node(xam, id, edge)?;
+                self.ws();
+                let _ = self.eat(b',');
+            }
+        }
+        Ok(())
+    }
+
+    fn spec(&mut self, xam: &mut Xam, id: XamNodeId) -> Result<(), XamParseError> {
+        let word = self.ident()?;
+        let node = xam.node_mut(id);
+        match word.as_str() {
+            "id" => {
+                let kind = if self.eat(b':') {
+                    match self.ident()?.as_str() {
+                        "i" => IdKind::Simple,
+                        "o" => IdKind::Ordered,
+                        "s" => IdKind::Structural,
+                        "p" => IdKind::Parent,
+                        other => {
+                            return Err(self.err(&format!("unknown id class `{other}`")))
+                        }
+                    }
+                } else {
+                    IdKind::Simple
+                };
+                node.stores_id = Some(kind);
+                if self.eat(b'!') {
+                    node.requires_id = true;
+                }
+            }
+            "tag" => {
+                self.ws();
+                if self.eat(b'=') {
+                    self.ws();
+                    let c = self.string_lit()?;
+                    node.tag_predicate = Some(c);
+                } else {
+                    node.stores_tag = true;
+                    if self.eat(b'!') {
+                        node.requires_tag = true;
+                    }
+                }
+            }
+            "val" => {
+                self.ws();
+                let op = if self.eat(b'=') {
+                    Some(CmpOp::Eq)
+                } else if self.eat_kw("!=") {
+                    Some(CmpOp::Ne)
+                } else if self.eat_kw("<=") {
+                    Some(CmpOp::Le)
+                } else if self.eat_kw(">=") {
+                    Some(CmpOp::Ge)
+                } else if self.eat(b'<') {
+                    Some(CmpOp::Lt)
+                } else if self.eat(b'>') {
+                    Some(CmpOp::Gt)
+                } else {
+                    None
+                };
+                match op {
+                    Some(op) => {
+                        self.ws();
+                        let c = if self.peek() == Some(b'"') {
+                            FormulaConst::Str(self.string_lit()?)
+                        } else {
+                            let start = self.pos;
+                            self.eat(b'-');
+                            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                                self.pos += 1;
+                            }
+                            let txt = std::str::from_utf8(&self.s[start..self.pos]).unwrap();
+                            FormulaConst::Int(txt.parse().map_err(|_| {
+                                self.err("expected integer or string constant")
+                            })?)
+                        };
+                        let atom = Formula::Cmp(op, c);
+                        let prev =
+                            std::mem::replace(&mut node.value_predicate, Formula::True);
+                        node.value_predicate = prev.and(atom);
+                    }
+                    None => {
+                        node.stores_val = true;
+                        if self.eat(b'!') {
+                            node.requires_val = true;
+                        }
+                    }
+                }
+            }
+            "cont" => {
+                node.stores_cont = true;
+            }
+            other => return Err(self.err(&format!("unknown spec `{other}`"))),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_path() {
+        let x = parse_xam("//book[id:s]").unwrap();
+        assert_eq!(x.pattern_size(), 1);
+        let b = XamNodeId(1);
+        assert_eq!(x.node(b).tag_predicate.as_deref(), Some("book"));
+        assert_eq!(x.node(b).stores_id, Some(IdKind::Structural));
+        assert_eq!(x.node(b).edge.axis, Axis::Descendant);
+        assert!(x.ordered);
+    }
+
+    #[test]
+    fn parses_children_and_edges() {
+        let x = parse_xam("//item[id:s,cont]{ /name[val], //n? li:listitem[id:s,cont] }")
+            .unwrap();
+        assert_eq!(x.pattern_size(), 3);
+        let li = x.node_by_name("li").unwrap();
+        assert_eq!(x.node(li).edge.sem, EdgeSem::NestOuter);
+        assert_eq!(x.node(li).edge.axis, Axis::Descendant);
+        assert!(x.node(li).stores_cont);
+        let name = x.children(XamNodeId(1))[0];
+        assert_eq!(x.node(name).tag_predicate.as_deref(), Some("name"));
+        assert!(x.node(name).stores_val);
+    }
+
+    #[test]
+    fn parses_star_and_attributes() {
+        let x = parse_xam(r#"/*{ /@year[val="1999"], /s title }"#).unwrap();
+        assert_eq!(x.pattern_size(), 3);
+        let star = XamNodeId(1);
+        assert_eq!(x.node(star).tag_predicate, None);
+        let year = x.children(star)[0];
+        assert!(x.node(year).is_attribute);
+        assert_eq!(
+            x.node(year).value_predicate,
+            Formula::eq_str("1999")
+        );
+        let title = x.children(star)[1];
+        assert_eq!(x.node(title).edge.sem, EdgeSem::Semi);
+    }
+
+    #[test]
+    fn parses_required_markers() {
+        let x = parse_xam("//book[tag!]{ /title[val!], /author[id:s,val] }").unwrap();
+        let b = XamNodeId(1);
+        assert!(x.node(b).stores_tag && x.node(b).requires_tag);
+        let t = x.children(b)[0];
+        assert!(x.node(t).requires_val);
+        assert!(x.has_access_restrictions());
+    }
+
+    #[test]
+    fn parses_value_inequalities() {
+        let x = parse_xam("//g[val>1, val<5]").unwrap();
+        let g = XamNodeId(1);
+        let f = &x.node(g).value_predicate;
+        assert!(f.eval("3"));
+        assert!(!f.eval("7"));
+    }
+
+    #[test]
+    fn parses_named_nodes_and_unordered() {
+        let x = parse_xam("unordered //x:item{ /n y:name[val] }").unwrap();
+        assert!(!x.ordered);
+        let y = x.node_by_name("y").unwrap();
+        assert_eq!(x.node(y).edge.sem, EdgeSem::NestJoin);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_xam("book").is_err()); // missing root edge
+        assert!(parse_xam("//book[").is_err());
+        assert!(parse_xam("//book[zzz]").is_err());
+        assert!(parse_xam("//book{/a} trailing").is_err());
+        assert!(parse_xam("//book[id:q]").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let x = parse_xam("//item[id:s]{ /name[val], //n? listitem[cont] }").unwrap();
+        let shown = x.to_string();
+        assert!(shown.contains("item"));
+        assert!(shown.contains("//no"), "{shown}");
+    }
+}

@@ -1,0 +1,422 @@
+//! Algebraic XAM semantics `⟦χ⟧_d` (§2.2.2).
+//!
+//! A XAM is evaluated over a document by constructing a structural-join
+//! tree **isomorphic to the XAM tree** (Definition 2.2.4): each non-`⊤`
+//! node contributes its tag-derived collection `R_t` / `R_*` (attributes:
+//! `R_t^α`), filtered by its value formula; each edge contributes a
+//! structural (semi/outer/nest) join; a final projection `Π_χ` retains
+//! exactly the stored attributes and eliminates duplicates
+//! (Definitions 2.2.3 and 2.2.5 — evaluation internally keeps IDs to run
+//! the joins, then projects them away if unstored).
+//!
+//! The `⊤` node matches the (virtual) document node: a `/`-edge from `⊤`
+//! restricts matches to the root element, a `//`-edge matches any element.
+//! Multiple children of `⊤` are combined by cartesian product (they share
+//! no structural relation other than living in the same document, cf. the
+//! `V10 × V11` rewriting of §3.3.3).
+
+use algebra::{
+    eval as aeval, Axis, Catalog, EvalError, Evaluator, JoinKind, LogicalPlan, Operand, Path,
+    Predicate, Relation, Schema, Value,
+};
+use xmltree::Document;
+
+use crate::ast::{EdgeSem, Formula, FormulaConst, Xam, XamNodeId};
+
+/// Which stored item a result column corresponds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoredAttr {
+    Id,
+    Tag,
+    Val,
+    Cont,
+}
+
+impl StoredAttr {
+    pub fn suffix(self) -> &'static str {
+        match self {
+            StoredAttr::Id => "ID",
+            StoredAttr::Tag => "Tag",
+            StoredAttr::Val => "Val",
+            StoredAttr::Cont => "Cont",
+        }
+    }
+}
+
+/// One column of a XAM's result: which node, which item, and the dotted
+/// path of the column in the output schema (crossing nest collections).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputColumn {
+    pub node: XamNodeId,
+    pub attr: StoredAttr,
+    pub path: String,
+}
+
+/// The base-relation name used for a XAM node in generated catalogs.
+fn base_name(xam: &Xam, n: XamNodeId) -> String {
+    format!("__xam_base_{}", xam.node(n).name)
+}
+
+/// Field name of an attribute of node `n` (unique across the XAM because
+/// node names are unique).
+pub fn field_name(xam: &Xam, n: XamNodeId, attr: StoredAttr) -> String {
+    format!("{}_{}", xam.node(n).name, attr.suffix())
+}
+
+/// The dotted output path prefix of every node: nodes below a nested edge
+/// live inside the nest collection named after the child node.
+fn prefixes(xam: &Xam) -> Vec<String> {
+    let mut out = vec![String::new(); xam.len()];
+    for n in xam.pattern_nodes() {
+        let p = xam.parent(n).unwrap();
+        let node = xam.node(n);
+        out[n.index()] = if node.edge.sem.is_nested() {
+            format!("{}{}.", out[p.index()], node.name)
+        } else {
+            out[p.index()].clone()
+        };
+    }
+    out
+}
+
+/// Is `n` (or any ancestor up to `⊤`) reachable only through a semijoin
+/// edge? Such nodes contribute no output columns.
+fn under_semijoin(xam: &Xam, n: XamNodeId) -> bool {
+    let mut cur = n;
+    while let Some(p) = xam.parent(cur) {
+        if xam.node(cur).edge.sem.is_semijoin() {
+            return true;
+        }
+        cur = p;
+    }
+    false
+}
+
+/// The output columns of a XAM, in pre-order of nodes then
+/// ID/Tag/Val/Cont order — this is the tuple signature of `⟦χ⟧_d`.
+pub fn output_columns(xam: &Xam) -> Vec<OutputColumn> {
+    let pref = prefixes(xam);
+    let mut out = Vec::new();
+    for n in xam.pattern_nodes() {
+        if under_semijoin(xam, n) {
+            continue;
+        }
+        let node = xam.node(n);
+        let mut push = |attr: StoredAttr| {
+            out.push(OutputColumn {
+                node: n,
+                attr,
+                path: format!("{}{}", pref[n.index()], field_name(xam, n, attr)),
+            });
+        };
+        if node.stores_id.is_some() {
+            push(StoredAttr::Id);
+        }
+        if node.stores_tag {
+            push(StoredAttr::Tag);
+        }
+        if node.stores_val {
+            push(StoredAttr::Val);
+        }
+        if node.stores_cont {
+            push(StoredAttr::Cont);
+        }
+    }
+    out
+}
+
+/// Convert a value formula on node `n` into an algebra predicate over its
+/// `Val` column.
+fn formula_to_predicate(col: &str, f: &Formula) -> Predicate {
+    match f {
+        Formula::True => Predicate::True,
+        Formula::False =>
+        // unsatisfiable: Val = Val is true, so use a contradiction
+        {
+            Predicate::Not(Box::new(Predicate::True))
+        }
+        Formula::Cmp(op, c) => {
+            let v = match c {
+                FormulaConst::Int(i) => Value::Int(*i),
+                FormulaConst::Str(s) => Value::str(s),
+            };
+            Predicate::Cmp(Operand::Col(Path::new(col)), *op, Operand::Const(v))
+        }
+        Formula::And(a, b) => Predicate::And(
+            Box::new(formula_to_predicate(col, a)),
+            Box::new(formula_to_predicate(col, b)),
+        ),
+        Formula::Or(a, b) => Predicate::Or(
+            Box::new(formula_to_predicate(col, a)),
+            Box::new(formula_to_predicate(col, b)),
+        ),
+    }
+}
+
+/// Build the catalog of tag-derived base relations for a XAM over `doc`,
+/// with per-node renamed columns `{name}_ID, {name}_Tag, {name}_Val,
+/// {name}_Cont`.
+pub fn build_catalog(xam: &Xam, doc: &Document) -> Catalog {
+    let mut cat = Catalog::new();
+    for n in xam.pattern_nodes() {
+        let node = xam.node(n);
+        let mut rel = match (&node.tag_predicate, node.is_attribute) {
+            (Some(t), false) => aeval::tag_derived(doc, t),
+            (None, false) => aeval::all_elements(doc),
+            (Some(t), true) => aeval::tag_derived_attr(doc, t),
+            (None, true) => aeval::all_attributes(doc),
+        };
+        rel.schema = Schema::atoms(&[
+            &field_name(xam, n, StoredAttr::Id),
+            &field_name(xam, n, StoredAttr::Tag),
+            &field_name(xam, n, StoredAttr::Val),
+            &field_name(xam, n, StoredAttr::Cont),
+        ]);
+        cat.insert(base_name(xam, n), rel);
+    }
+    cat
+}
+
+/// Build the structural-join plan isomorphic to the XAM tree, *without*
+/// the final projection (all four columns of every node are kept so the
+/// rewriting layer can post-process); apply [`final_projection`] to get
+/// `⟦χ⟧_d` proper.
+pub fn build_join_plan(xam: &Xam) -> LogicalPlan {
+    let top_children = xam.children(XamNodeId::TOP);
+    assert!(
+        !top_children.is_empty(),
+        "a XAM must have at least one node besides ⊤"
+    );
+    let mut plan: Option<LogicalPlan> = None;
+    for &c in top_children {
+        let sub = node_plan(xam, c);
+        // `/` from ⊤ restricts to the root element: depth = 1
+        let sub = if xam.node(c).edge.axis == Axis::Child {
+            // the root element is the unique element with no parent; we
+            // encode "is root" as pre-rank 0 (document order starts there)
+            sub.select(Predicate::Cmp(
+                Operand::Col(Path::new(field_name(xam, c, StoredAttr::Id))),
+                algebra::CmpOp::Le,
+                Operand::Const(Value::Id(xmltree::StructuralId::new(0, u32::MAX, 1))),
+            ))
+        } else {
+            sub
+        };
+        let sub = if xam.node(c).edge.sem.is_nested() {
+            LogicalPlan::NestAll {
+                input: Box::new(sub),
+                as_name: xam.node(c).name.clone(),
+            }
+        } else {
+            sub
+        };
+        plan = Some(match plan {
+            None => sub,
+            Some(p) => p.product(sub),
+        });
+    }
+    plan.unwrap()
+}
+
+/// Plan for the subtree rooted at a non-`⊤` node: base relation, value
+/// selection, then one structural join per child, bottom-up.
+fn node_plan(xam: &Xam, n: XamNodeId) -> LogicalPlan {
+    let node = xam.node(n);
+    let mut plan = LogicalPlan::scan(base_name(xam, n));
+    if node.value_predicate != Formula::True {
+        plan = plan.select(formula_to_predicate(
+            &field_name(xam, n, StoredAttr::Val),
+            &node.value_predicate,
+        ));
+    }
+    for &c in xam.children(n) {
+        let child_plan = node_plan(xam, c);
+        let edge = xam.node(c).edge;
+        let kind = match edge.sem {
+            EdgeSem::Join => JoinKind::Inner,
+            EdgeSem::Outer => JoinKind::LeftOuter,
+            EdgeSem::Semi => JoinKind::Semi,
+            EdgeSem::NestJoin => JoinKind::Nest,
+            EdgeSem::NestOuter => JoinKind::NestOuter,
+        };
+        plan = LogicalPlan::StructJoin {
+            left: Box::new(plan),
+            right: Box::new(child_plan),
+            left_attr: Path::new(field_name(xam, n, StoredAttr::Id)),
+            right_attr: Path::new(field_name(xam, c, StoredAttr::Id)),
+            axis: edge.axis,
+            kind,
+            nest_as: edge.sem.is_nested().then(|| xam.node(c).name.clone()),
+        };
+    }
+    plan
+}
+
+/// Wrap a join plan with the final `Π_χ` projection: keep exactly the
+/// stored attributes (by dotted path) and eliminate duplicate tuples.
+pub fn final_projection(xam: &Xam, plan: LogicalPlan) -> LogicalPlan {
+    let cols: Vec<Path> = output_columns(xam)
+        .into_iter()
+        .map(|c| Path::new(c.path))
+        .collect();
+    LogicalPlan::Project {
+        input: Box::new(plan),
+        cols,
+        distinct: true,
+    }
+}
+
+/// Evaluate a XAM (without access restrictions) over a document:
+/// `⟦χ⟧_d`, a nested relation whose schema is given by
+/// [`output_columns`].
+///
+/// ```
+/// let doc = xmltree::generate::bib_sample();
+/// let xam = xam_core::parse_xam("//book[id:s]{ /title[val] }").unwrap();
+/// let rel = xam_core::evaluate(&xam, &doc).unwrap();
+/// assert_eq!(rel.len(), 2); // both books have titles
+/// ```
+pub fn evaluate(xam: &Xam, doc: &Document) -> Result<Relation, EvalError> {
+    let cat = build_catalog(xam, doc);
+    let plan = final_projection(xam, build_join_plan(xam));
+    let ev = Evaluator::with_document(&cat, doc);
+    let mut rel = ev.eval(&plan)?;
+    if !xam.ordered {
+        // unordered XAMs expose set semantics; we keep the tuples but the
+        // order carries no meaning (document order is the natural one here)
+        rel.schema = rel.schema.clone();
+    }
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_xam;
+    use xmltree::generate::bib_sample;
+
+    #[test]
+    fn two_node_xam_chi1() {
+        // χ1 of Figure 2.8: ⊤ //j book [Tag] — both books
+        let doc = bib_sample();
+        let xam = parse_xam("//book[id:s,tag]").unwrap();
+        let rel = evaluate(&xam, &doc).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.tuples[0].get(1).as_str(), Some("book"));
+    }
+
+    #[test]
+    fn semijoin_chi2() {
+        // χ2: books having a year attribute — only the 1999 one
+        let doc = bib_sample();
+        let xam = parse_xam("//book[id:s,tag]{ /s @year }").unwrap();
+        let rel = evaluate(&xam, &doc).unwrap();
+        assert_eq!(rel.len(), 1);
+        // semijoin child stores nothing → 2 columns only
+        assert_eq!(rel.schema.arity(), 2);
+    }
+
+    #[test]
+    fn nested_chi3() {
+        // χ3: as χ2 plus nested title (ID, Tag, Val)
+        let doc = bib_sample();
+        let xam =
+            parse_xam("//book[id:s,tag]{ /s @year, /n t:title[id:s,tag,val] }").unwrap();
+        let rel = evaluate(&xam, &doc).unwrap();
+        assert_eq!(rel.len(), 1);
+        let titles = rel.tuples[0].get(2).as_coll().unwrap();
+        assert_eq!(titles.len(), 1);
+        assert_eq!(titles.tuples[0].get(2).as_str(), Some("Data on the Web"));
+    }
+
+    #[test]
+    fn value_predicates_filter() {
+        let doc = bib_sample();
+        let xam = parse_xam(r#"//*[id:s]{ /@year[val="2004"] }"#).unwrap();
+        let rel = evaluate(&xam, &doc).unwrap();
+        assert_eq!(rel.len(), 1); // only the phdthesis has year=2004
+    }
+
+    #[test]
+    fn optional_edges_keep_parents() {
+        let doc = bib_sample();
+        // all books, with optional year value
+        let xam = parse_xam("//book[id:s]{ /? y:@year[val] }").unwrap();
+        let rel = evaluate(&xam, &doc).unwrap();
+        assert_eq!(rel.len(), 2);
+        let with_year: Vec<bool> = rel.tuples.iter().map(|t| !t.get(1).is_null()).collect();
+        assert_eq!(with_year, vec![true, false]);
+    }
+
+    #[test]
+    fn child_of_top_is_root_only() {
+        let doc = bib_sample();
+        // `/library` from ⊤ matches the root; `/book` from ⊤ matches nothing
+        let xam = parse_xam("/library[id:s]").unwrap();
+        assert_eq!(evaluate(&xam, &doc).unwrap().len(), 1);
+        let xam = parse_xam("/book[id:s]").unwrap();
+        assert_eq!(evaluate(&xam, &doc).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn star_node_matches_all_elements() {
+        let doc = bib_sample();
+        let xam = parse_xam("//*[id:s]").unwrap();
+        let rel = evaluate(&xam, &doc).unwrap();
+        assert_eq!(rel.len(), doc.element_count());
+    }
+
+    #[test]
+    fn duplicate_elimination_in_projection() {
+        let doc = bib_sample();
+        // two books have authors; projecting only the (unstored-ID) tag of
+        // the parent gives one tuple per distinct tag, not per author
+        let xam = parse_xam("//book[tag]{ /author }").unwrap();
+        let rel = evaluate(&xam, &doc).unwrap();
+        assert_eq!(rel.len(), 1); // "book" — duplicates eliminated
+    }
+
+    #[test]
+    fn output_columns_reflect_nesting() {
+        let xam =
+            parse_xam("//item[id:s]{ /name[val], //n? li:listitem[cont] }").unwrap();
+        let cols = output_columns(&xam);
+        let paths: Vec<&str> = cols.iter().map(|c| c.path.as_str()).collect();
+        assert!(paths.contains(&"item1_ID"));
+        assert!(paths.iter().any(|p| p.starts_with("li.")));
+    }
+
+    #[test]
+    fn semijoin_suppresses_descendant_columns() {
+        let xam = parse_xam("//a[id:s]{ /s b[val]{ /c[val] } }").unwrap();
+        let cols = output_columns(&xam);
+        assert_eq!(cols.len(), 1); // only a's ID
+    }
+
+    #[test]
+    fn cartesian_product_of_top_children() {
+        let doc = bib_sample();
+        let xam = parse_xam("//x:book[id:s]").unwrap();
+        // manually add a second ⊤ child: phdthesis
+        let mut xam = xam;
+        let mut phd = crate::ast::XamNode::star("y");
+        phd.tag_predicate = Some("phdthesis".into());
+        phd.stores_id = Some(crate::ast::IdKind::Structural);
+        phd.edge = crate::ast::XamEdge::descendant();
+        xam.add_child(xam.root(), phd);
+        let rel = evaluate(&xam, &doc).unwrap();
+        assert_eq!(rel.len(), 2); // 2 books × 1 thesis
+        assert_eq!(rel.schema.arity(), 2);
+    }
+
+    #[test]
+    fn figure_2_4_example_join_tree() {
+        // the XAM of Fig. 2.4(a): book with year attribute, author with
+        // lastname — over bib_sample authors have no lastname children, so
+        // use title instead to exercise a 3-level chain
+        let doc = bib_sample();
+        let xam = parse_xam("//library[id:s]{ /book[id:s]{ /title[val] } }").unwrap();
+        let rel = evaluate(&xam, &doc).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+}

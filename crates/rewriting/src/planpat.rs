@@ -1,0 +1,541 @@
+//! Equivalent plan–pattern pairs (§5.5).
+//!
+//! The rewriting search manipulates algebraic plans over view scans, but
+//! `S`-equivalence is tested on patterns. A [`PlanPattern`] keeps the two
+//! in lockstep: every plan-building operation (scan a view, filter a
+//! value, navigate to a missing node, join two plans structurally or on
+//! node identity, derive an ancestor ID) simultaneously updates the plan
+//! and computes the `S`-equivalent pattern `p_e` — "computing the pattern
+//! equivalent to a join plan" (§5.5.2). The pair also tracks which plan
+//! column carries each pattern node's ID/Val/Cont, so the final rewriting
+//! can be projected onto the query's outputs.
+
+use std::collections::HashMap;
+
+use algebra::{
+    Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate, Value,
+};
+use xam_core::ast::{EdgeSem, Formula, FormulaConst, IdKind, Xam, XamEdge, XamNode, XamNodeId};
+
+/// Plan columns carrying a pattern node's stored items.
+#[derive(Debug, Clone, Default)]
+pub struct NodeCols {
+    pub id: Option<String>,
+    pub val: Option<String>,
+    pub cont: Option<String>,
+    pub tag: Option<String>,
+    /// ID class of the `id` column, if any.
+    pub id_kind: Option<IdKind>,
+}
+
+/// A plan paired with its `S`-equivalent pattern.
+#[derive(Debug, Clone)]
+pub struct PlanPattern {
+    pub plan: LogicalPlan,
+    pub pattern: Xam,
+    /// Pattern node → its plan columns.
+    pub cols: HashMap<XamNodeId, NodeCols>,
+    pub views_used: Vec<String>,
+    fresh: u32,
+}
+
+impl PlanPattern {
+    /// Start from a view scan. `prefix` uniquifies column names so that
+    /// multiple views can later be joined. Only flat views (no nested
+    /// edges) are supported for joins; single-view rewritings may be
+    /// nested and then must skip the rename (`prefix = None`).
+    pub fn from_view(name: &str, xam: &Xam, prefix: Option<&str>) -> PlanPattern {
+        let out_cols = xam_core::semantics::output_columns(xam);
+        let mut plan = LogicalPlan::scan(name);
+        let mut rename_map: HashMap<String, String> = HashMap::new();
+        if let Some(pfx) = prefix {
+            // top-level column names in schema order
+            let mut top_names: Vec<String> = Vec::new();
+            for c in &out_cols {
+                let head = c.path.split('.').next().unwrap().to_string();
+                if !top_names.contains(&head) {
+                    top_names.push(head);
+                }
+            }
+            let new_names: Vec<String> =
+                top_names.iter().map(|n| format!("{pfx}{n}")).collect();
+            for (old, new) in top_names.iter().zip(&new_names) {
+                rename_map.insert(old.clone(), new.clone());
+            }
+            plan = plan.rename(&new_names.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        }
+        let rename_path = |p: &str| -> String {
+            match p.split_once('.') {
+                Some((head, rest)) => match rename_map.get(head) {
+                    Some(new) => format!("{new}.{rest}"),
+                    None => p.to_string(),
+                },
+                None => rename_map.get(p).cloned().unwrap_or_else(|| p.to_string()),
+            }
+        };
+        let mut cols: HashMap<XamNodeId, NodeCols> = HashMap::new();
+        for c in &out_cols {
+            let entry = cols.entry(c.node).or_default();
+            let path = rename_path(&c.path);
+            match c.attr {
+                xam_core::semantics::StoredAttr::Id => {
+                    entry.id = Some(path);
+                    entry.id_kind = xam.node(c.node).stores_id;
+                }
+                xam_core::semantics::StoredAttr::Val => entry.val = Some(path),
+                xam_core::semantics::StoredAttr::Cont => entry.cont = Some(path),
+                xam_core::semantics::StoredAttr::Tag => entry.tag = Some(path),
+            }
+        }
+        PlanPattern {
+            plan,
+            pattern: xam.clone(),
+            cols,
+            views_used: vec![name.to_string()],
+            fresh: 0,
+        }
+    }
+
+    fn fresh_name(&mut self, base: &str) -> String {
+        self.fresh += 1;
+        format!("c_{base}{}", self.fresh)
+    }
+
+    /// Strengthen a node's value predicate: `σ` on its Val column (or a
+    /// fetched value when only the ID is stored). Returns `false` when
+    /// neither a Val nor an ID column exists.
+    pub fn filter_value(&mut self, node: XamNodeId, f: &Formula) -> bool {
+        let col = match self.value_column(node) {
+            Some(c) => c,
+            None => return false,
+        };
+        self.plan = std::mem::replace(&mut self.plan, LogicalPlan::scan(""))
+            .select(formula_predicate(&col, f));
+        let n = self.pattern.node_mut(node);
+        let prev = std::mem::replace(&mut n.value_predicate, Formula::True);
+        n.value_predicate = prev.and(f.clone());
+        true
+    }
+
+    /// The Val column of a node, fetching it from the document when only
+    /// the ID is stored (the fetch requires a flat ID column).
+    pub fn value_column(&mut self, node: XamNodeId) -> Option<String> {
+        let entry = self.cols.get(&node)?;
+        if let Some(v) = &entry.val {
+            return Some(v.clone());
+        }
+        let id = entry.id.clone()?;
+        if id.contains('.') {
+            return None;
+        }
+        let name = self.fresh_name("val");
+        self.plan = LogicalPlan::Fetch {
+            input: Box::new(std::mem::replace(&mut self.plan, LogicalPlan::scan(""))),
+            id_attr: Path::new(id),
+            what: FetchWhat::Val,
+            as_name: name.clone(),
+        };
+        self.cols.get_mut(&node).unwrap().val = Some(name.clone());
+        Some(name)
+    }
+
+    /// The Cont column of a node, fetching when needed.
+    pub fn content_column(&mut self, node: XamNodeId) -> Option<String> {
+        let entry = self.cols.get(&node)?;
+        if let Some(c) = &entry.cont {
+            return Some(c.clone());
+        }
+        let id = entry.id.clone()?;
+        if id.contains('.') {
+            return None;
+        }
+        let name = self.fresh_name("cont");
+        self.plan = LogicalPlan::Fetch {
+            input: Box::new(std::mem::replace(&mut self.plan, LogicalPlan::scan(""))),
+            id_attr: Path::new(id),
+            what: FetchWhat::Cont,
+            as_name: name.clone(),
+        };
+        self.cols.get_mut(&node).unwrap().cont = Some(name.clone());
+        Some(name)
+    }
+
+    /// Navigate from `from`'s ID column to a new child/descendant node —
+    /// the compensation for query nodes absent from the view (the paper's
+    /// "extract the keyword elements by navigating inside the content of
+    /// listitem nodes", §5.2). Returns the new pattern node, or `None`
+    /// when `from` has no usable flat ID column.
+    pub fn navigate(
+        &mut self,
+        from: XamNodeId,
+        axis: Axis,
+        label: Option<&str>,
+        is_attribute: bool,
+        mode: NavMode,
+    ) -> Option<XamNodeId> {
+        let id = self.cols.get(&from)?.id.clone()?;
+        if id.contains('.') {
+            return None;
+        }
+        let base = label.unwrap_or("star");
+        let prefix = self.fresh_name(base);
+        let nav_label = match (label, is_attribute) {
+            (Some(l), true) => format!("@{l}"),
+            (Some(l), false) => l.to_string(),
+            (None, _) => "*".to_string(),
+        };
+        self.plan = LogicalPlan::Navigate {
+            input: Box::new(std::mem::replace(&mut self.plan, LogicalPlan::scan(""))),
+            from_attr: Path::new(id),
+            axis,
+            label: nav_label,
+            as_prefix: prefix.clone(),
+            mode,
+        };
+        // pattern side: a new child node
+        let mut node = XamNode::star(prefix.clone());
+        node.tag_predicate = label.map(|l| l.to_string());
+        node.is_attribute = is_attribute;
+        node.edge = XamEdge {
+            axis,
+            sem: match mode {
+                NavMode::Exists => EdgeSem::Semi,
+                NavMode::Outer => EdgeSem::Outer,
+                NavMode::Flat => EdgeSem::Join,
+            },
+        };
+        let new = self.pattern.add_child(from, node);
+        if mode != NavMode::Exists {
+            self.cols.insert(
+                new,
+                NodeCols {
+                    id: Some(format!("{prefix}_ID")),
+                    val: Some(format!("{prefix}_Val")),
+                    cont: Some(format!("{prefix}_Cont")),
+                    tag: None,
+                    id_kind: Some(IdKind::Structural),
+                },
+            );
+        }
+        Some(new)
+    }
+
+    /// Derive the ID of the `levels`-up ancestor of `node` (legal only for
+    /// `p`-class navigational IDs, §4.4): adds a column and a fresh
+    /// pattern node **above** is not needed — the caller attaches the
+    /// derived column to an existing pattern node via `set_id_column`.
+    pub fn derive_ancestor_id(&mut self, node: XamNodeId, levels: u16) -> Option<String> {
+        let entry = self.cols.get(&node)?;
+        if entry.id_kind != Some(IdKind::Parent) {
+            return None;
+        }
+        let id = entry.id.clone()?;
+        if id.contains('.') {
+            return None;
+        }
+        let name = self.fresh_name("anc");
+        self.plan = LogicalPlan::DeriveAncestorId {
+            input: Box::new(std::mem::replace(&mut self.plan, LogicalPlan::scan(""))),
+            attr: Path::new(id),
+            levels,
+            as_name: name.clone(),
+        };
+        Some(name)
+    }
+
+    /// Record that a pattern node's ID is available in a plan column
+    /// (e.g. one produced by [`Self::derive_ancestor_id`]).
+    pub fn set_id_column(&mut self, node: XamNodeId, col: String, kind: IdKind) {
+        let e = self.cols.entry(node).or_default();
+        e.id = Some(col);
+        e.id_kind = Some(kind);
+    }
+
+    /// Join with another plan-pattern on **node identity**: `self`'s
+    /// `my_node` and `other`'s root-child `other_root` denote the same
+    /// document node (ID-equality join). `other`'s root constraints merge
+    /// into `my_node`; its subtrees graft below. Works for any ID class —
+    /// equality only needs identity (§5.1's `⋈=` operator).
+    pub fn equality_join(mut self, other: PlanPattern, my_node: XamNodeId) -> Option<PlanPattern> {
+        let my_id = self.cols.get(&my_node)?.id.clone()?;
+        let other_root = *other.pattern.children(XamNodeId::TOP).first()?;
+        let other_id = other.cols.get(&other_root)?.id.clone()?;
+        if my_id.contains('.') || other_id.contains('.') {
+            return None;
+        }
+        let plan = self.plan.join(
+            other.plan,
+            Predicate::col_cmp(my_id, CmpOp::Eq, other_id),
+            JoinKind::Inner,
+        );
+        self.plan = plan;
+        // pattern merge: unify other_root with my_node
+        let node_map = graft(
+            &mut self.pattern,
+            my_node,
+            &other.pattern,
+            other_root,
+            None,
+        )?;
+        // merge column maps
+        for (on, oc) in other.cols {
+            let target = node_map[&on];
+            let e = self.cols.entry(target).or_default();
+            if e.id.is_none() {
+                e.id = oc.id;
+                e.id_kind = oc.id_kind;
+            }
+            if e.val.is_none() {
+                e.val = oc.val;
+            }
+            if e.cont.is_none() {
+                e.cont = oc.cont;
+            }
+            if e.tag.is_none() {
+                e.tag = oc.tag;
+            }
+        }
+        self.views_used.extend(other.views_used);
+        Some(self)
+    }
+
+    /// Structural join: `self`'s `my_node` is the parent/ancestor of
+    /// `other`'s root-child. Requires *structural* IDs on both sides —
+    /// without them the views "cannot be simply joined" (§5.2).
+    pub fn structural_join(
+        mut self,
+        other: PlanPattern,
+        my_node: XamNodeId,
+        axis: Axis,
+    ) -> Option<PlanPattern> {
+        let my = self.cols.get(&my_node)?;
+        if !my.id_kind?.is_structural() {
+            return None;
+        }
+        let my_id = my.id.clone()?;
+        let other_root = *other.pattern.children(XamNodeId::TOP).first()?;
+        let oc = other.cols.get(&other_root)?;
+        if !oc.id_kind?.is_structural() {
+            return None;
+        }
+        let other_id = oc.id.clone()?;
+        if my_id.contains('.') || other_id.contains('.') {
+            return None;
+        }
+        let plan = LogicalPlan::StructJoin {
+            left: Box::new(self.plan),
+            right: Box::new(other.plan),
+            left_attr: Path::new(my_id),
+            right_attr: Path::new(other_id),
+            axis,
+            kind: JoinKind::Inner,
+            nest_as: None,
+        };
+        self.plan = plan;
+        let node_map = graft(&mut self.pattern, my_node, &other.pattern, other_root, Some(axis))?;
+        for (on, oc) in other.cols {
+            let target = node_map[&on];
+            let e = self.cols.entry(target).or_default();
+            if e.id.is_none() {
+                e.id = oc.id;
+                e.id_kind = oc.id_kind;
+            }
+            if e.val.is_none() {
+                e.val = oc.val;
+            }
+            if e.cont.is_none() {
+                e.cont = oc.cont;
+            }
+        }
+        self.views_used.extend(other.views_used);
+        Some(self)
+    }
+}
+
+/// Graft `other`'s tree into `pat`. With `axis = None`, `other_root` is
+/// *unified* with `at` (ID equality): its tag/value constraints merge into
+/// `at`, its children attach below `at`. With `axis = Some(a)`,
+/// `other_root` becomes a new child of `at` along that axis (structural
+/// join). Returns the mapping other-node → pat-node.
+fn graft(
+    pat: &mut Xam,
+    at: XamNodeId,
+    other: &Xam,
+    other_root: XamNodeId,
+    axis: Option<Axis>,
+) -> Option<HashMap<XamNodeId, XamNodeId>> {
+    let mut map: HashMap<XamNodeId, XamNodeId> = HashMap::new();
+    match axis {
+        None => {
+            // unify: tags must be compatible
+            let o = other.node(other_root);
+            {
+                let a = pat.node_mut(at);
+                match (&a.tag_predicate, &o.tag_predicate) {
+                    (Some(x), Some(y)) if x != y => return None,
+                    (None, Some(y)) => a.tag_predicate = Some(y.clone()),
+                    _ => {}
+                }
+                let prev = std::mem::replace(&mut a.value_predicate, Formula::True);
+                a.value_predicate = prev.and(o.value_predicate.clone());
+                if a.stores_id.is_none() {
+                    a.stores_id = o.stores_id;
+                }
+                a.stores_val |= o.stores_val;
+                a.stores_cont |= o.stores_cont;
+                a.stores_tag |= o.stores_tag;
+            }
+            map.insert(other_root, at);
+        }
+        Some(a) => {
+            let mut node = other.node(other_root).clone();
+            node.children = Vec::new();
+            node.edge = XamEdge {
+                axis: a,
+                sem: node.edge.sem,
+            };
+            let new = pat.add_child(at, node);
+            map.insert(other_root, new);
+        }
+    }
+    // copy the rest of other's subtree
+    fn rec(
+        pat: &mut Xam,
+        other: &Xam,
+        on: XamNodeId,
+        map: &mut HashMap<XamNodeId, XamNodeId>,
+    ) {
+        for &c in other.children(on) {
+            let mut node = other.node(c).clone();
+            node.children = Vec::new();
+            let new = pat.add_child(map[&on], node);
+            map.insert(c, new);
+            rec(pat, other, c, map);
+        }
+    }
+    rec(pat, other, other_root, &mut map);
+    Some(map)
+}
+
+/// Compile a value formula into a plan predicate over a column.
+pub fn formula_predicate(col: &str, f: &Formula) -> Predicate {
+    match f {
+        Formula::True => Predicate::True,
+        Formula::False => Predicate::Not(Box::new(Predicate::True)),
+        Formula::Cmp(op, c) => {
+            let v = match c {
+                FormulaConst::Int(i) => Value::Int(*i),
+                FormulaConst::Str(s) => Value::str(s),
+            };
+            Predicate::Cmp(Operand::Col(Path::new(col)), *op, Operand::Const(v))
+        }
+        Formula::And(a, b) => Predicate::And(
+            Box::new(formula_predicate(col, a)),
+            Box::new(formula_predicate(col, b)),
+        ),
+        Formula::Or(a, b) => Predicate::Or(
+            Box::new(formula_predicate(col, a)),
+            Box::new(formula_predicate(col, b)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xam_core::parse_xam;
+
+    #[test]
+    fn from_view_maps_columns() {
+        let v = parse_xam("//book[id:s]{ /title[val] }").unwrap();
+        let pp = PlanPattern::from_view("v1", &v, Some("a_"));
+        let book = v.children(XamNodeId::TOP)[0];
+        let title = v.children(book)[0];
+        assert_eq!(pp.cols[&book].id.as_deref(), Some("a_book1_ID"));
+        assert_eq!(pp.cols[&title].val.as_deref(), Some("a_title2_Val"));
+        assert_eq!(pp.cols[&book].id_kind, Some(IdKind::Structural));
+    }
+
+    #[test]
+    fn navigate_extends_pattern_and_plan() {
+        let v = parse_xam("//item[id:s]").unwrap();
+        let mut pp = PlanPattern::from_view("v", &v, None);
+        let item = XamNodeId(1);
+        let kw = pp
+            .navigate(item, Axis::Descendant, Some("keyword"), false, NavMode::Outer)
+            .unwrap();
+        assert_eq!(pp.pattern.pattern_size(), 2);
+        assert_eq!(pp.pattern.node(kw).edge.sem, EdgeSem::Outer);
+        assert!(pp.cols[&kw].id.is_some());
+        assert!(format!("{}", pp.plan).contains("nav"));
+    }
+
+    #[test]
+    fn structural_join_requires_structural_ids() {
+        let v1 = parse_xam("//item[id:s]").unwrap();
+        let v2s = parse_xam("//name[id:s,val]").unwrap();
+        let v2i = parse_xam("//name[id:i,val]").unwrap();
+        let item = XamNodeId(1);
+        let pp1 = PlanPattern::from_view("v1", &v1, Some("l_"));
+        let pp2 = PlanPattern::from_view("v2", &v2s, Some("r_"));
+        let joined = pp1.clone().structural_join(pp2, item, Axis::Child);
+        assert!(joined.is_some());
+        let j = joined.unwrap();
+        assert_eq!(j.pattern.pattern_size(), 2);
+        assert_eq!(j.views_used, vec!["v1", "v2"]);
+        // simple IDs refuse the structural join
+        let pp2i = PlanPattern::from_view("v2", &v2i, Some("r_"));
+        assert!(pp1.structural_join(pp2i, item, Axis::Child).is_none());
+    }
+
+    #[test]
+    fn equality_join_unifies_roots() {
+        let v1 = parse_xam("//item[id:i]{ /name[val] }").unwrap();
+        let v2 = parse_xam("//item[id:i]{ //keyword[val] }").unwrap();
+        let item = XamNodeId(1);
+        let pp1 = PlanPattern::from_view("v1", &v1, Some("l_"));
+        let pp2 = PlanPattern::from_view("v2", &v2, Some("r_"));
+        let j = pp1.equality_join(pp2, item).unwrap();
+        // item unified: pattern has item, name, keyword
+        assert_eq!(j.pattern.pattern_size(), 3);
+    }
+
+    #[test]
+    fn equality_join_tag_conflict_fails() {
+        let v1 = parse_xam("//item[id:i]").unwrap();
+        let v2 = parse_xam("//person[id:i]").unwrap();
+        let pp1 = PlanPattern::from_view("v1", &v1, Some("l_"));
+        let pp2 = PlanPattern::from_view("v2", &v2, Some("r_"));
+        assert!(pp1.equality_join(pp2, XamNodeId(1)).is_none());
+    }
+
+    #[test]
+    fn filter_value_strengthens_formula() {
+        let v = parse_xam("//year[id:s,val]").unwrap();
+        let mut pp = PlanPattern::from_view("v", &v, None);
+        assert!(pp.filter_value(XamNodeId(1), &Formula::eq_str("1999")));
+        assert_eq!(
+            pp.pattern.node(XamNodeId(1)).value_predicate,
+            Formula::eq_str("1999")
+        );
+    }
+
+    #[test]
+    fn fetch_value_when_only_id_stored() {
+        let v = parse_xam("//year[id:s]").unwrap();
+        let mut pp = PlanPattern::from_view("v", &v, None);
+        let col = pp.value_column(XamNodeId(1)).unwrap();
+        assert!(col.starts_with("c_val"));
+        assert!(format!("{}", pp.plan).contains("fetch"));
+    }
+
+    #[test]
+    fn derive_ancestor_only_for_parent_ids() {
+        let vp = parse_xam("//parlist[id:p]").unwrap();
+        let vs = parse_xam("//parlist[id:s]").unwrap();
+        let mut pp = PlanPattern::from_view("v", &vp, None);
+        assert!(pp.derive_ancestor_id(XamNodeId(1), 1).is_some());
+        let mut pp = PlanPattern::from_view("v", &vs, None);
+        assert!(pp.derive_ancestor_id(XamNodeId(1), 1).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! # storage — XML storage engines uniformly described by XAMs
+//!
+//! Chapter 2 of the paper argues that storage modules, indices and
+//! materialized views can all be described to the optimizer by XAMs. This
+//! crate supplies both sides of that argument:
+//!
+//! * [`store`] — a generic **materialized XAM store**: give it a set of
+//!   XAM definitions and a document, and it materializes each as a nested
+//!   relation (this is how materialized views exist at runtime — the
+//!   rewriting crate plans over them);
+//! * [`engines`] — concrete storage engines of §2.1: the *Edge* relation,
+//!   tag-partitioned (native #3) and path-partitioned (native #4) stores,
+//!   the non-fragmented content store, a composite-key value index
+//!   (`booksByYearTitle`) and an IndexFabric-style full-text index;
+//! * [`catalog`] — the **XAM model library** of §2.3: ready-made XAM
+//!   descriptions of published storage/indexing schemes (Edge, Universal,
+//!   Basic/Hybrid-style inlining, DOM access paths, tag/path partitioning,
+//!   XISS, T-index, IndexFabric raw paths);
+//! * [`qep`] — the QEP catalogue of §2.1: builders for the paper's query
+//!   execution plans `QEP1`–`QEP13`, each against the matching engine, so
+//!   the flexibility experiment (E8 in DESIGN.md) can count operators and
+//!   run them.
+
+pub mod catalog;
+pub mod engines;
+pub mod qep;
+pub mod store;
+
+pub use engines::{
+    CompositeIndex, ContentStore, EdgeStore, FullTextIndex, PathPartitionStore,
+    TagPartitionStore, XRelStore,
+};
+pub use store::MaterializedStore;

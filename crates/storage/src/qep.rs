@@ -1,0 +1,504 @@
+//! The QEP catalogue of §2.1: the paper's query execution plans
+//! `QEP1`–`QEP13`, each expressed against the storage engine it was
+//! written for. The point of the section — and of this module's tests —
+//! is *physical data independence*: the same query is answered by wildly
+//! different plans over different layouts, producing the same result.
+//!
+//! The queries:
+//! * `q`    — `for $x in //book return <info>{$x/author}{$x/title}</info>`
+//! * `q'`   — `//book//section`
+//! * `q''`  — books of 1999 titled "Data on the Web", returning authors
+//! * `q'''` — book titles containing the word "Web"
+
+use algebra::{
+    Axis, Catalog, CmpOp, JoinKind, LogicalPlan, Operand, Path, Predicate, Value,
+};
+use summary::Summary;
+use xmltree::Document;
+
+use crate::engines::{
+    register_lookup, CompositeIndex, ContentStore, EdgeStore, FullTextIndex, HybridStore,
+    PathPartitionStore, TagPartitionStore,
+};
+
+/// A ready-to-run plan with its backing catalog.
+pub struct Qep {
+    pub name: &'static str,
+    pub plan: LogicalPlan,
+    pub catalog: Catalog,
+}
+
+impl Qep {
+    /// Operator count — the plan-complexity metric of the §2.1 discussion.
+    pub fn operators(&self) -> usize {
+        self.plan.size()
+    }
+}
+
+/// `QEP1` — query `q` on the **Hybrid** relational store: titles are
+/// inlined in `book`, authors joined by key/foreign-key.
+pub fn qep1(doc: &Document) -> Qep {
+    let store = HybridStore::build(doc);
+    let plan = LogicalPlan::scan("book")
+        .rename(&["bID", "bParentID", "yearValue", "titleValue"])
+        .join(
+            LogicalPlan::scan("author"),
+            Predicate::col_cmp("bID", CmpOp::Eq, "parentID"),
+            JoinKind::Inner,
+        )
+        .sort(&["bID"])
+        .project(&["authorValue", "titleValue"]);
+    Qep {
+        name: "QEP1 (Hybrid relational)",
+        plan,
+        catalog: store.catalog,
+    }
+}
+
+/// `QEP3` — query `q` on the custom `book-author-title` materialized
+/// view: a single scan.
+pub fn qep3(doc: &Document) -> Qep {
+    let mut store = crate::MaterializedStore::new();
+    store
+        .add_view(
+            "book-author-title",
+            xam_core::parse_xam("//book[id:s]{ /? author[val], /? title[val] }").unwrap(),
+            doc,
+        )
+        .unwrap();
+    let plan = LogicalPlan::scan("book-author-title");
+    Qep {
+        name: "QEP3 (book-author-title view)",
+        plan,
+        catalog: store.catalog().clone(),
+    }
+}
+
+/// `QEP4` — query `q` on native model #1 (Galax-style `main/name/value`
+/// with parent pointers): label selections plus parent-ID equi-joins. We
+/// model `main` by the Edge store (same information content).
+pub fn qep4(doc: &Document) -> Qep {
+    let store = EdgeStore::build(doc);
+    let books = LogicalPlan::scan("edge")
+        .select(Predicate::eq("name", Value::str("book")))
+        .rename(&["b_src", "b_id", "b_ord", "b_name", "b_flag"]);
+    let authors = LogicalPlan::scan("edge")
+        .select(Predicate::eq("name", Value::str("author")))
+        .rename(&["a_src", "a_id", "a_ord", "a_name", "a_flag"]);
+    let titles = LogicalPlan::scan("edge")
+        .select(Predicate::eq("name", Value::str("title")))
+        .rename(&["t_src", "t_id", "t_ord", "t_name", "t_flag"]);
+    let plan = books
+        .join(
+            authors,
+            Predicate::col_cmp("b_id", CmpOp::Eq, "a_src"),
+            JoinKind::Inner,
+        )
+        .join(
+            titles,
+            Predicate::col_cmp("b_id", CmpOp::Eq, "t_src"),
+            JoinKind::Inner,
+        )
+        .project(&["a_id", "t_id"]);
+    Qep {
+        name: "QEP4 (edge relation, parent-pointer joins)",
+        plan,
+        catalog: store.catalog,
+    }
+}
+
+/// `QEP5` — query `q` on native model #2: same `main` collection but with
+/// structural identifiers, so parent pointers are replaced by structural
+/// joins (`main1.ID ≺ main2.ID`).
+pub fn qep5(doc: &Document) -> Qep {
+    let store = EdgeStore::build(doc);
+    let books = LogicalPlan::scan("edge")
+        .select(Predicate::eq("name", Value::str("book")))
+        .rename(&["b_src", "b_id", "b_ord", "b_name", "b_flag"]);
+    let authors = LogicalPlan::scan("edge")
+        .select(Predicate::eq("name", Value::str("author")))
+        .rename(&["a_src", "a_id", "a_ord", "a_name", "a_flag"]);
+    let titles = LogicalPlan::scan("edge")
+        .select(Predicate::eq("name", Value::str("title")))
+        .rename(&["t_src", "t_id", "t_ord", "t_name", "t_flag"]);
+    let plan = books
+        .struct_join(authors, "b_id", "a_id", Axis::Child, JoinKind::Inner)
+        .struct_join(titles, "b_id", "t_id", Axis::Child, JoinKind::Inner)
+        .project(&["a_id", "t_id"]);
+    Qep {
+        name: "QEP5 (structural-ID main collection)",
+        plan,
+        catalog: store.catalog,
+    }
+}
+
+/// `QEP6` — query `q` on native model #3 (tag partitioning): per-tag ID
+/// collections, structural joins, then text recomposition outerjoins.
+pub fn qep6(doc: &Document) -> Qep {
+    let store = TagPartitionStore::build(doc);
+    let plan = LogicalPlan::scan("tag_book")
+        .rename(&["b_id"])
+        .struct_join(
+            LogicalPlan::scan("tag_title").rename(&["t_id"]),
+            "b_id",
+            "t_id",
+            Axis::Child,
+            JoinKind::Inner,
+        )
+        .struct_join(
+            LogicalPlan::scan("tag_author").rename(&["a_id"]),
+            "b_id",
+            "a_id",
+            Axis::Child,
+            JoinKind::Inner,
+        )
+        .join(
+            LogicalPlan::scan("text").rename(&["tt_id", "tt_text"]),
+            Predicate::col_cmp("t_id", CmpOp::Eq, "tt_id"),
+            JoinKind::LeftOuter,
+        )
+        .join(
+            LogicalPlan::scan("text").rename(&["at_id", "at_text"]),
+            Predicate::col_cmp("a_id", CmpOp::Eq, "at_id"),
+            JoinKind::LeftOuter,
+        )
+        .project(&["at_text", "tt_text"]);
+    Qep {
+        name: "QEP6 (tag partitioning)",
+        plan,
+        catalog: store.catalog,
+    }
+}
+
+/// `QEP7` — query `q` on native model #4 (path partitioning): only the
+/// `bib-book-*` partitions are touched (more selective disk access than
+/// QEP6 — phdthesis titles/authors never enter the joins).
+pub fn qep7(doc: &Document, summary: &Summary) -> Qep {
+    let store = PathPartitionStore::build(doc, summary);
+    let r = |p: &str| LogicalPlan::scan(PathPartitionStore::relation_of(p));
+    let plan = r("/bib/book")
+        .rename(&["b_id"])
+        .struct_join(
+            r("/bib/book/title").rename(&["t_id"]),
+            "b_id",
+            "t_id",
+            Axis::Child,
+            JoinKind::Inner,
+        )
+        .struct_join(
+            r("/bib/book/author").rename(&["a_id"]),
+            "b_id",
+            "a_id",
+            Axis::Child,
+            JoinKind::Inner,
+        )
+        .join(
+            LogicalPlan::scan("text").rename(&["tt_id", "tt_text"]),
+            Predicate::col_cmp("t_id", CmpOp::Eq, "tt_id"),
+            JoinKind::LeftOuter,
+        )
+        .join(
+            LogicalPlan::scan("text").rename(&["at_id", "at_text"]),
+            Predicate::col_cmp("a_id", CmpOp::Eq, "at_id"),
+            JoinKind::LeftOuter,
+        )
+        .project(&["at_text", "tt_text"]);
+    Qep {
+        name: "QEP7 (path partitioning)",
+        plan,
+        catalog: store.catalog,
+    }
+}
+
+/// `QEP8` — query `q'` (`//book//section`) on the path-partitioned store:
+/// structural join of the book partition with every section partition
+/// (recursion over paths), followed by text recomposition. Here sections
+/// live on `/bib/book/body/section`.
+pub fn qep8(doc: &Document, summary: &Summary) -> Qep {
+    let store = PathPartitionStore::build(doc, summary);
+    let mut section_paths: Vec<String> = store
+        .paths
+        .iter()
+        .filter(|(p, _)| p.ends_with("/section"))
+        .map(|(p, _)| p.clone())
+        .collect();
+    section_paths.sort();
+    let r = |p: &str| LogicalPlan::scan(PathPartitionStore::relation_of(p));
+    // union the section partitions, then one structural join with books,
+    // then re-assemble the textual content of each section subtree
+    let mut sections = r(&section_paths[0]).rename(&["s_id"]);
+    for p in &section_paths[1..] {
+        sections = sections.union(r(p).rename(&["s_id"]));
+    }
+    let plan = r("/bib/book")
+        .rename(&["b_id"])
+        .struct_join(sections, "b_id", "s_id", Axis::Descendant, JoinKind::Inner)
+        .join(
+            LogicalPlan::scan("text").rename(&["t_id", "t_text"]),
+            Predicate::col_cmp("s_id", CmpOp::Ancestor, "t_id"),
+            JoinKind::LeftOuter,
+        )
+        .project(&["s_id", "t_text"]);
+    Qep {
+        name: "QEP8 (q' on path partitioning: fragmented recomposition)",
+        plan,
+        catalog: store.catalog,
+    }
+}
+
+/// `QEP9` — query `q'` on the **non-fragmented** store: a single
+/// structural join against `sectionContent`, no recomposition
+/// (the "much simpler than QEP8" plan).
+pub fn qep9(doc: &Document, summary: &Summary) -> Qep {
+    let path_store = PathPartitionStore::build(doc, summary);
+    let blob = ContentStore::build(doc, &["section"]);
+    let mut catalog = path_store.catalog;
+    catalog.insert(
+        "sectionContent",
+        blob.catalog.get("sectionContent").unwrap().clone(),
+    );
+    let plan = LogicalPlan::scan(PathPartitionStore::relation_of("/bib/book"))
+        .rename(&["b_id"])
+        .struct_join(
+            LogicalPlan::scan("sectionContent").rename(&["s_id", "s_content"]),
+            "b_id",
+            "s_id",
+            Axis::Descendant,
+            JoinKind::Inner,
+        )
+        .project(&["s_id", "s_content"]);
+    Qep {
+        name: "QEP9 (q' on unfragmented sectionContent)",
+        plan,
+        catalog,
+    }
+}
+
+/// `QEP10` — query `q''` on the path-partitioned store: value selections
+/// on `text` feed structural semijoins before the author join.
+pub fn qep10(doc: &Document, summary: &Summary) -> Qep {
+    let store = PathPartitionStore::build(doc, summary);
+    let r = |p: &str| LogicalPlan::scan(PathPartitionStore::relation_of(p));
+    let title_hits = r("/bib/book/title").rename(&["t_id"]).join(
+        LogicalPlan::scan("text")
+            .select(Predicate::eq("text", Value::str("Data on the Web")))
+            .rename(&["tt_id", "tt_text"]),
+        Predicate::col_cmp("t_id", CmpOp::Eq, "tt_id"),
+        JoinKind::Semi,
+    );
+    let year_hits = r("/bib/book/year").rename(&["y_id"]).join(
+        LogicalPlan::scan("text")
+            .select(Predicate::eq("text", Value::str("1999")))
+            .rename(&["yt_id", "yt_text"]),
+        Predicate::col_cmp("y_id", CmpOp::Eq, "yt_id"),
+        JoinKind::Semi,
+    );
+    let plan = r("/bib/book")
+        .rename(&["b_id"])
+        .struct_join(title_hits, "b_id", "t_id", Axis::Child, JoinKind::Semi)
+        .struct_join(year_hits, "b_id", "y_id", Axis::Child, JoinKind::Semi)
+        .struct_join(
+            r("/bib/book/author").rename(&["a_id"]),
+            "b_id",
+            "a_id",
+            Axis::Child,
+            JoinKind::Inner,
+        )
+        .join(
+            LogicalPlan::scan("text").rename(&["at_id", "at_text"]),
+            Predicate::col_cmp("a_id", CmpOp::Eq, "at_id"),
+            JoinKind::Inner,
+        )
+        .project(&["at_text"]);
+    Qep {
+        name: "QEP10 (q'' by scans and structural semijoins)",
+        plan,
+        catalog: store.catalog,
+    }
+}
+
+/// `QEP11` — query `q''` using the `booksByYearTitle` composite index: an
+/// index lookup replaces both selections and both semijoins.
+pub fn qep11(doc: &Document, summary: &Summary) -> Qep {
+    let store = PathPartitionStore::build(doc, summary);
+    let idx = CompositeIndex::build(doc, "book", "year", "title");
+    let mut catalog = store.catalog;
+    register_lookup(
+        &mut catalog,
+        "idx_hits",
+        idx.lookup("1999", "Data on the Web"),
+    );
+    let plan = LogicalPlan::scan("idx_hits")
+        .rename(&["b_id"])
+        .struct_join(
+            LogicalPlan::scan(PathPartitionStore::relation_of("/bib/book/author"))
+                .rename(&["a_id"]),
+            "b_id",
+            "a_id",
+            Axis::Child,
+            JoinKind::Inner,
+        )
+        .join(
+            LogicalPlan::scan("text").rename(&["at_id", "at_text"]),
+            Predicate::col_cmp("a_id", CmpOp::Eq, "at_id"),
+            JoinKind::Inner,
+        )
+        .project(&["at_text"]);
+    Qep {
+        name: "QEP11 (q'' via booksByYearTitle index)",
+        plan,
+        catalog,
+    }
+}
+
+/// `QEP12` — query `q'''` by brute force: `σ_contains` over every text
+/// value, then a join back to the title partition.
+pub fn qep12(doc: &Document, summary: &Summary) -> Qep {
+    let store = PathPartitionStore::build(doc, summary);
+    let plan = LogicalPlan::scan("text")
+        .select(Predicate::Cmp(
+            Operand::Col(Path::new("text")),
+            CmpOp::Contains,
+            Operand::Const(Value::str("Web")),
+        ))
+        .rename(&["t_id", "t_text"])
+        .join(
+            LogicalPlan::scan(PathPartitionStore::relation_of("/bib/book/title"))
+                .rename(&["ti_id"]),
+            Predicate::col_cmp("t_id", CmpOp::Eq, "ti_id"),
+            JoinKind::Semi,
+        )
+        .project(&["t_id", "t_text"]);
+    Qep {
+        name: "QEP12 (q''' by string matching over all text)",
+        plan,
+        catalog: store.catalog,
+    }
+}
+
+/// `QEP13` — query `q'''` via the full-text index: one lookup, one join.
+pub fn qep13(doc: &Document, summary: &Summary) -> Qep {
+    let store = PathPartitionStore::build(doc, summary);
+    let fti = FullTextIndex::build(doc, "title");
+    let mut catalog = store.catalog;
+    register_lookup(&mut catalog, "fti_hits", fti.lookup("Web"));
+    let plan = LogicalPlan::scan("fti_hits")
+        .rename(&["t_id"])
+        .join(
+            LogicalPlan::scan(PathPartitionStore::relation_of("/bib/book/title"))
+                .rename(&["ti_id"]),
+            Predicate::col_cmp("t_id", CmpOp::Eq, "ti_id"),
+            JoinKind::Semi,
+        )
+        .join(
+            LogicalPlan::scan("text").rename(&["tt_id", "tt_text"]),
+            Predicate::col_cmp("t_id", CmpOp::Eq, "tt_id"),
+            JoinKind::Inner,
+        )
+        .project(&["t_id", "tt_text"]);
+    Qep {
+        name: "QEP13 (q''' via IndexFabric-style FTI)",
+        plan,
+        catalog,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebra::Evaluator;
+    use xmltree::generate::{bib_document, bib_document_with_sections};
+
+    fn run(q: &Qep, doc: &Document) -> algebra::Relation {
+        Evaluator::with_document(&q.catalog, doc).eval(&q.plan).unwrap()
+    }
+
+    /// The flexibility claim: q answered identically across layouts.
+    #[test]
+    fn q_has_same_cardinality_across_stores() {
+        let doc = bib_document();
+        let s = Summary::of_document(&doc);
+        // (author, title) pairs for books: 3 + 1 = 4
+        let counts = vec![
+            run(&qep1(&doc), &doc).len(),
+            run(&qep4(&doc), &doc).len(),
+            run(&qep5(&doc), &doc).len(),
+            run(&qep6(&doc), &doc).len(),
+            run(&qep7(&doc, &s), &doc).len(),
+        ];
+        assert!(counts.iter().all(|&c| c == counts[0]), "{counts:?}");
+        assert_eq!(counts[0], 4);
+    }
+
+    #[test]
+    fn qep3_is_a_single_scan() {
+        let doc = bib_document();
+        let q = qep3(&doc);
+        assert_eq!(q.operators(), 1);
+        // one row per (book, author) pair padded with the title — the
+        // paper's book-author-title relation
+        assert_eq!(run(&q, &doc).len(), 4);
+    }
+
+    #[test]
+    fn qep7_touches_fewer_tuples_than_qep6() {
+        // the point of path partitioning: phdthesis authors never join
+        let doc = bib_document();
+        let s = Summary::of_document(&doc);
+        let tag = TagPartitionStore::build(&doc);
+        let path = PathPartitionStore::build(&doc, &s);
+        let tag_authors = tag.catalog.get("tag_author").unwrap().len();
+        let path_book_authors = path
+            .catalog
+            .get(&PathPartitionStore::relation_of("/bib/book/author"))
+            .unwrap()
+            .len();
+        assert!(path_book_authors < tag_authors);
+    }
+
+    #[test]
+    fn qep9_simpler_and_equal_to_qep8() {
+        let doc = bib_document_with_sections();
+        let s = Summary::of_document(&doc);
+        let q8 = qep8(&doc, &s);
+        let q9 = qep9(&doc, &s);
+        assert!(q9.operators() < q8.operators(), "{} vs {}", q9.operators(), q8.operators());
+        // both find the same sections
+        let r8 = run(&q8, &doc);
+        let r9 = run(&q9, &doc);
+        let ids8: std::collections::BTreeSet<u32> = r8
+            .tuples
+            .iter()
+            .map(|t| t.get(0).as_id().unwrap().pre)
+            .collect();
+        let ids9: std::collections::BTreeSet<u32> = r9
+            .tuples
+            .iter()
+            .map(|t| t.get(0).as_id().unwrap().pre)
+            .collect();
+        assert_eq!(ids8, ids9);
+        assert_eq!(ids9.len(), 3);
+    }
+
+    #[test]
+    fn qep10_and_qep11_agree() {
+        let doc = bib_document();
+        let s = Summary::of_document(&doc);
+        let r10 = run(&qep10(&doc, &s), &doc);
+        let r11 = run(&qep11(&doc, &s), &doc);
+        assert_eq!(r10.len(), 3); // Abiteboul, Buneman, Suciu
+        assert_eq!(r10.len(), r11.len());
+        // the index plan is smaller
+        assert!(qep11(&doc, &s).operators() < qep10(&doc, &s).operators());
+    }
+
+    #[test]
+    fn qep12_and_qep13_agree() {
+        let doc = bib_document();
+        let s = Summary::of_document(&doc);
+        let r12 = run(&qep12(&doc, &s), &doc);
+        let r13 = run(&qep13(&doc, &s), &doc);
+        assert_eq!(r12.len(), 1); // only "Data on the Web" contains "Web"
+        assert_eq!(r12.len(), r13.len());
+    }
+}

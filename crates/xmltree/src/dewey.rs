@@ -1,0 +1,192 @@
+//! Navigational structural identifiers (DeweyID / ORDPATH style, §1.2.1).
+//!
+//! A [`DeweyId`] is the chain of child ranks from the root: the root is the
+//! empty chain, its i-th child is `[i]`, that child's j-th child `[i, j]`,
+//! and so on. Unlike plain `(pre, post, depth)` triples, Dewey IDs are
+//! *navigational*: the identifier of any ancestor is **derivable** from the
+//! identifier of a node (truncate the chain). The paper calls these `p`-class
+//! identifiers and exploits the property during rewriting (§4.4, §5.2) — a
+//! view storing only the IDs of `parlist` nodes still lets the rewriter
+//! manufacture the IDs of their `description` parents.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A Dewey-style navigational identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeweyId {
+    steps: Vec<u32>,
+}
+
+impl DeweyId {
+    /// The root identifier (empty chain).
+    pub fn root() -> Self {
+        DeweyId { steps: Vec::new() }
+    }
+
+    pub fn from_steps(steps: Vec<u32>) -> Self {
+        DeweyId { steps }
+    }
+
+    pub fn steps(&self) -> &[u32] {
+        &self.steps
+    }
+
+    /// Depth of the node: root element has depth 1 (chain length + 1), so
+    /// this agrees with [`crate::StructuralId::depth`].
+    pub fn depth(&self) -> u16 {
+        self.steps.len() as u16 + 1
+    }
+
+    /// Identifier of the parent — the navigational property. `None` at root.
+    pub fn parent(&self) -> Option<DeweyId> {
+        if self.steps.is_empty() {
+            None
+        } else {
+            Some(DeweyId {
+                steps: self.steps[..self.steps.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// Identifier of the ancestor at the given depth (1 = root).
+    pub fn ancestor_at_depth(&self, depth: u16) -> Option<DeweyId> {
+        if depth == 0 || depth > self.depth() {
+            return None;
+        }
+        Some(DeweyId {
+            steps: self.steps[..(depth - 1) as usize].to_vec(),
+        })
+    }
+
+    /// Identifier of the `rank`-th child.
+    pub fn child(&self, rank: u32) -> DeweyId {
+        let mut steps = self.steps.clone();
+        steps.push(rank);
+        DeweyId { steps }
+    }
+
+    /// Is `self` a proper ancestor of `other`? (prefix test)
+    pub fn is_ancestor_of(&self, other: &DeweyId) -> bool {
+        self.steps.len() < other.steps.len()
+            && other.steps[..self.steps.len()] == self.steps[..]
+    }
+
+    /// Is `self` the parent of `other`?
+    pub fn is_parent_of(&self, other: &DeweyId) -> bool {
+        other.steps.len() == self.steps.len() + 1 && self.is_ancestor_of(other)
+    }
+}
+
+impl PartialOrd for DeweyId {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lexicographic order on step chains = document (pre) order, with ancestors
+/// sorting before their descendants.
+impl Ord for DeweyId {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.steps.cmp(&other.steps)
+    }
+}
+
+impl fmt::Display for DeweyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return write!(f, "1");
+        }
+        write!(f, "1")?;
+        for s in &self.steps {
+            write!(f, ".{}", s + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::DocumentBuilder;
+
+    #[test]
+    fn parent_derivation() {
+        let d = DeweyId::from_steps(vec![2, 0, 5]);
+        assert_eq!(d.parent().unwrap().steps(), &[2, 0]);
+        assert_eq!(d.parent().unwrap().parent().unwrap().steps(), &[2]);
+        assert_eq!(DeweyId::root().parent(), None);
+    }
+
+    #[test]
+    fn ancestor_at_depth() {
+        let d = DeweyId::from_steps(vec![2, 0, 5]);
+        assert_eq!(d.depth(), 4);
+        assert_eq!(d.ancestor_at_depth(1).unwrap(), DeweyId::root());
+        assert_eq!(d.ancestor_at_depth(3).unwrap().steps(), &[2, 0]);
+        assert_eq!(d.ancestor_at_depth(4).unwrap(), d);
+        assert_eq!(d.ancestor_at_depth(5), None);
+        assert_eq!(d.ancestor_at_depth(0), None);
+    }
+
+    #[test]
+    fn prefix_tests() {
+        let a = DeweyId::from_steps(vec![1]);
+        let b = DeweyId::from_steps(vec![1, 3]);
+        let c = DeweyId::from_steps(vec![1, 3, 0]);
+        assert!(a.is_ancestor_of(&b));
+        assert!(a.is_ancestor_of(&c));
+        assert!(a.is_parent_of(&b));
+        assert!(!a.is_parent_of(&c));
+        assert!(!b.is_ancestor_of(&a));
+        assert!(!a.is_ancestor_of(&a));
+    }
+
+    #[test]
+    fn order_is_document_order() {
+        // Build a small document and check Dewey order == pre order.
+        let mut bld = DocumentBuilder::new();
+        bld.open_element("a");
+        bld.open_element("b");
+        bld.open_element("c");
+        bld.close_element();
+        bld.close_element();
+        bld.open_element("d");
+        bld.close_element();
+        bld.close_element();
+        let doc = bld.finish();
+        let mut ids: Vec<_> = doc.all_nodes().map(|n| (doc.dewey_id(n), n)).collect();
+        ids.sort();
+        for (i, (_, n)) in ids.iter().enumerate() {
+            assert_eq!(n.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn agreement_with_structural_ids() {
+        let mut bld = DocumentBuilder::new();
+        bld.open_element("r");
+        for _ in 0..3 {
+            bld.open_element("x");
+            bld.leaf_element("y", "t");
+            bld.close_element();
+        }
+        bld.close_element();
+        let doc = bld.finish();
+        for n in doc.all_nodes() {
+            for m in doc.all_nodes() {
+                let (dn, dm) = (doc.dewey_id(n), doc.dewey_id(m));
+                let (sn, sm) = (doc.structural_id(n), doc.structural_id(m));
+                assert_eq!(dn.is_ancestor_of(&dm), sn.is_ancestor_of(sm));
+                assert_eq!(dn.is_parent_of(&dm), sn.is_parent_of(sm));
+                assert_eq!(dn.depth(), sn.depth);
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_dotted() {
+        assert_eq!(DeweyId::root().to_string(), "1");
+        assert_eq!(DeweyId::from_steps(vec![0, 2]).to_string(), "1.1.3");
+    }
+}

@@ -1,0 +1,735 @@
+//! Deterministic synthetic document generators.
+//!
+//! The paper evaluates on XMark and DBLP documents (plus Shakespeare, NASA
+//! and SwissProt for the summary-statistics table, Figure 4.13). Those
+//! datasets and the `xmlgen` generator are not available here, so this
+//! module provides seeded generators that reproduce the *structural* traits
+//! the experiments depend on:
+//!
+//! * **XMark-like** ([`xmark`]): the auction-site DTD skeleton, including the
+//!   recursive `description/parlist/listitem` markup (`bold`, `emph`,
+//!   `keyword`) that the paper notes inflates the XMark path summary to
+//!   hundreds of nodes while the DTD stays tiny;
+//! * **DBLP-like** ([`dblp`]): flat bibliographic records giving a small
+//!   summary with many `1`/`+` (one-to-one / strong) summary edges;
+//! * **Shakespeare / NASA / SwissProt-like** for the Fig 4.13 table only;
+//! * the running examples of the paper: [`bib_sample`] (Figure 2.5) and
+//!   [`bib_document`] (Figure 2.1).
+//!
+//! All generators are deterministic for a given `(scale, seed)`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::document::{Document, DocumentBuilder};
+
+const WORDS: &[&str] = &[
+    "gold", "watch", "data", "web", "query", "auction", "vintage", "rare", "silver", "antique",
+    "fast", "shipping", "excellent", "condition", "classic", "modern", "large", "small", "blue",
+    "red",
+];
+
+fn words(rng: &mut SmallRng, n: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    s
+}
+
+/// The sample `library` document of Figure 2.5, used throughout Chapter 2's
+/// semantics examples (books "Data on the Web", "The Syntactic Web" and the
+/// "The Web: next generation" PhD thesis).
+pub fn bib_sample() -> Document {
+    let mut b = DocumentBuilder::new();
+    b.open_element("library");
+    {
+        b.open_element("book");
+        b.attribute("year", "1999");
+        b.leaf_element("title", "Data on the Web");
+        b.leaf_element("author", "Abiteboul");
+        b.leaf_element("author", "Suciu");
+        b.close_element();
+
+        b.open_element("book");
+        b.leaf_element("title", "The Syntactic Web");
+        b.leaf_element("author", "Tom Lerners-Bee");
+        b.close_element();
+
+        b.open_element("phdthesis");
+        b.attribute("year", "2004");
+        b.leaf_element("title", "The Web: next generation");
+        b.leaf_element("author", "Jim Smith");
+        b.close_element();
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// The `bib.xml` document of Figure 2.1, used by the storage-model examples
+/// of §2.1 (books and PhD theses with year, title, author children).
+pub fn bib_document() -> Document {
+    let mut b = DocumentBuilder::new();
+    b.open_element("bib");
+    {
+        b.open_element("book");
+        b.leaf_element("year", "1999");
+        b.leaf_element("title", "Data on the Web");
+        b.leaf_element("author", "Abiteboul");
+        b.leaf_element("author", "Buneman");
+        b.leaf_element("author", "Suciu");
+        b.close_element();
+
+        b.open_element("book");
+        b.leaf_element("year", "2001");
+        b.leaf_element("title", "XML Processing");
+        b.leaf_element("author", "Chaudhri");
+        b.close_element();
+
+        b.open_element("phdthesis");
+        b.leaf_element("year", "2004");
+        b.leaf_element("title", "Views for XML");
+        b.leaf_element("author", "Smith");
+        b.close_element();
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// A fully XML-ized book (Figure 2.2): body/section markup with `it`/`b`
+/// formatting tags, motivating non-fragmented ("blob") storage.
+pub fn bib_document_with_sections() -> Document {
+    let mut b = DocumentBuilder::new();
+    b.open_element("bib");
+    {
+        b.open_element("book");
+        b.attribute("year", "1999");
+        b.leaf_element("title", "Data on the Web");
+        b.leaf_element("author", "Abiteboul");
+        b.leaf_element("author", "Suciu");
+        b.open_element("body");
+        for no in 1..=3 {
+            b.open_element("section");
+            b.attribute("no", &no.to_string());
+            b.text("In this book, we discuss ");
+            b.leaf_element("it", "Web data");
+            b.text(" as encountered in HTML and, increasingly, ");
+            b.leaf_element("b", "XML");
+            b.text(" documents on the Web.");
+            b.close_element();
+        }
+        b.close_element();
+        b.close_element();
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// Emit the recursive XMark `parlist` structure: a `parlist` holds
+/// `listitem`s, whose `text` children mix character data with `bold`,
+/// `emph` and `keyword` markup, and which may recursively hold another
+/// `parlist`. `depth_left` bounds the unfolding (the paper observes XML
+/// recursion "rarely unfolds at important depths").
+fn gen_parlist(b: &mut DocumentBuilder, rng: &mut SmallRng, depth_left: u8, force_deep: bool) {
+    b.open_element("parlist");
+    let items = rng.gen_range(1..=3);
+    for i in 0..items {
+        b.open_element("listitem");
+        b.open_element("text");
+        b.text(&words(rng, 4));
+        b.leaf_element("bold", &words(rng, 1));
+        b.text(&words(rng, 2));
+        b.leaf_element("emph", &words(rng, 1));
+        b.leaf_element("keyword", &words(rng, 1));
+        b.close_element();
+        let recurse = depth_left > 0 && ((force_deep && i == 0) || rng.gen_bool(0.25));
+        if recurse {
+            gen_parlist(b, rng, depth_left - 1, force_deep && i == 0);
+        }
+        b.close_element();
+    }
+    b.close_element();
+}
+
+fn gen_description(b: &mut DocumentBuilder, rng: &mut SmallRng, force_deep: bool) {
+    b.open_element("description");
+    // A description holds either marked-up recursive parlists or a direct
+    // text child; the forced first record of each context emits both, so
+    // the path summary does not depend on the document scale.
+    let parlist = force_deep || rng.gen_bool(0.7);
+    if parlist {
+        gen_parlist(b, rng, 2, force_deep);
+    }
+    if force_deep || !parlist {
+        b.open_element("text");
+        b.text(&words(rng, 6));
+        b.leaf_element("bold", &words(rng, 1));
+        b.leaf_element("keyword", &words(rng, 1));
+        b.leaf_element("emph", &words(rng, 1));
+        b.close_element();
+    }
+    b.close_element();
+}
+
+fn gen_item(b: &mut DocumentBuilder, rng: &mut SmallRng, id: usize, force_deep: bool) {
+    b.open_element("item");
+    b.attribute("id", &format!("item{id}"));
+    b.leaf_element("location", "United States");
+    b.leaf_element("quantity", &rng.gen_range(1..5).to_string());
+    b.leaf_element("name", &words(rng, 2));
+    b.open_element("payment");
+    b.text("Creditcard");
+    b.close_element();
+    gen_description(b, rng, force_deep);
+    if force_deep || rng.gen_bool(0.8) {
+        b.open_element("shipping");
+        b.text("Will ship internationally");
+        b.close_element();
+    }
+    for _ in 0..rng.gen_range(1..=2) {
+        b.open_element("incategory");
+        b.attribute("category", &format!("category{}", rng.gen_range(0..10)));
+        b.close_element();
+    }
+    if force_deep || rng.gen_bool(0.6) {
+        b.open_element("mailbox");
+        for _ in 0..rng.gen_range(1..=2) {
+            b.open_element("mail");
+            b.leaf_element("from", &words(rng, 1));
+            b.leaf_element("to", &words(rng, 1));
+            b.leaf_element("date", "07/06/2000");
+            b.open_element("text");
+            b.text(&words(rng, 5));
+            b.leaf_element("bold", &words(rng, 1));
+            b.leaf_element("emph", &words(rng, 1));
+            b.leaf_element("keyword", &words(rng, 1));
+            b.close_element();
+            b.close_element();
+        }
+        b.close_element();
+    }
+    b.close_element();
+}
+
+fn gen_person(b: &mut DocumentBuilder, rng: &mut SmallRng, id: usize, full: bool) {
+    b.open_element("person");
+    b.attribute("id", &format!("person{id}"));
+    b.leaf_element("name", &words(rng, 2));
+    b.leaf_element("emailaddress", &format!("mailto:u{id}@example.org"));
+    if full || rng.gen_bool(0.5) {
+        b.leaf_element("phone", "+1 555 0100");
+    }
+    if full || rng.gen_bool(0.5) {
+        b.open_element("address");
+        b.leaf_element("street", &words(rng, 2));
+        b.leaf_element("city", &words(rng, 1));
+        b.leaf_element("country", "United States");
+        b.leaf_element("zipcode", &rng.gen_range(10000..99999).to_string());
+        b.close_element();
+    }
+    if full || rng.gen_bool(0.4) {
+        b.leaf_element("homepage", &format!("http://example.org/~u{id}"));
+    }
+    if full || rng.gen_bool(0.4) {
+        b.leaf_element("creditcard", "1234 5678 9012 3456");
+    }
+    if full || rng.gen_bool(0.6) {
+        b.open_element("profile");
+        b.attribute("income", &format!("{}", rng.gen_range(20000..120000)));
+        for _ in 0..rng.gen_range(1..=3) {
+            b.open_element("interest");
+            b.attribute("category", &format!("category{}", rng.gen_range(0..10)));
+            b.close_element();
+        }
+        if full || rng.gen_bool(0.5) {
+            b.leaf_element("education", "Graduate School");
+        }
+        b.leaf_element("gender", if rng.gen_bool(0.5) { "male" } else { "female" });
+        b.leaf_element("business", "Yes");
+        b.leaf_element("age", &rng.gen_range(18..80).to_string());
+        b.close_element();
+    }
+    if full || rng.gen_bool(0.3) {
+        b.open_element("watches");
+        for _ in 0..rng.gen_range(1..=2) {
+            b.open_element("watch");
+            b.attribute("open_auction", &format!("open_auction{}", rng.gen_range(0..20)));
+            b.close_element();
+        }
+        b.close_element();
+    }
+    b.close_element();
+}
+
+fn gen_annotation(b: &mut DocumentBuilder, rng: &mut SmallRng, force_deep: bool) {
+    b.open_element("annotation");
+    b.open_element("author");
+    b.attribute("person", &format!("person{}", rng.gen_range(0..50)));
+    b.close_element();
+    gen_description(b, rng, force_deep);
+    b.leaf_element("happiness", &rng.gen_range(1..10).to_string());
+    b.close_element();
+}
+
+/// Generate an XMark-like auction document. `scale` is roughly the number
+/// of items per region; `scale = 10` gives a document of a few thousand
+/// nodes, `scale = 1000` a few hundred thousand. The first record of each
+/// kind is generated with every optional branch present and deep recursive
+/// markup, so the path summary of any two documents at different scales is
+/// identical — mirroring the paper's observation (Fig 4.13) that the XMark
+/// summary barely grows with document size.
+pub fn xmark(scale: usize, seed: u64) -> Document {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = DocumentBuilder::new();
+    let regions = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+    b.open_element("site");
+    {
+        b.open_element("regions");
+        let mut id = 0;
+        for r in regions {
+            b.open_element(r);
+            for i in 0..scale.max(1) {
+                gen_item(&mut b, &mut rng, id, i == 0);
+                id += 1;
+            }
+            b.close_element();
+        }
+        b.close_element();
+
+        b.open_element("categories");
+        for c in 0..(scale / 2).max(2) {
+            b.open_element("category");
+            b.attribute("id", &format!("category{c}"));
+            b.leaf_element("name", &words(&mut rng, 1));
+            gen_description(&mut b, &mut rng, c == 0);
+            b.close_element();
+        }
+        b.close_element();
+
+        b.open_element("catgraph");
+        for _ in 0..(scale / 2).max(1) {
+            b.open_element("edge");
+            b.attribute("from", &format!("category{}", rng.gen_range(0..10)));
+            b.attribute("to", &format!("category{}", rng.gen_range(0..10)));
+            b.close_element();
+        }
+        b.close_element();
+
+        b.open_element("people");
+        for p in 0..scale.max(2) {
+            gen_person(&mut b, &mut rng, p, p == 0);
+        }
+        b.close_element();
+
+        b.open_element("open_auctions");
+        for a in 0..scale.max(1) {
+            let full = a == 0;
+            b.open_element("open_auction");
+            b.attribute("id", &format!("open_auction{a}"));
+            b.open_element("initial");
+            b.text(&format!("{:.2}", rng.gen_range(1.0..200.0)));
+            b.close_element();
+            if full || rng.gen_bool(0.5) {
+                b.leaf_element("reserve", &format!("{:.2}", rng.gen_range(1.0..400.0)));
+            }
+            for _ in 0..rng.gen_range(1..=3) {
+                b.open_element("bidder");
+                b.leaf_element("date", "07/06/2000");
+                b.leaf_element("time", "11:00:00");
+                b.open_element("personref");
+                b.attribute("person", &format!("person{}", rng.gen_range(0..50)));
+                b.close_element();
+                b.leaf_element("increase", &format!("{:.2}", rng.gen_range(1.0..30.0)));
+                b.close_element();
+            }
+            b.leaf_element("current", &format!("{:.2}", rng.gen_range(1.0..600.0)));
+            if full || rng.gen_bool(0.3) {
+                b.leaf_element("privacy", "Yes");
+            }
+            b.open_element("itemref");
+            b.attribute("item", &format!("item{}", rng.gen_range(0..60)));
+            b.close_element();
+            b.open_element("seller");
+            b.attribute("person", &format!("person{}", rng.gen_range(0..50)));
+            b.close_element();
+            gen_annotation(&mut b, &mut rng, full);
+            b.leaf_element("quantity", &rng.gen_range(1..5).to_string());
+            b.leaf_element("type", "Regular");
+            b.open_element("interval");
+            b.leaf_element("start", "01/01/2000");
+            b.leaf_element("end", "12/31/2000");
+            b.close_element();
+            b.close_element();
+        }
+        b.close_element();
+
+        b.open_element("closed_auctions");
+        for a in 0..(scale / 2).max(1) {
+            let full = a == 0;
+            b.open_element("closed_auction");
+            b.open_element("seller");
+            b.attribute("person", &format!("person{}", rng.gen_range(0..50)));
+            b.close_element();
+            b.open_element("buyer");
+            b.attribute("person", &format!("person{}", rng.gen_range(0..50)));
+            b.close_element();
+            b.open_element("itemref");
+            b.attribute("item", &format!("item{}", rng.gen_range(0..60)));
+            b.close_element();
+            b.leaf_element("price", &format!("{:.2}", rng.gen_range(1.0..600.0)));
+            b.leaf_element("date", "07/06/2000");
+            b.leaf_element("quantity", "1");
+            b.leaf_element("type", "Regular");
+            gen_annotation(&mut b, &mut rng, full);
+            b.close_element();
+        }
+        b.close_element();
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// Generate a DBLP-like bibliography. `scale` is the number of records. The
+/// resulting path summary is small (tens of nodes) and rich in `1`/`+`
+/// edges: every record has exactly one title and year, at least one author —
+/// the integrity constraints Chapter 4.2.2 exploits.
+pub fn dblp(scale: usize, seed: u64) -> Document {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = DocumentBuilder::new();
+    b.open_element("dblp");
+    for i in 0..scale.max(4) {
+        let kind = if i < 4 {
+            // force one of each record type so the summary is scale-invariant
+            ["article", "inproceedings", "book", "phdthesis"][i]
+        } else {
+            ["article", "inproceedings", "book", "phdthesis"][rng.gen_range(0..4)]
+        };
+        b.open_element(kind);
+        b.attribute("key", &format!("{kind}/x/{i}"));
+        b.attribute("mdate", "2005-01-01");
+        for _ in 0..rng.gen_range(1..=3) {
+            b.leaf_element("author", &words(&mut rng, 2));
+        }
+        b.leaf_element("title", &words(&mut rng, 4));
+        b.leaf_element("year", &rng.gen_range(1990..2006).to_string());
+        match kind {
+            "article" => {
+                b.leaf_element("journal", &words(&mut rng, 2));
+                b.leaf_element("volume", &rng.gen_range(1..40).to_string());
+                b.leaf_element("pages", "1-20");
+                if i < 4 || rng.gen_bool(0.6) {
+                    b.leaf_element("ee", "http://doi.example.org/x");
+                }
+            }
+            "inproceedings" => {
+                b.leaf_element("booktitle", &words(&mut rng, 2));
+                b.leaf_element("pages", "100-110");
+                if i < 4 || rng.gen_bool(0.5) {
+                    b.leaf_element("crossref", "conf/x/2005");
+                }
+                if i < 4 || rng.gen_bool(0.4) {
+                    b.leaf_element("cite", &format!("ref{}", rng.gen_range(0..50)));
+                }
+            }
+            "book" => {
+                b.leaf_element("publisher", &words(&mut rng, 1));
+                b.leaf_element("isbn", "0-000-00000-0");
+            }
+            _ => {
+                b.leaf_element("school", &words(&mut rng, 2));
+            }
+        }
+        if i < 4 || rng.gen_bool(0.7) {
+            b.leaf_element("url", &format!("db/{kind}/{i}.html"));
+        }
+        b.close_element();
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// Generate a Shakespeare-play-like document (`PLAY/ACT/SCENE/SPEECH/LINE`).
+/// Used only for the Fig 4.13 summary-statistics table.
+pub fn shakespeare(scale: usize, seed: u64) -> Document {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = DocumentBuilder::new();
+    b.open_element("PLAY");
+    b.leaf_element("TITLE", "The Tragedy of Synthetic Data");
+    b.open_element("FM");
+    for _ in 0..3 {
+        b.leaf_element("P", &words(&mut rng, 6));
+    }
+    b.close_element();
+    b.open_element("PERSONAE");
+    b.leaf_element("TITLE", "Dramatis Personae");
+    for _ in 0..6 {
+        b.leaf_element("PERSONA", &words(&mut rng, 2));
+    }
+    b.open_element("PGROUP");
+    b.leaf_element("PERSONA", &words(&mut rng, 2));
+    b.leaf_element("GRPDESCR", &words(&mut rng, 3));
+    b.close_element();
+    b.close_element();
+    b.leaf_element("SCNDESCR", &words(&mut rng, 5));
+    b.leaf_element("PLAYSUBT", "SYNTHETIC");
+    for act in 0..scale.max(1) {
+        b.open_element("ACT");
+        b.leaf_element("TITLE", &format!("ACT {}", act + 1));
+        for sc in 0..4 {
+            b.open_element("SCENE");
+            b.leaf_element("TITLE", &format!("SCENE {}", sc + 1));
+            b.leaf_element("STAGEDIR", &words(&mut rng, 4));
+            for _ in 0..8 {
+                b.open_element("SPEECH");
+                b.leaf_element("SPEAKER", &words(&mut rng, 1));
+                for _ in 0..rng.gen_range(2..6) {
+                    b.leaf_element("LINE", &words(&mut rng, 7));
+                }
+                if rng.gen_bool(0.2) {
+                    b.leaf_element("STAGEDIR", &words(&mut rng, 3));
+                }
+                b.close_element();
+            }
+            b.close_element();
+        }
+        b.close_element();
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// Generate a NASA-astronomy-like dataset document. Fig 4.13 table only.
+pub fn nasa(scale: usize, seed: u64) -> Document {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = DocumentBuilder::new();
+    b.open_element("datasets");
+    for i in 0..scale.max(1) {
+        let full = i == 0;
+        b.open_element("dataset");
+        b.attribute("subject", "astronomy");
+        b.leaf_element("title", &words(&mut rng, 3));
+        b.open_element("altname");
+        b.attribute("type", "ADC");
+        b.text(&words(&mut rng, 1));
+        b.close_element();
+        b.open_element("reference");
+        b.open_element("source");
+        b.open_element("other");
+        b.leaf_element("title", &words(&mut rng, 3));
+        b.open_element("author");
+        b.open_element("initial");
+        b.text("J");
+        b.close_element();
+        b.leaf_element("lastName", &words(&mut rng, 1));
+        b.close_element();
+        b.leaf_element("name", &words(&mut rng, 2));
+        b.leaf_element("publisher", &words(&mut rng, 1));
+        b.leaf_element("city", &words(&mut rng, 1));
+        b.leaf_element("date", "1999");
+        b.close_element();
+        b.close_element();
+        b.close_element();
+        b.open_element("keywords");
+        for _ in 0..3 {
+            b.leaf_element("keyword", &words(&mut rng, 1));
+        }
+        b.close_element();
+        if full || rng.gen_bool(0.7) {
+            b.open_element("descriptions");
+            b.open_element("description");
+            b.open_element("para");
+            b.text(&words(&mut rng, 10));
+            b.close_element();
+            b.close_element();
+            b.leaf_element("details", &words(&mut rng, 6));
+            b.close_element();
+        }
+        b.open_element("tableHead");
+        for _ in 0..rng.gen_range(2..5) {
+            b.open_element("tableLinks");
+            b.open_element("tableLink");
+            b.attribute("href", "table.dat");
+            b.leaf_element("title", &words(&mut rng, 2));
+            b.close_element();
+            b.close_element();
+        }
+        b.close_element();
+        if full || rng.gen_bool(0.5) {
+            b.open_element("history");
+            b.open_element("ingest");
+            b.open_element("creator");
+            b.leaf_element("lastName", &words(&mut rng, 1));
+            b.close_element();
+            b.leaf_element("date", "2000-01-01");
+            b.close_element();
+            b.close_element();
+        }
+        b.leaf_element("identifier", &format!("J_A+A_{i}"));
+        b.close_element();
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// Generate a SwissProt-like protein database document. Fig 4.13 table only.
+pub fn swissprot(scale: usize, seed: u64) -> Document {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = DocumentBuilder::new();
+    let features = [
+        "DOMAIN", "CHAIN", "SIGNAL", "TRANSMEM", "CARBOHYD", "BINDING", "ACT_SITE", "CONFLICT",
+        "DISULFID", "HELIX", "STRAND", "TURN", "MOD_RES", "MUTAGEN", "NP_BIND", "PEPTIDE",
+        "PROPEP", "REPEAT", "SIMILAR", "SITE", "VARIANT", "ZN_FING",
+    ];
+    b.open_element("root");
+    for i in 0..scale.max(1) {
+        let full = i == 0;
+        b.open_element("Entry");
+        b.attribute("id", &format!("P{i:05}"));
+        b.attribute("class", "STANDARD");
+        b.attribute("mtype", "PRT");
+        b.attribute("seqlen", &rng.gen_range(50..900).to_string());
+        b.leaf_element("AC", &format!("Q{i:05}"));
+        b.open_element("Mod");
+        b.attribute("date", "01-JAN-2000");
+        b.attribute("Rel", "40");
+        b.attribute("type", "Created");
+        b.close_element();
+        b.leaf_element("Descr", &words(&mut rng, 4));
+        b.leaf_element("Species", &words(&mut rng, 2));
+        b.leaf_element("Org", "Eukaryota");
+        b.open_element("Ref");
+        b.attribute("num", "1");
+        b.attribute("pos", "SEQUENCE");
+        b.open_element("Comment");
+        b.text(&words(&mut rng, 3));
+        b.close_element();
+        b.leaf_element("DB", "MEDLINE");
+        b.leaf_element("MedlineID", &rng.gen_range(90000000..99999999).to_string());
+        for _ in 0..rng.gen_range(1..4) {
+            b.leaf_element("Author", &words(&mut rng, 2));
+        }
+        b.leaf_element("Cite", &words(&mut rng, 4));
+        b.close_element();
+        b.open_element("EMBL");
+        b.attribute("prim_id", &format!("X{i:05}"));
+        b.attribute("sec_id", &format!("CAA{i:05}"));
+        b.close_element();
+        b.open_element("INTERPRO");
+        b.attribute("prim_id", &format!("IPR{i:06}"));
+        b.close_element();
+        b.open_element("PROSITE");
+        b.attribute("prim_id", &format!("PS{i:05}"));
+        b.attribute("status", "1");
+        b.close_element();
+        b.leaf_element("Keyword", &words(&mut rng, 1));
+        // features: the first entry gets every feature tag so the summary is
+        // large (SwissProt's real summary is ~264 nodes) and scale-invariant.
+        let nfeat = if full { features.len() } else { rng.gen_range(2..8) };
+        for f in 0..nfeat {
+            let name = if full {
+                features[f]
+            } else {
+                features[rng.gen_range(0..features.len())]
+            };
+            b.open_element("Features");
+            b.open_element(name);
+            b.attribute("from", &rng.gen_range(1..100).to_string());
+            b.attribute("to", &rng.gen_range(100..500).to_string());
+            b.open_element("Descr");
+            b.text(&words(&mut rng, 2));
+            b.close_element();
+            b.close_element();
+            b.close_element();
+        }
+        b.close_element();
+    }
+    b.close_element();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bib_sample_matches_figure_2_5() {
+        let d = bib_sample();
+        assert_eq!(d.label(d.root()), "library");
+        let kids = d.children(d.root());
+        assert_eq!(kids.len(), 3);
+        assert_eq!(d.label(kids[0]), "book");
+        assert_eq!(d.label(kids[2]), "phdthesis");
+        // first book has a year attribute, a title and two authors
+        let book = kids[0];
+        assert_eq!(d.children(book).len(), 4);
+        assert_eq!(d.value(d.children(book)[1]), "Data on the Web");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = xmark(5, 42);
+        let b = xmark(5, 42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.all_nodes().zip(b.all_nodes()) {
+            assert_eq!(a.label(x), b.label(y));
+        }
+        let c = xmark(5, 43);
+        // a different seed almost surely gives a different node count
+        assert!(a.len() != c.len() || a.value(a.root()) != c.value(c.root()));
+    }
+
+    #[test]
+    fn xmark_scales() {
+        let small = xmark(2, 1);
+        let big = xmark(20, 1);
+        assert!(big.len() > 4 * small.len());
+    }
+
+    #[test]
+    fn xmark_has_recursive_parlist() {
+        let d = xmark(3, 7);
+        // find a listitem that has a parlist descendant (recursion unfolded)
+        let mut found = false;
+        for n in d.elements() {
+            if d.label(n) == "listitem"
+                && d.descendants(n).any(|m| d.label(m) == "parlist")
+            {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "description/parlist/listitem recursion must unfold");
+    }
+
+    #[test]
+    fn dblp_has_all_record_kinds() {
+        let d = dblp(4, 1);
+        for kind in ["article", "inproceedings", "book", "phdthesis"] {
+            assert!(
+                d.elements().any(|n| d.label(n) == kind),
+                "missing {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn dblp_records_have_mandatory_children() {
+        let d = dblp(50, 3);
+        for n in d.children(d.root()) {
+            let labels: Vec<_> = d.children(*n).iter().map(|c| d.label(*c)).collect();
+            assert!(labels.contains(&"title"));
+            assert!(labels.contains(&"year"));
+            assert!(labels.contains(&"author"));
+        }
+    }
+
+    #[test]
+    fn other_generators_build() {
+        assert!(shakespeare(2, 1).len() > 100);
+        assert!(nasa(3, 1).len() > 100);
+        assert!(swissprot(3, 1).len() > 100);
+    }
+}

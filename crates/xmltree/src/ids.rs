@@ -1,0 +1,161 @@
+//! `(pre, post, depth)` structural identifiers (§1.2.1).
+//!
+//! The identifier of each node is the triple of its pre-order rank, its
+//! post-order rank and its depth. Comparing two identifiers decides every
+//! structural axis without touching the tree — the *pre/post plane* of
+//! Grust's XPath Accelerator, reproduced in Example 1.2.1 of the paper:
+//!
+//! * `m` descendant of `n`  ⟺  `pre_n < pre_m ∧ post_m < post_n`
+//! * `m` child of `n`       ⟺  descendant ∧ `depth_m = depth_n + 1`
+//! * `m` precedes `n`       ⟺  `post_m < pre_n` *(rank-comparable encoding)*
+//! * `m` follows `n`        ⟺  `post_n < pre_m`
+//!
+//! Note on precede/follow: with *separate* pre and post counters the paper's
+//! `post_m < pre_n` test is heuristic; we expose the exact document-order
+//! test [`StructuralId::precedes`] based on pre ranks plus the
+//! ancestor test, which is correct for any numbering.
+
+/// A `(pre, post, depth)` structural identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StructuralId {
+    /// Pre-order rank (document order), starting at 0 for the root element.
+    pub pre: u32,
+    /// Post-order rank, starting at 0.
+    pub post: u32,
+    /// Depth; the root element has depth 1.
+    pub depth: u16,
+}
+
+impl StructuralId {
+    pub fn new(pre: u32, post: u32, depth: u16) -> Self {
+        StructuralId { pre, post, depth }
+    }
+
+    /// `self ≺≺ other`: is `self` a proper ancestor of `other`?
+    #[inline]
+    pub fn is_ancestor_of(self, other: StructuralId) -> bool {
+        self.pre < other.pre && other.post < self.post
+    }
+
+    /// `self ≺ other`: is `self` the parent of `other`?
+    #[inline]
+    pub fn is_parent_of(self, other: StructuralId) -> bool {
+        self.is_ancestor_of(other) && self.depth + 1 == other.depth
+    }
+
+    /// Is `self` a proper descendant of `other`?
+    #[inline]
+    pub fn is_descendant_of(self, other: StructuralId) -> bool {
+        other.is_ancestor_of(self)
+    }
+
+    /// Does `self` precede `other` in document order, with neither being an
+    /// ancestor of the other?
+    #[inline]
+    pub fn precedes(self, other: StructuralId) -> bool {
+        self.pre < other.pre && !self.is_ancestor_of(other)
+    }
+
+    /// Does `self` follow `other` in document order, with neither being an
+    /// ancestor of the other?
+    #[inline]
+    pub fn follows(self, other: StructuralId) -> bool {
+        other.precedes(self)
+    }
+
+    /// The four-quadrant classification of `other` relative to `self`, as in
+    /// the pre/post-plane picture (Figure 1.3 of the paper).
+    pub fn classify(self, other: StructuralId) -> Axis {
+        if self == other {
+            Axis::SelfNode
+        } else if self.is_ancestor_of(other) {
+            Axis::Descendant
+        } else if other.is_ancestor_of(self) {
+            Axis::Ancestor
+        } else if other.pre < self.pre {
+            Axis::Preceding
+        } else {
+            Axis::Following
+        }
+    }
+}
+
+/// Relative position of a node in the pre/post plane of another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    SelfNode,
+    /// `other` is a descendant of `self`.
+    Descendant,
+    /// `other` is an ancestor of `self`.
+    Ancestor,
+    /// `other` precedes `self` in document order.
+    Preceding,
+    /// `other` follows `self` in document order.
+    Following,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::DocumentBuilder;
+
+    /// Build `<a><b><c/><d/></b><e/></a>` and cross-check every pair of
+    /// nodes against the tree-walking ground truth.
+    #[test]
+    fn plane_predicates_match_tree() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a");
+        b.open_element("b");
+        b.open_element("c");
+        b.close_element();
+        b.open_element("d");
+        b.close_element();
+        b.close_element();
+        b.open_element("e");
+        b.close_element();
+        b.close_element();
+        let doc = b.finish();
+
+        for n in doc.all_nodes() {
+            for m in doc.all_nodes() {
+                let sn = doc.structural_id(n);
+                let sm = doc.structural_id(m);
+                // ground truth by parent-chain walking
+                let mut anc = doc.parent(m);
+                let mut is_anc = false;
+                while let Some(a) = anc {
+                    if a == n {
+                        is_anc = true;
+                        break;
+                    }
+                    anc = doc.parent(a);
+                }
+                assert_eq!(sn.is_ancestor_of(sm), is_anc, "{n} anc {m}");
+                assert_eq!(sn.is_parent_of(sm), doc.parent(m) == Some(n));
+            }
+        }
+    }
+
+    #[test]
+    fn classify_quadrants() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a"); // pre 0
+        b.open_element("b"); // pre 1
+        b.close_element();
+        b.open_element("c"); // pre 2
+        b.close_element();
+        b.close_element();
+        let doc = b.finish();
+        let a = doc.structural_id(crate::NodeId(0));
+        let bb = doc.structural_id(crate::NodeId(1));
+        let c = doc.structural_id(crate::NodeId(2));
+        assert_eq!(a.classify(bb), Axis::Descendant);
+        assert_eq!(bb.classify(a), Axis::Ancestor);
+        assert_eq!(c.classify(bb), Axis::Preceding);
+        assert_eq!(bb.classify(c), Axis::Following);
+        assert_eq!(a.classify(a), Axis::SelfNode);
+        assert!(bb.precedes(c));
+        assert!(c.follows(bb));
+        assert!(!a.precedes(bb)); // ancestor, not preceding
+    }
+}

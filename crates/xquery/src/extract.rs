@@ -1,0 +1,620 @@
+//! Pattern extraction (§3.3): from a `Q` query to **maximal** XAM query
+//! patterns plus a combination skeleton and a tagging template.
+//!
+//! The extractor walks the query, maintaining a mapping from variables to
+//! pattern nodes:
+//!
+//! * a `for` binding rooted at `doc(…)` opens a **new pattern** (distinct
+//!   patterns combine by cartesian product, as in the `V10 × V11`
+//!   rewriting of §3.3.3);
+//! * a binding rooted at a variable **extends that variable's pattern** —
+//!   this is what makes patterns *span nested FLWR blocks*, the chapter's
+//!   headline improvement over per-block extraction;
+//! * `where` conditions against constants become value predicates on
+//!   semijoin branches inside the pattern; conditions relating two paths
+//!   (value joins) and `ftcontains` become *post-filters* on the combined
+//!   plan — exactly the residue that tree patterns cannot absorb;
+//! * `return` expressions become nest-outerjoin (`no`) branches storing
+//!   `Cont` (or `Val` after `text()`): optional because element
+//!   constructors must produce output even for empty sub-results (§3.1),
+//!   nested because all matches are grouped into one constructed element.
+//!
+//! Where the paper's flat example patterns need a compensating selection
+//! (the `d → e` dependency of §3.1), our extractor places inner-block
+//! branches *under* the binding node with nested edges, so the dependency
+//! is captured structurally.
+
+use std::collections::HashMap;
+
+use algebra::{CmpOp, Operand, Path as APath, Predicate, Template, Value};
+use xam_core::ast::{
+    Axis, EdgeSem, Formula, FormulaConst, IdKind, Xam, XamEdge, XamNode, XamNodeId,
+};
+
+use crate::parse::{Cond, Const, NameTest, PathExpr, PathRoot, Pred, Query, Step};
+
+/// The result of pattern extraction.
+#[derive(Debug, Clone)]
+pub struct ExtractedQuery {
+    /// The maximal query patterns (`XQ_1 … XQ_n` of Figure 5.1), combined
+    /// by cartesian product in order.
+    pub patterns: Vec<Xam>,
+    /// Post-filters on the combined schema: value joins between patterns
+    /// and other residue the pattern language cannot express.
+    pub post_filters: Vec<Predicate>,
+    /// The tagging template producing the serialized result.
+    pub template: Template,
+}
+
+/// Extraction error (unbound variables, unsupported shapes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractError(pub String);
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pattern extraction error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+struct Extractor {
+    patterns: Vec<Xam>,
+    /// variable → (pattern index, node id)
+    vars: HashMap<String, (usize, XamNodeId)>,
+    /// node → (pattern index, dotted nest prefix of its columns)
+    prefixes: Vec<HashMap<XamNodeId, String>>,
+    post_filters: Vec<Predicate>,
+    counter: u32,
+}
+
+impl Extractor {
+    fn fresh(&mut self, base: &str) -> String {
+        self.counter += 1;
+        format!("{base}{}", self.counter)
+    }
+
+    /// Column path of a stored attribute of a node.
+    fn col(&self, pat: usize, n: XamNodeId, suffix: &str) -> String {
+        let name = &self.patterns[pat].node(n).name;
+        format!("{}{}_{}", self.prefixes[pat][&n], name, suffix)
+    }
+
+    /// Append one pattern node for a step.
+    fn add_step_node(
+        &mut self,
+        pat: usize,
+        under: XamNodeId,
+        step: &Step,
+        sem: EdgeSem,
+    ) -> Result<XamNodeId, ExtractError> {
+        let axis = if step.descendant {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
+        let (label, is_attr) = match &step.test {
+            NameTest::Star => (None, false),
+            NameTest::Label(l) => (Some(l.clone()), false),
+            NameTest::Attr(a) => (Some(a.clone()), true),
+            NameTest::Text => {
+                return Err(ExtractError("text() only allowed as the last step".into()))
+            }
+        };
+        let base = label.as_deref().unwrap_or("star");
+        let mut node = XamNode::star(self.fresh(base));
+        node.tag_predicate = label;
+        node.is_attribute = is_attr;
+        node.edge = XamEdge { axis, sem };
+        let id = self.patterns[pat].add_child(under, node);
+        // maintain prefixes
+        let parent_prefix = self.prefixes[pat][&under].clone();
+        let prefix = if sem.is_nested() {
+            format!("{parent_prefix}{}.", self.patterns[pat].node(id).name)
+        } else {
+            parent_prefix
+        };
+        self.prefixes[pat].insert(id, prefix);
+        // bracketed predicates become semijoin branches
+        for p in &step.preds {
+            self.add_pred_branch(pat, id, p)?;
+        }
+        Ok(id)
+    }
+
+    /// A bracketed predicate `[path (θ c)?]` as a semijoin branch.
+    fn add_pred_branch(
+        &mut self,
+        pat: usize,
+        under: XamNodeId,
+        pred: &Pred,
+    ) -> Result<(), ExtractError> {
+        let mut cur = under;
+        let mut steps = pred.path.clone();
+        // a trailing text() step shifts the comparison to its parent node
+        let ends_text = matches!(steps.last(), Some(s) if s.test == NameTest::Text);
+        if ends_text {
+            steps.pop();
+        }
+        for (i, s) in steps.iter().enumerate() {
+            let sem = if i == 0 { EdgeSem::Semi } else { EdgeSem::Join };
+            cur = self.add_step_node(pat, cur, s, sem)?;
+        }
+        if let Some((op, c)) = &pred.cmp {
+            let target = if cur == under {
+                under // `[text() = c]` on the node itself
+            } else {
+                cur
+            };
+            let f = Formula::Cmp(
+                *op,
+                match c {
+                    Const::Str(s) => FormulaConst::Str(s.clone()),
+                    Const::Int(i) => FormulaConst::Int(*i),
+                },
+            );
+            let node = self.patterns[pat].node_mut(target);
+            let prev = std::mem::replace(&mut node.value_predicate, Formula::True);
+            node.value_predicate = prev.and(f);
+        } else if cur == under {
+            return Err(ExtractError("empty predicate".into()));
+        }
+        Ok(())
+    }
+
+    /// Resolve a path expression's anchor: (pattern, node to extend from,
+    /// `None` node = extend from `⊤`).
+    fn anchor(
+        &mut self,
+        path: &PathExpr,
+        grouped: bool,
+    ) -> Result<(usize, Option<XamNodeId>), ExtractError> {
+        match &path.root {
+            PathRoot::Var(v) => {
+                let &(pat, node) = self
+                    .vars
+                    .get(v)
+                    .ok_or_else(|| ExtractError(format!("unbound variable ${v}")))?;
+                Ok((pat, Some(node)))
+            }
+            PathRoot::Doc(_) => {
+                // new pattern
+                let mut xam = Xam::top();
+                xam.ordered = true;
+                self.patterns.push(xam);
+                let mut prefix = HashMap::new();
+                prefix.insert(XamNodeId::TOP, String::new());
+                self.prefixes.push(prefix);
+                let _ = grouped; // ⊤-edge nesting handled by the caller
+                Ok((self.patterns.len() - 1, None))
+            }
+        }
+    }
+
+    /// Materialize the chain of a path expression. `first_sem` is the edge
+    /// semantics of the first step; later steps are plain joins. Returns
+    /// (pattern, final node, whether final result is the node's value).
+    fn add_path(
+        &mut self,
+        path: &PathExpr,
+        first_sem: EdgeSem,
+    ) -> Result<(usize, XamNodeId, bool), ExtractError> {
+        let grouped = first_sem.is_nested();
+        let (pat, mut cur) = self.anchor(path, grouped)?;
+        let mut steps = path.steps.clone();
+        let ends_text = matches!(steps.last(), Some(s) if s.test == NameTest::Text);
+        if ends_text {
+            steps.pop();
+        }
+        if steps.is_empty() {
+            // bare `$x` (or bare doc route, rejected by the parser)
+            let node =
+                cur.ok_or_else(|| ExtractError("document root cannot be returned".into()))?;
+            return Ok((pat, node, ends_text));
+        }
+        for (i, s) in steps.iter().enumerate() {
+            let under = cur.unwrap_or(XamNodeId::TOP);
+            let sem = if i == 0 { first_sem } else { EdgeSem::Join };
+            cur = Some(self.add_step_node(pat, under, s, sem)?);
+        }
+        Ok((pat, cur.unwrap(), ends_text))
+    }
+
+    /// Mark a node as stored for output and return its column path.
+    fn store_output(&mut self, pat: usize, node: XamNodeId, text: bool) -> String {
+        let n = self.patterns[pat].node_mut(node);
+        if text || n.is_attribute {
+            n.stores_val = true;
+            self.col(pat, node, "Val")
+        } else {
+            n.stores_cont = true;
+            self.col(pat, node, "Cont")
+        }
+    }
+
+    /// A column path relative to the already-open nest prefix: builds the
+    /// `ForEach` chain for the remaining nest segments.
+    fn column_template(&self, col: &str, open_prefix: &str) -> Template {
+        let rest = col
+            .strip_prefix(open_prefix)
+            .unwrap_or(col);
+        let segs: Vec<&str> = rest.split('.').collect();
+        let mut t = Template::attr(*segs.last().unwrap());
+        for seg in segs[..segs.len() - 1].iter().rev() {
+            t = Template::for_each(*seg, vec![t]);
+        }
+        t
+    }
+
+    /// Walk a query in return position, producing templates.
+    /// `grouped`: inside an element constructor. `open_prefix`: nest
+    /// fields already iterated by enclosing templates.
+    fn walk(
+        &mut self,
+        q: &Query,
+        grouped: bool,
+        open_prefix: &str,
+    ) -> Result<Vec<Template>, ExtractError> {
+        match q {
+            Query::Concat(items) => {
+                let mut out = Vec::new();
+                for i in items {
+                    out.extend(self.walk(i, grouped, open_prefix)?);
+                }
+                Ok(out)
+            }
+            Query::Element { tag, content } => {
+                let mut children = Vec::new();
+                for c in content {
+                    children.extend(self.walk(c, true, open_prefix)?);
+                }
+                Ok(vec![Template::elem(tag.clone(), children)])
+            }
+            Query::Path(p) => {
+                let sem = if grouped {
+                    EdgeSem::NestOuter
+                } else {
+                    EdgeSem::Join
+                };
+                let (pat, node, text) = self.add_path(p, sem)?;
+                // a new doc-rooted pattern appearing in grouped position
+                // must nest entirely (its ⊤ edge becomes nested)
+                if matches!(p.root, PathRoot::Doc(_)) && grouped {
+                    let first = self.patterns[pat].children(XamNodeId::TOP)[0];
+                    self.patterns[pat].node_mut(first).edge.sem = EdgeSem::NestOuter;
+                    // fix prefixes below
+                    self.refresh_prefixes(pat);
+                }
+                let col = self.store_output(pat, node, text);
+                Ok(vec![self.column_template(&col, open_prefix)])
+            }
+            Query::Flwr {
+                bindings,
+                conditions,
+                ret,
+            } => {
+                let saved_vars = self.vars.clone();
+                // prefix segments opened by this block's bindings
+                let mut opened = String::from(open_prefix);
+                let mut nest_fields: Vec<String> = Vec::new();
+                for (var, path) in bindings {
+                    let sem = if grouped {
+                        EdgeSem::NestOuter
+                    } else {
+                        EdgeSem::Join
+                    };
+                    let (pat, node, text) = self.add_path(path, sem)?;
+                    if text {
+                        return Err(ExtractError(
+                            "for-binding over text() is not supported".into(),
+                        ));
+                    }
+                    if matches!(path.root, PathRoot::Doc(_)) && grouped {
+                        let first = self.patterns[pat].children(XamNodeId::TOP)[0];
+                        self.patterns[pat].node_mut(first).edge.sem = EdgeSem::NestOuter;
+                        self.refresh_prefixes(pat);
+                    }
+                    // binding nodes keep their (structural) identity so the
+                    // iteration multiplicity survives projections
+                    self.patterns[pat].node_mut(node).stores_id = Some(IdKind::Structural);
+                    self.vars.insert(var.clone(), (pat, node));
+                    if grouped {
+                        // the first chain node opened a nest field
+                        let np = &self.prefixes[pat][&node];
+                        if np.len() > opened.len() && np.starts_with(opened.as_str()) {
+                            let new_segs = np[opened.len()..]
+                                .trim_end_matches('.')
+                                .split('.')
+                                .map(|s| s.to_string())
+                                .collect::<Vec<_>>();
+                            nest_fields.extend(new_segs);
+                            opened = np.clone();
+                        }
+                    }
+                }
+                for c in conditions {
+                    self.add_condition(c)?;
+                }
+                let inner = self.walk(ret, grouped, &opened)?;
+                self.vars = saved_vars;
+                // wrap inner templates in the ForEach chain of the nests
+                let mut out = inner;
+                for f in nest_fields.into_iter().rev() {
+                    out = vec![Template::for_each(f, out)];
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn refresh_prefixes(&mut self, pat: usize) {
+        // recompute all prefixes of a pattern after edge-sem changes
+        let xam = &self.patterns[pat];
+        let mut map = HashMap::new();
+        map.insert(XamNodeId::TOP, String::new());
+        for n in xam.pattern_nodes() {
+            let p = xam.parent(n).unwrap();
+            let pp = map[&p].clone();
+            let prefix = if xam.node(n).edge.sem.is_nested() {
+                format!("{pp}{}.", xam.node(n).name)
+            } else {
+                pp
+            };
+            map.insert(n, prefix);
+        }
+        self.prefixes[pat] = map;
+    }
+
+    fn add_condition(&mut self, c: &Cond) -> Result<(), ExtractError> {
+        match c {
+            Cond::CmpConst(path, op, konst) => {
+                // a semijoin branch with a value predicate: filters the
+                // binding without multiplying it
+                let (pat, node, text) = self.add_path(path, EdgeSem::Semi)?;
+                let _ = text; // comparison applies to the node's value either way
+                let f = Formula::Cmp(
+                    *op,
+                    match konst {
+                        Const::Str(s) => FormulaConst::Str(s.clone()),
+                        Const::Int(i) => FormulaConst::Int(*i),
+                    },
+                );
+                let n = self.patterns[pat].node_mut(node);
+                let prev = std::mem::replace(&mut n.value_predicate, Formula::True);
+                n.value_predicate = prev.and(f);
+                Ok(())
+            }
+            Cond::CmpPath(l, op, r) => {
+                // value join: store both values, filter on the combined plan
+                let (lp, ln, _) = self.add_path(l, EdgeSem::NestOuter)?;
+                self.patterns[lp].node_mut(ln).stores_val = true;
+                let lcol = self.col(lp, ln, "Val");
+                let (rp, rn, _) = self.add_path(r, EdgeSem::NestOuter)?;
+                self.patterns[rp].node_mut(rn).stores_val = true;
+                let rcol = self.col(rp, rn, "Val");
+                self.post_filters.push(Predicate::col_cmp(lcol, *op, rcol));
+                Ok(())
+            }
+            Cond::FtContains(path, word) => {
+                let (pat, node, _) = self.add_path(path, EdgeSem::NestOuter)?;
+                self.patterns[pat].node_mut(node).stores_val = true;
+                let col = self.col(pat, node, "Val");
+                self.post_filters.push(Predicate::Cmp(
+                    Operand::Col(APath::new(col)),
+                    CmpOp::Contains,
+                    Operand::Const(Value::str(word)),
+                ));
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Extract the maximal patterns, post-filters and tagging template from a
+/// query.
+///
+/// ```
+/// let q = xquery::parse_query(
+///     r#"for $x in doc("bib.xml")//book return <info>{$x/author}{$x/title}</info>"#,
+/// ).unwrap();
+/// let ex = xquery::extract_patterns(&q).unwrap();
+/// assert_eq!(ex.patterns.len(), 1); // one maximal pattern
+/// assert_eq!(ex.patterns[0].pattern_size(), 3); // book, author, title
+/// ```
+pub fn extract_patterns(q: &Query) -> Result<ExtractedQuery, ExtractError> {
+    let mut ex = Extractor {
+        patterns: Vec::new(),
+        vars: HashMap::new(),
+        prefixes: Vec::new(),
+        post_filters: Vec::new(),
+        counter: 0,
+    };
+    let templates = ex.walk(q, false, "")?;
+    // every pattern must store at least the ID of its top node so empty
+    // patterns (pure iteration, e.g. `for $x in //a return <r></r>`)
+    // still drive the iteration
+    for (i, p) in ex.patterns.iter_mut().enumerate() {
+        if p.return_nodes().is_empty() {
+            if let Some(&first) = p.children(XamNodeId::TOP).first() {
+                p.node_mut(first).stores_id = Some(IdKind::Structural);
+            }
+            let _ = i;
+        }
+    }
+    let template = match templates.len() {
+        1 => templates.into_iter().next().unwrap(),
+        _ => Template::elem("result", templates),
+    };
+    Ok(ExtractedQuery {
+        patterns: ex.patterns,
+        post_filters: ex.post_filters,
+        template,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+
+    fn extract(q: &str) -> ExtractedQuery {
+        extract_patterns(&parse_query(q).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_pattern_for_simple_query() {
+        let ex = extract(r#"for $x in doc("bib.xml")//book return <info>{$x/author}{$x/title}</info>"#);
+        assert_eq!(ex.patterns.len(), 1);
+        let p = &ex.patterns[0];
+        assert_eq!(p.pattern_size(), 3);
+        // author and title branches are nest-outer (grouped, optional)
+        let book = p.children(xam_core::XamNodeId::TOP)[0];
+        for &c in p.children(book) {
+            assert_eq!(p.node(c).edge.sem, EdgeSem::NestOuter);
+            assert!(p.node(c).stores_cont);
+        }
+    }
+
+    #[test]
+    fn patterns_span_nested_blocks() {
+        // the motivating shape of §3.1: the inner for over $y extends $x's
+        // pattern rather than opening a new one
+        let ex = extract(
+            r#"for $x in doc("X")//item return
+               <res_item>{$x/name},
+                 for $y in $x//description return <res_desc>{$y//listitem}</res_desc>
+               </res_item>"#,
+        );
+        assert_eq!(ex.patterns.len(), 1, "pattern must span the nested block");
+        let p = &ex.patterns[0];
+        assert_eq!(p.pattern_size(), 4); // item, name, description, listitem
+        let desc = p.node_by_name("description2").or(p
+            .all_nodes()
+            .find(|&n| p.node(n).tag_predicate.as_deref() == Some("description"))
+            .map(Some)
+            .unwrap_or(None));
+        let desc = desc.expect("description node");
+        assert!(p.node(desc).edge.sem.is_nested());
+        // listitem is below description
+        let li = p
+            .all_nodes()
+            .find(|&n| p.node(n).tag_predicate.as_deref() == Some("listitem"))
+            .unwrap();
+        assert_eq!(p.parent(li), Some(desc));
+    }
+
+    #[test]
+    fn unrelated_doc_roots_give_separate_patterns() {
+        let ex = extract(
+            r#"for $x in doc("d")//a, $y in doc("d")//b return <r>{$x/c}{$y/e}</r>"#,
+        );
+        assert_eq!(ex.patterns.len(), 2);
+    }
+
+    #[test]
+    fn where_constant_becomes_value_predicate() {
+        let ex = extract(
+            r#"for $x in doc("bib.xml")//book where $x/year = "1999" return $x/title"#,
+        );
+        let p = &ex.patterns[0];
+        let year = p
+            .all_nodes()
+            .find(|&n| p.node(n).tag_predicate.as_deref() == Some("year"))
+            .unwrap();
+        assert_eq!(p.node(year).edge.sem, EdgeSem::Semi);
+        assert_eq!(p.node(year).value_predicate, Formula::eq_str("1999"));
+        assert!(ex.post_filters.is_empty());
+    }
+
+    #[test]
+    fn value_join_becomes_post_filter() {
+        let ex = extract(
+            r#"for $x in doc("d")//a, $y in doc("d")//b where $x/k = $y/k return <r>{$x}</r>"#,
+        );
+        assert_eq!(ex.patterns.len(), 2);
+        assert_eq!(ex.post_filters.len(), 1);
+    }
+
+    #[test]
+    fn ftcontains_becomes_contains_filter() {
+        let ex = extract(
+            r#"for $x in doc("bib.xml")//book/title where $x ftcontains "Web" return $x"#,
+        );
+        assert_eq!(ex.post_filters.len(), 1);
+        assert!(format!("{}", ex.post_filters[0]).contains("contains"));
+    }
+
+    #[test]
+    fn bracket_predicates_become_semijoins() {
+        let ex = extract(r#"doc("d")//a[b/c]//e"#);
+        let p = &ex.patterns[0];
+        let b = p
+            .all_nodes()
+            .find(|&n| p.node(n).tag_predicate.as_deref() == Some("b"))
+            .unwrap();
+        assert_eq!(p.node(b).edge.sem, EdgeSem::Semi);
+    }
+
+    #[test]
+    fn text_steps_store_val() {
+        let ex = extract(r#"for $x in doc("d")//item return <r>{$x/name/text()}</r>"#);
+        let p = &ex.patterns[0];
+        let name = p
+            .all_nodes()
+            .find(|&n| p.node(n).tag_predicate.as_deref() == Some("name"))
+            .unwrap();
+        assert!(p.node(name).stores_val);
+        assert!(!p.node(name).stores_cont);
+    }
+
+    #[test]
+    fn template_shape() {
+        let ex = extract(
+            r#"for $x in doc("d")//item return <res>{$x/name/text()}{$x//keyword}</res>"#,
+        );
+        let Template::Element { tag, children } = &ex.template else {
+            panic!()
+        };
+        assert_eq!(tag, "res");
+        assert_eq!(children.len(), 2);
+        // each child is a ForEach over the nest field
+        assert!(matches!(children[0], Template::ForEach { .. }));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let q = parse_query("for $x in $zzz/a return $x").unwrap();
+        assert!(extract_patterns(&q).is_err());
+    }
+
+    #[test]
+    fn figure_3_1_query_yields_two_patterns() {
+        // the Chapter 3 running query (adapted): two unrelated roots $x,
+        // $y; nested blocks extend $y's pattern
+        let ex = extract(
+            r#"for $x in doc("d")/a/*, $y in doc("d")//b return
+               <res1>{$x//c},
+                 <res2>{$y//e,
+                   for $z in $y//d where $z//g = 5 return <res3>{$z//h}</res3>
+                 }</res2>
+               </res1>"#,
+        );
+        assert_eq!(ex.patterns.len(), 2, "V10 and V11");
+        // $y's pattern contains b, e, d, g, h
+        let v11 = &ex.patterns[1];
+        assert_eq!(v11.pattern_size(), 5);
+        for lbl in ["b", "e", "d", "g", "h"] {
+            assert!(
+                v11.all_nodes()
+                    .any(|n| v11.node(n).tag_predicate.as_deref() == Some(lbl)),
+                "missing {lbl} in V11:\n{v11}"
+            );
+        }
+        // g is a semijoin branch with the value predicate = 5
+        let g = v11
+            .all_nodes()
+            .find(|&n| v11.node(n).tag_predicate.as_deref() == Some("g"))
+            .unwrap();
+        assert_eq!(v11.node(g).value_predicate, Formula::eq_int(5));
+    }
+}

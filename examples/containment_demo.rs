@@ -1,0 +1,100 @@
+//! Containment and minimization under summary constraints (Chapter 4).
+//!
+//! Walks through canonical models, positive/negative containment with the
+//! early exit, decorated and optional patterns, union containment, and
+//! the Figure 4.12 minimization example where the globally smallest
+//! pattern uses a label absent from the input.
+//!
+//! ```text
+//! cargo run --example containment_demo
+//! ```
+
+use containment::{
+    canonical_model, contained_in, contained_in_union, contained_with_stats, equivalent,
+    minimize_by_contraction, minimize_global,
+};
+use summary::Summary;
+use xam_core::parse_xam;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let doc = xmltree::parse_document(
+        "<site><regions><item><name>gold watch</name><description><parlist>\
+         <listitem><keyword>rare</keyword></listitem></parlist></description>\
+         </item></regions><people><person><name>Ann</name></person></people></site>",
+    )?;
+    let s = Summary::of_document(&doc);
+    println!("summary ({} nodes):\n{s}", s.len());
+
+    // canonical models
+    let p = parse_xam("//name[id:s]")?;
+    let (model, stats) = canonical_model(&p, &s);
+    println!(
+        "mod_S(//name) has {} canonical trees (from {} embeddings):",
+        stats.size, stats.embeddings
+    );
+    for t in &model {
+        let paths: Vec<String> = t
+            .return_tuple
+            .iter()
+            .map(|r| r.map(|n| s.path_of(n)).unwrap_or("⊥".into()))
+            .collect();
+        println!("  return tuple on paths {paths:?}");
+    }
+
+    // containment with summary constraints
+    let item_name = parse_xam("//item{ /name[id:s] }")?;
+    let any_name = parse_xam("//name[id:s]")?;
+    println!(
+        "\n//item/name ⊆_S //name : {}",
+        contained_in(&item_name, &any_name, &s)
+    );
+    println!(
+        "//name ⊆_S //item/name : {} (people also have names!)",
+        contained_in(&any_name, &item_name, &s)
+    );
+    let person_name = parse_xam("//person{ /name[id:s] }")?;
+    println!(
+        "//name ⊆_S //item/name ∪ //person/name : {}",
+        contained_in_union(&any_name, &[&item_name, &person_name], &s)
+    );
+
+    // early exit on negatives
+    let pos = contained_with_stats(&item_name, &item_name, &s);
+    let neg = contained_with_stats(&any_name, &item_name, &s);
+    println!(
+        "\npositive test built {} canonical trees; negative stopped after {}",
+        pos.trees_checked, neg.trees_checked
+    );
+
+    // decorated patterns
+    let kw3 = parse_xam("//keyword[id:s,val=3]")?;
+    let kw_pos = parse_xam("//keyword[id:s,val>0]")?;
+    println!(
+        "\n[val=3] ⊆ [val>0] : {} ; converse: {}",
+        contained_in(&kw3, &kw_pos, &s),
+        contained_in(&kw_pos, &kw3, &s)
+    );
+
+    // summary-driven equivalence: every keyword is under a listitem here
+    let kw = parse_xam("//keyword[id:s]")?;
+    let li_kw = parse_xam("//listitem{ //keyword[id:s] }")?;
+    println!(
+        "//keyword ≡_S //listitem//keyword : {}",
+        equivalent(&kw, &li_kw, &s)
+    );
+
+    // minimization (Figure 4.12 flavour)
+    let doc2 = xmltree::parse_document(
+        "<a><f><d><e>x</e></d></f><d><g><e>y</e></g></d></a>",
+    )?;
+    let s2 = Summary::of_document(&doc2);
+    let t = parse_xam("//a{ //f{ //d{ //e[id:s] } } }")?;
+    println!("\nminimizing //a//f//d//e under the Figure 4.12-style summary:");
+    for m in minimize_by_contraction(&t, &s2) {
+        println!("contraction fixpoint ({} nodes):\n{m}", m.pattern_size());
+    }
+    for m in minimize_global(&t, &s2) {
+        println!("global minimum ({} nodes):\n{m}", m.pattern_size());
+    }
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! `uload` — command-line driver for the XAM framework.
+//!
+//! ```text
+//! uload summary <file.xml>                 # print the path summary
+//! uload xam <file.xml> '<xam>'             # evaluate a XAM over the file
+//! uload query <file.xml> '<xquery>'        # run an XQuery directly
+//! uload rewrite <file.xml> '<xquery>' '<name>=<xam>' [more views…]
+//!                                          # answer the query from views only
+//! uload contain <file.xml> '<xam p>' '<xam q>'
+//!                                          # decide p ⊆_S q under the summary
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! uload rewrite bib.xml \
+//!   'for $b in doc("bib.xml")//book return <r>{$b/title}</r>' \
+//!   'v1=//book[id:s]{ /n? t:title[cont] }'
+//! ```
+
+use std::process::ExitCode;
+
+use rewriting::Uload;
+use summary::Summary;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  uload summary <file.xml>\n  uload xam <file.xml> '<xam>'\n  \
+     uload query <file.xml> '<xquery>'\n  \
+     uload rewrite <file.xml> '<xquery>' '<name>=<xam>'…\n  \
+     uload contain <file.xml> '<xam p>' '<xam q>'"
+        .to_string()
+}
+
+fn load(path: &str) -> Result<xmltree::Document, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    xmltree::parse_document(&text).map_err(|e| e.to_string())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "summary" => {
+            let doc = load(args.get(1).ok_or_else(usage)?)?;
+            let s = Summary::of_document(&doc);
+            println!(
+                "{} nodes, {} summary paths, {} strong edges, {} one-to-one",
+                doc.len(),
+                s.len(),
+                s.strong_edge_count(),
+                s.one_to_one_edge_count()
+            );
+            print!("{s}");
+            Ok(())
+        }
+        "xam" => {
+            let doc = load(args.get(1).ok_or_else(usage)?)?;
+            let xam =
+                xam_core::parse_xam(args.get(2).ok_or_else(usage)?).map_err(|e| e.to_string())?;
+            println!("{xam}");
+            let rel = xam_core::evaluate(&xam, &doc).map_err(|e| e.to_string())?;
+            println!("schema: {}", rel.schema);
+            for t in &rel.tuples {
+                println!("{t}");
+            }
+            println!("({} tuples)", rel.len());
+            Ok(())
+        }
+        "query" => {
+            let doc = load(args.get(1).ok_or_else(usage)?)?;
+            let out = xquery::execute_query(args.get(2).ok_or_else(usage)?, &doc)
+                .map_err(|e| e.to_string())?;
+            for line in &out {
+                println!("{line}");
+            }
+            println!("({} results)", out.len());
+            Ok(())
+        }
+        "rewrite" => {
+            let doc = load(args.get(1).ok_or_else(usage)?)?;
+            let query = args.get(2).ok_or_else(usage)?;
+            if args.len() < 4 {
+                return Err("rewrite needs at least one view (<name>=<xam>)".into());
+            }
+            let mut uload = Uload::new(&doc);
+            for def in &args[3..] {
+                let (name, text) = def
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad view definition `{def}` (want name=xam)"))?;
+                uload
+                    .add_view_text(name, text, &doc)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "materialized view `{name}` ({} tuples)",
+                    uload.store().relation(name).map(|r| r.len()).unwrap_or(0)
+                );
+            }
+            let (out, used) = uload.answer(query, &doc).map_err(|e| e.to_string())?;
+            for rw in &used {
+                println!("rewriting over {:?}: {}", rw.views_used, rw.plan);
+            }
+            for line in &out {
+                println!("{line}");
+            }
+            println!("({} results, from views only)", out.len());
+            Ok(())
+        }
+        "contain" => {
+            let doc = load(args.get(1).ok_or_else(usage)?)?;
+            let s = Summary::of_document(&doc);
+            let p =
+                xam_core::parse_xam(args.get(2).ok_or_else(usage)?).map_err(|e| e.to_string())?;
+            let q =
+                xam_core::parse_xam(args.get(3).ok_or_else(usage)?).map_err(|e| e.to_string())?;
+            let fwd = containment::contained_with_stats(&p, &q, &s);
+            let bwd = containment::contained_with_stats(&q, &p, &s);
+            println!(
+                "p ⊆_S q: {}  (model: {} trees)",
+                fwd.contained, fwd.model_size
+            );
+            println!(
+                "q ⊆_S p: {}  (model: {} trees)",
+                bwd.contained, bwd.model_size
+            );
+            println!(
+                "equivalent: {}",
+                fwd.contained && bwd.contained
+            );
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}

@@ -1,0 +1,206 @@
+//! Cross-crate integration tests: documents → summaries → XAMs → queries
+//! → rewritings, exercising the whole pipeline the way ULoad wires it.
+
+use rewriting::Uload;
+use summary::Summary;
+use xam_core::parse_xam;
+use xmltree::generate;
+
+/// Direct XQuery execution against several documents and queries.
+#[test]
+fn xquery_direct_evaluation_scenarios() {
+    let bib = generate::bib_document();
+    let cases: Vec<(&str, usize)> = vec![
+        (r#"doc("d")//book"#, 2),
+        (r#"doc("d")//book/title"#, 2),
+        (r#"doc("d")//author"#, 5),
+        (r#"for $b in doc("d")//book return <r>{$b/title/text()}</r>"#, 2),
+        (
+            r#"for $b in doc("d")//book where $b/year = "1999" return <r>{$b/author}</r>"#,
+            1,
+        ),
+        (
+            r#"for $a in doc("d")//phdthesis/author return <x>{$a/text()}</x>"#,
+            1,
+        ),
+    ];
+    for (q, expect) in cases {
+        let out = xquery::execute_query(q, &bib).unwrap();
+        assert_eq!(out.len(), expect, "query {q}");
+    }
+}
+
+/// The headline pipeline: an auction query over an XMark-like document is
+/// answered from materialized views only, and matches direct evaluation.
+#[test]
+fn views_answer_xmark_queries() {
+    let doc = generate::xmark(3, 71);
+    let mut u = Uload::new(&doc);
+    u.add_view_text("v_items", "//item[id:s]{ /n? nm:name[val] }", &doc)
+        .unwrap();
+    let q = r#"for $i in doc("x")//item return <n>{$i/name/text()}</n>"#;
+    let (from_views, _) = u.answer(q, &doc).unwrap();
+    let direct = xquery::execute_query(q, &doc).unwrap();
+    assert_eq!(from_views, direct);
+    assert!(!from_views.is_empty());
+}
+
+/// Adding a view makes a query answerable; dropping it breaks it again —
+/// the extensibility story of the introduction.
+#[test]
+fn extensibility_add_drop_view() {
+    let doc = generate::bib_sample();
+    let mut u = Uload::new(&doc);
+    let q = r#"for $b in doc("d")//book return <t>{$b/title}</t>"#;
+    assert!(u.answer(q, &doc).is_err());
+    u.add_view_text("v", "//book[id:s]{ /n? t:title[cont] }", &doc)
+        .unwrap();
+    assert!(u.answer(q, &doc).is_ok());
+}
+
+/// XAM evaluation agrees with the embedding semantics on the XMark data
+/// for a batch of patterns (the two semantics of Chapters 2 and 4).
+#[test]
+fn algebraic_vs_embedding_semantics_on_xmark() {
+    let doc = generate::xmark(2, 5);
+    for text in [
+        "//item[id:s]{ /name[id:s] }",
+        "//parlist[id:s]{ /listitem[id:s] }",
+        "//person[id:s]{ /? homepage[id:s] }",
+        "//open_auction[id:s]{ /bidder[id:s]{ /increase[id:s] } }",
+        "//*[id:s]{ /keyword[id:s] }",
+    ] {
+        let xam = parse_xam(text).unwrap();
+        let alg = xam_core::evaluate(&xam, &doc).unwrap();
+        let emb = xam_core::embed::evaluate_embed(&xam, &doc);
+        assert_eq!(alg.tuples.len(), emb.len(), "pattern {text}");
+    }
+}
+
+/// Summary-constrained containment is sound: if `p ⊆_S q` then on every
+/// conforming document `p`'s ID-tuples are among `q`'s.
+#[test]
+fn containment_soundness_on_documents() {
+    let doc = generate::xmark(2, 33);
+    let s = Summary::of_document(&doc);
+    let pats: Vec<_> = [
+        "//item[id:s]",
+        "//regions{ //item[id:s] }",
+        "//*[id:s]",
+        "//listitem[id:s]",
+        "//parlist{ /listitem[id:s] }",
+        "//description{ //listitem[id:s] }",
+    ]
+    .iter()
+    .map(|t| parse_xam(t).unwrap())
+    .collect();
+    for p in &pats {
+        for q in &pats {
+            if !containment::contained_in(p, q, &s) {
+                continue;
+            }
+            let rp = xam_core::embed::evaluate_embed(p, &doc);
+            let rq = xam_core::embed::evaluate_embed(q, &doc);
+            assert!(
+                rp.is_subset(&rq),
+                "containment claimed but results not included:\n{p}\nvs\n{q}"
+            );
+        }
+    }
+}
+
+/// Rewriting soundness: every rewriting returned evaluates to exactly the
+/// pattern's own result over the document.
+#[test]
+fn rewriting_soundness_end_to_end() {
+    let doc = generate::xmark(2, 55);
+    let s = Summary::of_document(&doc);
+    let view_defs = [
+        ("w_items", "//item[id:s,cont]"),
+        ("w_names", "//name[id:s,val]"),
+        ("w_listitems", "//listitem[id:s]"),
+        ("w_item_names", "//item[id:s]{ /name[val] }"),
+        ("w_people", "//person[id:s]"),
+    ];
+    let views: Vec<(String, xam_core::Xam)> = view_defs
+        .iter()
+        .map(|(n, t)| (n.to_string(), parse_xam(t).unwrap()))
+        .collect();
+    let mut store = storage::MaterializedStore::new();
+    for (n, v) in &views {
+        store.add_view(n.clone(), v.clone(), &doc).unwrap();
+    }
+    let queries = [
+        "//item[id:s]",
+        "//item[id:s]{ /name[val] }",
+        "//name[id:s,val]",
+        "//item[id:s]{ //listitem[id:s] }",
+        "//person[id:s]{ /name[val] }",
+    ];
+    let mut found_any = 0;
+    for qt in queries {
+        let q = parse_xam(qt).unwrap();
+        let direct = xam_core::evaluate(&q, &doc).unwrap();
+        let (rws, _) = rewriting::rewrite(&q, &views, &s);
+        for rw in &rws {
+            found_any += 1;
+            let ev = algebra::Evaluator::with_document(store.catalog(), &doc);
+            let got = ev.eval(&rw.plan).unwrap();
+            assert_eq!(
+                got.len(),
+                direct.tuples.len(),
+                "cardinality mismatch for {qt} via {:?}",
+                rw.views_used
+            );
+            assert_eq!(got.schema, direct.schema, "schema mismatch for {qt}");
+        }
+    }
+    assert!(found_any >= 5, "too few rewritings exercised: {found_any}");
+}
+
+/// The restricted (index) semantics composes with the storage layer:
+/// a composite index XAM answers lookups through bindings.
+#[test]
+fn index_views_with_bindings() {
+    use algebra::{Collection, Relation, Tuple, Value};
+    let doc = generate::bib_document();
+    let xam = parse_xam("//book[id:s,tag!]{ /n t:title[val!] }").unwrap();
+    let bschema = xam_core::bindings::binding_schema(&xam);
+    let bind = Tuple::new(vec![
+        Value::str("book"),
+        Value::Coll(Collection::list(vec![Tuple::new(vec![Value::str(
+            "Data on the Web",
+        )])])),
+    ]);
+    let bindings = Relation::new(bschema, vec![bind]);
+    let res = xam_core::bindings::restricted_evaluate(&xam, &doc, &bindings).unwrap();
+    assert_eq!(res.len(), 1);
+}
+
+/// Storage flexibility: the same query produces identical answers across
+/// five different storage layouts (QEP catalogue, §2.1).
+#[test]
+fn physical_data_independence_across_layouts() {
+    use std::collections::BTreeSet;
+    let doc = generate::bib_document();
+    let s = Summary::of_document(&doc);
+    let mut answers: Vec<BTreeSet<String>> = Vec::new();
+    for q in [
+        storage::qep::qep1(&doc),
+        storage::qep::qep6(&doc),
+        storage::qep::qep7(&doc, &s),
+    ] {
+        let ev = algebra::Evaluator::with_document(&q.catalog, &doc);
+        let rel = ev.eval(&q.plan).unwrap();
+        // compare on the (author, title) value pairs
+        let set: BTreeSet<String> = rel
+            .tuples
+            .iter()
+            .map(|t| format!("{t}"))
+            .collect();
+        answers.push(set);
+    }
+    assert_eq!(answers[0].len(), 4);
+    assert_eq!(answers[0], answers[1]);
+    assert_eq!(answers[1], answers[2]);
+}

@@ -1,0 +1,152 @@
+//! Property-based tests over randomly generated documents and patterns:
+//! the invariants the paper's theory promises, checked on concrete data.
+
+use proptest::prelude::*;
+use summary::Summary;
+use uload_bench::pattern_gen::{self, GenConfig};
+use xmltree::{generate, DocumentBuilder, NodeKind};
+
+/// A strategy producing small random XML documents: a sequence of
+/// open/close/leaf operations folded into a builder.
+fn arb_document() -> impl Strategy<Value = xmltree::Document> {
+    prop::collection::vec((0usize..6, 0usize..3), 1..40).prop_map(|ops| {
+        let labels = ["a", "b", "c", "d", "item", "name"];
+        let mut b = DocumentBuilder::new();
+        b.open_element("root");
+        let mut depth = 1usize;
+        for (l, action) in ops {
+            match action {
+                0 | 1 => {
+                    b.open_element(labels[l]);
+                    depth += 1;
+                }
+                _ if depth > 1 => {
+                    b.close_element();
+                    depth -= 1;
+                }
+                _ => {
+                    b.leaf_element(labels[l], "v");
+                }
+            }
+        }
+        while depth > 0 {
+            b.close_element();
+            depth -= 1;
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (pre, post, depth) predicates agree with parent-chain ground truth
+    /// on arbitrary documents.
+    #[test]
+    fn structural_ids_sound(doc in arb_document()) {
+        for n in doc.all_nodes() {
+            for m in doc.all_nodes() {
+                let (sn, sm) = (doc.structural_id(n), doc.structural_id(m));
+                let mut anc = doc.parent(m);
+                let mut truth = false;
+                while let Some(a) = anc {
+                    if a == n { truth = true; break; }
+                    anc = doc.parent(a);
+                }
+                prop_assert_eq!(sn.is_ancestor_of(sm), truth);
+                // Dewey IDs agree with the pre/post plane
+                let (dn, dm) = (doc.dewey_id(n), doc.dewey_id(m));
+                prop_assert_eq!(dn.is_ancestor_of(&dm), truth);
+            }
+        }
+    }
+
+    /// Serialize→parse is the identity on structure.
+    #[test]
+    fn parser_roundtrip(doc in arb_document()) {
+        let text = xmltree::parser::serialize(&doc);
+        let doc2 = xmltree::parse_document(&text).unwrap();
+        prop_assert_eq!(doc.len(), doc2.len());
+        for (a, b) in doc.all_nodes().zip(doc2.all_nodes()) {
+            prop_assert_eq!(doc.label(a), doc2.label(b));
+            prop_assert_eq!(doc.kind(a), doc2.kind(b));
+        }
+    }
+
+    /// The summary has one node per distinct rooted path, and every
+    /// document node classifies onto a summary node with the same path.
+    #[test]
+    fn summary_classifies_every_node(doc in arb_document()) {
+        let s = Summary::of_document(&doc);
+        let phi = s.classify(&doc).unwrap();
+        let mut distinct = std::collections::HashSet::new();
+        for n in doc.all_nodes() {
+            prop_assert_eq!(s.path_of(phi[n.index()]), doc.label_path(n));
+            distinct.insert(doc.label_path(n));
+        }
+        prop_assert_eq!(distinct.len(), s.len());
+        prop_assert!(s.conforms(&doc));
+    }
+
+    /// Strong (`+`) edges really guarantee a child on that path.
+    #[test]
+    fn strong_edges_hold(doc in arb_document()) {
+        let s = Summary::of_document(&doc);
+        let phi = s.classify(&doc).unwrap();
+        for sn in s.all_nodes() {
+            if s.parent(sn).is_none() || !s.edge_card(sn).is_strong() {
+                continue;
+            }
+            let parent = s.parent(sn).unwrap();
+            for n in doc.all_nodes() {
+                if phi[n.index()] != parent || doc.kind(n) == NodeKind::Text {
+                    continue;
+                }
+                let has = doc.children(n).iter().any(|&c| phi[c.index()] == sn);
+                prop_assert!(has, "strong edge violated at {}", s.path_of(sn));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Containment reflexivity and soundness for generated satisfiable
+    /// patterns over the XMark summary.
+    #[test]
+    fn containment_reflexive_and_sound(seed in 0u64..500) {
+        let doc = generate::xmark(2, 17);
+        let s = Summary::of_document(&doc);
+        let cfg = GenConfig::xmark(5, 1);
+        let pats = pattern_gen::generate_set(&s, &cfg, 3, seed);
+        for p in &pats {
+            prop_assert!(containment::contained_in(p, p, &s), "reflexivity:\n{}", p);
+        }
+        // pairwise soundness on the concrete document
+        for p in &pats {
+            for q in &pats {
+                if containment::contained_in(p, q, &s) {
+                    let rp = xam_core::embed::evaluate_embed(p, &doc);
+                    let rq = xam_core::embed::evaluate_embed(q, &doc);
+                    prop_assert!(rp.is_subset(&rq), "unsound:\n{}\n⊆?\n{}", p, q);
+                }
+            }
+        }
+    }
+
+    /// Minimization preserves S-equivalence and never grows the pattern.
+    #[test]
+    fn minimization_sound(seed in 0u64..200) {
+        let doc = generate::xmark(2, 23);
+        let s = Summary::of_document(&doc);
+        let cfg = GenConfig::xmark(6, 1).with_optional(0.0);
+        let pats = pattern_gen::generate_set(&s, &cfg, 2, seed);
+        for p in &pats {
+            for m in containment::minimize_by_contraction(p, &s) {
+                prop_assert!(m.pattern_size() <= p.pattern_size());
+                prop_assert!(containment::equivalent(&m, p, &s));
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Additional XQuery scenarios across document generators: parser corner
+//! cases, deeply nested FLWR blocks, and XMark-flavoured workloads.
+
+use xmltree::generate;
+
+#[test]
+fn three_level_nested_flwr() {
+    let doc = generate::xmark(2, 41);
+    let q = r#"for $i in doc("x")//open_auction return
+               <a>{$i/initial/text()},
+                 for $b in $i/bidder return
+                 <b>{$b/date},
+                   for $inc in $b/increase return <i>{$inc/text()}</i>
+                 </b>
+               </a>"#;
+    let out = xquery::execute_query(q, &doc).unwrap();
+    let auctions = doc
+        .elements()
+        .filter(|&n| doc.label(n) == "open_auction")
+        .count();
+    assert_eq!(out.len(), auctions);
+    // every bidder has a date and an increase in the generator
+    assert!(out.iter().all(|o| o.contains("<b>")));
+    assert!(out.iter().any(|o| o.contains("<i>")));
+}
+
+#[test]
+fn pattern_extraction_stays_single_across_three_levels() {
+    let q = xquery::parse_query(
+        r#"for $i in doc("x")//open_auction return
+           <a>{for $b in $i/bidder return
+             <b>{for $inc in $b/increase return <i>{$inc/text()}</i>}</b>}</a>"#,
+    )
+    .unwrap();
+    let ex = xquery::extract_patterns(&q).unwrap();
+    assert_eq!(ex.patterns.len(), 1, "all three levels share one pattern");
+    assert_eq!(ex.patterns[0].pattern_size(), 3);
+}
+
+#[test]
+fn attribute_navigation_and_predicates() {
+    let doc = generate::xmark(2, 42);
+    // items in a specific category via attribute value
+    let out = xquery::execute_query(
+        r#"for $i in doc("x")//incategory where $i/@category = "category3"
+           return <hit></hit>"#,
+        &doc,
+    )
+    .unwrap();
+    // ground truth
+    let expect = doc
+        .attributes()
+        .filter(|&a| doc.label(a) == "category" && doc.value(a) == "category3")
+        .filter(|&a| doc.label(doc.parent(a).unwrap()) == "incategory")
+        .count();
+    assert_eq!(out.len(), expect);
+}
+
+#[test]
+fn star_steps_and_descendant_axes() {
+    let doc = generate::bib_sample();
+    let out = xquery::execute_query(r#"doc("d")/library/*/title"#, &doc).unwrap();
+    assert_eq!(out.len(), 3); // 2 books + 1 thesis
+    let out = xquery::execute_query(r#"doc("d")//*/author"#, &doc).unwrap();
+    assert_eq!(out.len(), 4);
+}
+
+#[test]
+fn mixed_concat_in_return() {
+    let doc = generate::bib_sample();
+    let out = xquery::execute_query(
+        r#"for $b in doc("d")//book return <r>{$b/title/text()}, {$b/@year}</r>"#,
+        &doc,
+    )
+    .unwrap();
+    assert_eq!(out.len(), 2);
+    assert!(out[0].contains("Data on the Web"));
+    assert!(out[0].contains("1999"));
+    assert!(!out[1].contains("1999")); // second book has no year
+}
+
+#[test]
+fn deep_paths_on_shakespeare_like_data() {
+    let doc = generate::shakespeare(2, 9);
+    let out = xquery::execute_query(r#"doc("d")//ACT/SCENE/SPEECH/SPEAKER"#, &doc).unwrap();
+    assert!(!out.is_empty());
+    let speakers = doc
+        .elements()
+        .filter(|&n| doc.label(n) == "SPEAKER")
+        .count();
+    assert_eq!(out.len(), speakers);
+}
+
+#[test]
+fn queries_on_dblp_like_data() {
+    let doc = generate::dblp(50, 11);
+    let out = xquery::execute_query(
+        r#"for $a in doc("dblp")//article return <t>{$a/title/text()}</t>"#,
+        &doc,
+    )
+    .unwrap();
+    let articles = doc
+        .elements()
+        .filter(|&n| doc.label(n) == "article")
+        .count();
+    assert_eq!(out.len(), articles);
+}
+
+#[test]
+fn unparsable_and_unsupported_queries_error_cleanly() {
+    let doc = generate::bib_sample();
+    for bad in [
+        "",
+        "for $x in",
+        "<a>{</a>",
+        "for $x in doc(\"d\")//a return $y/b", // unbound variable
+    ] {
+        assert!(
+            xquery::execute_query(bad, &doc).is_err(),
+            "query `{bad}` must error"
+        );
+    }
+}
