@@ -14,7 +14,9 @@ use std::fmt;
 use xmltree::{Document, NodeId, NodeKind, StructuralId};
 
 use crate::order::{tuple_cmp_all, value_cmp, OrderSpec};
-use crate::plan::{Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate};
+use crate::plan::{
+    Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate,
+};
 use crate::stacktree::{nested_loop_pairs, stack_tree_pairs};
 use crate::value::{Collection, Field, FieldKind, Schema, Tuple, Value};
 
@@ -119,7 +121,10 @@ impl fmt::Display for EvalError {
             EvalError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
             EvalError::TypeError(m) => write!(f, "type error: {m}"),
             EvalError::NeedsDocument(op) => {
-                write!(f, "operator {op} requires a source document in the evaluator")
+                write!(
+                    f,
+                    "operator {op} requires a source document in the evaluator"
+                )
             }
         }
     }
@@ -205,7 +210,15 @@ impl<'a> Evaluator<'a> {
             } => {
                 let l = self.eval(left)?;
                 let r = self.eval(right)?;
-                self.eval_struct_join(l, r, left_attr, right_attr, *axis, *kind, nest_as.as_deref())
+                self.eval_struct_join(
+                    l,
+                    r,
+                    left_attr,
+                    right_attr,
+                    *axis,
+                    *kind,
+                    nest_as.as_deref(),
+                )
             }
             Union { left, right } => {
                 let mut l = self.eval(left)?;
@@ -343,11 +356,14 @@ impl<'a> Evaluator<'a> {
                 let rel = self.eval(input)?;
                 fn shape_eq(a: &Schema, b: &Schema) -> bool {
                     a.arity() == b.arity()
-                        && a.fields.iter().zip(&b.fields).all(|(x, y)| match (&x.kind, &y.kind) {
-                            (FieldKind::Atom, FieldKind::Atom) => true,
-                            (FieldKind::Nested(m), FieldKind::Nested(n)) => shape_eq(m, n),
-                            _ => false,
-                        })
+                        && a.fields
+                            .iter()
+                            .zip(&b.fields)
+                            .all(|(x, y)| match (&x.kind, &y.kind) {
+                                (FieldKind::Atom, FieldKind::Atom) => true,
+                                (FieldKind::Nested(m), FieldKind::Nested(n)) => shape_eq(m, n),
+                                _ => false,
+                            })
                 }
                 if !shape_eq(&rel.schema, schema) {
                     return Err(EvalError::TypeError(format!(
@@ -386,7 +402,9 @@ impl<'a> Evaluator<'a> {
                 let tuples = rel
                     .tuples
                     .into_iter()
-                    .filter_map(|t| reduce_tuple(&rel.schema, t, &idx, &mut |v| cmp_values(v, *op, c)))
+                    .filter_map(|t| {
+                        reduce_tuple(&rel.schema, t, &idx, &mut |v| cmp_values(v, *op, c))
+                    })
                     .collect();
                 return Ok(Relation::new(rel.schema, tuples));
             }
@@ -515,6 +533,7 @@ impl<'a> Evaluator<'a> {
     // ------------------------------------------------------------------
     // structural joins
 
+    #[allow(clippy::too_many_arguments)]
     fn eval_struct_join(
         &self,
         l: Relation,
@@ -615,10 +634,9 @@ impl<'a> Evaluator<'a> {
             }
             JoinKind::Nest | JoinKind::NestOuter => {
                 let name = nest_as.unwrap_or("s");
-                let schema = l.schema.concat(&Schema::new(vec![Field::nested(
-                    name,
-                    r.schema.clone(),
-                )]));
+                let schema = l
+                    .schema
+                    .concat(&Schema::new(vec![Field::nested(name, r.schema.clone())]));
                 let mut tuples = Vec::new();
                 for (li, ms) in matches.iter().enumerate() {
                     if ms.is_empty() && kind == JoinKind::Nest {
@@ -915,7 +933,9 @@ impl<'a> Evaluator<'a> {
         levels: u16,
         as_name: &str,
     ) -> Result<Relation, EvalError> {
-        let doc = self.doc.ok_or(EvalError::NeedsDocument("DeriveAncestorId"))?;
+        let doc = self
+            .doc
+            .ok_or(EvalError::NeedsDocument("DeriveAncestorId"))?;
         let idx = resolve(&rel.schema, attr)?;
         let mut schema = rel.schema.clone();
         schema.fields.push(Field::atom(as_name));
@@ -952,10 +972,7 @@ fn crosses_collection(schema: &Schema, idx: &[usize]) -> bool {
     if idx.len() <= 1 {
         return false;
     }
-    matches!(
-        schema.fields[idx[0]].kind,
-        FieldKind::Nested(_)
-    )
+    matches!(schema.fields[idx[0]].kind, FieldKind::Nested(_))
 }
 
 /// Value at a flat (non-collection-crossing) index path.
@@ -1124,10 +1141,7 @@ impl ProjSpec {
                 let inner = match &schema.fields[i].kind {
                     FieldKind::Nested(s) => s,
                     FieldKind::Atom => {
-                        return Err(EvalError::UnknownAttribute(format!(
-                            "{head}.{}",
-                            subs[0]
-                        )))
+                        return Err(EvalError::UnknownAttribute(format!("{head}.{}", subs[0])))
                     }
                 };
                 let sub_paths: Vec<Path> = subs.iter().map(|s| Path::new(s.clone())).collect();
@@ -1255,8 +1269,8 @@ mod tests {
         let ev = Evaluator::new(&cat);
         let r = ev.eval(&LogicalPlan::scan("book")).unwrap();
         assert_eq!(r.len(), 2);
-        let p = LogicalPlan::scan("title")
-            .select(Predicate::eq("Val", Value::str("Data on the Web")));
+        let p =
+            LogicalPlan::scan("title").select(Predicate::eq("Val", Value::str("Data on the Web")));
         let r = ev.eval(&p).unwrap();
         assert_eq!(r.len(), 1);
     }
@@ -1674,9 +1688,6 @@ mod tests {
         };
         let r = ev.eval(&p).unwrap();
         assert_eq!(r.len(), 3);
-        assert_eq!(
-            r.tuples[0].get(0).as_str(),
-            Some("<t>Data on the Web</t>")
-        );
+        assert_eq!(r.tuples[0].get(0).as_str(), Some("<t>Data on the Web</t>"));
     }
 }

@@ -133,7 +133,10 @@ mod tests {
             .map(|&i| Tuple::new(vec![Value::Int(i)]))
             .collect();
         assert!(is_sorted_by(&ts, |t| t.get(0).clone()));
-        let ts2: Vec<Tuple> = [3, 1].iter().map(|&i| Tuple::new(vec![Value::Int(i)])).collect();
+        let ts2: Vec<Tuple> = [3, 1]
+            .iter()
+            .map(|&i| Tuple::new(vec![Value::Int(i)]))
+            .collect();
         assert!(!is_sorted_by(&ts2, |t| t.get(0).clone()));
     }
 }

@@ -115,11 +115,7 @@ impl Predicate {
     }
 
     pub fn col_cmp(l: impl Into<String>, op: CmpOp, r: impl Into<String>) -> Predicate {
-        Predicate::Cmp(
-            Operand::Col(Path::new(l)),
-            op,
-            Operand::Col(Path::new(r)),
-        )
+        Predicate::Cmp(Operand::Col(Path::new(l)), op, Operand::Col(Path::new(r)))
     }
 
     pub fn and(self, other: Predicate) -> Predicate {
@@ -281,10 +277,7 @@ pub enum LogicalPlan {
         nest_as: String,
     },
     /// Unnest `u_B` of a top-level collection attribute.
-    Unnest {
-        input: Box<LogicalPlan>,
-        attr: Path,
-    },
+    Unnest { input: Box<LogicalPlan>, attr: Path },
     /// Pack *all* input tuples into a single tuple with one collection
     /// attribute (the `n` nest operator used when translating element
     /// constructors, §3.3.2).
@@ -434,7 +427,11 @@ impl LogicalPlan {
             left_attr: Path::new(left_attr),
             right_attr: Path::new(right_attr),
             axis,
-            kind: if outer { JoinKind::NestOuter } else { JoinKind::Nest },
+            kind: if outer {
+                JoinKind::NestOuter
+            } else {
+                JoinKind::Nest
+            },
             nest_as: Some(nest_as.into()),
         }
     }

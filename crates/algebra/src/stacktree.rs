@@ -150,7 +150,10 @@ mod tests {
         for (_, d) in &pairs {
             *per_desc.entry(*d).or_insert(0) += 1;
         }
-        assert!(per_desc.values().any(|&c| c >= 2), "recursion not exercised");
+        assert!(
+            per_desc.values().any(|&c| c >= 2),
+            "recursion not exercised"
+        );
     }
 
     #[test]

@@ -118,8 +118,7 @@ impl fmt::Display for Value {
 }
 
 /// Collection constructor kind: set `{·}`, list `[·]` or bag `{{·}}`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CollKind {
     Set,
     #[default]
@@ -135,7 +134,6 @@ pub struct Collection {
     pub kind: CollKind,
     pub tuples: Vec<Tuple>,
 }
-
 
 impl Collection {
     pub fn list(tuples: Vec<Tuple>) -> Collection {

@@ -1,8 +1,8 @@
 //! E8 + ablation 4 — algebra benchmarks: the QEP catalogue plans and the
 //! StackTree vs nested-loop structural-join comparison (DESIGN.md).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use algebra::{Axis, Evaluator, JoinKind, LogicalPlan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use summary::Summary;
 use xmltree::generate;
 

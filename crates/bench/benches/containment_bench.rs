@@ -2,8 +2,9 @@
 //! (Fig 4.14 top) and synthetic positive/negative tests by pattern size
 //! (Fig 4.14 bottom), plus the early-exit comparison.
 
+use containment::{contain, ContainOptions};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use uload_bench::{datasets, pattern_gen::GenConfig, pattern_gen, xmark_queries};
+use uload_bench::{datasets, pattern_gen, pattern_gen::GenConfig, xmark_queries};
 
 fn xmark_query_containment(c: &mut Criterion) {
     let ds = datasets::xmark_small();
@@ -11,7 +12,7 @@ fn xmark_query_containment(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_14_queries");
     for (name, p) in pats.into_iter().take(6) {
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| containment::contained_in(&p, &p, &ds.summary))
+            b.iter(|| contain(&p, &p, &ds.summary, &ContainOptions::default()).contained)
         });
     }
     g.finish();
@@ -25,11 +26,15 @@ fn synthetic_by_size(c: &mut Criterion) {
         let pats = pattern_gen::generate_set(&ds.summary, &cfg, 8, 77);
         // positive: self-containment of the first pattern
         g.bench_with_input(BenchmarkId::new("positive", size), &size, |b, _| {
-            b.iter(|| containment::contained_in(&pats[0], &pats[0], &ds.summary))
+            b.iter(|| {
+                contain(&pats[0], &pats[0], &ds.summary, &ContainOptions::default()).contained
+            })
         });
         // negative: cross pair (almost surely not contained)
         g.bench_with_input(BenchmarkId::new("negative", size), &size, |b, _| {
-            b.iter(|| containment::contained_in(&pats[0], &pats[1], &ds.summary))
+            b.iter(|| {
+                contain(&pats[0], &pats[1], &ds.summary, &ContainOptions::default()).contained
+            })
         });
     }
     g.finish();
@@ -42,10 +47,10 @@ fn dblp_vs_xmark(c: &mut Criterion) {
     let xp = pattern_gen::generate_set(&xm.summary, &GenConfig::xmark(7, 1), 4, 5);
     let dp = pattern_gen::generate_set(&db.summary, &GenConfig::dblp(7, 1), 4, 5);
     g.bench_function("xmark_summary", |b| {
-        b.iter(|| containment::contained_in(&xp[0], &xp[0], &xm.summary))
+        b.iter(|| contain(&xp[0], &xp[0], &xm.summary, &ContainOptions::default()).contained)
     });
     g.bench_function("dblp_summary", |b| {
-        b.iter(|| containment::contained_in(&dp[0], &dp[0], &db.summary))
+        b.iter(|| contain(&dp[0], &dp[0], &db.summary, &ContainOptions::default()).contained)
     });
     g.finish();
 }

@@ -1,0 +1,75 @@
+//! Engine ablation: the E3 (synthetic containment) and E6 (rewriting)
+//! workloads under the four engine configurations — sequential vs
+//! `threads = N` worker pools, cold vs shared [`CanonicalCache`]. The
+//! parallel/cached runs must produce the same verdicts, counts and
+//! rewriting sets as the baseline; only wall-clock may differ.
+
+use containment::CanonicalCache;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rewriting::EngineOptions;
+use uload_bench::pattern_gen::GenConfig;
+use uload_bench::{datasets, experiments};
+
+const THREADS: usize = 4;
+
+fn e3_containment_grid(c: &mut Criterion) {
+    let ds = datasets::xmark_small();
+    let run = |threads: usize, cache: Option<&CanonicalCache>| {
+        experiments::synthetic_containment_with(
+            &ds.summary,
+            GenConfig::xmark,
+            &[7],
+            &[1],
+            6,
+            2024,
+            threads,
+            cache,
+        )
+    };
+    let mut g = c.benchmark_group("e3_engine_ablation");
+    g.sample_size(2);
+    g.bench_function(BenchmarkId::new("threads", 1), |b| b.iter(|| run(1, None)));
+    g.bench_function(BenchmarkId::new("threads", THREADS), |b| {
+        b.iter(|| run(THREADS, None))
+    });
+    let cache = CanonicalCache::default();
+    g.bench_function("threads1_cache", |b| b.iter(|| run(1, Some(&cache))));
+    let cache_par = CanonicalCache::default();
+    g.bench_function(BenchmarkId::new("threads_cache", THREADS), |b| {
+        b.iter(|| run(THREADS, Some(&cache_par)))
+    });
+    g.finish();
+}
+
+fn e6_rewriting(c: &mut Criterion) {
+    let ds = datasets::xmark_small();
+    let mut g = c.benchmark_group("e6_engine_ablation");
+    g.sample_size(2);
+    g.bench_function(BenchmarkId::new("threads", 1), |b| {
+        b.iter(|| experiments::sec5_6_with(&ds, &[4], 1, &EngineOptions::default()))
+    });
+    g.bench_function(BenchmarkId::new("threads", THREADS), |b| {
+        let eng = EngineOptions {
+            threads: THREADS,
+            ..Default::default()
+        };
+        b.iter(|| experiments::sec5_6_with(&ds, &[4], 1, &eng))
+    });
+    let cache = CanonicalCache::default();
+    g.bench_function(BenchmarkId::new("threads_cache", THREADS), |b| {
+        let eng = EngineOptions {
+            threads: THREADS,
+            cache: Some(&cache),
+            ..Default::default()
+        };
+        b.iter(|| experiments::sec5_6_with(&ds, &[4], 1, &eng))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(2);
+    targets = e3_containment_grid, e6_rewriting
+}
+criterion_main!(benches);

@@ -119,11 +119,8 @@ mod tests {
     #[test]
     fn table_has_eight_rows() {
         // use the cheap datasets only to keep the test fast
-        let rows: Vec<DatasetRow> = vec![
-            shakespeare().row(),
-            xmark_small().row(),
-            dblp_small().row(),
-        ];
+        let rows: Vec<DatasetRow> =
+            vec![shakespeare().row(), xmark_small().row(), dblp_small().row()];
         for r in &rows {
             assert!(r.n > 0 && r.summary_size > 0);
             assert!(r.strong_edges >= r.one_to_one_edges || r.strong_edges > 0);

@@ -5,8 +5,10 @@
 
 use std::time::Instant;
 
+use containment::{contain, CanonicalCache, ContainOptions};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rewriting::EngineOptions;
 use summary::Summary;
 use xam_core::Xam;
 
@@ -43,7 +45,7 @@ pub fn fig4_14_queries(ds: &Dataset) -> Vec<QueryContainmentRow> {
     }
     for (name, p) in pats {
         let t0 = Instant::now();
-        let outcome = containment::contained_with_stats(&p, &p, &ds.summary);
+        let outcome = contain(&p, &p, &ds.summary, &ContainOptions::default());
         let micros = t0.elapsed().as_secs_f64() * 1e6;
         assert!(outcome.contained, "{name} must be self-contained");
         rows.push(QueryContainmentRow {
@@ -84,28 +86,99 @@ pub fn synthetic_containment(
     set_size: usize,
     seed: u64,
 ) -> Vec<SyntheticPoint> {
+    synthetic_containment_with(
+        summary,
+        mk_cfg,
+        sizes,
+        return_counts,
+        set_size,
+        seed,
+        1,
+        None,
+    )
+}
+
+/// One worker's share of a containment grid cell: all `p_i ⊆_S p_j`
+/// tests with `i ≡ worker (mod stride)`. Returns
+/// `(pos_µs, #pos, neg_µs, #neg, Σ model sizes)`.
+fn containment_cell(
+    pats: &[Xam],
+    worker: usize,
+    stride: usize,
+    summary: &Summary,
+    cache: Option<&CanonicalCache>,
+) -> (f64, usize, f64, usize, usize) {
+    let mut opts = ContainOptions::default();
+    if let Some(c) = cache {
+        opts = opts.with_cache(c);
+    }
+    let (mut pos_t, mut neg_t) = (0.0f64, 0.0f64);
+    let (mut pos_n, mut neg_n) = (0usize, 0usize);
+    let mut model_sum = 0usize;
+    for i in (worker..pats.len()).step_by(stride.max(1)) {
+        for j in i..pats.len() {
+            let t0 = Instant::now();
+            let o = contain(&pats[i], &pats[j], summary, &opts);
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            if o.contained {
+                pos_t += us;
+                pos_n += 1;
+                model_sum += o.model_size;
+            } else {
+                neg_t += us;
+                neg_n += 1;
+            }
+        }
+    }
+    (pos_t, pos_n, neg_t, neg_n, model_sum)
+}
+
+/// As [`synthetic_containment`], but the `p_i ⊆_S p_j` grid of each cell
+/// is split round-robin over `threads` scoped workers, optionally sharing
+/// a [`CanonicalCache`]. Counts and model sizes are identical to the
+/// sequential run; only wall-clock changes.
+#[allow(clippy::too_many_arguments)]
+pub fn synthetic_containment_with(
+    summary: &Summary,
+    mk_cfg: impl Fn(usize, usize) -> GenConfig,
+    sizes: &[usize],
+    return_counts: &[usize],
+    set_size: usize,
+    seed: u64,
+    threads: usize,
+    cache: Option<&CanonicalCache>,
+) -> Vec<SyntheticPoint> {
     let mut out = Vec::new();
     for &size in sizes {
         for &r in return_counts {
             let cfg = mk_cfg(size, r);
             let pats = pattern_gen::generate_set(summary, &cfg, set_size, seed + size as u64);
+            let workers = threads.max(1).min(pats.len().max(1));
+            let parts: Vec<(f64, usize, f64, usize, usize)> = if workers <= 1 {
+                vec![containment_cell(&pats, 0, 1, summary, cache)]
+            } else {
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let pats = &pats;
+                            scope.spawn(move || containment_cell(pats, w, workers, summary, cache))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("containment worker panicked"))
+                        .collect()
+                })
+            };
             let (mut pos_t, mut neg_t) = (0.0f64, 0.0f64);
             let (mut pos_n, mut neg_n) = (0usize, 0usize);
             let mut model_sum = 0usize;
-            for i in 0..pats.len() {
-                for j in i..pats.len() {
-                    let t0 = Instant::now();
-                    let o = containment::contained_with_stats(&pats[i], &pats[j], summary);
-                    let us = t0.elapsed().as_secs_f64() * 1e6;
-                    if o.contained {
-                        pos_t += us;
-                        pos_n += 1;
-                        model_sum += o.model_size;
-                    } else {
-                        neg_t += us;
-                        neg_n += 1;
-                    }
-                }
+            for (pt, pn, nt, nn, ms) in parts {
+                pos_t += pt;
+                pos_n += pn;
+                neg_t += nt;
+                neg_n += nn;
+                model_sum += ms;
             }
             out.push(SyntheticPoint {
                 size,
@@ -161,7 +234,7 @@ pub fn optional_ablation(ds: &Dataset, set_size: usize) -> Vec<(f64, f64)> {
         let mut n = 0;
         for i in 0..pats.len() {
             for j in i..pats.len() {
-                let _ = containment::contained_in(&pats[i], &pats[j], &ds.summary);
+                let _ = contain(&pats[i], &pats[j], &ds.summary, &ContainOptions::default());
                 n += 1;
             }
         }
@@ -194,6 +267,17 @@ pub struct RewritePoint {
 /// contains views that cover the query (its own pattern plus fragments),
 /// in negative trials only unrelated views.
 pub fn sec5_6(ds: &Dataset, view_counts: &[usize], trials: usize) -> Vec<RewritePoint> {
+    sec5_6_with(ds, view_counts, trials, &EngineOptions::default())
+}
+
+/// As [`sec5_6`], but every rewrite runs through the given engine
+/// context (worker threads for candidate verification, shared cache).
+pub fn sec5_6_with(
+    ds: &Dataset,
+    view_counts: &[usize],
+    trials: usize,
+    eng: &EngineOptions,
+) -> Vec<RewritePoint> {
     let mut rng = SmallRng::seed_from_u64(31337);
     let _ = &mut rng;
     let mut out = Vec::new();
@@ -221,13 +305,25 @@ pub fn sec5_6(ds: &Dataset, view_counts: &[usize], trials: usize) -> Vec<Rewrite
                 .collect();
             // negative trial: noise only
             let t0 = Instant::now();
-            let (rw_neg, _) = rewriting::rewrite(q, &views, &ds.summary);
+            let (rw_neg, _) = rewriting::rewrite_with_engine(
+                q,
+                &views,
+                &ds.summary,
+                rewriting::RewriteConfig::default(),
+                eng,
+            );
             neg_t += t0.elapsed().as_secs_f64() * 1e6;
             let _ = rw_neg;
             // positive trial: add the covering view
             views.push(("exact".into(), q.clone()));
             let t0 = Instant::now();
-            let (rw_pos, _) = rewriting::rewrite(q, &views, &ds.summary);
+            let (rw_pos, _) = rewriting::rewrite_with_engine(
+                q,
+                &views,
+                &ds.summary,
+                rewriting::RewriteConfig::default(),
+                eng,
+            );
             pos_t += t0.elapsed().as_secs_f64() * 1e6;
             pos_found += rw_pos.len() as f64;
             // ablation: structural IDs off
@@ -236,7 +332,7 @@ pub fn sec5_6(ds: &Dataset, view_counts: &[usize], trials: usize) -> Vec<Rewrite
                 ..Default::default()
             };
             let t0 = Instant::now();
-            let (rw_nosid, _) = rewriting::rewrite_with_config(q, &views, &ds.summary, cfg);
+            let (rw_nosid, _) = rewriting::rewrite_with_engine(q, &views, &ds.summary, cfg, eng);
             nosid_t += t0.elapsed().as_secs_f64() * 1e6;
             if !rw_nosid.is_empty() {
                 nosid_found += 1;
@@ -303,10 +399,8 @@ pub fn qep_catalogue() -> Vec<QepRow> {
 // E9 — §4.5 minimization
 
 pub fn minimize_demo() -> Vec<String> {
-    let doc = xmltree::parse_document(
-        "<a><f><d><e>1</e></d></f><d><x><e>2</e></x></d></a>",
-    )
-    .unwrap();
+    let doc =
+        xmltree::parse_document("<a><f><d><e>1</e></d></f><d><x><e>2</e></x></d></a>").unwrap();
     let s = Summary::of_document(&doc);
     let p = xam_core::parse_xam("//a{ //f{ //d{ //e[id:s] } } }").unwrap();
     let mut out = Vec::new();
@@ -318,10 +412,7 @@ pub fn minimize_demo() -> Vec<String> {
         ));
     }
     for m in containment::minimize_global(&p, &s) {
-        out.push(format!(
-            "global minimum ({} nodes):\n{m}",
-            m.pattern_size()
-        ));
+        out.push(format!("global minimum ({} nodes):\n{m}", m.pattern_size()));
     }
     out
 }
@@ -343,20 +434,17 @@ mod tests {
             .map(|r| r.model_size)
             .max()
             .unwrap();
-        assert!(q7.model_size > max_other, "{} vs {max_other}", q7.model_size);
+        assert!(
+            q7.model_size > max_other,
+            "{} vs {max_other}",
+            q7.model_size
+        );
     }
 
     #[test]
     fn synthetic_experiment_small() {
         let ds = datasets::xmark_small();
-        let pts = synthetic_containment(
-            &ds.summary,
-            GenConfig::xmark,
-            &[3, 5],
-            &[1],
-            8,
-            1,
-        );
+        let pts = synthetic_containment(&ds.summary, GenConfig::xmark, &[3, 5], &[1], 8, 1);
         assert_eq!(pts.len(), 2);
         for p in &pts {
             // every pattern is at least self-contained

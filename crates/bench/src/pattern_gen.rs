@@ -11,9 +11,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use summary::{Summary, SummaryNodeId};
-use xam_core::ast::{
-    Axis, EdgeSem, Formula, IdKind, Xam, XamEdge, XamNode, XamNodeId,
-};
+use xam_core::ast::{Axis, EdgeSem, Formula, IdKind, Xam, XamEdge, XamNode, XamNodeId};
 use xmltree::NodeKind;
 
 /// Generator parameters (paper defaults).
@@ -139,7 +137,11 @@ pub fn generate(s: &Summary, cfg: &GenConfig, rng: &mut SmallRng) -> Option<Xam>
             let optional = !last && rng.gen_bool(cfg.p_optional);
             node.edge = XamEdge {
                 axis,
-                sem: if optional { EdgeSem::Outer } else { EdgeSem::Join },
+                sem: if optional {
+                    EdgeSem::Outer
+                } else {
+                    EdgeSem::Join
+                },
             };
             if !last && rng.gen_bool(cfg.p_value_pred) {
                 node.value_predicate = Formula::eq_int(rng.gen_range(0..10));
@@ -189,7 +191,11 @@ pub fn generate(s: &Summary, cfg: &GenConfig, rng: &mut SmallRng) -> Option<Xam>
         let optional = rng.gen_bool(cfg.p_optional);
         node.edge = XamEdge {
             axis,
-            sem: if optional { EdgeSem::Outer } else { EdgeSem::Join },
+            sem: if optional {
+                EdgeSem::Outer
+            } else {
+                EdgeSem::Join
+            },
         };
         if rng.gen_bool(cfg.p_value_pred) {
             node.value_predicate = Formula::eq_int(rng.gen_range(0..10));
@@ -204,8 +210,7 @@ pub fn generate(s: &Summary, cfg: &GenConfig, rng: &mut SmallRng) -> Option<Xam>
 /// the product over `//`-edge nodes of the global count of their label
 /// (`/`-edge and label-free-child counts bound tighter but cost more).
 pub fn embedding_bound(s: &Summary, p: &Xam) -> f64 {
-    let mut label_counts: std::collections::HashMap<&str, usize> =
-        std::collections::HashMap::new();
+    let mut label_counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
     for n in s.all_nodes() {
         *label_counts.entry(s.label(n)).or_insert(0) += 1;
     }

@@ -145,7 +145,8 @@ mod tests {
         let ds = datasets::xmark_small();
         for (name, p) in patterns() {
             assert!(
-                containment::contained_in(&p, &p, &ds.summary),
+                containment::contain(&p, &p, &ds.summary, &containment::ContainOptions::default())
+                    .contained,
                 "{name} not contained in itself"
             );
         }

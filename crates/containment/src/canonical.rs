@@ -108,6 +108,63 @@ pub fn for_each_embedding<F: FnMut(&SummaryEmbedding) -> bool>(
     assign(xam, s, &order, 0, &mut cur, visit)
 }
 
+/// The candidate summary images of the pattern's *first* pre-order node
+/// (whose parent is `⊤`). The parallel engine partitions this list
+/// across workers: each worker enumerates the embeddings rooted at its
+/// share via [`for_each_embedding_from`], and the union over all
+/// candidates is exactly the enumeration of [`for_each_embedding`].
+pub fn root_candidates(xam: &Xam, s: &Summary) -> Vec<SummaryNodeId> {
+    match xam.pattern_nodes().next() {
+        Some(first) => candidates(xam, first, s, None),
+        None => Vec::new(),
+    }
+}
+
+/// As [`for_each_embedding`], but with the first pre-order pattern
+/// node's image pinned to `first` (which must come from
+/// [`root_candidates`]). Used to split the enumeration across workers.
+pub fn for_each_embedding_from<F: FnMut(&SummaryEmbedding) -> bool>(
+    xam: &Xam,
+    s: &Summary,
+    first: SummaryNodeId,
+    visit: &mut F,
+) -> bool {
+    fn assign<F: FnMut(&SummaryEmbedding) -> bool>(
+        xam: &Xam,
+        s: &Summary,
+        order: &[XamNodeId],
+        idx: usize,
+        cur: &mut SummaryEmbedding,
+        visit: &mut F,
+    ) -> bool {
+        if idx == order.len() {
+            return visit(cur);
+        }
+        let pn = order[idx];
+        let parent = xam.parent(pn).unwrap();
+        let parent_image = if parent == XamNodeId::TOP {
+            None
+        } else {
+            cur[parent.index()]
+        };
+        for c in candidates(xam, pn, s, parent_image) {
+            cur[pn.index()] = Some(c);
+            if !assign(xam, s, order, idx + 1, cur, visit) {
+                return false;
+            }
+        }
+        cur[pn.index()] = None;
+        true
+    }
+    let order: Vec<XamNodeId> = xam.pattern_nodes().collect();
+    if order.is_empty() {
+        return visit(&vec![None; xam.len()]);
+    }
+    let mut cur: SummaryEmbedding = vec![None; xam.len()];
+    cur[order[0].index()] = Some(first);
+    assign(xam, s, &order, 1, &mut cur, visit)
+}
+
 /// Collect all strict embeddings (convenience wrapper).
 pub fn embeddings(xam: &Xam, s: &Summary) -> Vec<SummaryEmbedding> {
     let mut out = Vec::new();
@@ -125,6 +182,23 @@ pub fn path_annotation(xam: &Xam, s: &Summary, pn: XamNodeId) -> HashSet<Summary
     for_each_embedding(xam, s, &mut |e| {
         if let Some(sn) = e[pn.index()] {
             out.insert(sn);
+        }
+        true
+    });
+    out
+}
+
+/// Path annotations of *every* pattern node (indexed by XAM node index,
+/// `⊤`'s slot empty), computed in one enumeration pass — the rewriter
+/// needs all of them, and a pass per node repeats the identical
+/// enumeration `|p|` times.
+pub fn path_annotations_all(xam: &Xam, s: &Summary) -> Vec<HashSet<SummaryNodeId>> {
+    let mut out: Vec<HashSet<SummaryNodeId>> = vec![HashSet::new(); xam.len()];
+    for_each_embedding(xam, s, &mut |e| {
+        for n in xam.pattern_nodes() {
+            if let Some(sn) = e[n.index()] {
+                out[n.index()].insert(sn);
+            }
         }
         true
     });
@@ -255,10 +329,7 @@ pub fn canonical_tree_with_rets(
     let mut alive = vec![true; xam.len()];
     for n in xam.pattern_nodes() {
         let erased_here = erase.contains(&n);
-        let parent_alive = xam
-            .parent(n)
-            .map(|p| alive[p.index()])
-            .unwrap_or(true);
+        let parent_alive = xam.parent(n).map(|p| alive[p.index()]).unwrap_or(true);
         alive[n.index()] = parent_alive && !erased_here;
     }
     // insert pattern nodes in pre-order, adding the summary chains
@@ -349,7 +420,11 @@ fn finish_distinguished(xam: &Xam, t: &mut CanonicalTree, n: XamNodeId, can_idx:
 
 /// The summary chain from `from` (exclusive; `None` = above the root) down
 /// to `to` (inclusive), top-down.
-fn summary_chain(s: &Summary, from: Option<SummaryNodeId>, to: SummaryNodeId) -> Vec<SummaryNodeId> {
+fn summary_chain(
+    s: &Summary,
+    from: Option<SummaryNodeId>,
+    to: SummaryNodeId,
+) -> Vec<SummaryNodeId> {
     let mut chain = Vec::new();
     let mut cur = Some(to);
     while let Some(c) = cur {
@@ -419,9 +494,7 @@ pub fn canonical_model(xam: &Xam, s: &Summary) -> (Vec<CanonicalTree>, ModelStat
             // erasing an optional branch whose match survives via another
             // chain would contradict the ⊥-minimality of optional
             // embeddings.
-            if !f.is_empty()
-                && !crate::pattern_eval::accepts_tuple(xam, s, &t, &t.return_tuple)
-            {
+            if !f.is_empty() && !crate::pattern_eval::accepts_tuple(xam, s, &t, &t.return_tuple) {
                 continue;
             }
             seen.insert(key);
@@ -444,10 +517,7 @@ mod tests {
         // the summary of Figure 4.7: a root with nested b/c structure
         // /a {1:/a, 2:/a/b, 3:/a/b/c(?), ...} — approximate the figure with
         // a recursive-ish document
-        let doc = parse_document(
-            "<a><b><c><b><e/></b></c><e/></b><d><b><e/></b></d></a>",
-        )
-        .unwrap();
+        let doc = parse_document("<a><b><c><b><e/></b></c><e/></b><d><b><e/></b></d></a>").unwrap();
         Summary::of_document(&doc)
     }
 

@@ -20,17 +20,23 @@
 //! condition — the effect the paper measures in §4.6 (negative tests are
 //! faster because `mod_S(p)` need not be fully built).
 
+pub mod cache;
 pub mod canonical;
 pub mod minimize;
 pub mod pattern_eval;
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use parking_lot::Mutex;
 use summary::{Summary, SummaryNodeId};
 use xam_core::ast::{Formula, Xam, XamNodeId};
 
+pub use cache::{CacheStats, CanonicalCache};
 pub use canonical::{canonical_model, CanonicalTree, ModelStats};
-pub use minimize::{minimize_by_contraction, minimize_global};
+pub use minimize::{
+    minimize_by_contraction, minimize_by_contraction_with, minimize_global, minimize_global_with,
+};
 pub use pattern_eval::{accepts_tuple, eval_on_canonical};
 
 /// Outcome of a containment decision, with the statistics the experiments
@@ -75,23 +81,94 @@ fn attr_signature(p: &Xam) -> Vec<(bool, bool, bool, bool)> {
     attr_signature_of(p, &p.return_nodes())
 }
 
-/// Decide `p ⊆_S q` (full pattern language), returning statistics.
-pub fn contained_with_stats(p: &Xam, q: &Xam, s: &Summary) -> ContainmentOutcome {
-    let p_rets = p.return_nodes();
-    let q_rets = q.return_nodes();
-    contained_with_stats_aligned(p, q, s, &p_rets, &q_rets)
+/// Knobs of a containment decision — the one options struct behind the
+/// unified [`contain`] entry point.
+///
+/// The default (`ContainOptions::default()`) is the sequential,
+/// uncached decision with return nodes taken from each pattern in
+/// pre-order — the behaviour of the historical `contained_in` family.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContainOptions<'a> {
+    /// Worker threads for the canonical-model enumeration. `0` and `1`
+    /// both mean sequential. Parallelism only changes wall-clock time:
+    /// the verdict is identical (the canonical model is a set).
+    pub threads: usize,
+    /// Shared memo for verdicts/models; `None` disables caching.
+    pub cache: Option<&'a CanonicalCache>,
+    /// Fingerprint of the summary if the caller amortized it
+    /// ([`cache::summary_fingerprint`]); computed on demand otherwise.
+    pub summary_fp: Option<u64>,
+    /// Explicit, position-aligned return-node lists: `p_rets[i]`
+    /// corresponds to `q_rets[i]`. The rewriter uses this to align a
+    /// rewriting pattern's outputs (whose pre-order may differ) with
+    /// the query's. `None` uses each pattern's own pre-order returns.
+    pub aligned: Option<(&'a [XamNodeId], &'a [XamNodeId])>,
 }
 
-/// Decide `p ⊆_S q` with explicit, position-aligned return-node lists:
-/// `p_rets[i]` corresponds to `q_rets[i]`. The rewriter uses this to align
-/// a rewriting pattern's outputs (whose pre-order may differ) with the
-/// query's.
-pub fn contained_with_stats_aligned(
+impl<'a> ContainOptions<'a> {
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    pub fn with_cache(mut self, cache: &'a CanonicalCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    pub fn with_summary_fp(mut self, fp: u64) -> Self {
+        self.summary_fp = Some(fp);
+        self
+    }
+
+    pub fn with_aligned(mut self, p_rets: &'a [XamNodeId], q_rets: &'a [XamNodeId]) -> Self {
+        self.aligned = Some((p_rets, q_rets));
+        self
+    }
+}
+
+/// Decide `p ⊆_S q` (full pattern language). This is the single
+/// containment entry point; threading, caching and return-node
+/// alignment are selected through [`ContainOptions`].
+pub fn contain(p: &Xam, q: &Xam, s: &Summary, opts: &ContainOptions) -> ContainmentOutcome {
+    let (own_p, own_q);
+    let (p_rets, q_rets): (&[XamNodeId], &[XamNodeId]) = match opts.aligned {
+        Some((pr, qr)) => (pr, qr),
+        None => {
+            own_p = p.return_nodes();
+            own_q = q.return_nodes();
+            (&own_p, &own_q)
+        }
+    };
+    if let Some(cache) = opts.cache {
+        let s_fp = opts
+            .summary_fp
+            .unwrap_or_else(|| cache::summary_fingerprint(s));
+        let key = (
+            cache::pattern_fingerprint(p),
+            cache::rets_fingerprint(p_rets),
+            cache::pattern_fingerprint(q),
+            cache::rets_fingerprint(q_rets),
+            s_fp,
+        );
+        if let Some(hit) = cache.get_verdict(key.0, key.1, key.2, key.3, key.4) {
+            return hit;
+        }
+        let outcome = decide(p, q, s, p_rets, q_rets, opts.threads);
+        cache.put_verdict(key.0, key.1, key.2, key.3, key.4, outcome);
+        outcome
+    } else {
+        decide(p, q, s, p_rets, q_rets, opts.threads)
+    }
+}
+
+fn decide(
     p: &Xam,
     q: &Xam,
     s: &Summary,
     p_rets: &[XamNodeId],
     q_rets: &[XamNodeId],
+    threads: usize,
 ) -> ContainmentOutcome {
     // 1. attribute signatures must agree position-wise (Prop 4.4.3)
     if attr_signature_of(p, p_rets) != attr_signature_of(q, q_rets) {
@@ -102,21 +179,31 @@ pub fn contained_with_stats_aligned(
         };
     }
     // 2. nested-pattern conditions (Prop 4.4.4)
-    let p_has_nesting = p
-        .pattern_nodes()
-        .any(|n| p.node(n).edge.sem.is_nested());
-    let q_has_nesting = q
-        .pattern_nodes()
-        .any(|n| q.node(n).edge.sem.is_nested());
-    if (p_has_nesting || q_has_nesting)
-        && !nesting_compatible(p, q, s, p_rets, q_rets) {
-            return ContainmentOutcome {
-                contained: false,
-                trees_checked: 0,
-                model_size: 0,
-            };
-        }
+    let p_has_nesting = p.pattern_nodes().any(|n| p.node(n).edge.sem.is_nested());
+    let q_has_nesting = q.pattern_nodes().any(|n| q.node(n).edge.sem.is_nested());
+    if (p_has_nesting || q_has_nesting) && !nesting_compatible(p, q, s, p_rets, q_rets) {
+        return ContainmentOutcome {
+            contained: false,
+            trees_checked: 0,
+            model_size: 0,
+        };
+    }
     // 3. canonical-model check with early exit
+    let roots = canonical::root_candidates(p, s);
+    if threads > 1 && roots.len() > 1 {
+        canonical_check_parallel(p, q, s, p_rets, q_rets, &roots, threads)
+    } else {
+        canonical_check_seq(p, q, s, p_rets, q_rets)
+    }
+}
+
+fn canonical_check_seq(
+    p: &Xam,
+    q: &Xam,
+    s: &Summary,
+    p_rets: &[XamNodeId],
+    q_rets: &[XamNodeId],
+) -> ContainmentOutcome {
     let erasures = canonical::erasure_sets(p);
     let mut seen: HashSet<u64> = HashSet::new();
     let mut checked = 0usize;
@@ -150,14 +237,136 @@ pub fn contained_with_stats_aligned(
     }
 }
 
+/// The parallel canonical-model check: the first pattern node's summary
+/// candidates are dealt round-robin to `threads` scoped workers, each of
+/// which enumerates the embeddings rooted at its share. Duplicate trees
+/// are eliminated through a shared key set, so exactly one worker checks
+/// each distinct canonical tree; a shared flag broadcasts the early exit
+/// on a negative answer. The verdict — and, for positive answers, the
+/// model size — is bit-identical to the sequential check, because both
+/// compute the same duplicate-free set of accepted canonical trees.
+fn canonical_check_parallel(
+    p: &Xam,
+    q: &Xam,
+    s: &Summary,
+    p_rets: &[XamNodeId],
+    q_rets: &[XamNodeId],
+    roots: &[SummaryNodeId],
+    threads: usize,
+) -> ContainmentOutcome {
+    let erasures = canonical::erasure_sets(p);
+    let failed = AtomicBool::new(false);
+    let seen: Mutex<HashSet<u64>> = Mutex::new(HashSet::new());
+    let checked = AtomicUsize::new(0);
+    let workers = threads.min(roots.len());
+    crossbeam::thread::scope(|scope| {
+        for w in 0..workers {
+            let my: Vec<SummaryNodeId> = roots.iter().copied().skip(w).step_by(workers).collect();
+            let (failed, seen, checked, erasures) = (&failed, &seen, &checked, &erasures);
+            scope.spawn(move || {
+                for first in my {
+                    if failed.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    canonical::for_each_embedding_from(p, s, first, &mut |e| {
+                        if failed.load(Ordering::Relaxed) {
+                            return false;
+                        }
+                        for f in erasures.iter() {
+                            let t = canonical::canonical_tree_with_rets(p, s, e, f, p_rets);
+                            let key = t.key();
+                            if seen.lock().contains(&key) {
+                                continue;
+                            }
+                            if !f.is_empty()
+                                && !pattern_eval::accepts_tuple_with_rets(
+                                    p,
+                                    s,
+                                    &t,
+                                    &t.return_tuple,
+                                    p_rets,
+                                )
+                            {
+                                continue;
+                            }
+                            // two workers may race to the same fresh tree:
+                            // the one whose insert wins does the check
+                            if !seen.lock().insert(key) {
+                                continue;
+                            }
+                            checked.fetch_add(1, Ordering::Relaxed);
+                            if !pattern_eval::accepts_tuple_with_rets(
+                                q,
+                                s,
+                                &t,
+                                &t.return_tuple,
+                                q_rets,
+                            ) {
+                                failed.store(true, Ordering::Relaxed);
+                                return false;
+                            }
+                        }
+                        true
+                    });
+                }
+            });
+        }
+    });
+    let model_size = seen.into_inner().len();
+    ContainmentOutcome {
+        contained: !failed.load(Ordering::Relaxed),
+        trees_checked: checked.load(Ordering::Relaxed),
+        model_size,
+    }
+}
+
+/// Decide `p ⊆_S q` (full pattern language), returning statistics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `contain(p, q, s, &ContainOptions::default())`"
+)]
+pub fn contained_with_stats(p: &Xam, q: &Xam, s: &Summary) -> ContainmentOutcome {
+    contain(p, q, s, &ContainOptions::default())
+}
+
+/// Decide `p ⊆_S q` with explicit, position-aligned return-node lists.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `contain` with `ContainOptions::default().with_aligned(p_rets, q_rets)`"
+)]
+pub fn contained_with_stats_aligned(
+    p: &Xam,
+    q: &Xam,
+    s: &Summary,
+    p_rets: &[XamNodeId],
+    q_rets: &[XamNodeId],
+) -> ContainmentOutcome {
+    contain(
+        p,
+        q,
+        s,
+        &ContainOptions::default().with_aligned(p_rets, q_rets),
+    )
+}
+
 /// Decide `p ⊆_S q`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `contain(p, q, s, &ContainOptions::default()).contained`"
+)]
 pub fn contained_in(p: &Xam, q: &Xam, s: &Summary) -> bool {
-    contained_with_stats(p, q, s).contained
+    contain(p, q, s, &ContainOptions::default()).contained
 }
 
 /// `S`-equivalence: two-way containment (Definition 4.4.1).
 pub fn equivalent(p: &Xam, q: &Xam, s: &Summary) -> bool {
-    contained_in(p, q, s) && contained_in(q, p, s)
+    equivalent_with(p, q, s, &ContainOptions::default())
+}
+
+/// [`equivalent`] under explicit [`ContainOptions`] (shared cache,
+/// worker threads).
+pub fn equivalent_with(p: &Xam, q: &Xam, s: &Summary, opts: &ContainOptions) -> bool {
+    contain(p, q, s, opts).contained && contain(q, p, s, opts).contained
 }
 
 // --------------------------------------------------------------------
@@ -165,20 +374,15 @@ pub fn equivalent(p: &Xam, q: &Xam, s: &Summary) -> bool {
 
 /// The nesting sequence of return node `r` under embedding `e`: summary
 /// images of ancestors whose downward edge (toward `r`) is nested.
-fn nesting_sequence(
-    p: &Xam,
-    e: &canonical::SummaryEmbedding,
-    r: XamNodeId,
-) -> Vec<SummaryNodeId> {
+fn nesting_sequence(p: &Xam, e: &canonical::SummaryEmbedding, r: XamNodeId) -> Vec<SummaryNodeId> {
     let mut seq = Vec::new();
     let mut cur = r;
     while let Some(par) = p.parent(cur) {
-        if p.node(cur).edge.sem.is_nested()
-            && par != XamNodeId::TOP {
-                if let Some(sn) = e[par.index()] {
-                    seq.push(sn);
-                }
+        if p.node(cur).edge.sem.is_nested() && par != XamNodeId::TOP {
+            if let Some(sn) = e[par.index()] {
+                seq.push(sn);
             }
+        }
         cur = par;
     }
     seq.reverse();
@@ -220,23 +424,17 @@ fn nesting_compatible(
     let mut q_by_tuple: HashMap<Vec<Option<SummaryNodeId>>, Vec<Vec<Vec<SummaryNodeId>>>> =
         HashMap::new();
     canonical::for_each_embedding(q, s, &mut |e| {
-        let tuple: Vec<Option<SummaryNodeId>> =
-            q_rets.iter().map(|r| e[r.index()]).collect();
-        let seqs: Vec<Vec<SummaryNodeId>> = q_rets
-            .iter()
-            .map(|&r| nesting_sequence(q, e, r))
-            .collect();
+        let tuple: Vec<Option<SummaryNodeId>> = q_rets.iter().map(|r| e[r.index()]).collect();
+        let seqs: Vec<Vec<SummaryNodeId>> =
+            q_rets.iter().map(|&r| nesting_sequence(q, e, r)).collect();
         q_by_tuple.entry(tuple).or_default().push(seqs);
         true
     });
     let mut ok = true;
     canonical::for_each_embedding(p, s, &mut |e| {
-        let tuple: Vec<Option<SummaryNodeId>> =
-            p_rets.iter().map(|r| e[r.index()]).collect();
-        let p_seqs: Vec<Vec<SummaryNodeId>> = p_rets
-            .iter()
-            .map(|&r| nesting_sequence(p, e, r))
-            .collect();
+        let tuple: Vec<Option<SummaryNodeId>> = p_rets.iter().map(|r| e[r.index()]).collect();
+        let p_seqs: Vec<Vec<SummaryNodeId>> =
+            p_rets.iter().map(|&r| nesting_sequence(p, e, r)).collect();
         let found = q_by_tuple.get(&tuple).is_some_and(|cands| {
             cands.iter().any(|q_seqs| {
                 p_seqs
@@ -518,12 +716,17 @@ mod tests {
         Summary::of_document(&parse_document(xml).unwrap())
     }
 
+    /// Shorthand: default (sequential, uncached) containment verdict.
+    fn c(p: &Xam, q: &Xam, s: &Summary) -> bool {
+        contain(p, q, s, &ContainOptions::default()).contained
+    }
+
     #[test]
     fn self_containment() {
         let s = s_of("<a><b><c/></b><d/></a>");
         for p in ["//b[id:s]", "//b[id:s]{ /c[id:s] }", "//*[id:s]"] {
             let x = parse_xam(p).unwrap();
-            assert!(contained_in(&x, &x, &s), "{p} ⊈ itself");
+            assert!(c(&x, &x, &s), "{p} ⊈ itself");
             assert!(equivalent(&x, &x, &s));
         }
     }
@@ -533,8 +736,8 @@ mod tests {
         let s = s_of("<a><b><c/></b><d/></a>");
         let b = parse_xam("//b[id:s]").unwrap();
         let star = parse_xam("//*[id:s]").unwrap();
-        assert!(contained_in(&b, &star, &s));
-        assert!(!contained_in(&star, &b, &s));
+        assert!(c(&b, &star, &s));
+        assert!(!c(&star, &b, &s));
     }
 
     #[test]
@@ -544,8 +747,8 @@ mod tests {
         let s = s_of("<a><b/><b/></a>");
         let anyb = parse_xam("//b[id:s]").unwrap();
         let ab = parse_xam("/a{ /b[id:s] }").unwrap();
-        assert!(contained_in(&anyb, &ab, &s));
-        assert!(contained_in(&ab, &anyb, &s));
+        assert!(c(&anyb, &ab, &s));
+        assert!(c(&ab, &anyb, &s));
         assert!(equivalent(&anyb, &ab, &s));
     }
 
@@ -559,8 +762,8 @@ mod tests {
         let bc = parse_xam("//b[id:s]{ /s c }").unwrap();
         // the canonical-tree check is purely structural: mod_S(//b) has the
         // tree a/b, which //b[c] does not accept
-        assert!(!contained_in(&b, &bc, &s));
-        assert!(contained_in(&bc, &b, &s));
+        assert!(!c(&b, &bc, &s));
+        assert!(c(&bc, &b, &s));
     }
 
     #[test]
@@ -577,8 +780,8 @@ mod tests {
         let s = s_of("<a><b>3</b></a>");
         let p = parse_xam("//b[id:s,val=3]").unwrap();
         let q = parse_xam("//b[id:s,val>1]").unwrap();
-        assert!(contained_in(&p, &q, &s));
-        assert!(!contained_in(&q, &p, &s));
+        assert!(c(&p, &q, &s));
+        assert!(!c(&q, &p, &s));
     }
 
     #[test]
@@ -587,7 +790,7 @@ mod tests {
         let p = parse_xam("//b[id:s]").unwrap();
         let q = parse_xam("//b[val]").unwrap();
         // same structure, different stored attributes → not contained
-        assert!(!contained_in(&p, &q, &s));
+        assert!(!c(&p, &q, &s));
     }
 
     #[test]
@@ -597,7 +800,7 @@ mod tests {
         let s = s_of("<t><a><c><b/><d><e/></d></c><c/></a></t>");
         let p1 = parse_xam("//a{ /c[id:s]{ /? b[id:s], /? d{ /e } } }").unwrap();
         let p2 = parse_xam("//c[id:s]{ /? b[id:s] }").unwrap();
-        assert!(contained_in(&p1, &p2, &s));
+        assert!(c(&p1, &p2, &s));
     }
 
     #[test]
@@ -607,8 +810,8 @@ mod tests {
         let b = parse_xam("//b[id:s]").unwrap();
         let ab = parse_xam("//a{ /b[id:s] }").unwrap();
         let db = parse_xam("//d{ /b[id:s] }").unwrap();
-        assert!(!contained_in(&b, &ab, &s));
-        assert!(!contained_in(&b, &db, &s));
+        assert!(!c(&b, &ab, &s));
+        assert!(!c(&b, &db, &s));
         assert!(contained_in_union(&b, &[&ab, &db], &s));
         assert!(contained_in_union(&ab, &[&b], &s));
     }
@@ -620,7 +823,7 @@ mod tests {
         let p = parse_xam("//b[id:s,val>0,val<10]").unwrap();
         let q1 = parse_xam("//b[id:s,val>0,val<5]").unwrap();
         let q2 = parse_xam("//b[id:s,val>=5]").unwrap();
-        assert!(!contained_in(&p, &q1, &s));
+        assert!(!c(&p, &q1, &s));
         assert!(contained_in_union(&p, &[&q1, &q2], &s));
         // removing the upper half breaks the cover
         assert!(!contained_in_union(&p, &[&q1], &s));
@@ -632,9 +835,9 @@ mod tests {
         let flat = parse_xam("//b[id:s]{ /c[id:s] }").unwrap();
         let nested = parse_xam("//b[id:s]{ /n c[id:s] }").unwrap();
         // nesting depth differs → not contained either way
-        assert!(!contained_in(&flat, &nested, &s));
-        assert!(!contained_in(&nested, &flat, &s));
-        assert!(contained_in(&nested, &nested, &s));
+        assert!(!c(&flat, &nested, &s));
+        assert!(!c(&nested, &flat, &s));
+        assert!(c(&nested, &nested, &s));
     }
 
     #[test]
@@ -643,9 +846,8 @@ mod tests {
         // equivalent
         let s = s_of("<a><x><w><c/><c/></w></x><x><w><c/></w></x></a>");
         let under_x = parse_xam("//x[id:s]{ //n c[id:s] }").unwrap();
-        let under_w =
-            parse_xam("//x[id:s]{ /w{ /n c[id:s] } }").unwrap();
-        assert!(contained_in(&under_w, &under_x, &s));
+        let under_w = parse_xam("//x[id:s]{ /w{ /n c[id:s] } }").unwrap();
+        assert!(c(&under_w, &under_x, &s));
     }
 
     #[test]
@@ -661,10 +863,81 @@ mod tests {
         let s = s_of("<a><b><c/></b><b><d/></b><b><e/></b></a>");
         let p = parse_xam("//b[id:s]").unwrap();
         let q = parse_xam("//b[id:s]{ /s c }").unwrap();
-        let neg = contained_with_stats(&p, &q, &s);
+        let neg = contain(&p, &q, &s, &ContainOptions::default());
         assert!(!neg.contained);
-        let pos = contained_with_stats(&p, &p, &s);
+        let pos = contain(&p, &p, &s, &ContainOptions::default());
         assert!(pos.contained);
         assert!(neg.trees_checked <= pos.trees_checked);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // wide summary so the root-candidate split actually distributes
+        let s = s_of("<r><a><x/></a><b><x/></b><c><x/></c><d><x/></d><e><x/></e><f><x/></f></r>");
+        let pats = [
+            "//x[id:s]",
+            "//*[id:s]",
+            "//*{ /x[id:s] }",
+            "//a{ /x[id:s] }",
+            "//b[id:s]{ /? x }",
+        ];
+        for pp in &pats {
+            for qq in &pats {
+                let p = parse_xam(pp).unwrap();
+                let q = parse_xam(qq).unwrap();
+                let seq = contain(&p, &q, &s, &ContainOptions::default());
+                for threads in [2, 4, 7] {
+                    let par = contain(&p, &q, &s, &ContainOptions::default().with_threads(threads));
+                    assert_eq!(seq.contained, par.contained, "{pp} vs {qq} @{threads}");
+                    if seq.contained {
+                        // positive runs enumerate the full model: sizes match
+                        assert_eq!(seq.model_size, par.model_size, "{pp} vs {qq} @{threads}");
+                        assert_eq!(
+                            seq.trees_checked, par.trees_checked,
+                            "{pp} vs {qq} @{threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_verdicts_are_stable_and_hit() {
+        let s = s_of("<a><b><c/></b><d/></a>");
+        let cache = CanonicalCache::new(64);
+        let p = parse_xam("//b[id:s]").unwrap();
+        let q = parse_xam("//*[id:s]").unwrap();
+        let opts = ContainOptions::default().with_cache(&cache);
+        let first = contain(&p, &q, &s, &opts);
+        let second = contain(&p, &q, &s, &opts);
+        assert_eq!(first.contained, second.contained);
+        assert_eq!(first.model_size, second.model_size);
+        let stats = cache.stats();
+        assert!(stats.hits >= 1, "second call should hit: {stats:?}");
+        // the cached verdict agrees with the uncached one
+        assert_eq!(
+            first.contained,
+            contain(&p, &q, &s, &ContainOptions::default()).contained
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_contain() {
+        let s = s_of("<a><b><c/></b><d/></a>");
+        let p = parse_xam("//b[id:s]").unwrap();
+        let star = parse_xam("//*[id:s]").unwrap();
+        assert_eq!(contained_in(&p, &star, &s), c(&p, &star, &s));
+        let via_shim = contained_with_stats(&p, &star, &s);
+        let via_contain = contain(&p, &star, &s, &ContainOptions::default());
+        assert_eq!(via_shim.contained, via_contain.contained);
+        assert_eq!(via_shim.model_size, via_contain.model_size);
+        let p_rets = p.return_nodes();
+        let q_rets = star.return_nodes();
+        assert_eq!(
+            contained_with_stats_aligned(&p, &star, &s, &p_rets, &q_rets).contained,
+            via_contain.contained
+        );
     }
 }

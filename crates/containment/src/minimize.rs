@@ -17,7 +17,7 @@ use std::collections::{BTreeSet, HashSet};
 use summary::Summary;
 use xam_core::ast::{Axis, Xam, XamEdge, XamNode, XamNodeId};
 
-use crate::{canonical, equivalent};
+use crate::{canonical, equivalent_with, ContainOptions};
 
 /// Erase `victim` from the pattern, reconnecting its children to its
 /// parent with `//` (join) edges. Returns `None` for return nodes or `⊤`.
@@ -56,6 +56,13 @@ pub fn contract(p: &Xam, victim: XamNodeId) -> Option<Xam> {
 /// All patterns minimal under `S`-contraction reachable from `p` (there
 /// may be several, as in Figure 4.12's `t'_1` and `t'_2`).
 pub fn minimize_by_contraction(p: &Xam, s: &Summary) -> Vec<Xam> {
+    minimize_by_contraction_with(p, s, &ContainOptions::default())
+}
+
+/// [`minimize_by_contraction`] under explicit [`ContainOptions`] — the
+/// engine passes its shared cache here, which pays off because the
+/// contraction search re-decides equivalence for overlapping chains.
+pub fn minimize_by_contraction_with(p: &Xam, s: &Summary, opts: &ContainOptions) -> Vec<Xam> {
     let mut results: Vec<Xam> = Vec::new();
     let mut seen: HashSet<String> = HashSet::new();
     let mut frontier = vec![p.clone()];
@@ -64,7 +71,7 @@ pub fn minimize_by_contraction(p: &Xam, s: &Summary) -> Vec<Xam> {
         let mut contracted_any = false;
         for victim in cur.pattern_nodes() {
             if let Some(cand) = contract(&cur, victim) {
-                if equivalent(&cand, p, s) {
+                if equivalent_with(&cand, p, s, opts) {
                     contracted_any = true;
                     if seen.insert(cand.to_string()) {
                         frontier.push(cand);
@@ -89,7 +96,12 @@ pub fn minimize_by_contraction(p: &Xam, s: &Summary) -> Vec<Xam> {
 /// the contraction fixpoints when no smaller chain exists (or the pattern
 /// is out of scope).
 pub fn minimize_global(p: &Xam, s: &Summary) -> Vec<Xam> {
-    let by_contraction = minimize_by_contraction(p, s);
+    minimize_global_with(p, s, &ContainOptions::default())
+}
+
+/// [`minimize_global`] under explicit [`ContainOptions`].
+pub fn minimize_global_with(p: &Xam, s: &Summary, opts: &ContainOptions) -> Vec<Xam> {
+    let by_contraction = minimize_by_contraction_with(p, s, opts);
     let rets = p.return_nodes();
     if rets.len() != 1 || !p.is_conjunctive() {
         return by_contraction;
@@ -137,7 +149,7 @@ pub fn minimize_global(p: &Xam, s: &Summary) -> Vec<Xam> {
             r.children = Vec::new();
             r.edge = XamEdge::descendant();
             cand.add_child(under, r);
-            if equivalent(&cand, p, s) {
+            if equivalent_with(&cand, p, s, opts) {
                 found.push(cand);
             }
             // next combination
@@ -167,6 +179,7 @@ pub fn minimize_global(p: &Xam, s: &Summary) -> Vec<Xam> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::equivalent;
     use xam_core::parse_xam;
     use xmltree::parse_document;
 

@@ -19,13 +19,7 @@ use crate::canonical::CanonicalTree;
 
 /// Does pattern node `pn` match canonical-tree node `cn` (label, kind,
 /// formula implication)?
-fn node_matches(
-    xam: &Xam,
-    pn: XamNodeId,
-    s: &Summary,
-    t: &CanonicalTree,
-    cn: usize,
-) -> bool {
+fn node_matches(xam: &Xam, pn: XamNodeId, s: &Summary, t: &CanonicalTree, cn: usize) -> bool {
     let node = xam.node(pn);
     let sn = t.nodes[cn].summary;
     let kind = s.kind(sn);
@@ -44,8 +38,7 @@ fn node_matches(
     }
     // decorated embedding: the tree node's formula must imply the
     // pattern's formula
-    if node.value_predicate != Formula::True
-        && !t.nodes[cn].formula.implies(&node.value_predicate)
+    if node.value_predicate != Formula::True && !t.nodes[cn].formula.implies(&node.value_predicate)
     {
         return false;
     }
@@ -65,9 +58,7 @@ fn candidates(
         (None, Axis::Child) => vec![t.root()],
         (None, Axis::Descendant) => (0..t.len()).collect(),
         (Some(p), Axis::Child) => t.nodes[p].children.clone(),
-        (Some(p), Axis::Descendant) => {
-            (0..t.len()).filter(|&c| t.is_ancestor(p, c)).collect()
-        }
+        (Some(p), Axis::Descendant) => (0..t.len()).filter(|&c| t.is_ancestor(p, c)).collect(),
     };
     pool.into_iter()
         .filter(|&c| node_matches(xam, pn, s, t, c))
@@ -81,12 +72,13 @@ fn subtree_embeddable(
     t: &CanonicalTree,
     parent_image: Option<usize>,
 ) -> bool {
-    candidates(xam, pn, s, t, parent_image).into_iter().any(|c| {
-        xam.children(pn).iter().all(|&ch| {
-            xam.node(ch).edge.sem.is_optional()
-                || subtree_embeddable(xam, ch, s, t, Some(c))
+    candidates(xam, pn, s, t, parent_image)
+        .into_iter()
+        .any(|c| {
+            xam.children(pn).iter().all(|&ch| {
+                xam.node(ch).edge.sem.is_optional() || subtree_embeddable(xam, ch, s, t, Some(c))
+            })
         })
-    })
 }
 
 /// Evaluate the pattern over a canonical tree: the set of return tuples,
@@ -101,6 +93,7 @@ pub fn eval_on_canonical(
     let mut out = BTreeSet::new();
     let mut cur: Vec<Option<usize>> = vec![None; xam.len()];
 
+    #[allow(clippy::too_many_arguments)]
     fn assign(
         xam: &Xam,
         s: &Summary,
@@ -171,6 +164,7 @@ pub fn accepts_tuple_with_rets(
     let mut found = false;
     let mut cur: Vec<Option<usize>> = vec![None; xam.len()];
 
+    #[allow(clippy::too_many_arguments)]
     fn assign(
         xam: &Xam,
         s: &Summary,
@@ -257,8 +251,18 @@ mod tests {
         let q_strong = parse_xam("//b[id:s,val>9]").unwrap();
         let (model, _) = canonical_model(&p, &s);
         assert_eq!(model.len(), 1);
-        assert!(accepts_tuple(&q_weak, &s, &model[0], &model[0].return_tuple));
-        assert!(!accepts_tuple(&q_strong, &s, &model[0], &model[0].return_tuple));
+        assert!(accepts_tuple(
+            &q_weak,
+            &s,
+            &model[0],
+            &model[0].return_tuple
+        ));
+        assert!(!accepts_tuple(
+            &q_strong,
+            &s,
+            &model[0],
+            &model[0].return_tuple
+        ));
     }
 
     #[test]

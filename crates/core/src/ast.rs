@@ -219,7 +219,9 @@ impl Formula {
                         Gt => ord.is_gt(),
                         Ge => ord.is_ge(),
                         Parent | Ancestor => false,
-                        Contains => matches!((&lhs, &rhs), (algebra::Value::Str(a), algebra::Value::Str(b)) if a.contains(b.as_ref())),
+                        Contains => {
+                            matches!((&lhs, &rhs), (algebra::Value::Str(a), algebra::Value::Str(b)) if a.contains(b.as_ref()))
+                        }
                     },
                 }
             }
@@ -594,7 +596,9 @@ mod tests {
         let g = Formula::Cmp(algebra::CmpOp::Lt, FormulaConst::Int(5));
         assert!(g.eval("3"));
         assert!(!g.eval("7"));
-        let h = g.clone().and(Formula::Cmp(algebra::CmpOp::Gt, FormulaConst::Int(1)));
+        let h = g
+            .clone()
+            .and(Formula::Cmp(algebra::CmpOp::Gt, FormulaConst::Int(1)));
         assert!(h.eval("3"));
         assert!(!h.eval("0"));
     }
@@ -610,10 +614,12 @@ mod tests {
         assert!(eq3.implies(&lt5));
         assert!(!eq3.implies(&lt3));
         // (v=3) ⟹ (v>1 ∨ v<0)
-        let disj = Formula::Cmp(Gt, FormulaConst::Int(1)).or(Formula::Cmp(Lt, FormulaConst::Int(0)));
+        let disj =
+            Formula::Cmp(Gt, FormulaConst::Int(1)).or(Formula::Cmp(Lt, FormulaConst::Int(0)));
         assert!(eq3.implies(&disj));
         // contradiction implies everything
-        let contra = Formula::Cmp(Lt, FormulaConst::Int(0)).and(Formula::Cmp(Gt, FormulaConst::Int(1)));
+        let contra =
+            Formula::Cmp(Lt, FormulaConst::Int(0)).and(Formula::Cmp(Gt, FormulaConst::Int(1)));
         assert!(contra.implies(&eq3));
         assert!(!contra.satisfiable());
         assert!(lt3.satisfiable());

@@ -240,9 +240,7 @@ mod tests {
         let mk = |tag: &str, title: &str| {
             Tuple::new(vec![
                 Value::str(tag),
-                Value::Coll(Collection::list(vec![Tuple::new(vec![Value::str(
-                    title,
-                )])])),
+                Value::Coll(Collection::list(vec![Tuple::new(vec![Value::str(title)])])),
             ])
         };
         let bindings = Relation::new(

@@ -70,18 +70,21 @@ fn candidates(
 /// Does *any* (strict) embedding of the subtree rooted at `pn` exist below
 /// `parent_image`? (Used for the optional-edge side condition: `⊥` is only
 /// allowed when this is false.)
-fn subtree_embeddable(xam: &Xam, pn: XamNodeId, doc: &Document, parent_image: Option<NodeId>) -> bool {
-    candidates(xam, pn, doc, parent_image)
-        .into_iter()
-        .any(|d| {
-            xam.children(pn).iter().all(|&c| {
-                if xam.node(c).edge.sem.is_optional() {
-                    true // optional children never block embeddability
-                } else {
-                    subtree_embeddable(xam, c, doc, Some(d))
-                }
-            })
+fn subtree_embeddable(
+    xam: &Xam,
+    pn: XamNodeId,
+    doc: &Document,
+    parent_image: Option<NodeId>,
+) -> bool {
+    candidates(xam, pn, doc, parent_image).into_iter().any(|d| {
+        xam.children(pn).iter().all(|&c| {
+            if xam.node(c).edge.sem.is_optional() {
+                true // optional children never block embeddability
+            } else {
+                subtree_embeddable(xam, c, doc, Some(d))
+            }
         })
+    })
 }
 
 /// Enumerate all (optional) embeddings of the XAM into the document.
@@ -89,6 +92,7 @@ pub fn embeddings(xam: &Xam, doc: &Document) -> Vec<Embedding> {
     let mut out = Vec::new();
     let mut cur: Embedding = vec![None; xam.len()];
     // multiple ⊤ children: embed them independently (cartesian semantics)
+    #[allow(clippy::too_many_arguments)]
     fn assign(
         xam: &Xam,
         doc: &Document,
@@ -172,11 +176,7 @@ mod tests {
         // algebraic result eliminates duplicates; embedding set is a set
         let mut alg_set = BTreeSet::new();
         for t in &algebraic.tuples {
-            let ids: Vec<Option<u32>> = t
-                .0
-                .iter()
-                .map(|v| v.as_id().map(|s| s.pre))
-                .collect();
+            let ids: Vec<Option<u32>> = t.0.iter().map(|v| v.as_id().map(|s| s.pre)).collect();
             alg_set.insert(ids);
         }
         let emb_set: BTreeSet<Vec<Option<u32>>> = embedded

@@ -27,9 +27,7 @@ use std::fmt;
 
 use algebra::CmpOp;
 
-use crate::ast::{
-    Axis, EdgeSem, Formula, FormulaConst, IdKind, Xam, XamEdge, XamNode, XamNodeId,
-};
+use crate::ast::{Axis, EdgeSem, Formula, FormulaConst, IdKind, Xam, XamEdge, XamNode, XamNodeId};
 
 /// Error produced while parsing a textual XAM.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -274,9 +272,7 @@ impl<'a> P<'a> {
                         "o" => IdKind::Ordered,
                         "s" => IdKind::Structural,
                         "p" => IdKind::Parent,
-                        other => {
-                            return Err(self.err(&format!("unknown id class `{other}`")))
-                        }
+                        other => return Err(self.err(&format!("unknown id class `{other}`"))),
                     }
                 } else {
                     IdKind::Simple
@@ -328,13 +324,13 @@ impl<'a> P<'a> {
                                 self.pos += 1;
                             }
                             let txt = std::str::from_utf8(&self.s[start..self.pos]).unwrap();
-                            FormulaConst::Int(txt.parse().map_err(|_| {
-                                self.err("expected integer or string constant")
-                            })?)
+                            FormulaConst::Int(
+                                txt.parse()
+                                    .map_err(|_| self.err("expected integer or string constant"))?,
+                            )
                         };
                         let atom = Formula::Cmp(op, c);
-                        let prev =
-                            std::mem::replace(&mut node.value_predicate, Formula::True);
+                        let prev = std::mem::replace(&mut node.value_predicate, Formula::True);
                         node.value_predicate = prev.and(atom);
                     }
                     None => {
@@ -371,8 +367,7 @@ mod tests {
 
     #[test]
     fn parses_children_and_edges() {
-        let x = parse_xam("//item[id:s,cont]{ /name[val], //n? li:listitem[id:s,cont] }")
-            .unwrap();
+        let x = parse_xam("//item[id:s,cont]{ /name[val], //n? li:listitem[id:s,cont] }").unwrap();
         assert_eq!(x.pattern_size(), 3);
         let li = x.node_by_name("li").unwrap();
         assert_eq!(x.node(li).edge.sem, EdgeSem::NestOuter);
@@ -391,10 +386,7 @@ mod tests {
         assert_eq!(x.node(star).tag_predicate, None);
         let year = x.children(star)[0];
         assert!(x.node(year).is_attribute);
-        assert_eq!(
-            x.node(year).value_predicate,
-            Formula::eq_str("1999")
-        );
+        assert_eq!(x.node(year).value_predicate, Formula::eq_str("1999"));
         let title = x.children(star)[1];
         assert_eq!(x.node(title).edge.sem, EdgeSem::Semi);
     }

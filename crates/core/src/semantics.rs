@@ -320,8 +320,7 @@ mod tests {
     fn nested_chi3() {
         // χ3: as χ2 plus nested title (ID, Tag, Val)
         let doc = bib_sample();
-        let xam =
-            parse_xam("//book[id:s,tag]{ /s @year, /n t:title[id:s,tag,val] }").unwrap();
+        let xam = parse_xam("//book[id:s,tag]{ /s @year, /n t:title[id:s,tag,val] }").unwrap();
         let rel = evaluate(&xam, &doc).unwrap();
         assert_eq!(rel.len(), 1);
         let titles = rel.tuples[0].get(2).as_coll().unwrap();
@@ -378,8 +377,7 @@ mod tests {
 
     #[test]
     fn output_columns_reflect_nesting() {
-        let xam =
-            parse_xam("//item[id:s]{ /name[val], //n? li:listitem[cont] }").unwrap();
+        let xam = parse_xam("//item[id:s]{ /name[val], //n? li:listitem[cont] }").unwrap();
         let cols = output_columns(&xam);
         let paths: Vec<&str> = cols.iter().map(|c| c.path.as_str()).collect();
         assert!(paths.contains(&"item1_ID"));

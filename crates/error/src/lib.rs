@@ -1,0 +1,94 @@
+//! # uload-error — the unified error type of the ULoad engine
+//!
+//! Every fallible public entry point of the workspace returns
+//! [`Result`]: parsing (XML, XAMs, XQuery), translation and pattern
+//! extraction, containment preconditions, rewriting, storage and plan
+//! evaluation. Dependency crates convert their internal error types via
+//! `From` impls they define themselves (the enum lives below every
+//! other crate in the graph), and the root `uload` façade re-exports it
+//! as `uload::Error`.
+
+use std::fmt;
+
+/// The engine-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong across the engine layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Textual input (XML document, XAM, XQuery) failed to parse.
+    Parse(String),
+    /// A query parsed but could not be translated into patterns/plans.
+    Translate(String),
+    /// A pattern has no embedding into the summary — no conforming
+    /// document can produce a result for it.
+    UnsatisfiablePattern(String),
+    /// No total rewriting of the query exists over the current views.
+    /// The payload carries the index and text of the failing pattern.
+    NoRewriting {
+        pattern_index: usize,
+        pattern: String,
+    },
+    /// A storage operation (view materialization, catalog lookup) failed.
+    Storage(String),
+    /// A logical plan failed to evaluate.
+    Eval(String),
+    /// Invalid engine configuration (thread counts, cache sizes…).
+    Config(String),
+    /// Filesystem / IO failure (CLI document loading).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Translate(m) => write!(f, "translation error: {m}"),
+            Error::UnsatisfiablePattern(p) => {
+                write!(f, "pattern is unsatisfiable under the summary:\n{p}")
+            }
+            Error::NoRewriting {
+                pattern_index,
+                pattern,
+            } => write!(
+                f,
+                "query pattern #{pattern_index} cannot be rewritten over the views:\n{pattern}"
+            ),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = Error::NoRewriting {
+            pattern_index: 2,
+            pattern: "//book".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("#2") && msg.contains("//book"), "{msg}");
+        assert!(Error::Parse("x".into()).to_string().contains("parse"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert!(matches!(Error::from(io), Error::Io(_)));
+    }
+}

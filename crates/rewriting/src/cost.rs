@@ -22,7 +22,9 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> (f64, f64) {
             let (c, r) = estimate(input, catalog);
             (c + r, r * 0.33)
         }
-        Project { input, distinct, .. } => {
+        Project {
+            input, distinct, ..
+        } => {
             let (c, r) = estimate(input, catalog);
             // duplicate elimination pays a comparison sweep
             (c + if *distinct { r * r.log2().max(1.0) } else { r }, r)
@@ -118,7 +120,9 @@ mod tests {
         let mk = |n: usize| {
             Relation::new(
                 Schema::atoms(&["ID"]),
-                (0..n).map(|i| Tuple::new(vec![Value::Int(i as i64)])).collect(),
+                (0..n)
+                    .map(|i| Tuple::new(vec![Value::Int(i as i64)]))
+                    .collect(),
             )
         };
         c.insert("small", mk(10));
@@ -129,13 +133,15 @@ mod tests {
     #[test]
     fn scans_cost_their_size() {
         let c = catalog();
-        assert!(plan_cost(&LogicalPlan::scan("small"), &c) < plan_cost(&LogicalPlan::scan("big"), &c));
+        assert!(
+            plan_cost(&LogicalPlan::scan("small"), &c) < plan_cost(&LogicalPlan::scan("big"), &c)
+        );
         // unknown relations get a default
         assert!(plan_cost(&LogicalPlan::scan("nope"), &c) > 0.0);
     }
 
     #[test]
-    fn index_backed_plan_beats_full_scan_join ()  {
+    fn index_backed_plan_beats_full_scan_join() {
         let c = catalog();
         let via_small = LogicalPlan::scan("small").select(algebra::Predicate::True);
         let via_big = LogicalPlan::scan("big").join(

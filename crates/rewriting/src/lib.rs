@@ -21,9 +21,12 @@ pub mod pipeline;
 pub mod planpat;
 pub mod rewrite;
 
-pub use pipeline::Uload;
+pub use pipeline::{EngineConfig, Uload, UloadBuilder};
 pub use planpat::PlanPattern;
-pub use rewrite::{rewrite, rewrite_with_config, RewriteConfig, RewriteStats, Rewriting};
+pub use rewrite::{
+    rewrite, rewrite_with_config, rewrite_with_engine, EngineOptions, RewriteConfig, RewriteStats,
+    Rewriting,
+};
 
 #[cfg(test)]
 mod tests {
@@ -142,7 +145,10 @@ mod tests {
             r.views_used.contains(&"v_books".to_string())
                 && r.views_used.contains(&"v_titles".to_string())
         });
-        assert!(!combines, "no structural IDs → the two views cannot be combined");
+        assert!(
+            !combines,
+            "no structural IDs → the two views cannot be combined"
+        );
         // with structural IDs the combination exists
         let q_s = parse_xam("//book[id:s]{ /title[id:s,val] }").unwrap();
         let vs_s = views(&[
@@ -232,10 +238,7 @@ mod tests {
         let doc = xmark(2, 9);
         let s = Summary::of_document(&doc);
         let q = parse_xam("//item[id:s]{ /name[val], //n? listitem[id:s,cont] }").unwrap();
-        let vs = views(&[(
-            "v1",
-            "//item[id:s]{ /name[val], //n? listitem[id:s,cont] }",
-        )]);
+        let vs = views(&[("v1", "//item[id:s]{ /name[val], //n? listitem[id:s,cont] }")]);
         let (rws, _) = rewrite(&q, &vs, &s);
         assert!(!rws.is_empty(), "exact nested view must be used");
         let mut store = storage::MaterializedStore::new();
@@ -260,7 +263,10 @@ mod tests {
         let q = parse_xam("//description[id:p]{ /parlist }").unwrap();
         let vs = views(&[("v_parlists", "//description{ /parlist[id:p] }")]);
         let (rws, _) = rewrite(&q, &vs, &s);
-        assert!(!rws.is_empty(), "parent-ID derivation must enable the rewriting");
+        assert!(
+            !rws.is_empty(),
+            "parent-ID derivation must enable the rewriting"
+        );
         assert!(
             format!("{}", rws[0].plan).contains("parent^1"),
             "{}",
@@ -280,7 +286,10 @@ mod tests {
         let vs2 = views(&[("v_parlists", "//description{ /parlist[id:s] }")]);
         let q2 = parse_xam("//description[id:s]{ /parlist }").unwrap();
         let (rws2, _) = rewrite(&q2, &vs2, &s);
-        assert!(rws2.is_empty(), "s-class IDs must not allow parent derivation");
+        assert!(
+            rws2.is_empty(),
+            "s-class IDs must not allow parent derivation"
+        );
     }
 
     #[test]

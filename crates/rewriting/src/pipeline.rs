@@ -8,57 +8,175 @@
 //! tagging template) and executes. If some pattern has no rewriting, the
 //! query is not answerable from the views and an error is returned —
 //! rewritings are *total* (§5.1).
+//!
+//! Engines are assembled with [`Uload::builder`]; [`EngineConfig`]
+//! selects worker threads and the shared containment cache, both of
+//! which change only wall-clock time, never results.
+
+use std::sync::Arc;
 
 use algebra::{Evaluator, LogicalPlan};
+use containment::{CacheStats, CanonicalCache};
 use summary::Summary;
+use uload_error::{Error, Result};
 use xam_core::Xam;
 use xmltree::Document;
 
-use crate::rewrite::{rewrite_with_config, RewriteConfig, Rewriting};
+use crate::rewrite::{rewrite_with_engine, EngineOptions, RewriteConfig, Rewriting};
 
-/// Errors of the view-based pipeline.
-#[derive(Debug)]
-pub enum UloadError {
-    Query(xquery::translate::QueryError),
-    Eval(algebra::EvalError),
-    /// Pattern at this index has no rewriting over the current views.
-    NoRewriting(usize, String),
+/// Former error type of the pipeline; the engine now reports through the
+/// unified [`uload_error::Error`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `uload_error::Error` (re-exported as `uload::Error`)"
+)]
+pub type UloadError = Error;
+
+/// Engine-wide execution knobs, threaded through [`Uload`] to every
+/// containment and rewriting call.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for canonical-model enumeration and candidate
+    /// verification. `0` and `1` both mean sequential. Results are
+    /// deterministic at any thread count (worker outputs are merged in
+    /// stable candidate order).
+    pub threads: usize,
+    /// Capacity of the shared [`CanonicalCache`] (verdict entries);
+    /// `0` disables caching entirely.
+    pub cache_capacity: usize,
+    /// The rewriting search bounds (§5.3's generate-and-test knobs).
+    pub rewrite: RewriteConfig,
 }
 
-impl std::fmt::Display for UloadError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            UloadError::Query(e) => write!(f, "{e}"),
-            UloadError::Eval(e) => write!(f, "{e}"),
-            UloadError::NoRewriting(i, p) => {
-                write!(f, "query pattern #{i} cannot be rewritten over the views:\n{p}")
-            }
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 1,
+            cache_capacity: 4096,
+            rewrite: RewriteConfig::default(),
         }
     }
 }
 
-impl std::error::Error for UloadError {}
+impl EngineConfig {
+    /// Sanity-check the knobs (the builder calls this).
+    pub fn validate(&self) -> Result<()> {
+        if self.threads > 1024 {
+            return Err(Error::Config(format!(
+                "threads = {} exceeds the 1024 worker limit",
+                self.threads
+            )));
+        }
+        if self.rewrite.max_views == 0 {
+            return Err(Error::Config("rewrite.max_views must be at least 1".into()));
+        }
+        if self.rewrite.max_mappings == 0 {
+            return Err(Error::Config(
+                "rewrite.max_mappings must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Uload`]: `Uload::builder().document(&doc).build()?`.
+pub struct UloadBuilder<'d> {
+    doc: Option<&'d Document>,
+    config: EngineConfig,
+}
+
+impl<'d> UloadBuilder<'d> {
+    /// The document whose summary the engine is set up over (required).
+    pub fn document(mut self, doc: &'d Document) -> Self {
+        self.doc = Some(doc);
+        self
+    }
+
+    /// Replace the whole configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Worker threads (shortcut for mutating [`EngineConfig::threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Cache capacity; `0` disables the shared cache.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// The rewriting search bounds.
+    pub fn rewrite_config(mut self, rewrite: RewriteConfig) -> Self {
+        self.config.rewrite = rewrite;
+        self
+    }
+
+    /// Validate the configuration and assemble the engine.
+    pub fn build(self) -> Result<Uload> {
+        let doc = self
+            .doc
+            .ok_or_else(|| Error::Config("UloadBuilder: no document was provided".into()))?;
+        self.config.validate()?;
+        Ok(Uload::assemble(doc, self.config))
+    }
+}
 
 /// The ULoad prototype: a summary-aware, view-backed XQuery processor.
 pub struct Uload {
     summary: Summary,
+    summary_fp: u64,
     store: storage::MaterializedStore,
-    config: RewriteConfig,
+    config: EngineConfig,
+    cache: Option<Arc<CanonicalCache>>,
 }
 
 impl Uload {
-    /// Set up over a document: computes its summary; views are added with
-    /// [`Uload::add_view`].
-    pub fn new(doc: &Document) -> Uload {
-        Uload {
-            summary: Summary::of_document(doc),
-            store: storage::MaterializedStore::new(),
-            config: RewriteConfig::default(),
+    /// Start building an engine: `Uload::builder().document(&doc).build()?`.
+    pub fn builder<'d>() -> UloadBuilder<'d> {
+        UloadBuilder {
+            doc: None,
+            config: EngineConfig::default(),
         }
     }
 
+    fn assemble(doc: &Document, config: EngineConfig) -> Uload {
+        let summary = Summary::of_document(doc);
+        let summary_fp = containment::cache::summary_fingerprint(&summary);
+        let cache = if config.cache_capacity > 0 {
+            Some(Arc::new(CanonicalCache::new(config.cache_capacity)))
+        } else {
+            None
+        };
+        Uload {
+            summary,
+            summary_fp,
+            store: storage::MaterializedStore::new(),
+            config,
+            cache,
+        }
+    }
+
+    /// Set up over a document with default configuration.
+    #[deprecated(since = "0.2.0", note = "use `Uload::builder().document(doc).build()`")]
+    pub fn new(doc: &Document) -> Uload {
+        Uload::assemble(doc, EngineConfig::default())
+    }
+
+    #[deprecated(
+        since = "0.2.0",
+        note = "configure through `Uload::builder().config(...)` before building"
+    )]
     pub fn config_mut(&mut self) -> &mut RewriteConfig {
-        &mut self.config
+        &mut self.config.rewrite
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     pub fn summary(&self) -> &Summary {
@@ -69,15 +187,27 @@ impl Uload {
         &self.store
     }
 
+    /// Effectiveness counters of the shared cache (`None` when caching
+    /// is disabled).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_deref().map(CanonicalCache::stats)
+    }
+
+    /// The execution context handed to the rewriting/containment layers.
+    fn engine_options(&self) -> EngineOptions<'_> {
+        EngineOptions {
+            threads: self.config.threads,
+            cache: self.cache.as_deref(),
+            summary_fp: Some(self.summary_fp),
+        }
+    }
+
     /// Materialize a view over the document and add it to the set — the
     /// only step needed to change the physical design (no optimizer code).
-    pub fn add_view(
-        &mut self,
-        name: impl Into<String>,
-        xam: Xam,
-        doc: &Document,
-    ) -> Result<(), algebra::EvalError> {
-        self.store.add_view(name, xam, doc)
+    pub fn add_view(&mut self, name: impl Into<String>, xam: Xam, doc: &Document) -> Result<()> {
+        self.store
+            .add_view(name, xam, doc)
+            .map_err(|e| Error::Storage(e.to_string()))
     }
 
     /// Parse a textual XAM and add it as a view.
@@ -86,21 +216,21 @@ impl Uload {
         name: impl Into<String>,
         text: &str,
         doc: &Document,
-    ) -> Result<(), Box<dyn std::error::Error>> {
-        let xam = xam_core::parse_xam(text)?;
-        self.add_view(name, xam, doc)?;
-        Ok(())
+    ) -> Result<()> {
+        let xam = xam_core::parse_xam(text).map_err(|e| Error::Parse(e.to_string()))?;
+        self.add_view(name, xam, doc)
     }
 
     /// Rewrite one pattern against the current views, ranked by the
     /// estimated cost over the *actual* view sizes (cheapest first); ties
     /// fall back to the paper's operator-count minimality.
     pub fn rewrite_pattern(&self, q: &Xam) -> Vec<Rewriting> {
-        let (mut rws, _) = rewrite_with_config(
+        let (mut rws, _) = rewrite_with_engine(
             q,
             self.store.definitions(),
             &self.summary,
-            self.config,
+            self.config.rewrite,
+            &self.engine_options(),
         );
         rws.sort_by(|a, b| {
             let ca = crate::cost::plan_cost(&a.plan, self.store.catalog());
@@ -114,30 +244,32 @@ impl Uload {
 
     /// Answer a query from the views: returns one serialized XML string
     /// per result, plus the per-pattern rewritings used.
-    pub fn answer(
-        &self,
-        query: &str,
-        doc: &Document,
-    ) -> Result<(Vec<String>, Vec<Rewriting>), UloadError> {
-        let q = xquery::parse_query(query)
-            .map_err(|e| UloadError::Query(xquery::translate::QueryError::Parse(e)))?;
-        let ex = xquery::extract_patterns(&q)
-            .map_err(|e| UloadError::Query(xquery::translate::QueryError::Extract(e)))?;
+    pub fn answer(&self, query: &str, doc: &Document) -> Result<(Vec<String>, Vec<Rewriting>)> {
+        let q = xquery::parse_query(query).map_err(|e| Error::Parse(e.to_string()))?;
+        let ex = xquery::extract_patterns(&q).map_err(|e| Error::Translate(e.to_string()))?;
         let mut plans: Vec<LogicalPlan> = Vec::new();
         let mut used: Vec<Rewriting> = Vec::new();
         for (i, pat) in ex.patterns.iter().enumerate() {
+            if !containment::satisfiable(pat, &self.summary) {
+                return Err(Error::UnsatisfiablePattern(pat.to_string()));
+            }
             let rws = self.rewrite_pattern(pat);
             match rws.into_iter().next() {
                 Some(rw) => {
                     plans.push(rw.plan.clone());
                     used.push(rw);
                 }
-                None => return Err(UloadError::NoRewriting(i, pat.to_string())),
+                None => {
+                    return Err(Error::NoRewriting {
+                        pattern_index: i,
+                        pattern: pat.to_string(),
+                    })
+                }
             }
         }
         let plan = xquery::translate::combine_plans(&ex, plans);
         let ev = Evaluator::with_document(self.store.catalog(), doc);
-        let rel = ev.eval(&plan).map_err(UloadError::Eval)?;
+        let rel = ev.eval(&plan).map_err(|e| Error::Eval(e.to_string()))?;
         let out = rel
             .tuples
             .iter()
@@ -152,18 +284,19 @@ mod tests {
     use super::*;
     use xmltree::generate::{bib_sample, xmark};
 
+    fn engine(doc: &Document) -> Uload {
+        Uload::builder().document(doc).build().unwrap()
+    }
+
     #[test]
     fn answers_from_exact_views() {
         let doc = bib_sample();
-        let mut u = Uload::new(&doc);
+        let mut u = engine(&doc);
         u.add_view_text("v_books", "//book[id:s]{ /n? title1:title[cont] }", &doc)
             .unwrap();
         // the query pattern extracted from this FLWR is exactly the view
         let (out, used) = u
-            .answer(
-                r#"for $b in doc("d")//book return <r>{$b/title}</r>"#,
-                &doc,
-            )
+            .answer(r#"for $b in doc("d")//book return <r>{$b/title}</r>"#, &doc)
             .unwrap();
         assert_eq!(out.len(), 2);
         assert!(out[0].contains("<title>Data on the Web</title>"), "{out:?}");
@@ -174,9 +307,59 @@ mod tests {
     #[test]
     fn fails_without_covering_views() {
         let doc = bib_sample();
-        let u = Uload::new(&doc);
+        let u = engine(&doc);
         let err = u.answer(r#"doc("d")//book/title"#, &doc);
-        assert!(matches!(err, Err(UloadError::NoRewriting(..))));
+        assert!(matches!(err, Err(Error::NoRewriting { .. })));
+    }
+
+    #[test]
+    fn builder_validates_config() {
+        let doc = bib_sample();
+        assert!(matches!(Uload::builder().build(), Err(Error::Config(_))));
+        let bad = EngineConfig {
+            threads: 5000,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Uload::builder().document(&doc).config(bad).build(),
+            Err(Error::Config(_))
+        ));
+        let ok = Uload::builder()
+            .document(&doc)
+            .threads(4)
+            .cache_capacity(128)
+            .build()
+            .unwrap();
+        assert_eq!(ok.config().threads, 4);
+        assert!(ok.cache_stats().is_some());
+        let uncached = Uload::builder()
+            .document(&doc)
+            .cache_capacity(0)
+            .build()
+            .unwrap();
+        assert!(uncached.cache_stats().is_none());
+    }
+
+    #[test]
+    fn parallel_cached_engine_answers_like_default() {
+        let doc = bib_sample();
+        let q = r#"for $b in doc("d")//book return <r>{$b/title}</r>"#;
+        let view = "//book[id:s]{ /n? title1:title[cont] }";
+        let mut base = engine(&doc);
+        base.add_view_text("v", view, &doc).unwrap();
+        let (out_base, _) = base.answer(q, &doc).unwrap();
+        let mut par = Uload::builder()
+            .document(&doc)
+            .threads(4)
+            .cache_capacity(1024)
+            .build()
+            .unwrap();
+        par.add_view_text("v", view, &doc).unwrap();
+        let (out_par, _) = par.answer(q, &doc).unwrap();
+        assert_eq!(out_base, out_par);
+        // the engine actually exercised its cache
+        let stats = par.cache_stats().unwrap();
+        assert!(stats.hits + stats.misses > 0, "{stats:?}");
     }
 
     #[test]
@@ -185,13 +368,9 @@ mod tests {
         // with nested optional listitems (IDs + content), V2 stores item
         // names; the query needs both plus keyword navigation
         let doc = xmark(2, 13);
-        let mut u = Uload::new(&doc);
-        u.add_view_text(
-            "V2",
-            "//item[id:s]{ /n? name1:name[val] }",
-            &doc,
-        )
-        .unwrap();
+        let mut u = engine(&doc);
+        u.add_view_text("V2", "//item[id:s]{ /n? name1:name[val] }", &doc)
+            .unwrap();
         let (out, used) = u
             .answer(
                 r#"for $x in doc("X")//item return <res>{$x/name/text()}</res>"#,
@@ -210,7 +389,7 @@ mod tests {
         // much larger relation — the cost model must rank the exact view
         // first
         let doc = bib_sample();
-        let mut u = Uload::new(&doc);
+        let mut u = engine(&doc);
         u.add_view_text("v_exact", "//book[id:s]{ /title[val] }", &doc)
             .unwrap();
         u.add_view_text("v_everything", "//*[id:s,tag,val,cont]", &doc)
@@ -228,10 +407,10 @@ mod tests {
     #[test]
     fn dropping_a_view_changes_answerability() {
         let doc = bib_sample();
-        let mut u = Uload::new(&doc);
+        let mut u = engine(&doc);
         u.add_view_text("v", "//author[id:s]{ /n? v:#text }", &doc)
             .ok(); // #text views unsupported: ignore result
-        // add a plain covering view
+                   // add a plain covering view
         u.add_view_text("v_auth", "//book[id:s]{ /n? a:author[cont] }", &doc)
             .unwrap();
         let q = r#"for $b in doc("d")//book return <r>{$b/author}</r>"#;

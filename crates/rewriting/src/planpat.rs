@@ -57,8 +57,7 @@ impl PlanPattern {
                     top_names.push(head);
                 }
             }
-            let new_names: Vec<String> =
-                top_names.iter().map(|n| format!("{pfx}{n}")).collect();
+            let new_names: Vec<String> = top_names.iter().map(|n| format!("{pfx}{n}")).collect();
             for (old, new) in top_names.iter().zip(&new_names) {
                 rename_map.insert(old.clone(), new.clone());
             }
@@ -270,13 +269,7 @@ impl PlanPattern {
         );
         self.plan = plan;
         // pattern merge: unify other_root with my_node
-        let node_map = graft(
-            &mut self.pattern,
-            my_node,
-            &other.pattern,
-            other_root,
-            None,
-        )?;
+        let node_map = graft(&mut self.pattern, my_node, &other.pattern, other_root, None)?;
         // merge column maps
         for (on, oc) in other.cols {
             let target = node_map[&on];
@@ -332,7 +325,13 @@ impl PlanPattern {
             nest_as: None,
         };
         self.plan = plan;
-        let node_map = graft(&mut self.pattern, my_node, &other.pattern, other_root, Some(axis))?;
+        let node_map = graft(
+            &mut self.pattern,
+            my_node,
+            &other.pattern,
+            other_root,
+            Some(axis),
+        )?;
         for (on, oc) in other.cols {
             let target = node_map[&on];
             let e = self.cols.entry(target).or_default();
@@ -399,12 +398,7 @@ fn graft(
         }
     }
     // copy the rest of other's subtree
-    fn rec(
-        pat: &mut Xam,
-        other: &Xam,
-        on: XamNodeId,
-        map: &mut HashMap<XamNodeId, XamNodeId>,
-    ) {
+    fn rec(pat: &mut Xam, other: &Xam, on: XamNodeId, map: &mut HashMap<XamNodeId, XamNodeId>) {
         for &c in other.children(on) {
             let mut node = other.node(c).clone();
             node.children = Vec::new();
@@ -462,7 +456,13 @@ mod tests {
         let mut pp = PlanPattern::from_view("v", &v, None);
         let item = XamNodeId(1);
         let kw = pp
-            .navigate(item, Axis::Descendant, Some("keyword"), false, NavMode::Outer)
+            .navigate(
+                item,
+                Axis::Descendant,
+                Some("keyword"),
+                false,
+                NavMode::Outer,
+            )
             .unwrap();
         assert_eq!(pp.pattern.pattern_size(), 2);
         assert_eq!(pp.pattern.node(kw).edge.sem, EdgeSem::Outer);

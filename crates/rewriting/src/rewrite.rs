@@ -14,14 +14,41 @@
 //! patterns get the full search.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use algebra::{LogicalPlan, NavMode, Path, Schema};
-use containment::contained_with_stats_aligned;
+use containment::{contain, CanonicalCache, ContainOptions};
 use summary::Summary;
 use xam_core::ast::{Formula, Xam, XamNodeId};
 use xam_core::semantics::{output_columns, StoredAttr};
 
 use crate::planpat::PlanPattern;
+
+/// Execution context of the rewriting search: worker threads and the
+/// shared containment cache. Distinct from [`RewriteConfig`] (which
+/// bounds *what* is searched) — this only controls *how fast* and
+/// never changes the produced rewriting set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineOptions<'a> {
+    /// Worker threads for candidate verification. `0`/`1` = sequential.
+    pub threads: usize,
+    /// Shared canonical-model/verdict cache; `None` disables caching.
+    pub cache: Option<&'a CanonicalCache>,
+    /// Amortized fingerprint of the summary (see
+    /// [`containment::cache::summary_fingerprint`]).
+    pub summary_fp: Option<u64>,
+}
+
+impl<'a> EngineOptions<'a> {
+    fn contain_opts(&self, threads: usize) -> ContainOptions<'a> {
+        ContainOptions {
+            threads,
+            cache: self.cache,
+            summary_fp: self.summary_fp,
+            aligned: None,
+        }
+    }
+}
 
 /// Search knobs.
 #[derive(Debug, Clone, Copy)]
@@ -71,13 +98,20 @@ pub struct RewriteStats {
     pub rewritings_found: usize,
 }
 
+/// A candidate ready for verification: the plan pattern, its query
+/// mapping, the verification pattern with its return nodes, and the
+/// dedup key derived from the latter two.
+type PreparedCandidate = (
+    PlanPattern,
+    HashMap<XamNodeId, XamNodeId>,
+    Xam,
+    Vec<XamNodeId>,
+    String,
+);
+
 /// Rewrite query pattern `q` using the named views, returning verified
 /// rewritings sorted by plan size (smallest first).
-pub fn rewrite(
-    q: &Xam,
-    views: &[(String, Xam)],
-    s: &Summary,
-) -> (Vec<Rewriting>, RewriteStats) {
+pub fn rewrite(q: &Xam, views: &[(String, Xam)], s: &Summary) -> (Vec<Rewriting>, RewriteStats) {
     rewrite_with_config(q, views, s, RewriteConfig::default())
 }
 
@@ -87,6 +121,22 @@ pub fn rewrite_with_config(
     views: &[(String, Xam)],
     s: &Summary,
     cfg: RewriteConfig,
+) -> (Vec<Rewriting>, RewriteStats) {
+    rewrite_with_engine(q, views, s, cfg, &EngineOptions::default())
+}
+
+/// As [`rewrite_with_config`] with an execution context: candidate
+/// verification fans out over [`EngineOptions::threads`] scoped workers
+/// and memoizes through the shared cache. The produced rewriting set is
+/// identical to the sequential run — candidates are generated, deduped
+/// and merged in one stable order; only the verification wall-clock
+/// changes.
+pub fn rewrite_with_engine(
+    q: &Xam,
+    views: &[(String, Xam)],
+    s: &Summary,
+    cfg: RewriteConfig,
+    eng: &EngineOptions,
 ) -> (Vec<Rewriting>, RewriteStats) {
     let mut stats = RewriteStats::default();
     let q_rets = q.return_nodes();
@@ -99,40 +149,53 @@ pub fn rewrite_with_config(
     let candidates = if q_has_nesting {
         let mut c = nested_exact_candidates(q, views, s, &mut stats);
         if cfg.max_views >= 2 {
-            c.extend(nested_pair_candidates(q, views, &mut stats, &mut prefix_counter));
+            c.extend(nested_pair_candidates(
+                q,
+                views,
+                &mut stats,
+                &mut prefix_counter,
+            ));
         }
         c
     } else {
-        flat_candidates(q, views, s, cfg, &mut stats, &mut prefix_counter)
+        flat_candidates(q, views, s, cfg, eng, &mut stats, &mut prefix_counter)
     };
 
     // distinct mappings frequently induce the *same* verification pattern
     // (symmetric view orders, interchangeable mapping variants): the
-    // expensive containment checks are memoized per pattern
-    let mut memo: HashMap<String, (bool, bool)> = HashMap::new();
-    for (pp, qmap) in candidates {
-        let (vp, p_rets) = verification_pattern(q, &pp, &qmap);
-        let key = format!("{vp}|{p_rets:?}");
-        let (fwd_ok, bwd_ok) = match memo.get(&key) {
-            Some(&r) => r,
-            None => {
-                stats.candidates_verified += 1;
-                let fwd = contained_with_stats_aligned(&vp, q, s, &p_rets, &q_rets).contained;
-                let bwd = fwd
-                    && contained_with_stats_aligned(q, &vp, s, &q_rets, &p_rets).contained;
-                memo.insert(key, (fwd, bwd));
-                (fwd, bwd)
-            }
-        };
+    // expensive containment checks run once per distinct pattern, in
+    // first-appearance order — workers return indexed verdicts, so the
+    // merge below is independent of scheduling
+    let prepared: Vec<PreparedCandidate> = candidates
+        .into_iter()
+        .map(|(pp, qmap)| {
+            let (vp, p_rets) = verification_pattern(q, &pp, &qmap);
+            let key = format!("{vp}|{p_rets:?}");
+            (pp, qmap, vp, p_rets, key)
+        })
+        .collect();
+    let mut unique: Vec<(&Xam, &[XamNodeId])> = Vec::new();
+    let mut key_slot: HashMap<&str, usize> = HashMap::new();
+    for (_, _, vp, p_rets, key) in &prepared {
+        key_slot.entry(key.as_str()).or_insert_with(|| {
+            unique.push((vp, p_rets));
+            unique.len() - 1
+        });
+    }
+    stats.candidates_verified += unique.len();
+    let verdicts = verify_candidates(q, &q_rets, s, &unique, eng);
+
+    for (pp, qmap, vp, p_rets, key) in &prepared {
+        let (fwd_ok, bwd_ok) = verdicts[key_slot[key.as_str()]];
         if !fwd_ok {
             continue;
         }
         if bwd_ok {
-            if let Some(rw) = finalize(q, pp.clone(), &qmap) {
-                verified.push((rw, vp, p_rets));
+            if let Some(rw) = finalize(q, pp.clone(), qmap) {
+                verified.push((rw, vp.clone(), p_rets.clone()));
             }
         } else if cfg.allow_unions {
-            contained_only.push((pp, qmap));
+            contained_only.push((pp.clone(), qmap.clone()));
         }
     }
 
@@ -151,6 +214,55 @@ pub fn rewrite_with_config(
     (out, stats)
 }
 
+/// Verify the deduped candidates: forward (`vp ⊆ q`, required) and
+/// backward (`q ⊆ vp`, only checked when forward holds) containment,
+/// aligned on the query's return order. With more than one candidate and
+/// `threads > 1` the work is dealt round-robin to scoped workers; each
+/// returns `(index, verdict)` pairs, so assembly is order-independent.
+/// A lone candidate instead parallelizes *inside* the containment check.
+fn verify_candidates(
+    q: &Xam,
+    q_rets: &[XamNodeId],
+    s: &Summary,
+    unique: &[(&Xam, &[XamNodeId])],
+    eng: &EngineOptions,
+) -> Vec<(bool, bool)> {
+    let one = |vp: &Xam, p_rets: &[XamNodeId], inner_threads: usize| -> (bool, bool) {
+        let opts = eng.contain_opts(inner_threads);
+        let fwd = contain(vp, q, s, &opts.with_aligned(p_rets, q_rets)).contained;
+        let bwd = fwd && contain(q, vp, s, &opts.with_aligned(q_rets, p_rets)).contained;
+        (fwd, bwd)
+    };
+    if eng.threads <= 1 || unique.len() <= 1 {
+        return unique
+            .iter()
+            .map(|(vp, p_rets)| one(vp, p_rets, eng.threads))
+            .collect();
+    }
+    let workers = eng.threads.min(unique.len());
+    let mut verdicts = vec![(false, false); unique.len()];
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let one = &one;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for (i, (vp, p_rets)) in unique.iter().enumerate().skip(w).step_by(workers) {
+                        mine.push((i, one(vp, p_rets, 1)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("verification worker panicked") {
+                verdicts[i] = v;
+            }
+        }
+    });
+    verdicts
+}
+
 // --------------------------------------------------------------------
 // candidate generation: flat patterns
 
@@ -159,6 +271,7 @@ fn flat_candidates(
     views: &[(String, Xam)],
     s: &Summary,
     cfg: RewriteConfig,
+    eng: &EngineOptions,
     stats: &mut RewriteStats,
     prefix_counter: &mut usize,
 ) -> Vec<(PlanPattern, HashMap<XamNodeId, XamNodeId>)> {
@@ -171,7 +284,7 @@ fn flat_candidates(
         if v.has_access_restrictions() {
             continue; // index views need bindings; handled elsewhere
         }
-        for h in node_mappings(q, v, s, per_view) {
+        for h in node_mappings(q, v, s, per_view, eng) {
             // globally unique column prefix: the same view may appear on
             // both sides of a join, and colliding names would turn join
             // predicates into tautologies
@@ -196,6 +309,7 @@ fn flat_candidates(
                     max_views: 1,
                     ..cfg
                 },
+                eng,
                 stats,
                 prefix_counter,
             );
@@ -207,6 +321,7 @@ fn flat_candidates(
                     max_views: cfg.max_views - 1,
                     ..cfg
                 },
+                eng,
                 stats,
                 prefix_counter,
             );
@@ -324,7 +439,15 @@ fn decompositions(
         if qa != XamNodeId::TOP {
             if let Some((upper, upper_map)) = remove_subtree(q, qb) {
                 // structural join at qa
-                out.push((upper, upper_map, sub.clone(), sub_map.clone(), qa, axis, false));
+                out.push((
+                    upper,
+                    upper_map,
+                    sub.clone(),
+                    sub_map.clone(),
+                    qa,
+                    axis,
+                    false,
+                ));
             }
         }
         // identity join at qb: upper keeps qb but loses its children
@@ -394,7 +517,14 @@ fn remove_subtree(q: &Xam, victim: XamNodeId) -> Option<(Xam, HashMap<XamNodeId,
             rec(src, c, victim, dst, new, map);
         }
     }
-    rec(q, XamNodeId::TOP, victim, &mut out, XamNodeId::TOP, &mut map);
+    rec(
+        q,
+        XamNodeId::TOP,
+        victim,
+        &mut out,
+        XamNodeId::TOP,
+        &mut map,
+    );
     if out.pattern_size() == 0 {
         None
     } else {
@@ -437,16 +567,19 @@ fn node_mappings(
     v: &Xam,
     s: &Summary,
     cap: usize,
+    eng: &EngineOptions,
 ) -> Vec<HashMap<XamNodeId, XamNodeId>> {
-    // path annotations for pruning
-    let q_ann: HashMap<XamNodeId, std::collections::HashSet<summary::SummaryNodeId>> = q
-        .pattern_nodes()
-        .map(|n| (n, containment::canonical::path_annotation(q, s, n)))
-        .collect();
-    let v_ann: HashMap<XamNodeId, std::collections::HashSet<summary::SummaryNodeId>> = v
-        .pattern_nodes()
-        .map(|n| (n, containment::canonical::path_annotation(v, s, n)))
-        .collect();
+    // path annotations for pruning: one enumeration pass per pattern
+    // (not per node), memoized across calls through the engine cache —
+    // the same views are re-annotated for every query otherwise
+    let annotations = |p: &Xam| -> Arc<Vec<std::collections::HashSet<summary::SummaryNodeId>>> {
+        match eng.cache {
+            Some(c) => c.path_annotations(p, s, eng.summary_fp),
+            None => Arc::new(containment::canonical::path_annotations_all(p, s)),
+        }
+    };
+    let q_ann = annotations(q);
+    let v_ann = annotations(v);
     let compatible = |qn: XamNodeId, vn: XamNodeId| -> bool {
         let qd = q.node(qn);
         let vd = v.node(vn);
@@ -454,11 +587,15 @@ fn node_mappings(
             return false;
         }
         // annotations must intersect, else the pair is dead
-        q_ann[&qn].intersection(&v_ann[&vn]).next().is_some()
+        q_ann[qn.index()]
+            .intersection(&v_ann[vn.index()])
+            .next()
+            .is_some()
     };
     let mut out: Vec<HashMap<XamNodeId, XamNodeId>> = Vec::new();
     let order: Vec<XamNodeId> = q.pattern_nodes().collect();
 
+    #[allow(clippy::too_many_arguments)]
     fn assign(
         q: &Xam,
         v: &Xam,
@@ -645,9 +782,11 @@ fn derive_id_from_descendant(
         .collect();
     while let Some((qd, levels)) = frontier.pop() {
         if let Some(&pd) = qmap.get(&qd) {
-            if pp.cols.get(&pd).is_some_and(|c| {
-                c.id_kind == Some(xam_core::IdKind::Parent) && c.id.is_some()
-            }) {
+            if pp
+                .cols
+                .get(&pd)
+                .is_some_and(|c| c.id_kind == Some(xam_core::IdKind::Parent) && c.id.is_some())
+            {
                 if let Some(col) = pp.derive_ancestor_id(pd, levels) {
                     let pn = qmap[&qn];
                     pp.set_id_column(pn, col, xam_core::IdKind::Parent);
@@ -750,8 +889,7 @@ fn tree_isomorphism(q: &Xam, v: &Xam) -> Option<HashMap<XamNodeId, XamNodeId>> {
                 }
                 used[j] = true;
                 map.insert(qn, vn);
-                if match_children(q, v, qn, vn, map) && assign(q, v, qc, i + 1, used, vc, map)
-                {
+                if match_children(q, v, qn, vn, map) && assign(q, v, qc, i + 1, used, vc, map) {
                     return true;
                 }
                 map.remove(&qn);
@@ -1002,7 +1140,11 @@ fn verification_pattern(
 
 /// Project + cast the candidate plan so its output schema matches the
 /// query pattern's output schema exactly.
-fn finalize(q: &Xam, mut pp: PlanPattern, qmap: &HashMap<XamNodeId, XamNodeId>) -> Option<Rewriting> {
+fn finalize(
+    q: &Xam,
+    mut pp: PlanPattern,
+    qmap: &HashMap<XamNodeId, XamNodeId>,
+) -> Option<Rewriting> {
     let q_cols = output_columns(q);
     let mut proj: Vec<Path> = Vec::new();
     for c in &q_cols {

@@ -12,8 +12,14 @@ use xmltree::NodeKind;
 /// attributes. The `source`-indexed variant adds an `R` marker.
 pub fn edge_model() -> Vec<(String, Xam)> {
     vec![
-        ("edge_elem_val".into(), parse_xam("//*[id:o,tag,val]").unwrap()),
-        ("edge_attr_val".into(), parse_xam("//e:*[id:o]{ /@*[val] }").unwrap()),
+        (
+            "edge_elem_val".into(),
+            parse_xam("//*[id:o,tag,val]").unwrap(),
+        ),
+        (
+            "edge_attr_val".into(),
+            parse_xam("//e:*[id:o]{ /@*[val] }").unwrap(),
+        ),
         ("edge_elements".into(), parse_xam("//*[id:o,tag]").unwrap()),
         (
             "edge_source_index".into(),
@@ -105,7 +111,11 @@ pub fn path_partition_model(s: &Summary) -> Vec<(String, Xam)> {
         let mut chain: Vec<String> = Vec::new();
         let mut cur = Some(n);
         while let Some(c) = cur {
-            let sigil = if s.kind(c) == NodeKind::Attribute { "@" } else { "" };
+            let sigil = if s.kind(c) == NodeKind::Attribute {
+                "@"
+            } else {
+                ""
+            };
             chain.push(format!("{sigil}{}", s.label(c)));
             cur = s.parent(c);
         }
@@ -137,7 +147,10 @@ pub fn path_partition_model(s: &Summary) -> Vec<(String, Xam)> {
 pub fn xiss_model() -> Vec<(String, Xam)> {
     vec![
         ("xiss_element".into(), parse_xam("//*[id:s,tag!]").unwrap()),
-        ("xiss_attribute".into(), parse_xam("//e:*[id:s]{ /@*[id:s,val] }").unwrap()),
+        (
+            "xiss_attribute".into(),
+            parse_xam("//e:*[id:s]{ /@*[id:s,val] }").unwrap(),
+        ),
         (
             "xiss_children".into(),
             parse_xam("//*[id:s!]{ /*[id:s,tag] }").unwrap(),
@@ -167,10 +180,7 @@ pub fn t_index(label: &str, key_path: &[&str], key_value: &str) -> (String, Xam)
         text.push_str(" }");
     }
     text.push_str(" } }");
-    (
-        format!("tindex_{label}"),
-        parse_xam(&text).unwrap(),
-    )
+    (format!("tindex_{label}"), parse_xam(&text).unwrap())
 }
 
 /// IndexFabric raw paths (Figure 2.17): root-to-leaf paths with required
@@ -179,10 +189,7 @@ pub fn index_fabric_raw(s: &Summary) -> Vec<(String, Xam)> {
     let mut out = Vec::new();
     for n in s.all_nodes() {
         // leaf element paths only (those with a #text child)
-        let has_text = s
-            .children(n)
-            .iter()
-            .any(|&c| s.kind(c) == NodeKind::Text);
+        let has_text = s.children(n).iter().any(|&c| s.kind(c) == NodeKind::Text);
         if !has_text {
             continue;
         }
@@ -243,10 +250,7 @@ mod tests {
         assert!(names.contains(&"tagpart_book"));
         assert!(names.contains(&"tagpart_author"));
         // tags are deduplicated across paths (author under book & phdthesis)
-        assert_eq!(
-            names.iter().filter(|n| **n == "tagpart_author").count(),
-            1
-        );
+        assert_eq!(names.iter().filter(|n| **n == "tagpart_author").count(), 1);
     }
 
     #[test]

@@ -267,11 +267,7 @@ impl CompositeIndex {
         let tuples = self
             .map
             .get(&(key1.to_string(), key2.to_string()))
-            .map(|ids| {
-                ids.iter()
-                    .map(|v| Tuple::new(vec![v.clone()]))
-                    .collect()
-            })
+            .map(|ids| ids.iter().map(|v| Tuple::new(vec![v.clone()])).collect())
             .unwrap_or_default();
         Relation::new(Schema::atoms(&["ID"]), tuples)
     }
@@ -370,9 +366,7 @@ impl XRelStore {
                 NodeKind::Attribute => {
                     attributes.push(Tuple::new(vec![pid, id, Value::str(doc.value(n))]))
                 }
-                NodeKind::Text => {
-                    texts.push(Tuple::new(vec![pid, id, Value::str(doc.value(n))]))
-                }
+                NodeKind::Text => texts.push(Tuple::new(vec![pid, id, Value::str(doc.value(n))])),
             }
         }
         catalog.insert_ordered(
@@ -472,7 +466,7 @@ mod tests {
         let edge = store.catalog.get("edge").unwrap();
         assert_eq!(edge.len(), doc.len() - 1);
         let value = store.catalog.get("value").unwrap();
-        assert!(value.len() > 0);
+        assert!(!value.is_empty());
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod qep;
 pub mod store;
 
 pub use engines::{
-    CompositeIndex, ContentStore, EdgeStore, FullTextIndex, PathPartitionStore,
-    TagPartitionStore, XRelStore,
+    CompositeIndex, ContentStore, EdgeStore, FullTextIndex, PathPartitionStore, TagPartitionStore,
+    XRelStore,
 };
 pub use store::MaterializedStore;

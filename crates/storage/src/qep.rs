@@ -10,9 +10,7 @@
 //! * `q''`  — books of 1999 titled "Data on the Web", returning authors
 //! * `q'''` — book titles containing the word "Web"
 
-use algebra::{
-    Axis, Catalog, CmpOp, JoinKind, LogicalPlan, Operand, Path, Predicate, Value,
-};
+use algebra::{Axis, Catalog, CmpOp, JoinKind, LogicalPlan, Operand, Path, Predicate, Value};
 use summary::Summary;
 use xmltree::Document;
 
@@ -410,7 +408,9 @@ mod tests {
     use xmltree::generate::{bib_document, bib_document_with_sections};
 
     fn run(q: &Qep, doc: &Document) -> algebra::Relation {
-        Evaluator::with_document(&q.catalog, doc).eval(&q.plan).unwrap()
+        Evaluator::with_document(&q.catalog, doc)
+            .eval(&q.plan)
+            .unwrap()
     }
 
     /// The flexibility claim: q answered identically across layouts.
@@ -462,7 +462,12 @@ mod tests {
         let s = Summary::of_document(&doc);
         let q8 = qep8(&doc, &s);
         let q9 = qep9(&doc, &s);
-        assert!(q9.operators() < q8.operators(), "{} vs {}", q9.operators(), q8.operators());
+        assert!(
+            q9.operators() < q8.operators(),
+            "{} vs {}",
+            q9.operators(),
+            q8.operators()
+        );
         // both find the same sections
         let r8 = run(&q8, &doc);
         let r9 = run(&q9, &doc);

@@ -69,10 +69,7 @@ impl MaterializedStore {
     }
 
     pub fn definition(&self, name: &str) -> Option<&Xam> {
-        self.defs
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, x)| x)
+        self.defs.iter().find(|(n, _)| n == name).map(|(_, x)| x)
     }
 
     /// The relation catalog for plan evaluation.
@@ -138,11 +135,7 @@ mod tests {
         let doc = bib_sample();
         let mut store = MaterializedStore::new();
         store
-            .add_view(
-                "v",
-                parse_xam("//book[id:s]{ /title[val] }").unwrap(),
-                &doc,
-            )
+            .add_view("v", parse_xam("//book[id:s]{ /title[val] }").unwrap(), &doc)
             .unwrap();
         let ev = Evaluator::new(store.catalog());
         let rel = ev.eval(&LogicalPlan::scan("v")).unwrap();

@@ -68,8 +68,7 @@ impl DeweyId {
 
     /// Is `self` a proper ancestor of `other`? (prefix test)
     pub fn is_ancestor_of(&self, other: &DeweyId) -> bool {
-        self.steps.len() < other.steps.len()
-            && other.steps[..self.steps.len()] == self.steps[..]
+        self.steps.len() < other.steps.len() && other.steps[..self.steps.len()] == self.steps[..]
     }
 
     /// Is `self` the parent of `other`?

@@ -155,7 +155,8 @@ impl Document {
 
     /// True iff `anc` is a proper ancestor of `desc` (the `≺≺` predicate).
     pub fn is_ancestor(&self, anc: NodeId, desc: NodeId) -> bool {
-        self.structural_id(anc).is_ancestor_of(self.structural_id(desc))
+        self.structural_id(anc)
+            .is_ancestor_of(self.structural_id(desc))
     }
 
     /// True iff `p` is the parent of `c` (the `≺` predicate).
@@ -221,9 +222,8 @@ impl Document {
         kind: NodeKind,
     ) -> impl Iterator<Item = NodeId> + 'a {
         let id = self.find_label(label);
-        self.all_nodes().filter(move |&n| {
-            Some(self.label_id(n)) == id && self.kind(n) == kind
-        })
+        self.all_nodes()
+            .filter(move |&n| Some(self.label_id(n)) == id && self.kind(n) == kind)
     }
 
     /// Descendants of `n` (excluding `n`), in document order. Relies on the

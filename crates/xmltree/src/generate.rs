@@ -24,8 +24,25 @@ use rand::{Rng, SeedableRng};
 use crate::document::{Document, DocumentBuilder};
 
 const WORDS: &[&str] = &[
-    "gold", "watch", "data", "web", "query", "auction", "vintage", "rare", "silver", "antique",
-    "fast", "shipping", "excellent", "condition", "classic", "modern", "large", "small", "blue",
+    "gold",
+    "watch",
+    "data",
+    "web",
+    "query",
+    "auction",
+    "vintage",
+    "rare",
+    "silver",
+    "antique",
+    "fast",
+    "shipping",
+    "excellent",
+    "condition",
+    "classic",
+    "modern",
+    "large",
+    "small",
+    "blue",
     "red",
 ];
 
@@ -256,7 +273,10 @@ fn gen_person(b: &mut DocumentBuilder, rng: &mut SmallRng, id: usize, full: bool
         b.open_element("watches");
         for _ in 0..rng.gen_range(1..=2) {
             b.open_element("watch");
-            b.attribute("open_auction", &format!("open_auction{}", rng.gen_range(0..20)));
+            b.attribute(
+                "open_auction",
+                &format!("open_auction{}", rng.gen_range(0..20)),
+            );
             b.close_element();
         }
         b.close_element();
@@ -284,7 +304,14 @@ fn gen_annotation(b: &mut DocumentBuilder, rng: &mut SmallRng, force_deep: bool)
 pub fn xmark(scale: usize, seed: u64) -> Document {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = DocumentBuilder::new();
-    let regions = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+    let regions = [
+        "africa",
+        "asia",
+        "australia",
+        "europe",
+        "namerica",
+        "samerica",
+    ];
     b.open_element("site");
     {
         b.open_element("regions");
@@ -627,7 +654,11 @@ pub fn swissprot(scale: usize, seed: u64) -> Document {
         b.leaf_element("Keyword", &words(&mut rng, 1));
         // features: the first entry gets every feature tag so the summary is
         // large (SwissProt's real summary is ~264 nodes) and scale-invariant.
-        let nfeat = if full { features.len() } else { rng.gen_range(2..8) };
+        let nfeat = if full {
+            features.len()
+        } else {
+            rng.gen_range(2..8)
+        };
         for f in 0..nfeat {
             let name = if full {
                 features[f]
@@ -694,9 +725,7 @@ mod tests {
         // find a listitem that has a parlist descendant (recursion unfolded)
         let mut found = false;
         for n in d.elements() {
-            if d.label(n) == "listitem"
-                && d.descendants(n).any(|m| d.label(m) == "parlist")
-            {
+            if d.label(n) == "listitem" && d.descendants(n).any(|m| d.label(m) == "parlist") {
                 found = true;
                 break;
             }
@@ -708,10 +737,7 @@ mod tests {
     fn dblp_has_all_record_kinds() {
         let d = dblp(4, 1);
         for kind in ["article", "inproceedings", "book", "phdthesis"] {
-            assert!(
-                d.elements().any(|n| d.label(n) == kind),
-                "missing {kind}"
-            );
+            assert!(d.elements().any(|n| d.label(n) == kind), "missing {kind}");
         }
     }
 

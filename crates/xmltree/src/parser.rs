@@ -23,7 +23,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -130,7 +134,12 @@ impl<'a> Parser<'a> {
             .windows(needle.len())
             .position(|w| w == needle)
             .map(|i| self.pos + i)
-            .ok_or_else(|| self.err(&format!("unterminated `{}`", String::from_utf8_lossy(needle))))
+            .ok_or_else(|| {
+                self.err(&format!(
+                    "unterminated `{}`",
+                    String::from_utf8_lossy(needle)
+                ))
+            })
     }
 
     fn parse_name(&mut self) -> Result<String, ParseError> {
@@ -220,8 +229,7 @@ impl<'a> Parser<'a> {
                     } else if self.at(b"<![CDATA[") {
                         self.bump(9);
                         let end = self.find(b"]]>")?;
-                        let raw =
-                            String::from_utf8_lossy(&self.input[self.pos..end]).into_owned();
+                        let raw = String::from_utf8_lossy(&self.input[self.pos..end]).into_owned();
                         if !raw.is_empty() {
                             self.builder.text(&raw);
                         }

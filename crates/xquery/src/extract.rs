@@ -235,9 +235,7 @@ impl Extractor {
     /// A column path relative to the already-open nest prefix: builds the
     /// `ForEach` chain for the remaining nest segments.
     fn column_template(&self, col: &str, open_prefix: &str) -> Template {
-        let rest = col
-            .strip_prefix(open_prefix)
-            .unwrap_or(col);
+        let rest = col.strip_prefix(open_prefix).unwrap_or(col);
         let segs: Vec<&str> = rest.split('.').collect();
         let mut t = Template::attr(*segs.last().unwrap());
         for seg in segs[..segs.len() - 1].iter().rev() {
@@ -463,7 +461,8 @@ mod tests {
 
     #[test]
     fn single_pattern_for_simple_query() {
-        let ex = extract(r#"for $x in doc("bib.xml")//book return <info>{$x/author}{$x/title}</info>"#);
+        let ex =
+            extract(r#"for $x in doc("bib.xml")//book return <info>{$x/author}{$x/title}</info>"#);
         assert_eq!(ex.patterns.len(), 1);
         let p = &ex.patterns[0];
         assert_eq!(p.pattern_size(), 3);
@@ -505,17 +504,14 @@ mod tests {
 
     #[test]
     fn unrelated_doc_roots_give_separate_patterns() {
-        let ex = extract(
-            r#"for $x in doc("d")//a, $y in doc("d")//b return <r>{$x/c}{$y/e}</r>"#,
-        );
+        let ex = extract(r#"for $x in doc("d")//a, $y in doc("d")//b return <r>{$x/c}{$y/e}</r>"#);
         assert_eq!(ex.patterns.len(), 2);
     }
 
     #[test]
     fn where_constant_becomes_value_predicate() {
-        let ex = extract(
-            r#"for $x in doc("bib.xml")//book where $x/year = "1999" return $x/title"#,
-        );
+        let ex =
+            extract(r#"for $x in doc("bib.xml")//book where $x/year = "1999" return $x/title"#);
         let p = &ex.patterns[0];
         let year = p
             .all_nodes()
@@ -537,9 +533,8 @@ mod tests {
 
     #[test]
     fn ftcontains_becomes_contains_filter() {
-        let ex = extract(
-            r#"for $x in doc("bib.xml")//book/title where $x ftcontains "Web" return $x"#,
-        );
+        let ex =
+            extract(r#"for $x in doc("bib.xml")//book/title where $x ftcontains "Web" return $x"#);
         assert_eq!(ex.post_filters.len(), 1);
         assert!(format!("{}", ex.post_filters[0]).contains("contains"));
     }
@@ -569,9 +564,8 @@ mod tests {
 
     #[test]
     fn template_shape() {
-        let ex = extract(
-            r#"for $x in doc("d")//item return <res>{$x/name/text()}{$x//keyword}</res>"#,
-        );
+        let ex =
+            extract(r#"for $x in doc("d")//item return <res>{$x/name/text()}{$x//keyword}</res>"#);
         let Template::Element { tag, children } = &ex.template else {
             panic!()
         };

@@ -121,7 +121,10 @@ pub enum Query {
     /// `e1, e2` — concatenation.
     Concat(Vec<Query>),
     /// `<t>{ e }</t>` — element constructor.
-    Element { tag: String, content: Vec<Query> },
+    Element {
+        tag: String,
+        content: Vec<Query>,
+    },
     /// for-where-return.
     Flwr {
         bindings: Vec<(String, PathExpr)>,
@@ -333,9 +336,7 @@ impl<'a> P<'a> {
             Some(c) if c.is_ascii_digit() || c == b'-' => {
                 Ok(Cond::CmpConst(left, op, Const::Int(self.int_lit()?)))
             }
-            Some(b'$') | Some(b'd') | Some(b'/') => {
-                Ok(Cond::CmpPath(left, op, self.path()?))
-            }
+            Some(b'$') | Some(b'd') | Some(b'/') => Ok(Cond::CmpPath(left, op, self.path()?)),
             _ => Err(self.err("expected constant or path after comparison")),
         }
     }
@@ -617,20 +618,19 @@ mod tests {
 
     #[test]
     fn parses_multi_variable_for() {
-        let q = parse_query(
-            "for $x in /a/*, $y in $x//b where $y/c > 3 return <r>{$x/d}{$y/e}</r>",
-        )
-        .unwrap();
-        let Query::Flwr { bindings, .. } = q else { panic!() };
+        let q =
+            parse_query("for $x in /a/*, $y in $x//b where $y/c > 3 return <r>{$x/d}{$y/e}</r>")
+                .unwrap();
+        let Query::Flwr { bindings, .. } = q else {
+            panic!()
+        };
         assert_eq!(bindings.len(), 2);
         assert_eq!(bindings[1].1.root, PathRoot::Var("x".into()));
     }
 
     #[test]
     fn parses_value_join_condition() {
-        let q = parse_query(
-            "for $x in //a, $y in //b where $x/k = $y/k return <r>{$x}</r>",
-        );
+        let q = parse_query("for $x in //a, $y in //b where $x/k = $y/k return <r>{$x}</r>");
         // `$x` alone (no steps) is a valid variable path
         assert!(q.is_ok(), "{q:?}");
     }
@@ -641,7 +641,9 @@ mod tests {
             r#"for $x in doc("bib.xml")//book/title where $x ftcontains "Web" return $x"#,
         )
         .unwrap();
-        let Query::Flwr { conditions, .. } = q else { panic!() };
+        let Query::Flwr { conditions, .. } = q else {
+            panic!()
+        };
         assert!(matches!(conditions[0], Cond::FtContains(..)));
     }
 

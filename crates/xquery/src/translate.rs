@@ -170,11 +170,8 @@ mod tests {
     fn empty_subexpressions_still_construct() {
         // the §3.1 requirement: constructors emit even for empty content
         let doc = bib_sample();
-        let out = execute_query(
-            r#"for $x in doc("d")//book return <r>{$x/@year}</r>"#,
-            &doc,
-        )
-        .unwrap();
+        let out =
+            execute_query(r#"for $x in doc("d")//book return <r>{$x/@year}</r>"#, &doc).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[1], "<r></r>"); // the second book has no year
     }
@@ -263,11 +260,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.len(), 2);
-        let out = execute_query(
-            r#"doc("d")//book[title = "Data on the Web"]/author"#,
-            &doc,
-        )
-        .unwrap();
+        let out =
+            execute_query(r#"doc("d")//book[title = "Data on the Web"]/author"#, &doc).unwrap();
         assert_eq!(out.len(), 2); // Abiteboul, Suciu
     }
 }

@@ -15,11 +15,10 @@
 //! cargo run --example auction_views
 //! ```
 
-use rewriting::{RewriteConfig, Uload};
-use summary::Summary;
+use uload::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let doc = xmltree::generate::xmark(3, 2024);
+fn main() -> Result<()> {
+    let doc = generate::xmark(3, 2024);
     let summary = Summary::of_document(&doc);
     println!(
         "XMark-like document: {} nodes, summary {} nodes",
@@ -27,18 +26,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         summary.len()
     );
 
-    let mut uload = Uload::new(&doc);
+    let mut engine = Uload::builder()
+        .document(&doc)
+        .config(EngineConfig::default())
+        .build()?;
     // V1: the nested view of Figure 5.2(c)
-    uload.add_view_text(
-        "V1",
-        "//item[id:s]{ //n? li:listitem[id:s,cont] }",
-        &doc,
-    )?;
+    engine.add_view_text("V1", "//item[id:s]{ //n? li:listitem[id:s,cont] }", &doc)?;
     // V2: item IDs with name values
-    uload.add_view_text("V2", "//item[id:s]{ /n? nm:name[val] }", &doc)?;
+    engine.add_view_text("V2", "//item[id:s]{ /n? nm:name[val] }", &doc)?;
     println!("\nview definitions:");
-    for (name, xam) in uload.store().definitions() {
-        println!("-- {name} ({} tuples):\n{xam}", uload.store().relation(name).unwrap().len());
+    for (name, xam) in engine.store().definitions() {
+        println!(
+            "-- {name} ({} tuples):\n{xam}",
+            engine.store().relation(name).unwrap().len()
+        );
     }
 
     // the paper's query: item names paired with their grouped listitems
@@ -48,8 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                    </res>"#;
 
     // 1. the extracted pattern spans the nested FLWR (Chapter 3)
-    let parsed = xquery::parse_query(query)?;
-    let ex = xquery::extract_patterns(&parsed)?;
+    let parsed = parse_query(query)?;
+    let ex = extract_patterns(&parsed)?;
     println!("\nextracted {} maximal pattern(s):", ex.patterns.len());
     for p in &ex.patterns {
         println!("{p}");
@@ -57,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. per-pattern rewriting over V1/V2 (Chapter 5)
     for p in &ex.patterns {
-        let rws = uload.rewrite_pattern(p);
+        let rws = engine.rewrite_pattern(p);
         println!("rewritings found: {}", rws.len());
         for rw in rws.iter().take(3) {
             println!("  views {:?}, {} ops: {}", rw.views_used, rw.size, rw.plan);
@@ -65,40 +66,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. answer from the views and cross-check against direct evaluation
-    let (from_views, used) = uload.answer(query, &doc)?;
-    let direct = xquery::execute_query(query, &doc)?;
+    let (from_views, used) = engine.answer(query, &doc)?;
+    let direct = execute_query(query, &doc)?;
     assert_eq!(from_views, direct, "view-based and direct answers differ");
     println!(
         "\n{} results from views {:?}; first:\n{}",
         from_views.len(),
-        used.iter().map(|r| r.views_used.clone()).collect::<Vec<_>>(),
+        used.iter()
+            .map(|r| r.views_used.clone())
+            .collect::<Vec<_>>(),
         &from_views[0][..from_views[0].len().min(160)]
     );
 
     // 4. the ID-property point of §5.2: two *flat* views with no common
     //    stored node can only be combined through structural identifiers
     let flat_views = vec![
-        (
-            "F_items".to_string(),
-            xam_core::parse_xam("//item[id:s]")?,
-        ),
-        (
-            "F_names".to_string(),
-            xam_core::parse_xam("//name[id:s,val]")?,
-        ),
+        ("F_items".to_string(), parse_xam("//item[id:s]")?),
+        ("F_names".to_string(), parse_xam("//name[id:s,val]")?),
     ];
-    let q_both = xam_core::parse_xam("//item[id:s]{ /name[id:s,val] }")?;
-    let (with_ids, _) = rewriting::rewrite(&q_both, &flat_views, &summary);
-    let combined = with_ids
-        .iter()
-        .filter(|r| r.views_used.len() == 2)
-        .count();
+    let q_both = parse_xam("//item[id:s]{ /name[id:s,val] }")?;
+    let (with_ids, _) = rewrite_with_engine(
+        &q_both,
+        &flat_views,
+        &summary,
+        RewriteConfig::default(),
+        &EngineOptions::default(),
+    );
+    let combined = with_ids.iter().filter(|r| r.views_used.len() == 2).count();
     let cfg = RewriteConfig {
         use_structural_ids: false,
         allow_unions: false,
         ..Default::default()
     };
-    let (without_ids, _) = rewriting::rewrite_with_config(&q_both, &flat_views, &summary, cfg);
+    let (without_ids, _) = rewrite_with_engine(
+        &q_both,
+        &flat_views,
+        &summary,
+        cfg,
+        &EngineOptions::default(),
+    );
     let combined_no = without_ids
         .iter()
         .filter(|r| {

@@ -9,15 +9,15 @@
 //! cargo run --example containment_demo
 //! ```
 
-use containment::{
-    canonical_model, contained_in, contained_in_union, contained_with_stats, equivalent,
-    minimize_by_contraction, minimize_global,
-};
-use summary::Summary;
-use xam_core::parse_xam;
+use uload::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let doc = xmltree::parse_document(
+/// `p ⊆_S q` through the unified entry point.
+fn contained(p: &Xam, q: &Xam, s: &Summary) -> bool {
+    contain(p, q, s, &ContainOptions::default()).contained
+}
+
+fn main() -> Result<()> {
+    let doc = parse_document(
         "<site><regions><item><name>gold watch</name><description><parlist>\
          <listitem><keyword>rare</keyword></listitem></parlist></description>\
          </item></regions><people><person><name>Ann</name></person></people></site>",
@@ -46,11 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let any_name = parse_xam("//name[id:s]")?;
     println!(
         "\n//item/name ⊆_S //name : {}",
-        contained_in(&item_name, &any_name, &s)
+        contained(&item_name, &any_name, &s)
     );
     println!(
         "//name ⊆_S //item/name : {} (people also have names!)",
-        contained_in(&any_name, &item_name, &s)
+        contained(&any_name, &item_name, &s)
     );
     let person_name = parse_xam("//person{ /name[id:s] }")?;
     println!(
@@ -59,8 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // early exit on negatives
-    let pos = contained_with_stats(&item_name, &item_name, &s);
-    let neg = contained_with_stats(&any_name, &item_name, &s);
+    let pos = contain(&item_name, &item_name, &s, &ContainOptions::default());
+    let neg = contain(&any_name, &item_name, &s, &ContainOptions::default());
     println!(
         "\npositive test built {} canonical trees; negative stopped after {}",
         pos.trees_checked, neg.trees_checked
@@ -71,8 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kw_pos = parse_xam("//keyword[id:s,val>0]")?;
     println!(
         "\n[val=3] ⊆ [val>0] : {} ; converse: {}",
-        contained_in(&kw3, &kw_pos, &s),
-        contained_in(&kw_pos, &kw3, &s)
+        contained(&kw3, &kw_pos, &s),
+        contained(&kw_pos, &kw3, &s)
     );
 
     // summary-driven equivalence: every keyword is under a listitem here
@@ -84,9 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // minimization (Figure 4.12 flavour)
-    let doc2 = xmltree::parse_document(
-        "<a><f><d><e>x</e></d></f><d><g><e>y</e></g></d></a>",
-    )?;
+    let doc2 = parse_document("<a><f><d><e>x</e></d></f><d><g><e>y</e></g></d></a>")?;
     let s2 = Summary::of_document(&doc2);
     let t = parse_xam("//a{ //f{ //d{ //e[id:s] } } }")?;
     println!("\nminimizing //a//f//d//e under the Figure 4.12-style summary:");

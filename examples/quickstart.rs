@@ -6,12 +6,11 @@
 //! cargo run --example quickstart
 //! ```
 
-use rewriting::Uload;
-use summary::Summary;
+use uload::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<()> {
     // 1. an XML document (any text works; here the paper's bib example)
-    let doc = xmltree::parse_document(
+    let doc = parse_document(
         r#"<library>
              <book year="1999">
                <title>Data on the Web</title>
@@ -31,9 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. a XAM describes what a storage structure holds: here, books with
     //    their structural IDs and nested title values
-    let xam = xam_core::parse_xam("//book[id:s]{ /title[val], /? y:@year[val] }")?;
+    let xam = parse_xam("//book[id:s]{ /title[val], /? y:@year[val] }")?;
     println!("a XAM (storage description):\n{xam}");
-    let rel = xam_core::evaluate(&xam, &doc)?;
+    let rel = evaluate_xam(&xam, &doc)?;
     println!("its content over the document ({} tuples):", rel.len());
     for t in &rel.tuples {
         println!("  {t}");
@@ -43,19 +42,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let query = r#"for $b in doc("bib.xml")//book
                    where $b/@year = "1999"
                    return <hit>{$b/title}</hit>"#;
-    let out = xquery::execute_query(query, &doc)?;
+    let out = execute_query(query, &doc)?;
     println!("\ndirect evaluation of\n  {query}\n→ {out:?}");
 
     // 5. the same query answered purely from materialized views: register
     //    views, and the rewriter plans over them (physical data
     //    independence: changing the storage = changing the XAM set)
-    let mut uload = Uload::new(&doc);
-    uload.add_view_text(
+    let mut engine = Uload::builder()
+        .document(&doc)
+        .config(EngineConfig::default())
+        .build()?;
+    engine.add_view_text(
         "v_books",
         r#"//book[id:s]{ /n? t:title[cont], /s @year[val="1999"] }"#,
         &doc,
     )?;
-    let (answers, rewritings) = uload.answer(
+    let (answers, rewritings) = engine.answer(
         r#"for $b in doc("bib.xml")//book where $b/@year = "1999" return <hit>{$b/title}</hit>"#,
         &doc,
     )?;
@@ -65,5 +67,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert_eq!(out, answers);
     println!("\ndirect and view-based answers agree ✓");
+
+    // 6. the engine scales up: worker threads + a shared canonical-model
+    //    cache, same answers (the parallel merge order is deterministic)
+    let mut par = Uload::builder()
+        .document(&doc)
+        .threads(4)
+        .cache_capacity(1024)
+        .build()?;
+    par.add_view_text(
+        "v_books",
+        r#"//book[id:s]{ /n? t:title[cont], /s @year[val="1999"] }"#,
+        &doc,
+    )?;
+    let (par_answers, _) = par.answer(
+        r#"for $b in doc("bib.xml")//book where $b/@year = "1999" return <hit>{$b/title}</hit>"#,
+        &doc,
+    )?;
+    assert_eq!(answers, par_answers);
+    if let Some(stats) = par.cache_stats() {
+        println!("parallel engine agrees; cache: {stats:?}");
+    }
     Ok(())
 }

@@ -11,13 +11,11 @@
 //! cargo run --example storage_models
 //! ```
 
-use algebra::Evaluator;
-use storage::qep;
-use summary::Summary;
+use uload::prelude::*;
 
 fn main() {
-    let doc = xmltree::generate::bib_document();
-    let sec_doc = xmltree::generate::bib_document_with_sections();
+    let doc = generate::bib_document();
+    let sec_doc = generate::bib_document_with_sections();
     let s = Summary::of_document(&doc);
     let s_sec = Summary::of_document(&sec_doc);
 
@@ -50,14 +48,14 @@ fn main() {
 
     // the XAM model library: the same layouts, described declaratively
     println!("\nXAM descriptions of published storage schemes (§2.3):");
-    for (name, xam) in storage::catalog::edge_model() {
+    for (name, xam) in catalog::edge_model() {
         println!("-- {name}:\n{xam}");
     }
-    let (name, xam) = storage::catalog::t_index("book", &["title"], "Data on the Web");
+    let (name, xam) = catalog::t_index("book", &["title"], "Data on the Web");
     println!("-- {name}:\n{xam}");
 }
 
-fn show(q: qep::Qep, doc: &xmltree::Document) {
+fn show(q: qep::Qep, doc: &Document) {
     let ev = Evaluator::with_document(&q.catalog, doc);
     let rel = ev.eval(&q.plan).expect("plan must run");
     println!("{}\n  plan ({} ops): {}", q.name, q.operators(), q.plan);

@@ -12,13 +12,28 @@
 //! XMark summary), `fig4_15` (DBLP), `optional_ablation`, `sec5_6`
 //! (rewriting), `qep_catalogue` (§2.1 plans), `minimize` (§4.5).
 
+use rewriting::EngineOptions;
+use uload_bench::pattern_gen::GenConfig;
 use uload_bench::{datasets, experiments};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
     let want = |name: &str| -> bool {
-        args.is_empty() || args.iter().any(|a| a == name || a == "quick" || a == "all")
+        let named: Vec<&String> = args
+            .iter()
+            .filter(|a| *a != "--threads" && a.parse::<usize>().is_err())
+            .collect();
+        named.is_empty()
+            || named
+                .iter()
+                .any(|a| *a == name || *a == "quick" || *a == "all")
     };
     let set_size = if quick { 10 } else { 40 };
 
@@ -29,16 +44,16 @@ fn main() {
         fig4_14_queries();
     }
     if want("fig4_14_synthetic") {
-        fig4_14_synthetic(set_size);
+        fig4_14_synthetic(set_size, threads);
     }
     if want("fig4_15") {
-        fig4_15(set_size);
+        fig4_15(set_size, threads);
     }
     if want("optional_ablation") {
         optional_ablation(set_size.min(16));
     }
     if want("sec5_6") {
-        sec5_6(if quick { 2 } else { 4 });
+        sec5_6(if quick { 2 } else { 4 }, threads);
     }
     if want("qep_catalogue") {
         qep_catalogue();
@@ -93,24 +108,47 @@ fn synthetic_table(points: &[experiments::SyntheticPoint]) {
     for p in points {
         println!(
             "{:>5} {:>3} {:>12.1} {:>6} {:>12.1} {:>6} {:>10.1}",
-            p.size, p.return_count, p.positive_us, p.positives, p.negative_us, p.negatives,
+            p.size,
+            p.return_count,
+            p.positive_us,
+            p.positives,
+            p.negative_us,
+            p.negatives,
             p.avg_model
         );
     }
 }
 
-fn fig4_14_synthetic(set_size: usize) {
+fn fig4_14_synthetic(set_size: usize, threads: usize) {
     header("E3 / Figure 4.14 (bottom) — synthetic containment, XMark summary");
     let ds = datasets::xmark_small();
-    let pts = experiments::fig4_14_synthetic(&ds, set_size);
+    let pts = experiments::synthetic_containment_with(
+        &ds.summary,
+        GenConfig::xmark,
+        &[3, 5, 7, 9, 11, 13],
+        &[1, 2, 3],
+        set_size,
+        2024,
+        threads,
+        None,
+    );
     synthetic_table(&pts);
     println!("(paper: positive tests grow with size but stay moderate; negatives are faster — early exit)");
 }
 
-fn fig4_15(set_size: usize) {
+fn fig4_15(set_size: usize, threads: usize) {
     header("E4 / Figure 4.15 — synthetic containment, DBLP summary");
     let ds = datasets::dblp_small();
-    let pts = experiments::fig4_15(&ds, set_size);
+    let pts = experiments::synthetic_containment_with(
+        &ds.summary,
+        GenConfig::dblp,
+        &[3, 5, 7, 9, 11, 13],
+        &[1, 2, 3],
+        set_size,
+        2025,
+        threads,
+        None,
+    );
     synthetic_table(&pts);
     println!("(paper: ≈4× faster than on the XMark summary — smaller canonical models)");
 }
@@ -125,10 +163,14 @@ fn optional_ablation(set_size: usize) {
     println!("(paper: optional edges slow containment ≈2× vs conjunctive — far from the exponential worst case)");
 }
 
-fn sec5_6(trials: usize) {
+fn sec5_6(trials: usize, threads: usize) {
     header("E6 / §5.6 — rewriting performance vs view-set size");
     let ds = datasets::xmark_small();
-    let pts = experiments::sec5_6(&ds, &[2, 5, 10], trials);
+    let eng = EngineOptions {
+        threads,
+        ..Default::default()
+    };
+    let pts = experiments::sec5_6_with(&ds, &[2, 5, 10], trials, &eng);
     println!(
         "{:>7} {:>12} {:>12} {:>10} {:>14} {:>12}",
         "#views", "pos (µs)", "neg (µs)", "avg #rw", "no-sid (µs)", "no-sid found"
@@ -144,7 +186,9 @@ fn sec5_6(trials: usize) {
             p.no_sid_found_frac
         );
     }
-    println!("(paper: rewriting time grows with the view set; structural IDs enable more rewritings)");
+    println!(
+        "(paper: rewriting time grows with the view set; structural IDs enable more rewritings)"
+    );
 }
 
 fn qep_catalogue() {
@@ -159,7 +203,9 @@ fn qep_catalogue() {
             r.name, r.operators, r.rows, r.micros
         );
     }
-    println!("(q plans agree on results; indexes and blobs shrink plans — physical data independence)");
+    println!(
+        "(q plans agree on results; indexes and blobs shrink plans — physical data independence)"
+    );
 }
 
 fn minimize() {

@@ -6,7 +6,7 @@
 //! uload query <file.xml> '<xquery>'        # run an XQuery directly
 //! uload rewrite <file.xml> '<xquery>' '<name>=<xam>' [more views…]
 //!                                          # answer the query from views only
-//! uload contain <file.xml> '<xam p>' '<xam q>'
+//! uload contain <file.xml> '<xam p>' '<xam q>' [--threads N]
 //!                                          # decide p ⊆_S q under the summary
 //! ```
 //!
@@ -20,8 +20,7 @@
 
 use std::process::ExitCode;
 
-use rewriting::Uload;
-use summary::Summary;
+use uload::prelude::*;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,20 +33,22 @@ fn main() -> ExitCode {
     }
 }
 
-fn usage() -> String {
-    "usage:\n  uload summary <file.xml>\n  uload xam <file.xml> '<xam>'\n  \
-     uload query <file.xml> '<xquery>'\n  \
-     uload rewrite <file.xml> '<xquery>' '<name>=<xam>'…\n  \
-     uload contain <file.xml> '<xam p>' '<xam q>'"
-        .to_string()
+fn usage() -> Error {
+    Error::Config(
+        "usage:\n  uload summary <file.xml>\n  uload xam <file.xml> '<xam>'\n  \
+         uload query <file.xml> '<xquery>'\n  \
+         uload rewrite <file.xml> '<xquery>' '<name>=<xam>'…\n  \
+         uload contain <file.xml> '<xam p>' '<xam q>' [--threads N]"
+            .to_string(),
+    )
 }
 
-fn load(path: &str) -> Result<xmltree::Document, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    xmltree::parse_document(&text).map_err(|e| e.to_string())
+fn load(path: &str) -> Result<Document> {
+    let text = std::fs::read_to_string(path).map_err(|e| Error::Io(format!("{path}: {e}")))?;
+    parse_document(&text)
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<()> {
     let cmd = args.first().ok_or_else(usage)?;
     match cmd.as_str() {
         "summary" => {
@@ -65,10 +66,9 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "xam" => {
             let doc = load(args.get(1).ok_or_else(usage)?)?;
-            let xam =
-                xam_core::parse_xam(args.get(2).ok_or_else(usage)?).map_err(|e| e.to_string())?;
+            let xam = parse_xam(args.get(2).ok_or_else(usage)?)?;
             println!("{xam}");
-            let rel = xam_core::evaluate(&xam, &doc).map_err(|e| e.to_string())?;
+            let rel = uload::evaluate_xam(&xam, &doc)?;
             println!("schema: {}", rel.schema);
             for t in &rel.tuples {
                 println!("{t}");
@@ -78,8 +78,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "query" => {
             let doc = load(args.get(1).ok_or_else(usage)?)?;
-            let out = xquery::execute_query(args.get(2).ok_or_else(usage)?, &doc)
-                .map_err(|e| e.to_string())?;
+            let out = uload::execute_query(args.get(2).ok_or_else(usage)?, &doc)?;
             for line in &out {
                 println!("{line}");
             }
@@ -90,22 +89,25 @@ fn run(args: &[String]) -> Result<(), String> {
             let doc = load(args.get(1).ok_or_else(usage)?)?;
             let query = args.get(2).ok_or_else(usage)?;
             if args.len() < 4 {
-                return Err("rewrite needs at least one view (<name>=<xam>)".into());
+                return Err(Error::Config(
+                    "rewrite needs at least one view (<name>=<xam>)".into(),
+                ));
             }
-            let mut uload = Uload::new(&doc);
+            let mut engine = Uload::builder()
+                .document(&doc)
+                .config(EngineConfig::default())
+                .build()?;
             for def in &args[3..] {
-                let (name, text) = def
-                    .split_once('=')
-                    .ok_or_else(|| format!("bad view definition `{def}` (want name=xam)"))?;
-                uload
-                    .add_view_text(name, text, &doc)
-                    .map_err(|e| e.to_string())?;
+                let (name, text) = def.split_once('=').ok_or_else(|| {
+                    Error::Config(format!("bad view definition `{def}` (want name=xam)"))
+                })?;
+                engine.add_view_text(name, text, &doc)?;
                 println!(
                     "materialized view `{name}` ({} tuples)",
-                    uload.store().relation(name).map(|r| r.len()).unwrap_or(0)
+                    engine.store().relation(name).map(|r| r.len()).unwrap_or(0)
                 );
             }
-            let (out, used) = uload.answer(query, &doc).map_err(|e| e.to_string())?;
+            let (out, used) = engine.answer(query, &doc)?;
             for rw in &used {
                 println!("rewriting over {:?}: {}", rw.views_used, rw.plan);
             }
@@ -118,12 +120,20 @@ fn run(args: &[String]) -> Result<(), String> {
         "contain" => {
             let doc = load(args.get(1).ok_or_else(usage)?)?;
             let s = Summary::of_document(&doc);
-            let p =
-                xam_core::parse_xam(args.get(2).ok_or_else(usage)?).map_err(|e| e.to_string())?;
-            let q =
-                xam_core::parse_xam(args.get(3).ok_or_else(usage)?).map_err(|e| e.to_string())?;
-            let fwd = containment::contained_with_stats(&p, &q, &s);
-            let bwd = containment::contained_with_stats(&q, &p, &s);
+            let p = parse_xam(args.get(2).ok_or_else(usage)?)?;
+            let q = parse_xam(args.get(3).ok_or_else(usage)?)?;
+            let threads = match args.get(4).map(String::as_str) {
+                Some("--threads") => args
+                    .get(5)
+                    .ok_or_else(usage)?
+                    .parse::<usize>()
+                    .map_err(|e| Error::Config(format!("--threads: {e}")))?,
+                Some(other) => return Err(Error::Config(format!("unknown flag `{other}`"))),
+                None => 1,
+            };
+            let opts = ContainOptions::default().with_threads(threads);
+            let fwd = contain(&p, &q, &s, &opts);
+            let bwd = contain(&q, &p, &s, &opts);
             println!(
                 "p ⊆_S q: {}  (model: {} trees)",
                 fwd.contained, fwd.model_size
@@ -132,10 +142,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "q ⊆_S p: {}  (model: {} trees)",
                 bwd.contained, bwd.model_size
             );
-            println!(
-                "equivalent: {}",
-                fwd.contained && bwd.contained
-            );
+            println!("equivalent: {}", fwd.contained && bwd.contained);
             Ok(())
         }
         _ => Err(usage()),

@@ -1,0 +1,112 @@
+//! # uload — physical data independence for XML via XML Access Modules
+//!
+//! The façade of the workspace: one import surface over the layered
+//! crates (`xmltree` → `summary` → `xam-core` → `containment` →
+//! `rewriting` → `storage`). Typical use goes through [`prelude`]:
+//!
+//! ```
+//! use uload::prelude::*;
+//!
+//! let doc = parse_document("<bib><book><title>t</title></book></bib>")?;
+//! let mut engine = Uload::builder()
+//!     .document(&doc)
+//!     .config(EngineConfig::default())
+//!     .build()?;
+//! engine.add_view_text("v", "//book[id:s]{ /n? t:title[cont] }", &doc)?;
+//! let (results, rewritings) = engine.answer(
+//!     r#"for $b in doc("d")//book return <r>{$b/title}</r>"#,
+//!     &doc,
+//! )?;
+//! assert_eq!(results.len(), 1);
+//! assert_eq!(rewritings[0].views_used, vec!["v"]);
+//! # uload::Result::Ok(())
+//! ```
+//!
+//! Every fallible function of this façade returns [`Result`] with the
+//! unified [`Error`] — the per-crate error types never surface here.
+
+pub use uload_error::{Error, Result};
+
+pub use algebra::{Evaluator, Relation};
+pub use containment::{
+    canonical_model, contain, contained_in_union, equivalent, equivalent_with,
+    minimize_by_contraction, minimize_by_contraction_with, minimize_global, minimize_global_with,
+    satisfiable, CacheStats, CanonicalCache, ContainOptions, ContainmentOutcome,
+};
+pub use rewriting::{
+    rewrite_with_engine, EngineConfig, EngineOptions, RewriteConfig, RewriteStats, Rewriting,
+    Uload, UloadBuilder,
+};
+pub use storage::{catalog, qep};
+pub use summary::Summary;
+pub use xam_core::{Xam, XamNodeId};
+pub use xmltree::{generate, Document};
+pub use xquery::{ExtractedQuery, Query};
+
+/// Parse an XML document (façade wrapper returning the unified error).
+pub fn parse_document(text: &str) -> Result<Document> {
+    xmltree::parse_document(text).map_err(|e| Error::Parse(e.to_string()))
+}
+
+/// Parse a textual XAM pattern.
+pub fn parse_xam(text: &str) -> Result<Xam> {
+    xam_core::parse_xam(text).map_err(|e| Error::Parse(e.to_string()))
+}
+
+/// Evaluate a XAM directly over a document (no views involved).
+pub fn evaluate_xam(xam: &Xam, doc: &Document) -> Result<Relation> {
+    xam_core::evaluate(xam, doc).map_err(|e| Error::Eval(e.to_string()))
+}
+
+/// Execute an XQuery directly over a document (no views involved).
+pub fn execute_query(text: &str, doc: &Document) -> Result<Vec<String>> {
+    xquery::execute_query(text, doc).map_err(|e| Error::Translate(e.to_string()))
+}
+
+/// Parse an XQuery into its AST (for pattern extraction).
+pub fn parse_query(text: &str) -> Result<Query> {
+    xquery::parse_query(text).map_err(|e| Error::Parse(e.to_string()))
+}
+
+/// Extract the maximal XAM patterns of a parsed XQuery (Chapter 3).
+pub fn extract_patterns(q: &Query) -> Result<ExtractedQuery> {
+    xquery::extract_patterns(q).map_err(|e| Error::Translate(e.to_string()))
+}
+
+/// The one-stop import: `use uload::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        canonical_model, catalog, contain, contained_in_union, equivalent, evaluate_xam,
+        execute_query, extract_patterns, generate, minimize_by_contraction, minimize_global,
+        parse_document, parse_query, parse_xam, qep, rewrite_with_engine, CanonicalCache,
+        ContainOptions, ContainmentOutcome, Document, EngineConfig, EngineOptions, Error,
+        Evaluator, Relation, Result, RewriteConfig, Rewriting, Summary, Uload, Xam,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_roundtrip() {
+        let doc = parse_document("<a><b>1</b><b>2</b></a>").unwrap();
+        let s = Summary::of_document(&doc);
+        let p = parse_xam("//b[id:s]").unwrap();
+        let out = contain(&p, &p, &s, &ContainOptions::default());
+        assert!(out.contained);
+        assert!(matches!(parse_document("<unclosed>"), Err(Error::Parse(_))));
+        assert!(matches!(parse_xam("//["), Err(Error::Parse(_))));
+    }
+
+    #[test]
+    fn builder_through_prelude() {
+        let doc = parse_document("<a><b/></a>").unwrap();
+        let engine = Uload::builder()
+            .document(&doc)
+            .config(EngineConfig::default())
+            .build()
+            .unwrap();
+        assert_eq!(engine.summary().len(), 2);
+    }
+}

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: documents → summaries → XAMs → queries
 //! → rewritings, exercising the whole pipeline the way ULoad wires it.
 
-use rewriting::Uload;
-use summary::Summary;
-use xam_core::parse_xam;
+use uload::prelude::*;
 use xmltree::generate;
 
 /// Direct XQuery execution against several documents and queries.
@@ -14,7 +12,10 @@ fn xquery_direct_evaluation_scenarios() {
         (r#"doc("d")//book"#, 2),
         (r#"doc("d")//book/title"#, 2),
         (r#"doc("d")//author"#, 5),
-        (r#"for $b in doc("d")//book return <r>{$b/title/text()}</r>"#, 2),
+        (
+            r#"for $b in doc("d")//book return <r>{$b/title/text()}</r>"#,
+            2,
+        ),
         (
             r#"for $b in doc("d")//book where $b/year = "1999" return <r>{$b/author}</r>"#,
             1,
@@ -35,7 +36,7 @@ fn xquery_direct_evaluation_scenarios() {
 #[test]
 fn views_answer_xmark_queries() {
     let doc = generate::xmark(3, 71);
-    let mut u = Uload::new(&doc);
+    let mut u = Uload::builder().document(&doc).build().unwrap();
     u.add_view_text("v_items", "//item[id:s]{ /n? nm:name[val] }", &doc)
         .unwrap();
     let q = r#"for $i in doc("x")//item return <n>{$i/name/text()}</n>"#;
@@ -50,7 +51,7 @@ fn views_answer_xmark_queries() {
 #[test]
 fn extensibility_add_drop_view() {
     let doc = generate::bib_sample();
-    let mut u = Uload::new(&doc);
+    let mut u = Uload::builder().document(&doc).build().unwrap();
     let q = r#"for $b in doc("d")//book return <t>{$b/title}</t>"#;
     assert!(u.answer(q, &doc).is_err());
     u.add_view_text("v", "//book[id:s]{ /n? t:title[cont] }", &doc)
@@ -96,7 +97,7 @@ fn containment_soundness_on_documents() {
     .collect();
     for p in &pats {
         for q in &pats {
-            if !containment::contained_in(p, q, &s) {
+            if !contain(p, q, &s, &ContainOptions::default()).contained {
                 continue;
             }
             let rp = xam_core::embed::evaluate_embed(p, &doc);
@@ -193,11 +194,7 @@ fn physical_data_independence_across_layouts() {
         let ev = algebra::Evaluator::with_document(&q.catalog, &doc);
         let rel = ev.eval(&q.plan).unwrap();
         // compare on the (author, title) value pairs
-        let set: BTreeSet<String> = rel
-            .tuples
-            .iter()
-            .map(|t| format!("{t}"))
-            .collect();
+        let set: BTreeSet<String> = rel.tuples.iter().map(|t| format!("{t}")).collect();
         answers.push(set);
     }
     assert_eq!(answers[0].len(), 4);

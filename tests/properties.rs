@@ -121,12 +121,12 @@ proptest! {
         let cfg = GenConfig::xmark(5, 1);
         let pats = pattern_gen::generate_set(&s, &cfg, 3, seed);
         for p in &pats {
-            prop_assert!(containment::contained_in(p, p, &s), "reflexivity:\n{}", p);
+            prop_assert!(uload::contain(p, p, &s, &Default::default()).contained, "reflexivity:\n{}", p);
         }
         // pairwise soundness on the concrete document
         for p in &pats {
             for q in &pats {
-                if containment::contained_in(p, q, &s) {
+                if uload::contain(p, q, &s, &Default::default()).contained {
                     let rp = xam_core::embed::evaluate_embed(p, &doc);
                     let rq = xam_core::embed::evaluate_embed(q, &doc);
                     prop_assert!(rp.is_subset(&rq), "unsound:\n{}\n⊆?\n{}", p, q);
@@ -148,5 +148,71 @@ proptest! {
                 prop_assert!(containment::equivalent(&m, p, &s));
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// The parallel, cache-backed engine is observationally identical to
+    /// the sequential one: same containment verdicts (and, on positive
+    /// runs, the same model sizes) and the same rewriting sets, in the
+    /// same order.
+    #[test]
+    fn parallel_engine_matches_sequential(seed in 0u64..300) {
+        let doc = generate::xmark(2, 17);
+        let s = Summary::of_document(&doc);
+        let cfg = GenConfig::xmark(4, 1);
+        let pats = pattern_gen::generate_set(&s, &cfg, 3, seed);
+        let cache = uload::CanonicalCache::new(256);
+
+        // containment verdicts
+        for p in &pats {
+            for q in &pats {
+                let seq = uload::contain(p, q, &s, &Default::default());
+                let par_opts = uload::ContainOptions::default()
+                    .with_threads(4)
+                    .with_cache(&cache);
+                let par = uload::contain(p, q, &s, &par_opts);
+                prop_assert_eq!(seq.contained, par.contained, "verdict:\n{}\n⊆?\n{}", p, q);
+                if seq.contained {
+                    prop_assert_eq!(seq.model_size, par.model_size, "model:\n{}\n⊆?\n{}", p, q);
+                }
+                // a second cached call must replay the same verdict
+                let replay = uload::contain(p, q, &s, &par_opts);
+                prop_assert_eq!(par.contained, replay.contained);
+            }
+        }
+
+        // rewriting sets, on the §5.6 workload shape (conjunctive size-4
+        // query, size-3 views plus one exactly-covering view)
+        let qcfg = GenConfig::xmark(4, 1).with_optional(0.0);
+        let qs = pattern_gen::generate_set(&s, &qcfg, 1, 9000 + seed);
+        let q = &qs[0];
+        let noise = pattern_gen::generate_set(
+            &s,
+            &GenConfig::xmark(3, 1).with_optional(0.0),
+            3,
+            500 + seed,
+        );
+        let mut views: Vec<(String, xam_core::Xam)> = noise
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (format!("v{i}"), v))
+            .collect();
+        views.push(("exact".into(), q.clone()));
+        let eng = uload::EngineOptions {
+            threads: 4,
+            cache: Some(&cache),
+            ..Default::default()
+        };
+        let (seq_rw, _) = rewriting::rewrite(q, &views, &s);
+        let (par_rw, _) = uload::rewrite_with_engine(q, &views, &s, Default::default(), &eng);
+        let key = |r: &uload::Rewriting| format!("{:?}|{}", r.views_used, r.plan);
+        let seq_keys: Vec<String> = seq_rw.iter().map(key).collect();
+        let par_keys: Vec<String> = par_rw.iter().map(key).collect();
+        prop_assert!(!seq_rw.is_empty(), "covering view must yield a rewriting");
+        prop_assert_eq!(seq_keys, par_keys, "rewriting sets differ for\n{}", q);
+        prop_assert!(cache.stats().hits > 0, "cache never hit");
     }
 }

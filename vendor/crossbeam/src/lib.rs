@@ -1,0 +1,11 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace only needs scoped worker pools; since Rust 1.63 the
+//! standard library provides structured scoped threads, so this shim
+//! simply re-exports them under the `crossbeam::thread` path the engine
+//! code uses. Spawn with `s.spawn(|| ...)` (std signature — no `|_|`
+//! scope argument as in upstream crossbeam 0.8).
+
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}

@@ -1,0 +1,106 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset this workspace's property tests use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, `x in strategy`
+//! bindings, `prop_assert!`/`prop_assert_eq!`, range and tuple
+//! strategies, `prop::collection::vec` and `Strategy::prop_map`.
+//!
+//! Cases are generated from deterministic per-index seeds. There is no
+//! shrinking: a failing case reports its seed and message and panics.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` namespace the upstream prelude exposes.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// The entry macro. Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn name(x in strategy, y in strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::test_runner::run(stringify!($name), &config, |rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                    let mut one_case = move || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    };
+                    one_case()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{:?}` != `{:?}`", l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)*);
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+            }
+        }
+    };
+}

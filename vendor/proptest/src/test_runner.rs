@@ -1,0 +1,55 @@
+//! The case loop: deterministic seeds, panic on first failure.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Run `cases` iterations of `case`, each with an RNG seeded
+/// deterministically from the test name and the case index, so failures
+/// are reproducible run-to-run without a persistence file.
+pub fn run(name: &str, config: &Config, mut case: impl FnMut(&mut SmallRng) -> TestCaseResult) {
+    let name_hash: u64 = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    for i in 0..config.cases {
+        let mut rng = SmallRng::seed_from_u64(name_hash ^ (i as u64).wrapping_mul(0x9E37));
+        if let Err(e) = case(&mut rng) {
+            panic!("property `{name}` failed at case {i}/{}: {e}", config.cases);
+        }
+    }
+}
