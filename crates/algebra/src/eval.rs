@@ -15,9 +15,10 @@ use xmltree::{Document, NodeId, NodeKind, StructuralId};
 
 use crate::order::{tuple_cmp_all, value_cmp, OrderSpec};
 use crate::plan::{
-    Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate,
+    Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate, TwigStep,
 };
 use crate::stacktree::{nested_loop_pairs, stack_tree_pairs};
+use crate::twig::{twig_join, twig_to_cascade, TwigPattern};
 use crate::value::{Collection, Field, FieldKind, Schema, Tuple, Value};
 
 /// A materialized nested relation: schema + tuples (list semantics).
@@ -95,12 +96,17 @@ pub struct EvalConfig {
     /// Use the StackTree merge for structural joins (`false` = nested loop,
     /// for the ablation bench).
     pub use_stacktree: bool,
+    /// Evaluate [`LogicalPlan::TwigJoin`] with the holistic multi-way
+    /// merge (`false` = desugar to the binary cascade, for the ablation
+    /// bench and as the correctness oracle).
+    pub use_twigstack: bool,
 }
 
 impl Default for EvalConfig {
     fn default() -> Self {
         EvalConfig {
             use_stacktree: true,
+            use_twigstack: true,
         }
     }
 }
@@ -220,6 +226,7 @@ impl<'a> Evaluator<'a> {
                     nest_as.as_deref(),
                 )
             }
+            TwigJoin { root, steps } => self.eval_twig_join(root, steps),
             Union { left, right } => {
                 let mut l = self.eval(left)?;
                 let r = self.eval(right)?;
@@ -650,6 +657,113 @@ impl<'a> Evaluator<'a> {
                 Ok(Relation::new(schema, tuples))
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // holistic twig join
+
+    /// Evaluate a whole tree pattern with the holistic twig merge
+    /// ([`crate::twig::twig_join`]): one sorted ID stream per pattern
+    /// node, no intermediate pair lists. Shapes the holistic operator
+    /// does not cover — map-extended (dotted) attributes, or two steps
+    /// hanging off *different* ID columns of the same input — fall back
+    /// to the equivalent binary cascade, as does the whole operator when
+    /// [`EvalConfig::use_twigstack`] is off.
+    fn eval_twig_join(
+        &self,
+        root: &LogicalPlan,
+        steps: &[TwigStep],
+    ) -> Result<Relation, EvalError> {
+        if steps.is_empty() {
+            return self.eval(root);
+        }
+        if !self.config.use_twigstack {
+            return self.eval(&twig_to_cascade(root, steps));
+        }
+        let mut rels: Vec<Relation> = Vec::with_capacity(steps.len() + 1);
+        rels.push(self.eval(root)?);
+        for s in steps {
+            rels.push(self.eval(&s.input)?);
+        }
+        // field-offset ranges of each input in the concatenated schema
+        let mut offsets: Vec<usize> = Vec::with_capacity(rels.len() + 1);
+        offsets.push(0);
+        for r in &rels {
+            offsets.push(offsets.last().unwrap() + r.schema.arity());
+        }
+        // node_attr[j]: the single ID column of input j the pattern uses
+        let mut node_attr: Vec<Option<usize>> = vec![None; rels.len()];
+        let mut parents: Vec<usize> = Vec::with_capacity(steps.len());
+        let mut prefix = rels[0].schema.clone();
+        let mut holistic = true;
+        'steps: for (k, s) in steps.iter().enumerate() {
+            // the step's own attribute, inside its input
+            match rels[k + 1].schema.resolve(s.attr.as_str()) {
+                Some(idx) if idx.len() == 1 => node_attr[k + 1] = Some(idx[0]),
+                _ => {
+                    holistic = false;
+                    break 'steps;
+                }
+            }
+            // the parent attribute, against the concatenated prefix
+            // (exactly what the cascade's left side would resolve on)
+            match prefix.resolve(s.parent_attr.as_str()) {
+                Some(idx) if idx.len() == 1 => {
+                    let flat = idx[0];
+                    let p = offsets.partition_point(|&o| o <= flat) - 1;
+                    let local = flat - offsets[p];
+                    match node_attr[p] {
+                        None => node_attr[p] = Some(local),
+                        Some(prev) if prev == local => {}
+                        Some(_) => {
+                            holistic = false;
+                            break 'steps;
+                        }
+                    }
+                    parents.push(p);
+                }
+                _ => {
+                    holistic = false;
+                    break 'steps;
+                }
+            }
+            prefix = prefix.concat(&rels[k + 1].schema);
+        }
+        if !holistic {
+            return self.eval(&twig_to_cascade(root, steps));
+        }
+        let mut pattern = TwigPattern::root();
+        for (k, s) in steps.iter().enumerate() {
+            let id = pattern.add_child(parents[k], s.axis);
+            debug_assert_eq!(id, k + 1);
+        }
+        let mut streams: Vec<Vec<(StructuralId, usize)>> = Vec::with_capacity(rels.len());
+        for (j, r) in rels.iter().enumerate() {
+            let col = node_attr[j].expect("every pattern node is referenced");
+            let mut ids: Vec<(StructuralId, usize)> = r
+                .tuples
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| t.get(col).as_id().map(|sid| (sid, i)))
+                .collect();
+            if !is_sorted_by_pre(&ids) {
+                ids.sort_by_key(|(s, _)| s.pre);
+            }
+            streams.push(ids);
+        }
+        let refs: Vec<&[(StructuralId, usize)]> = streams.iter().map(|s| s.as_slice()).collect();
+        let solutions = twig_join(&pattern, &refs);
+        // one output tuple per solution; twig_join already emits them in
+        // the cascade's lexicographic order
+        let mut tuples = Vec::with_capacity(solutions.len());
+        for sol in &solutions {
+            let mut t = rels[0].tuples[sol[0]].clone();
+            for (j, &i) in sol.iter().enumerate().skip(1) {
+                t = t.concat(&rels[j].tuples[i]);
+            }
+            tuples.push(t);
+        }
+        Ok(Relation::new(prefix, tuples))
     }
 
     /// `map`-extended structural join: the left ID lives inside a nested
@@ -1675,6 +1789,91 @@ mod tests {
         let r = ev.eval(&p).unwrap();
         assert_eq!(r.len(), 2);
         assert!(r.tuples[1].get(4).is_null());
+    }
+
+    #[test]
+    fn twig_join_matches_cascade_exactly() {
+        let (_doc, cat) = setup();
+        // library ⋈≺≺ book ⋈≺ author ⋈≺ title as one twig
+        let cascade = LogicalPlan::scan("library")
+            .rename(&["l_id", "l_t", "l_v", "l_c"])
+            .struct_join(
+                LogicalPlan::scan("book").rename(&["b_id", "b_t", "b_v", "b_c"]),
+                "l_id",
+                "b_id",
+                Axis::Descendant,
+                JoinKind::Inner,
+            )
+            .struct_join(
+                LogicalPlan::scan("author").rename(&["a_id", "a_t", "a_v", "a_c"]),
+                "b_id",
+                "a_id",
+                Axis::Child,
+                JoinKind::Inner,
+            )
+            .struct_join(
+                LogicalPlan::scan("title").rename(&["t_id", "t_t", "t_v", "t_c"]),
+                "b_id",
+                "t_id",
+                Axis::Child,
+                JoinKind::Inner,
+            );
+        let fused = crate::twig::fuse_struct_joins(&cascade);
+        assert!(matches!(fused, LogicalPlan::TwigJoin { .. }));
+        let mut ev = Evaluator::new(&cat);
+        let via_twig = ev.eval(&fused).unwrap();
+        let via_cascade = ev.eval(&cascade).unwrap();
+        assert_eq!(via_twig, via_cascade, "tuples and order must agree");
+        assert_eq!(via_twig.len(), 3); // 2 authors + 1 author, each with a title
+                                       // the toggle routes through the cascade and still agrees
+        ev.config.use_twigstack = false;
+        assert_eq!(ev.eval(&fused).unwrap(), via_cascade);
+    }
+
+    #[test]
+    fn twig_join_falls_back_on_nested_attrs() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        // left attribute inside a nested collection: the holistic path
+        // cannot run, the arm must transparently take the cascade route
+        let nested = LogicalPlan::scan("library").struct_nest_join(
+            LogicalPlan::scan("book"),
+            "ID",
+            "ID",
+            Axis::Child,
+            false,
+            "books",
+        );
+        let twig = nested.clone().twig_join(vec![TwigStep::new(
+            LogicalPlan::scan("author"),
+            "books.ID",
+            "ID",
+            Axis::Child,
+        )]);
+        let direct = nested.struct_join(
+            LogicalPlan::scan("author"),
+            "books.ID",
+            "ID",
+            Axis::Child,
+            JoinKind::Inner,
+        );
+        assert_eq!(ev.eval(&twig).unwrap(), ev.eval(&direct).unwrap());
+    }
+
+    #[test]
+    fn twig_join_unknown_attr_errors() {
+        let (_doc, cat) = setup();
+        let ev = Evaluator::new(&cat);
+        let twig = LogicalPlan::scan("book").twig_join(vec![TwigStep::new(
+            LogicalPlan::scan("author"),
+            "Nope",
+            "ID",
+            Axis::Child,
+        )]);
+        assert!(matches!(
+            ev.eval(&twig),
+            Err(EvalError::UnknownAttribute(_))
+        ));
     }
 
     #[test]

@@ -14,19 +14,25 @@
 //! from nested tuples.
 //!
 //! The physical layer implements the `StackTreeDesc` / `StackTreeAnc`
-//! structural-join algorithms over ID-sorted inputs, with a naive
-//! nested-loop fallback kept for the ablation benches, and order descriptors
-//! tracking which attribute the output of each operator is sorted on.
+//! structural-join algorithms over ID-sorted inputs, a holistic
+//! `TwigStack`-style twig join evaluating whole tree patterns in one
+//! multi-way merge, a naive nested-loop fallback kept for the ablation
+//! benches, and order descriptors tracking which attribute the output of
+//! each operator is sorted on.
 
 pub mod eval;
 pub mod order;
 pub mod plan;
 pub mod stacktree;
+pub mod twig;
 pub mod value;
 pub mod xmlgen;
 
 pub use eval::{Catalog, EvalConfig, EvalError, Evaluator, Relation};
 pub use order::OrderSpec;
-pub use plan::{Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate};
+pub use plan::{
+    Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate, TwigStep,
+};
+pub use twig::{fuse_struct_joins, twig_join, twig_to_cascade, TwigNode, TwigPattern};
 pub use value::{CollKind, Collection, Field, FieldKind, Schema, Tuple, Value};
 pub use xmlgen::Template;

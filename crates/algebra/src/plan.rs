@@ -215,6 +215,35 @@ impl fmt::Display for JoinKind {
     }
 }
 
+/// One non-root node of a [`LogicalPlan::TwigJoin`] pattern: an input
+/// whose `attr` IDs hang off `parent_attr` (an ID attribute of the
+/// prefix relation assembled so far — root ⨯ earlier steps) along `axis`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwigStep {
+    pub input: LogicalPlan,
+    /// ID attribute of the already-assembled prefix the step hangs off.
+    pub parent_attr: Path,
+    /// ID attribute within `input`.
+    pub attr: Path,
+    pub axis: Axis,
+}
+
+impl TwigStep {
+    pub fn new(
+        input: LogicalPlan,
+        parent_attr: impl Into<String>,
+        attr: impl Into<String>,
+        axis: Axis,
+    ) -> TwigStep {
+        TwigStep {
+            input,
+            parent_attr: Path::new(parent_attr),
+            attr: Path::new(attr),
+            axis,
+        }
+    }
+}
+
 /// A logical plan node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogicalPlan {
@@ -258,6 +287,17 @@ pub enum LogicalPlan {
         kind: JoinKind,
         /// Name for the nested attribute appended by `Nest`/`NestOuter`.
         nest_as: Option<String>,
+    },
+    /// Holistic twig join (TwigStack, §1.2.3 extended): the whole tree
+    /// pattern — root plus one [`TwigStep`] per further pattern node — is
+    /// evaluated in a single multi-way merge over the per-node ID streams,
+    /// with no intermediate pair materialization. Semantically equivalent
+    /// to the left-deep cascade of `Inner` [`LogicalPlan::StructJoin`]s
+    /// obtained by folding the steps in order (see
+    /// [`crate::twig::twig_to_cascade`]); counts as **one** operator.
+    TwigJoin {
+        root: Box<LogicalPlan>,
+        steps: Vec<TwigStep>,
     },
     /// Duplicate-preserving union (same schema both sides).
     Union {
@@ -436,6 +476,14 @@ impl LogicalPlan {
         }
     }
 
+    /// Build a holistic twig join with `self` as the pattern root.
+    pub fn twig_join(self, steps: Vec<TwigStep>) -> LogicalPlan {
+        LogicalPlan::TwigJoin {
+            root: Box::new(self),
+            steps,
+        }
+    }
+
     pub fn union(self, right: LogicalPlan) -> LogicalPlan {
         LogicalPlan::Union {
             left: Box::new(self),
@@ -488,6 +536,9 @@ impl LogicalPlan {
             | StructJoin { left, right, .. }
             | Union { left, right }
             | Difference { left, right } => left.size() + right.size(),
+            TwigJoin { root, steps } => {
+                root.size() + steps.iter().map(|s| s.input.size()).sum::<usize>()
+            }
         }
     }
 
@@ -516,6 +567,12 @@ impl LogicalPlan {
                 | Difference { left, right } => {
                     rec(left, out);
                     rec(right, out);
+                }
+                TwigJoin { root, steps } => {
+                    rec(root, out);
+                    for s in steps {
+                        rec(&s.input, out);
+                    }
                 }
             }
         }
@@ -566,6 +623,17 @@ impl fmt::Display for LogicalPlan {
                     Axis::Descendant => "≺≺",
                 };
                 write!(f, "({left} {kind}[{left_attr}{rel}{right_attr}] {right})")
+            }
+            TwigJoin { root, steps } => {
+                write!(f, "twig({root}")?;
+                for s in steps {
+                    let rel = match s.axis {
+                        Axis::Child => "≺",
+                        Axis::Descendant => "≺≺",
+                    };
+                    write!(f, ", [{}{}{}] {}", s.parent_attr, rel, s.attr, s.input)?;
+                }
+                write!(f, ")")
             }
             Union { left, right } => write!(f, "({left} ∪ {right})"),
             Difference { left, right } => write!(f, "({left} \\ {right})"),

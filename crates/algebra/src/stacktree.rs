@@ -20,10 +20,26 @@ use crate::plan::Axis;
 
 /// Does `anc` match `desc` on the given axis?
 #[inline]
-fn axis_match(anc: StructuralId, desc: StructuralId, axis: Axis) -> bool {
+pub(crate) fn axis_match(anc: StructuralId, desc: StructuralId, axis: Axis) -> bool {
     match axis {
         Axis::Child => anc.is_parent_of(desc),
         Axis::Descendant => anc.is_ancestor_of(desc),
+    }
+}
+
+/// Pop every stack entry whose pre/post interval closed before `post`:
+/// the stack holds candidates with `top.pre` below the incoming node's
+/// pre rank, so `top` contains the incoming node iff `top.post > post`
+/// (pre and post are separate counters, so the test must compare post
+/// against post, not post against pre).
+#[inline]
+fn pop_closed(stack: &mut Vec<(StructuralId, usize)>, post: u32) {
+    while let Some(&(top, _)) = stack.last() {
+        if top.post < post {
+            stack.pop();
+        } else {
+            break;
+        }
     }
 }
 
@@ -42,35 +58,22 @@ pub fn stack_tree_pairs(
 ) -> Vec<(usize, usize)> {
     debug_assert!(anc.windows(2).all(|w| w[0].0.pre <= w[1].0.pre));
     debug_assert!(desc.windows(2).all(|w| w[0].0.pre <= w[1].0.pre));
-    let mut out = Vec::new();
-    let mut stack: Vec<(StructuralId, usize)> = Vec::new();
+    // Most workloads pair each descendant with O(1) ancestors, so the
+    // smaller input is a good first-allocation guess for the output.
+    let mut out = Vec::with_capacity(anc.len().min(desc.len()));
+    let mut stack: Vec<(StructuralId, usize)> = Vec::with_capacity(16);
     let mut ai = 0;
     for &(d, dpay) in desc {
-        // push all ancestors that start before this descendant
+        // push all ancestors that start before this descendant, closing
+        // the stack entries that cannot contain them
         while ai < anc.len() && anc[ai].0.pre <= d.pre {
             let (a, apay) = anc[ai];
-            // pop stack entries that are not ancestors of `a`: since
-            // `top.pre < a.pre`, `top` contains `a` iff `top.post > a.post`
-            // (pre and post are separate counters, so the test must compare
-            // post against post, not post against pre)
-            while let Some(&(top, _)) = stack.last() {
-                if top.post < a.post {
-                    stack.pop();
-                } else {
-                    break;
-                }
-            }
+            pop_closed(&mut stack, a.post);
             stack.push((a, apay));
             ai += 1;
         }
-        // pop stack entries that are not ancestors of `d`
-        while let Some(&(top, _)) = stack.last() {
-            if top.post < d.post {
-                stack.pop();
-            } else {
-                break;
-            }
-        }
+        // close stack entries that are not ancestors of `d`
+        pop_closed(&mut stack, d.post);
         // the stack is now exactly the ancestor chain of `d` among the
         // candidates; emit matches (all of them for `//`, the depth-adjacent
         // ones for `/`)

@@ -1,0 +1,673 @@
+//! Holistic twig joins (TwigStack/TwigList family): evaluate a whole
+//! tree pattern in a single multi-way merge over per-node ID streams.
+//!
+//! A cascade of binary [`crate::stacktree::stack_tree_pairs`] joins
+//! materializes an intermediate pair list at every axis step; for deep or
+//! wide twigs those intermediates can dwarf both the inputs and the final
+//! result. [`twig_join`] instead scans all streams once in global pre
+//! order, maintains the chain of currently-open (pre/post interval still
+//! active) stream elements, and records for every element the contiguous
+//! window of descendants it captured in each child stream. Root-to-leaf
+//! solutions are enumerated at the end directly from those windows —
+//! output-sensitive, with no intermediate pair materialization. Child
+//! (`/`) axis edges are filtered during the window checks and the final
+//! enumeration, exactly like the binary operators do.
+//!
+//! All streams must carry [`StructuralId`]s of the *same* document and be
+//! sorted by `pre` rank; the usize payloads are opaque tuple indices.
+
+use xmltree::StructuralId;
+
+use crate::plan::{Axis, JoinKind, LogicalPlan, TwigStep};
+use crate::stacktree::axis_match;
+
+/// One node of a twig pattern: its parent pattern-node index and the axis
+/// of the edge from the parent. Node 0 is the root and has no parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwigNode {
+    pub parent: Option<usize>,
+    pub axis: Axis,
+}
+
+/// A small rooted tree pattern. Node indices are in parent-before-child
+/// order by construction: [`TwigPattern::add_child`] only attaches below
+/// already-existing nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwigPattern {
+    nodes: Vec<TwigNode>,
+    children: Vec<Vec<usize>>,
+}
+
+impl TwigPattern {
+    /// A pattern consisting of just the root node (index 0).
+    pub fn root() -> TwigPattern {
+        TwigPattern {
+            nodes: vec![TwigNode {
+                parent: None,
+                axis: Axis::Descendant,
+            }],
+            children: vec![Vec::new()],
+        }
+    }
+
+    /// Attach a new node under `parent` and return its index.
+    pub fn add_child(&mut self, parent: usize, axis: Axis) -> usize {
+        assert!(parent < self.nodes.len(), "twig parent out of range");
+        let id = self.nodes.len();
+        self.nodes.push(TwigNode {
+            parent: Some(parent),
+            axis,
+        });
+        self.children.push(Vec::new());
+        self.children[parent].push(id);
+        id
+    }
+
+    /// Build a pure chain `root axis₁ n₁ axis₂ n₂ …`.
+    pub fn chain(axes: &[Axis]) -> TwigPattern {
+        let mut p = TwigPattern::root();
+        let mut last = 0;
+        for &a in axes {
+            last = p.add_child(last, a);
+        }
+        p
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // there is always a root node
+    }
+
+    pub fn node(&self, i: usize) -> TwigNode {
+        self.nodes[i]
+    }
+
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+}
+
+/// One stream element after processing: its ID, its payload, and whether
+/// the pattern subtree below it can be matched.
+#[derive(Clone, Copy)]
+struct Entry {
+    sid: StructuralId,
+    payload: usize,
+    satisfied: bool,
+}
+
+/// All processed elements of one pattern node's stream. Per entry and
+/// pattern child, `ranges` records the `[start, end)` window of that
+/// child's list captured while the entry was open (flat, stride
+/// `2 * children` — one allocation per pattern node, not per element).
+/// Descendants of a node occupy a contiguous pre-order range, so the
+/// window holds exactly the entry's descendants in that stream.
+#[derive(Default)]
+struct NodeList {
+    entries: Vec<Entry>,
+    ranges: Vec<u32>,
+}
+
+impl NodeList {
+    #[inline]
+    fn window(&self, kids: usize, i: usize, k: usize) -> (usize, usize) {
+        let base = i * 2 * kids + 2 * k;
+        (self.ranges[base] as usize, self.ranges[base + 1] as usize)
+    }
+}
+
+/// Finalize an entry when its pre/post interval closes: freeze the child
+/// windows and decide satisfiability. All entries inside the windows
+/// closed earlier (they are descendants), so their flags are final.
+fn close_entry(pattern: &TwigPattern, lists: &mut [NodeList], q: usize, i: usize) {
+    let sid = lists[q].entries[i].sid;
+    let kids = pattern.children(q);
+    let mut sat = true;
+    for (k, &c) in kids.iter().enumerate() {
+        let base = i * 2 * kids.len() + 2 * k;
+        let start = lists[q].ranges[base] as usize;
+        let end = lists[c].entries.len();
+        lists[q].ranges[base + 1] = end as u32;
+        if sat {
+            let axis = pattern.node(c).axis;
+            sat = lists[c].entries[start..end]
+                .iter()
+                .any(|f| f.satisfied && axis_match(sid, f.sid, axis));
+        }
+    }
+    lists[q].entries[i].satisfied = sat;
+}
+
+/// Compute all matches of `pattern` over one ID stream per pattern node
+/// (`streams[i]` feeds pattern node `i`; all sorted by `pre`, all from
+/// the same document). Returns one payload vector per solution, indexed
+/// by pattern node, sorted lexicographically — the same order a left-deep
+/// cascade of inner StackTree joins produces.
+pub fn twig_join(pattern: &TwigPattern, streams: &[&[(StructuralId, usize)]]) -> Vec<Vec<usize>> {
+    let n = pattern.len();
+    assert_eq!(streams.len(), n, "one stream per pattern node");
+    for s in streams {
+        debug_assert!(s.windows(2).all(|w| w[0].0.pre <= w[1].0.pre));
+    }
+    let mut lists: Vec<NodeList> = (0..n)
+        .map(|q| NodeList {
+            entries: Vec::with_capacity(streams[q].len()),
+            ranges: Vec::with_capacity(streams[q].len() * 2 * pattern.children(q).len()),
+        })
+        .collect();
+    let mut cur = vec![0usize; n];
+    // cached head pre ranks, u32::MAX = exhausted; patterns are tiny, so
+    // a linear min scan beats a heap
+    let mut heads: Vec<u32> = (0..n)
+        .map(|q| streams[q].first().map_or(u32::MAX, |e| e.0.pre))
+        .collect();
+    // chain of currently-open entries, outermost first, plus the number
+    // of open entries per pattern node
+    let mut open: Vec<(usize, usize)> = Vec::new();
+    let mut open_count = vec![0usize; n];
+    loop {
+        let mut q = 0;
+        for r in 1..n {
+            if heads[r] < heads[q] {
+                q = r;
+            }
+        }
+        if heads[q] == u32::MAX {
+            break;
+        }
+        let (sid, payload) = streams[q][cur[q]];
+        cur[q] += 1;
+        heads[q] = streams[q].get(cur[q]).map_or(u32::MAX, |e| e.0.pre);
+        // close every open entry whose interval ended before `sid`: with
+        // arrivals in pre order it can contain neither `sid` nor anything
+        // after it
+        while let Some(&(oq, oi)) = open.last() {
+            if lists[oq].entries[oi].sid.post < sid.post {
+                close_entry(pattern, &mut lists, oq, oi);
+                open_count[oq] -= 1;
+                open.pop();
+            } else {
+                break;
+            }
+        }
+        // TwigStack-style pruning: after the pops, every open entry
+        // strictly contains `sid`, so a non-root element participates in
+        // a solution only if some entry of its parent pattern node is
+        // open right now — otherwise skip it entirely (no later parent
+        // candidate can contain it: they all arrive with larger pre)
+        if let Some(p) = pattern.node(q).parent {
+            if open_count[p] == 0 {
+                continue;
+            }
+        }
+        for k in 0..pattern.children(q).len() {
+            let c = pattern.children(q)[k];
+            let start = lists[c].entries.len() as u32;
+            lists[q].ranges.push(start);
+            lists[q].ranges.push(0);
+        }
+        lists[q].entries.push(Entry {
+            sid,
+            payload,
+            satisfied: false,
+        });
+        open.push((q, lists[q].entries.len() - 1));
+        open_count[q] += 1;
+    }
+    while let Some((oq, oi)) = open.pop() {
+        close_entry(pattern, &mut lists, oq, oi);
+    }
+    enumerate(pattern, &lists)
+}
+
+/// Walk the satisfied entries top-down and emit every root-to-leaf
+/// combination. Satisfiability flags guarantee every recursive call
+/// produces at least one solution, so this is output-sensitive.
+fn enumerate(pattern: &TwigPattern, lists: &[NodeList]) -> Vec<Vec<usize>> {
+    let n = pattern.len();
+    let mut child_pos = vec![0usize; n];
+    for q in 0..n {
+        for (k, &c) in pattern.children(q).iter().enumerate() {
+            child_pos[c] = k;
+        }
+    }
+    let mut out = Vec::new();
+    let mut chosen = vec![0usize; n];
+    let mut assignment = vec![0usize; n];
+    for (ri, root) in lists[0].entries.iter().enumerate() {
+        if !root.satisfied {
+            continue;
+        }
+        chosen[0] = ri;
+        assignment[0] = root.payload;
+        fill(
+            pattern,
+            lists,
+            &child_pos,
+            1,
+            &mut chosen,
+            &mut assignment,
+            &mut out,
+        );
+    }
+    // cascade-compatible order: lexicographic by payload in node order
+    out.sort_unstable();
+    out
+}
+
+/// Assign pattern node `j` (nodes are parent-before-child, so `j`'s
+/// parent is already chosen) and recurse; at `j == n` one full solution
+/// is complete.
+fn fill(
+    pattern: &TwigPattern,
+    lists: &[NodeList],
+    child_pos: &[usize],
+    j: usize,
+    chosen: &mut [usize],
+    assignment: &mut [usize],
+    out: &mut Vec<Vec<usize>>,
+) {
+    if j == pattern.len() {
+        out.push(assignment.to_vec());
+        return;
+    }
+    let node = pattern.node(j);
+    let p = node.parent.expect("non-root node has a parent");
+    let psid = lists[p].entries[chosen[p]].sid;
+    let kids = pattern.children(p).len();
+    let (start, end) = lists[p].window(kids, chosen[p], child_pos[j]);
+    for fi in start..end {
+        let f = lists[j].entries[fi];
+        if f.satisfied && axis_match(psid, f.sid, node.axis) {
+            chosen[j] = fi;
+            assignment[j] = f.payload;
+            fill(pattern, lists, child_pos, j + 1, chosen, assignment, out);
+        }
+    }
+}
+
+/// Desugar a [`LogicalPlan::TwigJoin`] into the equivalent left-deep
+/// cascade of binary `Inner` structural joins — the evaluator's fallback
+/// path (`use_twigstack = false`, or shapes the holistic operator does
+/// not cover) and the cost model's comparison baseline.
+pub fn twig_to_cascade(root: &LogicalPlan, steps: &[TwigStep]) -> LogicalPlan {
+    steps.iter().fold(root.clone(), |acc, s| {
+        acc.struct_join(
+            s.input.clone(),
+            s.parent_attr.as_str(),
+            s.attr.as_str(),
+            s.axis,
+            JoinKind::Inner,
+        )
+    })
+}
+
+/// Rewrite every maximal left-deep cascade of flat `Inner` structural
+/// joins over top-level ID attributes into a single
+/// [`LogicalPlan::TwigJoin`], recursing through all other operators.
+/// Joins with nesting, outer/semi flavours or dotted (map-extended)
+/// attributes are left untouched — the holistic operator only covers the
+/// conjunctive core.
+pub fn fuse_struct_joins(plan: &LogicalPlan) -> LogicalPlan {
+    use LogicalPlan::*;
+    let rec = |p: &LogicalPlan| Box::new(fuse_struct_joins(p));
+    match plan {
+        StructJoin {
+            left,
+            right,
+            left_attr,
+            right_attr,
+            axis,
+            kind: JoinKind::Inner,
+            nest_as: None,
+        } if !left_attr.as_str().contains('.') && !right_attr.as_str().contains('.') => {
+            let step = TwigStep {
+                input: fuse_struct_joins(right),
+                parent_attr: left_attr.clone(),
+                attr: right_attr.clone(),
+                axis: *axis,
+            };
+            match fuse_struct_joins(left) {
+                TwigJoin { root, mut steps } => {
+                    steps.push(step);
+                    TwigJoin { root, steps }
+                }
+                other => TwigJoin {
+                    root: Box::new(other),
+                    steps: vec![step],
+                },
+            }
+        }
+        Scan { .. } => plan.clone(),
+        Select { input, pred } => Select {
+            input: rec(input),
+            pred: pred.clone(),
+        },
+        Project {
+            input,
+            cols,
+            distinct,
+        } => Project {
+            input: rec(input),
+            cols: cols.clone(),
+            distinct: *distinct,
+        },
+        Product { left, right } => Product {
+            left: rec(left),
+            right: rec(right),
+        },
+        Join {
+            left,
+            right,
+            pred,
+            kind,
+        } => Join {
+            left: rec(left),
+            right: rec(right),
+            pred: pred.clone(),
+            kind: *kind,
+        },
+        StructJoin {
+            left,
+            right,
+            left_attr,
+            right_attr,
+            axis,
+            kind,
+            nest_as,
+        } => StructJoin {
+            left: rec(left),
+            right: rec(right),
+            left_attr: left_attr.clone(),
+            right_attr: right_attr.clone(),
+            axis: *axis,
+            kind: *kind,
+            nest_as: nest_as.clone(),
+        },
+        TwigJoin { root, steps } => TwigJoin {
+            root: rec(root),
+            steps: steps
+                .iter()
+                .map(|s| TwigStep {
+                    input: fuse_struct_joins(&s.input),
+                    parent_attr: s.parent_attr.clone(),
+                    attr: s.attr.clone(),
+                    axis: s.axis,
+                })
+                .collect(),
+        },
+        Union { left, right } => Union {
+            left: rec(left),
+            right: rec(right),
+        },
+        Difference { left, right } => Difference {
+            left: rec(left),
+            right: rec(right),
+        },
+        GroupBy {
+            input,
+            keys,
+            nest_as,
+        } => GroupBy {
+            input: rec(input),
+            keys: keys.clone(),
+            nest_as: nest_as.clone(),
+        },
+        Unnest { input, attr } => Unnest {
+            input: rec(input),
+            attr: attr.clone(),
+        },
+        NestAll { input, as_name } => NestAll {
+            input: rec(input),
+            as_name: as_name.clone(),
+        },
+        Sort { input, by } => Sort {
+            input: rec(input),
+            by: by.clone(),
+        },
+        XmlTemplate { input, templ } => XmlTemplate {
+            input: rec(input),
+            templ: templ.clone(),
+        },
+        Navigate {
+            input,
+            from_attr,
+            axis,
+            label,
+            as_prefix,
+            mode,
+        } => Navigate {
+            input: rec(input),
+            from_attr: from_attr.clone(),
+            axis: *axis,
+            label: label.clone(),
+            as_prefix: as_prefix.clone(),
+            mode: *mode,
+        },
+        Fetch {
+            input,
+            id_attr,
+            what,
+            as_name,
+        } => Fetch {
+            input: rec(input),
+            id_attr: id_attr.clone(),
+            what: *what,
+            as_name: as_name.clone(),
+        },
+        DeriveAncestorId {
+            input,
+            attr,
+            levels,
+            as_name,
+        } => DeriveAncestorId {
+            input: rec(input),
+            attr: attr.clone(),
+            levels: *levels,
+            as_name: as_name.clone(),
+        },
+        Rename { input, names } => Rename {
+            input: rec(input),
+            names: names.clone(),
+        },
+        CastSchema { input, schema } => CastSchema {
+            input: rec(input),
+            schema: schema.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::{generate, NodeKind};
+
+    fn ids(doc: &xmltree::Document, label: &str) -> Vec<(StructuralId, usize)> {
+        doc.nodes_with_label(label, NodeKind::Element)
+            .enumerate()
+            .map(|(i, n)| (doc.structural_id(n), i))
+            .collect()
+    }
+
+    /// Obviously-correct reference: backtracking over the full candidate
+    /// space, checking every pattern edge with the axis predicate.
+    fn reference(pattern: &TwigPattern, streams: &[&[(StructuralId, usize)]]) -> Vec<Vec<usize>> {
+        fn go(
+            pattern: &TwigPattern,
+            streams: &[&[(StructuralId, usize)]],
+            j: usize,
+            sids: &mut Vec<StructuralId>,
+            asg: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+        ) {
+            if j == pattern.len() {
+                out.push(asg.clone());
+                return;
+            }
+            let node = pattern.node(j);
+            for &(sid, pay) in streams[j] {
+                let ok = match node.parent {
+                    None => true,
+                    Some(p) => axis_match(sids[p], sid, node.axis),
+                };
+                if ok {
+                    sids[j] = sid;
+                    asg[j] = pay;
+                    go(pattern, streams, j + 1, sids, asg, out);
+                }
+            }
+        }
+        let n = pattern.len();
+        let mut out = Vec::new();
+        let mut sids = vec![StructuralId::new(0, 0, 0); n];
+        let mut asg = vec![0usize; n];
+        go(pattern, streams, 0, &mut sids, &mut asg, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn check(pattern: &TwigPattern, streams: &[&[(StructuralId, usize)]]) {
+        let got = twig_join(pattern, streams);
+        let want = reference(pattern, streams);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn chains_match_reference_on_xmark() {
+        let doc = generate::xmark(3, 7);
+        use Axis::{Child, Descendant};
+        let cases: Vec<(Vec<&str>, Vec<Axis>)> = vec![
+            (vec!["site", "item"], vec![Descendant]),
+            (
+                vec!["item", "parlist", "listitem"],
+                vec![Descendant, Descendant],
+            ),
+            (
+                vec!["description", "parlist", "listitem", "text", "keyword"],
+                vec![Child, Child, Child, Descendant],
+            ),
+            (
+                vec!["parlist", "listitem", "keyword"],
+                vec![Child, Descendant],
+            ),
+        ];
+        for (labels, axes) in cases {
+            let streams: Vec<Vec<(StructuralId, usize)>> =
+                labels.iter().map(|l| ids(&doc, l)).collect();
+            let refs: Vec<&[(StructuralId, usize)]> =
+                streams.iter().map(|s| s.as_slice()).collect();
+            let pattern = TwigPattern::chain(&axes);
+            check(&pattern, &refs);
+        }
+    }
+
+    #[test]
+    fn branching_pattern_matches_reference() {
+        let doc = generate::xmark(3, 19);
+        // item { /name, /description//keyword, //mail }
+        let mut p = TwigPattern::root();
+        p.add_child(0, Axis::Child); // name
+        let d = p.add_child(0, Axis::Child); // description
+        p.add_child(d, Axis::Descendant); // keyword
+        p.add_child(0, Axis::Descendant); // mail
+        let streams: Vec<Vec<(StructuralId, usize)>> =
+            ["item", "name", "description", "keyword", "mail"]
+                .iter()
+                .map(|l| ids(&doc, l))
+                .collect();
+        let refs: Vec<&[(StructuralId, usize)]> = streams.iter().map(|s| s.as_slice()).collect();
+        check(&p, &refs);
+    }
+
+    #[test]
+    fn recursive_same_label_pattern() {
+        // parlist//parlist//listitem: the same stream feeds two pattern
+        // nodes; self-pairs must not appear
+        let doc = generate::xmark(3, 7);
+        let parlists = ids(&doc, "parlist");
+        let listitems = ids(&doc, "listitem");
+        let p = TwigPattern::chain(&[Axis::Descendant, Axis::Descendant]);
+        let refs: Vec<&[(StructuralId, usize)]> = vec![&parlists, &parlists, &listitems];
+        let got = twig_join(&p, &refs);
+        assert!(!got.is_empty(), "xmark recursion must produce matches");
+        assert!(got.iter().all(|s| s[0] != s[1]), "no self pairs");
+        check(&p, &refs);
+    }
+
+    #[test]
+    fn child_axis_filters_non_parents() {
+        let doc = generate::xmark(2, 9);
+        let anc = ids(&doc, "parlist");
+        let desc = ids(&doc, "keyword");
+        let child = twig_join(&TwigPattern::chain(&[Axis::Child]), &[&anc, &desc]);
+        let descd = twig_join(&TwigPattern::chain(&[Axis::Descendant]), &[&anc, &desc]);
+        assert!(
+            child.len() < descd.len(),
+            "{} vs {}",
+            child.len(),
+            descd.len()
+        );
+        check(&TwigPattern::chain(&[Axis::Child]), &[&anc, &desc]);
+    }
+
+    #[test]
+    fn single_node_and_empty_streams() {
+        let doc = generate::xmark(2, 5);
+        let items = ids(&doc, "item");
+        let sols = twig_join(&TwigPattern::root(), &[&items]);
+        assert_eq!(sols.len(), items.len());
+        let p = TwigPattern::chain(&[Axis::Descendant]);
+        assert!(twig_join(&p, &[&items, &[]]).is_empty());
+        assert!(twig_join(&p, &[&[], &items]).is_empty());
+    }
+
+    #[test]
+    fn fusion_and_desugaring_roundtrip() {
+        use crate::plan::JoinKind;
+        let cascade = LogicalPlan::scan("tag_book")
+            .rename(&["b_id"])
+            .struct_join(
+                LogicalPlan::scan("tag_title").rename(&["t_id"]),
+                "b_id",
+                "t_id",
+                Axis::Child,
+                JoinKind::Inner,
+            )
+            .struct_join(
+                LogicalPlan::scan("tag_author").rename(&["a_id"]),
+                "b_id",
+                "a_id",
+                Axis::Descendant,
+                JoinKind::Inner,
+            );
+        let fused = fuse_struct_joins(&cascade);
+        let LogicalPlan::TwigJoin {
+            ref root,
+            ref steps,
+        } = fused
+        else {
+            panic!("expected TwigJoin, got {fused}");
+        };
+        assert_eq!(steps.len(), 2);
+        assert!(fused.size() < cascade.size());
+        assert_eq!(twig_to_cascade(root, steps), cascade);
+        assert_eq!(fused.scanned_relations(), cascade.scanned_relations());
+        assert!(fused.to_string().starts_with("twig("), "{fused}");
+    }
+
+    #[test]
+    fn fusion_skips_nest_and_outer_joins() {
+        let nested = LogicalPlan::scan("a").struct_nest_join(
+            LogicalPlan::scan("b"),
+            "ID",
+            "ID",
+            Axis::Descendant,
+            true,
+            "bs",
+        );
+        assert_eq!(fuse_struct_joins(&nested), nested);
+    }
+}

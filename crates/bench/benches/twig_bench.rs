@@ -1,0 +1,43 @@
+//! Twig ablation: every workload of `experiments::twig_workloads` —
+//! XMark descendant chains of depth 2–5 and child-axis stars of fanout
+//! 1–4 — timed under the three physical operators: the holistic
+//! `TwigStack` merge, the binary `StackTree` cascade (intermediate
+//! solution lists materialized and re-sorted per step), and the naive
+//! nested-loop cascade. All three produce identical solution sets
+//! (asserted by the `twig_ablation` driver and the proptest suite);
+//! only wall-clock may differ.
+
+use algebra::twig_join;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use storage::IdStreamIndex;
+use uload_bench::experiments::{cascade_solutions, twig_workloads};
+use xmltree::StructuralId;
+
+fn twig_vs_cascades(c: &mut Criterion) {
+    let doc = xmltree::generate::xmark(15, 42);
+    let idx = IdStreamIndex::build(&doc);
+    let mut g = c.benchmark_group("e10_twig_ablation");
+    g.sample_size(10);
+    for w in twig_workloads() {
+        let pattern = w.pattern();
+        let streams = w.streams(&idx);
+        let refs: Vec<&[(StructuralId, usize)]> = streams.iter().map(|s| s.as_slice()).collect();
+        g.bench_function(BenchmarkId::new("twig", &w.name), |b| {
+            b.iter(|| twig_join(&pattern, &refs).len())
+        });
+        g.bench_function(BenchmarkId::new("stacktree", &w.name), |b| {
+            b.iter(|| cascade_solutions(&w.parents, &w.axes, &streams, true).len())
+        });
+        g.bench_function(BenchmarkId::new("nestedloop", &w.name), |b| {
+            b.iter(|| cascade_solutions(&w.parents, &w.axes, &streams, false).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = twig_vs_cascades
+}
+criterion_main!(benches);

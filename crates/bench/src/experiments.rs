@@ -396,6 +396,262 @@ pub fn qep_catalogue() -> Vec<QepRow> {
 }
 
 // --------------------------------------------------------------------
+// E10 — holistic twig joins vs binary cascades (the twig_bench ablation)
+
+/// One twig workload: a tree pattern (node `k`'s parent is `parents[k]`
+/// via `axes[k]`; entry 0 is the root and its slots are unused) over one
+/// XMark label stream per pattern node.
+pub struct TwigWorkload {
+    pub name: String,
+    pub labels: Vec<&'static str>,
+    pub parents: Vec<usize>,
+    pub axes: Vec<algebra::Axis>,
+}
+
+impl TwigWorkload {
+    /// The pattern as the holistic operator consumes it.
+    pub fn pattern(&self) -> algebra::TwigPattern {
+        let mut p = algebra::TwigPattern::root();
+        for k in 1..self.labels.len() {
+            p.add_child(self.parents[k], self.axes[k]);
+        }
+        p
+    }
+
+    /// One pre-sorted `(id, position)` stream per pattern node, served
+    /// from the columnar index.
+    pub fn streams(
+        &self,
+        idx: &storage::IdStreamIndex,
+    ) -> Vec<Vec<(xmltree::StructuralId, usize)>> {
+        self.labels
+            .iter()
+            .map(|l| {
+                idx.elements(l)
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &sid)| (sid, i))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The equivalent binary structural-join cascade as a logical plan
+    /// over the catalog-registered `ids_*` relations.
+    pub fn cascade_plan(&self) -> algebra::LogicalPlan {
+        use algebra::{JoinKind, LogicalPlan};
+        use storage::IdStreamIndex;
+        let cols: Vec<String> = (0..self.labels.len()).map(|i| format!("id{i}")).collect();
+        let mut plan = LogicalPlan::scan(IdStreamIndex::relation_of(self.labels[0]))
+            .rename(&[cols[0].as_str()]);
+        for k in 1..self.labels.len() {
+            plan = plan.struct_join(
+                LogicalPlan::scan(IdStreamIndex::relation_of(self.labels[k]))
+                    .rename(&[cols[k].as_str()]),
+                cols[self.parents[k]].as_str(),
+                cols[k].as_str(),
+                self.axes[k],
+                JoinKind::Inner,
+            );
+        }
+        plan
+    }
+
+    /// The fused holistic plan the planner produces for the same twig.
+    pub fn twig_plan(&self) -> algebra::LogicalPlan {
+        algebra::fuse_struct_joins(&self.cascade_plan())
+    }
+}
+
+fn chain(name: &str, labels: &[&'static str]) -> TwigWorkload {
+    let n = labels.len();
+    TwigWorkload {
+        name: name.to_string(),
+        labels: labels.to_vec(),
+        parents: (0..n).map(|k| k.saturating_sub(1)).collect(),
+        axes: vec![algebra::Axis::Descendant; n],
+    }
+}
+
+fn fan(name: &str, root: &'static str, children: &[&'static str]) -> TwigWorkload {
+    let mut labels = vec![root];
+    labels.extend_from_slice(children);
+    TwigWorkload {
+        name: name.to_string(),
+        labels,
+        parents: vec![0; children.len() + 1],
+        axes: vec![algebra::Axis::Child; children.len() + 1],
+    }
+}
+
+/// The bench grid: XMark descendant chains of depth 2–5 (through the
+/// recursive `parlist` region, where the cascade's intermediate pair
+/// lists blow up) and child-axis stars of fanout 1–4 under `item`.
+pub fn twig_workloads() -> Vec<TwigWorkload> {
+    vec![
+        chain("chain_depth2", &["description", "parlist"]),
+        chain("chain_depth3", &["description", "parlist", "listitem"]),
+        chain(
+            "chain_depth4",
+            &["description", "parlist", "listitem", "text"],
+        ),
+        chain(
+            "chain_depth5",
+            &["description", "parlist", "listitem", "text", "keyword"],
+        ),
+        // pruning twigs: the binary cascade materializes intermediate
+        // lists that later steps mostly (or entirely) discard — nested
+        // parlists are rare, and `bold` never contains `keyword`
+        chain(
+            "chain_deep4",
+            &["description", "parlist", "parlist", "listitem"],
+        ),
+        chain(
+            "chain_selective4",
+            &["description", "text", "bold", "keyword"],
+        ),
+        fan("fan_width1", "item", &["location"]),
+        fan("fan_width2", "item", &["location", "quantity"]),
+        fan("fan_width3", "item", &["location", "quantity", "name"]),
+        fan(
+            "fan_width4",
+            "item",
+            &["location", "quantity", "name", "description"],
+        ),
+    ]
+}
+
+/// Build the catalog of cached ID streams the twig plans scan.
+pub fn twig_catalog(doc: &xmltree::Document) -> algebra::Catalog {
+    let mut catalog = algebra::Catalog::new();
+    storage::IdStreamIndex::build(doc).register(&mut catalog);
+    catalog
+}
+
+/// The binary-cascade physical operator, at the same level as
+/// [`algebra::twig_join`]: one [`stack_tree_pairs`] (or, with
+/// `stacktree = false`, [`nested_loop_pairs`]) per pattern edge, with
+/// the intermediate solution list materialized between steps and the
+/// join column re-sorted per step — exactly the work a binary-join
+/// engine performs, minus the (engine-neutral) tuple formatting.
+///
+/// [`stack_tree_pairs`]: algebra::stacktree::stack_tree_pairs
+/// [`nested_loop_pairs`]: algebra::stacktree::nested_loop_pairs
+pub fn cascade_solutions(
+    parents: &[usize],
+    axes: &[algebra::Axis],
+    streams: &[Vec<(xmltree::StructuralId, usize)>],
+    stacktree: bool,
+) -> Vec<Vec<usize>> {
+    use algebra::stacktree::{nested_loop_pairs, stack_tree_pairs};
+    let n = streams.len();
+    let mut tuples: Vec<Vec<usize>> = streams[0].iter().map(|&(_, p)| vec![p]).collect();
+    for k in 1..n {
+        let p = parents[k];
+        let mut left: Vec<(xmltree::StructuralId, usize)> = tuples
+            .iter()
+            .enumerate()
+            .map(|(ti, t)| (streams[p][t[p]].0, ti))
+            .collect();
+        let pairs = if stacktree {
+            left.sort_unstable_by_key(|&(s, _)| s.pre);
+            stack_tree_pairs(&left, &streams[k], axes[k])
+        } else {
+            nested_loop_pairs(&left, &streams[k], axes[k])
+        };
+        tuples = pairs
+            .into_iter()
+            .map(|(ti, di)| {
+                let mut t = tuples[ti].clone();
+                t.push(di);
+                t
+            })
+            .collect();
+    }
+    tuples
+}
+
+/// One measured row of the twig ablation.
+#[derive(Debug, Clone)]
+pub struct TwigRow {
+    pub name: String,
+    /// Output cardinality (identical across all three engines).
+    pub rows: usize,
+    /// Median wall-clock per engine, nanoseconds.
+    pub twig_ns: u128,
+    pub cascade_ns: u128,
+    pub nested_ns: u128,
+}
+
+impl TwigRow {
+    /// Cascade-over-twig speedup ratio.
+    pub fn speedup_vs_cascade(&self) -> f64 {
+        self.cascade_ns as f64 / self.twig_ns.max(1) as f64
+    }
+
+    /// Nested-loop-over-twig speedup ratio.
+    pub fn speedup_vs_nested(&self) -> f64 {
+        self.nested_ns as f64 / self.twig_ns.max(1) as f64
+    }
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Run every twig workload under the three physical operators —
+/// holistic TwigStack, binary StackTree cascade, naive nested-loop
+/// cascade — checking that all three (and the planner-fused logical
+/// plan) agree before timing them `reps` times each.
+pub fn twig_ablation(doc: &xmltree::Document, reps: usize) -> Vec<TwigRow> {
+    use algebra::{twig_join, Evaluator};
+    let idx = storage::IdStreamIndex::build(doc);
+    let catalog = twig_catalog(doc);
+    let mut out = Vec::new();
+    for w in twig_workloads() {
+        let pattern = w.pattern();
+        let streams = w.streams(&idx);
+        let refs: Vec<&[(xmltree::StructuralId, usize)]> =
+            streams.iter().map(|s| s.as_slice()).collect();
+        // correctness first: all three operators and the planner path
+        // must agree on the solution set
+        let twig_sols = twig_join(&pattern, &refs);
+        let mut stack_sols = cascade_solutions(&w.parents, &w.axes, &streams, true);
+        stack_sols.sort_unstable();
+        assert_eq!(twig_sols, stack_sols, "{}: twig vs StackTree", w.name);
+        let mut nested_sols = cascade_solutions(&w.parents, &w.axes, &streams, false);
+        nested_sols.sort_unstable();
+        assert_eq!(twig_sols, nested_sols, "{}: twig vs nested loop", w.name);
+        let ev = Evaluator::new(&catalog);
+        let planned = ev.eval(&w.twig_plan()).expect("twig plan must evaluate");
+        assert_eq!(planned.len(), twig_sols.len(), "{}: planner path", w.name);
+        // then time each operator
+        let time = |f: &dyn Fn() -> usize| {
+            let mut samples = Vec::with_capacity(reps.max(1));
+            for _ in 0..reps.max(1) {
+                let t0 = Instant::now();
+                let rows = f();
+                samples.push(t0.elapsed().as_nanos());
+                assert_eq!(rows, twig_sols.len());
+            }
+            median_ns(samples)
+        };
+        let twig_ns = time(&|| twig_join(&pattern, &refs).len());
+        let cascade_ns = time(&|| cascade_solutions(&w.parents, &w.axes, &streams, true).len());
+        let nested_ns = time(&|| cascade_solutions(&w.parents, &w.axes, &streams, false).len());
+        out.push(TwigRow {
+            name: w.name,
+            rows: twig_sols.len(),
+            twig_ns,
+            cascade_ns,
+            nested_ns,
+        });
+    }
+    out
+}
+
+// --------------------------------------------------------------------
 // E9 — §4.5 minimization
 
 pub fn minimize_demo() -> Vec<String> {
@@ -449,6 +705,22 @@ mod tests {
         for p in &pts {
             // every pattern is at least self-contained
             assert!(p.positives >= 8, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn twig_ablation_engines_agree_on_small_xmark() {
+        let doc = xmltree::generate::xmark(3, 11);
+        let rows = twig_ablation(&doc, 1);
+        assert_eq!(rows.len(), 10, "6 chains + 4 fans");
+        // at least the shallow workloads must match something
+        assert!(rows.iter().any(|r| r.rows > 0), "{rows:?}");
+        // twig_ablation itself asserts all three engines agree per row
+        for r in &rows {
+            assert!(
+                r.twig_ns > 0 && r.cascade_ns > 0 && r.nested_ns > 0,
+                "{r:?}"
+            );
         }
     }
 

@@ -62,6 +62,24 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> (f64, f64) {
             let sort = (rl + rr) * (rl + rr).log2().max(1.0);
             (cl + cr + sort, out)
         }
+        TwigJoin { root, steps } => {
+            // Holistic TwigStack: one multi-way merge over all streams,
+            // no intermediate pair lists between the binary joins. Cost
+            // is the sum of the input costs plus a single merge sweep of
+            // the combined stream length; output folds the binary Inner
+            // formula step by step (same answer, none of the cascade's
+            // per-level sort-merge charges).
+            let (mut cost, mut out) = estimate(root, catalog);
+            let mut total_rows = out;
+            for s in steps {
+                let (cs, rs) = estimate(&s.input, catalog);
+                cost += cs;
+                total_rows += rs;
+                out = rs.max(out * 0.5);
+            }
+            let merge = total_rows * total_rows.log2().max(1.0);
+            (cost + merge, out)
+        }
         Union { left, right } => {
             let (cl, rl) = estimate(left, catalog);
             let (cr, rr) = estimate(right, catalog);
@@ -150,6 +168,39 @@ mod tests {
             algebra::JoinKind::Inner,
         );
         assert!(plan_cost(&via_small, &c) < plan_cost(&via_big, &c));
+    }
+
+    #[test]
+    fn twig_estimate_beats_binary_cascade() {
+        let c = catalog();
+        // a depth-4 chain over the big relation: cascade pays a
+        // sort-merge at every level, the twig pays one global merge
+        let chain = |fused: bool| {
+            let mut plan = LogicalPlan::scan("big").rename(&["a"]);
+            for (i, col) in ["b", "c", "d"].iter().enumerate() {
+                plan = plan.struct_join(
+                    LogicalPlan::scan("big").rename(&[*col]),
+                    if i == 0 { "a" } else { "b" },
+                    *col,
+                    algebra::Axis::Descendant,
+                    algebra::JoinKind::Inner,
+                );
+            }
+            if fused {
+                algebra::fuse_struct_joins(&plan)
+            } else {
+                plan
+            }
+        };
+        let cascade = chain(false);
+        let twig = chain(true);
+        assert!(matches!(twig, LogicalPlan::TwigJoin { .. }));
+        assert!(
+            plan_cost(&twig, &c) < plan_cost(&cascade, &c),
+            "twig {} vs cascade {}",
+            plan_cost(&twig, &c),
+            plan_cost(&cascade, &c)
+        );
     }
 
     #[test]

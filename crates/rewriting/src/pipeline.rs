@@ -44,6 +44,10 @@ pub struct EngineConfig {
     /// Capacity of the shared [`CanonicalCache`] (verdict entries);
     /// `0` disables caching entirely.
     pub cache_capacity: usize,
+    /// Fuse structural-join cascades into holistic `TwigJoin` operators
+    /// before execution and evaluate them with the TwigStack algorithm.
+    /// Off, every twig falls back to the binary StackTree cascade.
+    pub use_twigstack: bool,
     /// The rewriting search bounds (§5.3's generate-and-test knobs).
     pub rewrite: RewriteConfig,
 }
@@ -53,6 +57,7 @@ impl Default for EngineConfig {
         EngineConfig {
             threads: 1,
             cache_capacity: 4096,
+            use_twigstack: true,
             rewrite: RewriteConfig::default(),
         }
     }
@@ -107,6 +112,12 @@ impl<'d> UloadBuilder<'d> {
     /// Cache capacity; `0` disables the shared cache.
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Toggle holistic twig-join planning and execution.
+    pub fn use_twigstack(mut self, on: bool) -> Self {
+        self.config.use_twigstack = on;
         self
     }
 
@@ -267,8 +278,13 @@ impl Uload {
                 }
             }
         }
-        let plan = xquery::translate::combine_plans(&ex, plans);
-        let ev = Evaluator::with_document(self.store.catalog(), doc);
+        let mut plan = xquery::translate::combine_plans(&ex, plans);
+        let mut ev = Evaluator::with_document(self.store.catalog(), doc);
+        if self.config.use_twigstack {
+            plan = algebra::fuse_struct_joins(&plan);
+        } else {
+            ev.config.use_twigstack = false;
+        }
         let rel = ev.eval(&plan).map_err(|e| Error::Eval(e.to_string()))?;
         let out = rel
             .tuples
@@ -360,6 +376,27 @@ mod tests {
         // the engine actually exercised its cache
         let stats = par.cache_stats().unwrap();
         assert!(stats.hits + stats.misses > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn twigstack_toggle_preserves_answers() {
+        // same query, twig planning on vs. off: identical output
+        let doc = xmark(2, 13);
+        let q = r#"for $x in doc("X")//item return <res>{$x/name/text()}</res>"#;
+        let view = "//item[id:s]{ /n? name1:name[val] }";
+        let run = |on: bool| {
+            let mut u = Uload::builder()
+                .document(&doc)
+                .use_twigstack(on)
+                .build()
+                .unwrap();
+            u.add_view_text("V", view, &doc).unwrap();
+            u.answer(q, &doc).unwrap().0
+        };
+        let with_twig = run(true);
+        let without = run(false);
+        assert!(!with_twig.is_empty());
+        assert_eq!(with_twig, without);
     }
 
     #[test]

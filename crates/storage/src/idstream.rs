@@ -1,0 +1,144 @@
+//! Columnar ID-stream index: per `(label, kind)` sorted
+//! [`StructuralId`] columns, built in one pass over a document and
+//! cached in a [`Catalog`] as scannable `ids_<label>` relations.
+//!
+//! The holistic twig operator (`algebra::twig`) consumes one pre-sorted
+//! ID stream per pattern node. Before this index, every pattern node
+//! re-ran a `nodes_with_label` scan over the whole document; the index
+//! pays that scan once per document and serves each stream as a slice.
+//! Document order *is* pre order, so the columns come out sorted for
+//! free and the catalog entries can declare `OrderSpec::by("ID")` —
+//! letting the evaluator skip its defensive re-sort.
+
+use std::collections::HashMap;
+
+use algebra::{OrderSpec, Relation, Schema, Tuple, Value};
+use xmltree::{Document, NodeKind, StructuralId};
+
+use algebra::Catalog;
+
+/// The index: one sorted `Vec<StructuralId>` column per `(label, kind)`.
+#[derive(Debug, Default, Clone)]
+pub struct IdStreamIndex {
+    columns: HashMap<(String, NodeKind), Vec<StructuralId>>,
+}
+
+impl IdStreamIndex {
+    /// Build all columns in a single document pass (document order is
+    /// pre order, so every column is born sorted).
+    pub fn build(doc: &Document) -> IdStreamIndex {
+        let mut columns: HashMap<(String, NodeKind), Vec<StructuralId>> = HashMap::new();
+        for n in doc.all_nodes() {
+            let kind = doc.kind(n);
+            if kind == NodeKind::Text {
+                continue; // text nodes carry no label worth indexing
+            }
+            columns
+                .entry((doc.label(n).to_string(), kind))
+                .or_default()
+                .push(doc.structural_id(n));
+        }
+        IdStreamIndex { columns }
+    }
+
+    /// The sorted ID column for a `(label, kind)` pair; empty when the
+    /// document has no such nodes.
+    pub fn stream(&self, label: &str, kind: NodeKind) -> &[StructuralId] {
+        self.columns
+            .get(&(label.to_string(), kind))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Shorthand for element streams (the common twig case).
+    pub fn elements(&self, label: &str) -> &[StructuralId] {
+        self.stream(label, NodeKind::Element)
+    }
+
+    /// Number of distinct `(label, kind)` columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Total IDs stored across all columns.
+    pub fn total_ids(&self) -> usize {
+        self.columns.values().map(Vec::len).sum()
+    }
+
+    /// Catalog name of a label's element column (attributes get an `@`).
+    pub fn relation_of(label: &str) -> String {
+        format!("ids_{label}")
+    }
+
+    /// Cache every column in the catalog as a single-attribute `(ID)`
+    /// relation ordered by ID, so plans can scan streams by name and the
+    /// evaluator sees them as pre-sorted.
+    pub fn register(&self, catalog: &mut Catalog) {
+        for ((label, kind), ids) in &self.columns {
+            let name = match kind {
+                NodeKind::Attribute => format!("ids_@{label}"),
+                _ => Self::relation_of(label),
+            };
+            let tuples = ids
+                .iter()
+                .map(|&sid| Tuple::new(vec![Value::Id(sid)]))
+                .collect();
+            catalog.insert_ordered(
+                name,
+                Relation::new(Schema::atoms(&["ID"]), tuples),
+                OrderSpec::by("ID"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::generate;
+
+    #[test]
+    fn columns_match_label_scans() {
+        let doc = generate::xmark(3, 11);
+        let idx = IdStreamIndex::build(&doc);
+        for label in ["item", "keyword", "parlist", "listitem", "name"] {
+            let want: Vec<StructuralId> = doc
+                .nodes_with_label(label, NodeKind::Element)
+                .map(|n| doc.structural_id(n))
+                .collect();
+            assert_eq!(idx.elements(label), want.as_slice(), "{label}");
+            assert!(idx.elements(label).windows(2).all(|w| w[0].pre < w[1].pre));
+        }
+        assert!(idx.elements("no_such_label").is_empty());
+        assert!(!idx.is_empty());
+        assert!(idx.total_ids() > 0);
+    }
+
+    #[test]
+    fn attribute_columns_are_separate() {
+        let doc = generate::bib_sample();
+        let idx = IdStreamIndex::build(&doc);
+        let attrs = idx.stream("year", NodeKind::Attribute);
+        assert!(!attrs.is_empty(), "bib sample has @year");
+        assert!(idx.elements("year").is_empty(), "no year *elements*");
+    }
+
+    #[test]
+    fn register_caches_streams_in_catalog() {
+        let doc = generate::xmark(2, 5);
+        let idx = IdStreamIndex::build(&doc);
+        let mut cat = Catalog::new();
+        idx.register(&mut cat);
+        let rel = cat.get(&IdStreamIndex::relation_of("item")).unwrap();
+        assert_eq!(rel.len(), idx.elements("item").len());
+        assert_eq!(rel.schema, Schema::atoms(&["ID"]));
+        assert_eq!(
+            rel.tuples[0].get(0).as_id().unwrap(),
+            idx.elements("item")[0]
+        );
+    }
+}

@@ -19,10 +19,14 @@
 //! * [`qep`] — the QEP catalogue of §2.1: builders for the paper's query
 //!   execution plans `QEP1`–`QEP13`, each against the matching engine, so
 //!   the flexibility experiment (E8 in DESIGN.md) can count operators and
-//!   run them.
+//!   run them;
+//! * [`idstream`] — the columnar ID-stream index: per `(label, kind)`
+//!   sorted `StructuralId` columns built once per document and cached in
+//!   the catalog, feeding the holistic twig-join operator.
 
 pub mod catalog;
 pub mod engines;
+pub mod idstream;
 pub mod qep;
 pub mod store;
 
@@ -30,4 +34,5 @@ pub use engines::{
     CompositeIndex, ContentStore, EdgeStore, FullTextIndex, PathPartitionStore, TagPartitionStore,
     XRelStore,
 };
+pub use idstream::IdStreamIndex;
 pub use store::MaterializedStore;

@@ -18,6 +18,7 @@ use crate::engines::{
     register_lookup, CompositeIndex, ContentStore, EdgeStore, FullTextIndex, HybridStore,
     PathPartitionStore, TagPartitionStore,
 };
+use crate::idstream::IdStreamIndex;
 
 /// A ready-to-run plan with its backing catalog.
 pub struct Qep {
@@ -165,6 +166,49 @@ pub fn qep6(doc: &Document) -> Qep {
         name: "QEP6 (tag partitioning)",
         plan,
         catalog: store.catalog,
+    }
+}
+
+/// `QEP6t` — `QEP6` after holistic twig fusion: the structural-join
+/// cascade collapses into a single `TwigJoin` operator (same catalog,
+/// same answer, one fewer operator, no intermediate pair list).
+pub fn qep6_twig(doc: &Document) -> Qep {
+    let q = qep6(doc);
+    Qep {
+        name: "QEP6t (tag partitioning, holistic twig)",
+        plan: algebra::fuse_struct_joins(&q.plan),
+        catalog: q.catalog,
+    }
+}
+
+/// `QEP14` — query `q` planned over the **columnar ID-stream index**:
+/// the per-label `ids_*` columns are built once and cached in the
+/// catalog, and the whole `book{/author,/title}` pattern runs as one
+/// twig operator over those pre-sorted streams.
+pub fn qep14(doc: &Document) -> Qep {
+    let mut catalog = Catalog::new();
+    IdStreamIndex::build(doc).register(&mut catalog);
+    let plan = LogicalPlan::scan(IdStreamIndex::relation_of("book"))
+        .rename(&["b_id"])
+        .struct_join(
+            LogicalPlan::scan(IdStreamIndex::relation_of("author")).rename(&["a_id"]),
+            "b_id",
+            "a_id",
+            Axis::Child,
+            JoinKind::Inner,
+        )
+        .struct_join(
+            LogicalPlan::scan(IdStreamIndex::relation_of("title")).rename(&["t_id"]),
+            "b_id",
+            "t_id",
+            Axis::Child,
+            JoinKind::Inner,
+        )
+        .project(&["a_id", "t_id"]);
+    Qep {
+        name: "QEP14 (columnar ID streams, holistic twig)",
+        plan: algebra::fuse_struct_joins(&plan),
+        catalog,
     }
 }
 
@@ -438,6 +482,31 @@ mod tests {
         // one row per (book, author) pair padded with the title — the
         // paper's book-author-title relation
         assert_eq!(run(&q, &doc).len(), 4);
+    }
+
+    #[test]
+    fn twig_fusion_preserves_qep6() {
+        let doc = bib_document();
+        let q6 = qep6(&doc);
+        let q6t = qep6_twig(&doc);
+        // the two structural joins collapsed into one twig operator
+        assert!(q6t.operators() < q6.operators());
+        let r6 = run(&q6, &doc);
+        let r6t = run(&q6t, &doc);
+        assert_eq!(r6.schema, r6t.schema);
+        assert_eq!(r6.tuples, r6t.tuples);
+    }
+
+    #[test]
+    fn qep14_answers_q_from_cached_id_streams() {
+        let doc = bib_document();
+        let q = qep14(&doc);
+        assert_eq!(run(&q, &doc).len(), 4);
+        assert!(
+            format!("{}", q.plan).contains("twig("),
+            "{}: expected a fused twig operator",
+            q.plan
+        );
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! `fig4_13` (datasets & summaries), `fig4_14_queries` (XMark query
 //! pattern containment), `fig4_14_synthetic` (synthetic containment,
 //! XMark summary), `fig4_15` (DBLP), `optional_ablation`, `sec5_6`
-//! (rewriting), `qep_catalogue` (§2.1 plans), `minimize` (§4.5).
+//! (rewriting), `qep_catalogue` (§2.1 plans), `minimize` (§4.5),
+//! `twig` (E10 holistic twig-join ablation; writes `BENCH_twig.json`).
 
 use rewriting::EngineOptions;
 use uload_bench::pattern_gen::GenConfig;
@@ -60,6 +61,9 @@ fn main() {
     }
     if want("minimize") {
         minimize();
+    }
+    if want("twig") {
+        twig(quick);
     }
 }
 
@@ -213,4 +217,55 @@ fn minimize() {
     for line in experiments::minimize_demo() {
         println!("{line}");
     }
+}
+
+fn twig(quick: bool) {
+    header("E10 — holistic twig joins vs binary cascades");
+    let (scale, reps) = if quick { (4, 3) } else { (15, 7) };
+    let doc = uload::generate::xmark(scale, 42);
+    let rows = experiments::twig_ablation(&doc, reps);
+    println!(
+        "{:<14} {:>8} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "workload", "rows", "twig (ns)", "stack (ns)", "nested (ns)", "x stack", "x nested"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>8} {:>12} {:>12} {:>12} {:>8.2} {:>8.2}",
+            r.name,
+            r.rows,
+            r.twig_ns,
+            r.cascade_ns,
+            r.nested_ns,
+            r.speedup_vs_cascade(),
+            r.speedup_vs_nested()
+        );
+    }
+    // machine-readable record of the ablation (hand-rolled JSON — the
+    // workspace deliberately carries no serializer dependency)
+    let mut json = String::from("{\n  \"experiment\": \"twig_ablation\",\n");
+    json.push_str(&format!(
+        "  \"document\": \"xmark({scale}, 42)\",\n  \"reps\": {reps},\n  \"workloads\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rows\": {}, \"twig_ns\": {}, \"stacktree_ns\": {}, \
+             \"nestedloop_ns\": {}, \"speedup_vs_stacktree\": {:.3}, \"speedup_vs_nestedloop\": {:.3}}}{}\n",
+            r.name,
+            r.rows,
+            r.twig_ns,
+            r.cascade_ns,
+            r.nested_ns,
+            r.speedup_vs_cascade(),
+            r.speedup_vs_nested(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_twig.json", &json) {
+        Ok(()) => println!("(wrote BENCH_twig.json)"),
+        Err(e) => eprintln!("(could not write BENCH_twig.json: {e})"),
+    }
+    println!(
+        "(the holistic merge skips the cascade's intermediate pair lists; gains grow with depth)"
+    );
 }

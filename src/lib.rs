@@ -27,7 +27,7 @@
 
 pub use uload_error::{Error, Result};
 
-pub use algebra::{Evaluator, Relation};
+pub use algebra::{fuse_struct_joins, Evaluator, Relation, TwigPattern};
 pub use containment::{
     canonical_model, contain, contained_in_union, equivalent, equivalent_with,
     minimize_by_contraction, minimize_by_contraction_with, minimize_global, minimize_global_with,
@@ -37,7 +37,7 @@ pub use rewriting::{
     rewrite_with_engine, EngineConfig, EngineOptions, RewriteConfig, RewriteStats, Rewriting,
     Uload, UloadBuilder,
 };
-pub use storage::{catalog, qep};
+pub use storage::{catalog, qep, IdStreamIndex};
 pub use summary::Summary;
 pub use xam_core::{Xam, XamNodeId};
 pub use xmltree::{generate, Document};
@@ -77,10 +77,11 @@ pub fn extract_patterns(q: &Query) -> Result<ExtractedQuery> {
 pub mod prelude {
     pub use crate::{
         canonical_model, catalog, contain, contained_in_union, equivalent, evaluate_xam,
-        execute_query, extract_patterns, generate, minimize_by_contraction, minimize_global,
-        parse_document, parse_query, parse_xam, qep, rewrite_with_engine, CanonicalCache,
-        ContainOptions, ContainmentOutcome, Document, EngineConfig, EngineOptions, Error,
-        Evaluator, Relation, Result, RewriteConfig, Rewriting, Summary, Uload, Xam,
+        execute_query, extract_patterns, fuse_struct_joins, generate, minimize_by_contraction,
+        minimize_global, parse_document, parse_query, parse_xam, qep, rewrite_with_engine,
+        CanonicalCache, ContainOptions, ContainmentOutcome, Document, EngineConfig, EngineOptions,
+        Error, Evaluator, IdStreamIndex, Relation, Result, RewriteConfig, Rewriting, Summary,
+        TwigPattern, Uload, Xam,
     };
 }
 

@@ -152,6 +152,74 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The holistic `TwigStack` operator agrees exactly with both binary
+    /// cascades — StackTree and nested loop — on random `/`+`//` tree
+    /// patterns over generated XMark and DBLP documents, and the planner
+    /// path (fused `TwigJoin` plan) returns the same relation whether the
+    /// holistic operator is enabled or the evaluator falls back to the
+    /// cascade.
+    #[test]
+    fn twig_join_matches_binary_cascades(
+        spec in prop::collection::vec((0usize..10, 0usize..8, 0usize..2), 2..7),
+        dblp_sel in 0usize..2,
+    ) {
+        let dblp = dblp_sel == 1;
+        let doc = if dblp { generate::dblp(6, 7) } else { generate::xmark(3, 7) };
+        let pool: [&'static str; 10] = if dblp {
+            ["dblp", "article", "inproceedings", "book", "author",
+             "title", "year", "journal", "pages", "url"]
+        } else {
+            ["site", "regions", "item", "name", "description",
+             "parlist", "listitem", "text", "keyword", "mailbox"]
+        };
+        // random tree pattern: node k hangs off a random earlier node
+        // with a random Child/Descendant axis
+        let mut w = uload_bench::experiments::TwigWorkload {
+            name: "prop".into(),
+            labels: Vec::new(),
+            parents: Vec::new(),
+            axes: Vec::new(),
+        };
+        for (k, &(label, parent, child)) in spec.iter().enumerate() {
+            w.labels.push(pool[label]);
+            w.parents.push(if k == 0 { 0 } else { parent % k });
+            w.axes.push(if child == 1 { algebra::Axis::Child } else { algebra::Axis::Descendant });
+        }
+
+        let idx = storage::IdStreamIndex::build(&doc);
+        let pattern = w.pattern();
+        let streams = w.streams(&idx);
+        let refs: Vec<&[(xmltree::StructuralId, usize)]> =
+            streams.iter().map(|s| s.as_slice()).collect();
+        let twig = algebra::twig_join(&pattern, &refs);
+        let mut stack = uload_bench::experiments::cascade_solutions(
+            &w.parents, &w.axes, &streams, true);
+        stack.sort_unstable();
+        let mut nested = uload_bench::experiments::cascade_solutions(
+            &w.parents, &w.axes, &streams, false);
+        nested.sort_unstable();
+        prop_assert_eq!(&twig, &stack, "twig vs StackTree cascade on {:?}", w.labels);
+        prop_assert_eq!(&stack, &nested, "StackTree vs nested loop on {:?}", w.labels);
+
+        // planner path: the fused plan over the catalog-registered ID
+        // streams, with and without the holistic operator (labels absent
+        // from the document have no ids_* relation, so skip those specs)
+        if streams.iter().all(|s| !s.is_empty()) {
+            let cat = uload_bench::experiments::twig_catalog(&doc);
+            let plan = w.twig_plan();
+            let on = algebra::Evaluator::new(&cat).eval(&plan).unwrap();
+            let mut off_ev = algebra::Evaluator::new(&cat);
+            off_ev.config.use_twigstack = false;
+            let off = off_ev.eval(&plan).unwrap();
+            prop_assert_eq!(on.tuples.len(), twig.len());
+            prop_assert_eq!(on, off, "planner twig vs cascade fallback on {:?}", w.labels);
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(2))]
 
     /// The parallel, cache-backed engine is observationally identical to
