@@ -8,17 +8,20 @@
 //! in-memory hash table; `GroupBy` uses a hash table preserving first-seen
 //! group order; `Sort_φ` is a stable comparison sort.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
+use obs::{ExecMetrics, Meter, OpProfile};
 use xmltree::{Document, NodeId, NodeKind, StructuralId};
 
 use crate::order::{tuple_cmp_all, value_cmp, OrderSpec};
 use crate::plan::{
     Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate, TwigStep,
 };
-use crate::stacktree::{nested_loop_pairs, stack_tree_pairs};
-use crate::twig::{twig_join, twig_to_cascade, TwigPattern};
+use crate::stacktree::{nested_loop_pairs, stack_tree_pairs, stack_tree_pairs_metered};
+use crate::twig::{twig_join, twig_join_metered, twig_to_cascade, TwigPattern};
 use crate::value::{Collection, Field, FieldKind, Schema, Tuple, Value};
 
 /// A materialized nested relation: schema + tuples (list semantics).
@@ -143,6 +146,10 @@ pub struct Evaluator<'a> {
     pub catalog: &'a Catalog,
     pub doc: Option<&'a Document>,
     pub config: EvalConfig,
+    /// When set, the physical join kernels run their metered variants and
+    /// accumulate counters here. `None` (the default) keeps the hot path
+    /// on the unmetered monomorphizations.
+    pub metrics: Option<RefCell<ExecMetrics>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -151,6 +158,7 @@ impl<'a> Evaluator<'a> {
             catalog,
             doc: None,
             config: EvalConfig::default(),
+            metrics: None,
         }
     }
 
@@ -159,6 +167,7 @@ impl<'a> Evaluator<'a> {
             catalog,
             doc: Some(doc),
             config: EvalConfig::default(),
+            metrics: None,
         }
     }
 
@@ -534,6 +543,9 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
+        if let Some(m) = &self.metrics {
+            m.borrow_mut().comparisons((l.len() * r.len()) as u64);
+        }
         self.assemble_join(l, r, matches, kind, None)
     }
 
@@ -581,8 +593,14 @@ impl<'a> Evaluator<'a> {
             if !is_sorted_by_pre(&rids) {
                 rids.sort_by_key(|(s, _)| s.pre);
             }
-            stack_tree_pairs(&lids, &rids, axis)
+            match &self.metrics {
+                Some(m) => stack_tree_pairs_metered(&lids, &rids, axis, &mut *m.borrow_mut()),
+                None => stack_tree_pairs(&lids, &rids, axis),
+            }
         } else {
+            if let Some(m) = &self.metrics {
+                m.borrow_mut().comparisons((lids.len() * rids.len()) as u64);
+            }
             nested_loop_pairs(&lids, &rids, axis)
         };
         let mut matches: Vec<Vec<usize>> = vec![Vec::new(); l.len()];
@@ -678,6 +696,7 @@ impl<'a> Evaluator<'a> {
             return self.eval(root);
         }
         if !self.config.use_twigstack {
+            self.note_twig_fallback("use_twigstack off", steps.len());
             return self.eval(&twig_to_cascade(root, steps));
         }
         let mut rels: Vec<Relation> = Vec::with_capacity(steps.len() + 1);
@@ -730,6 +749,7 @@ impl<'a> Evaluator<'a> {
             prefix = prefix.concat(&rels[k + 1].schema);
         }
         if !holistic {
+            self.note_twig_fallback("shape not holistic-covered", steps.len());
             return self.eval(&twig_to_cascade(root, steps));
         }
         let mut pattern = TwigPattern::root();
@@ -752,7 +772,10 @@ impl<'a> Evaluator<'a> {
             streams.push(ids);
         }
         let refs: Vec<&[(StructuralId, usize)]> = streams.iter().map(|s| s.as_slice()).collect();
-        let solutions = twig_join(&pattern, &refs);
+        let solutions = match &self.metrics {
+            Some(m) => twig_join_metered(&pattern, &refs, &mut *m.borrow_mut()),
+            None => twig_join(&pattern, &refs),
+        };
         // one output tuple per solution; twig_join already emits them in
         // the cascade's lexicographic order
         let mut tuples = Vec::with_capacity(solutions.len());
@@ -764,6 +787,79 @@ impl<'a> Evaluator<'a> {
             tuples.push(t);
         }
         Ok(Relation::new(prefix, tuples))
+    }
+
+    /// Record a holistic-twig fallback to the binary cascade: counted in
+    /// the metrics (when profiling) and reported at debug level.
+    fn note_twig_fallback(&self, why: &str, steps: usize) {
+        if let Some(m) = &self.metrics {
+            m.borrow_mut().note_fallback();
+        }
+        tracing::debug!(
+            target: "uload::eval",
+            "twig join fell back to binary cascade ({steps} steps): {why}"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // profiled evaluation
+
+    /// Evaluate `plan` while building an [`OpProfile`] tree mirroring the
+    /// plan's shape (children in [`LogicalPlan::child_plans`] order).
+    ///
+    /// Each node's inputs are first profiled recursively and materialized
+    /// as temporary scans in a shadow catalog; the node itself is then
+    /// timed as a one-level plan over those temps with the metered
+    /// kernels. `eval` itself is untouched — the unprofiled path pays
+    /// nothing for this machinery. A node's `time_ns` includes its
+    /// children's; its own share additionally covers re-reading the
+    /// materialized inputs, so treat per-node times as indicative rather
+    /// than exact.
+    pub fn eval_profiled(&self, plan: &LogicalPlan) -> Result<(Relation, OpProfile), EvalError> {
+        let children = plan.child_plans();
+        let mut kid_profiles = Vec::with_capacity(children.len());
+        let mut kid_rels = Vec::with_capacity(children.len());
+        for c in &children {
+            let (rel, prof) = self.eval_profiled(c)?;
+            kid_profiles.push(prof);
+            kid_rels.push(rel);
+        }
+        let metered = |catalog: &Catalog, one_level: &LogicalPlan| {
+            let ev = Evaluator {
+                catalog,
+                doc: self.doc,
+                config: self.config,
+                metrics: Some(RefCell::new(ExecMetrics::default())),
+            };
+            let start = Instant::now();
+            let rel = ev.eval(one_level)?;
+            let elapsed = start.elapsed().as_nanos() as u64;
+            let metrics = ev.metrics.expect("set above").into_inner();
+            Ok::<_, EvalError>((rel, metrics, elapsed))
+        };
+        let (rel, metrics, self_ns) = if children.is_empty() {
+            metered(self.catalog, plan)?
+        } else {
+            let mut shadow = Catalog::new();
+            for (k, r) in kid_rels.into_iter().enumerate() {
+                shadow.insert(format!("__prof_{k}"), r);
+            }
+            let one_level = plan.with_child_plans(
+                (0..children.len())
+                    .map(|k| LogicalPlan::scan(format!("__prof_{k}")))
+                    .collect(),
+            );
+            metered(&shadow, &one_level)?
+        };
+        let child_ns: u64 = kid_profiles.iter().map(|p: &OpProfile| p.time_ns).sum();
+        let profile = OpProfile {
+            op: plan.node_label(),
+            out_rows: rel.len() as u64,
+            time_ns: self_ns + child_ns,
+            metrics,
+            children: kid_profiles,
+        };
+        Ok((rel, profile))
     }
 
     /// `map`-extended structural join: the left ID lives inside a nested
@@ -1828,6 +1924,60 @@ mod tests {
                                        // the toggle routes through the cascade and still agrees
         ev.config.use_twigstack = false;
         assert_eq!(ev.eval(&fused).unwrap(), via_cascade);
+    }
+
+    #[test]
+    fn profiled_eval_matches_plain_and_mirrors_plan_shape() {
+        let (_doc, cat) = setup();
+        let plan = LogicalPlan::scan("book")
+            .rename(&["b_id", "b_t", "b_v", "b_c"])
+            .struct_join(
+                LogicalPlan::scan("author").rename(&["a_id", "a_t", "a_v", "a_c"]),
+                "b_id",
+                "a_id",
+                Axis::Child,
+                JoinKind::Inner,
+            )
+            .project(&["a_v"]);
+        let ev = Evaluator::new(&cat);
+        let plain = ev.eval(&plan).unwrap();
+        let (profiled, prof) = ev.eval_profiled(&plan).unwrap();
+        assert_eq!(
+            profiled, plain,
+            "profiled execution must not change results"
+        );
+        // tree mirrors the plan: project → join → {rename → scan} × 2
+        assert_eq!(prof.node_count(), plan.size());
+        assert_eq!(prof.out_rows, plain.len() as u64);
+        assert!(prof.op.starts_with("Project"), "{}", prof.op);
+        let join = &prof.children[0];
+        assert!(join.op.starts_with("StructJoin"), "{}", join.op);
+        assert_eq!(join.children.len(), 2);
+        assert!(join.metrics.comparisons > 0, "{:?}", join.metrics);
+        // time aggregates: parent includes children
+        assert!(prof.time_ns >= join.time_ns);
+        // profiling off by default: the evaluator carries no metrics
+        assert!(ev.metrics.is_none());
+    }
+
+    #[test]
+    fn profiled_twig_counts_fallbacks_when_toggled_off() {
+        let (_doc, cat) = setup();
+        let twig = LogicalPlan::scan("book")
+            .rename(&["b_id", "b_t", "b_v", "b_c"])
+            .twig_join(vec![TwigStep::new(
+                LogicalPlan::scan("author").rename(&["a_id", "a_t", "a_v", "a_c"]),
+                "b_id",
+                "a_id",
+                Axis::Child,
+            )]);
+        let mut ev = Evaluator::new(&cat);
+        let (_, prof) = ev.eval_profiled(&twig).unwrap();
+        assert_eq!(prof.metrics.twig_fallbacks, 0);
+        ev.config.use_twigstack = false;
+        let (rel, prof_off) = ev.eval_profiled(&twig).unwrap();
+        assert_eq!(prof_off.metrics.twig_fallbacks, 1, "{:?}", prof_off.metrics);
+        assert_eq!(rel.len() as u64, prof_off.out_rows);
     }
 
     #[test]

@@ -29,10 +29,13 @@ pub mod value;
 pub mod xmlgen;
 
 pub use eval::{Catalog, EvalConfig, EvalError, Evaluator, Relation};
+pub use obs::{ExecMetrics, Meter, NoMeter, OpProfile};
 pub use order::OrderSpec;
 pub use plan::{
     Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate, TwigStep,
 };
-pub use twig::{fuse_struct_joins, twig_join, twig_to_cascade, TwigNode, TwigPattern};
+pub use twig::{
+    fuse_struct_joins, twig_join, twig_join_metered, twig_to_cascade, TwigNode, TwigPattern,
+};
 pub use value::{CollKind, Collection, Field, FieldKind, Schema, Tuple, Value};
 pub use xmlgen::Template;

@@ -580,6 +580,134 @@ impl LogicalPlan {
         rec(self, &mut out);
         out
     }
+
+    /// The direct child plans, left to right (a `TwigJoin` yields its
+    /// root followed by each step's input). The profiler walks plans
+    /// through this accessor so its operator tree mirrors the plan tree
+    /// shape exactly.
+    pub fn child_plans(&self) -> Vec<&LogicalPlan> {
+        use LogicalPlan::*;
+        match self {
+            Scan { .. } => vec![],
+            Select { input, .. }
+            | Project { input, .. }
+            | GroupBy { input, .. }
+            | Unnest { input, .. }
+            | NestAll { input, .. }
+            | Sort { input, .. }
+            | XmlTemplate { input, .. }
+            | Navigate { input, .. }
+            | DeriveAncestorId { input, .. }
+            | Fetch { input, .. }
+            | Rename { input, .. }
+            | CastSchema { input, .. } => vec![input],
+            Product { left, right }
+            | Join { left, right, .. }
+            | StructJoin { left, right, .. }
+            | Union { left, right }
+            | Difference { left, right } => vec![left, right],
+            TwigJoin { root, steps } => {
+                let mut out = Vec::with_capacity(1 + steps.len());
+                out.push(root.as_ref());
+                out.extend(steps.iter().map(|s| &s.input));
+                out
+            }
+        }
+    }
+
+    /// Rebuild this node with its children replaced (in `child_plans`
+    /// order). Panics if `children.len()` doesn't match the arity.
+    pub fn with_child_plans(&self, mut children: Vec<LogicalPlan>) -> LogicalPlan {
+        use LogicalPlan::*;
+        assert_eq!(
+            children.len(),
+            self.child_plans().len(),
+            "with_child_plans arity mismatch for {self}"
+        );
+        let mut next = || Box::new(children.remove(0));
+        let mut clone = self.clone();
+        match &mut clone {
+            Scan { .. } => {}
+            Select { input, .. }
+            | Project { input, .. }
+            | GroupBy { input, .. }
+            | Unnest { input, .. }
+            | NestAll { input, .. }
+            | Sort { input, .. }
+            | XmlTemplate { input, .. }
+            | Navigate { input, .. }
+            | DeriveAncestorId { input, .. }
+            | Fetch { input, .. }
+            | Rename { input, .. }
+            | CastSchema { input, .. } => *input = next(),
+            Product { left, right }
+            | Join { left, right, .. }
+            | StructJoin { left, right, .. }
+            | Union { left, right }
+            | Difference { left, right } => {
+                *left = next();
+                *right = next();
+            }
+            TwigJoin { root, steps } => {
+                *root = next();
+                for s in steps.iter_mut() {
+                    s.input = *next();
+                }
+            }
+        }
+        clone
+    }
+
+    /// Short operator label for this node alone (no recursion into
+    /// children), used by profile trees: `Scan(v_items)`,
+    /// `StructJoin(⋈,/)`, `twig(2 steps)`, …
+    pub fn node_label(&self) -> String {
+        use LogicalPlan::*;
+        match self {
+            Scan { relation } => format!("Scan({relation})"),
+            Select { pred, .. } => format!("Select[{pred}]"),
+            Project { cols, distinct, .. } => format!(
+                "Project{}[{}]",
+                if *distinct { "°" } else { "" },
+                cols.iter().map(Path::as_str).collect::<Vec<_>>().join(",")
+            ),
+            Product { .. } => "Product".to_string(),
+            Join { kind, .. } => format!("Join({kind})"),
+            StructJoin {
+                left_attr,
+                right_attr,
+                axis,
+                kind,
+                ..
+            } => format!("StructJoin({kind},{left_attr}{axis}{right_attr})"),
+            TwigJoin { steps, .. } => format!("TwigJoin({} steps)", steps.len()),
+            Union { .. } => "Union".to_string(),
+            Difference { .. } => "Difference".to_string(),
+            GroupBy { keys, .. } => format!(
+                "GroupBy[{}]",
+                keys.iter().map(Path::as_str).collect::<Vec<_>>().join(",")
+            ),
+            Unnest { attr, .. } => format!("Unnest[{attr}]"),
+            NestAll { .. } => "NestAll".to_string(),
+            Sort { by, .. } => format!(
+                "Sort[{}]",
+                by.iter().map(Path::as_str).collect::<Vec<_>>().join(",")
+            ),
+            XmlTemplate { .. } => "XmlTemplate".to_string(),
+            Navigate {
+                from_attr,
+                axis,
+                label,
+                ..
+            } => format!("Navigate[{from_attr}{axis}{label}]"),
+            Fetch { id_attr, what, .. } => format!("Fetch[{id_attr}:{what:?}]"),
+            DeriveAncestorId { attr, levels, .. } => {
+                format!("DeriveAncestorId[{attr}^{levels}]")
+            }
+            Rename { .. } => "Rename".to_string(),
+            CastSchema { .. } => "CastSchema".to_string(),
+        }
+    }
 }
 
 impl fmt::Display for LogicalPlan {
@@ -706,6 +834,36 @@ mod tests {
         let s = p.to_string();
         assert!(s.contains("book"), "{s}");
         assert!(s.contains("≺"), "{s}");
+    }
+
+    #[test]
+    fn child_accessors_mirror_plan_shape() {
+        let join = LogicalPlan::scan("book").struct_join(
+            LogicalPlan::scan("author"),
+            "ID",
+            "ID",
+            Axis::Child,
+            JoinKind::Inner,
+        );
+        assert_eq!(join.child_plans().len(), 2);
+        assert_eq!(join.node_label(), "StructJoin(⋈,ID/ID)");
+
+        let twig = LogicalPlan::scan("a").twig_join(vec![
+            TwigStep::new(LogicalPlan::scan("b"), "ID", "ID", Axis::Descendant),
+            TwigStep::new(LogicalPlan::scan("c"), "ID", "ID", Axis::Child),
+        ]);
+        let kids = twig.child_plans();
+        assert_eq!(kids.len(), 3);
+        assert_eq!(kids[0].node_label(), "Scan(a)");
+        assert_eq!(twig.node_label(), "TwigJoin(2 steps)");
+
+        // rebuilding with the same children is the identity
+        let rebuilt = twig.with_child_plans(kids.into_iter().cloned().collect());
+        assert_eq!(rebuilt, twig);
+
+        // rebuilding with different children swaps them in place
+        let swapped = join.with_child_plans(vec![LogicalPlan::scan("x"), LogicalPlan::scan("y")]);
+        assert_eq!(swapped.scanned_relations(), vec!["x", "y"]);
     }
 
     #[test]

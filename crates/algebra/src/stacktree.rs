@@ -14,6 +14,7 @@
 //! [`nested_loop_pairs`] is the naive O(|L|·|R|) fallback kept for the
 //! physical-operator ablation bench.
 
+use obs::{Meter, NoMeter};
 use xmltree::StructuralId;
 
 use crate::plan::Axis;
@@ -56,6 +57,19 @@ pub fn stack_tree_pairs(
     desc: &[(StructuralId, usize)],
     axis: Axis,
 ) -> Vec<(usize, usize)> {
+    stack_tree_pairs_metered(anc, desc, axis, &mut NoMeter)
+}
+
+/// [`stack_tree_pairs`] with execution counters: axis tests on the
+/// stack-scan loop count as comparisons, and the open-ancestor stack's
+/// high-water mark is recorded. With [`NoMeter`] this monomorphizes to
+/// the unmetered kernel.
+pub fn stack_tree_pairs_metered<M: Meter>(
+    anc: &[(StructuralId, usize)],
+    desc: &[(StructuralId, usize)],
+    axis: Axis,
+    meter: &mut M,
+) -> Vec<(usize, usize)> {
     debug_assert!(anc.windows(2).all(|w| w[0].0.pre <= w[1].0.pre));
     debug_assert!(desc.windows(2).all(|w| w[0].0.pre <= w[1].0.pre));
     // Most workloads pair each descendant with O(1) ancestors, so the
@@ -70,6 +84,7 @@ pub fn stack_tree_pairs(
             let (a, apay) = anc[ai];
             pop_closed(&mut stack, a.post);
             stack.push((a, apay));
+            meter.stack_depth(stack.len());
             ai += 1;
         }
         // close stack entries that are not ancestors of `d`
@@ -77,6 +92,7 @@ pub fn stack_tree_pairs(
         // the stack is now exactly the ancestor chain of `d` among the
         // candidates; emit matches (all of them for `//`, the depth-adjacent
         // ones for `/`)
+        meter.comparisons(stack.len() as u64);
         for &(a, apay) in stack.iter().rev() {
             if axis_match(a, d, axis) {
                 out.push((apay, dpay));
@@ -166,6 +182,20 @@ mod tests {
         let desc = ids(&doc, "keyword");
         let pairs = stack_tree_pairs(&anc, &desc, Axis::Descendant);
         assert!(pairs.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn metered_variant_counts_and_matches_unmetered() {
+        let doc = generate::xmark(3, 7);
+        let anc = ids(&doc, "parlist");
+        let desc = ids(&doc, "keyword");
+        let mut metrics = obs::ExecMetrics::default();
+        let metered = stack_tree_pairs_metered(&anc, &desc, Axis::Descendant, &mut metrics);
+        assert_eq!(metered, stack_tree_pairs(&anc, &desc, Axis::Descendant));
+        // parlist recursion guarantees a stack deeper than one and at
+        // least one comparison per emitted pair
+        assert!(metrics.stack_high_water >= 2, "{metrics:?}");
+        assert!(metrics.comparisons >= metered.len() as u64);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! All streams must carry [`StructuralId`]s of the *same* document and be
 //! sorted by `pre` rank; the usize payloads are opaque tuple indices.
 
+use obs::{Meter, NoMeter};
 use xmltree::StructuralId;
 
 use crate::plan::{Axis, JoinKind, LogicalPlan, TwigStep};
@@ -122,7 +123,13 @@ impl NodeList {
 /// Finalize an entry when its pre/post interval closes: freeze the child
 /// windows and decide satisfiability. All entries inside the windows
 /// closed earlier (they are descendants), so their flags are final.
-fn close_entry(pattern: &TwigPattern, lists: &mut [NodeList], q: usize, i: usize) {
+fn close_entry<M: Meter>(
+    pattern: &TwigPattern,
+    lists: &mut [NodeList],
+    q: usize,
+    i: usize,
+    meter: &mut M,
+) {
     let sid = lists[q].entries[i].sid;
     let kids = pattern.children(q);
     let mut sat = true;
@@ -133,9 +140,12 @@ fn close_entry(pattern: &TwigPattern, lists: &mut [NodeList], q: usize, i: usize
         lists[q].ranges[base + 1] = end as u32;
         if sat {
             let axis = pattern.node(c).axis;
-            sat = lists[c].entries[start..end]
-                .iter()
-                .any(|f| f.satisfied && axis_match(sid, f.sid, axis));
+            let mut tested = 0u64;
+            sat = lists[c].entries[start..end].iter().any(|f| {
+                tested += 1;
+                f.satisfied && axis_match(sid, f.sid, axis)
+            });
+            meter.comparisons(tested);
         }
     }
     lists[q].entries[i].satisfied = sat;
@@ -147,6 +157,18 @@ fn close_entry(pattern: &TwigPattern, lists: &mut [NodeList], q: usize, i: usize
 /// by pattern node, sorted lexicographically — the same order a left-deep
 /// cascade of inner StackTree joins produces.
 pub fn twig_join(pattern: &TwigPattern, streams: &[&[(StructuralId, usize)]]) -> Vec<Vec<usize>> {
+    twig_join_metered(pattern, streams, &mut NoMeter)
+}
+
+/// [`twig_join`] with execution counters: window scans count as
+/// comparisons, the open-entry chain's depth and the total resident
+/// solution-list entries are tracked as high-water marks. With
+/// [`NoMeter`] this monomorphizes to the unmetered kernel.
+pub fn twig_join_metered<M: Meter>(
+    pattern: &TwigPattern,
+    streams: &[&[(StructuralId, usize)]],
+    meter: &mut M,
+) -> Vec<Vec<usize>> {
     let n = pattern.len();
     assert_eq!(streams.len(), n, "one stream per pattern node");
     for s in streams {
@@ -168,6 +190,8 @@ pub fn twig_join(pattern: &TwigPattern, streams: &[&[(StructuralId, usize)]]) ->
     // of open entries per pattern node
     let mut open: Vec<(usize, usize)> = Vec::new();
     let mut open_count = vec![0usize; n];
+    // total resident solution-list entries, for the high-water mark
+    let mut resident = 0usize;
     loop {
         let mut q = 0;
         for r in 1..n {
@@ -186,7 +210,7 @@ pub fn twig_join(pattern: &TwigPattern, streams: &[&[(StructuralId, usize)]]) ->
         // after it
         while let Some(&(oq, oi)) = open.last() {
             if lists[oq].entries[oi].sid.post < sid.post {
-                close_entry(pattern, &mut lists, oq, oi);
+                close_entry(pattern, &mut lists, oq, oi, meter);
                 open_count[oq] -= 1;
                 open.pop();
             } else {
@@ -214,19 +238,26 @@ pub fn twig_join(pattern: &TwigPattern, streams: &[&[(StructuralId, usize)]]) ->
             payload,
             satisfied: false,
         });
+        resident += 1;
+        meter.solutions(resident);
         open.push((q, lists[q].entries.len() - 1));
+        meter.stack_depth(open.len());
         open_count[q] += 1;
     }
     while let Some((oq, oi)) = open.pop() {
-        close_entry(pattern, &mut lists, oq, oi);
+        close_entry(pattern, &mut lists, oq, oi, meter);
     }
-    enumerate(pattern, &lists)
+    enumerate(pattern, &lists, meter)
 }
 
 /// Walk the satisfied entries top-down and emit every root-to-leaf
 /// combination. Satisfiability flags guarantee every recursive call
 /// produces at least one solution, so this is output-sensitive.
-fn enumerate(pattern: &TwigPattern, lists: &[NodeList]) -> Vec<Vec<usize>> {
+fn enumerate<M: Meter>(
+    pattern: &TwigPattern,
+    lists: &[NodeList],
+    meter: &mut M,
+) -> Vec<Vec<usize>> {
     let n = pattern.len();
     let mut child_pos = vec![0usize; n];
     for q in 0..n {
@@ -251,6 +282,7 @@ fn enumerate(pattern: &TwigPattern, lists: &[NodeList]) -> Vec<Vec<usize>> {
             &mut chosen,
             &mut assignment,
             &mut out,
+            meter,
         );
     }
     // cascade-compatible order: lexicographic by payload in node order
@@ -261,7 +293,8 @@ fn enumerate(pattern: &TwigPattern, lists: &[NodeList]) -> Vec<Vec<usize>> {
 /// Assign pattern node `j` (nodes are parent-before-child, so `j`'s
 /// parent is already chosen) and recurse; at `j == n` one full solution
 /// is complete.
-fn fill(
+#[allow(clippy::too_many_arguments)]
+fn fill<M: Meter>(
     pattern: &TwigPattern,
     lists: &[NodeList],
     child_pos: &[usize],
@@ -269,6 +302,7 @@ fn fill(
     chosen: &mut [usize],
     assignment: &mut [usize],
     out: &mut Vec<Vec<usize>>,
+    meter: &mut M,
 ) {
     if j == pattern.len() {
         out.push(assignment.to_vec());
@@ -279,12 +313,22 @@ fn fill(
     let psid = lists[p].entries[chosen[p]].sid;
     let kids = pattern.children(p).len();
     let (start, end) = lists[p].window(kids, chosen[p], child_pos[j]);
+    meter.comparisons((end - start) as u64);
     for fi in start..end {
         let f = lists[j].entries[fi];
         if f.satisfied && axis_match(psid, f.sid, node.axis) {
             chosen[j] = fi;
             assignment[j] = f.payload;
-            fill(pattern, lists, child_pos, j + 1, chosen, assignment, out);
+            fill(
+                pattern,
+                lists,
+                child_pos,
+                j + 1,
+                chosen,
+                assignment,
+                out,
+                meter,
+            );
         }
     }
 }
@@ -622,6 +666,24 @@ mod tests {
         let p = TwigPattern::chain(&[Axis::Descendant]);
         assert!(twig_join(&p, &[&items, &[]]).is_empty());
         assert!(twig_join(&p, &[&[], &items]).is_empty());
+    }
+
+    #[test]
+    fn metered_variant_counts_and_matches_unmetered() {
+        let doc = generate::xmark(3, 7);
+        let streams: Vec<Vec<(StructuralId, usize)>> = ["item", "parlist", "listitem"]
+            .iter()
+            .map(|l| ids(&doc, l))
+            .collect();
+        let refs: Vec<&[(StructuralId, usize)]> = streams.iter().map(|s| s.as_slice()).collect();
+        let pattern = TwigPattern::chain(&[Axis::Descendant, Axis::Descendant]);
+        let mut metrics = obs::ExecMetrics::default();
+        let metered = twig_join_metered(&pattern, &refs, &mut metrics);
+        assert_eq!(metered, twig_join(&pattern, &refs));
+        assert!(!metered.is_empty());
+        assert!(metrics.comparisons > 0, "{metrics:?}");
+        assert!(metrics.stack_high_water >= 2, "{metrics:?}");
+        assert!(metrics.solutions_high_water >= pattern.len() as u64);
     }
 
     #[test]

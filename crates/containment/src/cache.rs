@@ -158,7 +158,8 @@ struct ModelKey {
     s: u64,
 }
 
-/// A point-in-time snapshot of cache effectiveness counters.
+/// A point-in-time snapshot of cache effectiveness counters, with the
+/// occupancy of each of the three memo maps.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
@@ -166,6 +167,12 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently resident across all three maps.
     pub entries: usize,
+    /// Containment verdicts resident.
+    pub verdict_entries: usize,
+    /// Canonical models resident.
+    pub model_entries: usize,
+    /// Path-annotation vectors resident.
+    pub annotation_entries: usize,
 }
 
 impl CacheStats {
@@ -248,13 +255,17 @@ impl CanonicalCache {
     }
 
     pub fn stats(&self) -> CacheStats {
+        let verdict_entries = self.verdicts.read().len();
+        let model_entries = self.models.read().len();
+        let annotation_entries = self.annotations.read().len();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.verdicts.read().len()
-                + self.models.read().len()
-                + self.annotations.read().len(),
+            entries: verdict_entries + model_entries + annotation_entries,
+            verdict_entries,
+            model_entries,
+            annotation_entries,
         }
     }
 
@@ -405,6 +416,10 @@ mod tests {
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
         assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+        assert_eq!(s.verdict_entries, 1);
+        assert_eq!(s.model_entries, 0);
+        assert_eq!(s.annotation_entries, 0);
+        assert_eq!(s.entries, 1);
     }
 
     #[test]
@@ -435,7 +450,14 @@ mod tests {
         let m2 = cache.canonical_model(&p, &s, None);
         assert!(Arc::ptr_eq(&m1, &m2));
         assert_eq!(m1.1.size, m1.0.len());
-        assert_eq!(cache.stats().hits, 1);
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.model_entries, 1);
+        assert_eq!(s.verdict_entries, 0);
+        assert_eq!(
+            s.entries,
+            s.verdict_entries + s.model_entries + s.annotation_entries
+        );
     }
 
     #[test]
@@ -448,5 +470,6 @@ mod tests {
             let single = crate::canonical::path_annotation(&p, &s, n);
             assert_eq!(all[n.index()], single, "node {n:?}");
         }
+        assert_eq!(cache.stats().annotation_entries, 1);
     }
 }

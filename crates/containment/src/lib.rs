@@ -152,13 +152,34 @@ pub fn contain(p: &Xam, q: &Xam, s: &Summary, opts: &ContainOptions) -> Containm
             s_fp,
         );
         if let Some(hit) = cache.get_verdict(key.0, key.1, key.2, key.3, key.4) {
+            tracing::trace!(
+                target: "uload::containment",
+                "verdict cache hit: contained={} (model of {} trees)",
+                hit.contained,
+                hit.model_size
+            );
             return hit;
         }
         let outcome = decide(p, q, s, p_rets, q_rets, opts.threads);
+        tracing::debug!(
+            target: "uload::containment",
+            "decided p ⊆ q: contained={} after {}/{} canonical trees",
+            outcome.contained,
+            outcome.trees_checked,
+            outcome.model_size
+        );
         cache.put_verdict(key.0, key.1, key.2, key.3, key.4, outcome);
         outcome
     } else {
-        decide(p, q, s, p_rets, q_rets, opts.threads)
+        let outcome = decide(p, q, s, p_rets, q_rets, opts.threads);
+        tracing::trace!(
+            target: "uload::containment",
+            "decided p ⊆ q (uncached): contained={} after {}/{} canonical trees",
+            outcome.contained,
+            outcome.trees_checked,
+            outcome.model_size
+        );
+        outcome
     }
 }
 

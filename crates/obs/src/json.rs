@@ -1,0 +1,551 @@
+//! Hand-rolled JSON: value, writer, parser, and a JSON-Schema-subset
+//! validator. The workspace deliberately carries no serializer
+//! dependency, so the profile format is kept contract-checked with this
+//! small module instead.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered object (duplicate keys are not deduplicated).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a JSON document. Errors report a byte offset.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // advance over one UTF-8 scalar
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8")?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Validate `value` against a JSON-Schema subset: `type` (including
+/// `"integer"` and union arrays like `["object", "null"]`),
+/// `properties`, `required`, `items`, and `$ref` to `#/$defs/<name>` of
+/// the root schema (for recursive shapes). Unknown schema keywords are
+/// ignored; errors name the offending path.
+pub fn validate(value: &Json, schema: &Json) -> Result<(), String> {
+    validate_at(value, schema, schema, "$")
+}
+
+fn type_matches(value: &Json, ty: &str) -> Result<bool, String> {
+    Ok(match ty {
+        "null" => matches!(value, Json::Null),
+        "boolean" => matches!(value, Json::Bool(_)),
+        "number" => matches!(value, Json::Num(_)),
+        "integer" => matches!(value, Json::Num(n) if n.fract() == 0.0),
+        "string" => matches!(value, Json::Str(_)),
+        "array" => matches!(value, Json::Arr(_)),
+        "object" => matches!(value, Json::Obj(_)),
+        other => return Err(format!("unsupported schema type '{other}'")),
+    })
+}
+
+fn validate_at(value: &Json, schema: &Json, root: &Json, path: &str) -> Result<(), String> {
+    if let Some(fragment) = schema.get("$ref").and_then(Json::as_str) {
+        let name = fragment
+            .strip_prefix("#/$defs/")
+            .ok_or_else(|| format!("{path}: unsupported $ref '{fragment}'"))?;
+        let resolved = root
+            .get("$defs")
+            .and_then(|d| d.get(name))
+            .ok_or_else(|| format!("{path}: $ref to unknown definition '{name}'"))?;
+        return validate_at(value, resolved, root, path);
+    }
+    match schema.get("type") {
+        Some(Json::Str(ty)) if !type_matches(value, ty).map_err(|e| format!("{path}: {e}"))? => {
+            return Err(format!("{path}: expected type '{ty}'"));
+        }
+        Some(Json::Arr(alternatives)) => {
+            let mut ok = false;
+            for alt in alternatives {
+                let ty = alt
+                    .as_str()
+                    .ok_or_else(|| format!("{path}: non-string entry in type union"))?;
+                ok = ok || type_matches(value, ty).map_err(|e| format!("{path}: {e}"))?;
+            }
+            if !ok {
+                let names: Vec<&str> = alternatives.iter().filter_map(Json::as_str).collect();
+                return Err(format!("{path}: expected one of types {names:?}"));
+            }
+        }
+        _ => {}
+    }
+    // required / properties apply only to objects (a null alternative in
+    // a type union must not be forced to carry them)
+    if matches!(value, Json::Obj(_)) {
+        if let Some(Json::Arr(required)) = schema.get("required") {
+            for req in required {
+                if let Some(name) = req.as_str() {
+                    if value.get(name).is_none() {
+                        return Err(format!("{path}: missing required property '{name}'"));
+                    }
+                }
+            }
+        }
+        if let Some(Json::Obj(props)) = schema.get("properties") {
+            for (name, subschema) in props {
+                if let Some(subvalue) = value.get(name) {
+                    validate_at(subvalue, subschema, root, &format!("{path}.{name}"))?;
+                }
+            }
+        }
+    }
+    if let Some(items_schema) = schema.get("items") {
+        if let Json::Arr(items) = value {
+            for (i, item) in items.iter().enumerate() {
+                validate_at(item, items_schema, root, &format!("{path}[{i}]"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("scan \"x\"\n".to_string())),
+            ("rows", Json::Num(42.0)),
+            ("cost", Json::Num(1.5)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("kids", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+        ]);
+        for text in [v.to_string_compact(), v.to_string_pretty()] {
+            assert_eq!(parse(&text).unwrap(), v);
+        }
+        assert!(v.to_string_compact().contains("\\\"x\\\"\\n"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("[1] trailing").is_err());
+        assert!(parse("\"open").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_exponents() {
+        assert_eq!(
+            parse("\"a\\u0041\\n\"").unwrap(),
+            Json::Str("aA\n".to_string())
+        );
+        assert_eq!(parse("-1.5e2").unwrap(), Json::Num(-150.0));
+    }
+
+    #[test]
+    fn validator_checks_types_required_and_items() {
+        let schema = parse(
+            r#"{
+              "type": "object",
+              "required": ["op", "rows"],
+              "properties": {
+                "op": {"type": "string"},
+                "rows": {"type": "integer"},
+                "children": {"type": "array", "items": {"type": "object", "required": ["op"]}}
+              }
+            }"#,
+        )
+        .unwrap();
+        let good = parse(r#"{"op":"scan","rows":3,"children":[{"op":"sel"}]}"#).unwrap();
+        assert!(validate(&good, &schema).is_ok());
+
+        let missing = parse(r#"{"op":"scan"}"#).unwrap();
+        assert!(validate(&missing, &schema)
+            .unwrap_err()
+            .contains("required property 'rows'"));
+
+        let not_int = parse(r#"{"op":"scan","rows":3.5}"#).unwrap();
+        assert!(validate(&not_int, &schema)
+            .unwrap_err()
+            .contains("expected type 'integer'"));
+
+        let bad_item = parse(r#"{"op":"scan","rows":1,"children":[{"x":1}]}"#).unwrap();
+        let err = validate(&bad_item, &schema).unwrap_err();
+        assert!(err.contains("$.children[0]"), "{err}");
+    }
+
+    #[test]
+    fn validator_handles_unions_and_refs() {
+        let schema = parse(
+            r##"{
+              "type": "object",
+              "required": ["cache", "plan"],
+              "properties": {
+                "cache": {"type": ["object", "null"], "required": ["hits"],
+                          "properties": {"hits": {"type": "integer"}}},
+                "plan": {"$ref": "#/$defs/node"}
+              },
+              "$defs": {
+                "node": {
+                  "type": "object",
+                  "required": ["op", "children"],
+                  "properties": {
+                    "op": {"type": "string"},
+                    "children": {"type": "array", "items": {"$ref": "#/$defs/node"}}
+                  }
+                }
+              }
+            }"##,
+        )
+        .unwrap();
+        let good = parse(
+            r##"{"cache": null,
+                "plan": {"op":"join","children":[{"op":"scan","children":[]}]}}"##,
+        )
+        .unwrap();
+        assert!(validate(&good, &schema).is_ok());
+        let with_cache = parse(
+            r##"{"cache": {"hits": 3},
+                "plan": {"op":"scan","children":[]}}"##,
+        )
+        .unwrap();
+        assert!(validate(&with_cache, &schema).is_ok());
+
+        // null object with required fields: the null alternative wins
+        let bad_cache =
+            parse(r##"{"cache": {"hits":"x"}, "plan": {"op":"s","children":[]}}"##).unwrap();
+        assert!(validate(&bad_cache, &schema)
+            .unwrap_err()
+            .contains("$.cache.hits"));
+        // recursion reaches nested children through the $ref
+        let deep_bad = parse(
+            r##"{"cache": null,
+                "plan": {"op":"join","children":[{"op":1,"children":[]}]}}"##,
+        )
+        .unwrap();
+        assert!(validate(&deep_bad, &schema)
+            .unwrap_err()
+            .contains("$.plan.children[0].op"));
+        // unknown $ref target is an error, not a silent pass
+        let dangling = parse(r##"{"$ref": "#/$defs/nope"}"##).unwrap();
+        assert!(validate(&Json::Null, &dangling)
+            .unwrap_err()
+            .contains("unknown definition"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # obs — the engine-wide observability layer
+//!
+//! Everything the rest of the workspace uses to *watch itself run*:
+//!
+//! * [`metrics`] — per-operator execution counters ([`ExecMetrics`]) and
+//!   the zero-cost [`Meter`] hook the physical join kernels are generic
+//!   over, plus [`CacheCounters`] (a dependency-free mirror of the
+//!   containment cache's statistics);
+//! * [`profile`] — the `EXPLAIN ANALYZE` surface: [`OpProfile`] (the
+//!   actual-side operator tree the evaluator measures) and
+//!   [`QueryProfile`] / [`PlanNodeProfile`] (estimated cost paired with
+//!   measured cardinality and time), renderable as pretty text and JSON;
+//! * [`json`] — a hand-rolled JSON value, writer, parser and a small
+//!   JSON-Schema-subset validator (the workspace carries no serializer
+//!   dependency), used to keep the profile format contract-checked;
+//! * [`subscriber`] — a `tracing` subscriber with an env-filter,
+//!   installed from the `ULOAD_LOG` variable by [`init_from_env`].
+//!
+//! ## Span taxonomy
+//!
+//! The engine emits spans/events under these targets (filter with
+//! `ULOAD_LOG`, e.g. `ULOAD_LOG=uload=debug` or
+//! `ULOAD_LOG=uload::eval=trace,warn`):
+//!
+//! | target               | what it covers                                  |
+//! |----------------------|-------------------------------------------------|
+//! | `uload::query`       | whole-query lifecycle (parse → … → eval)        |
+//! | `uload::rewrite`     | per-pattern rewriting (generate-and-test)       |
+//! | `uload::containment` | containment verdicts / canonical models         |
+//! | `uload::eval`        | physical evaluation, twig fallbacks             |
+//! | `uload::cost`        | cost-model decisions and mispredictions         |
+//! | `uload::storage`     | ID-stream index builds, QEP construction        |
+
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod subscriber;
+
+pub use json::Json;
+pub use metrics::{CacheCounters, ExecMetrics, Meter, NoMeter};
+pub use profile::{ArmTelemetry, OpProfile, PlanNodeProfile, QueryProfile};
+pub use subscriber::{init_from_env, EnvFilter, FmtSubscriber};

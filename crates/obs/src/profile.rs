@@ -1,0 +1,457 @@
+//! The `EXPLAIN ANALYZE` surface.
+//!
+//! [`OpProfile`] is the *actual* side: the evaluator measures one node
+//! per physical operator (output cardinality, wall time, kernel
+//! counters). The rewriting layer pairs that tree with the cost model's
+//! *estimates* into a [`PlanNodeProfile`] tree, wraps it with phase
+//! timings, cache counters and arm telemetry into a [`QueryProfile`],
+//! and renders the result as pretty text or JSON.
+
+use crate::json::Json;
+use crate::metrics::{CacheCounters, ExecMetrics};
+use std::fmt::Write as _;
+
+/// Measured execution of one physical operator (and its inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpProfile {
+    /// Operator label, e.g. `StructJoin(child)` or `Scan(v_items)`.
+    pub op: String,
+    /// Output cardinality.
+    pub out_rows: u64,
+    /// Wall time of this operator *including* its children.
+    pub time_ns: u64,
+    /// Kernel counters recorded while this operator ran.
+    pub metrics: ExecMetrics,
+    pub children: Vec<OpProfile>,
+}
+
+impl OpProfile {
+    /// Nodes in this subtree (including self).
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(OpProfile::node_count)
+            .sum::<usize>()
+    }
+
+    /// Time attributable to this operator alone (saturating: children
+    /// are timed separately, so clock skew cannot go negative).
+    pub fn self_time_ns(&self) -> u64 {
+        let child_time: u64 = self.children.iter().map(|c| c.time_ns).sum();
+        self.time_ns.saturating_sub(child_time)
+    }
+}
+
+/// One plan node with the cost model's estimate paired against measured
+/// execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNodeProfile {
+    pub op: String,
+    /// Estimated cost (abstract cost units from `rewriting::cost`).
+    pub est_cost: f64,
+    /// Estimated output cardinality.
+    pub est_rows: f64,
+    /// Measured output cardinality.
+    pub actual_rows: u64,
+    /// Measured wall time including children.
+    pub time_ns: u64,
+    /// Kernel counters recorded while this node ran.
+    pub metrics: ExecMetrics,
+    /// True when the cardinality estimate was off by ≥4× in either
+    /// direction (on at least one row).
+    pub mispredicted: bool,
+    pub children: Vec<PlanNodeProfile>,
+}
+
+impl PlanNodeProfile {
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(PlanNodeProfile::node_count)
+            .sum::<usize>()
+    }
+
+    /// Does any node in this subtree carry the misprediction flag?
+    pub fn any_mispredicted(&self) -> bool {
+        self.mispredicted || self.children.iter().any(PlanNodeProfile::any_mispredicted)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("op", Json::Str(self.op.clone())),
+            ("est_cost", Json::Num(self.est_cost)),
+            ("est_rows", Json::Num(self.est_rows)),
+            ("actual_rows", Json::Num(self.actual_rows as f64)),
+            ("time_ns", Json::Num(self.time_ns as f64)),
+            ("comparisons", Json::Num(self.metrics.comparisons as f64)),
+            (
+                "stack_high_water",
+                Json::Num(self.metrics.stack_high_water as f64),
+            ),
+            (
+                "solutions_high_water",
+                Json::Num(self.metrics.solutions_high_water as f64),
+            ),
+            (
+                "twig_fallbacks",
+                Json::Num(self.metrics.twig_fallbacks as f64),
+            ),
+            ("mispredicted", Json::Bool(self.mispredicted)),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(PlanNodeProfile::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Which cost-model arm ran, and how the alternative actually compared.
+/// Recorded only in profiled mode, where both arms execute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmTelemetry {
+    /// `"twig"` or `"cascade"`.
+    pub chosen: String,
+    /// Estimated cost of the chosen arm (abstract units).
+    pub est_chosen: f64,
+    /// Estimated cost of the alternative arm.
+    pub est_alternative: f64,
+    /// Measured wall time of the chosen arm.
+    pub actual_chosen_ns: u64,
+    /// Measured wall time of the alternative arm.
+    pub actual_alternative_ns: u64,
+    /// True when the chosen arm ran ≥2× slower than the alternative.
+    pub mispredicted: bool,
+}
+
+impl ArmTelemetry {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("chosen", Json::Str(self.chosen.clone())),
+            ("est_chosen", Json::Num(self.est_chosen)),
+            ("est_alternative", Json::Num(self.est_alternative)),
+            ("actual_chosen_ns", Json::Num(self.actual_chosen_ns as f64)),
+            (
+                "actual_alternative_ns",
+                Json::Num(self.actual_alternative_ns as f64),
+            ),
+            ("mispredicted", Json::Bool(self.mispredicted)),
+        ])
+    }
+}
+
+/// The complete `EXPLAIN ANALYZE` record for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryProfile {
+    /// The query text.
+    pub query: String,
+    /// `(phase name, elapsed ns)` in lifecycle order: parse, extract,
+    /// containment/rewrite, plan, eval.
+    pub phases: Vec<(String, u64)>,
+    /// The estimated-vs-actual operator tree of the executed plan.
+    pub plan: PlanNodeProfile,
+    /// Shared-cache counters, when the engine runs with a cache.
+    pub cache: Option<CacheCounters>,
+    /// Twig-vs-cascade arm telemetry, when the plan had both arms.
+    pub arm: Option<ArmTelemetry>,
+    /// End-to-end wall time.
+    pub total_ns: u64,
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl QueryProfile {
+    /// Pretty multi-line `EXPLAIN ANALYZE` rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "EXPLAIN ANALYZE  {}", self.query);
+        let _ = writeln!(out, "total: {}", fmt_ns(self.total_ns));
+        if !self.phases.is_empty() {
+            let phases: Vec<String> = self
+                .phases
+                .iter()
+                .map(|(name, ns)| format!("{name}={}", fmt_ns(*ns)))
+                .collect();
+            let _ = writeln!(out, "phases: {}", phases.join("  "));
+        }
+        if let Some(cache) = &self.cache {
+            let _ = writeln!(
+                out,
+                "cache: hits={} misses={} evictions={} entries={} (verdicts={} models={} annotations={})",
+                cache.hits,
+                cache.misses,
+                cache.evictions,
+                cache.entries(),
+                cache.verdict_entries,
+                cache.model_entries,
+                cache.annotation_entries
+            );
+        }
+        if let Some(arm) = &self.arm {
+            let alternative = if arm.chosen == "twig" {
+                "cascade"
+            } else {
+                "twig"
+            };
+            let _ = writeln!(
+                out,
+                "arm: chose {} (est {:.1} vs {:.1}); actual {} vs {} ({}){}",
+                arm.chosen,
+                arm.est_chosen,
+                arm.est_alternative,
+                fmt_ns(arm.actual_chosen_ns),
+                fmt_ns(arm.actual_alternative_ns),
+                alternative,
+                if arm.mispredicted {
+                    "  ** MISPREDICTED **"
+                } else {
+                    ""
+                }
+            );
+        }
+        render_node(&mut out, &self.plan, "", true, true);
+        out
+    }
+
+    /// The JSON form (validated by `schemas/query_profile.schema.json`).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("query", Json::Str(self.query.clone())),
+            ("total_ns", Json::Num(self.total_ns as f64)),
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|(name, ns)| {
+                            Json::obj(vec![
+                                ("name", Json::Str(name.clone())),
+                                ("time_ns", Json::Num(*ns as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("plan", self.plan.to_json()),
+        ];
+        fields.push((
+            "cache",
+            match &self.cache {
+                Some(c) => Json::obj(vec![
+                    ("hits", Json::Num(c.hits as f64)),
+                    ("misses", Json::Num(c.misses as f64)),
+                    ("evictions", Json::Num(c.evictions as f64)),
+                    ("verdict_entries", Json::Num(c.verdict_entries as f64)),
+                    ("model_entries", Json::Num(c.model_entries as f64)),
+                    ("annotation_entries", Json::Num(c.annotation_entries as f64)),
+                ]),
+                None => Json::Null,
+            },
+        ));
+        fields.push((
+            "arm",
+            match &self.arm {
+                Some(a) => a.to_json(),
+                None => Json::Null,
+            },
+        ));
+        Json::obj(fields)
+    }
+}
+
+fn render_node(
+    out: &mut String,
+    node: &PlanNodeProfile,
+    prefix: &str,
+    is_last: bool,
+    is_root: bool,
+) {
+    let (branch, child_prefix) = if is_root {
+        (String::new(), String::new())
+    } else if is_last {
+        (format!("{prefix}└─ "), format!("{prefix}   "))
+    } else {
+        (format!("{prefix}├─ "), format!("{prefix}│  "))
+    };
+    let mut extras = String::new();
+    if node.metrics.comparisons > 0 {
+        let _ = write!(extras, " cmp={}", node.metrics.comparisons);
+    }
+    if node.metrics.stack_high_water > 0 {
+        let _ = write!(extras, " stack^={}", node.metrics.stack_high_water);
+    }
+    if node.metrics.solutions_high_water > 0 {
+        let _ = write!(extras, " sol^={}", node.metrics.solutions_high_water);
+    }
+    if node.metrics.twig_fallbacks > 0 {
+        let _ = write!(extras, " fallbacks={}", node.metrics.twig_fallbacks);
+    }
+    let _ = writeln!(
+        out,
+        "{branch}{}  (est cost={:.1} rows={:.1})  (actual rows={} time={}{extras}){}",
+        node.op,
+        node.est_cost,
+        node.est_rows,
+        node.actual_rows,
+        fmt_ns(node.time_ns),
+        if node.mispredicted {
+            "  [est off ≥4×]"
+        } else {
+            ""
+        }
+    );
+    let n = node.children.len();
+    for (i, child) in node.children.iter().enumerate() {
+        render_node(out, child, &child_prefix, i + 1 == n, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> QueryProfile {
+        QueryProfile {
+            query: "//item/name".to_string(),
+            phases: vec![
+                ("parse".to_string(), 1_000),
+                ("eval".to_string(), 2_000_000),
+            ],
+            plan: PlanNodeProfile {
+                op: "StructJoin(child)".to_string(),
+                est_cost: 120.0,
+                est_rows: 10.0,
+                actual_rows: 50,
+                time_ns: 1_500_000,
+                metrics: ExecMetrics {
+                    comparisons: 200,
+                    stack_high_water: 4,
+                    solutions_high_water: 0,
+                    twig_fallbacks: 0,
+                },
+                mispredicted: true,
+                children: vec![
+                    PlanNodeProfile {
+                        op: "Scan(v_items)".to_string(),
+                        est_cost: 10.0,
+                        est_rows: 10.0,
+                        actual_rows: 10,
+                        time_ns: 100_000,
+                        metrics: ExecMetrics::default(),
+                        mispredicted: false,
+                        children: vec![],
+                    },
+                    PlanNodeProfile {
+                        op: "Scan(v_names)".to_string(),
+                        est_cost: 12.0,
+                        est_rows: 12.0,
+                        actual_rows: 12,
+                        time_ns: 90_000,
+                        metrics: ExecMetrics::default(),
+                        mispredicted: false,
+                        children: vec![],
+                    },
+                ],
+            },
+            cache: Some(CacheCounters {
+                hits: 2,
+                misses: 3,
+                evictions: 0,
+                verdict_entries: 3,
+                model_entries: 1,
+                annotation_entries: 0,
+            }),
+            arm: Some(ArmTelemetry {
+                chosen: "twig".to_string(),
+                est_chosen: 100.0,
+                est_alternative: 140.0,
+                actual_chosen_ns: 1_500_000,
+                actual_alternative_ns: 2_100_000,
+                mispredicted: false,
+            }),
+            total_ns: 2_001_000,
+        }
+    }
+
+    #[test]
+    fn op_profile_counts_and_self_time() {
+        let p = OpProfile {
+            op: "join".to_string(),
+            out_rows: 5,
+            time_ns: 100,
+            metrics: ExecMetrics::default(),
+            children: vec![
+                OpProfile {
+                    op: "a".to_string(),
+                    out_rows: 2,
+                    time_ns: 30,
+                    metrics: ExecMetrics::default(),
+                    children: vec![],
+                },
+                OpProfile {
+                    op: "b".to_string(),
+                    out_rows: 3,
+                    time_ns: 90,
+                    metrics: ExecMetrics::default(),
+                    children: vec![],
+                },
+            ],
+        };
+        assert_eq!(p.node_count(), 3);
+        // children sum (120) exceeds parent's clock: saturates to zero
+        assert_eq!(p.self_time_ns(), 0);
+    }
+
+    #[test]
+    fn render_shows_tree_est_actual_and_flags() {
+        let text = sample().render();
+        assert!(text.contains("EXPLAIN ANALYZE"));
+        assert!(text.contains("StructJoin(child)"));
+        assert!(text.contains("est cost=120.0"));
+        assert!(text.contains("actual rows=50"));
+        assert!(text.contains("[est off ≥4×]"));
+        assert!(text.contains("├─ Scan(v_items)"));
+        assert!(text.contains("└─ Scan(v_names)"));
+        assert!(text.contains("cmp=200"));
+        assert!(text.contains("cache: hits=2"));
+        assert!(text.contains("arm: chose twig"));
+        assert!(text.contains("phases: parse=1.0µs"));
+    }
+
+    #[test]
+    fn json_roundtrips_through_parser() {
+        let profile = sample();
+        let value = profile.to_json();
+        let reparsed = json::parse(&value.to_string_pretty()).unwrap();
+        assert_eq!(reparsed, value);
+        assert_eq!(
+            reparsed
+                .get("plan")
+                .and_then(|p| p.get("op"))
+                .and_then(Json::as_str),
+            Some("StructJoin(child)")
+        );
+        assert_eq!(
+            reparsed
+                .get("plan")
+                .and_then(|p| p.get("children"))
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+        assert!(sample().plan.any_mispredicted());
+        assert_eq!(sample().plan.node_count(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Env-filtered stderr subscriber and `ULOAD_LOG` initialisation.
+//!
+//! Directive grammar (a subset of `tracing_subscriber::EnvFilter`):
+//! comma-separated `target=level` pairs, a bare `level` sets the
+//! default, and the most specific (longest) matching target prefix
+//! wins. Examples:
+//!
+//! ```text
+//! ULOAD_LOG=uload=debug
+//! ULOAD_LOG=uload::eval=trace,uload::cost=debug,warn
+//! ```
+
+use std::fmt;
+use std::time::Duration;
+use tracing::{Level, Subscriber};
+
+/// Parsed `ULOAD_LOG`-style filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFilter {
+    /// `(target prefix, max verbosity)` directives.
+    directives: Vec<(String, Level)>,
+    /// Level used when no directive's target matches.
+    default: Option<Level>,
+}
+
+impl EnvFilter {
+    /// Parse a directive string. Unparsable fragments are skipped.
+    pub fn parse(spec: &str) -> EnvFilter {
+        let mut directives = Vec::new();
+        let mut default = None;
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some((target, level)) = part.split_once('=') {
+                if let Some(level) = Level::from_str_loose(level.trim()) {
+                    directives.push((target.trim().to_string(), level));
+                }
+            } else if let Some(level) = Level::from_str_loose(part) {
+                default = Some(level);
+            }
+        }
+        EnvFilter {
+            directives,
+            default,
+        }
+    }
+
+    /// Is `(level, target)` enabled under this filter?
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        let mut best: Option<(usize, Level)> = None;
+        for (prefix, max) in &self.directives {
+            if target == prefix || target.starts_with(&format!("{prefix}::")) {
+                let specificity = prefix.len();
+                if best.is_none_or(|(len, _)| specificity > len) {
+                    best = Some((specificity, *max));
+                }
+            }
+        }
+        match best {
+            Some((_, max)) => level >= max,
+            None => self.default.is_some_and(|max| level >= max),
+        }
+    }
+}
+
+/// A subscriber that prints filtered events (and span exits, with their
+/// elapsed time) to stderr.
+pub struct FmtSubscriber {
+    filter: EnvFilter,
+}
+
+impl FmtSubscriber {
+    pub fn new(filter: EnvFilter) -> FmtSubscriber {
+        FmtSubscriber { filter }
+    }
+}
+
+impl Subscriber for FmtSubscriber {
+    fn enabled(&self, level: Level, target: &str) -> bool {
+        self.filter.enabled(level, target)
+    }
+
+    fn event(&self, level: Level, target: &str, message: fmt::Arguments<'_>) {
+        eprintln!("{level:>5} {target}: {message}");
+    }
+
+    fn span_exit(&self, level: Level, target: &str, name: &str, elapsed: Duration) {
+        if self.filter.enabled(level, target) {
+            eprintln!("{level:>5} {target}: {name} done in {elapsed:.2?}");
+        }
+    }
+}
+
+/// Install a [`FmtSubscriber`] from the `ULOAD_LOG` environment
+/// variable. Returns `true` if a subscriber was installed by this call;
+/// `false` when the variable is unset/empty or a global subscriber is
+/// already in place (both no-ops, safe to call repeatedly).
+pub fn init_from_env() -> bool {
+    let Ok(spec) = std::env::var("ULOAD_LOG") else {
+        return false;
+    };
+    if spec.trim().is_empty() || tracing::dispatch::has_global_default() {
+        return false;
+    }
+    let sub = FmtSubscriber::new(EnvFilter::parse(&spec));
+    tracing::dispatch::set_global_default(Box::new(sub)).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_longest_prefix_wins() {
+        let f = EnvFilter::parse("uload=info,uload::eval=trace,warn");
+        // specific directive: trace allowed under uload::eval
+        assert!(f.enabled(Level::TRACE, "uload::eval"));
+        assert!(f.enabled(Level::TRACE, "uload::eval::twig"));
+        // broader directive caps other uload targets at info
+        assert!(!f.enabled(Level::DEBUG, "uload::cost"));
+        assert!(f.enabled(Level::INFO, "uload::cost"));
+        // unmatched targets use the bare default (warn)
+        assert!(!f.enabled(Level::INFO, "other"));
+        assert!(f.enabled(Level::ERROR, "other"));
+    }
+
+    #[test]
+    fn filter_prefix_is_module_boundary_aware() {
+        let f = EnvFilter::parse("uload::eval=debug");
+        // "uload::evaluator" is not inside the "uload::eval" module tree
+        assert!(!f.enabled(Level::ERROR, "uload::evaluator"));
+        assert!(f.enabled(Level::DEBUG, "uload::eval"));
+    }
+
+    #[test]
+    fn filter_without_default_disables_unmatched() {
+        let f = EnvFilter::parse("uload=debug");
+        assert!(!f.enabled(Level::ERROR, "elsewhere"));
+        assert!(f.enabled(Level::DEBUG, "uload::query"));
+        assert!(!f.enabled(Level::TRACE, "uload::query"));
+    }
+
+    #[test]
+    fn filter_skips_malformed_fragments() {
+        let f = EnvFilter::parse("bogus=notalevel,, =,uload=debug");
+        assert!(f.enabled(Level::DEBUG, "uload"));
+        assert!(!f.enabled(Level::ERROR, "bogus"));
+    }
+}

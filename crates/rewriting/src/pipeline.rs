@@ -14,9 +14,12 @@
 //! which change only wall-clock time, never results.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use algebra::{Evaluator, LogicalPlan};
+use algebra::{Evaluator, LogicalPlan, Relation};
 use containment::{CacheStats, CanonicalCache};
+use obs::{ArmTelemetry, CacheCounters, OpProfile, PlanNodeProfile, QueryProfile};
+use parking_lot::Mutex;
 use summary::Summary;
 use uload_error::{Error, Result};
 use xam_core::Xam;
@@ -48,6 +51,12 @@ pub struct EngineConfig {
     /// before execution and evaluate them with the TwigStack algorithm.
     /// Off, every twig falls back to the binary StackTree cascade.
     pub use_twigstack: bool,
+    /// Collect an `EXPLAIN ANALYZE` [`QueryProfile`] on every
+    /// [`Uload::answer`] call (retrievable via [`Uload::last_profile`]).
+    /// Profiled runs re-execute operators against materialized inputs and
+    /// run *both* twig arms, so they cost extra wall time; off (the
+    /// default), answering takes the unmetered fast path.
+    pub profiling: bool,
     /// The rewriting search bounds (§5.3's generate-and-test knobs).
     pub rewrite: RewriteConfig,
 }
@@ -58,6 +67,7 @@ impl Default for EngineConfig {
             threads: 1,
             cache_capacity: 4096,
             use_twigstack: true,
+            profiling: false,
             rewrite: RewriteConfig::default(),
         }
     }
@@ -121,6 +131,12 @@ impl<'d> UloadBuilder<'d> {
         self
     }
 
+    /// Toggle `EXPLAIN ANALYZE` profiling of every answered query.
+    pub fn profiling(mut self, on: bool) -> Self {
+        self.config.profiling = on;
+        self
+    }
+
     /// The rewriting search bounds.
     pub fn rewrite_config(mut self, rewrite: RewriteConfig) -> Self {
         self.config.rewrite = rewrite;
@@ -144,6 +160,7 @@ pub struct Uload {
     store: storage::MaterializedStore,
     config: EngineConfig,
     cache: Option<Arc<CanonicalCache>>,
+    last_profile: Mutex<Option<QueryProfile>>,
 }
 
 impl Uload {
@@ -169,6 +186,7 @@ impl Uload {
             store: storage::MaterializedStore::new(),
             config,
             cache,
+            last_profile: Mutex::new(None),
         }
     }
 
@@ -253,11 +271,23 @@ impl Uload {
         rws
     }
 
-    /// Answer a query from the views: returns one serialized XML string
-    /// per result, plus the per-pattern rewritings used.
-    pub fn answer(&self, query: &str, doc: &Document) -> Result<(Vec<String>, Vec<Rewriting>)> {
+    /// Parse, extract, rewrite and combine: everything up to (but not
+    /// including) plan fusing and evaluation, with per-phase wall times.
+    fn prepare(&self, query: &str) -> Result<Prepared> {
+        let t = Instant::now();
         let q = xquery::parse_query(query).map_err(|e| Error::Parse(e.to_string()))?;
+        let parse_ns = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
         let ex = xquery::extract_patterns(&q).map_err(|e| Error::Translate(e.to_string()))?;
+        let extract_ns = t.elapsed().as_nanos() as u64;
+        tracing::debug!(
+            target: "uload::query",
+            "extracted {} pattern(s) from query",
+            ex.patterns.len()
+        );
+
+        let t = Instant::now();
         let mut plans: Vec<LogicalPlan> = Vec::new();
         let mut used: Vec<Rewriting> = Vec::new();
         for (i, pat) in ex.patterns.iter().enumerate() {
@@ -267,6 +297,12 @@ impl Uload {
             let rws = self.rewrite_pattern(pat);
             match rws.into_iter().next() {
                 Some(rw) => {
+                    tracing::debug!(
+                        target: "uload::rewrite",
+                        "pattern {i} rewritten over views {:?} ({} operators)",
+                        rw.views_used,
+                        rw.size
+                    );
                     plans.push(rw.plan.clone());
                     used.push(rw);
                 }
@@ -278,7 +314,43 @@ impl Uload {
                 }
             }
         }
-        let mut plan = xquery::translate::combine_plans(&ex, plans);
+        let rewrite_ns = t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let base_plan = xquery::translate::combine_plans(&ex, plans);
+        let plan_ns = t.elapsed().as_nanos() as u64;
+        Ok(Prepared {
+            base_plan,
+            used,
+            parse_ns,
+            extract_ns,
+            rewrite_ns,
+            plan_ns,
+        })
+    }
+
+    fn serialize(rel: &Relation) -> Vec<String> {
+        rel.tuples
+            .iter()
+            .map(|t| t.get(0).as_str().unwrap_or("").to_string())
+            .collect()
+    }
+
+    /// Answer a query from the views: returns one serialized XML string
+    /// per result, plus the per-pattern rewritings used.
+    ///
+    /// With [`EngineConfig::profiling`] on, this runs the profiled path
+    /// and stashes the resulting [`QueryProfile`] for
+    /// [`Uload::last_profile`].
+    pub fn answer(&self, query: &str, doc: &Document) -> Result<(Vec<String>, Vec<Rewriting>)> {
+        if self.config.profiling {
+            let (out, used, _) = self.answer_profiled(query, doc)?;
+            return Ok((out, used));
+        }
+        let span = tracing::debug_span!(target: "uload::query", "answer");
+        let _g = span.enter();
+        let p = self.prepare(query)?;
+        let mut plan = p.base_plan;
         let mut ev = Evaluator::with_document(self.store.catalog(), doc);
         if self.config.use_twigstack {
             plan = algebra::fuse_struct_joins(&plan);
@@ -286,12 +358,172 @@ impl Uload {
             ev.config.use_twigstack = false;
         }
         let rel = ev.eval(&plan).map_err(|e| Error::Eval(e.to_string()))?;
-        let out = rel
-            .tuples
-            .iter()
-            .map(|t| t.get(0).as_str().unwrap_or("").to_string())
-            .collect();
-        Ok((out, used))
+        Ok((Self::serialize(&rel), p.used))
+    }
+
+    /// `EXPLAIN ANALYZE`: answer the query while measuring every phase
+    /// and operator, pairing the cost model's estimates with actuals.
+    ///
+    /// When the plan has a holistic twig arm, **both** arms are executed
+    /// (chosen and alternative) so the profile can report how the cost
+    /// model's choice actually fared. Profiled operator times include
+    /// re-scanning materialized child outputs — indicative, not exact.
+    pub fn answer_profiled(
+        &self,
+        query: &str,
+        doc: &Document,
+    ) -> Result<(Vec<String>, Vec<Rewriting>, QueryProfile)> {
+        let total = Instant::now();
+        let span = tracing::debug_span!(target: "uload::query", "answer_profiled");
+        let _g = span.enter();
+        let p = self.prepare(query)?;
+        let catalog = self.store.catalog();
+
+        let t = Instant::now();
+        let fused = algebra::fuse_struct_joins(&p.base_plan);
+        let has_twig_arm = fused != p.base_plan;
+        let fuse_ns = t.elapsed().as_nanos() as u64;
+
+        // the arm the engine would run unprofiled, and the road not taken
+        let (chosen_plan, chosen_is_twig) = if self.config.use_twigstack {
+            (fused.clone(), true)
+        } else {
+            (p.base_plan.clone(), false)
+        };
+        let evaluator = |twig_on: bool| {
+            let mut ev = Evaluator::with_document(catalog, doc);
+            ev.config.use_twigstack = twig_on;
+            ev
+        };
+
+        let t = Instant::now();
+        let (rel, op_profile) = evaluator(chosen_is_twig)
+            .eval_profiled(&chosen_plan)
+            .map_err(|e| Error::Eval(e.to_string()))?;
+        let eval_ns = t.elapsed().as_nanos() as u64;
+
+        // arm telemetry: time both arms with the *plain* evaluator so the
+        // comparison is free of profiling overhead
+        let arm = if has_twig_arm {
+            let (alt_plan, alt_is_twig) = if chosen_is_twig {
+                (&p.base_plan, false)
+            } else {
+                (&fused, true)
+            };
+            let t = Instant::now();
+            evaluator(chosen_is_twig)
+                .eval(&chosen_plan)
+                .map_err(|e| Error::Eval(e.to_string()))?;
+            let chosen_ns = t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            evaluator(alt_is_twig)
+                .eval(alt_plan)
+                .map_err(|e| Error::Eval(e.to_string()))?;
+            let alt_ns = t.elapsed().as_nanos() as u64;
+            let mispredicted = alt_ns > 0 && chosen_ns >= 2 * alt_ns;
+            let (chosen_name, alt_name) = if chosen_is_twig {
+                ("twig", "cascade")
+            } else {
+                ("cascade", "twig")
+            };
+            if mispredicted {
+                tracing::warn!(
+                    target: "uload::cost",
+                    "cost model chose the {chosen_name} arm but it ran {:.1}× slower \
+                     than the {alt_name} arm ({chosen_ns}ns vs {alt_ns}ns)",
+                    chosen_ns as f64 / alt_ns as f64
+                );
+            }
+            Some(ArmTelemetry {
+                chosen: chosen_name.to_string(),
+                est_chosen: crate::cost::plan_cost(&chosen_plan, catalog),
+                est_alternative: crate::cost::plan_cost(alt_plan, catalog),
+                actual_chosen_ns: chosen_ns,
+                actual_alternative_ns: alt_ns,
+                mispredicted,
+            })
+        } else {
+            None
+        };
+
+        let plan_profile = pair_estimates(&chosen_plan, &op_profile, catalog);
+        let profile = QueryProfile {
+            query: query.to_string(),
+            phases: vec![
+                ("parse".to_string(), p.parse_ns),
+                ("extract".to_string(), p.extract_ns),
+                ("rewrite".to_string(), p.rewrite_ns),
+                ("plan".to_string(), p.plan_ns + fuse_ns),
+                ("eval".to_string(), eval_ns),
+            ],
+            plan: plan_profile,
+            cache: self.cache_stats().map(|s| CacheCounters {
+                hits: s.hits,
+                misses: s.misses,
+                evictions: s.evictions,
+                verdict_entries: s.verdict_entries,
+                model_entries: s.model_entries,
+                annotation_entries: s.annotation_entries,
+            }),
+            arm,
+            total_ns: total.elapsed().as_nanos() as u64,
+        };
+        *self.last_profile.lock() = Some(profile.clone());
+        Ok((Self::serialize(&rel), p.used, profile))
+    }
+
+    /// The profile of the most recent profiled answer on this engine
+    /// (`None` until one has run).
+    pub fn last_profile(&self) -> Option<QueryProfile> {
+        self.last_profile.lock().clone()
+    }
+}
+
+/// Output of [`Uload::prepare`]: the combined (unfused) plan plus the
+/// rewritings and phase wall times that produced it.
+struct Prepared {
+    base_plan: LogicalPlan,
+    used: Vec<Rewriting>,
+    parse_ns: u64,
+    extract_ns: u64,
+    rewrite_ns: u64,
+    plan_ns: u64,
+}
+
+/// Walk the plan and its measured [`OpProfile`] in lockstep (they share
+/// one shape by construction) and attach the cost model's estimates.
+fn pair_estimates(
+    plan: &LogicalPlan,
+    prof: &OpProfile,
+    catalog: &algebra::Catalog,
+) -> PlanNodeProfile {
+    let (est_cost, est_rows) = crate::cost::estimate(plan, catalog);
+    let children = plan
+        .child_plans()
+        .into_iter()
+        .zip(prof.children.iter())
+        .map(|(cp, cprof)| pair_estimates(cp, cprof, catalog))
+        .collect();
+    let actual = prof.out_rows as f64;
+    let ratio = (actual.max(1.0) / est_rows.max(1.0)).max(est_rows.max(1.0) / actual.max(1.0));
+    let mispredicted = ratio >= 4.0 && (prof.out_rows > 0 || est_rows >= 1.0);
+    if mispredicted {
+        tracing::debug!(
+            target: "uload::cost",
+            "cardinality estimate off {ratio:.1}× at {}: est {est_rows:.0} vs actual {}",
+            prof.op,
+            prof.out_rows
+        );
+    }
+    PlanNodeProfile {
+        op: prof.op.clone(),
+        est_cost,
+        est_rows,
+        actual_rows: prof.out_rows,
+        time_ns: prof.time_ns,
+        metrics: prof.metrics,
+        mispredicted,
+        children,
     }
 }
 
@@ -439,6 +671,96 @@ mod tests {
             vec!["v_exact"],
             "cost ranking must prefer the small exact view"
         );
+    }
+
+    #[test]
+    fn profiled_answers_match_plain_answers() {
+        let doc = xmark(2, 13);
+        let q = r#"for $x in doc("X")//item return <res>{$x/name/text()}</res>"#;
+        let view = "//item[id:s]{ /n? name1:name[val] }";
+        let mut plain = engine(&doc);
+        plain.add_view_text("V", view, &doc).unwrap();
+        let (out_plain, _) = plain.answer(q, &doc).unwrap();
+        assert!(
+            plain.last_profile().is_none(),
+            "profiling is off by default"
+        );
+
+        let mut prof = Uload::builder()
+            .document(&doc)
+            .profiling(true)
+            .build()
+            .unwrap();
+        prof.add_view_text("V", view, &doc).unwrap();
+        let (out_prof, used, profile) = prof.answer_profiled(q, &doc).unwrap();
+        assert_eq!(out_plain, out_prof);
+        assert_eq!(used.len(), 1);
+
+        // the profile mirrors the executed plan and carries sane numbers
+        assert_eq!(profile.query, q);
+        assert_eq!(profile.phases.len(), 5);
+        assert!(profile.phases.iter().any(|(n, _)| n == "eval"));
+        assert_eq!(profile.plan.actual_rows as usize, out_prof.len());
+        assert!(profile.total_ns > 0);
+        assert!(profile.cache.is_some(), "default engine has a cache");
+        assert_eq!(prof.last_profile().as_ref(), Some(&profile));
+
+        // answer() on a profiling engine takes the profiled path
+        let (out_answer, _) = prof.answer(q, &doc).unwrap();
+        assert_eq!(out_answer, out_plain);
+    }
+
+    #[test]
+    fn profile_reports_both_twig_arms() {
+        // join-only rewriting (navigation off) over two single-node views:
+        // the plan is a structural join that fuses into a twig, so both
+        // arms must be timed and the estimates attached
+        let doc = xmark(2, 13);
+        let q = r#"doc("X")//item/name"#;
+        let run = |twig: bool| {
+            let mut cfg = EngineConfig {
+                profiling: true,
+                use_twigstack: twig,
+                ..Default::default()
+            };
+            cfg.rewrite.allow_navigation = false;
+            let mut u = Uload::builder().document(&doc).config(cfg).build().unwrap();
+            u.add_view_text("v_items", "//item[id:s]", &doc).unwrap();
+            u.add_view_text("v_names", "//name[id:s,val]", &doc)
+                .unwrap();
+            u.answer_profiled(q, &doc).unwrap()
+        };
+        let (out_twig, used, prof_twig) = run(true);
+        let (out_cascade, _, prof_cascade) = run(false);
+        assert_eq!(out_twig, out_cascade);
+        assert!(!out_twig.is_empty());
+        assert_eq!(used[0].views_used, vec!["v_items", "v_names"]);
+        for (profile, chosen) in [(&prof_twig, "twig"), (&prof_cascade, "cascade")] {
+            let arm = profile
+                .arm
+                .as_ref()
+                .expect("join plan must have a twig arm");
+            assert_eq!(arm.chosen, chosen);
+            assert!(arm.est_chosen > 0.0 && arm.est_alternative > 0.0);
+            assert!(arm.actual_chosen_ns > 0 && arm.actual_alternative_ns > 0);
+        }
+        // the twig run's plan tree actually contains the fused operator
+        fn has_twig(n: &super::PlanNodeProfile) -> bool {
+            n.op.starts_with("TwigJoin") || n.children.iter().any(has_twig)
+        }
+        assert!(has_twig(&prof_twig.plan));
+        assert!(!has_twig(&prof_cascade.plan));
+        // estimates are attached on every node
+        fn all_estimated(n: &super::PlanNodeProfile) -> bool {
+            n.est_cost > 0.0 && n.children.iter().all(all_estimated)
+        }
+        assert!(all_estimated(&prof_twig.plan));
+        // render and JSON both work end to end
+        let text = prof_twig.render();
+        assert!(text.contains("EXPLAIN ANALYZE"));
+        assert!(text.contains("actual rows="));
+        let json = prof_twig.to_json();
+        assert!(obs::json::parse(&json.to_string_pretty()).is_ok());
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct RewriteConfig {
     pub use_structural_ids: bool,
     /// Allow union rewritings.
     pub allow_unions: bool,
+    /// Allow navigation compensation: uncovered query nodes are reached
+    /// by navigating the document from a stored structural ID. Off, views
+    /// can only be combined by joins — the pure "answer from storage
+    /// alone" regime, useful for ablations and for forcing join-shaped
+    /// (twig-fusable) plans in `EXPLAIN ANALYZE` demonstrations.
+    pub allow_navigation: bool,
     /// Cap on candidate mappings per view (search bound; verification
     /// keeps the result sound regardless).
     pub max_mappings: usize,
@@ -72,6 +78,7 @@ impl Default for RewriteConfig {
             max_views: 3,
             use_structural_ids: true,
             allow_unions: true,
+            allow_navigation: true,
             max_mappings: 48,
         }
     }
@@ -289,7 +296,9 @@ fn flat_candidates(
             // both sides of a join, and colliding names would turn join
             // predicates into tautologies
             *prefix_counter += 1;
-            if let Some(c) = build_candidate(q, name, v, &h, *prefix_counter, stats) {
+            if let Some(c) =
+                build_candidate(q, name, v, &h, *prefix_counter, cfg.allow_navigation, stats)
+            {
                 out.push(c);
             }
         }
@@ -661,12 +670,14 @@ fn node_mappings(
 }
 
 /// Build the compensated plan-pattern for one (view, mapping) pair.
+#[allow(clippy::too_many_arguments)]
 fn build_candidate(
     q: &Xam,
     view_name: &str,
     v: &Xam,
     h: &HashMap<XamNodeId, XamNodeId>,
     unique: usize,
+    allow_navigation: bool,
     stats: &mut RewriteStats,
 ) -> Option<(PlanPattern, HashMap<XamNodeId, XamNodeId>)> {
     // flat views only for the compensation machinery
@@ -699,6 +710,9 @@ fn build_candidate(
                 return None;
             }
             // otherwise: navigation from the mapped parent
+            if !allow_navigation {
+                return None;
+            }
             let &from = qmap.get(&parent)?;
             if qd.edge.sem.is_nested() {
                 return None; // nested edges cannot be navigated flatly

@@ -27,6 +27,8 @@ impl IdStreamIndex {
     /// Build all columns in a single document pass (document order is
     /// pre order, so every column is born sorted).
     pub fn build(doc: &Document) -> IdStreamIndex {
+        let span = tracing::debug_span!(target: "uload::storage", "idstream_build");
+        let _g = span.enter();
         let mut columns: HashMap<(String, NodeKind), Vec<StructuralId>> = HashMap::new();
         for n in doc.all_nodes() {
             let kind = doc.kind(n);
@@ -38,7 +40,14 @@ impl IdStreamIndex {
                 .or_default()
                 .push(doc.structural_id(n));
         }
-        IdStreamIndex { columns }
+        let idx = IdStreamIndex { columns };
+        tracing::debug!(
+            target: "uload::storage",
+            "built ID-stream index: {} columns, {} ids",
+            idx.len(),
+            idx.total_ids()
+        );
+        idx
     }
 
     /// The sorted ID column for a `(label, kind)` pair; empty when the

@@ -32,7 +32,13 @@ impl MaterializedStore {
         doc: &Document,
     ) -> Result<(), EvalError> {
         let name = name.into();
-        let rel = xam_core::evaluate(&xam, doc)?;
+        let span = tracing::debug_span!(target: "uload::storage", "materialize_view");
+        let rel = span.in_scope(|| xam_core::evaluate(&xam, doc))?;
+        tracing::debug!(
+            target: "uload::storage",
+            "materialized view `{name}` ← {xam}: {} tuples",
+            rel.len()
+        );
         let order = xam_core::semantics::output_columns(&xam)
             .first()
             .map(|c| OrderSpec::by(c.path.clone()))

@@ -12,13 +12,25 @@
 //! XMark summary), `fig4_15` (DBLP), `optional_ablation`, `sec5_6`
 //! (rewriting), `qep_catalogue` (§2.1 plans), `minimize` (§4.5),
 //! `twig` (E10 holistic twig-join ablation; writes `BENCH_twig.json`).
+//!
+//! `--profile` runs one view-backed query with `EXPLAIN ANALYZE` and
+//! prints the rendered profile; `--profile-json` prints the same profile
+//! as JSON (nothing else goes to stdout, so it pipes cleanly). Set
+//! `ULOAD_LOG=uload=debug` (or any `target=level` filter) to stream the
+//! engine's tracing output to stderr during any experiment.
 
 use rewriting::EngineOptions;
 use uload_bench::pattern_gen::GenConfig;
 use uload_bench::{datasets, experiments};
 
 fn main() {
+    uload::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile_json = args.iter().any(|a| a == "--profile-json");
+    if profile_json || args.iter().any(|a| a == "--profile") {
+        profile_demo(profile_json);
+        return;
+    }
     let quick = args.iter().any(|a| a == "quick");
     let threads = args
         .iter()
@@ -64,6 +76,38 @@ fn main() {
     }
     if want("twig") {
         twig(quick);
+    }
+}
+
+fn profile_demo(json_out: bool) {
+    let doc = uload::generate::xmark(8, 42);
+    let mut cfg = uload::EngineConfig {
+        profiling: true,
+        ..Default::default()
+    };
+    // join-only rewriting (no navigation compensation): the two
+    // single-node views can only combine through a structural join, which
+    // fuses into a twig — so the profile carries both-arm telemetry
+    cfg.rewrite.allow_navigation = false;
+    let mut u = uload::Uload::builder()
+        .document(&doc)
+        .config(cfg)
+        .build()
+        .expect("engine over xmark");
+    u.add_view_text("v_items", "//item[id:s]", &doc)
+        .expect("v_items");
+    u.add_view_text("v_names", "//name[id:s,val]", &doc)
+        .expect("v_names");
+    let q = r#"doc("X")//item/name"#;
+    let (out, used, profile) = u.answer_profiled(q, &doc).expect("profiled answer");
+    if json_out {
+        // stdout carries only the JSON document
+        println!("{}", profile.to_json().to_string_pretty());
+        eprintln!("({} results via {:?})", out.len(), used[0].views_used);
+    } else {
+        header("E11 — EXPLAIN ANALYZE over the view-backed engine");
+        println!("{}", profile.render());
+        println!("({} results via views {:?})", out.len(), used[0].views_used);
     }
 }
 

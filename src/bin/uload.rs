@@ -23,6 +23,7 @@ use std::process::ExitCode;
 use uload::prelude::*;
 
 fn main() -> ExitCode {
+    init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,

@@ -33,6 +33,11 @@ pub use containment::{
     minimize_by_contraction, minimize_by_contraction_with, minimize_global, minimize_global_with,
     satisfiable, CacheStats, CanonicalCache, ContainOptions, ContainmentOutcome,
 };
+pub use obs::json;
+pub use obs::{
+    init_from_env, ArmTelemetry, CacheCounters, EnvFilter, ExecMetrics, FmtSubscriber, Json,
+    OpProfile, PlanNodeProfile, QueryProfile,
+};
 pub use rewriting::{
     rewrite_with_engine, EngineConfig, EngineOptions, RewriteConfig, RewriteStats, Rewriting,
     Uload, UloadBuilder,
@@ -77,11 +82,11 @@ pub fn extract_patterns(q: &Query) -> Result<ExtractedQuery> {
 pub mod prelude {
     pub use crate::{
         canonical_model, catalog, contain, contained_in_union, equivalent, evaluate_xam,
-        execute_query, extract_patterns, fuse_struct_joins, generate, minimize_by_contraction,
-        minimize_global, parse_document, parse_query, parse_xam, qep, rewrite_with_engine,
-        CanonicalCache, ContainOptions, ContainmentOutcome, Document, EngineConfig, EngineOptions,
-        Error, Evaluator, IdStreamIndex, Relation, Result, RewriteConfig, Rewriting, Summary,
-        TwigPattern, Uload, Xam,
+        execute_query, extract_patterns, fuse_struct_joins, generate, init_from_env,
+        minimize_by_contraction, minimize_global, parse_document, parse_query, parse_xam, qep,
+        rewrite_with_engine, CacheStats, CanonicalCache, ContainOptions, ContainmentOutcome,
+        Document, EngineConfig, EngineOptions, Error, Evaluator, IdStreamIndex, PlanNodeProfile,
+        QueryProfile, Relation, Result, RewriteConfig, Rewriting, Summary, TwigPattern, Uload, Xam,
     };
 }
 

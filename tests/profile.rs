@@ -1,0 +1,212 @@
+//! `EXPLAIN ANALYZE` integration tests: hand-computed profiles on a
+//! fixed bib QEP, profiled-equals-plain on random twig workloads, and
+//! the JSON contract against `schemas/query_profile.schema.json`.
+
+use proptest::prelude::*;
+use uload::prelude::*;
+
+/// The engine used throughout: join-only rewriting (navigation
+/// compensation off) over two single-node views, so the executed plan is
+/// a structural join that fuses into a twig.
+fn bib_engine(doc: &Document, use_twigstack: bool) -> Uload {
+    let mut cfg = EngineConfig {
+        profiling: true,
+        use_twigstack,
+        ..Default::default()
+    };
+    cfg.rewrite.allow_navigation = false;
+    let mut u = Uload::builder().document(doc).config(cfg).build().unwrap();
+    u.add_view_text("v_books", "//book[id:s]", doc).unwrap();
+    u.add_view_text("v_titles", "//title[id:s,val]", doc)
+        .unwrap();
+    u
+}
+
+#[test]
+fn bib_qep_profile_hand_computed() {
+    let doc = generate::bib_sample();
+    let u = bib_engine(&doc, true);
+    let q = r#"doc("d")//book/title"#;
+    let (out, used, profile) = u.answer_profiled(q, &doc).unwrap();
+
+    // hand-computed cardinalities on the fixed bib sample
+    let books = u.store().relation("v_books").unwrap().len();
+    let titles = u.store().relation("v_titles").unwrap().len();
+    assert_eq!(books, 2, "bib has two books");
+    assert_eq!(out.len(), 2, "each book contributes one title");
+    assert_eq!(used[0].views_used, vec!["v_books", "v_titles"]);
+    assert_eq!(profile.plan.actual_rows as usize, out.len());
+
+    // the executed QEP: XmlTemplate → CastSchema → Project° → TwigJoin
+    // over (Rename→Scan(v_books), Fetch→Rename→Scan(v_titles)) = 9 nodes
+    assert_eq!(profile.plan.node_count(), 9, "\n{}", profile.render());
+    let mut leaves = Vec::new();
+    collect_leaves(&profile.plan, &mut leaves);
+    assert_eq!(leaves.len(), 2);
+    for leaf in &leaves {
+        assert!(leaf.op.starts_with("Scan("), "leaf {}", leaf.op);
+    }
+    let leaf_rows: Vec<usize> = leaves.iter().map(|l| l.actual_rows as usize).collect();
+    assert!(leaf_rows.contains(&books) && leaf_rows.contains(&titles));
+
+    // the twig node recorded kernel work and carries both estimates
+    let twig = find_op(&profile.plan, "TwigJoin").expect("fused twig in the plan");
+    assert!(twig.metrics.comparisons > 0);
+    assert!(twig.est_cost > 0.0 && twig.est_rows > 0.0);
+    assert_eq!(twig.children.len(), 2);
+
+    // parent times include children (per-node clocks are monotone up)
+    check_time_monotone(&profile.plan);
+
+    // phase timings cover the whole lifecycle
+    let names: Vec<&str> = profile.phases.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["parse", "extract", "rewrite", "plan", "eval"]);
+}
+
+fn collect_leaves<'p>(n: &'p PlanNodeProfile, out: &mut Vec<&'p PlanNodeProfile>) {
+    if n.children.is_empty() {
+        out.push(n);
+    }
+    for c in &n.children {
+        collect_leaves(c, out);
+    }
+}
+
+fn find_op<'p>(n: &'p PlanNodeProfile, prefix: &str) -> Option<&'p PlanNodeProfile> {
+    if n.op.starts_with(prefix) {
+        return Some(n);
+    }
+    n.children.iter().find_map(|c| find_op(c, prefix))
+}
+
+fn check_time_monotone(n: &PlanNodeProfile) {
+    let child_ns: u64 = n.children.iter().map(|c| c.time_ns).sum();
+    assert!(
+        n.time_ns >= child_ns,
+        "{}: {} < sum of children {}",
+        n.op,
+        n.time_ns,
+        child_ns
+    );
+    for c in &n.children {
+        check_time_monotone(c);
+    }
+}
+
+#[test]
+fn arm_telemetry_is_consistent() {
+    let doc = generate::bib_sample();
+    for twig_on in [true, false] {
+        let u = bib_engine(&doc, twig_on);
+        let (_, _, profile) = u.answer_profiled(r#"doc("d")//book/title"#, &doc).unwrap();
+        let arm = profile.arm.as_ref().expect("join plan has a twig arm");
+        assert_eq!(arm.chosen, if twig_on { "twig" } else { "cascade" });
+        assert!(arm.actual_chosen_ns > 0 && arm.actual_alternative_ns > 0);
+        // the flag is exactly the ≥2× rule
+        assert_eq!(
+            arm.mispredicted,
+            arm.actual_chosen_ns >= 2 * arm.actual_alternative_ns
+        );
+        // last_profile() returns what answer_profiled returned
+        assert_eq!(u.last_profile().as_ref(), Some(&profile));
+    }
+}
+
+#[test]
+fn cache_stats_expose_per_map_occupancy() {
+    let doc = generate::bib_sample();
+    let u = bib_engine(&doc, true);
+    u.answer_profiled(r#"doc("d")//book/title"#, &doc).unwrap();
+    let stats = u.cache_stats().expect("default engine has a cache");
+    assert!(stats.hits + stats.misses > 0, "{stats:?}");
+    assert_eq!(
+        stats.entries,
+        stats.verdict_entries + stats.model_entries + stats.annotation_entries,
+        "{stats:?}"
+    );
+    assert!(stats.entries > 0, "{stats:?}");
+    // the profile snapshot mirrors the engine counters it was taken from
+    let cache = u.last_profile().unwrap().cache.expect("cache in profile");
+    assert_eq!(cache.verdict_entries, stats.verdict_entries);
+    assert_eq!(cache.entries(), stats.entries);
+}
+
+#[test]
+fn profile_json_matches_checked_in_schema() {
+    let doc = generate::bib_sample();
+    let u = bib_engine(&doc, true);
+    let (_, _, profile) = u.answer_profiled(r#"doc("d")//book/title"#, &doc).unwrap();
+
+    let schema_text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/schemas/query_profile.schema.json"
+    ))
+    .expect("checked-in schema");
+    let schema = uload::json::parse(&schema_text).expect("schema parses");
+
+    // the in-memory value validates, and so does its serialized round
+    // trip (both pretty and compact)
+    let value = profile.to_json();
+    uload::json::validate(&value, &schema).expect("profile matches schema");
+    for text in [value.to_string_pretty(), value.to_string_compact()] {
+        let reparsed = uload::json::parse(&text).expect("emitted JSON parses");
+        assert_eq!(reparsed, value);
+        uload::json::validate(&reparsed, &schema).expect("round trip matches schema");
+    }
+
+    // an uncached engine emits "cache": null and still validates
+    let mut cfg = EngineConfig {
+        profiling: true,
+        cache_capacity: 0,
+        ..Default::default()
+    };
+    cfg.rewrite.allow_navigation = false;
+    let mut u2 = Uload::builder().document(&doc).config(cfg).build().unwrap();
+    u2.add_view_text("v_books", "//book[id:s]", &doc).unwrap();
+    u2.add_view_text("v_titles", "//title[id:s,val]", &doc)
+        .unwrap();
+    let (_, _, p2) = u2.answer_profiled(r#"doc("d")//book/title"#, &doc).unwrap();
+    assert!(p2.cache.is_none());
+    uload::json::validate(&p2.to_json(), &schema).expect("null cache matches schema");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Profiled execution returns exactly the relation plain execution
+    /// returns, on random XMark twig patterns, and the profile tree
+    /// mirrors the plan shape node for node.
+    #[test]
+    fn profiled_execution_matches_plain(
+        spec in prop::collection::vec((0usize..10, 0usize..8, 0usize..2), 2..6),
+    ) {
+        let doc = generate::xmark(3, 7);
+        let pool: [&'static str; 10] =
+            ["site", "regions", "item", "name", "description",
+             "parlist", "listitem", "text", "keyword", "mailbox"];
+        let mut w = uload_bench::experiments::TwigWorkload {
+            name: "prop".into(),
+            labels: Vec::new(),
+            parents: Vec::new(),
+            axes: Vec::new(),
+        };
+        for (k, &(label, parent, child)) in spec.iter().enumerate() {
+            w.labels.push(pool[label]);
+            w.parents.push(if k == 0 { 0 } else { parent % k });
+            w.axes.push(if child == 1 { algebra::Axis::Child } else { algebra::Axis::Descendant });
+        }
+        let idx = IdStreamIndex::build(&doc);
+        let streams = w.streams(&idx);
+        if streams.iter().any(|s| s.is_empty()) {
+            return Ok(()); // label absent: no ids_* relation to scan
+        }
+        let cat = uload_bench::experiments::twig_catalog(&doc);
+        let plan = w.twig_plan();
+        let ev = Evaluator::new(&cat);
+        let plain = ev.eval(&plan).unwrap();
+        let (profiled, prof) = ev.eval_profiled(&plan).unwrap();
+        prop_assert_eq!(&plain, &profiled, "profiled != plain on {:?}", w.labels);
+        prop_assert_eq!(prof.node_count(), plan.size());
+        prop_assert_eq!(prof.out_rows as usize, plain.len());
+    }
+}

@@ -1,0 +1,353 @@
+//! Offline stand-in for `tracing`.
+//!
+//! Implements the slice of the `tracing` API this workspace uses:
+//! leveled events (`trace!` … `error!`), named timed spans
+//! (`trace_span!` … `info_span!` with an RAII [`Entered`] guard), and a
+//! process-global [`Subscriber`] installed once through
+//! [`dispatch::set_global_default`]. Until a subscriber is installed
+//! every macro is a single relaxed atomic load — instrumented code pays
+//! nothing in the default configuration.
+//!
+//! Deliberate simplifications vs the real crate: events carry a target,
+//! a level and a pre-formatted message (structured fields are folded
+//! into the message by the macros); spans report their wall-clock
+//! elapsed time on exit instead of tracking enter/exit pairs per thread.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Event/span severity. Ordered from most verbose to most severe:
+/// `TRACE < DEBUG < INFO < WARN < ERROR`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Level(u8);
+
+impl Level {
+    pub const TRACE: Level = Level(0);
+    pub const DEBUG: Level = Level(1);
+    pub const INFO: Level = Level(2);
+    pub const WARN: Level = Level(3);
+    pub const ERROR: Level = Level(4);
+
+    pub fn as_str(self) -> &'static str {
+        match self.0 {
+            0 => "TRACE",
+            1 => "DEBUG",
+            2 => "INFO",
+            3 => "WARN",
+            _ => "ERROR",
+        }
+    }
+
+    /// Parse a directive level name (case-insensitive).
+    pub fn from_str_loose(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "trace" => Some(Level::TRACE),
+            "debug" => Some(Level::DEBUG),
+            "info" => Some(Level::INFO),
+            "warn" | "warning" => Some(Level::WARN),
+            "error" => Some(Level::ERROR),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Receiver of events and span notifications.
+pub trait Subscriber: Send + Sync {
+    /// Is anything at this `(level, target)` wanted? The macros call this
+    /// before formatting, so disabled events never allocate.
+    fn enabled(&self, level: Level, target: &str) -> bool;
+    /// An event whose message has been formatted by the caller.
+    fn event(&self, level: Level, target: &str, message: fmt::Arguments<'_>);
+    /// A span was entered.
+    fn span_enter(&self, _level: Level, _target: &str, _name: &str) {}
+    /// A span guard was dropped after `elapsed` wall-clock time.
+    fn span_exit(&self, _level: Level, _target: &str, _name: &str, _elapsed: Duration) {}
+}
+
+static SUBSCRIBER: OnceLock<Box<dyn Subscriber>> = OnceLock::new();
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Installing and querying the global subscriber.
+pub mod dispatch {
+    use super::*;
+
+    /// Error returned when a global subscriber is already installed.
+    #[derive(Debug)]
+    pub struct SetGlobalDefaultError;
+
+    impl fmt::Display for SetGlobalDefaultError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("a global tracing subscriber has already been set")
+        }
+    }
+
+    impl std::error::Error for SetGlobalDefaultError {}
+
+    /// Install the process-wide subscriber. Fails if one is already set.
+    pub fn set_global_default(sub: Box<dyn Subscriber>) -> Result<(), SetGlobalDefaultError> {
+        SUBSCRIBER.set(sub).map_err(|_| SetGlobalDefaultError)?;
+        ACTIVE.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Has a subscriber been installed?
+    pub fn has_global_default() -> bool {
+        ACTIVE.load(Ordering::Acquire)
+    }
+}
+
+// ------------------------------------------------------------------
+// macro support (public because macros expand in downstream crates)
+
+#[doc(hidden)]
+#[inline]
+pub fn __enabled(level: Level, target: &str) -> bool {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return false;
+    }
+    SUBSCRIBER.get().is_some_and(|s| s.enabled(level, target))
+}
+
+#[doc(hidden)]
+pub fn __event(level: Level, target: &str, message: fmt::Arguments<'_>) {
+    if let Some(s) = SUBSCRIBER.get() {
+        s.event(level, target, message);
+    }
+}
+
+#[doc(hidden)]
+pub fn __span_enter(level: Level, target: &'static str, name: &'static str) {
+    if let Some(s) = SUBSCRIBER.get() {
+        s.span_enter(level, target, name);
+    }
+}
+
+#[doc(hidden)]
+pub fn __span_exit(level: Level, target: &'static str, name: &'static str, elapsed: Duration) {
+    if let Some(s) = SUBSCRIBER.get() {
+        s.span_exit(level, target, name, elapsed);
+    }
+}
+
+// ------------------------------------------------------------------
+// spans
+
+/// A named span. Disabled spans (no subscriber, or filtered out at
+/// creation) carry no state and enter/exit for free.
+#[derive(Debug, Clone)]
+pub struct Span {
+    meta: Option<(Level, &'static str, &'static str)>,
+}
+
+impl Span {
+    #[doc(hidden)]
+    pub fn __new(level: Level, target: &'static str, name: &'static str) -> Span {
+        let meta = __enabled(level, target).then_some((level, target, name));
+        Span { meta }
+    }
+
+    /// A span that never reports anywhere.
+    pub fn none() -> Span {
+        Span { meta: None }
+    }
+
+    /// Enter the span; the returned guard reports elapsed time on drop.
+    pub fn enter(&self) -> Entered<'_> {
+        if let Some((level, target, name)) = self.meta {
+            __span_enter(level, target, name);
+            Entered {
+                span: self,
+                start: Some(Instant::now()),
+            }
+        } else {
+            Entered {
+                span: self,
+                start: None,
+            }
+        }
+    }
+
+    /// Run `f` inside the span.
+    pub fn in_scope<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _g = self.enter();
+        f()
+    }
+}
+
+/// RAII guard of an entered [`Span`].
+pub struct Entered<'a> {
+    span: &'a Span,
+    start: Option<Instant>,
+}
+
+impl Drop for Entered<'_> {
+    fn drop(&mut self) {
+        if let (Some((level, target, name)), Some(start)) = (self.span.meta, self.start) {
+            __span_exit(level, target, name, start.elapsed());
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// macros
+
+/// Emit an event at an explicit level: `event!(Level::INFO, "x = {}", x)`
+/// or `event!(target: "uload::eval", Level::DEBUG, "...")`.
+#[macro_export]
+macro_rules! event {
+    (target: $target:expr, $level:expr, $($arg:tt)+) => {{
+        if $crate::__enabled($level, $target) {
+            $crate::__event($level, $target, format_args!($($arg)+));
+        }
+    }};
+    ($level:expr, $($arg:tt)+) => {
+        $crate::event!(target: module_path!(), $level, $($arg)+)
+    };
+}
+
+#[macro_export]
+macro_rules! trace {
+    (target: $target:expr, $($arg:tt)+) => { $crate::event!(target: $target, $crate::Level::TRACE, $($arg)+) };
+    ($($arg:tt)+) => { $crate::event!($crate::Level::TRACE, $($arg)+) };
+}
+
+#[macro_export]
+macro_rules! debug {
+    (target: $target:expr, $($arg:tt)+) => { $crate::event!(target: $target, $crate::Level::DEBUG, $($arg)+) };
+    ($($arg:tt)+) => { $crate::event!($crate::Level::DEBUG, $($arg)+) };
+}
+
+#[macro_export]
+macro_rules! info {
+    (target: $target:expr, $($arg:tt)+) => { $crate::event!(target: $target, $crate::Level::INFO, $($arg)+) };
+    ($($arg:tt)+) => { $crate::event!($crate::Level::INFO, $($arg)+) };
+}
+
+#[macro_export]
+macro_rules! warn {
+    (target: $target:expr, $($arg:tt)+) => { $crate::event!(target: $target, $crate::Level::WARN, $($arg)+) };
+    ($($arg:tt)+) => { $crate::event!($crate::Level::WARN, $($arg)+) };
+}
+
+#[macro_export]
+macro_rules! error {
+    (target: $target:expr, $($arg:tt)+) => { $crate::event!(target: $target, $crate::Level::ERROR, $($arg)+) };
+    ($($arg:tt)+) => { $crate::event!($crate::Level::ERROR, $($arg)+) };
+}
+
+/// Create a [`Span`]: `span!(Level::DEBUG, "rewrite")`, optionally with
+/// `target:`.
+#[macro_export]
+macro_rules! span {
+    (target: $target:expr, $level:expr, $name:expr) => {
+        $crate::Span::__new($level, $target, $name)
+    };
+    ($level:expr, $name:expr) => {
+        $crate::Span::__new($level, module_path!(), $name)
+    };
+}
+
+#[macro_export]
+macro_rules! trace_span {
+    (target: $target:expr, $name:expr) => { $crate::span!(target: $target, $crate::Level::TRACE, $name) };
+    ($name:expr) => {
+        $crate::span!($crate::Level::TRACE, $name)
+    };
+}
+
+#[macro_export]
+macro_rules! debug_span {
+    (target: $target:expr, $name:expr) => { $crate::span!(target: $target, $crate::Level::DEBUG, $name) };
+    ($name:expr) => {
+        $crate::span!($crate::Level::DEBUG, $name)
+    };
+}
+
+#[macro_export]
+macro_rules! info_span {
+    (target: $target:expr, $name:expr) => { $crate::span!(target: $target, $crate::Level::INFO, $name) };
+    ($name:expr) => {
+        $crate::span!($crate::Level::INFO, $name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    struct Recorder {
+        events: Mutex<Vec<(Level, String, String)>>,
+        spans: AtomicUsize,
+    }
+
+    impl Subscriber for Recorder {
+        fn enabled(&self, level: Level, _target: &str) -> bool {
+            level >= Level::DEBUG
+        }
+        fn event(&self, level: Level, target: &str, message: fmt::Arguments<'_>) {
+            self.events
+                .lock()
+                .unwrap()
+                .push((level, target.to_string(), message.to_string()));
+        }
+        fn span_exit(&self, _l: Level, _t: &str, _n: &str, _e: Duration) {
+            self.spans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn events_and_spans_reach_the_subscriber() {
+        // the global can only be set once per process: this test owns it
+        static REC: OnceLock<&'static Recorder> = OnceLock::new();
+        let rec: &'static Recorder = Box::leak(Box::new(Recorder {
+            events: Mutex::new(Vec::new()),
+            spans: AtomicUsize::new(0),
+        }));
+        assert!(REC.set(rec).is_ok());
+
+        struct Fwd;
+        impl Subscriber for Fwd {
+            fn enabled(&self, level: Level, target: &str) -> bool {
+                REC.get().unwrap().enabled(level, target)
+            }
+            fn event(&self, level: Level, target: &str, message: fmt::Arguments<'_>) {
+                REC.get().unwrap().event(level, target, message);
+            }
+            fn span_exit(&self, l: Level, t: &str, n: &str, e: Duration) {
+                REC.get().unwrap().span_exit(l, t, n, e);
+            }
+        }
+
+        assert!(!dispatch::has_global_default());
+        trace!("invisible before install");
+        dispatch::set_global_default(Box::new(Fwd)).unwrap();
+        assert!(dispatch::set_global_default(Box::new(Fwd)).is_err());
+
+        trace!("filtered out");
+        debug!("kept {}", 1);
+        warn!(target: "custom", "warned");
+        let span = debug_span!("work");
+        span.in_scope(|| ());
+        let filtered = trace_span!("filtered");
+        filtered.in_scope(|| ());
+
+        let events = rec.events.lock().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].0, Level::DEBUG);
+        assert_eq!(events[0].2, "kept 1");
+        assert_eq!(events[1].1, "custom");
+        assert_eq!(rec.spans.load(Ordering::Relaxed), 1);
+        assert!(Level::WARN > Level::DEBUG);
+        assert_eq!(Level::from_str_loose("WARN"), Some(Level::WARN));
+    }
+}
