@@ -9,7 +9,7 @@
 //! group order; `Sort_φ` is a stable comparison sort.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::Instant;
 
@@ -78,6 +78,14 @@ impl Catalog {
 
     pub fn get(&self, name: &str) -> Option<&Relation> {
         self.relations.get(name)
+    }
+
+    /// The [`OrderSpec`] a relation was registered with via
+    /// [`Catalog::insert_ordered`], if any. Lets the pipelined executor
+    /// elide a `Sort` boundary over a base scan whose declared order
+    /// already satisfies the requested key.
+    pub fn declared_order(&self, name: &str) -> Option<&OrderSpec> {
+        self.orders.get(name)
     }
 
     pub fn names(&self) -> impl Iterator<Item = &str> {
@@ -505,18 +513,8 @@ impl<'a> Evaluator<'a> {
         let schema = spec.schema(&rel.schema);
         let mut tuples: Vec<Tuple> = rel.tuples.iter().map(|t| spec.apply(t)).collect();
         if distinct {
-            let mut seen: Vec<Tuple> = Vec::new();
-            tuples.retain(|t| {
-                if seen
-                    .iter()
-                    .any(|s| tuple_cmp_all(s, t) == std::cmp::Ordering::Equal)
-                {
-                    false
-                } else {
-                    seen.push(t.clone());
-                    true
-                }
-            });
+            let mut seen: HashSet<String> = HashSet::with_capacity(tuples.len());
+            tuples.retain(|t| seen.insert(dedup_key(t)));
         }
         Ok(Relation::new(schema, tuples))
     }
@@ -704,78 +702,15 @@ impl<'a> Evaluator<'a> {
         for s in steps {
             rels.push(self.eval(&s.input)?);
         }
-        // field-offset ranges of each input in the concatenated schema
-        let mut offsets: Vec<usize> = Vec::with_capacity(rels.len() + 1);
-        offsets.push(0);
-        for r in &rels {
-            offsets.push(offsets.last().unwrap() + r.schema.arity());
-        }
-        // node_attr[j]: the single ID column of input j the pattern uses
-        let mut node_attr: Vec<Option<usize>> = vec![None; rels.len()];
-        let mut parents: Vec<usize> = Vec::with_capacity(steps.len());
-        let mut prefix = rels[0].schema.clone();
-        let mut holistic = true;
-        'steps: for (k, s) in steps.iter().enumerate() {
-            // the step's own attribute, inside its input
-            match rels[k + 1].schema.resolve(s.attr.as_str()) {
-                Some(idx) if idx.len() == 1 => node_attr[k + 1] = Some(idx[0]),
-                _ => {
-                    holistic = false;
-                    break 'steps;
-                }
+        let schemas: Vec<&Schema> = rels.iter().map(|r| &r.schema).collect();
+        let shape = match twig_shape(&schemas, steps) {
+            Some(shape) => shape,
+            None => {
+                self.note_twig_fallback("shape not holistic-covered", steps.len());
+                return self.eval(&twig_to_cascade(root, steps));
             }
-            // the parent attribute, against the concatenated prefix
-            // (exactly what the cascade's left side would resolve on)
-            match prefix.resolve(s.parent_attr.as_str()) {
-                Some(idx) if idx.len() == 1 => {
-                    let flat = idx[0];
-                    let p = offsets.partition_point(|&o| o <= flat) - 1;
-                    let local = flat - offsets[p];
-                    match node_attr[p] {
-                        None => node_attr[p] = Some(local),
-                        Some(prev) if prev == local => {}
-                        Some(_) => {
-                            holistic = false;
-                            break 'steps;
-                        }
-                    }
-                    parents.push(p);
-                }
-                _ => {
-                    holistic = false;
-                    break 'steps;
-                }
-            }
-            prefix = prefix.concat(&rels[k + 1].schema);
-        }
-        if !holistic {
-            self.note_twig_fallback("shape not holistic-covered", steps.len());
-            return self.eval(&twig_to_cascade(root, steps));
-        }
-        let mut pattern = TwigPattern::root();
-        for (k, s) in steps.iter().enumerate() {
-            let id = pattern.add_child(parents[k], s.axis);
-            debug_assert_eq!(id, k + 1);
-        }
-        let mut streams: Vec<Vec<(StructuralId, usize)>> = Vec::with_capacity(rels.len());
-        for (j, r) in rels.iter().enumerate() {
-            let col = node_attr[j].expect("every pattern node is referenced");
-            let mut ids: Vec<(StructuralId, usize)> = r
-                .tuples
-                .iter()
-                .enumerate()
-                .filter_map(|(i, t)| t.get(col).as_id().map(|sid| (sid, i)))
-                .collect();
-            if !is_sorted_by_pre(&ids) {
-                ids.sort_by_key(|(s, _)| s.pre);
-            }
-            streams.push(ids);
-        }
-        let refs: Vec<&[(StructuralId, usize)]> = streams.iter().map(|s| s.as_slice()).collect();
-        let solutions = match &self.metrics {
-            Some(m) => twig_join_metered(&pattern, &refs, &mut *m.borrow_mut()),
-            None => twig_join(&pattern, &refs),
         };
+        let solutions = twig_solutions(&rels, &shape, steps, self.metrics.as_ref());
         // one output tuple per solution; twig_join already emits them in
         // the cascade's lexicographic order
         let mut tuples = Vec::with_capacity(solutions.len());
@@ -786,7 +721,7 @@ impl<'a> Evaluator<'a> {
             }
             tuples.push(t);
         }
-        Ok(Relation::new(prefix, tuples))
+        Ok(Relation::new(shape.schema, tuples))
     }
 
     /// Record a holistic-twig fallback to the binary cascade: counted in
@@ -1296,6 +1231,152 @@ fn is_sorted_by_pre(ids: &[(StructuralId, usize)]) -> bool {
     ids.windows(2).all(|w| w[0].0.pre <= w[1].0.pre)
 }
 
+// ----------------------------------------------------------------------
+// duplicate elimination
+
+/// Canonical key for duplicate elimination: two tuples map to the same
+/// key iff [`tuple_cmp_all`] orders them `Equal`. Values are type-tagged
+/// (`Int(1)` and `Str("1")` never collide), strings are length-prefixed,
+/// IDs key on `pre` alone (the equality class of [`value_cmp`]), and
+/// collections recurse element-wise ignoring their [`CollKind`], exactly
+/// as the comparator does.
+pub(crate) fn dedup_key(t: &Tuple) -> String {
+    let mut out = String::new();
+    write_tuple_key(t, &mut out);
+    out
+}
+
+fn write_tuple_key(t: &Tuple, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "({}", t.arity());
+    for i in 0..t.arity() {
+        write_value_key(t.get(i), out);
+    }
+    out.push(')');
+}
+
+fn write_value_key(v: &Value, out: &mut String) {
+    use std::fmt::Write as _;
+    match v {
+        Value::Null => out.push('n'),
+        Value::Id(id) => {
+            let _ = write!(out, "i{}", id.pre);
+        }
+        Value::Int(x) => {
+            let _ = write!(out, "d{x}");
+        }
+        Value::Str(s) => {
+            let _ = write!(out, "s{}:{s}", s.len());
+        }
+        Value::Coll(c) => {
+            let _ = write!(out, "c{}", c.tuples.len());
+            for t in &c.tuples {
+                write_tuple_key(t, out);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// twig shape analysis (shared with the pipelined executor)
+
+/// The holistic operator's view of a twig's inputs: the single ID column
+/// of each input the pattern references, each step's parent
+/// pattern-node index, and the concatenated output schema (root, then
+/// step inputs in order — the cascade's own output shape).
+#[derive(Debug, Clone)]
+pub(crate) struct TwigShape {
+    pub node_attr: Vec<usize>,
+    pub parents: Vec<usize>,
+    pub schema: Schema,
+}
+
+/// Resolve a twig's step attributes against its inputs' schemas, in the
+/// exact order the binary cascade would. `None` means the shape is not
+/// covered by the holistic operator — map-extended (dotted) attributes,
+/// or two steps hanging off *different* ID columns of one input — and
+/// the caller must fall back to the cascade.
+pub(crate) fn twig_shape(schemas: &[&Schema], steps: &[TwigStep]) -> Option<TwigShape> {
+    debug_assert_eq!(schemas.len(), steps.len() + 1);
+    // field-offset ranges of each input in the concatenated schema
+    let mut offsets: Vec<usize> = Vec::with_capacity(schemas.len() + 1);
+    offsets.push(0);
+    for s in schemas {
+        offsets.push(offsets.last().unwrap() + s.arity());
+    }
+    // node_attr[j]: the single ID column of input j the pattern uses
+    let mut node_attr: Vec<Option<usize>> = vec![None; schemas.len()];
+    let mut parents: Vec<usize> = Vec::with_capacity(steps.len());
+    let mut prefix = schemas[0].clone();
+    for (k, s) in steps.iter().enumerate() {
+        // the step's own attribute, inside its input
+        match schemas[k + 1].resolve(s.attr.as_str()) {
+            Some(idx) if idx.len() == 1 => node_attr[k + 1] = Some(idx[0]),
+            _ => return None,
+        }
+        // the parent attribute, against the concatenated prefix
+        // (exactly what the cascade's left side would resolve on)
+        match prefix.resolve(s.parent_attr.as_str()) {
+            Some(idx) if idx.len() == 1 => {
+                let flat = idx[0];
+                let p = offsets.partition_point(|&o| o <= flat) - 1;
+                let local = flat - offsets[p];
+                match node_attr[p] {
+                    None => node_attr[p] = Some(local),
+                    Some(prev) if prev == local => {}
+                    Some(_) => return None,
+                }
+                parents.push(p);
+            }
+            _ => return None,
+        }
+        prefix = prefix.concat(schemas[k + 1]);
+    }
+    Some(TwigShape {
+        node_attr: node_attr
+            .into_iter()
+            .map(|a| a.expect("every pattern node is referenced"))
+            .collect(),
+        parents,
+        schema: prefix,
+    })
+}
+
+/// Run the holistic multi-way merge over materialized twig inputs whose
+/// shape was validated by [`twig_shape`]: one row-index vector per
+/// solution (root first), in the cascade's lexicographic order.
+pub(crate) fn twig_solutions(
+    rels: &[Relation],
+    shape: &TwigShape,
+    steps: &[TwigStep],
+    metrics: Option<&RefCell<ExecMetrics>>,
+) -> Vec<Vec<usize>> {
+    let mut pattern = TwigPattern::root();
+    for (k, s) in steps.iter().enumerate() {
+        let id = pattern.add_child(shape.parents[k], s.axis);
+        debug_assert_eq!(id, k + 1);
+    }
+    let mut streams: Vec<Vec<(StructuralId, usize)>> = Vec::with_capacity(rels.len());
+    for (j, r) in rels.iter().enumerate() {
+        let col = shape.node_attr[j];
+        let mut ids: Vec<(StructuralId, usize)> = r
+            .tuples
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.get(col).as_id().map(|sid| (sid, i)))
+            .collect();
+        if !is_sorted_by_pre(&ids) {
+            ids.sort_by_key(|(s, _)| s.pre);
+        }
+        streams.push(ids);
+    }
+    let refs: Vec<&[(StructuralId, usize)]> = streams.iter().map(|s| s.as_slice()).collect();
+    match metrics {
+        Some(m) => twig_join_metered(&pattern, &refs, &mut *m.borrow_mut()),
+        None => twig_join(&pattern, &refs),
+    }
+}
+
 /// Dotted name of an index path (for re-entrant resolution in map joins).
 fn index_path_name(schema: &Schema, idx: &[usize]) -> String {
     let mut names = Vec::new();
@@ -1634,6 +1715,50 @@ mod tests {
         let p = LogicalPlan::scan("author").project_distinct(&["Tag"]);
         let r = ev.eval(&p).unwrap();
         assert_eq!(r.len(), 1);
+    }
+
+    /// Regression for the `O(n²)` `seen` scan the hashed key set
+    /// replaced: 10k duplicates collapse to their distinct values, with
+    /// the comparator's exact equality classes (order preserved
+    /// first-seen, `Int(1)` ≠ `Str("1")`, nulls equal each other, IDs
+    /// equal by `pre` alone, collections compared element-wise).
+    #[test]
+    fn distinct_projection_hashes_10k_duplicates() {
+        let schema = Schema::atoms(&["K", "V"]);
+        let mut tuples = Vec::with_capacity(10_000);
+        for i in 0..10_000u32 {
+            let v = match i % 5 {
+                0 => Value::Int(1),
+                1 => Value::str("1"),
+                2 => Value::Null,
+                3 => Value::Coll(Collection::list(vec![Tuple::new(vec![Value::Int(7)])])),
+                _ => Value::str("x"),
+            };
+            tuples.push(Tuple::new(vec![Value::Int((i % 10) as i64 / 5), v]));
+        }
+        let mut cat = Catalog::new();
+        cat.insert("dup", Relation::new(schema, tuples));
+        let ev = Evaluator::new(&cat);
+        let r = ev
+            .eval(&LogicalPlan::scan("dup").project_distinct(&["K", "V"]))
+            .unwrap();
+        assert_eq!(r.len(), 10, "5 values × 2 keys survive");
+        // the hashed keys respect tuple_cmp_all's equality exactly
+        for (a, b) in [(0usize, 1usize), (2, 3)] {
+            assert_ne!(
+                dedup_key(&r.tuples[a]),
+                dedup_key(&r.tuples[b]),
+                "{} vs {}",
+                r.tuples[a],
+                r.tuples[b]
+            );
+        }
+        for t in &r.tuples {
+            assert_eq!(dedup_key(t), dedup_key(&t.clone()));
+        }
+        // first-seen order is preserved, as with the old scan
+        assert_eq!(r.tuples[0].get(1), &Value::Int(1));
+        assert_eq!(r.tuples[1].get(1), &Value::str("1"));
     }
 
     #[test]

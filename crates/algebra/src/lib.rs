@@ -20,6 +20,7 @@
 //! benches, and order descriptors tracking which attribute the output of
 //! each operator is sorted on.
 
+pub mod cursor;
 pub mod eval;
 pub mod order;
 pub mod plan;
@@ -28,6 +29,10 @@ pub mod twig;
 pub mod value;
 pub mod xmlgen;
 
+pub use cursor::{
+    build_cursor, is_pipeline_breaker, pipeline_breakers, Cursor, CursorConfig, OpCells, OpStats,
+    Residency, StreamExec, TupleBatch,
+};
 pub use eval::{Catalog, EvalConfig, EvalError, Evaluator, Relation};
 pub use obs::{ExecMetrics, Meter, NoMeter, OpProfile};
 pub use order::OrderSpec;

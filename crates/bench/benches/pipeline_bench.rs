@@ -1,0 +1,62 @@
+//! Pipeline ablation: every E11 workload's binary-cascade plan run
+//! three ways — fully materialized through `Evaluator::eval`, drained
+//! batch by batch through the pipelined cursor executor, and streamed
+//! with a LIMIT-style consumer that pulls ten rows and closes the
+//! cursor tree. Both full paths produce identical relations (asserted
+//! by the `pipeline_ablation` driver and the proptest suite); the
+//! LIMIT run demonstrates early-termination cost, which the
+//! materialized path cannot price below a full evaluation.
+
+use algebra::{build_cursor, CursorConfig, Evaluator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uload_bench::experiments::{pipeline_workloads, twig_catalog};
+
+fn streamed_vs_materialized(c: &mut Criterion) {
+    let doc = xmltree::generate::xmark(15, 42);
+    let catalog = twig_catalog(&doc);
+    let ccfg = CursorConfig {
+        batch_size: 1024,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("e11_pipeline_ablation");
+    g.sample_size(10);
+    for w in pipeline_workloads() {
+        let plan = w.cascade_plan();
+        g.bench_function(BenchmarkId::new("materialized", &w.name), |b| {
+            b.iter(|| Evaluator::new(&catalog).eval(&plan).unwrap().len())
+        });
+        g.bench_function(BenchmarkId::new("streamed", &w.name), |b| {
+            b.iter(|| {
+                let mut exec = build_cursor(&plan, &catalog, None, &ccfg).unwrap();
+                let mut n = 0usize;
+                while let Some(batch) = exec.next_batch().unwrap() {
+                    n += batch.len();
+                }
+                exec.close();
+                n
+            })
+        });
+        g.bench_function(BenchmarkId::new("limit10", &w.name), |b| {
+            b.iter(|| {
+                let mut exec = build_cursor(&plan, &catalog, None, &ccfg).unwrap();
+                let mut n = 0usize;
+                while n < 10 {
+                    match exec.next_batch().unwrap() {
+                        Some(batch) => n += batch.len(),
+                        None => break,
+                    }
+                }
+                exec.close();
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = streamed_vs_materialized
+}
+criterion_main!(benches);

@@ -341,44 +341,6 @@ fn canonical_check_parallel(
     }
 }
 
-/// Decide `p ⊆_S q` (full pattern language), returning statistics.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `contain(p, q, s, &ContainOptions::default())`"
-)]
-pub fn contained_with_stats(p: &Xam, q: &Xam, s: &Summary) -> ContainmentOutcome {
-    contain(p, q, s, &ContainOptions::default())
-}
-
-/// Decide `p ⊆_S q` with explicit, position-aligned return-node lists.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `contain` with `ContainOptions::default().with_aligned(p_rets, q_rets)`"
-)]
-pub fn contained_with_stats_aligned(
-    p: &Xam,
-    q: &Xam,
-    s: &Summary,
-    p_rets: &[XamNodeId],
-    q_rets: &[XamNodeId],
-) -> ContainmentOutcome {
-    contain(
-        p,
-        q,
-        s,
-        &ContainOptions::default().with_aligned(p_rets, q_rets),
-    )
-}
-
-/// Decide `p ⊆_S q`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `contain(p, q, s, &ContainOptions::default()).contained`"
-)]
-pub fn contained_in(p: &Xam, q: &Xam, s: &Summary) -> bool {
-    contain(p, q, s, &ContainOptions::default()).contained
-}
-
 /// `S`-equivalence: two-way containment (Definition 4.4.1).
 pub fn equivalent(p: &Xam, q: &Xam, s: &Summary) -> bool {
     equivalent_with(p, q, s, &ContainOptions::default())
@@ -940,25 +902,6 @@ mod tests {
         assert_eq!(
             first.contained,
             contain(&p, &q, &s, &ContainOptions::default()).contained
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_contain() {
-        let s = s_of("<a><b><c/></b><d/></a>");
-        let p = parse_xam("//b[id:s]").unwrap();
-        let star = parse_xam("//*[id:s]").unwrap();
-        assert_eq!(contained_in(&p, &star, &s), c(&p, &star, &s));
-        let via_shim = contained_with_stats(&p, &star, &s);
-        let via_contain = contain(&p, &star, &s, &ContainOptions::default());
-        assert_eq!(via_shim.contained, via_contain.contained);
-        assert_eq!(via_shim.model_size, via_contain.model_size);
-        let p_rets = p.return_nodes();
-        let q_rets = star.return_nodes();
-        assert_eq!(
-            contained_with_stats_aligned(&p, &star, &s, &p_rets, &q_rets).contained,
-            via_contain.contained
         );
     }
 }

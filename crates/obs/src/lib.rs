@@ -38,5 +38,7 @@ pub mod subscriber;
 
 pub use json::Json;
 pub use metrics::{CacheCounters, ExecMetrics, Meter, NoMeter};
-pub use profile::{ArmTelemetry, OpProfile, PlanNodeProfile, QueryProfile};
+pub use profile::{
+    ArmTelemetry, OpProfile, OpStreamProfile, PlanNodeProfile, QueryProfile, StreamProfile,
+};
 pub use subscriber::{init_from_env, EnvFilter, FmtSubscriber};

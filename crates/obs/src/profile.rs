@@ -141,6 +141,90 @@ impl ArmTelemetry {
     }
 }
 
+/// Per-operator counters from one *streamed* (pipelined) execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStreamProfile {
+    /// Operator label, e.g. `StructJoin(⋈,ID/ID)`.
+    pub op: String,
+    /// Did this operator materialize its whole input before emitting?
+    pub breaker: bool,
+    /// Batches this operator emitted.
+    pub batches: u64,
+    /// Rows this operator emitted.
+    pub rows: u64,
+    /// Kernel counters absorbed from the per-batch evaluations.
+    pub metrics: ExecMetrics,
+}
+
+impl OpStreamProfile {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("op", Json::Str(self.op.clone())),
+            ("breaker", Json::Bool(self.breaker)),
+            ("batches", Json::Num(self.batches as f64)),
+            ("rows", Json::Num(self.rows as f64)),
+            ("comparisons", Json::Num(self.metrics.comparisons as f64)),
+            (
+                "stack_high_water",
+                Json::Num(self.metrics.stack_high_water as f64),
+            ),
+            (
+                "solutions_high_water",
+                Json::Num(self.metrics.solutions_high_water as f64),
+            ),
+            (
+                "twig_fallbacks",
+                Json::Num(self.metrics.twig_fallbacks as f64),
+            ),
+        ])
+    }
+}
+
+/// The pipelined executor's report for one query: batch configuration,
+/// stream totals, the peak-resident-tuples gauge, and per-operator
+/// counters in plan pre-order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamProfile {
+    /// Configured target rows per batch.
+    pub batch_size: u64,
+    /// Batches the consumer pulled from the root cursor.
+    pub batches: u64,
+    /// Rows the root cursor emitted in total.
+    pub rows: u64,
+    /// High-water mark of tuples resident across the whole cursor tree
+    /// (build sides + breaker buffers + in-flight batches).
+    pub peak_resident_tuples: u64,
+    /// Labels of the plan's pipeline breakers, pre-order.
+    pub breakers: Vec<String>,
+    /// Per-operator streaming counters, pre-order.
+    pub ops: Vec<OpStreamProfile>,
+}
+
+impl StreamProfile {
+    /// The stream report as JSON (the `"streamed"` object of the
+    /// profile schema) — also useful standalone, via
+    /// `QueryResults::stream_profile`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("batch_size", Json::Num(self.batch_size as f64)),
+            ("batches", Json::Num(self.batches as f64)),
+            ("rows", Json::Num(self.rows as f64)),
+            (
+                "peak_resident_tuples",
+                Json::Num(self.peak_resident_tuples as f64),
+            ),
+            (
+                "breakers",
+                Json::Arr(self.breakers.iter().map(|b| Json::Str(b.clone())).collect()),
+            ),
+            (
+                "ops",
+                Json::Arr(self.ops.iter().map(OpStreamProfile::to_json).collect()),
+            ),
+        ])
+    }
+}
+
 /// The complete `EXPLAIN ANALYZE` record for one query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryProfile {
@@ -155,6 +239,9 @@ pub struct QueryProfile {
     pub cache: Option<CacheCounters>,
     /// Twig-vs-cascade arm telemetry, when the plan had both arms.
     pub arm: Option<ArmTelemetry>,
+    /// The pipelined executor's counters, when the profiled run also
+    /// streamed the chosen plan.
+    pub streamed: Option<StreamProfile>,
     /// End-to-end wall time.
     pub total_ns: u64,
 }
@@ -220,6 +307,31 @@ impl QueryProfile {
                 }
             );
         }
+        if let Some(s) = &self.streamed {
+            let _ = writeln!(
+                out,
+                "streamed: batch_size={} batches={} rows={} peak_resident={}{}",
+                s.batch_size,
+                s.batches,
+                s.rows,
+                s.peak_resident_tuples,
+                if s.breakers.is_empty() {
+                    String::new()
+                } else {
+                    format!("  breakers=[{}]", s.breakers.join(", "))
+                }
+            );
+            for op in &s.ops {
+                let _ = writeln!(
+                    out,
+                    "  ▸ {}: {} batches, {} rows{}",
+                    op.op,
+                    op.batches,
+                    op.rows,
+                    if op.breaker { "  [breaker]" } else { "" }
+                );
+            }
+        }
         render_node(&mut out, &self.plan, "", true, true);
         out
     }
@@ -263,6 +375,13 @@ impl QueryProfile {
             "arm",
             match &self.arm {
                 Some(a) => a.to_json(),
+                None => Json::Null,
+            },
+        ));
+        fields.push((
+            "streamed",
+            match &self.streamed {
+                Some(s) => s.to_json(),
                 None => Json::Null,
             },
         ));
@@ -381,6 +500,34 @@ mod tests {
                 actual_alternative_ns: 2_100_000,
                 mispredicted: false,
             }),
+            streamed: Some(StreamProfile {
+                batch_size: 1024,
+                batches: 1,
+                rows: 50,
+                peak_resident_tuples: 62,
+                breakers: vec!["Sort".to_string()],
+                ops: vec![
+                    OpStreamProfile {
+                        op: "StructJoin(child)".to_string(),
+                        breaker: false,
+                        batches: 1,
+                        rows: 50,
+                        metrics: ExecMetrics {
+                            comparisons: 200,
+                            stack_high_water: 4,
+                            solutions_high_water: 0,
+                            twig_fallbacks: 0,
+                        },
+                    },
+                    OpStreamProfile {
+                        op: "Scan(v_items)".to_string(),
+                        breaker: false,
+                        batches: 1,
+                        rows: 10,
+                        metrics: ExecMetrics::default(),
+                    },
+                ],
+            }),
             total_ns: 2_001_000,
         }
     }
@@ -428,6 +575,9 @@ mod tests {
         assert!(text.contains("cache: hits=2"));
         assert!(text.contains("arm: chose twig"));
         assert!(text.contains("phases: parse=1.0µs"));
+        assert!(text.contains("streamed: batch_size=1024 batches=1 rows=50 peak_resident=62"));
+        assert!(text.contains("breakers=[Sort]"));
+        assert!(text.contains("▸ StructJoin(child): 1 batches, 50 rows"));
     }
 
     #[test]
@@ -453,5 +603,17 @@ mod tests {
         );
         assert!(sample().plan.any_mispredicted());
         assert_eq!(sample().plan.node_count(), 3);
+        assert_eq!(
+            reparsed
+                .get("streamed")
+                .and_then(|s| s.get("peak_resident_tuples"))
+                .and_then(Json::as_f64),
+            Some(62.0)
+        );
+        // a profile without a streamed pass serializes "streamed": null
+        let mut plain = sample();
+        plain.streamed = None;
+        let v = plain.to_json();
+        assert_eq!(v.get("streamed"), Some(&Json::Null));
     }
 }

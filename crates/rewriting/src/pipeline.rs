@@ -13,12 +13,16 @@
 //! selects worker threads and the shared containment cache, both of
 //! which change only wall-clock time, never results.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
-use algebra::{Evaluator, LogicalPlan, Relation};
+use algebra::{CursorConfig, Evaluator, LogicalPlan, Relation, StreamExec, TupleBatch};
 use containment::{CacheStats, CanonicalCache};
-use obs::{ArmTelemetry, CacheCounters, OpProfile, PlanNodeProfile, QueryProfile};
+use obs::{
+    ArmTelemetry, CacheCounters, OpProfile, OpStreamProfile, PlanNodeProfile, QueryProfile,
+    StreamProfile,
+};
 use parking_lot::Mutex;
 use summary::Summary;
 use uload_error::{Error, Result};
@@ -57,6 +61,11 @@ pub struct EngineConfig {
     /// run *both* twig arms, so they cost extra wall time; off (the
     /// default), answering takes the unmetered fast path.
     pub profiling: bool,
+    /// Target rows per [`TupleBatch`] pulled through the streaming
+    /// executor behind [`Uload::query`] (must be ≥ 1). Operators may
+    /// emit smaller batches (filters) or larger ones (joins, `Unnest`);
+    /// this only sets the granularity at which base scans chunk.
+    pub batch_size: usize,
     /// The rewriting search bounds (§5.3's generate-and-test knobs).
     pub rewrite: RewriteConfig,
 }
@@ -68,6 +77,7 @@ impl Default for EngineConfig {
             cache_capacity: 4096,
             use_twigstack: true,
             profiling: false,
+            batch_size: 1024,
             rewrite: RewriteConfig::default(),
         }
     }
@@ -81,6 +91,9 @@ impl EngineConfig {
                 "threads = {} exceeds the 1024 worker limit",
                 self.threads
             )));
+        }
+        if self.batch_size == 0 {
+            return Err(Error::Config("batch_size must be at least 1".into()));
         }
         if self.rewrite.max_views == 0 {
             return Err(Error::Config("rewrite.max_views must be at least 1".into()));
@@ -137,6 +150,12 @@ impl<'d> UloadBuilder<'d> {
         self
     }
 
+    /// Target rows per batch of the streaming executor (≥ 1).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size;
+        self
+    }
+
     /// The rewriting search bounds.
     pub fn rewrite_config(mut self, rewrite: RewriteConfig) -> Self {
         self.config.rewrite = rewrite;
@@ -188,20 +207,6 @@ impl Uload {
             cache,
             last_profile: Mutex::new(None),
         }
-    }
-
-    /// Set up over a document with default configuration.
-    #[deprecated(since = "0.2.0", note = "use `Uload::builder().document(doc).build()`")]
-    pub fn new(doc: &Document) -> Uload {
-        Uload::assemble(doc, EngineConfig::default())
-    }
-
-    #[deprecated(
-        since = "0.2.0",
-        note = "configure through `Uload::builder().config(...)` before building"
-    )]
-    pub fn config_mut(&mut self) -> &mut RewriteConfig {
-        &mut self.config.rewrite
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -361,6 +366,52 @@ impl Uload {
         Ok((Self::serialize(&rel), p.used))
     }
 
+    /// Answer a query as a *stream*: rewrite and plan up front, then
+    /// return a [`QueryResults`] cursor that pulls result batches on
+    /// demand through the pipelined executor. Nothing beyond the plan's
+    /// pipeline breakers (and join build sides) is materialized, and
+    /// dropping or [`QueryResults::close`]-ing the stream early cancels
+    /// the whole cursor tree — the LIMIT-style early-termination path.
+    ///
+    /// The streamed rows are exactly [`Uload::answer`]'s rows, in the
+    /// same order (the executor runs the same physical kernels).
+    pub fn query<'e>(&'e self, query: &str, doc: &'e Document) -> Result<QueryResults<'e>> {
+        let span = tracing::debug_span!(target: "uload::query", "query");
+        let _g = span.enter();
+        let p = self.prepare(query)?;
+        let mut plan = p.base_plan;
+        let mut ccfg = CursorConfig {
+            batch_size: self.config.batch_size,
+            profiling: self.config.profiling,
+            ..CursorConfig::default()
+        };
+        if self.config.use_twigstack {
+            plan = algebra::fuse_struct_joins(&plan);
+        } else {
+            ccfg.eval.use_twigstack = false;
+        }
+        let breakers = algebra::pipeline_breakers(&plan);
+        if !breakers.is_empty() {
+            tracing::debug!(
+                target: "uload::eval",
+                "plan has {} pipeline breaker(s): {:?}",
+                breakers.len(),
+                breakers
+            );
+        }
+        let exec = algebra::build_cursor(&plan, self.store.catalog(), Some(doc), &ccfg)
+            .map_err(|e| Error::Eval(e.to_string()))?;
+        Ok(QueryResults {
+            exec,
+            pending: VecDeque::new(),
+            rewritings: p.used,
+            breakers,
+            batches: 0,
+            rows: 0,
+            closed: false,
+        })
+    }
+
     /// `EXPLAIN ANALYZE`: answer the query while measuring every phase
     /// and operator, pairing the cost model's estimates with actuals.
     ///
@@ -446,6 +497,28 @@ impl Uload {
             None
         };
 
+        // drain a profiling streamed execution of the chosen plan so the
+        // profile also reports per-operator batches, rows and the
+        // pipelined executor's peak-resident-tuples high-water mark
+        let streamed = {
+            let mut ccfg = CursorConfig {
+                batch_size: self.config.batch_size,
+                profiling: true,
+                ..CursorConfig::default()
+            };
+            ccfg.eval.use_twigstack = chosen_is_twig;
+            let breakers = algebra::pipeline_breakers(&chosen_plan);
+            let mut exec = algebra::build_cursor(&chosen_plan, catalog, Some(doc), &ccfg)
+                .map_err(|e| Error::Eval(e.to_string()))?;
+            let (mut batches, mut rows) = (0u64, 0u64);
+            while let Some(b) = exec.next_batch().map_err(|e| Error::Eval(e.to_string()))? {
+                batches += 1;
+                rows += b.len() as u64;
+            }
+            exec.close();
+            stream_profile_of(&exec, batches, rows, breakers)
+        };
+
         let plan_profile = pair_estimates(&chosen_plan, &op_profile, catalog);
         let profile = QueryProfile {
             query: query.to_string(),
@@ -466,6 +539,7 @@ impl Uload {
                 annotation_entries: s.annotation_entries,
             }),
             arm,
+            streamed: Some(streamed),
             total_ns: total.elapsed().as_nanos() as u64,
         };
         *self.last_profile.lock() = Some(profile.clone());
@@ -476,6 +550,147 @@ impl Uload {
     /// (`None` until one has run).
     pub fn last_profile(&self) -> Option<QueryProfile> {
         self.last_profile.lock().clone()
+    }
+}
+
+/// A streaming result set from [`Uload::query`].
+///
+/// Iterates serialized XML items (`Iterator<Item = Result<String>>`),
+/// pulling tuple batches through the pipelined executor only as they
+/// are consumed. For batch-at-a-time consumers, [`QueryResults::next_batch`]
+/// exposes the raw [`TupleBatch`]es instead (the two drain the same
+/// stream — don't interleave them unless that's what you mean).
+///
+/// Stopping early is first-class: [`QueryResults::close`] (or simply
+/// dropping the value) cancels the whole cursor tree, so a LIMIT-style
+/// consumer never pays for the rows it doesn't look at.
+pub struct QueryResults<'e> {
+    exec: StreamExec<'e>,
+    pending: VecDeque<String>,
+    rewritings: Vec<Rewriting>,
+    breakers: Vec<String>,
+    batches: u64,
+    rows: u64,
+    closed: bool,
+}
+
+impl QueryResults<'_> {
+    /// Pull the next raw batch of result tuples (`None` once exhausted
+    /// or after [`QueryResults::close`]).
+    pub fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
+        if self.closed {
+            return Ok(None);
+        }
+        match self.exec.next_batch() {
+            Ok(Some(b)) => {
+                self.batches += 1;
+                self.rows += b.len() as u64;
+                Ok(Some(b))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => Err(Error::Eval(e.to_string())),
+        }
+    }
+
+    /// Cancel the stream: close the whole cursor tree and release its
+    /// resident state. Idempotent; also runs on drop.
+    pub fn close(&mut self) {
+        if !self.closed {
+            self.exec.close();
+            self.closed = true;
+        }
+    }
+
+    /// The per-pattern rewritings the planner chose for this query.
+    pub fn rewritings(&self) -> &[Rewriting] {
+        &self.rewritings
+    }
+
+    /// Pre-order labels of the plan's pipeline breakers (operators that
+    /// must buffer their whole input before emitting).
+    pub fn breakers(&self) -> &[String] {
+        &self.breakers
+    }
+
+    /// The configured target batch size.
+    pub fn batch_size(&self) -> usize {
+        self.exec.batch_size()
+    }
+
+    /// Rows pulled out of the stream so far.
+    pub fn rows_emitted(&self) -> u64 {
+        self.rows
+    }
+
+    /// High-water mark of tuples resident in the executor so far.
+    pub fn peak_resident_tuples(&self) -> u64 {
+        self.exec.peak_resident()
+    }
+
+    /// Snapshot of this stream's profile so far. Per-operator entries
+    /// are populated only when the engine was built with
+    /// [`EngineConfig::profiling`] on; the top-level batch/row/residency
+    /// counters are always live.
+    pub fn stream_profile(&self) -> StreamProfile {
+        stream_profile_of(&self.exec, self.batches, self.rows, self.breakers.clone())
+    }
+}
+
+impl Iterator for QueryResults<'_> {
+    type Item = Result<String>;
+
+    fn next(&mut self) -> Option<Result<String>> {
+        loop {
+            if let Some(s) = self.pending.pop_front() {
+                return Some(Ok(s));
+            }
+            match self.next_batch() {
+                Ok(Some(b)) => self.pending.extend(
+                    b.tuples
+                        .iter()
+                        .map(|t| t.get(0).as_str().unwrap_or("").to_string()),
+                ),
+                Ok(None) => return None,
+                Err(e) => {
+                    self.close();
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for QueryResults<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Assemble a [`StreamProfile`] from a (possibly drained) executor.
+fn stream_profile_of(
+    exec: &StreamExec<'_>,
+    batches: u64,
+    rows: u64,
+    breakers: Vec<String>,
+) -> StreamProfile {
+    let ops = exec
+        .op_stats()
+        .iter()
+        .map(|o| OpStreamProfile {
+            op: o.label.clone(),
+            breaker: o.breaker,
+            batches: o.cells.batches.get(),
+            rows: o.cells.rows.get(),
+            metrics: *o.cells.metrics.borrow(),
+        })
+        .collect();
+    StreamProfile {
+        batch_size: exec.batch_size() as u64,
+        batches,
+        rows,
+        peak_resident_tuples: exec.peak_resident(),
+        breakers,
+        ops,
     }
 }
 

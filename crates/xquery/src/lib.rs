@@ -22,4 +22,4 @@ pub mod translate;
 
 pub use extract::{extract_patterns, ExtractedQuery};
 pub use parse::{parse_query, NameTest, PathExpr, Query, QueryParseError, Step};
-pub use translate::{execute_query, query_plan};
+pub use translate::{execute_query, execute_query_with_plan, query_plan};

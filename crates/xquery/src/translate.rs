@@ -113,6 +113,15 @@ pub fn query_plan(text: &str) -> Result<(ExtractedQuery, LogicalPlan), QueryErro
 /// assert!(out[0].contains("<title>Data on the Web</title>"));
 /// ```
 pub fn execute_query(text: &str, doc: &Document) -> Result<Vec<String>, QueryError> {
+    execute_query_with_plan(text, doc).map(|(out, _)| out)
+}
+
+/// [`execute_query`], additionally returning the combined logical plan
+/// that was executed (callers fingerprint or inspect it).
+pub fn execute_query_with_plan(
+    text: &str,
+    doc: &Document,
+) -> Result<(Vec<String>, LogicalPlan), QueryError> {
     let (ex, plan) = query_plan(text)?;
     let mut catalog = Catalog::new();
     for p in &ex.patterns {
@@ -120,11 +129,12 @@ pub fn execute_query(text: &str, doc: &Document) -> Result<Vec<String>, QueryErr
     }
     let ev = Evaluator::with_document(&catalog, doc);
     let rel: Relation = ev.eval(&plan)?;
-    Ok(rel
+    let out = rel
         .tuples
         .iter()
         .map(|t| t.get(0).as_str().unwrap_or("").to_string())
-        .collect())
+        .collect();
+    Ok((out, plan))
 }
 
 fn merge_catalog(into: &mut Catalog, from: Catalog) {

@@ -67,7 +67,7 @@ fn main() -> Result<()> {
 
     // 3. answer from the views and cross-check against direct evaluation
     let (from_views, used) = engine.answer(query, &doc)?;
-    let direct = execute_query(query, &doc)?;
+    let direct = execute_query(query, &doc)?.into_strings();
     assert_eq!(from_views, direct, "view-based and direct answers differ");
     println!(
         "\n{} results from views {:?}; first:\n{}",

@@ -42,8 +42,14 @@ fn main() -> Result<()> {
     let query = r#"for $b in doc("bib.xml")//book
                    where $b/@year = "1999"
                    return <hit>{$b/title}</hit>"#;
-    let out = execute_query(query, &doc)?;
-    println!("\ndirect evaluation of\n  {query}\n→ {out:?}");
+    let direct = execute_query(query, &doc)?;
+    println!(
+        "\ndirect evaluation of\n  {query}\n→ {} item(s), plan fingerprint {:016x}",
+        direct.items.len(),
+        direct.plan_fingerprint
+    );
+    let out = direct.into_strings();
+    println!("→ {out:?}");
 
     // 5. the same query answered purely from materialized views: register
     //    views, and the rewriter plans over them (physical data
@@ -67,6 +73,22 @@ fn main() -> Result<()> {
     }
     assert_eq!(out, answers);
     println!("\ndirect and view-based answers agree ✓");
+
+    // 5b. the same answers as a *stream*: `Uload::query` returns a
+    //     cursor that pulls batches through the pipelined executor on
+    //     demand — iterate a prefix and drop it, and the rows never
+    //     looked at are never computed (LIMIT-style early termination)
+    let mut stream = engine.query(
+        r#"for $b in doc("bib.xml")//book where $b/@year = "1999" return <hit>{$b/title}</hit>"#,
+        &doc,
+    )?;
+    let first = stream.next().transpose()?;
+    println!(
+        "streamed first item: {first:?} (batch size {}, peak resident tuples {})",
+        stream.batch_size(),
+        stream.peak_resident_tuples()
+    );
+    stream.close();
 
     // 6. the engine scales up: worker threads + a shared canonical-model
     //    cache, same answers (the parallel merge order is deterministic)

@@ -4,8 +4,9 @@
 //! uload summary <file.xml>                 # print the path summary
 //! uload xam <file.xml> '<xam>'             # evaluate a XAM over the file
 //! uload query <file.xml> '<xquery>'        # run an XQuery directly
-//! uload rewrite <file.xml> '<xquery>' '<name>=<xam>' [more views…]
+//! uload rewrite <file.xml> '<xquery>' '<name>=<xam>' [more views…] [--limit N]
 //!                                          # answer the query from views only
+//!                                          # (--limit streams and stops early)
 //! uload contain <file.xml> '<xam p>' '<xam q>' [--threads N]
 //!                                          # decide p ⊆_S q under the summary
 //! ```
@@ -38,7 +39,7 @@ fn usage() -> Error {
     Error::Config(
         "usage:\n  uload summary <file.xml>\n  uload xam <file.xml> '<xam>'\n  \
          uload query <file.xml> '<xquery>'\n  \
-         uload rewrite <file.xml> '<xquery>' '<name>=<xam>'…\n  \
+         uload rewrite <file.xml> '<xquery>' '<name>=<xam>'… [--limit N]\n  \
          uload contain <file.xml> '<xam p>' '<xam q>' [--threads N]"
             .to_string(),
     )
@@ -80,16 +81,37 @@ fn run(args: &[String]) -> Result<()> {
         "query" => {
             let doc = load(args.get(1).ok_or_else(usage)?)?;
             let out = uload::execute_query(args.get(2).ok_or_else(usage)?, &doc)?;
-            for line in &out {
-                println!("{line}");
+            for item in &out.items {
+                println!("{}", item.xml);
             }
-            println!("({} results)", out.len());
+            println!(
+                "({} results, plan fingerprint {:016x})",
+                out.items.len(),
+                out.plan_fingerprint
+            );
             Ok(())
         }
         "rewrite" => {
             let doc = load(args.get(1).ok_or_else(usage)?)?;
             let query = args.get(2).ok_or_else(usage)?;
-            if args.len() < 4 {
+            let mut views: Vec<&str> = Vec::new();
+            let mut limit: Option<usize> = None;
+            let mut i = 3;
+            while i < args.len() {
+                if args[i] == "--limit" {
+                    limit = Some(
+                        args.get(i + 1)
+                            .ok_or_else(usage)?
+                            .parse::<usize>()
+                            .map_err(|e| Error::Config(format!("--limit: {e}")))?,
+                    );
+                    i += 2;
+                } else {
+                    views.push(&args[i]);
+                    i += 1;
+                }
+            }
+            if views.is_empty() {
                 return Err(Error::Config(
                     "rewrite needs at least one view (<name>=<xam>)".into(),
                 ));
@@ -98,7 +120,7 @@ fn run(args: &[String]) -> Result<()> {
                 .document(&doc)
                 .config(EngineConfig::default())
                 .build()?;
-            for def in &args[3..] {
+            for def in views {
                 let (name, text) = def.split_once('=').ok_or_else(|| {
                     Error::Config(format!("bad view definition `{def}` (want name=xam)"))
                 })?;
@@ -108,14 +130,33 @@ fn run(args: &[String]) -> Result<()> {
                     engine.store().relation(name).map(|r| r.len()).unwrap_or(0)
                 );
             }
-            let (out, used) = engine.answer(query, &doc)?;
-            for rw in &used {
-                println!("rewriting over {:?}: {}", rw.views_used, rw.plan);
+            match limit {
+                // stream through the pipelined executor and stop early:
+                // closing the cursor tree skips the rows never looked at
+                Some(n) => {
+                    let mut results = engine.query(query, &doc)?;
+                    for rw in results.rewritings() {
+                        println!("rewriting over {:?}: {}", rw.views_used, rw.plan);
+                    }
+                    let mut count = 0usize;
+                    for item in results.by_ref().take(n) {
+                        println!("{}", item?);
+                        count += 1;
+                    }
+                    results.close();
+                    println!("({count} results, limit {n}, streamed from views only)");
+                }
+                None => {
+                    let (out, used) = engine.answer(query, &doc)?;
+                    for rw in &used {
+                        println!("rewriting over {:?}: {}", rw.views_used, rw.plan);
+                    }
+                    for line in &out {
+                        println!("{line}");
+                    }
+                    println!("({} results, from views only)", out.len());
+                }
             }
-            for line in &out {
-                println!("{line}");
-            }
-            println!("({} results, from views only)", out.len());
             Ok(())
         }
         "contain" => {

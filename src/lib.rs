@@ -27,7 +27,7 @@
 
 pub use uload_error::{Error, Result};
 
-pub use algebra::{fuse_struct_joins, Evaluator, Relation, TwigPattern};
+pub use algebra::{fuse_struct_joins, Evaluator, Relation, StreamExec, TupleBatch, TwigPattern};
 pub use containment::{
     canonical_model, contain, contained_in_union, equivalent, equivalent_with,
     minimize_by_contraction, minimize_by_contraction_with, minimize_global, minimize_global_with,
@@ -36,11 +36,11 @@ pub use containment::{
 pub use obs::json;
 pub use obs::{
     init_from_env, ArmTelemetry, CacheCounters, EnvFilter, ExecMetrics, FmtSubscriber, Json,
-    OpProfile, PlanNodeProfile, QueryProfile,
+    OpProfile, OpStreamProfile, PlanNodeProfile, QueryProfile, StreamProfile,
 };
 pub use rewriting::{
-    rewrite_with_engine, EngineConfig, EngineOptions, RewriteConfig, RewriteStats, Rewriting,
-    Uload, UloadBuilder,
+    rewrite_with_engine, EngineConfig, EngineOptions, QueryResults, RewriteConfig, RewriteStats,
+    Rewriting, Uload, UloadBuilder,
 };
 pub use storage::{catalog, qep, IdStreamIndex};
 pub use summary::Summary;
@@ -63,9 +63,53 @@ pub fn evaluate_xam(xam: &Xam, doc: &Document) -> Result<Relation> {
     xam_core::evaluate(xam, doc).map_err(|e| Error::Eval(e.to_string()))
 }
 
-/// Execute an XQuery directly over a document (no views involved).
-pub fn execute_query(text: &str, doc: &Document) -> Result<Vec<String>> {
-    xquery::execute_query(text, doc).map_err(|e| Error::Translate(e.to_string()))
+/// Typed output of [`execute_query`]: one serialized item per result
+/// row, plus a fingerprint of the logical plan that produced them
+/// (stable across runs of the same engine version, so regressions in
+/// planning show up as a fingerprint change even when the rows agree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutput {
+    /// The query's result items, in result order.
+    pub items: Vec<QueryItem>,
+    /// Hash of the executed logical plan's canonical textual form.
+    pub plan_fingerprint: u64,
+}
+
+/// One serialized result item of a [`QueryOutput`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryItem {
+    /// The item serialized as XML.
+    pub xml: String,
+}
+
+impl QueryOutput {
+    /// The serialized items as plain strings (the pre-0.4 shape).
+    pub fn into_strings(self) -> Vec<String> {
+        self.items.into_iter().map(|i| i.xml).collect()
+    }
+}
+
+/// Execute an XQuery directly over a document (no views involved),
+/// returning the typed [`QueryOutput`].
+pub fn execute_query(text: &str, doc: &Document) -> Result<QueryOutput> {
+    use std::hash::{Hash, Hasher};
+    let (items, plan) =
+        xquery::execute_query_with_plan(text, doc).map_err(|e| Error::Translate(e.to_string()))?;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    plan.to_string().hash(&mut h);
+    Ok(QueryOutput {
+        items: items.into_iter().map(|xml| QueryItem { xml }).collect(),
+        plan_fingerprint: h.finish(),
+    })
+}
+
+/// Former string-vector form of [`execute_query`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use `execute_query` (returns `QueryOutput`); call `.into_strings()` for the old shape"
+)]
+pub fn execute_query_strings(text: &str, doc: &Document) -> Result<Vec<String>> {
+    execute_query(text, doc).map(QueryOutput::into_strings)
 }
 
 /// Parse an XQuery into its AST (for pattern extraction).
@@ -86,7 +130,8 @@ pub mod prelude {
         minimize_by_contraction, minimize_global, parse_document, parse_query, parse_xam, qep,
         rewrite_with_engine, CacheStats, CanonicalCache, ContainOptions, ContainmentOutcome,
         Document, EngineConfig, EngineOptions, Error, Evaluator, IdStreamIndex, PlanNodeProfile,
-        QueryProfile, Relation, Result, RewriteConfig, Rewriting, Summary, TwigPattern, Uload, Xam,
+        QueryItem, QueryOutput, QueryProfile, QueryResults, Relation, Result, RewriteConfig,
+        Rewriting, StreamProfile, Summary, TupleBatch, TwigPattern, Uload, Xam,
     };
 }
 

@@ -61,6 +61,19 @@ fn bib_qep_profile_hand_computed() {
     // phase timings cover the whole lifecycle
     let names: Vec<&str> = profile.phases.iter().map(|(n, _)| n.as_str()).collect();
     assert_eq!(names, ["parse", "extract", "rewrite", "plan", "eval"]);
+
+    // the profile also carries the pipelined executor's stream report:
+    // same rows, per-operator counters in pre-order (root first)
+    let streamed = profile.streamed.as_ref().expect("streamed profile");
+    assert_eq!(streamed.rows as usize, out.len());
+    assert!(streamed.batches >= 1);
+    assert!(streamed.peak_resident_tuples > 0);
+    assert_eq!(streamed.ops.len(), 9, "one entry per QEP operator");
+    assert_eq!(streamed.ops[0].rows, streamed.rows);
+    assert!(streamed
+        .ops
+        .iter()
+        .any(|o| o.op.starts_with("TwigJoin") && o.metrics.comparisons > 0));
 }
 
 fn collect_leaves<'p>(n: &'p PlanNodeProfile, out: &mut Vec<&'p PlanNodeProfile>) {

@@ -220,6 +220,69 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The pipelined batch executor returns exactly the materialized
+    /// evaluator's relation — same rows, same order — on random XMark
+    /// and DBLP twig plans (both the fused holistic form and the binary
+    /// cascade), across batch sizes down to one row per batch.
+    #[test]
+    fn streamed_matches_materialized(
+        spec in prop::collection::vec((0usize..10, 0usize..8, 0usize..2), 2..7),
+        dblp_sel in 0usize..2,
+        batch_pick in 0usize..4,
+    ) {
+        let dblp = dblp_sel == 1;
+        let doc = if dblp { generate::dblp(6, 7) } else { generate::xmark(3, 7) };
+        let pool: [&'static str; 10] = if dblp {
+            ["dblp", "article", "inproceedings", "book", "author",
+             "title", "year", "journal", "pages", "url"]
+        } else {
+            ["site", "regions", "item", "name", "description",
+             "parlist", "listitem", "text", "keyword", "mailbox"]
+        };
+        let mut w = uload_bench::experiments::TwigWorkload {
+            name: "prop".into(),
+            labels: Vec::new(),
+            parents: Vec::new(),
+            axes: Vec::new(),
+        };
+        for (k, &(label, parent, child)) in spec.iter().enumerate() {
+            w.labels.push(pool[label]);
+            w.parents.push(if k == 0 { 0 } else { parent % k });
+            w.axes.push(if child == 1 { algebra::Axis::Child } else { algebra::Axis::Descendant });
+        }
+        let idx = storage::IdStreamIndex::build(&doc);
+        if w.streams(&idx).iter().any(|s| s.is_empty()) {
+            return Ok(()); // label absent: no ids_* relation to scan
+        }
+        let cat = uload_bench::experiments::twig_catalog(&doc);
+        let batch_size = [1usize, 2, 7, 1024][batch_pick];
+        for (plan, twig_on) in [
+            (w.twig_plan(), true),
+            (w.twig_plan(), false), // exercises the cascade fallback
+            (w.cascade_plan(), true),
+        ] {
+            let mut ev = algebra::Evaluator::new(&cat);
+            ev.config.use_twigstack = twig_on;
+            let oracle = ev.eval(&plan).unwrap();
+            let mut ccfg = algebra::CursorConfig {
+                batch_size,
+                ..Default::default()
+            };
+            ccfg.eval.use_twigstack = twig_on;
+            let exec = algebra::build_cursor(&plan, &cat, None, &ccfg).unwrap();
+            let streamed = exec.collect().unwrap();
+            prop_assert_eq!(
+                &streamed, &oracle,
+                "streamed != materialized on {:?} (batch {}, twig {})",
+                w.labels, batch_size, twig_on
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(2))]
 
     /// The parallel, cache-backed engine is observationally identical to
