@@ -20,8 +20,11 @@ use crate::order::{tuple_cmp_all, value_cmp, OrderSpec};
 use crate::plan::{
     Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate, TwigStep,
 };
-use crate::stacktree::{nested_loop_pairs, stack_tree_pairs, stack_tree_pairs_metered};
-use crate::twig::{twig_join, twig_join_metered, twig_to_cascade, TwigPattern};
+use crate::skip::SkipIndex;
+use crate::stacktree::{
+    nested_loop_pairs, stack_tree_pairs_indexed, stack_tree_pairs_indexed_metered,
+};
+use crate::twig::{twig_join_indexed, twig_join_indexed_metered, twig_to_cascade, TwigPattern};
 use crate::value::{Collection, Field, FieldKind, Schema, Tuple, Value};
 
 /// A materialized nested relation: schema + tuples (list semantics).
@@ -111,6 +114,10 @@ pub struct EvalConfig {
     /// merge (`false` = desugar to the binary cascade, for the ablation
     /// bench and as the correctness oracle).
     pub use_twigstack: bool,
+    /// Build [`SkipIndex`]es over join input streams so the StackTree
+    /// merge and the twig kernel seek over prunable regions instead of
+    /// scanning them (`false` = linear advance, for the ablation bench).
+    pub use_skip_index: bool,
 }
 
 impl Default for EvalConfig {
@@ -118,6 +125,7 @@ impl Default for EvalConfig {
         EvalConfig {
             use_stacktree: true,
             use_twigstack: true,
+            use_skip_index: true,
         }
     }
 }
@@ -591,9 +599,16 @@ impl<'a> Evaluator<'a> {
             if !is_sorted_by_pre(&rids) {
                 rids.sort_by_key(|(s, _)| s.pre);
             }
+            let ix = self.config.use_skip_index.then(|| SkipIndex::build(&rids));
             match &self.metrics {
-                Some(m) => stack_tree_pairs_metered(&lids, &rids, axis, &mut *m.borrow_mut()),
-                None => stack_tree_pairs(&lids, &rids, axis),
+                Some(m) => stack_tree_pairs_indexed_metered(
+                    &lids,
+                    &rids,
+                    axis,
+                    ix.as_ref(),
+                    &mut *m.borrow_mut(),
+                ),
+                None => stack_tree_pairs_indexed(&lids, &rids, axis, ix.as_ref()),
             }
         } else {
             if let Some(m) = &self.metrics {
@@ -710,7 +725,13 @@ impl<'a> Evaluator<'a> {
                 return self.eval(&twig_to_cascade(root, steps));
             }
         };
-        let solutions = twig_solutions(&rels, &shape, steps, self.metrics.as_ref());
+        let solutions = twig_solutions(
+            &rels,
+            &shape,
+            steps,
+            self.config.use_skip_index,
+            self.metrics.as_ref(),
+        );
         // one output tuple per solution; twig_join already emits them in
         // the cascade's lexicographic order
         let mut tuples = Vec::with_capacity(solutions.len());
@@ -1349,6 +1370,7 @@ pub(crate) fn twig_solutions(
     rels: &[Relation],
     shape: &TwigShape,
     steps: &[TwigStep],
+    use_skip: bool,
     metrics: Option<&RefCell<ExecMetrics>>,
 ) -> Vec<Vec<usize>> {
     let mut pattern = TwigPattern::root();
@@ -1371,9 +1393,21 @@ pub(crate) fn twig_solutions(
         streams.push(ids);
     }
     let refs: Vec<&[(StructuralId, usize)]> = streams.iter().map(|s| s.as_slice()).collect();
+    // index build is one O(n/block) pass per stream — negligible next to
+    // the merge, and it unlocks the kernel's seek-based pruning
+    let indexes: Vec<SkipIndex> = if use_skip {
+        streams.iter().map(|s| SkipIndex::build(s)).collect()
+    } else {
+        Vec::new()
+    };
+    let opts: Vec<Option<&SkipIndex>> = if use_skip {
+        indexes.iter().map(Some).collect()
+    } else {
+        vec![None; refs.len()]
+    };
     match metrics {
-        Some(m) => twig_join_metered(&pattern, &refs, &mut *m.borrow_mut()),
-        None => twig_join(&pattern, &refs),
+        Some(m) => twig_join_indexed_metered(&pattern, &refs, &opts, &mut *m.borrow_mut()),
+        None => twig_join_indexed(&pattern, &refs, &opts),
     }
 }
 

@@ -24,6 +24,7 @@ pub mod cursor;
 pub mod eval;
 pub mod order;
 pub mod plan;
+pub mod skip;
 pub mod stacktree;
 pub mod twig;
 pub mod value;
@@ -39,8 +40,10 @@ pub use order::OrderSpec;
 pub use plan::{
     Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate, TwigStep,
 };
+pub use skip::{Seek, SidLike, SkipIndex, DEFAULT_BLOCK};
 pub use twig::{
-    fuse_struct_joins, twig_join, twig_join_metered, twig_to_cascade, TwigNode, TwigPattern,
+    fuse_struct_joins, twig_join, twig_join_indexed, twig_join_indexed_metered, twig_join_metered,
+    twig_to_cascade, TwigNode, TwigPattern,
 };
 pub use value::{CollKind, Collection, Field, FieldKind, Schema, Tuple, Value};
 pub use xmlgen::Template;

@@ -1,0 +1,397 @@
+//! XB-tree-style hierarchical skip index over a pre-sorted
+//! [`StructuralId`] stream.
+//!
+//! A [`SkipIndex`] summarizes consecutive blocks of a stream by fence
+//! pairs `[min_pre, max_post]` and stacks fence levels until the top
+//! level fits in one block, exactly like the XB-tree the TwigStack line
+//! of work pairs with holistic joins. Because a stream sorted by `pre`
+//! keeps every subtree contiguous, two seek primitives cover all the
+//! skipping the join kernels need:
+//!
+//! * [`SkipIndex::seek_descendant_of`] — the first position whose
+//!   element can still be a descendant of an anchor (`pre > anchor.pre`);
+//! * [`SkipIndex::seek_past`] — the first position past the anchor's
+//!   whole subtree (`pre > anchor.pre` and `post > anchor.post`).
+//!
+//! Both descend the fence hierarchy instead of scanning elements, so a
+//! seek over `n` elements costs `O(block · log_block n)` fence tests and
+//! reports how many fence blocks it stepped over whole — the
+//! `blocks_pruned` figure of the execution metrics. The kernels add the
+//! jumped-over element count as `elements_skipped`.
+
+use xmltree::StructuralId;
+
+/// Items a [`SkipIndex`] can be built over: anything carrying a
+/// [`StructuralId`]. Lets one index type serve both the storage layer's
+/// plain ID columns and the kernels' `(id, payload)` streams.
+pub trait SidLike {
+    fn sid(&self) -> StructuralId;
+}
+
+impl SidLike for StructuralId {
+    #[inline]
+    fn sid(&self) -> StructuralId {
+        *self
+    }
+}
+
+impl SidLike for (StructuralId, usize) {
+    #[inline]
+    fn sid(&self) -> StructuralId {
+        self.0
+    }
+}
+
+/// One fence: bounds of a block of consecutive stream elements (or of
+/// consecutive lower-level fences). `min_pre` is the block's first pre
+/// rank (streams are pre-sorted); `max_post` bounds every post inside.
+#[derive(Debug, Clone, Copy)]
+struct Fence {
+    min_pre: u32,
+    max_post: u32,
+}
+
+/// Outcome of a seek: the target position plus how many fence blocks
+/// the descent stepped over without opening them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Seek {
+    /// First qualifying position (`== stream length` when none).
+    pub pos: usize,
+    /// Fence blocks (any level) skipped whole during the descent.
+    pub blocks_pruned: u64,
+}
+
+/// The default fence block size (elements per leaf fence, fences per
+/// upper-level fence).
+pub const DEFAULT_BLOCK: usize = 64;
+
+/// Hierarchical `[min_pre, max_post]` fence index over one pre-sorted
+/// stream. The index stores no elements — seeks take the stream slice
+/// they index, and callers must pass the same (unchanged) stream the
+/// index was built over.
+#[derive(Debug, Clone, Default)]
+pub struct SkipIndex {
+    block: usize,
+    len: usize,
+    /// `levels[0]` fences element blocks; `levels[k]` fences blocks of
+    /// `levels[k-1]`. The last level has at most `block` fences.
+    levels: Vec<Vec<Fence>>,
+}
+
+impl SkipIndex {
+    /// Build with the default block size.
+    pub fn build<T: SidLike>(stream: &[T]) -> SkipIndex {
+        SkipIndex::with_block(stream, DEFAULT_BLOCK)
+    }
+
+    /// Build with an explicit block size (clamped to ≥ 1); exposed so
+    /// tests can exercise degenerate and non-power-of-two layouts.
+    pub fn with_block<T: SidLike>(stream: &[T], block: usize) -> SkipIndex {
+        let block = block.max(1);
+        debug_assert!(stream.windows(2).all(|w| w[0].sid().pre <= w[1].sid().pre));
+        let mut levels: Vec<Vec<Fence>> = Vec::new();
+        let mut level: Vec<Fence> = stream
+            .chunks(block)
+            .map(|c| Fence {
+                min_pre: c[0].sid().pre,
+                max_post: c.iter().map(|e| e.sid().post).max().unwrap(),
+            })
+            .collect();
+        while level.len() > 1 {
+            let next: Vec<Fence> = level
+                .chunks(block)
+                .map(|c| Fence {
+                    min_pre: c[0].min_pre,
+                    max_post: c.iter().map(|f| f.max_post).max().unwrap(),
+                })
+                .collect();
+            if next.len() >= level.len() {
+                break; // block == 1: chunking cannot shrink a level
+            }
+            let done = next.len() <= block;
+            levels.push(level);
+            level = next;
+            if done {
+                break;
+            }
+        }
+        levels.push(level);
+        SkipIndex {
+            block,
+            len: stream.len(),
+            levels,
+        }
+    }
+
+    /// Elements covered by the index.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured fence block size.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Fence levels stacked over the stream (0 for an empty stream).
+    pub fn depth(&self) -> usize {
+        if self.len == 0 {
+            0
+        } else {
+            self.levels.len()
+        }
+    }
+
+    /// First position at or after `from` whose element can still be a
+    /// descendant of `anchor` — i.e. the first with `pre > anchor.pre`.
+    /// Elements before it precede the anchor in document order and can
+    /// never fall inside the anchor's (or any later candidate's)
+    /// subtree.
+    pub fn seek_descendant_of<T: SidLike>(
+        &self,
+        stream: &[T],
+        from: usize,
+        anchor: StructuralId,
+    ) -> Seek {
+        // a block's largest pre is strictly below the next fence's
+        // `min_pre` (pre ranks are strictly increasing), so a block can
+        // hold a `pre > anchor.pre` element only if that exclusive
+        // bound clears `anchor.pre + 1`
+        self.seek(
+            stream,
+            from,
+            |sid| sid.pre > anchor.pre,
+            |_f, next_min_pre| next_min_pre > anchor.pre.saturating_add(1),
+        )
+    }
+
+    /// First position at or after `from` past the anchor's whole
+    /// subtree: `pre > anchor.pre` **and** `post > anchor.post`. In a
+    /// pre-sorted stream the anchor's descendants form one contiguous
+    /// run, so this is where a kernel lands after consuming (or
+    /// discarding) an entire subtree.
+    pub fn seek_past<T: SidLike>(&self, stream: &[T], from: usize, anchor: StructuralId) -> Seek {
+        self.seek(
+            stream,
+            from,
+            |sid| sid.pre > anchor.pre && sid.post > anchor.post,
+            |f, next_min_pre| {
+                next_min_pre > anchor.pre.saturating_add(1) && f.max_post > anchor.post
+            },
+        )
+    }
+
+    /// Generic fence descent for a predicate that is monotone over the
+    /// stream suffix starting at `from`: `elem_hit` tests an element;
+    /// `block_may_hit` sees a fence plus the *next* same-level fence's
+    /// `min_pre` (`u32::MAX` at the tail) — the exclusive upper bound on
+    /// every pre rank inside the block — and must return `false` only
+    /// for blocks none of whose elements can satisfy `elem_hit`.
+    /// Returns the first hit at or after `from`.
+    fn seek<T, E, B>(&self, stream: &[T], from: usize, elem_hit: E, block_may_hit: B) -> Seek
+    where
+        T: SidLike,
+        E: Fn(StructuralId) -> bool,
+        B: Fn(&Fence, u32) -> bool,
+    {
+        debug_assert_eq!(stream.len(), self.len, "index/stream mismatch");
+        let mut pruned = 0u64;
+        let mut from = from;
+        // outer loop re-enters only when a fence over-approximated (its
+        // block qualified but held no hit); each pass restarts at a
+        // strictly later block boundary, so it terminates
+        loop {
+            if from >= self.len {
+                return Seek {
+                    pos: self.len,
+                    blocks_pruned: pruned,
+                };
+            }
+            // finish the partially-consumed leaf block by hand — fences
+            // only speak for whole blocks
+            let leaf = from / self.block;
+            let leaf_end = ((leaf + 1) * self.block).min(self.len);
+            if let Some(off) = stream[from..leaf_end]
+                .iter()
+                .position(|e| elem_hit(e.sid()))
+            {
+                return Seek {
+                    pos: from + off,
+                    blocks_pruned: pruned,
+                };
+            }
+            // climb: find the first whole block at or after `leaf + 1`
+            // that may contain a hit, pruning fences level by level
+            let mut idx = leaf + 1; // fence index at the current level
+            let mut lvl = 0usize;
+            loop {
+                if lvl >= self.levels.len() {
+                    // ran off the top: nothing qualifies
+                    return Seek {
+                        pos: self.len,
+                        blocks_pruned: pruned,
+                    };
+                }
+                let fences = &self.levels[lvl];
+                if idx >= fences.len() {
+                    // exhausted this level's tail; resume above, right
+                    // of the parent fence we came from
+                    idx = idx.div_ceil(self.block);
+                    lvl += 1;
+                    continue;
+                }
+                let next_min_pre = fences.get(idx + 1).map_or(u32::MAX, |f| f.min_pre);
+                if block_may_hit(&fences[idx], next_min_pre) {
+                    if lvl == 0 {
+                        break; // scan this leaf block below
+                    }
+                    // descend into the first child fence of this block
+                    idx *= self.block;
+                    lvl -= 1;
+                    continue;
+                }
+                pruned += 1;
+                if (idx + 1).is_multiple_of(self.block) && lvl + 1 < self.levels.len() {
+                    // last fence under its parent: pop up a level so
+                    // whole upper blocks can be pruned in one test —
+                    // but only when a parent level exists (the block=1
+                    // layout keeps a single level of any length)
+                    idx = (idx + 1) / self.block;
+                    lvl += 1;
+                } else {
+                    idx += 1;
+                }
+            }
+            // scan the qualifying leaf block for the exact position
+            let start = idx * self.block;
+            let end = ((idx + 1) * self.block).min(self.len);
+            if let Some(off) = stream[start..end].iter().position(|e| elem_hit(e.sid())) {
+                return Seek {
+                    pos: start + off,
+                    blocks_pruned: pruned,
+                };
+            }
+            // the fence bounds were loose; the hit, if any, starts at
+            // the next block boundary
+            from = end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::{generate, NodeKind};
+
+    fn ids(doc: &xmltree::Document, label: &str) -> Vec<StructuralId> {
+        doc.nodes_with_label(label, NodeKind::Element)
+            .map(|n| doc.structural_id(n))
+            .collect()
+    }
+
+    /// Linear-scan oracles for the two seek primitives.
+    fn linear_descendant(ids: &[StructuralId], from: usize, anchor: StructuralId) -> usize {
+        (from..ids.len())
+            .find(|&i| ids[i].pre > anchor.pre)
+            .unwrap_or(ids.len())
+    }
+
+    fn linear_past(ids: &[StructuralId], from: usize, anchor: StructuralId) -> usize {
+        (from..ids.len())
+            .find(|&i| ids[i].pre > anchor.pre && ids[i].post > anchor.post)
+            .unwrap_or(ids.len())
+    }
+
+    #[test]
+    fn seeks_match_linear_scan_across_block_sizes() {
+        let doc = generate::xmark(3, 11);
+        let items = ids(&doc, "item");
+        let keywords = ids(&doc, "keyword");
+        assert!(keywords.len() > 70, "need a few blocks");
+        for block in [1, 2, 64, 7, 100, keywords.len() + 5] {
+            let ix = SkipIndex::with_block(&keywords, block);
+            assert_eq!(ix.len(), keywords.len());
+            for anchor in items.iter().step_by(3) {
+                for from in [0, 1, keywords.len() / 2, keywords.len() - 1] {
+                    let d = ix.seek_descendant_of(&keywords, from, *anchor);
+                    assert_eq!(
+                        d.pos,
+                        linear_descendant(&keywords, from, *anchor),
+                        "descendant block={block} from={from}"
+                    );
+                    let p = ix.seek_past(&keywords, from, *anchor);
+                    assert_eq!(
+                        p.pos,
+                        linear_past(&keywords, from, *anchor),
+                        "past block={block} from={from}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeks_prune_blocks_on_long_streams() {
+        let doc = generate::xmark(6, 13);
+        let keywords = ids(&doc, "keyword");
+        let sites = ids(&doc, "site");
+        let ix = SkipIndex::with_block(&keywords, 8);
+        assert!(ix.depth() >= 2, "hierarchy must stack: {}", ix.depth());
+        // seeking past the root's whole subtree jumps the entire stream
+        let s = ix.seek_past(&keywords, 0, sites[0]);
+        assert_eq!(s.pos, keywords.len());
+        assert!(s.blocks_pruned > 0, "{s:?}");
+        // thanks to the hierarchy, far fewer fence tests than leaf blocks
+        assert!(
+            s.blocks_pruned < keywords.len().div_ceil(8) as u64,
+            "pruned {} of {} leaf blocks — hierarchy unused",
+            s.blocks_pruned,
+            keywords.len().div_ceil(8)
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_streams() {
+        let empty: Vec<StructuralId> = Vec::new();
+        let ix = SkipIndex::build(&empty);
+        assert!(ix.is_empty());
+        assert_eq!(ix.depth(), 0);
+        let anchor = StructuralId::new(5, 5, 1);
+        assert_eq!(ix.seek_descendant_of(&empty, 0, anchor).pos, 0);
+        assert_eq!(ix.seek_past(&empty, 3, anchor).pos, 0);
+
+        let one = vec![StructuralId::new(9, 9, 2)];
+        let ix1 = SkipIndex::with_block(&one, 4);
+        assert_eq!(ix1.seek_descendant_of(&one, 0, anchor).pos, 0);
+        assert_eq!(
+            ix1.seek_descendant_of(&one, 0, StructuralId::new(10, 20, 1))
+                .pos,
+            1
+        );
+    }
+
+    #[test]
+    fn works_over_payload_pairs() {
+        let doc = generate::xmark(2, 7);
+        let pairs: Vec<(StructuralId, usize)> = ids(&doc, "item")
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (s, i))
+            .collect();
+        let plain: Vec<StructuralId> = pairs.iter().map(|p| p.0).collect();
+        let ix = SkipIndex::with_block(&pairs, 3);
+        let anchor = plain[plain.len() / 2];
+        assert_eq!(
+            ix.seek_descendant_of(&pairs, 0, anchor).pos,
+            linear_descendant(&plain, 0, anchor)
+        );
+        assert_eq!(
+            ix.seek_past(&pairs, 0, anchor).pos,
+            linear_past(&plain, 0, anchor)
+        );
+    }
+}

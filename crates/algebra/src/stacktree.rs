@@ -18,6 +18,7 @@ use obs::{Meter, NoMeter};
 use xmltree::StructuralId;
 
 use crate::plan::Axis;
+use crate::skip::SkipIndex;
 
 /// Does `anc` match `desc` on the given axis?
 #[inline]
@@ -70,6 +71,33 @@ pub fn stack_tree_pairs_metered<M: Meter>(
     axis: Axis,
     meter: &mut M,
 ) -> Vec<(usize, usize)> {
+    stack_tree_pairs_indexed_metered(anc, desc, axis, None, meter)
+}
+
+/// [`stack_tree_pairs`] with an optional skip index over the descendant
+/// stream. Whenever the ancestor stack runs empty, every descendant up
+/// to the next ancestor candidate's pre rank matches nothing, so the
+/// merge seeks the descendant cursor past it instead of stepping — and
+/// drops the whole descendant tail once ancestors are exhausted. With
+/// `None` this is exactly the linear merge.
+pub fn stack_tree_pairs_indexed(
+    anc: &[(StructuralId, usize)],
+    desc: &[(StructuralId, usize)],
+    axis: Axis,
+    desc_index: Option<&SkipIndex>,
+) -> Vec<(usize, usize)> {
+    stack_tree_pairs_indexed_metered(anc, desc, axis, desc_index, &mut NoMeter)
+}
+
+/// [`stack_tree_pairs_indexed`] with execution counters; seeks report
+/// jumped-over elements and pruned fence blocks.
+pub fn stack_tree_pairs_indexed_metered<M: Meter>(
+    anc: &[(StructuralId, usize)],
+    desc: &[(StructuralId, usize)],
+    axis: Axis,
+    desc_index: Option<&SkipIndex>,
+    meter: &mut M,
+) -> Vec<(usize, usize)> {
     debug_assert!(anc.windows(2).all(|w| w[0].0.pre <= w[1].0.pre));
     debug_assert!(desc.windows(2).all(|w| w[0].0.pre <= w[1].0.pre));
     // Most workloads pair each descendant with O(1) ancestors, so the
@@ -77,7 +105,28 @@ pub fn stack_tree_pairs_metered<M: Meter>(
     let mut out = Vec::with_capacity(anc.len().min(desc.len()));
     let mut stack: Vec<(StructuralId, usize)> = Vec::with_capacity(16);
     let mut ai = 0;
-    for &(d, dpay) in desc {
+    let mut di = 0;
+    while di < desc.len() {
+        let (d, dpay) = desc[di];
+        // a descendant that arrives with the stack empty can only match
+        // ancestors still ahead, all with larger pre: seek straight to
+        // the next ancestor's pre rank (or drop the tail if none remain)
+        if stack.is_empty() && !(ai < anc.len() && anc[ai].0.pre <= d.pre) {
+            if let Some(ix) = desc_index {
+                if ai >= anc.len() {
+                    meter.skipped((desc.len() - di) as u64);
+                    break;
+                }
+                // anc[ai].0.pre > d.pre here: descendants up to that pre
+                // rank (inclusive — a node is not its own ancestor)
+                // cannot match anc[ai] or anything after it
+                let s = ix.seek_descendant_of(desc, di, anc[ai].0);
+                meter.blocks_pruned(s.blocks_pruned);
+                meter.skipped((s.pos - di) as u64);
+                di = s.pos;
+                continue;
+            }
+        }
         // push all ancestors that start before this descendant, closing
         // the stack entries that cannot contain them
         while ai < anc.len() && anc[ai].0.pre <= d.pre {
@@ -98,6 +147,7 @@ pub fn stack_tree_pairs_metered<M: Meter>(
                 out.push((apay, dpay));
             }
         }
+        di += 1;
     }
     out
 }
@@ -196,6 +246,47 @@ mod tests {
         // least one comparison per emitted pair
         assert!(metrics.stack_high_water >= 2, "{metrics:?}");
         assert!(metrics.comparisons >= metered.len() as u64);
+    }
+
+    #[test]
+    fn indexed_merge_matches_linear_and_skips() {
+        let doc = generate::xmark(4, 11);
+        for (anc_l, desc_l) in [
+            ("bold", "keyword"),
+            ("item", "keyword"),
+            ("parlist", "parlist"),
+            ("site", "item"),
+        ] {
+            let anc = ids(&doc, anc_l);
+            let desc = ids(&doc, desc_l);
+            for axis in [Axis::Child, Axis::Descendant] {
+                let want = stack_tree_pairs(&anc, &desc, axis);
+                for block in [1, 7, 64] {
+                    let ix = SkipIndex::with_block(&desc, block);
+                    assert_eq!(
+                        stack_tree_pairs_indexed(&anc, &desc, axis, Some(&ix)),
+                        want,
+                        "{anc_l} {axis:?} {desc_l} block={block}"
+                    );
+                }
+            }
+        }
+        // sparse ancestors (mails) over a dense descendant stream must
+        // skip: the keywords under item descriptions between consecutive
+        // mail subtrees are seeked over wholesale
+        let anc = ids(&doc, "mail");
+        let desc = ids(&doc, "keyword");
+        let ix = SkipIndex::build(&desc);
+        let mut metrics = obs::ExecMetrics::default();
+        let got = stack_tree_pairs_indexed_metered(
+            &anc,
+            &desc,
+            Axis::Descendant,
+            Some(&ix),
+            &mut metrics,
+        );
+        assert_eq!(got, stack_tree_pairs(&anc, &desc, Axis::Descendant));
+        assert!(metrics.elements_skipped > 0, "{metrics:?}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use obs::{Meter, NoMeter};
 use xmltree::StructuralId;
 
 use crate::plan::{Axis, JoinKind, LogicalPlan, TwigStep};
+use crate::skip::SkipIndex;
 use crate::stacktree::axis_match;
 
 /// One node of a twig pattern: its parent pattern-node index and the axis
@@ -169,8 +170,38 @@ pub fn twig_join_metered<M: Meter>(
     streams: &[&[(StructuralId, usize)]],
     meter: &mut M,
 ) -> Vec<Vec<usize>> {
+    let none: Vec<Option<&SkipIndex>> = vec![None; streams.len()];
+    twig_join_indexed_metered(pattern, streams, &none, meter)
+}
+
+/// [`twig_join`] with per-stream skip indexes: where the unindexed
+/// kernel discards prunable elements one `next` at a time, this variant
+/// *seeks*. When a non-root node `q` has no open parent entry, every
+/// `q`-element up to the parent stream's head can never be contained by
+/// any future parent candidate (they all arrive with larger pre), so the
+/// kernel jumps `q` straight past the parent head — or to end-of-stream
+/// when the parent is exhausted. `indexes[i]` must be built over exactly
+/// `streams[i]`; `None` entries fall back to the linear discard, so the
+/// all-`None` call is byte-for-byte the PR 2 kernel.
+pub fn twig_join_indexed(
+    pattern: &TwigPattern,
+    streams: &[&[(StructuralId, usize)]],
+    indexes: &[Option<&SkipIndex>],
+) -> Vec<Vec<usize>> {
+    twig_join_indexed_metered(pattern, streams, indexes, &mut NoMeter)
+}
+
+/// [`twig_join_indexed`] with execution counters; seeks additionally
+/// report jumped-over elements and pruned fence blocks.
+pub fn twig_join_indexed_metered<M: Meter>(
+    pattern: &TwigPattern,
+    streams: &[&[(StructuralId, usize)]],
+    indexes: &[Option<&SkipIndex>],
+    meter: &mut M,
+) -> Vec<Vec<usize>> {
     let n = pattern.len();
     assert_eq!(streams.len(), n, "one stream per pattern node");
+    assert_eq!(indexes.len(), n, "one (optional) index per pattern node");
     for s in streams {
         debug_assert!(s.windows(2).all(|w| w[0].0.pre <= w[1].0.pre));
     }
@@ -203,8 +234,6 @@ pub fn twig_join_metered<M: Meter>(
             break;
         }
         let (sid, payload) = streams[q][cur[q]];
-        cur[q] += 1;
-        heads[q] = streams[q].get(cur[q]).map_or(u32::MAX, |e| e.0.pre);
         // close every open entry whose interval ended before `sid`: with
         // arrivals in pre order it can contain neither `sid` nor anything
         // after it
@@ -220,13 +249,41 @@ pub fn twig_join_metered<M: Meter>(
         // TwigStack-style pruning: after the pops, every open entry
         // strictly contains `sid`, so a non-root element participates in
         // a solution only if some entry of its parent pattern node is
-        // open right now — otherwise skip it entirely (no later parent
-        // candidate can contain it: they all arrive with larger pre)
+        // open right now — otherwise discard it entirely (no later parent
+        // candidate can contain it: they all arrive with larger pre).
+        // With a skip index the same argument covers every `q`-element up
+        // to the parent's head, so the kernel seeks instead of stepping.
         if let Some(p) = pattern.node(q).parent {
             if open_count[p] == 0 {
+                match indexes[q] {
+                    Some(_) if heads[p] == u32::MAX => {
+                        // parent exhausted with nothing open: no later
+                        // q-element can ever be matched
+                        meter.skipped((streams[q].len() - cur[q] - 1) as u64);
+                        cur[q] = streams[q].len();
+                        heads[q] = u32::MAX;
+                    }
+                    Some(ix) => {
+                        // `q` held the minimum head, so its current pre
+                        // is ≤ the parent head's pre and the seek always
+                        // advances past at least the current element
+                        let anchor = streams[p][cur[p]].0;
+                        let s = ix.seek_descendant_of(streams[q], cur[q], anchor);
+                        meter.skipped((s.pos - cur[q] - 1) as u64);
+                        meter.blocks_pruned(s.blocks_pruned);
+                        cur[q] = s.pos;
+                        heads[q] = streams[q].get(cur[q]).map_or(u32::MAX, |e| e.0.pre);
+                    }
+                    None => {
+                        cur[q] += 1;
+                        heads[q] = streams[q].get(cur[q]).map_or(u32::MAX, |e| e.0.pre);
+                    }
+                }
                 continue;
             }
         }
+        cur[q] += 1;
+        heads[q] = streams[q].get(cur[q]).map_or(u32::MAX, |e| e.0.pre);
         for k in 0..pattern.children(q).len() {
             let c = pattern.children(q)[k];
             let start = lists[c].entries.len() as u32;
@@ -577,6 +634,19 @@ mod tests {
         let got = twig_join(pattern, streams);
         let want = reference(pattern, streams);
         assert_eq!(got, want);
+        // the indexed kernel must agree for every block layout
+        for block in [1, 2, 64, 7] {
+            let ixs: Vec<SkipIndex> = streams
+                .iter()
+                .map(|s| SkipIndex::with_block(s, block))
+                .collect();
+            let refs: Vec<Option<&SkipIndex>> = ixs.iter().map(Some).collect();
+            assert_eq!(
+                twig_join_indexed(pattern, streams, &refs),
+                want,
+                "indexed kernel diverged at block={block}"
+            );
+        }
     }
 
     #[test]
@@ -684,6 +754,30 @@ mod tests {
         assert!(metrics.comparisons > 0, "{metrics:?}");
         assert!(metrics.stack_high_water >= 2, "{metrics:?}");
         assert!(metrics.solutions_high_water >= pattern.len() as u64);
+    }
+
+    #[test]
+    fn indexed_kernel_skips_elements_on_selective_chains() {
+        let doc = generate::xmark(4, 21);
+        // mail//keyword: mails are rare and keywords are everywhere (most
+        // sit under item descriptions), so most of the keyword stream is
+        // prunable between consecutive mail subtrees
+        let streams: Vec<Vec<(StructuralId, usize)>> =
+            ["mail", "keyword"].iter().map(|l| ids(&doc, l)).collect();
+        let refs: Vec<&[(StructuralId, usize)]> = streams.iter().map(|s| s.as_slice()).collect();
+        let pattern = TwigPattern::chain(&[Axis::Descendant]);
+        let ixs: Vec<SkipIndex> = streams.iter().map(|s| SkipIndex::build(s)).collect();
+        let opts: Vec<Option<&SkipIndex>> = ixs.iter().map(Some).collect();
+        let mut metrics = obs::ExecMetrics::default();
+        let indexed = twig_join_indexed_metered(&pattern, &refs, &opts, &mut metrics);
+        assert_eq!(indexed, twig_join(&pattern, &refs));
+        assert!(
+            metrics.elements_skipped > 0,
+            "selective chain must skip: {metrics:?}"
+        );
+        // mixed registration: only the leaf stream indexed
+        let mixed: Vec<Option<&SkipIndex>> = vec![None, Some(&ixs[1])];
+        assert_eq!(twig_join_indexed(&pattern, &refs, &mixed), indexed);
     }
 
     #[test]

@@ -834,6 +834,250 @@ pub fn pipeline_ablation(
 }
 
 // --------------------------------------------------------------------
+// E12 — skip-based twig joins: seek indexes × summary pruning
+
+/// One cell of the E12 access-method grid: the holistic twig kernel
+/// under one combination of the two knobs.
+#[derive(Debug, Clone)]
+pub struct SkipCell {
+    pub skip_index: bool,
+    pub summary_pruning: bool,
+    /// Median wall-clock, ns. Pruned cells pay their partition merge
+    /// and indexed cells their skip-index build inside the timed
+    /// region — each access method must pay for its own setup.
+    pub ns: u128,
+    /// Counters of one metered run of the cell.
+    pub elements_skipped: u64,
+    pub blocks_pruned: u64,
+    pub partitions_opened: u64,
+    pub partitions_total: u64,
+    /// Input elements the kernel sees across all streams.
+    pub stream_elements: usize,
+}
+
+/// One workload row of the E12 grid: the four twig cells plus the
+/// StackTree cascade with and without a descendant-side skip index.
+#[derive(Debug, Clone)]
+pub struct SkipRow {
+    pub name: String,
+    /// Output cardinality (identical across every cell).
+    pub rows: usize,
+    pub cells: Vec<SkipCell>,
+    pub stacktree_ns: u128,
+    pub stacktree_indexed_ns: u128,
+}
+
+impl SkipRow {
+    /// The cell for a knob combination.
+    pub fn cell(&self, skip_index: bool, summary_pruning: bool) -> &SkipCell {
+        self.cells
+            .iter()
+            .find(|c| c.skip_index == skip_index && c.summary_pruning == summary_pruning)
+            .expect("grid carries all four cells")
+    }
+
+    /// Wall-clock speedup of the fully-enabled cell over the plain
+    /// linear kernel (the PR 2 baseline).
+    pub fn speedup_full_vs_linear(&self) -> f64 {
+        self.cell(false, false).ns as f64 / self.cell(true, true).ns.max(1) as f64
+    }
+}
+
+fn matcher_axes(axes: &[algebra::Axis]) -> Vec<summary::PatternAxis> {
+    axes.iter()
+        .enumerate()
+        .map(|(i, a)| {
+            if i == 0 {
+                // axes[0] relates the pattern root to the *document*
+                // root; the bench twigs float anywhere
+                summary::PatternAxis::Descendant
+            } else {
+                match a {
+                    algebra::Axis::Child => summary::PatternAxis::Child,
+                    algebra::Axis::Descendant => summary::PatternAxis::Descendant,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Run every twig workload through the holistic kernel under the full
+/// access-method grid — skip index on/off × summary pruning on/off —
+/// plus the StackTree cascade with and without a descendant-side index,
+/// checking that every cell reproduces the linear kernel's solutions
+/// (as structural IDs — pruned streams renumber positions) before
+/// timing `reps` times each.
+pub fn skip_ablation(doc: &xmltree::Document, reps: usize) -> Vec<SkipRow> {
+    use algebra::{twig_join_indexed, twig_join_indexed_metered, SkipIndex};
+    let idx = storage::IdStreamIndex::build(doc);
+    let summary = Summary::of_document(doc);
+    let pruned_idx = storage::IdStreamIndex::build_with_summary(doc, &summary);
+    let mut out = Vec::new();
+    for w in twig_workloads() {
+        let pattern = w.pattern();
+        let full_streams = w.streams(&idx);
+        // plan-time partition selection: one candidate set per node
+        let allowed =
+            summary::compatible_nodes(&summary, &w.labels, &w.parents, &matcher_axes(&w.axes));
+        // run-time stream preparation for the pruning-on cells, plus
+        // the (opened, total) partition figures it reports
+        let prune = || {
+            let mut streams = Vec::with_capacity(w.labels.len());
+            let (mut opened, mut total) = (0usize, 0usize);
+            for (q, l) in w.labels.iter().enumerate() {
+                let p = pruned_idx.pruned_stream(l, xmltree::NodeKind::Element, &allowed[q]);
+                opened += p.opened;
+                total += p.total;
+                streams.push(
+                    p.ids
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, sid)| (sid, i))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            (streams, opened, total)
+        };
+        // solutions as structural IDs: positions renumber under pruning
+        let sids = |streams: &[Vec<(xmltree::StructuralId, usize)>], sols: &[Vec<usize>]| {
+            let mut v: Vec<Vec<u32>> = sols
+                .iter()
+                .map(|t| {
+                    t.iter()
+                        .enumerate()
+                        .map(|(q, &p)| streams[q][p].0.pre)
+                        .collect()
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let run = |streams: &[Vec<(xmltree::StructuralId, usize)>],
+                   skip: bool,
+                   meter: Option<&mut obs::ExecMetrics>| {
+            let refs: Vec<&[(xmltree::StructuralId, usize)]> =
+                streams.iter().map(|s| s.as_slice()).collect();
+            let built: Vec<SkipIndex> = if skip {
+                streams.iter().map(|s| SkipIndex::build(s)).collect()
+            } else {
+                Vec::new()
+            };
+            let opts: Vec<Option<&SkipIndex>> = if skip {
+                built.iter().map(Some).collect()
+            } else {
+                vec![None; streams.len()]
+            };
+            match meter {
+                Some(m) => twig_join_indexed_metered(&pattern, &refs, &opts, m),
+                None => twig_join_indexed(&pattern, &refs, &opts),
+            }
+        };
+        let oracle = sids(&full_streams, &run(&full_streams, false, None));
+        let (pruned_streams, opened, total) = prune();
+        let mut cells = Vec::new();
+        for (skip, pruning) in [(false, false), (true, false), (false, true), (true, true)] {
+            let streams = if pruning {
+                &pruned_streams
+            } else {
+                &full_streams
+            };
+            // correctness first, collecting the cell's counters
+            let mut m = obs::ExecMetrics::default();
+            let sols = run(streams, skip, Some(&mut m));
+            assert_eq!(
+                sids(streams, &sols),
+                oracle,
+                "{}: skip={skip} pruning={pruning} vs linear kernel",
+                w.name
+            );
+            // then time the cell end to end: pruned cells re-merge
+            // their partitions, indexed cells rebuild their indexes
+            let mut samples = Vec::with_capacity(reps.max(1));
+            for _ in 0..reps.max(1) {
+                let t0 = Instant::now();
+                let n = if pruning {
+                    let (streams, _, _) = prune();
+                    run(&streams, skip, None).len()
+                } else {
+                    run(&full_streams, skip, None).len()
+                };
+                samples.push(t0.elapsed().as_nanos());
+                assert_eq!(n, oracle.len());
+            }
+            cells.push(SkipCell {
+                skip_index: skip,
+                summary_pruning: pruning,
+                ns: median_ns(samples),
+                elements_skipped: m.elements_skipped,
+                blocks_pruned: m.blocks_pruned,
+                partitions_opened: if pruning { opened as u64 } else { 0 },
+                partitions_total: if pruning { total as u64 } else { 0 },
+                stream_elements: streams.iter().map(|s| s.len()).sum(),
+            });
+        }
+        // the binary cascade, with and without a descendant-side index
+        let time_cascade = |indexed: bool| {
+            let mut samples = Vec::with_capacity(reps.max(1));
+            for _ in 0..reps.max(1) {
+                let t0 = Instant::now();
+                let n = cascade_solutions_with(&w.parents, &w.axes, &full_streams, indexed).len();
+                samples.push(t0.elapsed().as_nanos());
+                assert_eq!(n, oracle.len(), "{}: cascade indexed={indexed}", w.name);
+            }
+            median_ns(samples)
+        };
+        let stacktree_ns = time_cascade(false);
+        let stacktree_indexed_ns = time_cascade(true);
+        out.push(SkipRow {
+            name: w.name,
+            rows: oracle.len(),
+            cells,
+            stacktree_ns,
+            stacktree_indexed_ns,
+        });
+    }
+    out
+}
+
+/// [`cascade_solutions`] over StackTree, optionally handing each step a
+/// skip index over its descendant stream (built inside — a cascade
+/// cannot reuse stored indexes for its re-sorted intermediates, but the
+/// descendant side is always a base stream).
+pub fn cascade_solutions_with(
+    parents: &[usize],
+    axes: &[algebra::Axis],
+    streams: &[Vec<(xmltree::StructuralId, usize)>],
+    indexed: bool,
+) -> Vec<Vec<usize>> {
+    use algebra::stacktree::stack_tree_pairs_indexed;
+    use algebra::SkipIndex;
+    let n = streams.len();
+    let indexes: Vec<Option<SkipIndex>> = (0..n)
+        .map(|k| (indexed && k > 0).then(|| SkipIndex::build(&streams[k])))
+        .collect();
+    let mut tuples: Vec<Vec<usize>> = streams[0].iter().map(|&(_, p)| vec![p]).collect();
+    for k in 1..n {
+        let p = parents[k];
+        let mut left: Vec<(xmltree::StructuralId, usize)> = tuples
+            .iter()
+            .enumerate()
+            .map(|(ti, t)| (streams[p][t[p]].0, ti))
+            .collect();
+        left.sort_unstable_by_key(|&(s, _)| s.pre);
+        let pairs = stack_tree_pairs_indexed(&left, &streams[k], axes[k], indexes[k].as_ref());
+        tuples = pairs
+            .into_iter()
+            .map(|(ti, di)| {
+                let mut t = tuples[ti].clone();
+                t.push(di);
+                t
+            })
+            .collect();
+    }
+    tuples
+}
+
+// --------------------------------------------------------------------
 // E9 — §4.5 minimization
 
 pub fn minimize_demo() -> Vec<String> {
@@ -953,6 +1197,35 @@ mod tests {
     }
 
     #[test]
+    fn skip_ablation_grid_agrees_and_skips() {
+        let doc = xmltree::generate::xmark(4, 7);
+        let rows = skip_ablation(&doc, 1);
+        assert_eq!(rows.len(), twig_workloads().len());
+        // every row carries the full 2×2 grid (agreement is asserted
+        // inside skip_ablation before timing)
+        for r in &rows {
+            assert_eq!(r.cells.len(), 4);
+            assert_eq!(r.cell(false, false).elements_skipped, 0, "{}", r.name);
+        }
+        // the selective twig is the one the index must engage on
+        let sel = rows.iter().find(|r| r.name == "chain_selective4").unwrap();
+        let skipped = sel
+            .cells
+            .iter()
+            .filter(|c| c.skip_index)
+            .map(|c| c.elements_skipped)
+            .max()
+            .unwrap();
+        assert!(skipped > 0, "skip index never engaged: {sel:?}");
+        // summary pruning must open fewer partitions than exist
+        let pruned = sel.cell(false, true);
+        assert!(
+            pruned.partitions_opened < pruned.partitions_total,
+            "no partitions pruned: {pruned:?}"
+        );
+    }
+
+    #[test]
     fn minimize_demo_produces_smaller_patterns() {
         let lines = minimize_demo();
         assert!(lines.len() >= 3);
@@ -960,6 +1233,10 @@ mod tests {
     }
 
     #[test]
+    // ~22 minutes in a debug build (the full §5.6 rewriting sweep over
+    // xmark_small): far too slow for the tier-1 `cargo test` gate. CI
+    // runs it explicitly with `--ignored` in a non-blocking job.
+    #[ignore = "slow: full rewriting sweep; run with `cargo test -- --ignored`"]
     fn rewriting_experiment_small() {
         let ds = datasets::xmark_small();
         let pts = sec5_6(&ds, &[2], 2);

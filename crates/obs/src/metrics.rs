@@ -23,6 +23,16 @@ pub struct ExecMetrics {
     /// Times a `TwigJoin` fell back to the binary cascade (uncovered
     /// shape, or `use_twigstack` off).
     pub twig_fallbacks: u64,
+    /// Stream elements jumped over by skip-index seeks (never touched
+    /// by the join kernels; zero on linear scans).
+    pub elements_skipped: u64,
+    /// Skip-index fence blocks a seek stepped over whole (at any fence
+    /// level) without descending into them.
+    pub blocks_pruned: u64,
+    /// Summary-compatible stream partitions actually opened by scans.
+    pub partitions_opened: u64,
+    /// Total stream partitions the same scans could have opened.
+    pub partitions_total: u64,
 }
 
 impl ExecMetrics {
@@ -32,6 +42,10 @@ impl ExecMetrics {
         self.stack_high_water = self.stack_high_water.max(other.stack_high_water);
         self.solutions_high_water = self.solutions_high_water.max(other.solutions_high_water);
         self.twig_fallbacks += other.twig_fallbacks;
+        self.elements_skipped += other.elements_skipped;
+        self.blocks_pruned += other.blocks_pruned;
+        self.partitions_opened += other.partitions_opened;
+        self.partitions_total += other.partitions_total;
     }
 
     pub fn is_zero(&self) -> bool {
@@ -54,6 +68,15 @@ pub trait Meter {
     /// A notable execution event (e.g. a fallback) occurred.
     #[inline(always)]
     fn note_fallback(&mut self) {}
+    /// A seek jumped over `n` stream elements without touching them.
+    #[inline(always)]
+    fn skipped(&mut self, _n: u64) {}
+    /// A seek stepped over `n` fence blocks without descending.
+    #[inline(always)]
+    fn blocks_pruned(&mut self, _n: u64) {}
+    /// A partitioned scan opened `opened` of `total` stream partitions.
+    #[inline(always)]
+    fn partitions(&mut self, _opened: u64, _total: u64) {}
 }
 
 /// The free instantiation: counts nothing, costs nothing.
@@ -82,6 +105,19 @@ impl Meter for ExecMetrics {
     #[inline]
     fn note_fallback(&mut self) {
         self.twig_fallbacks += 1;
+    }
+    #[inline]
+    fn skipped(&mut self, n: u64) {
+        self.elements_skipped += n;
+    }
+    #[inline]
+    fn blocks_pruned(&mut self, n: u64) {
+        self.blocks_pruned += n;
+    }
+    #[inline]
+    fn partitions(&mut self, opened: u64, total: u64) {
+        self.partitions_opened += opened;
+        self.partitions_total += total;
     }
 }
 
@@ -127,18 +163,30 @@ mod tests {
             stack_high_water: 3,
             solutions_high_water: 100,
             twig_fallbacks: 0,
+            elements_skipped: 40,
+            blocks_pruned: 2,
+            partitions_opened: 1,
+            partitions_total: 4,
         };
         let b = ExecMetrics {
             comparisons: 5,
             stack_high_water: 7,
             solutions_high_water: 50,
             twig_fallbacks: 1,
+            elements_skipped: 60,
+            blocks_pruned: 3,
+            partitions_opened: 2,
+            partitions_total: 6,
         };
         a.absorb(&b);
         assert_eq!(a.comparisons, 15);
         assert_eq!(a.stack_high_water, 7);
         assert_eq!(a.solutions_high_water, 100);
         assert_eq!(a.twig_fallbacks, 1);
+        assert_eq!(a.elements_skipped, 100);
+        assert_eq!(a.blocks_pruned, 5);
+        assert_eq!(a.partitions_opened, 3);
+        assert_eq!(a.partitions_total, 10);
         assert!(!a.is_zero());
         assert!(ExecMetrics::default().is_zero());
     }
@@ -151,6 +199,9 @@ mod tests {
             m.stack_depth(2);
             m.solutions(9);
             m.note_fallback();
+            m.skipped(11);
+            m.blocks_pruned(2);
+            m.partitions(1, 5);
         }
         let mut m = ExecMetrics::default();
         kernel(&mut m);
@@ -158,6 +209,10 @@ mod tests {
         assert_eq!(m.stack_high_water, 4);
         assert_eq!(m.solutions_high_water, 9);
         assert_eq!(m.twig_fallbacks, 1);
+        assert_eq!(m.elements_skipped, 11);
+        assert_eq!(m.blocks_pruned, 2);
+        assert_eq!(m.partitions_opened, 1);
+        assert_eq!(m.partitions_total, 5);
         kernel(&mut NoMeter); // must simply compile and do nothing
     }
 

@@ -98,6 +98,22 @@ impl PlanNodeProfile {
                 "twig_fallbacks",
                 Json::Num(self.metrics.twig_fallbacks as f64),
             ),
+            (
+                "elements_skipped",
+                Json::Num(self.metrics.elements_skipped as f64),
+            ),
+            (
+                "blocks_pruned",
+                Json::Num(self.metrics.blocks_pruned as f64),
+            ),
+            (
+                "partitions_opened",
+                Json::Num(self.metrics.partitions_opened as f64),
+            ),
+            (
+                "partitions_total",
+                Json::Num(self.metrics.partitions_total as f64),
+            ),
             ("mispredicted", Json::Bool(self.mispredicted)),
             (
                 "children",
@@ -175,6 +191,22 @@ impl OpStreamProfile {
             (
                 "twig_fallbacks",
                 Json::Num(self.metrics.twig_fallbacks as f64),
+            ),
+            (
+                "elements_skipped",
+                Json::Num(self.metrics.elements_skipped as f64),
+            ),
+            (
+                "blocks_pruned",
+                Json::Num(self.metrics.blocks_pruned as f64),
+            ),
+            (
+                "partitions_opened",
+                Json::Num(self.metrics.partitions_opened as f64),
+            ),
+            (
+                "partitions_total",
+                Json::Num(self.metrics.partitions_total as f64),
             ),
         ])
     }
@@ -416,6 +448,19 @@ fn render_node(
     if node.metrics.twig_fallbacks > 0 {
         let _ = write!(extras, " fallbacks={}", node.metrics.twig_fallbacks);
     }
+    if node.metrics.elements_skipped > 0 {
+        let _ = write!(extras, " skip={}", node.metrics.elements_skipped);
+    }
+    if node.metrics.blocks_pruned > 0 {
+        let _ = write!(extras, " blocks={}", node.metrics.blocks_pruned);
+    }
+    if node.metrics.partitions_total > 0 {
+        let _ = write!(
+            extras,
+            " parts={}/{}",
+            node.metrics.partitions_opened, node.metrics.partitions_total
+        );
+    }
     let _ = writeln!(
         out,
         "{branch}{}  (est cost={:.1} rows={:.1})  (actual rows={} time={}{extras}){}",
@@ -457,8 +502,11 @@ mod tests {
                 metrics: ExecMetrics {
                     comparisons: 200,
                     stack_high_water: 4,
-                    solutions_high_water: 0,
-                    twig_fallbacks: 0,
+                    elements_skipped: 75,
+                    blocks_pruned: 3,
+                    partitions_opened: 2,
+                    partitions_total: 5,
+                    ..ExecMetrics::default()
                 },
                 mispredicted: true,
                 children: vec![
@@ -515,8 +563,7 @@ mod tests {
                         metrics: ExecMetrics {
                             comparisons: 200,
                             stack_high_water: 4,
-                            solutions_high_water: 0,
-                            twig_fallbacks: 0,
+                            ..ExecMetrics::default()
                         },
                     },
                     OpStreamProfile {
@@ -572,6 +619,9 @@ mod tests {
         assert!(text.contains("├─ Scan(v_items)"));
         assert!(text.contains("└─ Scan(v_names)"));
         assert!(text.contains("cmp=200"));
+        assert!(text.contains("skip=75"));
+        assert!(text.contains("blocks=3"));
+        assert!(text.contains("parts=2/5"));
         assert!(text.contains("cache: hits=2"));
         assert!(text.contains("arm: chose twig"));
         assert!(text.contains("phases: parse=1.0µs"));

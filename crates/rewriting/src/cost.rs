@@ -71,14 +71,24 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> (f64, f64) {
             // per-level sort-merge charges).
             let (mut cost, mut out) = estimate(root, catalog);
             let mut total_rows = out;
+            let mut min_rows = out;
             for s in steps {
                 let (cs, rs) = estimate(&s.input, catalog);
                 cost += cs;
                 total_rows += rs;
+                min_rows = min_rows.min(rs);
                 out = rs.max(out * 0.5);
             }
-            let merge = total_rows * total_rows.log2().max(1.0);
-            (cost + merge, out)
+            let log = total_rows.log2().max(1.0);
+            let linear_merge = total_rows * log;
+            // Skip-aware selectivity: with XB-tree seek indexes the merge
+            // touches roughly the most selective stream plus the output —
+            // everything else is seeked over at a fence-descent (log)
+            // charge per touched element and stream. On skewed twigs this
+            // term undercuts the linear sweep, which is exactly when the
+            // twig-vs-cascade arm should prefer seeking.
+            let seek_merge = (min_rows + out) * log * (steps.len() as f64 + 1.0);
+            (cost + linear_merge.min(seek_merge), out)
         }
         Union { left, right } => {
             let (cl, rl) = estimate(left, catalog);
@@ -200,6 +210,38 @@ mod tests {
             "twig {} vs cascade {}",
             plan_cost(&twig, &c),
             plan_cost(&cascade, &c)
+        );
+    }
+
+    #[test]
+    fn selective_stream_makes_twig_cheaper() {
+        // same twig shape, one leaf swapped from `big` to `small`: the
+        // skip-aware term must reward the seekable, selective variant
+        let c = catalog();
+        let twig = |leaf: &str| {
+            let plan = LogicalPlan::scan("big")
+                .rename(&["a"])
+                .struct_join(
+                    LogicalPlan::scan("big").rename(&["b"]),
+                    "a",
+                    "b",
+                    algebra::Axis::Descendant,
+                    algebra::JoinKind::Inner,
+                )
+                .struct_join(
+                    LogicalPlan::scan(leaf).rename(&["c"]),
+                    "b",
+                    "c",
+                    algebra::Axis::Descendant,
+                    algebra::JoinKind::Inner,
+                );
+            algebra::fuse_struct_joins(&plan)
+        };
+        assert!(
+            plan_cost(&twig("small"), &c) < plan_cost(&twig("big"), &c),
+            "selective twig {} vs uniform twig {}",
+            plan_cost(&twig("small"), &c),
+            plan_cost(&twig("big"), &c)
         );
     }
 

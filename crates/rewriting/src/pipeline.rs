@@ -66,6 +66,15 @@ pub struct EngineConfig {
     /// emit smaller batches (filters) or larger ones (joins, `Unnest`);
     /// this only sets the granularity at which base scans chunk.
     pub batch_size: usize,
+    /// Build XB-tree skip indexes over join input streams so the
+    /// structural-join kernels seek over prunable regions instead of
+    /// scanning them (`false` = linear advance, for the ablation).
+    pub use_skip_index: bool,
+    /// Partition document ID streams by summary path
+    /// ([`storage::IdStreamIndex::build_with_summary`]) so pattern scans
+    /// open only summary-compatible partitions (`false` = whole-column
+    /// streams, for the ablation).
+    pub use_summary_pruning: bool,
     /// The rewriting search bounds (§5.3's generate-and-test knobs).
     pub rewrite: RewriteConfig,
 }
@@ -78,6 +87,8 @@ impl Default for EngineConfig {
             use_twigstack: true,
             profiling: false,
             batch_size: 1024,
+            use_skip_index: true,
+            use_summary_pruning: true,
             rewrite: RewriteConfig::default(),
         }
     }
@@ -150,6 +161,18 @@ impl<'d> UloadBuilder<'d> {
         self
     }
 
+    /// Toggle skip-index (XB-tree) seeks in the join kernels.
+    pub fn use_skip_index(mut self, on: bool) -> Self {
+        self.config.use_skip_index = on;
+        self
+    }
+
+    /// Toggle summary-path partitioning of document ID streams.
+    pub fn use_summary_pruning(mut self, on: bool) -> Self {
+        self.config.use_summary_pruning = on;
+        self
+    }
+
     /// Target rows per batch of the streaming executor (≥ 1).
     pub fn batch_size(mut self, batch_size: usize) -> Self {
         self.config.batch_size = batch_size;
@@ -219,6 +242,22 @@ impl Uload {
 
     pub fn store(&self) -> &storage::MaterializedStore {
         &self.store
+    }
+
+    /// Build the columnar ID-stream access module for `doc` under the
+    /// engine's physical-design knobs: with
+    /// [`EngineConfig::use_summary_pruning`] on, every column is
+    /// partitioned by the engine's summary so pattern scans can open
+    /// only summary-compatible partitions
+    /// ([`storage::IdStreamIndex::pruned_stream`]); off, plain
+    /// whole-column streams. Either way the streams answer the same
+    /// queries — the knob changes the access path, not the results.
+    pub fn id_stream_index(&self, doc: &Document) -> storage::IdStreamIndex {
+        if self.config.use_summary_pruning {
+            storage::IdStreamIndex::build_with_summary(doc, &self.summary)
+        } else {
+            storage::IdStreamIndex::build(doc)
+        }
     }
 
     /// Effectiveness counters of the shared cache (`None` when caching
@@ -357,6 +396,7 @@ impl Uload {
         let p = self.prepare(query)?;
         let mut plan = p.base_plan;
         let mut ev = Evaluator::with_document(self.store.catalog(), doc);
+        ev.config.use_skip_index = self.config.use_skip_index;
         if self.config.use_twigstack {
             plan = algebra::fuse_struct_joins(&plan);
         } else {
@@ -385,6 +425,7 @@ impl Uload {
             profiling: self.config.profiling,
             ..CursorConfig::default()
         };
+        ccfg.eval.use_skip_index = self.config.use_skip_index;
         if self.config.use_twigstack {
             plan = algebra::fuse_struct_joins(&plan);
         } else {
@@ -444,6 +485,7 @@ impl Uload {
         let evaluator = |twig_on: bool| {
             let mut ev = Evaluator::with_document(catalog, doc);
             ev.config.use_twigstack = twig_on;
+            ev.config.use_skip_index = self.config.use_skip_index;
             ev
         };
 
@@ -507,6 +549,7 @@ impl Uload {
                 ..CursorConfig::default()
             };
             ccfg.eval.use_twigstack = chosen_is_twig;
+            ccfg.eval.use_skip_index = self.config.use_skip_index;
             let breakers = algebra::pipeline_breakers(&chosen_plan);
             let mut exec = algebra::build_cursor(&chosen_plan, catalog, Some(doc), &ccfg)
                 .map_err(|e| Error::Eval(e.to_string()))?;
@@ -844,6 +887,43 @@ mod tests {
         let without = run(false);
         assert!(!with_twig.is_empty());
         assert_eq!(with_twig, without);
+    }
+
+    #[test]
+    fn access_method_knobs_preserve_answers() {
+        // skip-index seeks and summary pruning are access-path choices:
+        // flipping them must never change what a query returns
+        let doc = xmark(2, 13);
+        let q = r#"for $x in doc("X")//item return <res>{$x/name/text()}</res>"#;
+        let view = "//item[id:s]{ /n? name1:name[val] }";
+        let run = |skip: bool, prune: bool| {
+            let mut u = Uload::builder()
+                .document(&doc)
+                .use_skip_index(skip)
+                .use_summary_pruning(prune)
+                .build()
+                .unwrap();
+            u.add_view_text("V", view, &doc).unwrap();
+            let materialized = u.answer(q, &doc).unwrap().0;
+            let streamed: Vec<String> = u.query(q, &doc).unwrap().map(|r| r.unwrap()).collect();
+            assert_eq!(materialized, streamed, "skip={skip} prune={prune}");
+            (materialized, u)
+        };
+        let (base, engine_on) = run(true, true);
+        assert!(!base.is_empty());
+        for (skip, prune) in [(false, true), (true, false), (false, false)] {
+            assert_eq!(run(skip, prune).0, base, "skip={skip} prune={prune}");
+        }
+        // the engine's access-module hook follows the pruning knob
+        let partitioned = engine_on.id_stream_index(&doc);
+        assert!(!partitioned
+            .partitions("item", xmltree::NodeKind::Element)
+            .is_empty());
+        let (_, engine_off) = run(true, false);
+        assert!(engine_off
+            .id_stream_index(&doc)
+            .partitions("item", xmltree::NodeKind::Element)
+            .is_empty());
     }
 
     #[test]

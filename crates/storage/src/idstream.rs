@@ -9,59 +9,258 @@
 //! Document order *is* pre order, so the columns come out sorted for
 //! free and the catalog entries can declare `OrderSpec::by("ID")` —
 //! letting the evaluator skip its defensive re-sort.
+//!
+//! Two access-method refinements ride on top of the plain columns:
+//!
+//! * every column carries an XB-tree-style [`SkipIndex`], so point
+//!   lookups ([`IdStreamIndex::seek_descendant_of`] /
+//!   [`IdStreamIndex::seek_past`]) and the join kernels jump over
+//!   irrelevant stream regions instead of scanning them;
+//! * [`IdStreamIndex::build_with_summary`] additionally splits each
+//!   column into per-summary-path partitions (φ of Definition 4.2.1),
+//!   and [`IdStreamIndex::pruned_stream`] reassembles, in pre order,
+//!   only the partitions a query pattern can actually touch — the
+//!   partition selection of `summary::matching`.
 
 use std::collections::HashMap;
 
-use algebra::{OrderSpec, Relation, Schema, Tuple, TupleBatch, Value};
+use algebra::{OrderSpec, Relation, Schema, Seek, SkipIndex, Tuple, TupleBatch, Value};
+use summary::{Summary, SummaryNodeId};
 use xmltree::{Document, NodeKind, StructuralId};
 
 use algebra::Catalog;
 
-/// The index: one sorted `Vec<StructuralId>` column per `(label, kind)`.
+/// One summary-path slice of a column: the IDs (in document order) of
+/// exactly the nodes classified to `path`.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    pub path: SummaryNodeId,
+    pub ids: Vec<StructuralId>,
+}
+
+/// A pruned scan's result: the merged IDs plus how many of the column's
+/// partitions were opened to produce them — the `partitions_opened /
+/// partitions_total` figures of the execution metrics.
+#[derive(Debug, Clone)]
+pub struct PrunedStream {
+    /// Pre-sorted merge of the selected partitions.
+    pub ids: Vec<StructuralId>,
+    pub opened: usize,
+    pub total: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Column {
+    ids: Vec<StructuralId>,
+    skip: SkipIndex,
+    /// Summary-path partitions, sorted by path id; empty when the index
+    /// was built without a summary.
+    partitions: Vec<Partition>,
+}
+
+/// The index: one sorted `Vec<StructuralId>` column per `(label, kind)`,
+/// each with a skip index and (optionally) summary-path partitions.
 #[derive(Debug, Default, Clone)]
 pub struct IdStreamIndex {
-    columns: HashMap<(String, NodeKind), Vec<StructuralId>>,
+    columns: HashMap<(String, NodeKind), Column>,
 }
 
 impl IdStreamIndex {
     /// Build all columns in a single document pass (document order is
     /// pre order, so every column is born sorted).
     pub fn build(doc: &Document) -> IdStreamIndex {
+        IdStreamIndex::build_inner(doc, None)
+    }
+
+    /// [`IdStreamIndex::build`] plus per-summary-path partitioning of
+    /// every column, using the φ classification of `summary`. A document
+    /// that does not conform to the summary gets unpartitioned columns
+    /// (pruned scans then degrade to full scans, never to wrong ones).
+    pub fn build_with_summary(doc: &Document, summary: &Summary) -> IdStreamIndex {
+        IdStreamIndex::build_inner(doc, summary.classify(doc).as_deref())
+    }
+
+    fn build_inner(doc: &Document, phi: Option<&[SummaryNodeId]>) -> IdStreamIndex {
         let span = tracing::debug_span!(target: "uload::storage", "idstream_build");
         let _g = span.enter();
-        let mut columns: HashMap<(String, NodeKind), Vec<StructuralId>> = HashMap::new();
+        let mut ids: HashMap<(String, NodeKind), Vec<StructuralId>> = HashMap::new();
+        let mut parts: HashMap<(String, NodeKind), HashMap<SummaryNodeId, Vec<StructuralId>>> =
+            HashMap::new();
         for n in doc.all_nodes() {
             let kind = doc.kind(n);
             if kind == NodeKind::Text {
                 continue; // text nodes carry no label worth indexing
             }
-            columns
-                .entry((doc.label(n).to_string(), kind))
-                .or_default()
-                .push(doc.structural_id(n));
+            let key = (doc.label(n).to_string(), kind);
+            let sid = doc.structural_id(n);
+            ids.entry(key.clone()).or_default().push(sid);
+            if let Some(phi) = phi {
+                parts
+                    .entry(key)
+                    .or_default()
+                    .entry(phi[n.index()])
+                    .or_default()
+                    .push(sid);
+            }
         }
+        let columns = ids
+            .into_iter()
+            .map(|(key, ids)| {
+                let mut partitions: Vec<Partition> = parts
+                    .remove(&key)
+                    .map(|by_path| {
+                        by_path
+                            .into_iter()
+                            .map(|(path, ids)| Partition { path, ids })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                partitions.sort_by_key(|p| p.path);
+                let skip = SkipIndex::build(&ids);
+                (
+                    key,
+                    Column {
+                        ids,
+                        skip,
+                        partitions,
+                    },
+                )
+            })
+            .collect();
         let idx = IdStreamIndex { columns };
         tracing::debug!(
             target: "uload::storage",
-            "built ID-stream index: {} columns, {} ids",
+            "built ID-stream index: {} columns, {} ids, partitioned: {}",
             idx.len(),
-            idx.total_ids()
+            idx.total_ids(),
+            phi.is_some()
         );
         idx
+    }
+
+    fn column(&self, label: &str, kind: NodeKind) -> Option<&Column> {
+        self.columns.get(&(label.to_string(), kind))
     }
 
     /// The sorted ID column for a `(label, kind)` pair; empty when the
     /// document has no such nodes.
     pub fn stream(&self, label: &str, kind: NodeKind) -> &[StructuralId] {
-        self.columns
-            .get(&(label.to_string(), kind))
-            .map(Vec::as_slice)
+        self.column(label, kind)
+            .map(|c| c.ids.as_slice())
             .unwrap_or(&[])
     }
 
     /// Shorthand for element streams (the common twig case).
     pub fn elements(&self, label: &str) -> &[StructuralId] {
         self.stream(label, NodeKind::Element)
+    }
+
+    /// The skip index over a column, if the column exists.
+    pub fn skip_index(&self, label: &str, kind: NodeKind) -> Option<&SkipIndex> {
+        self.column(label, kind).map(|c| &c.skip)
+    }
+
+    /// Seek the column to the first position at or after `from` whose ID
+    /// can still be a descendant of `anchor` (see
+    /// [`SkipIndex::seek_descendant_of`]). Missing columns are empty.
+    pub fn seek_descendant_of(
+        &self,
+        label: &str,
+        kind: NodeKind,
+        from: usize,
+        anchor: StructuralId,
+    ) -> Seek {
+        match self.column(label, kind) {
+            Some(c) => c.skip.seek_descendant_of(&c.ids, from, anchor),
+            None => Seek {
+                pos: 0,
+                blocks_pruned: 0,
+            },
+        }
+    }
+
+    /// Seek the column past `anchor`'s whole subtree (see
+    /// [`SkipIndex::seek_past`]). Missing columns are empty.
+    pub fn seek_past(
+        &self,
+        label: &str,
+        kind: NodeKind,
+        from: usize,
+        anchor: StructuralId,
+    ) -> Seek {
+        match self.column(label, kind) {
+            Some(c) => c.skip.seek_past(&c.ids, from, anchor),
+            None => Seek {
+                pos: 0,
+                blocks_pruned: 0,
+            },
+        }
+    }
+
+    /// The column's summary-path partitions (empty unless built with
+    /// [`IdStreamIndex::build_with_summary`]).
+    pub fn partitions(&self, label: &str, kind: NodeKind) -> &[Partition] {
+        self.column(label, kind)
+            .map(|c| c.partitions.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Reassemble, in pre order, only the partitions whose summary path
+    /// is in `allowed` (which must be sorted — `summary::matching`
+    /// returns its candidate sets sorted). Without partitions the whole
+    /// column is returned and `opened == total == 0` signals that no
+    /// pruning was available.
+    pub fn pruned_stream(
+        &self,
+        label: &str,
+        kind: NodeKind,
+        allowed: &[SummaryNodeId],
+    ) -> PrunedStream {
+        debug_assert!(allowed.windows(2).all(|w| w[0] <= w[1]));
+        let Some(c) = self.column(label, kind) else {
+            return PrunedStream {
+                ids: Vec::new(),
+                opened: 0,
+                total: 0,
+            };
+        };
+        if c.partitions.is_empty() {
+            return PrunedStream {
+                ids: c.ids.clone(),
+                opened: 0,
+                total: 0,
+            };
+        }
+        let selected: Vec<&Partition> = c
+            .partitions
+            .iter()
+            .filter(|p| allowed.binary_search(&p.path).is_ok())
+            .collect();
+        // k-way merge by pre rank; partitions are individually sorted
+        let mut ids = Vec::with_capacity(selected.iter().map(|p| p.ids.len()).sum());
+        let mut cursors = vec![0usize; selected.len()];
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, p) in selected.iter().enumerate() {
+                if cursors[i] < p.ids.len()
+                    && best.is_none_or(|b| p.ids[cursors[i]].pre < selected[b].ids[cursors[b]].pre)
+                {
+                    best = Some(i);
+                }
+            }
+            match best {
+                Some(i) => {
+                    ids.push(selected[i].ids[cursors[i]]);
+                    cursors[i] += 1;
+                }
+                None => break,
+            }
+        }
+        PrunedStream {
+            ids,
+            opened: selected.len(),
+            total: c.partitions.len(),
+        }
     }
 
     /// Number of distinct `(label, kind)` columns.
@@ -75,22 +274,37 @@ impl IdStreamIndex {
 
     /// Total IDs stored across all columns.
     pub fn total_ids(&self) -> usize {
-        self.columns.values().map(Vec::len).sum()
+        self.columns.values().map(|c| c.ids.len()).sum()
+    }
+
+    /// Borrowed view of a column as contiguous ID slices of at most
+    /// `batch_size` elements — the zero-copy basis of
+    /// [`IdStreamIndex::scan_batches`], and the right entry point for
+    /// callers that work on raw IDs.
+    pub fn scan_slices<'a>(
+        &'a self,
+        label: &str,
+        kind: NodeKind,
+        batch_size: usize,
+    ) -> impl Iterator<Item = &'a [StructuralId]> + 'a {
+        self.stream(label, kind).chunks(batch_size.max(1))
     }
 
     /// Stream a `(label, kind)` column as single-attribute `(ID)`
     /// [`TupleBatch`]es of at most `batch_size` rows each — the batched
     /// scan the pipelined executor pulls instead of materializing the
-    /// whole `ids_<label>` relation up front. Batches preserve document
-    /// order (each one's rows are ID-sorted and contiguous).
+    /// whole `ids_<label>` relation up front. The column itself is never
+    /// copied: each slice from [`IdStreamIndex::scan_slices`] is turned
+    /// into tuples only at this cursor boundary, one batch at a time.
+    /// Batches preserve document order (each one's rows are ID-sorted
+    /// and contiguous).
     pub fn scan_batches<'a>(
         &'a self,
         label: &str,
         kind: NodeKind,
         batch_size: usize,
     ) -> impl Iterator<Item = TupleBatch> + 'a {
-        let batch_size = batch_size.max(1);
-        self.stream(label, kind).chunks(batch_size).map(|chunk| {
+        self.scan_slices(label, kind, batch_size).map(|chunk| {
             TupleBatch::new(
                 chunk
                     .iter()
@@ -109,12 +323,13 @@ impl IdStreamIndex {
     /// relation ordered by ID, so plans can scan streams by name and the
     /// evaluator sees them as pre-sorted.
     pub fn register(&self, catalog: &mut Catalog) {
-        for ((label, kind), ids) in &self.columns {
+        for ((label, kind), col) in &self.columns {
             let name = match kind {
                 NodeKind::Attribute => format!("ids_@{label}"),
                 _ => Self::relation_of(label),
             };
-            let tuples = ids
+            let tuples = col
+                .ids
                 .iter()
                 .map(|&sid| Tuple::new(vec![Value::Id(sid)]))
                 .collect();
@@ -182,6 +397,18 @@ mod tests {
     }
 
     #[test]
+    fn scan_slices_borrow_the_column() {
+        let doc = generate::xmark(2, 5);
+        let idx = IdStreamIndex::build(&doc);
+        let whole = idx.elements("item");
+        let slices: Vec<&[StructuralId]> = idx.scan_slices("item", NodeKind::Element, 4).collect();
+        let flat: Vec<StructuralId> = slices.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(flat, whole);
+        // slices alias the column storage — no copies
+        assert_eq!(slices[0].as_ptr(), whole.as_ptr());
+    }
+
+    #[test]
     fn register_caches_streams_in_catalog() {
         let doc = generate::xmark(2, 5);
         let idx = IdStreamIndex::build(&doc);
@@ -194,5 +421,80 @@ mod tests {
             rel.tuples[0].get(0).as_id().unwrap(),
             idx.elements("item")[0]
         );
+    }
+
+    #[test]
+    fn column_seeks_match_linear_scans() {
+        let doc = generate::xmark(3, 7);
+        let idx = IdStreamIndex::build(&doc);
+        let keywords = idx.elements("keyword");
+        let anchor = idx.elements("item")[2];
+        let d = idx.seek_descendant_of("keyword", NodeKind::Element, 0, anchor);
+        assert_eq!(
+            d.pos,
+            keywords.iter().position(|s| s.pre > anchor.pre).unwrap()
+        );
+        let p = idx.seek_past("keyword", NodeKind::Element, 0, anchor);
+        assert_eq!(
+            p.pos,
+            keywords
+                .iter()
+                .position(|s| s.pre > anchor.pre && s.post > anchor.post)
+                .unwrap()
+        );
+        assert_eq!(
+            idx.seek_past("no_such", NodeKind::Element, 0, anchor).pos,
+            0
+        );
+    }
+
+    #[test]
+    fn summary_partitions_cover_each_column_exactly() {
+        let doc = generate::xmark(2, 9);
+        let s = Summary::of_document(&doc);
+        let idx = IdStreamIndex::build_with_summary(&doc, &s);
+        for label in ["keyword", "item", "text"] {
+            let parts = idx.partitions(label, NodeKind::Element);
+            assert!(!parts.is_empty(), "{label} must be partitioned");
+            let total: usize = parts.iter().map(|p| p.ids.len()).sum();
+            assert_eq!(total, idx.elements(label).len(), "{label}");
+            // partitions hold the φ classification: every id's label path
+            // is the partition's summary path
+            for p in parts {
+                assert_eq!(s.label(p.path), label);
+            }
+        }
+        // unsummarized build has no partitions
+        let plain = IdStreamIndex::build(&doc);
+        assert!(plain.partitions("keyword", NodeKind::Element).is_empty());
+    }
+
+    #[test]
+    fn pruned_streams_merge_selected_partitions_in_pre_order() {
+        let doc = generate::xmark(2, 9);
+        let s = Summary::of_document(&doc);
+        let idx = IdStreamIndex::build_with_summary(&doc, &s);
+        let parts = idx.partitions("keyword", NodeKind::Element);
+        assert!(parts.len() >= 2, "need several keyword paths");
+        // all partitions selected == the full column
+        let all: Vec<SummaryNodeId> = parts.iter().map(|p| p.path).collect();
+        let full = idx.pruned_stream("keyword", NodeKind::Element, &all);
+        assert_eq!(full.ids, idx.elements("keyword"));
+        assert_eq!(full.opened, full.total);
+        // a single partition comes back verbatim, still pre-sorted
+        let one = idx.pruned_stream("keyword", NodeKind::Element, &all[..1]);
+        assert_eq!(one.ids, parts[0].ids);
+        assert_eq!(one.opened, 1);
+        assert!(one.ids.windows(2).all(|w| w[0].pre < w[1].pre));
+        // nothing selected → empty stream, zero opened
+        let none = idx.pruned_stream("keyword", NodeKind::Element, &[]);
+        assert!(none.ids.is_empty());
+        assert_eq!(none.opened, 0);
+        assert_eq!(none.total, parts.len());
+        // unpartitioned index: full column, opened == total == 0
+        let plain = IdStreamIndex::build(&doc);
+        let fallback = plain.pruned_stream("keyword", NodeKind::Element, &[]);
+        assert_eq!(fallback.ids, plain.elements("keyword"));
+        assert_eq!((fallback.opened, fallback.total), (0, 0));
     }
 }

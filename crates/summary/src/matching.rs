@@ -1,0 +1,285 @@
+//! Query-pattern → summary-path matching (the partition selector).
+//!
+//! A summary node stands for one rooted label path, and φ maps every
+//! document node to its summary node; storage partitions each
+//! `(label, kind)` ID stream by that φ value. Before a twig join runs,
+//! [`compatible_nodes`] computes, for every pattern node, the set of
+//! summary nodes whose partitions can possibly contribute a match — a
+//! scan then opens only those partitions and skips the rest of the
+//! stream without reading it.
+//!
+//! The computation is arc-consistency over the summary tree: a top-down
+//! pass seeds each pattern node with the label-compatible summary nodes
+//! reachable from its parent's candidates along the connecting axis, and
+//! bottom-up passes discard candidates that cannot cover some pattern
+//! child, iterating to a fixpoint. Pruning is *sound*: a summary node
+//! hosting a real document match is never dropped (its φ image satisfies
+//! every constraint the passes check), so partition selection preserves
+//! query results exactly. It is not complete — a surviving summary node
+//! may still hold no match — which only costs an opened partition.
+
+use crate::{Summary, SummaryNodeId};
+use xmltree::NodeKind;
+
+/// Axis connecting a twig-pattern node to its parent (a dependency-free
+/// mirror of the algebra crate's `Axis`, which summary cannot import
+/// without a layering cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternAxis {
+    Child,
+    Descendant,
+}
+
+/// For each pattern node, the summary nodes whose stream partitions can
+/// contribute to a match.
+///
+/// The pattern is given structurally: node `0` is the pattern root and
+/// for `i > 0`, `parents[i] < i` names the parent node and `axes[i]` the
+/// connecting axis. `parents[0]` is ignored; `axes[0]` relates the
+/// pattern root to the *document* root (`Child` pins it to the root
+/// element's children, `Descendant` — the common case — allows any
+/// depth, including the root element itself). Labels match summary
+/// labels exactly, `"*"` matches any element, and a `"@name"` label
+/// matches the attribute `name`.
+///
+/// Returns one sorted candidate set per pattern node; an empty set
+/// proves the pattern has no match in any conforming document.
+pub fn compatible_nodes(
+    summary: &Summary,
+    labels: &[&str],
+    parents: &[usize],
+    axes: &[PatternAxis],
+) -> Vec<Vec<SummaryNodeId>> {
+    let n = labels.len();
+    assert_eq!(parents.len(), n, "parents length mismatch");
+    assert_eq!(axes.len(), n, "axes length mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
+    for (i, &p) in parents.iter().enumerate().skip(1) {
+        assert!(p < i, "parents[{i}] = {p} must point at an earlier node");
+    }
+
+    // top-down seeding
+    let mut cand: Vec<Vec<SummaryNodeId>> = Vec::with_capacity(n);
+    let root_set: Vec<SummaryNodeId> = match axes[0] {
+        PatternAxis::Child => summary
+            .children(summary.root())
+            .iter()
+            .copied()
+            .filter(|&s| label_matches(summary, s, labels[0]))
+            .collect(),
+        PatternAxis::Descendant => summary
+            .all_nodes()
+            .filter(|&s| label_matches(summary, s, labels[0]))
+            .collect(),
+    };
+    cand.push(root_set);
+    for i in 1..n {
+        let set: Vec<SummaryNodeId> = summary
+            .all_nodes()
+            .filter(|&s| {
+                label_matches(summary, s, labels[i])
+                    && cand[parents[i]]
+                        .iter()
+                        .any(|&p| axis_connects(summary, p, s, axes[i]))
+            })
+            .collect();
+        cand.push(set);
+    }
+
+    // bottom-up pruning to a fixpoint: a candidate must reach at least
+    // one candidate of every pattern child. Each pass only shrinks the
+    // sets, so this terminates; patterns are tiny, so re-running the
+    // top-down tightening inside the loop is cheap.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let kids: Vec<usize> = (i + 1..n).filter(|&j| parents[j] == i).collect();
+            if kids.is_empty() {
+                continue;
+            }
+            let before = cand[i].len();
+            let kept: Vec<SummaryNodeId> = cand[i]
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    kids.iter().all(|&j| {
+                        cand[j]
+                            .iter()
+                            .any(|&c| axis_connects(summary, s, c, axes[j]))
+                    })
+                })
+                .collect();
+            if kept.len() != before {
+                cand[i] = kept;
+                changed = true;
+            }
+        }
+        for i in 1..n {
+            let before = cand[i].len();
+            let kept: Vec<SummaryNodeId> = cand[i]
+                .iter()
+                .copied()
+                .filter(|&s| {
+                    cand[parents[i]]
+                        .iter()
+                        .any(|&p| axis_connects(summary, p, s, axes[i]))
+                })
+                .collect();
+            if kept.len() != before {
+                cand[i] = kept;
+                changed = true;
+            }
+        }
+    }
+    for set in &mut cand {
+        set.sort();
+    }
+    cand
+}
+
+fn label_matches(summary: &Summary, s: SummaryNodeId, pattern: &str) -> bool {
+    if let Some(name) = pattern.strip_prefix('@') {
+        return summary.kind(s) == NodeKind::Attribute && summary.label(s) == name;
+    }
+    match summary.kind(s) {
+        NodeKind::Attribute => false,
+        _ => pattern == "*" || summary.label(s) == pattern,
+    }
+}
+
+fn axis_connects(
+    summary: &Summary,
+    parent: SummaryNodeId,
+    child: SummaryNodeId,
+    axis: PatternAxis,
+) -> bool {
+    match axis {
+        PatternAxis::Child => summary.parent(child) == Some(parent),
+        PatternAxis::Descendant => child != parent && summary.is_ancestor_or_self(parent, child),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmltree::{generate, parse_document};
+
+    fn paths(summary: &Summary, set: &[SummaryNodeId]) -> Vec<String> {
+        set.iter().map(|&s| summary.path_of(s)).collect()
+    }
+
+    #[test]
+    fn chain_pattern_selects_exact_paths() {
+        let doc = parse_document("<a><b><c><k/></c></b><d><c><x/></c></d><c/></a>").unwrap();
+        let s = Summary::of_document(&doc);
+        // //b//c : only the c under b qualifies
+        let cand = compatible_nodes(
+            &s,
+            &["b", "c"],
+            &[0, 0],
+            &[PatternAxis::Descendant, PatternAxis::Descendant],
+        );
+        assert_eq!(paths(&s, &cand[0]), ["/a/b"]);
+        assert_eq!(paths(&s, &cand[1]), ["/a/b/c"]);
+    }
+
+    #[test]
+    fn bottom_up_prunes_parents_without_children() {
+        let doc = parse_document("<a><b><c/></b><b2><c/></b2><b><z/></b></a>").unwrap();
+        let s = Summary::of_document(&doc);
+        // //b/k : no b has a k child anywhere in the summary
+        let cand = compatible_nodes(
+            &s,
+            &["b", "k"],
+            &[0, 0],
+            &[PatternAxis::Descendant, PatternAxis::Child],
+        );
+        assert!(cand[0].is_empty());
+        assert!(cand[1].is_empty());
+    }
+
+    #[test]
+    fn child_vs_descendant_axes_differ() {
+        let doc = parse_document("<a><b><m><c/></m></b><b><c/></b></a>").unwrap();
+        let s = Summary::of_document(&doc);
+        let child = compatible_nodes(
+            &s,
+            &["b", "c"],
+            &[0, 0],
+            &[PatternAxis::Descendant, PatternAxis::Child],
+        );
+        assert_eq!(paths(&s, &child[1]), ["/a/b/c"]);
+        let desc = compatible_nodes(
+            &s,
+            &["b", "c"],
+            &[0, 0],
+            &[PatternAxis::Descendant, PatternAxis::Descendant],
+        );
+        assert_eq!(
+            paths(&s, &desc[1]),
+            ["/a/b/m/c", "/a/b/c"].map(String::from).to_vec()
+        );
+    }
+
+    #[test]
+    fn branching_pattern_requires_all_children() {
+        // b[c][d] — only the first b path has both
+        let doc = parse_document("<a><b><c/><d/></b><e><b><c/></b></e></a>").unwrap();
+        let s = Summary::of_document(&doc);
+        let cand = compatible_nodes(
+            &s,
+            &["b", "c", "d"],
+            &[0, 0, 0],
+            &[
+                PatternAxis::Descendant,
+                PatternAxis::Child,
+                PatternAxis::Child,
+            ],
+        );
+        assert_eq!(paths(&s, &cand[0]), ["/a/b"]);
+        assert_eq!(paths(&s, &cand[1]), ["/a/b/c"]);
+        assert_eq!(paths(&s, &cand[2]), ["/a/b/d"]);
+    }
+
+    #[test]
+    fn wildcard_and_attribute_labels() {
+        let doc = parse_document("<a><b x=\"1\"><c/></b></a>").unwrap();
+        let s = Summary::of_document(&doc);
+        let cand = compatible_nodes(
+            &s,
+            &["*", "@x"],
+            &[0, 0],
+            &[PatternAxis::Descendant, PatternAxis::Child],
+        );
+        assert_eq!(paths(&s, &cand[0]), ["/a/b"]);
+        assert_eq!(paths(&s, &cand[1]), ["/a/b/@x"]);
+    }
+
+    #[test]
+    fn selective_xmark_pattern_prunes_most_paths() {
+        let doc = generate::xmark(2, 5);
+        let s = Summary::of_document(&doc);
+        let cand = compatible_nodes(
+            &s,
+            &["description", "text", "keyword"],
+            &[0, 0, 1],
+            &[
+                PatternAxis::Descendant,
+                PatternAxis::Child,
+                PatternAxis::Descendant,
+            ],
+        );
+        let keyword_paths = s.nodes_with_label("keyword").count();
+        assert!(!cand[2].is_empty());
+        assert!(
+            cand[2].len() < keyword_paths,
+            "pruning must drop some of the {keyword_paths} keyword paths"
+        );
+        for &k in &cand[2] {
+            assert!(s.path_of(k).contains("/description/"));
+        }
+    }
+}

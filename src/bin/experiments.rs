@@ -13,7 +13,8 @@
 //! (rewriting), `qep_catalogue` (§2.1 plans), `minimize` (§4.5),
 //! `twig` (E10 holistic twig-join ablation; writes `BENCH_twig.json`),
 //! `pipeline` (E11 pipelined batch executor vs materialized evaluation;
-//! writes `BENCH_pipeline.json`).
+//! writes `BENCH_pipeline.json`), `skip` (E12 skip-index × summary-
+//! pruning access-method grid; writes `BENCH_skip.json`).
 //!
 //! `--profile` runs one view-backed query with `EXPLAIN ANALYZE` and
 //! prints the rendered profile; `--profile-json` prints the same profile
@@ -81,6 +82,9 @@ fn main() {
     }
     if want("pipeline") {
         pipeline(quick);
+    }
+    if want("skip") {
+        skip(quick);
     }
 }
 
@@ -316,6 +320,89 @@ fn twig(quick: bool) {
     }
     println!(
         "(the holistic merge skips the cascade's intermediate pair lists; gains grow with depth)"
+    );
+}
+
+fn skip(quick: bool) {
+    header("E12 — skip-based twig joins: seek indexes × summary pruning");
+    let (scale, reps) = if quick { (4, 3) } else { (15, 7) };
+    let doc = uload::generate::xmark(scale, 42);
+    let rows = experiments::skip_ablation(&doc, reps);
+    println!(
+        "{:<15} {:>7} {:>11} {:>11} {:>11} {:>11} {:>7} {:>9} {:>9}",
+        "workload",
+        "rows",
+        "linear(ns)",
+        "+skip(ns)",
+        "+prune(ns)",
+        "+both(ns)",
+        "x both",
+        "skipped",
+        "parts"
+    );
+    for r in &rows {
+        let both = r.cell(true, true);
+        println!(
+            "{:<15} {:>7} {:>11} {:>11} {:>11} {:>11} {:>7.2} {:>9} {:>6}/{}",
+            r.name,
+            r.rows,
+            r.cell(false, false).ns,
+            r.cell(true, false).ns,
+            r.cell(false, true).ns,
+            both.ns,
+            r.speedup_full_vs_linear(),
+            r.cell(true, false).elements_skipped,
+            both.partitions_opened,
+            both.partitions_total
+        );
+    }
+    // machine-readable record (hand-rolled JSON — the workspace
+    // deliberately carries no serializer dependency)
+    let mut json = String::from("{\n  \"experiment\": \"skip_ablation\",\n");
+    json.push_str(&format!(
+        "  \"document\": \"xmark({scale}, 42)\",\n  \"reps\": {reps},\n  \
+         \"block\": {},\n  \"workloads\": [\n",
+        uload::DEFAULT_BLOCK
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rows\": {}, \"cells\": [\n",
+            r.name, r.rows
+        ));
+        for (j, c) in r.cells.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"skip_index\": {}, \"summary_pruning\": {}, \"ns\": {}, \
+                 \"elements_skipped\": {}, \"blocks_pruned\": {}, \
+                 \"partitions_opened\": {}, \"partitions_total\": {}, \
+                 \"stream_elements\": {}}}{}\n",
+                c.skip_index,
+                c.summary_pruning,
+                c.ns,
+                c.elements_skipped,
+                c.blocks_pruned,
+                c.partitions_opened,
+                c.partitions_total,
+                c.stream_elements,
+                if j + 1 == r.cells.len() { "" } else { "," }
+            ));
+        }
+        json.push_str(&format!(
+            "    ], \"stacktree_ns\": {}, \"stacktree_indexed_ns\": {}, \
+             \"speedup_full_vs_linear\": {:.3}}}{}\n",
+            r.stacktree_ns,
+            r.stacktree_indexed_ns,
+            r.speedup_full_vs_linear(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_skip.json", &json) {
+        Ok(()) => println!("(wrote BENCH_skip.json)"),
+        Err(e) => eprintln!("(could not write BENCH_skip.json: {e})"),
+    }
+    println!(
+        "(seeks engage where parent-open pruning discards whole runs; summary pruning \
+         shrinks the streams before the merge starts — dense twigs are the honest near-tie)"
     );
 }
 

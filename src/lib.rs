@@ -27,7 +27,10 @@
 
 pub use uload_error::{Error, Result};
 
-pub use algebra::{fuse_struct_joins, Evaluator, Relation, StreamExec, TupleBatch, TwigPattern};
+pub use algebra::{
+    fuse_struct_joins, Evaluator, Relation, Seek, SkipIndex, StreamExec, TupleBatch, TwigPattern,
+    DEFAULT_BLOCK,
+};
 pub use containment::{
     canonical_model, contain, contained_in_union, equivalent, equivalent_with,
     minimize_by_contraction, minimize_by_contraction_with, minimize_global, minimize_global_with,
@@ -101,15 +104,6 @@ pub fn execute_query(text: &str, doc: &Document) -> Result<QueryOutput> {
         items: items.into_iter().map(|xml| QueryItem { xml }).collect(),
         plan_fingerprint: h.finish(),
     })
-}
-
-/// Former string-vector form of [`execute_query`].
-#[deprecated(
-    since = "0.4.0",
-    note = "use `execute_query` (returns `QueryOutput`); call `.into_strings()` for the old shape"
-)]
-pub fn execute_query_strings(text: &str, doc: &Document) -> Result<Vec<String>> {
-    execute_query(text, doc).map(QueryOutput::into_strings)
 }
 
 /// Parse an XQuery into its AST (for pattern extraction).

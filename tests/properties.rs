@@ -283,6 +283,113 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The seek-indexed access path is invisible to results: on random
+    /// XMark and DBLP twig patterns, the skip-indexed holistic kernel
+    /// (block sizes 1, 2, 64, and a non-power-of-two), the indexed
+    /// StackTree merge, the linear kernels, and the nested-loop oracle
+    /// all agree — and the planner paths (materialized evaluation and
+    /// the streamed cursor executor behind `query()`) return the same
+    /// relation with `use_skip_index` on and off.
+    #[test]
+    fn skip_scan_matches_full_scan(
+        spec in prop::collection::vec((0usize..10, 0usize..8, 0usize..2), 2..7),
+        dblp_sel in 0usize..2,
+        batch_pick in 0usize..4,
+    ) {
+        let dblp = dblp_sel == 1;
+        let doc = if dblp { generate::dblp(6, 7) } else { generate::xmark(3, 7) };
+        let pool: [&'static str; 10] = if dblp {
+            ["dblp", "article", "inproceedings", "book", "author",
+             "title", "year", "journal", "pages", "url"]
+        } else {
+            ["site", "regions", "item", "name", "description",
+             "parlist", "listitem", "text", "keyword", "mailbox"]
+        };
+        let mut w = uload_bench::experiments::TwigWorkload {
+            name: "prop".into(),
+            labels: Vec::new(),
+            parents: Vec::new(),
+            axes: Vec::new(),
+        };
+        for (k, &(label, parent, child)) in spec.iter().enumerate() {
+            w.labels.push(pool[label]);
+            w.parents.push(if k == 0 { 0 } else { parent % k });
+            w.axes.push(if child == 1 { algebra::Axis::Child } else { algebra::Axis::Descendant });
+        }
+
+        let idx = storage::IdStreamIndex::build(&doc);
+        let pattern = w.pattern();
+        let streams = w.streams(&idx);
+        let refs: Vec<&[(xmltree::StructuralId, usize)]> =
+            streams.iter().map(|s| s.as_slice()).collect();
+        let linear = algebra::twig_join(&pattern, &refs);
+        let mut nested = uload_bench::experiments::cascade_solutions(
+            &w.parents, &w.axes, &streams, false);
+        nested.sort_unstable();
+        prop_assert_eq!(&linear, &nested, "linear twig vs nested loop on {:?}", w.labels);
+
+        // the seek-indexed kernels, across degenerate, tiny, default,
+        // and non-power-of-two block sizes
+        for block in [1usize, 2, 64, 13] {
+            let ixs: Vec<algebra::SkipIndex> = streams
+                .iter()
+                .map(|s| algebra::SkipIndex::with_block(s, block))
+                .collect();
+            let opts: Vec<Option<&algebra::SkipIndex>> = ixs.iter().map(Some).collect();
+            let indexed = algebra::twig_join_indexed(&pattern, &refs, &opts);
+            prop_assert_eq!(
+                &indexed, &linear,
+                "indexed twig (block {}) vs linear on {:?}", block, w.labels
+            );
+            let mut stack = uload_bench::experiments::cascade_solutions_with(
+                &w.parents, &w.axes, &streams, true);
+            stack.sort_unstable();
+            prop_assert_eq!(
+                &stack, &linear,
+                "indexed StackTree cascade vs linear on {:?}", w.labels
+            );
+        }
+
+        // planner paths: same relation with the knob on and off, both
+        // materialized and through the streamed cursor executor
+        if streams.iter().all(|s| !s.is_empty()) {
+            let cat = uload_bench::experiments::twig_catalog(&doc);
+            let plan = w.twig_plan();
+            let batch_size = [1usize, 2, 7, 1024][batch_pick];
+            let mut oracle = None;
+            for skip_on in [true, false] {
+                let mut ev = algebra::Evaluator::new(&cat);
+                ev.config.use_skip_index = skip_on;
+                let mat = ev.eval(&plan).unwrap();
+                let mut ccfg = algebra::CursorConfig {
+                    batch_size,
+                    ..Default::default()
+                };
+                ccfg.eval.use_skip_index = skip_on;
+                let exec = algebra::build_cursor(&plan, &cat, None, &ccfg).unwrap();
+                let streamed = exec.collect().unwrap();
+                prop_assert_eq!(
+                    &streamed, &mat,
+                    "streamed != materialized (skip {}, batch {}) on {:?}",
+                    skip_on, batch_size, w.labels
+                );
+                if let Some(prev) = &oracle {
+                    prop_assert_eq!(
+                        prev, &mat,
+                        "skip index changed results on {:?}", w.labels
+                    );
+                } else {
+                    prop_assert_eq!(mat.tuples.len(), linear.len());
+                    oracle = Some(mat);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(2))]
 
     /// The parallel, cache-backed engine is observationally identical to

@@ -173,11 +173,10 @@ fn execute_query_returns_typed_output_with_stable_fingerprint() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_string_shim_matches_typed_output() {
+fn into_strings_preserves_items_in_order() {
     let doc = generate::bib_sample();
     let q = r#"for $b in doc("d")//book return <r>{$b/title}</r>"#;
-    let typed = uload::execute_query(q, &doc).unwrap().into_strings();
-    let strings = uload::execute_query_strings(q, &doc).unwrap();
-    assert_eq!(typed, strings);
+    let out = uload::execute_query(q, &doc).unwrap();
+    let items: Vec<String> = out.items.iter().map(|i| i.xml.clone()).collect();
+    assert_eq!(out.into_strings(), items);
 }
