@@ -157,15 +157,16 @@ impl SkipIndex {
         from: usize,
         anchor: StructuralId,
     ) -> Seek {
-        // a block's largest pre is strictly below the next fence's
-        // `min_pre` (pre ranks are strictly increasing), so a block can
-        // hold a `pre > anchor.pre` element only if that exclusive
-        // bound clears `anchor.pre + 1`
+        // a block's largest pre is at most the next fence's `min_pre`
+        // (streams are non-strictly pre-sorted — duplicate IDs from
+        // multi-tuple join inputs may straddle a block boundary), so a
+        // block can hold a `pre > anchor.pre` element only if that
+        // inclusive bound exceeds `anchor.pre`
         self.seek(
             stream,
             from,
             |sid| sid.pre > anchor.pre,
-            |_f, next_min_pre| next_min_pre > anchor.pre.saturating_add(1),
+            |_f, next_min_pre| next_min_pre > anchor.pre,
         )
     }
 
@@ -179,18 +180,18 @@ impl SkipIndex {
             stream,
             from,
             |sid| sid.pre > anchor.pre && sid.post > anchor.post,
-            |f, next_min_pre| {
-                next_min_pre > anchor.pre.saturating_add(1) && f.max_post > anchor.post
-            },
+            |f, next_min_pre| next_min_pre > anchor.pre && f.max_post > anchor.post,
         )
     }
 
     /// Generic fence descent for a predicate that is monotone over the
     /// stream suffix starting at `from`: `elem_hit` tests an element;
     /// `block_may_hit` sees a fence plus the *next* same-level fence's
-    /// `min_pre` (`u32::MAX` at the tail) — the exclusive upper bound on
-    /// every pre rank inside the block — and must return `false` only
-    /// for blocks none of whose elements can satisfy `elem_hit`.
+    /// `min_pre` (`u32::MAX` at the tail) — an *inclusive* upper bound on
+    /// every pre rank inside the block (order is non-strict, so a
+    /// duplicated pre may equal the next fence's minimum) — and must
+    /// return `false` only for blocks none of whose elements can satisfy
+    /// `elem_hit`.
     /// Returns the first hit at or after `from`.
     fn seek<T, E, B>(&self, stream: &[T], from: usize, elem_hit: E, block_may_hit: B) -> Seek
     where
@@ -352,6 +353,66 @@ mod tests {
             s.blocks_pruned,
             keywords.len().div_ceil(8)
         );
+    }
+
+    #[test]
+    fn duplicate_straddling_block_boundary_not_pruned() {
+        // Join inputs may carry the same node ID in many tuples (e.g. a
+        // view column), so streams are only *non-strictly* pre-sorted.
+        // Regression: with block = 2 the middle block ends in the first
+        // copy of pre = 3 and the next fence's min_pre is the second
+        // copy, so for an anchor with pre = 2 the block satisfies
+        // `max_pre == next_min_pre == anchor.pre + 1` — the old strict
+        // bound pruned it and the seek overshot the first hit.
+        let ids = vec![
+            StructuralId::new(0, 10, 1),
+            StructuralId::new(1, 1, 2),
+            StructuralId::new(2, 4, 2),
+            StructuralId::new(3, 3, 3),
+            StructuralId::new(3, 3, 3), // duplicate straddles the boundary
+            StructuralId::new(9, 9, 2),
+        ];
+        let anchor = StructuralId::new(2, 4, 2);
+        let ix = SkipIndex::with_block(&ids, 2);
+        let d = ix.seek_descendant_of(&ids, 0, anchor);
+        assert_eq!(d.pos, linear_descendant(&ids, 0, anchor), "overshot");
+        assert_eq!(d.pos, 3);
+        assert_eq!(
+            ix.seek_past(&ids, 0, anchor).pos,
+            linear_past(&ids, 0, anchor)
+        );
+    }
+
+    #[test]
+    fn seeks_match_linear_scan_on_duplicated_streams() {
+        // streams with repeated IDs (each element duplicated 0–2 extra
+        // times, consecutively, preserving the non-strict pre order)
+        let doc = generate::xmark(3, 11);
+        let mut keywords: Vec<StructuralId> = Vec::new();
+        for (i, sid) in ids(&doc, "keyword").into_iter().enumerate() {
+            for _ in 0..=(i % 3) {
+                keywords.push(sid);
+            }
+        }
+        assert!(keywords.windows(2).all(|w| w[0].pre <= w[1].pre));
+        let items = ids(&doc, "item");
+        for block in [1, 2, 3, 7, 64] {
+            let ix = SkipIndex::with_block(&keywords, block);
+            for anchor in items.iter().step_by(5) {
+                for from in [0, 1, keywords.len() / 3, keywords.len() - 1] {
+                    assert_eq!(
+                        ix.seek_descendant_of(&keywords, from, *anchor).pos,
+                        linear_descendant(&keywords, from, *anchor),
+                        "descendant block={block} from={from}"
+                    );
+                    assert_eq!(
+                        ix.seek_past(&keywords, from, *anchor).pos,
+                        linear_past(&keywords, from, *anchor),
+                        "past block={block} from={from}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

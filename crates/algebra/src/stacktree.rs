@@ -112,9 +112,12 @@ pub fn stack_tree_pairs_indexed_metered<M: Meter>(
         // ancestors still ahead, all with larger pre: seek straight to
         // the next ancestor's pre rank (or drop the tail if none remain)
         if stack.is_empty() && !(ai < anc.len() && anc[ai].0.pre <= d.pre) {
+            // skipped counts exclude the element being inspected (it was
+            // read to decide the seek) — the same convention as the twig
+            // kernel, so `elements_skipped` is comparable across kernels
             if let Some(ix) = desc_index {
                 if ai >= anc.len() {
-                    meter.skipped((desc.len() - di) as u64);
+                    meter.skipped((desc.len() - di - 1) as u64);
                     break;
                 }
                 // anc[ai].0.pre > d.pre here: descendants up to that pre
@@ -122,7 +125,7 @@ pub fn stack_tree_pairs_indexed_metered<M: Meter>(
                 // cannot match anc[ai] or anything after it
                 let s = ix.seek_descendant_of(desc, di, anc[ai].0);
                 meter.blocks_pruned(s.blocks_pruned);
-                meter.skipped((s.pos - di) as u64);
+                meter.skipped((s.pos - di - 1) as u64);
                 di = s.pos;
                 continue;
             }
@@ -287,6 +290,32 @@ mod tests {
         );
         assert_eq!(got, stack_tree_pairs(&anc, &desc, Axis::Descendant));
         assert!(metrics.elements_skipped > 0, "{metrics:?}");
+    }
+
+    #[test]
+    fn indexed_merge_handles_duplicate_descendant_ids() {
+        // join inputs can repeat a node ID across tuples (a view column
+        // joined on the same node), so the kernel's index must stay
+        // exact on non-strictly sorted streams — including duplicates
+        // straddling fence-block boundaries
+        let doc = generate::xmark(3, 11);
+        let anc = ids(&doc, "item");
+        let mut desc: Vec<(StructuralId, usize)> = Vec::new();
+        for (i, (sid, _)) in ids(&doc, "keyword").into_iter().enumerate() {
+            for _ in 0..=(i % 3) {
+                desc.push((sid, desc.len()));
+            }
+        }
+        for axis in [Axis::Child, Axis::Descendant] {
+            let mut want = nested_loop_pairs(&anc, &desc, axis);
+            want.sort_unstable();
+            for block in [1, 2, 7, 64] {
+                let ix = SkipIndex::with_block(&desc, block);
+                let mut got = stack_tree_pairs_indexed(&anc, &desc, axis, Some(&ix));
+                got.sort_unstable();
+                assert_eq!(got, want, "{axis:?} block={block}");
+            }
+        }
     }
 
     #[test]

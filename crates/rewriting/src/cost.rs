@@ -10,8 +10,12 @@
 use algebra::{Catalog, JoinKind, LogicalPlan};
 
 /// Estimated (cost, output-rows) of a plan over a catalog of materialized
-/// relations. Unknown relations count as size 1000.
-pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> (f64, f64) {
+/// relations. Unknown relations count as size 1000. `seekable` says
+/// whether the executor will have XB-tree skip indexes available
+/// (`use_skip_index`); only then may twig costs assume seeking, so the
+/// planner never prefers a plan on the strength of a disabled access
+/// method.
+pub fn estimate(plan: &LogicalPlan, catalog: &Catalog, seekable: bool) -> (f64, f64) {
     use LogicalPlan::*;
     match plan {
         Scan { relation } => {
@@ -19,26 +23,26 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> (f64, f64) {
             (rows, rows)
         }
         Select { input, .. } => {
-            let (c, r) = estimate(input, catalog);
+            let (c, r) = estimate(input, catalog, seekable);
             (c + r, r * 0.33)
         }
         Project {
             input, distinct, ..
         } => {
-            let (c, r) = estimate(input, catalog);
+            let (c, r) = estimate(input, catalog, seekable);
             // duplicate elimination pays a comparison sweep
             (c + if *distinct { r * r.log2().max(1.0) } else { r }, r)
         }
         Product { left, right } => {
-            let (cl, rl) = estimate(left, catalog);
-            let (cr, rr) = estimate(right, catalog);
+            let (cl, rl) = estimate(left, catalog, seekable);
+            let (cr, rr) = estimate(right, catalog, seekable);
             (cl + cr + rl * rr, rl * rr)
         }
         Join {
             left, right, kind, ..
         } => {
-            let (cl, rl) = estimate(left, catalog);
-            let (cr, rr) = estimate(right, catalog);
+            let (cl, rl) = estimate(left, catalog, seekable);
+            let (cr, rr) = estimate(right, catalog, seekable);
             let out = match kind {
                 JoinKind::Semi => rl * 0.5,
                 JoinKind::Nest | JoinKind::NestOuter => rl,
@@ -50,8 +54,8 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> (f64, f64) {
         StructJoin {
             left, right, kind, ..
         } => {
-            let (cl, rl) = estimate(left, catalog);
-            let (cr, rr) = estimate(right, catalog);
+            let (cl, rl) = estimate(left, catalog, seekable);
+            let (cr, rr) = estimate(right, catalog, seekable);
             let out = match kind {
                 JoinKind::Semi => rl * 0.5,
                 JoinKind::Nest | JoinKind::NestOuter => rl,
@@ -69,11 +73,11 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> (f64, f64) {
             // the combined stream length; output folds the binary Inner
             // formula step by step (same answer, none of the cascade's
             // per-level sort-merge charges).
-            let (mut cost, mut out) = estimate(root, catalog);
+            let (mut cost, mut out) = estimate(root, catalog, seekable);
             let mut total_rows = out;
             let mut min_rows = out;
             for s in steps {
-                let (cs, rs) = estimate(&s.input, catalog);
+                let (cs, rs) = estimate(&s.input, catalog, seekable);
                 cost += cs;
                 total_rows += rs;
                 min_rows = min_rows.min(rs);
@@ -81,43 +85,51 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> (f64, f64) {
             }
             let log = total_rows.log2().max(1.0);
             let linear_merge = total_rows * log;
-            // Skip-aware selectivity: with XB-tree seek indexes the merge
-            // touches roughly the most selective stream plus the output —
-            // everything else is seeked over at a fence-descent (log)
-            // charge per touched element and stream. On skewed twigs this
-            // term undercuts the linear sweep, which is exactly when the
-            // twig-vs-cascade arm should prefer seeking.
-            let seek_merge = (min_rows + out) * log * (steps.len() as f64 + 1.0);
-            (cost + linear_merge.min(seek_merge), out)
+            let merge = if seekable {
+                // Skip-aware selectivity: with XB-tree seek indexes the
+                // merge touches roughly the most selective stream plus
+                // the output — everything else is seeked over at a
+                // fence-descent (log) charge per touched element and
+                // stream. On skewed twigs this term undercuts the linear
+                // sweep, which is exactly when the twig-vs-cascade arm
+                // should prefer seeking. With `use_skip_index` off the
+                // kernel really does the full sweep, so the discount
+                // must not apply.
+                let seek_merge = (min_rows + out) * log * (steps.len() as f64 + 1.0);
+                linear_merge.min(seek_merge)
+            } else {
+                linear_merge
+            };
+            (cost + merge, out)
         }
         Union { left, right } => {
-            let (cl, rl) = estimate(left, catalog);
-            let (cr, rr) = estimate(right, catalog);
+            let (cl, rl) = estimate(left, catalog, seekable);
+            let (cr, rr) = estimate(right, catalog, seekable);
             (cl + cr, rl + rr)
         }
         Difference { left, right } => {
-            let (cl, rl) = estimate(left, catalog);
-            let (cr, rr) = estimate(right, catalog);
+            let (cl, rl) = estimate(left, catalog, seekable);
+            let (cr, rr) = estimate(right, catalog, seekable);
             (cl + cr + rl * rr, rl)
         }
         GroupBy { input, .. } | Sort { input, .. } => {
-            let (c, r) = estimate(input, catalog);
+            let (c, r) = estimate(input, catalog, seekable);
             (c + r * r.log2().max(1.0), r)
         }
         Unnest { input, .. } => {
-            let (c, r) = estimate(input, catalog);
+            let (c, r) = estimate(input, catalog, seekable);
             (c + r, r * 3.0)
         }
         NestAll { input, .. } => {
-            let (c, r) = estimate(input, catalog);
+            let (c, r) = estimate(input, catalog, seekable);
             (c + r, 1.0)
         }
         XmlTemplate { input, .. } => {
-            let (c, r) = estimate(input, catalog);
+            let (c, r) = estimate(input, catalog, seekable);
             (c + r, r)
         }
         Navigate { input, mode, .. } => {
-            let (c, r) = estimate(input, catalog);
+            let (c, r) = estimate(input, catalog, seekable);
             let out = match mode {
                 algebra::NavMode::Exists => r * 0.5,
                 _ => r * 2.0,
@@ -126,16 +138,16 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> (f64, f64) {
             (c + r * 4.0, out)
         }
         DeriveAncestorId { input, .. } | Fetch { input, .. } => {
-            let (c, r) = estimate(input, catalog);
+            let (c, r) = estimate(input, catalog, seekable);
             (c + r * 2.0, r)
         }
-        Rename { input, .. } | CastSchema { input, .. } => estimate(input, catalog),
+        Rename { input, .. } | CastSchema { input, .. } => estimate(input, catalog, seekable),
     }
 }
 
 /// The scalar plan cost used for ranking.
-pub fn plan_cost(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
-    estimate(plan, catalog).0
+pub fn plan_cost(plan: &LogicalPlan, catalog: &Catalog, seekable: bool) -> f64 {
+    estimate(plan, catalog, seekable).0
 }
 
 #[cfg(test)]
@@ -162,10 +174,11 @@ mod tests {
     fn scans_cost_their_size() {
         let c = catalog();
         assert!(
-            plan_cost(&LogicalPlan::scan("small"), &c) < plan_cost(&LogicalPlan::scan("big"), &c)
+            plan_cost(&LogicalPlan::scan("small"), &c, true)
+                < plan_cost(&LogicalPlan::scan("big"), &c, true)
         );
         // unknown relations get a default
-        assert!(plan_cost(&LogicalPlan::scan("nope"), &c) > 0.0);
+        assert!(plan_cost(&LogicalPlan::scan("nope"), &c, true) > 0.0);
     }
 
     #[test]
@@ -177,7 +190,7 @@ mod tests {
             algebra::Predicate::True,
             algebra::JoinKind::Inner,
         );
-        assert!(plan_cost(&via_small, &c) < plan_cost(&via_big, &c));
+        assert!(plan_cost(&via_small, &c, true) < plan_cost(&via_big, &c, true));
     }
 
     #[test]
@@ -205,12 +218,14 @@ mod tests {
         let cascade = chain(false);
         let twig = chain(true);
         assert!(matches!(twig, LogicalPlan::TwigJoin { .. }));
-        assert!(
-            plan_cost(&twig, &c) < plan_cost(&cascade, &c),
-            "twig {} vs cascade {}",
-            plan_cost(&twig, &c),
-            plan_cost(&cascade, &c)
-        );
+        for seekable in [true, false] {
+            assert!(
+                plan_cost(&twig, &c, seekable) < plan_cost(&cascade, &c, seekable),
+                "seekable={seekable}: twig {} vs cascade {}",
+                plan_cost(&twig, &c, seekable),
+                plan_cost(&cascade, &c, seekable)
+            );
+        }
     }
 
     #[test]
@@ -238,10 +253,48 @@ mod tests {
             algebra::fuse_struct_joins(&plan)
         };
         assert!(
-            plan_cost(&twig("small"), &c) < plan_cost(&twig("big"), &c),
+            plan_cost(&twig("small"), &c, true) < plan_cost(&twig("big"), &c, true),
             "selective twig {} vs uniform twig {}",
-            plan_cost(&twig("small"), &c),
-            plan_cost(&twig("big"), &c)
+            plan_cost(&twig("small"), &c, true),
+            plan_cost(&twig("big"), &c, true)
+        );
+    }
+
+    #[test]
+    fn seek_discount_gated_on_skip_index_knob() {
+        // a selective twig gets the seek_merge discount only when the
+        // executor will actually have skip indexes; with the knob off
+        // the estimate must charge the full linear merge sweep
+        let c = catalog();
+        let plan = LogicalPlan::scan("big")
+            .rename(&["a"])
+            .struct_join(
+                LogicalPlan::scan("big").rename(&["b"]),
+                "a",
+                "b",
+                algebra::Axis::Descendant,
+                algebra::JoinKind::Inner,
+            )
+            .struct_join(
+                LogicalPlan::scan("small").rename(&["c"]),
+                "b",
+                "c",
+                algebra::Axis::Descendant,
+                algebra::JoinKind::Inner,
+            );
+        let twig = algebra::fuse_struct_joins(&plan);
+        assert!(matches!(twig, LogicalPlan::TwigJoin { .. }));
+        let seekable = plan_cost(&twig, &c, true);
+        let linear = plan_cost(&twig, &c, false);
+        assert!(
+            seekable < linear,
+            "discount must vanish with seeks off: {seekable} vs {linear}"
+        );
+        // non-twig plans are priced identically either way
+        assert_eq!(
+            plan_cost(&plan, &c, true),
+            plan_cost(&plan, &c, false),
+            "cascade cost must not depend on the knob"
         );
     }
 
@@ -255,7 +308,7 @@ mod tests {
             algebra::Axis::Child,
             algebra::JoinKind::Semi,
         );
-        let (_, semi_rows) = estimate(&semi, &c);
+        let (_, semi_rows) = estimate(&semi, &c, true);
         let inner = LogicalPlan::scan("big").struct_join(
             LogicalPlan::scan("small"),
             "ID",
@@ -263,7 +316,7 @@ mod tests {
             algebra::Axis::Child,
             algebra::JoinKind::Inner,
         );
-        let (_, inner_rows) = estimate(&inner, &c);
+        let (_, inner_rows) = estimate(&inner, &c, true);
         assert!(semi_rows <= inner_rows);
     }
 }

@@ -306,8 +306,9 @@ impl Uload {
             &self.engine_options(),
         );
         rws.sort_by(|a, b| {
-            let ca = crate::cost::plan_cost(&a.plan, self.store.catalog());
-            let cb = crate::cost::plan_cost(&b.plan, self.store.catalog());
+            let seekable = self.config.use_skip_index;
+            let ca = crate::cost::plan_cost(&a.plan, self.store.catalog(), seekable);
+            let cb = crate::cost::plan_cost(&b.plan, self.store.catalog(), seekable);
             ca.partial_cmp(&cb)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.size.cmp(&b.size))
@@ -529,8 +530,16 @@ impl Uload {
             }
             Some(ArmTelemetry {
                 chosen: chosen_name.to_string(),
-                est_chosen: crate::cost::plan_cost(&chosen_plan, catalog),
-                est_alternative: crate::cost::plan_cost(alt_plan, catalog),
+                est_chosen: crate::cost::plan_cost(
+                    &chosen_plan,
+                    catalog,
+                    self.config.use_skip_index,
+                ),
+                est_alternative: crate::cost::plan_cost(
+                    alt_plan,
+                    catalog,
+                    self.config.use_skip_index,
+                ),
                 actual_chosen_ns: chosen_ns,
                 actual_alternative_ns: alt_ns,
                 mispredicted,
@@ -562,7 +571,12 @@ impl Uload {
             stream_profile_of(&exec, batches, rows, breakers)
         };
 
-        let plan_profile = pair_estimates(&chosen_plan, &op_profile, catalog);
+        let plan_profile = pair_estimates(
+            &chosen_plan,
+            &op_profile,
+            catalog,
+            self.config.use_skip_index,
+        );
         let profile = QueryProfile {
             query: query.to_string(),
             phases: vec![
@@ -754,13 +768,14 @@ fn pair_estimates(
     plan: &LogicalPlan,
     prof: &OpProfile,
     catalog: &algebra::Catalog,
+    seekable: bool,
 ) -> PlanNodeProfile {
-    let (est_cost, est_rows) = crate::cost::estimate(plan, catalog);
+    let (est_cost, est_rows) = crate::cost::estimate(plan, catalog, seekable);
     let children = plan
         .child_plans()
         .into_iter()
         .zip(prof.children.iter())
-        .map(|(cp, cprof)| pair_estimates(cp, cprof, catalog))
+        .map(|(cp, cprof)| pair_estimates(cp, cprof, catalog, seekable))
         .collect();
     let actual = prof.out_rows as f64;
     let ratio = (actual.max(1.0) / est_rows.max(1.0)).max(est_rows.max(1.0) / actual.max(1.0));

@@ -22,7 +22,8 @@
 //!   only the partitions a query pattern can actually touch — the
 //!   partition selection of `summary::matching`.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use algebra::{OrderSpec, Relation, Schema, Seek, SkipIndex, Tuple, TupleBatch, Value};
 use summary::{Summary, SummaryNodeId};
@@ -236,24 +237,22 @@ impl IdStreamIndex {
             .iter()
             .filter(|p| allowed.binary_search(&p.path).is_ok())
             .collect();
-        // k-way merge by pre rank; partitions are individually sorted
+        // k-way merge by pre rank via a min-heap of partition heads;
+        // partitions are individually sorted, so each element costs
+        // O(log k) instead of a linear scan over all open cursors
         let mut ids = Vec::with_capacity(selected.iter().map(|p| p.ids.len()).sum());
         let mut cursors = vec![0usize; selected.len()];
-        loop {
-            let mut best: Option<usize> = None;
-            for (i, p) in selected.iter().enumerate() {
-                if cursors[i] < p.ids.len()
-                    && best.is_none_or(|b| p.ids[cursors[i]].pre < selected[b].ids[cursors[b]].pre)
-                {
-                    best = Some(i);
-                }
-            }
-            match best {
-                Some(i) => {
-                    ids.push(selected[i].ids[cursors[i]]);
-                    cursors[i] += 1;
-                }
-                None => break,
+        let mut heap: BinaryHeap<Reverse<(u32, usize)>> = selected
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.ids.is_empty())
+            .map(|(i, p)| Reverse((p.ids[0].pre, i)))
+            .collect();
+        while let Some(Reverse((_, i))) = heap.pop() {
+            ids.push(selected[i].ids[cursors[i]]);
+            cursors[i] += 1;
+            if let Some(next) = selected[i].ids.get(cursors[i]) {
+                heap.push(Reverse((next.pre, i)));
             }
         }
         PrunedStream {

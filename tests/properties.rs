@@ -390,6 +390,74 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structural joins over inputs that repeat node IDs across tuples
+    /// (as a view column legitimately does) stay exact on the default
+    /// seek-indexed path: the skip index is built over a *non-strictly*
+    /// pre-sorted stream, and duplicates straddling fence-block
+    /// boundaries must not cause over-pruning. skip-on, skip-off and the
+    /// nested-loop oracle must return identical relations.
+    #[test]
+    fn struct_join_with_duplicate_ids_matches_oracle(
+        pair_sel in 0usize..5,
+        dups in prop::collection::vec(0usize..3, 1..40),
+        axis_sel in 0usize..2,
+    ) {
+        use algebra::{Catalog, JoinKind, LogicalPlan, Relation, Schema, Tuple, Value};
+        let doc = generate::xmark(3, 7);
+        let (anc_l, desc_l) = [
+            ("item", "keyword"),
+            ("parlist", "listitem"),
+            ("site", "item"),
+            ("description", "bold"),
+            ("listitem", "parlist"),
+        ][pair_sel];
+        let axis = if axis_sel == 1 { algebra::Axis::Child } else { algebra::Axis::Descendant };
+
+        // relations with each node ID repeated 1–3× in consecutive
+        // tuples (document order preserved, so streams arrive sorted
+        // with duplicates — the layout that exercises block straddles)
+        let duplicated = |label: &str| {
+            let tuples: Vec<Tuple> = doc
+                .nodes_with_label(label, NodeKind::Element)
+                .enumerate()
+                .flat_map(|(i, n)| {
+                    let sid = doc.structural_id(n);
+                    std::iter::repeat_with(move || Tuple::new(vec![Value::Id(sid)]))
+                        .take(1 + dups[i % dups.len()])
+                })
+                .collect();
+            Relation::new(Schema::atoms(&["ID"]), tuples)
+        };
+        let mut cat = Catalog::new();
+        cat.insert("anc_dup", duplicated(anc_l));
+        cat.insert("desc_dup", duplicated(desc_l));
+        let plan = LogicalPlan::scan("anc_dup").rename(&["A"]).struct_join(
+            LogicalPlan::scan("desc_dup").rename(&["B"]),
+            "A",
+            "B",
+            axis,
+            JoinKind::Inner,
+        );
+
+        let mut oracle_ev = algebra::Evaluator::new(&cat);
+        oracle_ev.config.use_stacktree = false; // nested loop
+        let oracle = oracle_ev.eval(&plan).unwrap();
+        for skip_on in [true, false] {
+            let mut ev = algebra::Evaluator::new(&cat);
+            ev.config.use_skip_index = skip_on;
+            let got = ev.eval(&plan).unwrap();
+            prop_assert_eq!(
+                &got, &oracle,
+                "{} {:?} {} (skip {}) dropped or invented pairs",
+                anc_l, axis, desc_l, skip_on
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(2))]
 
     /// The parallel, cache-backed engine is observationally identical to
