@@ -10,7 +10,7 @@
 //! not by tuples; tuples are positional.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use xmltree::StructuralId;
 
@@ -19,8 +19,10 @@ use xmltree::StructuralId;
 pub enum Value {
     /// The null constant `⊥` (produced by outer joins, optional edges).
     Null,
-    /// A string from the atomic domain `A`.
-    Str(Rc<str>),
+    /// A string from the atomic domain `A`. `Arc`, not `Rc`: values are
+    /// embedded in logical plans, and the server shares prepared plans
+    /// across session threads.
+    Str(Arc<str>),
     /// An integer from `A` (used by value predicates and experiments).
     Int(i64),
     /// A structural identifier from the ID domain `I`; supports the `≺`
@@ -32,7 +34,7 @@ pub enum Value {
 
 impl Value {
     pub fn str(s: impl AsRef<str>) -> Value {
-        Value::Str(Rc::from(s.as_ref()))
+        Value::Str(Arc::from(s.as_ref()))
     }
 
     pub fn is_null(&self) -> bool {

@@ -87,6 +87,17 @@ fn attr_signature(p: &Xam) -> Vec<(bool, bool, bool, bool)> {
 /// The default (`ContainOptions::default()`) is the sequential,
 /// uncached decision with return nodes taken from each pattern in
 /// pre-order — the behaviour of the historical `contained_in` family.
+///
+/// Configured the same way as every options struct in the workspace
+/// (`rewriting::EngineConfig`, `uload_server::ServerConfig`): start
+/// from `default()`, chain `with_*` calls.
+///
+/// ```
+/// use containment::{CanonicalCache, ContainOptions};
+/// let cache = CanonicalCache::new(256);
+/// let opts = ContainOptions::default().with_threads(4).with_cache(&cache);
+/// assert_eq!(opts.threads, 4);
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ContainOptions<'a> {
     /// Worker threads for the canonical-model enumeration. `0` and `1`

@@ -37,8 +37,9 @@ pub mod profile;
 pub mod subscriber;
 
 pub use json::Json;
-pub use metrics::{CacheCounters, ExecMetrics, Meter, NoMeter};
+pub use metrics::{CacheCounters, ExecMetrics, Meter, NoMeter, ResultCacheCounters};
 pub use profile::{
-    ArmTelemetry, OpProfile, OpStreamProfile, PlanNodeProfile, QueryProfile, StreamProfile,
+    ArmTelemetry, OpProfile, OpStreamProfile, PlanNodeProfile, QueryProfile, SessionProfile,
+    StreamProfile,
 };
 pub use subscriber::{init_from_env, EnvFilter, FmtSubscriber};

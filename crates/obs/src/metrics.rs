@@ -152,6 +152,36 @@ impl CacheCounters {
     }
 }
 
+/// Effectiveness counters of a *result* cache (the serving layer's
+/// memo of serialized query outputs keyed by
+/// `(plan fingerprint, document version)`). Dependency-free here so
+/// session profiles can embed it without a layering cycle, exactly like
+/// [`CacheCounters`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ResultCacheCounters {
+    /// Requests answered straight from the cache.
+    pub hits: u64,
+    /// Requests that had to execute their plan.
+    pub misses: u64,
+    /// Entries written after a miss.
+    pub insertions: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl ResultCacheCounters {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

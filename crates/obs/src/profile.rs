@@ -8,7 +8,7 @@
 //! and renders the result as pretty text or JSON.
 
 use crate::json::Json;
-use crate::metrics::{CacheCounters, ExecMetrics};
+use crate::metrics::{CacheCounters, ExecMetrics, ResultCacheCounters};
 use std::fmt::Write as _;
 
 /// Measured execution of one physical operator (and its inputs).
@@ -276,6 +276,78 @@ pub struct QueryProfile {
     pub streamed: Option<StreamProfile>,
     /// End-to-end wall time.
     pub total_ns: u64,
+}
+
+/// One serving session's cache-effectiveness report: how this client's
+/// requests fared against the result cache, with a snapshot of the
+/// engine-wide `CanonicalCache` counters (the containment/rewriting
+/// memo is shared across sessions, so its occupancy and hit rate are
+/// global figures embedded for context). This is what the server's
+/// `STATS` command returns, via [`SessionProfile::to_json`].
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct SessionProfile {
+    /// Server-assigned session id.
+    pub session_id: u64,
+    /// Requests this session executed (cache hits included).
+    pub queries: u64,
+    /// `PREPARE` commands this session issued.
+    pub prepared: u64,
+    /// Result rows streamed to this session.
+    pub rows: u64,
+    /// Requests cancelled mid-stream (explicit `CANCEL` or disconnect).
+    pub cancelled: u64,
+    /// Requests aborted for exceeding their per-query residency budget.
+    pub budget_aborts: u64,
+    /// Requests rejected because admission timed out under load.
+    pub admission_timeouts: u64,
+    /// This session's result-cache counters (hits/misses/insertions are
+    /// per-session; evictions and occupancy are cache-global).
+    pub result_cache: ResultCacheCounters,
+    /// Engine-wide `CanonicalCache` snapshot, when the engine caches.
+    pub canonical: Option<CacheCounters>,
+}
+
+impl SessionProfile {
+    /// The JSON form (one `STATS` line on the wire; validated against
+    /// `schemas/bench_server.schema.json`'s `cacheCounters` shapes).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("session_id", Json::Num(self.session_id as f64)),
+            ("queries", Json::Num(self.queries as f64)),
+            ("prepared", Json::Num(self.prepared as f64)),
+            ("rows", Json::Num(self.rows as f64)),
+            ("cancelled", Json::Num(self.cancelled as f64)),
+            ("budget_aborts", Json::Num(self.budget_aborts as f64)),
+            (
+                "admission_timeouts",
+                Json::Num(self.admission_timeouts as f64),
+            ),
+            (
+                "result_cache",
+                Json::obj(vec![
+                    ("hits", Json::Num(self.result_cache.hits as f64)),
+                    ("misses", Json::Num(self.result_cache.misses as f64)),
+                    ("insertions", Json::Num(self.result_cache.insertions as f64)),
+                    ("evictions", Json::Num(self.result_cache.evictions as f64)),
+                    ("entries", Json::Num(self.result_cache.entries as f64)),
+                    ("hit_rate", Json::Num(self.result_cache.hit_rate())),
+                ]),
+            ),
+            (
+                "canonical_cache",
+                match &self.canonical {
+                    Some(c) => Json::obj(vec![
+                        ("hits", Json::Num(c.hits as f64)),
+                        ("misses", Json::Num(c.misses as f64)),
+                        ("evictions", Json::Num(c.evictions as f64)),
+                        ("entries", Json::Num(c.entries() as f64)),
+                        ("hit_rate", Json::Num(c.hit_rate())),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
 }
 
 fn fmt_ns(ns: u64) -> String {

@@ -21,7 +21,10 @@ pub mod pipeline;
 pub mod planpat;
 pub mod rewrite;
 
-pub use pipeline::{EngineConfig, QueryResults, Uload, UloadBuilder};
+pub use pipeline::{
+    plan_fingerprint, EngineConfig, PreparedQuery, QueryItem, QueryOutput, QueryResults, Uload,
+    UloadBuilder,
+};
 pub use planpat::PlanPattern;
 pub use rewrite::{
     rewrite, rewrite_with_config, rewrite_with_engine, EngineOptions, RewriteConfig, RewriteStats,

@@ -24,6 +24,7 @@ use obs::{
     StreamProfile,
 };
 use parking_lot::Mutex;
+use storage::DocumentHandle;
 use summary::Summary;
 use uload_error::{Error, Result};
 use xam_core::Xam;
@@ -41,6 +42,29 @@ pub type UloadError = Error;
 
 /// Engine-wide execution knobs, threaded through [`Uload`] to every
 /// containment and rewriting call.
+///
+/// **The one way to build a configuration** is `Default` plus the
+/// chainable `with_*` setters — the same style `ContainOptions` uses —
+/// handed to [`UloadBuilder::config`]:
+///
+/// ```
+/// # use rewriting::{EngineConfig, Uload};
+/// # let doc = xmltree::parse_document("<a><b/></a>").unwrap();
+/// let engine = Uload::builder()
+///     .document(&doc)
+///     .config(
+///         EngineConfig::default()
+///             .with_threads(4)
+///             .with_cache_capacity(1024)
+///             .with_batch_size(256),
+///     )
+///     .build()?;
+/// # assert_eq!(engine.config().threads, 4);
+/// # uload_error::Result::Ok(())
+/// ```
+///
+/// (The fields stay `pub` for struct-literal updates in tests and
+/// experiments; `with_*` is the blessed call-site style.)
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads for canonical-model enumeration and candidate
@@ -95,6 +119,54 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
+    /// Worker threads (`0` and `1` both mean sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Shared-cache capacity; `0` disables caching.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Toggle holistic twig-join planning and execution.
+    pub fn with_twigstack(mut self, on: bool) -> Self {
+        self.use_twigstack = on;
+        self
+    }
+
+    /// Toggle `EXPLAIN ANALYZE` profiling of every answered query.
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
+    }
+
+    /// Target rows per streamed batch (≥ 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Toggle skip-index (XB-tree) seeks in the join kernels.
+    pub fn with_skip_index(mut self, on: bool) -> Self {
+        self.use_skip_index = on;
+        self
+    }
+
+    /// Toggle summary-path partitioning of document ID streams.
+    pub fn with_summary_pruning(mut self, on: bool) -> Self {
+        self.use_summary_pruning = on;
+        self
+    }
+
+    /// The rewriting search bounds.
+    pub fn with_rewrite(mut self, rewrite: RewriteConfig) -> Self {
+        self.rewrite = rewrite;
+        self
+    }
+
     /// Sanity-check the knobs (the builder calls this).
     pub fn validate(&self) -> Result<()> {
         if self.threads > 1024 {
@@ -394,17 +466,112 @@ impl Uload {
         }
         let span = tracing::debug_span!(target: "uload::query", "answer");
         let _g = span.enter();
+        let prep = self.prepare_query(query)?;
+        let out = self.answer_prepared(&prep, doc)?;
+        Ok((out, prep.rewritings))
+    }
+
+    /// Parse, extract, rewrite and plan a query once, returning a
+    /// [`PreparedQuery`] that can be executed any number of times (and
+    /// from any thread — it is plain data). This is the server's
+    /// `PREPARE` step: the expensive phases run once, and the prepared
+    /// plan's [`PreparedQuery::fingerprint`] keys both the prepared-plan
+    /// registry and the `(fingerprint, document version)` result cache.
+    pub fn prepare_query(&self, query: &str) -> Result<PreparedQuery> {
+        let span = tracing::debug_span!(target: "uload::query", "prepare");
+        let _g = span.enter();
         let p = self.prepare(query)?;
-        let mut plan = p.base_plan;
+        let use_twigstack = self.config.use_twigstack;
+        let plan = if use_twigstack {
+            algebra::fuse_struct_joins(&p.base_plan)
+        } else {
+            p.base_plan
+        };
+        let breakers = algebra::pipeline_breakers(&plan);
+        let fingerprint = plan_fingerprint(&plan);
+        Ok(PreparedQuery {
+            query: query.to_string(),
+            plan,
+            use_twigstack,
+            rewritings: p.used,
+            breakers,
+            fingerprint,
+        })
+    }
+
+    /// Execute a prepared plan to completion (materialized), returning
+    /// the serialized rows. The plan was already fused (or not) at
+    /// prepare time; only the per-call document is supplied here.
+    pub fn answer_prepared(&self, prep: &PreparedQuery, doc: &Document) -> Result<Vec<String>> {
         let mut ev = Evaluator::with_document(self.store.catalog(), doc);
         ev.config.use_skip_index = self.config.use_skip_index;
-        if self.config.use_twigstack {
-            plan = algebra::fuse_struct_joins(&plan);
-        } else {
-            ev.config.use_twigstack = false;
+        ev.config.use_twigstack = prep.use_twigstack;
+        let rel = ev
+            .eval(&prep.plan)
+            .map_err(|e| Error::Eval(e.to_string()))?;
+        Ok(Self::serialize(&rel))
+    }
+
+    /// Execute a prepared plan over a versioned [`DocumentHandle`] —
+    /// the serving path's entry point — returning the typed
+    /// [`QueryOutput`] whose `plan_fingerprint` equals
+    /// [`PreparedQuery::fingerprint`].
+    pub fn execute_prepared(
+        &self,
+        prep: &PreparedQuery,
+        handle: &DocumentHandle,
+    ) -> Result<QueryOutput> {
+        let items = self.answer_prepared(prep, handle.document())?;
+        Ok(QueryOutput {
+            items: items.into_iter().map(|xml| QueryItem { xml }).collect(),
+            plan_fingerprint: prep.fingerprint,
+        })
+    }
+
+    /// Stream a prepared plan over a versioned [`DocumentHandle`]
+    /// through the pipelined executor. Like [`Uload::query`] this
+    /// supports batch-at-a-time pulls and first-class cancellation via
+    /// [`QueryResults::close`] (or drop) — the hook the server's
+    /// per-request `CANCEL` and its admission-budget enforcement reuse.
+    pub fn stream_prepared<'e>(
+        &'e self,
+        prep: &PreparedQuery,
+        handle: &'e DocumentHandle,
+    ) -> Result<QueryResults<'e>> {
+        self.stream_prepared_doc(prep, handle.document())
+    }
+
+    fn stream_prepared_doc<'e>(
+        &'e self,
+        prep: &PreparedQuery,
+        doc: &'e Document,
+    ) -> Result<QueryResults<'e>> {
+        let mut ccfg = CursorConfig {
+            batch_size: self.config.batch_size,
+            profiling: self.config.profiling,
+            ..CursorConfig::default()
+        };
+        ccfg.eval.use_skip_index = self.config.use_skip_index;
+        ccfg.eval.use_twigstack = prep.use_twigstack;
+        if !prep.breakers.is_empty() {
+            tracing::debug!(
+                target: "uload::eval",
+                "plan has {} pipeline breaker(s): {:?}",
+                prep.breakers.len(),
+                prep.breakers
+            );
         }
-        let rel = ev.eval(&plan).map_err(|e| Error::Eval(e.to_string()))?;
-        Ok((Self::serialize(&rel), p.used))
+        let exec = algebra::build_cursor(&prep.plan, self.store.catalog(), Some(doc), &ccfg)
+            .map_err(|e| Error::Eval(e.to_string()))?;
+        Ok(QueryResults {
+            exec,
+            pending: VecDeque::new(),
+            rewritings: prep.rewritings.clone(),
+            breakers: prep.breakers.clone(),
+            batches: 0,
+            rows: 0,
+            closed: false,
+        })
     }
 
     /// Answer a query as a *stream*: rewrite and plan up front, then
@@ -419,39 +586,8 @@ impl Uload {
     pub fn query<'e>(&'e self, query: &str, doc: &'e Document) -> Result<QueryResults<'e>> {
         let span = tracing::debug_span!(target: "uload::query", "query");
         let _g = span.enter();
-        let p = self.prepare(query)?;
-        let mut plan = p.base_plan;
-        let mut ccfg = CursorConfig {
-            batch_size: self.config.batch_size,
-            profiling: self.config.profiling,
-            ..CursorConfig::default()
-        };
-        ccfg.eval.use_skip_index = self.config.use_skip_index;
-        if self.config.use_twigstack {
-            plan = algebra::fuse_struct_joins(&plan);
-        } else {
-            ccfg.eval.use_twigstack = false;
-        }
-        let breakers = algebra::pipeline_breakers(&plan);
-        if !breakers.is_empty() {
-            tracing::debug!(
-                target: "uload::eval",
-                "plan has {} pipeline breaker(s): {:?}",
-                breakers.len(),
-                breakers
-            );
-        }
-        let exec = algebra::build_cursor(&plan, self.store.catalog(), Some(doc), &ccfg)
-            .map_err(|e| Error::Eval(e.to_string()))?;
-        Ok(QueryResults {
-            exec,
-            pending: VecDeque::new(),
-            rewritings: p.used,
-            breakers,
-            batches: 0,
-            rows: 0,
-            closed: false,
-        })
+        let prep = self.prepare_query(query)?;
+        self.stream_prepared_doc(&prep, doc)
     }
 
     /// `EXPLAIN ANALYZE`: answer the query while measuring every phase
@@ -607,6 +743,130 @@ impl Uload {
     /// (`None` until one has run).
     pub fn last_profile(&self) -> Option<QueryProfile> {
         self.last_profile.lock().clone()
+    }
+}
+
+/// Associated façade helpers: the blessed single entry surface for the
+/// parsing/translation steps that need no engine instance. (These used
+/// to be loose free functions on the `uload` crate root; the root keeps
+/// thin delegating wrappers for the widely-used ones.)
+impl Uload {
+    /// Parse an XML document.
+    pub fn parse_document(text: &str) -> Result<Document> {
+        xmltree::parse_document(text).map_err(|e| Error::Parse(e.to_string()))
+    }
+
+    /// Parse a textual XAM pattern.
+    pub fn parse_xam(text: &str) -> Result<Xam> {
+        xam_core::parse_xam(text).map_err(|e| Error::Parse(e.to_string()))
+    }
+
+    /// Parse an XQuery into its AST (for pattern extraction).
+    pub fn parse_query(text: &str) -> Result<xquery::Query> {
+        xquery::parse_query(text).map_err(|e| Error::Parse(e.to_string()))
+    }
+
+    /// Extract the maximal XAM patterns of a parsed XQuery (Chapter 3).
+    pub fn extract_patterns(q: &xquery::Query) -> Result<xquery::ExtractedQuery> {
+        xquery::extract_patterns(q).map_err(|e| Error::Translate(e.to_string()))
+    }
+
+    /// Evaluate a XAM directly over a document (no views involved).
+    pub fn evaluate_xam(xam: &Xam, doc: &Document) -> Result<Relation> {
+        xam_core::evaluate(xam, doc).map_err(|e| Error::Eval(e.to_string()))
+    }
+
+    /// Execute an XQuery directly over a document (no views involved),
+    /// returning the typed [`QueryOutput`].
+    pub fn execute_direct(text: &str, doc: &Document) -> Result<QueryOutput> {
+        let (items, plan) = xquery::execute_query_with_plan(text, doc)
+            .map_err(|e| Error::Translate(e.to_string()))?;
+        Ok(QueryOutput {
+            items: items.into_iter().map(|xml| QueryItem { xml }).collect(),
+            plan_fingerprint: plan_fingerprint(&plan),
+        })
+    }
+}
+
+/// Hash of a logical plan's canonical textual form — stable across runs
+/// of the same engine version, so two queries that plan identically
+/// (modulo whitespace, variable spelling or any rewrite that converges
+/// on the same plan) share one fingerprint. This is the key of the
+/// server's prepared-plan registry and (paired with a
+/// [`storage::DocumentVersion`]) of its result cache.
+pub fn plan_fingerprint(plan: &LogicalPlan) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    plan.to_string().hash(&mut h);
+    h.finish()
+}
+
+/// A query prepared once and executable many times: the executable plan
+/// (already fused under the engine's twig knob), the rewritings that
+/// produced it, and the plan [`fingerprint`](PreparedQuery::fingerprint).
+/// Plain data — `Send + Sync`, shareable across server sessions.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    query: String,
+    plan: LogicalPlan,
+    use_twigstack: bool,
+    rewritings: Vec<Rewriting>,
+    breakers: Vec<String>,
+    fingerprint: u64,
+}
+
+impl PreparedQuery {
+    /// The original query text.
+    pub fn query(&self) -> &str {
+        &self.query
+    }
+
+    /// The executable plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// The per-pattern rewritings the planner chose.
+    pub fn rewritings(&self) -> &[Rewriting] {
+        &self.rewritings
+    }
+
+    /// Hash of the executable plan's canonical form (see
+    /// [`plan_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Pre-order labels of the plan's pipeline breakers.
+    pub fn breakers(&self) -> &[String] {
+        &self.breakers
+    }
+}
+
+/// Typed output of [`Uload::execute_prepared`] / [`Uload::execute_direct`]:
+/// one serialized item per result row, plus a fingerprint of the logical
+/// plan that produced them (stable across runs of the same engine
+/// version, so regressions in planning show up as a fingerprint change
+/// even when the rows agree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutput {
+    /// The query's result items, in result order.
+    pub items: Vec<QueryItem>,
+    /// Hash of the executed logical plan's canonical textual form.
+    pub plan_fingerprint: u64,
+}
+
+/// One serialized result item of a [`QueryOutput`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryItem {
+    /// The item serialized as XML.
+    pub xml: String,
+}
+
+impl QueryOutput {
+    /// The serialized items as plain strings (the pre-0.4 shape).
+    pub fn into_strings(self) -> Vec<String> {
+        self.items.into_iter().map(|i| i.xml).collect()
     }
 }
 

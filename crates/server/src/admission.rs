@@ -1,0 +1,201 @@
+//! Admission control: a counting budget of resident tuples.
+//!
+//! The pipelined executor already meters every query's materialized
+//! state through its `Residency` gauge (build sides, breaker buffers,
+//! in-flight batches), and the server enforces a per-query ceiling on
+//! that gauge while streaming. What the gauge cannot do alone is bound
+//! the *sum* across concurrent sessions — that is this module's job.
+//! Every executing request must first [`acquire`](Admission::acquire) a
+//! [`Permit`] worth `per_query` budget units (tuples); acquisition
+//! blocks while `in_use + per_query` would exceed the configured total,
+//! so at any instant
+//!
+//! ```text
+//! Σ (admitted requests) × per_query  ≤  total
+//! ```
+//!
+//! and since each admitted request is individually killed the moment
+//! its `Residency` gauge crosses `per_query`, the server's total
+//! resident tuples are bounded by `total` (plus at most one batch of
+//! slack per request between gauge checks). Permits release on `Drop`,
+//! so a session that dies mid-stream — client disconnect, panic, abort —
+//! can never leak budget.
+//!
+//! Cache hits bypass admission entirely: serving memoized rows
+//! materializes nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The admission queue stayed full past the configured timeout.
+    Timeout,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Timeout => write!(f, "admission queue full past the timeout"),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Gauge {
+    in_use: u64,
+    peak: u64,
+}
+
+/// The shared budget semaphore. See the [module docs](self).
+#[derive(Debug)]
+pub struct Admission {
+    total: u64,
+    per_query: u64,
+    timeout: Duration,
+    gauge: Mutex<Gauge>,
+    freed: Condvar,
+    admitted: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl Admission {
+    /// `total` and `per_query` are in budget units (tuples); callers
+    /// validate `0 < per_query ≤ total` up front (`ServerConfig` does).
+    pub fn new(total: u64, per_query: u64, timeout: Duration) -> Admission {
+        Admission {
+            total,
+            per_query,
+            timeout,
+            gauge: Mutex::new(Gauge::default()),
+            freed: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        }
+    }
+
+    /// Block until `per_query` units fit under the total budget, or the
+    /// timeout elapses. The returned [`Permit`] holds the units until
+    /// dropped.
+    pub fn acquire(&self) -> Result<Permit<'_>, AdmissionError> {
+        let deadline = std::time::Instant::now() + self.timeout;
+        let mut g = self.gauge.lock().unwrap_or_else(|e| e.into_inner());
+        while g.in_use + self.per_query > self.total {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(AdmissionError::Timeout);
+            }
+            let (guard, _) = self
+                .freed
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            g = guard;
+        }
+        g.in_use += self.per_query;
+        if g.in_use > g.peak {
+            g.peak = g.in_use;
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(Permit { ctl: self })
+    }
+
+    /// Budget units currently admitted.
+    pub fn in_use(&self) -> u64 {
+        self.gauge.lock().unwrap_or_else(|e| e.into_inner()).in_use
+    }
+
+    /// High-water mark of admitted budget units (never exceeds
+    /// [`Admission::total`] by construction).
+    pub fn peak(&self) -> u64 {
+        self.gauge.lock().unwrap_or_else(|e| e.into_inner()).peak
+    }
+
+    /// The configured total budget.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The per-request budget a [`Permit`] stands for — also the
+    /// ceiling enforced on each request's `Residency` gauge.
+    pub fn per_query(&self) -> u64 {
+        self.per_query
+    }
+
+    /// Requests admitted so far.
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests turned away on timeout so far.
+    pub fn timeouts_total(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII admission grant: `per_query` budget units, returned on drop.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    ctl: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut g = self.ctl.gauge.lock().unwrap_or_else(|e| e.into_inner());
+        g.in_use = g.in_use.saturating_sub(self.ctl.per_query);
+        drop(g);
+        self.ctl.freed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn permits_fit_under_the_total_and_release_on_drop() {
+        let a = Admission::new(100, 40, Duration::from_millis(10));
+        let p1 = a.acquire().unwrap();
+        let p2 = a.acquire().unwrap();
+        assert_eq!(a.in_use(), 80);
+        // a third permit (120 > 100) must time out while both are held
+        assert_eq!(a.acquire().unwrap_err(), AdmissionError::Timeout);
+        assert_eq!(a.timeouts_total(), 1);
+        drop(p1);
+        let p3 = a.acquire().unwrap();
+        assert_eq!(a.in_use(), 80);
+        drop(p2);
+        drop(p3);
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.peak(), 80);
+        assert_eq!(a.admitted_total(), 3);
+    }
+
+    #[test]
+    fn oversubscribed_waiters_are_admitted_as_budget_frees() {
+        // 8 threads compete for 2 slots; every acquisition must succeed
+        // (generous timeout) and the peak must never exceed the total
+        let a = Arc::new(Admission::new(2, 1, Duration::from_secs(30)));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        let p = a.acquire().expect("must admit eventually");
+                        assert!(a.in_use() <= a.total());
+                        drop(p);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(a.in_use(), 0);
+        assert!(a.peak() <= a.total());
+        assert_eq!(a.admitted_total(), 160);
+    }
+}

@@ -1,0 +1,705 @@
+//! The server proper: config, shared state, accept loop, session loop.
+//!
+//! One OS thread per connection (the workspace carries no async
+//! runtime, and the engine's pipelined executor is synchronous anyway);
+//! a session is a plain request/response loop over the
+//! [line protocol](crate::protocol). All cross-session state —
+//! the engine, the served [`DocumentHandle`], the prepared-plan
+//! registry, the [`ResultCache`] and the [`Admission`] budget — lives
+//! in one [`ServerState`] shared by `Arc`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use obs::{CacheCounters, ResultCacheCounters, SessionProfile};
+use parking_lot::{Mutex, RwLock};
+use rewriting::{PreparedQuery, Uload};
+use storage::{DocumentHandle, DocumentVersion};
+use uload_error::{Error, Result};
+
+use crate::admission::{Admission, AdmissionError};
+use crate::cache::ResultCache;
+use crate::conn::{is_poll_timeout, BindAddr, Conn, Listener};
+use crate::protocol::{
+    cancelled_line, done_line, err_line, parse_request, prepared_line, row_line, Request,
+};
+
+/// Serving knobs. Builder-style like
+/// [`EngineConfig`](rewriting::EngineConfig): start from `default()`,
+/// chain `with_*` calls.
+///
+/// ```
+/// use uload_server::{BindAddr, ServerConfig};
+/// let cfg = ServerConfig::default()
+///     .with_addr(BindAddr::Tcp("127.0.0.1:0".into()))
+///     .with_admission(1 << 20, 1 << 18)
+///     .with_result_cache(256, 100_000);
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Where to listen. Default: TCP on a kernel-assigned localhost port.
+    pub addr: BindAddr,
+    /// Total admission budget in resident tuples, summed over all
+    /// concurrently executing (uncached) requests.
+    pub admission_total: u64,
+    /// Budget one executing request is admitted under — and the ceiling
+    /// enforced on its `Residency` gauge while it streams.
+    pub admission_per_query: u64,
+    /// How long a request waits in the admission queue before `ERR`.
+    pub admission_timeout: Duration,
+    /// Result-cache capacity in entries (`0` disables it).
+    pub result_cache_capacity: usize,
+    /// Largest result (rows) worth memoizing; bigger ones are streamed
+    /// but not cached.
+    pub result_cache_max_rows: usize,
+    /// Granularity at which idle sessions and the accept loop notice a
+    /// shutdown (and at which a dead client is detected).
+    pub idle_poll: Duration,
+    /// Pause inserted after each streamed batch (uncached path only).
+    /// Zero (the default) streams at full speed; a nonzero value
+    /// rate-limits output per session — it also widens the window in
+    /// which a mid-stream `CANCEL` is observed, which the cancellation
+    /// tests rely on.
+    pub stream_throttle: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: BindAddr::Tcp("127.0.0.1:0".into()),
+            admission_total: 1 << 20,
+            admission_per_query: 1 << 18,
+            admission_timeout: Duration::from_secs(5),
+            result_cache_capacity: 256,
+            result_cache_max_rows: 100_000,
+            idle_poll: Duration::from_millis(50),
+            stream_throttle: Duration::ZERO,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Listen address.
+    pub fn with_addr(mut self, addr: BindAddr) -> ServerConfig {
+        self.addr = addr;
+        self
+    }
+
+    /// Admission budget: `total` tuples shared by all executing
+    /// requests, `per_query` tuples per admitted request.
+    pub fn with_admission(mut self, total: u64, per_query: u64) -> ServerConfig {
+        self.admission_total = total;
+        self.admission_per_query = per_query;
+        self
+    }
+
+    /// Admission-queue wait bound.
+    pub fn with_admission_timeout(mut self, d: Duration) -> ServerConfig {
+        self.admission_timeout = d;
+        self
+    }
+
+    /// Result-cache shape: `capacity` entries, `max_rows` per entry.
+    pub fn with_result_cache(mut self, capacity: usize, max_rows: usize) -> ServerConfig {
+        self.result_cache_capacity = capacity;
+        self.result_cache_max_rows = max_rows;
+        self
+    }
+
+    /// Shutdown/cancel polling granularity.
+    pub fn with_idle_poll(mut self, d: Duration) -> ServerConfig {
+        self.idle_poll = d;
+        self
+    }
+
+    /// Per-batch output pacing (zero = full speed).
+    pub fn with_stream_throttle(mut self, d: Duration) -> ServerConfig {
+        self.stream_throttle = d;
+        self
+    }
+
+    /// Reject nonsensical combinations up front.
+    pub fn validate(&self) -> Result<()> {
+        if self.admission_per_query == 0 {
+            return Err(Error::Config("admission_per_query must be > 0".into()));
+        }
+        if self.admission_per_query > self.admission_total {
+            return Err(Error::Config(format!(
+                "admission_per_query ({}) exceeds admission_total ({}): no request could ever be admitted",
+                self.admission_per_query, self.admission_total
+            )));
+        }
+        if self.idle_poll.is_zero() {
+            return Err(Error::Config("idle_poll must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Everything the sessions share.
+pub struct ServerState {
+    engine: Uload,
+    handle: RwLock<DocumentHandle>,
+    prepared: RwLock<HashMap<u64, Arc<PreparedQuery>>>,
+    cache: ResultCache,
+    admission: Admission,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    next_session: AtomicU64,
+    sessions_active: AtomicU64,
+    sessions_total: AtomicU64,
+}
+
+impl ServerState {
+    fn new(engine: Uload, handle: DocumentHandle, config: ServerConfig) -> ServerState {
+        ServerState {
+            engine,
+            handle: RwLock::new(handle),
+            prepared: RwLock::new(HashMap::new()),
+            cache: ResultCache::new(config.result_cache_capacity, config.result_cache_max_rows),
+            admission: Admission::new(
+                config.admission_total,
+                config.admission_per_query,
+                config.admission_timeout,
+            ),
+            config,
+            shutdown: AtomicBool::new(false),
+            next_session: AtomicU64::new(1),
+            sessions_active: AtomicU64::new(0),
+            sessions_total: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine this server answers with.
+    pub fn engine(&self) -> &Uload {
+        &self.engine
+    }
+
+    /// Snapshot of the currently served document (cheap `Arc` clone).
+    pub fn document(&self) -> DocumentHandle {
+        self.handle.read().clone()
+    }
+
+    /// Replace the served document. In-flight requests keep streaming
+    /// from their snapshot; all result-cache entries for the old
+    /// version stop matching at the next lookup (the version is part of
+    /// the cache key), so there is no explicit invalidation step.
+    pub fn swap_document(&self, doc: xmltree::Document) -> DocumentVersion {
+        let mut h = self.handle.write();
+        *h = h.reload(doc);
+        h.version()
+    }
+
+    /// The shared admission budget (for observability and tests).
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// The shared result cache (for observability and tests).
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Prepared plans currently registered.
+    pub fn prepared_count(&self) -> usize {
+        self.prepared.read().len()
+    }
+
+    /// Sessions currently connected.
+    pub fn sessions_active(&self) -> u64 {
+        self.sessions_active.load(Ordering::Relaxed)
+    }
+
+    /// Sessions ever accepted.
+    pub fn sessions_total(&self) -> u64 {
+        self.sessions_total.load(Ordering::Relaxed)
+    }
+
+    /// `true` once a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Register a prepared plan under its fingerprint, returning the
+    /// fingerprint. Re-preparing an equivalent query is a no-op hit on
+    /// the registry.
+    fn register(&self, prep: PreparedQuery) -> u64 {
+        let fp = prep.fingerprint();
+        self.prepared
+            .write()
+            .entry(fp)
+            .or_insert_with(|| Arc::new(prep));
+        fp
+    }
+
+    fn lookup(&self, fp: u64) -> Option<Arc<PreparedQuery>> {
+        self.prepared.read().get(&fp).cloned()
+    }
+}
+
+/// A running server: join handle + shared state.
+pub struct ServerHandle {
+    addr: BindAddr,
+    state: Arc<ServerState>,
+    accept: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound listen address (port resolved).
+    pub fn addr(&self) -> &BindAddr {
+        &self.addr
+    }
+
+    /// The shared server state (stats, admission gauge, caches).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Ask the server to stop: the accept loop exits, idle sessions
+    /// disconnect at their next poll, in-flight requests finish.
+    pub fn shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    /// Block until the accept loop (and every session it spawned) has
+    /// exited. Call [`ServerHandle::shutdown`] first, or this blocks
+    /// until a client sends `SHUTDOWN`.
+    pub fn wait(&self) {
+        if let Some(t) = self.accept.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+        self.wait();
+    }
+}
+
+/// The server entry point.
+pub struct Server;
+
+impl Server {
+    /// Bind and start serving `handle` with `engine` under `config`.
+    /// Returns once the listener is bound; serving happens on
+    /// background threads until [`ServerHandle::shutdown`] (or a client
+    /// `SHUTDOWN`).
+    pub fn start(
+        config: ServerConfig,
+        engine: Uload,
+        handle: DocumentHandle,
+    ) -> Result<ServerHandle> {
+        config.validate()?;
+        let listener = Listener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let idle = config.idle_poll;
+        let state = Arc::new(ServerState::new(engine, handle, config));
+        tracing::info!(target: "uload::server", "listening on {addr}");
+
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("uload-accept".into())
+            .spawn(move || accept_loop(listener, accept_state, idle))
+            .map_err(|e| Error::Io(e.to_string()))?;
+
+        Ok(ServerHandle {
+            addr,
+            state,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+}
+
+fn accept_loop(listener: Listener, state: Arc<ServerState>, idle: Duration) {
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !state.is_shutting_down() {
+        match listener.accept() {
+            Ok(conn) => {
+                let id = state.next_session.fetch_add(1, Ordering::Relaxed);
+                state.sessions_total.fetch_add(1, Ordering::Relaxed);
+                state.sessions_active.fetch_add(1, Ordering::Relaxed);
+                let st = Arc::clone(&state);
+                let t = std::thread::Builder::new()
+                    .name(format!("uload-session-{id}"))
+                    .spawn(move || {
+                        let _ = session_loop(id, conn, &st);
+                        st.sessions_active.fetch_sub(1, Ordering::Relaxed);
+                        tracing::debug!(target: "uload::server", "session {id} ended");
+                    });
+                match t {
+                    Ok(t) => sessions.push(t),
+                    Err(e) => {
+                        state.sessions_active.fetch_sub(1, Ordering::Relaxed);
+                        tracing::warn!(target: "uload::server", "spawn failed: {e}");
+                    }
+                }
+                sessions.retain(|t| !t.is_finished());
+            }
+            Err(ref e) if is_poll_timeout(e) => std::thread::sleep(idle),
+            Err(e) => {
+                tracing::warn!(target: "uload::server", "accept failed: {e}");
+                std::thread::sleep(idle);
+            }
+        }
+    }
+    for t in sessions {
+        let _ = t.join();
+    }
+    tracing::info!(target: "uload::server", "accept loop exited");
+}
+
+/// Per-session counters behind [`SessionProfile`]. Result-cache hits
+/// and misses are attributed to the session that looked them up;
+/// insertion/eviction/entry counts in `STATS` come from the shared
+/// cache.
+#[derive(Default)]
+struct SessionCounters {
+    queries: u64,
+    prepared: u64,
+    rows: u64,
+    cancelled: u64,
+    budget_aborts: u64,
+    admission_timeouts: u64,
+    rc_hits: u64,
+    rc_misses: u64,
+}
+
+fn session_profile(id: u64, c: &SessionCounters, state: &ServerState) -> SessionProfile {
+    let shared = state.cache.counters();
+    SessionProfile {
+        session_id: id,
+        queries: c.queries,
+        prepared: c.prepared,
+        rows: c.rows,
+        cancelled: c.cancelled,
+        budget_aborts: c.budget_aborts,
+        admission_timeouts: c.admission_timeouts,
+        result_cache: ResultCacheCounters {
+            hits: c.rc_hits,
+            misses: c.rc_misses,
+            insertions: shared.insertions,
+            evictions: shared.evictions,
+            entries: shared.entries,
+        },
+        canonical: state.engine.cache_stats().map(|s| CacheCounters {
+            hits: s.hits,
+            misses: s.misses,
+            evictions: s.evictions,
+            verdict_entries: s.verdict_entries,
+            model_entries: s.model_entries,
+            annotation_entries: s.annotation_entries,
+        }),
+    }
+}
+
+/// How one `EXEC` ended (drives the terminator line).
+enum ExecEnd {
+    Done {
+        rows: u64,
+        cached: bool,
+        version: DocumentVersion,
+        ns: u64,
+    },
+    Cancelled {
+        rows: u64,
+    },
+    Failed(String),
+}
+
+fn session_loop(id: u64, conn: Box<dyn Conn>, state: &ServerState) -> std::io::Result<()> {
+    conn.set_read_timeout_d(Some(state.config.idle_poll))?;
+    let mut writer = BufWriter::new(conn.try_clone_box()?);
+    let mut reader = BufReader::new(conn.try_clone_box()?);
+    // Persistent partial-line buffer: a timed-out (or non-blocking,
+    // during mid-stream cancel polling) read may have already consumed
+    // a line fragment, which must survive until the newline arrives on
+    // a later read. Cleared only once a complete line is parsed.
+    let mut line = String::new();
+    let mut counters = SessionCounters::default();
+    tracing::debug!(target: "uload::server", "session {id} started");
+
+    loop {
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()), // client hung up
+                Ok(_) => break,
+                Err(ref e) if is_poll_timeout(e) => {
+                    if state.is_shutting_down() {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let req = parse_request(&line);
+        line.clear();
+        let req = match req {
+            Ok(r) => r,
+            Err(msg) => {
+                send(&mut writer, &err_line(&msg))?;
+                continue;
+            }
+        };
+        match req {
+            Request::Prepare(text) => match state.engine.prepare_query(&text) {
+                Ok(prep) => {
+                    counters.prepared += 1;
+                    let fp = state.register(prep);
+                    send(&mut writer, &prepared_line(fp))?;
+                }
+                Err(e) => send(&mut writer, &err_line(&e.to_string()))?,
+            },
+            Request::Exec(fp) => match state.lookup(fp) {
+                Some(prep) => {
+                    let end = execute(
+                        state,
+                        &prep,
+                        &mut reader,
+                        &mut writer,
+                        &mut line,
+                        &mut counters,
+                    )?;
+                    finish(&mut writer, fp, end, &mut counters)?;
+                }
+                None => send(
+                    &mut writer,
+                    &err_line(&format!("no prepared plan under fingerprint {fp:016x}")),
+                )?,
+            },
+            Request::Query(text) => match state.engine.prepare_query(&text) {
+                Ok(prep) => {
+                    let fp = state.register(prep);
+                    let prep = state.lookup(fp).expect("just registered");
+                    let end = execute(
+                        state,
+                        &prep,
+                        &mut reader,
+                        &mut writer,
+                        &mut line,
+                        &mut counters,
+                    )?;
+                    finish(&mut writer, fp, end, &mut counters)?;
+                }
+                Err(e) => send(&mut writer, &err_line(&e.to_string()))?,
+            },
+            Request::Stats => {
+                let json = session_profile(id, &counters, state).to_json();
+                send(&mut writer, &format!("STATS {}", json.to_string_compact()))?;
+            }
+            Request::Cancel => {
+                // nothing in flight: acknowledge as a zero-row cancel
+                send(&mut writer, &cancelled_line(0))?;
+            }
+            Request::Shutdown => {
+                state.request_shutdown();
+                send(&mut writer, "BYE")?;
+                return Ok(());
+            }
+            Request::Quit => {
+                send(&mut writer, "BYE")?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn send(w: &mut BufWriter<Box<dyn Conn>>, line: &str) -> std::io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+fn finish(
+    w: &mut BufWriter<Box<dyn Conn>>,
+    fp: u64,
+    end: ExecEnd,
+    counters: &mut SessionCounters,
+) -> std::io::Result<()> {
+    counters.queries += 1;
+    match end {
+        ExecEnd::Done {
+            rows,
+            cached,
+            version,
+            ns,
+        } => {
+            counters.rows += rows;
+            send(w, &done_line(rows, cached, fp, version, ns))
+        }
+        ExecEnd::Cancelled { rows } => {
+            counters.rows += rows;
+            counters.cancelled += 1;
+            send(w, &cancelled_line(rows))
+        }
+        ExecEnd::Failed(msg) => send(w, &err_line(&msg)),
+    }
+}
+
+/// Run one prepared plan for a session, streaming `ROW` lines.
+///
+/// Cache hit: the memoized rows are written straight out — no
+/// admission, no executor, nothing materialized. Miss: admission first
+/// (bounded wait), then the engine's streaming cursor with a
+/// per-batch ceiling check on its `Residency` gauge and a per-batch
+/// poll for a client `CANCEL` (or disconnect); completed results are
+/// memoized for the snapshot's document version.
+fn execute(
+    state: &ServerState,
+    prep: &PreparedQuery,
+    reader: &mut BufReader<Box<dyn Conn>>,
+    writer: &mut BufWriter<Box<dyn Conn>>,
+    line: &mut String,
+    counters: &mut SessionCounters,
+) -> std::io::Result<ExecEnd> {
+    let started = Instant::now();
+    let handle = state.document(); // snapshot: swaps don't affect us mid-stream
+    let key = (prep.fingerprint(), handle.version());
+
+    if let Some(rows) = state.cache.get(key) {
+        counters.rc_hits += 1;
+        for xml in rows.iter() {
+            writer.write_all(row_line(xml).as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()?;
+        return Ok(ExecEnd::Done {
+            rows: rows.len() as u64,
+            cached: true,
+            version: handle.version(),
+            ns: started.elapsed().as_nanos() as u64,
+        });
+    }
+    counters.rc_misses += 1;
+
+    let _permit = match state.admission.acquire() {
+        Ok(p) => p,
+        Err(AdmissionError::Timeout) => {
+            counters.admission_timeouts += 1;
+            return Ok(ExecEnd::Failed(
+                "admission queue full: server at its resident-tuple budget".into(),
+            ));
+        }
+    };
+
+    let mut results = match state.engine.stream_prepared(prep, &handle) {
+        Ok(r) => r,
+        Err(e) => return Ok(ExecEnd::Failed(e.to_string())),
+    };
+
+    let per_query = state.admission.per_query();
+    let mut emitted: u64 = 0;
+    let mut collected: Option<Vec<String>> = Some(Vec::new());
+    let outcome = loop {
+        match results.next_batch() {
+            Ok(Some(batch)) => {
+                for t in batch.tuples.iter() {
+                    let xml = t.get(0).as_str().unwrap_or("").to_string();
+                    writer.write_all(row_line(&xml).as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    emitted += 1;
+                    if let Some(c) = collected.as_mut() {
+                        if c.len() < state.config.result_cache_max_rows {
+                            c.push(xml);
+                        } else {
+                            collected = None; // too big to memoize
+                        }
+                    }
+                }
+                writer.flush()?;
+                if results.peak_resident_tuples() > per_query {
+                    results.close();
+                    counters.budget_aborts += 1;
+                    break ExecEnd::Failed(format!(
+                        "per-query budget exceeded: {} resident tuples > {per_query}",
+                        results.peak_resident_tuples()
+                    ));
+                }
+                if !state.config.stream_throttle.is_zero() {
+                    std::thread::sleep(state.config.stream_throttle);
+                }
+                match poll_cancel(reader, line)? {
+                    Poll::Cancel => {
+                        results.close();
+                        break ExecEnd::Cancelled { rows: emitted };
+                    }
+                    Poll::Disconnect => {
+                        results.close();
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionAborted,
+                            "client disconnected mid-stream",
+                        ));
+                    }
+                    Poll::Quiet => {}
+                }
+            }
+            Ok(None) => {
+                if let Some(rows) = collected.take() {
+                    state.cache.insert(key, Arc::new(rows));
+                }
+                break ExecEnd::Done {
+                    rows: emitted,
+                    cached: false,
+                    version: handle.version(),
+                    ns: started.elapsed().as_nanos() as u64,
+                };
+            }
+            Err(e) => {
+                results.close();
+                break ExecEnd::Failed(e.to_string());
+            }
+        }
+    };
+    // permit drops here, after the stream released its resident state
+    Ok(outcome)
+}
+
+enum Poll {
+    Quiet,
+    Cancel,
+    Disconnect,
+}
+
+/// Non-blocking peek for a `CANCEL` between batches. A partial line
+/// (no newline yet) stays in the session's persistent `line` buffer
+/// across polls — and across the end of the stream, so a `CANCEL`
+/// whose tail arrives late still parses (as a no-op cancel) in the
+/// main loop. Any complete non-`CANCEL` line mid-stream is ignored.
+fn poll_cancel(reader: &mut BufReader<Box<dyn Conn>>, line: &mut String) -> std::io::Result<Poll> {
+    reader.get_ref().set_nonblocking_d(true)?;
+    let mut out = Poll::Quiet;
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => {
+                out = Poll::Disconnect;
+                break;
+            }
+            Ok(_) => {
+                let cancel = matches!(parse_request(line), Ok(Request::Cancel));
+                line.clear();
+                if cancel {
+                    out = Poll::Cancel;
+                    break;
+                }
+                // anything else sent mid-stream is swallowed
+            }
+            Err(ref e) if is_poll_timeout(e) => break,
+            Err(e) => {
+                reader.get_ref().set_nonblocking_d(false)?;
+                return Err(e);
+            }
+        }
+    }
+    reader.get_ref().set_nonblocking_d(false)?;
+    Ok(out)
+}

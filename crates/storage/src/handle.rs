@@ -1,0 +1,109 @@
+//! Versioned document handles — the unit the serving layer caches by.
+//!
+//! Everything below the façade passes `&Document` around freely, but a
+//! long-lived server cannot key caches on a borrow: when the physical
+//! design (or the document itself) is swapped underneath running
+//! sessions, stale cached results must stop matching. [`DocumentHandle`]
+//! pairs a shared, immutable [`Document`] with a [`DocumentVersion`]
+//! drawn from a process-wide monotonic counter, so
+//! `(plan fingerprint, document version)` is a sound result-cache key:
+//! a version is never reused, and replacing a document
+//! ([`DocumentHandle::reload`]) silently invalidates every cache entry
+//! keyed under the old version without any explicit eviction pass.
+//!
+//! Handles are cheap to clone (an `Arc` bump) and `Send + Sync`; clones
+//! share the version, so concurrent readers of the same handle agree on
+//! the cache key they are serving under.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use xmltree::Document;
+
+/// Process-wide monotonic version source: no two [`DocumentHandle`]s
+/// ever share a version unless they are clones of one another.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+/// A monotonically increasing document version. Fresh handles (and
+/// [`DocumentHandle::reload`]ed ones) always carry a strictly greater
+/// version than every handle created before them in this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocumentVersion(pub u64);
+
+impl std::fmt::Display for DocumentVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A shared, versioned document: the serving path's replacement for raw
+/// `&Document` arguments. See the [module docs](self) for why the
+/// version exists.
+#[derive(Debug, Clone)]
+pub struct DocumentHandle {
+    doc: Arc<Document>,
+    version: DocumentVersion,
+}
+
+impl DocumentHandle {
+    /// Wrap a document under a fresh version.
+    pub fn new(doc: Document) -> DocumentHandle {
+        DocumentHandle::from_arc(Arc::new(doc))
+    }
+
+    /// Wrap an already-shared document under a fresh version.
+    pub fn from_arc(doc: Arc<Document>) -> DocumentHandle {
+        DocumentHandle {
+            doc,
+            version: DocumentVersion(NEXT_VERSION.fetch_add(1, Ordering::Relaxed)),
+        }
+    }
+
+    /// The document this handle serves.
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// A shared reference to the underlying allocation.
+    pub fn arc(&self) -> Arc<Document> {
+        Arc::clone(&self.doc)
+    }
+
+    /// This handle's version — one half of the result-cache key.
+    pub fn version(&self) -> DocumentVersion {
+        self.version
+    }
+
+    /// Replace the document, returning a handle with a strictly greater
+    /// version. The old handle stays valid for in-flight readers; only
+    /// new cache keys move to the new version.
+    pub fn reload(&self, doc: Document) -> DocumentHandle {
+        DocumentHandle::new(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_are_monotonic_and_never_reused() {
+        let a = DocumentHandle::new(xmltree::parse_document("<a/>").unwrap());
+        let b = DocumentHandle::new(xmltree::parse_document("<b/>").unwrap());
+        assert!(b.version() > a.version());
+        let a2 = a.reload(xmltree::parse_document("<a><c/></a>").unwrap());
+        assert!(a2.version() > b.version());
+        assert_eq!(a2.document().len(), 2);
+        // clones share document and version
+        let c = a2.clone();
+        assert_eq!(c.version(), a2.version());
+        assert!(Arc::ptr_eq(&c.arc(), &a2.arc()));
+    }
+
+    #[test]
+    fn handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DocumentHandle>();
+        assert_send_sync::<DocumentVersion>();
+    }
+}

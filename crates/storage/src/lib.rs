@@ -26,6 +26,7 @@
 
 pub mod catalog;
 pub mod engines;
+pub mod handle;
 pub mod idstream;
 pub mod qep;
 pub mod store;
@@ -34,5 +35,6 @@ pub use engines::{
     CompositeIndex, ContentStore, EdgeStore, FullTextIndex, PathPartitionStore, TagPartitionStore,
     XRelStore,
 };
+pub use handle::{DocumentHandle, DocumentVersion};
 pub use idstream::IdStreamIndex;
 pub use store::MaterializedStore;

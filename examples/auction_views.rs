@@ -49,8 +49,8 @@ fn main() -> Result<()> {
                    </res>"#;
 
     // 1. the extracted pattern spans the nested FLWR (Chapter 3)
-    let parsed = parse_query(query)?;
-    let ex = extract_patterns(&parsed)?;
+    let parsed = Uload::parse_query(query)?;
+    let ex = Uload::extract_patterns(&parsed)?;
     println!("\nextracted {} maximal pattern(s):", ex.patterns.len());
     for p in &ex.patterns {
         println!("{p}");
@@ -67,7 +67,7 @@ fn main() -> Result<()> {
 
     // 3. answer from the views and cross-check against direct evaluation
     let (from_views, used) = engine.answer(query, &doc)?;
-    let direct = execute_query(query, &doc)?.into_strings();
+    let direct = Uload::execute_direct(query, &doc)?.into_strings();
     assert_eq!(from_views, direct, "view-based and direct answers differ");
     println!(
         "\n{} results from views {:?}; first:\n{}",

@@ -32,7 +32,7 @@ fn main() -> Result<()> {
     //    their structural IDs and nested title values
     let xam = parse_xam("//book[id:s]{ /title[val], /? y:@year[val] }")?;
     println!("a XAM (storage description):\n{xam}");
-    let rel = evaluate_xam(&xam, &doc)?;
+    let rel = Uload::evaluate_xam(&xam, &doc)?;
     println!("its content over the document ({} tuples):", rel.len());
     for t in &rel.tuples {
         println!("  {t}");
@@ -42,7 +42,7 @@ fn main() -> Result<()> {
     let query = r#"for $b in doc("bib.xml")//book
                    where $b/@year = "1999"
                    return <hit>{$b/title}</hit>"#;
-    let direct = execute_query(query, &doc)?;
+    let direct = Uload::execute_direct(query, &doc)?;
     println!(
         "\ndirect evaluation of\n  {query}\n→ {} item(s), plan fingerprint {:016x}",
         direct.items.len(),

@@ -14,7 +14,9 @@
 //! `twig` (E10 holistic twig-join ablation; writes `BENCH_twig.json`),
 //! `pipeline` (E11 pipelined batch executor vs materialized evaluation;
 //! writes `BENCH_pipeline.json`), `skip` (E12 skip-index × summary-
-//! pruning access-method grid; writes `BENCH_skip.json`).
+//! pruning access-method grid; writes `BENCH_skip.json`), `server`
+//! (E13 multi-client query server: warm result-cache speedup plus a
+//! QPS/latency sweep over client counts; writes `BENCH_server.json`).
 //!
 //! `--profile` runs one view-backed query with `EXPLAIN ANALYZE` and
 //! prints the rendered profile; `--profile-json` prints the same profile
@@ -85,6 +87,9 @@ fn main() {
     }
     if want("skip") {
         skip(quick);
+    }
+    if want("server") {
+        server(quick);
     }
 }
 
@@ -480,4 +485,211 @@ fn pipeline(quick: bool) {
          multiplying twigs see the largest peak-memory reduction, and LIMIT-style consumers \
          stop paying for rows they never pull)"
     );
+}
+
+fn server(quick: bool) {
+    use std::time::Instant;
+    use uload::server::{Client, Server, ServerConfig};
+
+    header("E13 — multi-client query server: result cache and concurrency sweep");
+    let (scale, reps, per_client) = if quick { (2, 8, 12) } else { (8, 25, 40) };
+    let client_counts = [1usize, 2, 4, 8];
+    let query = r#"for $x in doc("X")//item return <res>{$x/name/text()}</res>"#;
+
+    let doc = uload::generate::xmark(scale, 42);
+    let mut engine = uload::Uload::builder()
+        .document(&doc)
+        .batch_size(256)
+        .cache_capacity(1024)
+        .build()
+        .expect("engine over xmark");
+    engine
+        .add_view_text("V", "//item[id:s]{ /n? name1:name[val] }", &doc)
+        .expect("view definition");
+    let handle = uload::DocumentHandle::new(doc.clone());
+    let server = Server::start(ServerConfig::default(), engine, handle).expect("server start");
+
+    let mut warm = Client::connect(server.addr()).expect("connect");
+    let fp = warm.prepare(query).expect("prepare");
+
+    // cold path: each repetition swaps the document first, minting a new
+    // version so the (fingerprint, version) cache key can never match —
+    // the server plans nothing (the query is prepared) but executes fully
+    let mut uncached_ns = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        server.state().swap_document(doc.clone());
+        let reply = warm.exec(fp).expect("uncached exec");
+        assert!(!reply.cached, "document swap failed to invalidate");
+        uncached_ns.push(reply.ns);
+    }
+    // warm path: the last miss memoized the current version's rows
+    let mut cached_ns = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let reply = warm.exec(fp).expect("cached exec");
+        assert!(reply.cached, "warm exec missed the result cache");
+        cached_ns.push(reply.ns);
+    }
+    uncached_ns.sort_unstable();
+    cached_ns.sort_unstable();
+    // server-side latencies (request receipt → DONE), so the comparison
+    // excludes the wire and measures execute-vs-memoize honestly
+    let uncached_p50 = percentile(&uncached_ns, 0.5);
+    let cached_p50 = percentile(&cached_ns, 0.5);
+    let warm_speedup = uncached_p50 as f64 / cached_p50.max(1) as f64;
+    println!(
+        "{:<10} {:>12} {:>12} {:>5}",
+        "phase", "p50 (ns)", "p99 (ns)", "n"
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>5}",
+        "uncached",
+        uncached_p50,
+        percentile(&uncached_ns, 0.99),
+        reps
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>5}",
+        "cached",
+        cached_p50,
+        percentile(&cached_ns, 0.99),
+        reps
+    );
+    println!("warm result-cache speedup: {warm_speedup:.2}x");
+
+    // concurrency sweep: N clients hammer the warm entry, client-side
+    // wall latencies → QPS and tail percentiles per client count
+    let addr = server.addr().clone();
+    let mut sweep = Vec::new();
+    println!(
+        "\n{:>7} {:>9} {:>10} {:>12} {:>12}",
+        "clients", "requests", "qps", "p50 (ns)", "p99 (ns)"
+    );
+    for &n in &client_counts {
+        // connect + prepare happen before the barrier: the timed window
+        // holds requests only (accepting a connection costs an idle poll)
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(n + 1));
+        let threads: Vec<_> = (0..n)
+            .map(|_| {
+                let addr = addr.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(&addr).expect("sweep connect");
+                    let fp = c.prepare(query).expect("sweep prepare");
+                    barrier.wait();
+                    let mut lat = Vec::with_capacity(per_client);
+                    for _ in 0..per_client {
+                        let start = Instant::now();
+                        let reply = c.exec(fp).expect("sweep exec");
+                        lat.push(start.elapsed().as_nanos() as u64);
+                        assert!(!reply.rows.is_empty(), "sweep exec lost its rows");
+                    }
+                    let _ = c.quit();
+                    lat
+                })
+            })
+            .collect();
+        barrier.wait();
+        let round = Instant::now();
+        let mut lat: Vec<u64> = threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("sweep thread"))
+            .collect();
+        let wall = round.elapsed();
+        lat.sort_unstable();
+        let requests = n * per_client;
+        let qps = requests as f64 / wall.as_secs_f64();
+        let (p50, p99) = (percentile(&lat, 0.5), percentile(&lat, 0.99));
+        println!("{n:>7} {requests:>9} {qps:>10.0} {p50:>12} {p99:>12}");
+        sweep.push((n, requests, qps, p50, p99));
+    }
+
+    let rc = server.state().result_cache().counters();
+    let canonical = server.state().engine().cache_stats();
+    println!(
+        "result cache: {} hits / {} misses ({:.1}% hit rate), {} entries",
+        rc.hits,
+        rc.misses,
+        rc.hit_rate() * 100.0,
+        rc.entries
+    );
+    if let Some(cs) = &canonical {
+        let total = cs.hits + cs.misses;
+        println!(
+            "canonical cache: {} hits / {} misses ({:.1}% hit rate)",
+            cs.hits,
+            cs.misses,
+            if total == 0 {
+                0.0
+            } else {
+                cs.hits as f64 / total as f64 * 100.0
+            }
+        );
+    }
+
+    // machine-readable record (hand-rolled JSON — the workspace
+    // deliberately carries no serializer dependency)
+    let mut json = String::from("{\n  \"experiment\": \"server\",\n");
+    json.push_str(&format!(
+        "  \"document\": \"xmark({scale}, 42)\",\n  \"query\": \"{}\",\n  \
+         \"reps\": {reps},\n  \"per_client_requests\": {per_client},\n",
+        query.replace('\\', "\\\\").replace('"', "\\\"")
+    ));
+    json.push_str(&format!(
+        "  \"uncached_ns_p50\": {uncached_p50},\n  \"cached_ns_p50\": {cached_p50},\n  \
+         \"warm_speedup\": {warm_speedup:.3},\n  \"sweep\": [\n"
+    ));
+    for (i, (n, requests, qps, p50, p99)) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {n}, \"requests\": {requests}, \"qps\": {qps:.1}, \
+             \"p50_ns\": {p50}, \"p99_ns\": {p99}}}{}\n",
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"result_cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \
+         \"evictions\": {}, \"entries\": {}, \"hit_rate\": {:.4}}},\n",
+        rc.hits,
+        rc.misses,
+        rc.insertions,
+        rc.evictions,
+        rc.entries,
+        rc.hit_rate()
+    ));
+    match &canonical {
+        Some(cs) => {
+            let total = cs.hits + cs.misses;
+            json.push_str(&format!(
+                "  \"canonical_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+                 \"entries\": {}, \"hit_rate\": {:.4}}}\n",
+                cs.hits,
+                cs.misses,
+                cs.evictions,
+                cs.entries,
+                if total == 0 {
+                    0.0
+                } else {
+                    cs.hits as f64 / total as f64
+                }
+            ));
+        }
+        None => json.push_str("  \"canonical_cache\": null\n"),
+    }
+    json.push_str("}\n");
+    match std::fs::write("BENCH_server.json", &json) {
+        Ok(()) => println!("(wrote BENCH_server.json)"),
+        Err(e) => eprintln!("(could not write BENCH_server.json: {e})"),
+    }
+
+    let _ = warm.quit();
+    server.shutdown();
+    server.wait();
+    println!(
+        "(cache hits bypass admission and the executor entirely — the warm path serves \
+         memoized rows; the sweep shows the shared entry scaling across sessions)"
+    );
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
 }

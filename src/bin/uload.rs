@@ -9,7 +9,15 @@
 //!                                          # (--limit streams and stops early)
 //! uload contain <file.xml> '<xam p>' '<xam q>' [--threads N]
 //!                                          # decide p ⊆_S q under the summary
+//! uload serve <file.xml> [--addr HOST:PORT | --unix PATH] ['<name>=<xam>'…]
+//!                                          # serve the document to clients
+//! uload client <ADDR> query '<xquery>'     # one query against a server
+//! uload client <ADDR> stats                # the session's profile JSON
+//! uload client <ADDR> shutdown             # stop a running server
 //! ```
+//!
+//! `<ADDR>` is `HOST:PORT` for TCP or `unix:/path.sock` for a Unix
+//! socket.
 //!
 //! Example:
 //!
@@ -40,9 +48,19 @@ fn usage() -> Error {
         "usage:\n  uload summary <file.xml>\n  uload xam <file.xml> '<xam>'\n  \
          uload query <file.xml> '<xquery>'\n  \
          uload rewrite <file.xml> '<xquery>' '<name>=<xam>'… [--limit N]\n  \
-         uload contain <file.xml> '<xam p>' '<xam q>' [--threads N]"
+         uload contain <file.xml> '<xam p>' '<xam q>' [--threads N]\n  \
+         uload serve <file.xml> [--addr HOST:PORT | --unix PATH] ['<name>=<xam>'…]\n  \
+         uload client <ADDR> (query '<xquery>' | stats | shutdown)"
             .to_string(),
     )
+}
+
+/// `HOST:PORT` or `unix:/path.sock` → a [`BindAddr`].
+fn parse_addr(s: &str) -> BindAddr {
+    match s.strip_prefix("unix:") {
+        Some(path) => BindAddr::Unix(path.into()),
+        None => BindAddr::Tcp(s.to_string()),
+    }
 }
 
 fn load(path: &str) -> Result<Document> {
@@ -70,7 +88,7 @@ fn run(args: &[String]) -> Result<()> {
             let doc = load(args.get(1).ok_or_else(usage)?)?;
             let xam = parse_xam(args.get(2).ok_or_else(usage)?)?;
             println!("{xam}");
-            let rel = uload::evaluate_xam(&xam, &doc)?;
+            let rel = Uload::evaluate_xam(&xam, &doc)?;
             println!("schema: {}", rel.schema);
             for t in &rel.tuples {
                 println!("{t}");
@@ -80,7 +98,7 @@ fn run(args: &[String]) -> Result<()> {
         }
         "query" => {
             let doc = load(args.get(1).ok_or_else(usage)?)?;
-            let out = uload::execute_query(args.get(2).ok_or_else(usage)?, &doc)?;
+            let out = Uload::execute_direct(args.get(2).ok_or_else(usage)?, &doc)?;
             for item in &out.items {
                 println!("{}", item.xml);
             }
@@ -186,6 +204,77 @@ fn run(args: &[String]) -> Result<()> {
             );
             println!("equivalent: {}", fwd.contained && bwd.contained);
             Ok(())
+        }
+        "serve" => {
+            let doc = load(args.get(1).ok_or_else(usage)?)?;
+            let mut addr = BindAddr::Tcp("127.0.0.1:7711".into());
+            let mut views: Vec<&str> = Vec::new();
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--addr" => {
+                        addr = BindAddr::Tcp(args.get(i + 1).ok_or_else(usage)?.clone());
+                        i += 2;
+                    }
+                    "--unix" => {
+                        addr = BindAddr::Unix(args.get(i + 1).ok_or_else(usage)?.into());
+                        i += 2;
+                    }
+                    v => {
+                        views.push(v);
+                        i += 1;
+                    }
+                }
+            }
+            let mut engine = Uload::builder()
+                .document(&doc)
+                .config(EngineConfig::default())
+                .build()?;
+            for def in views {
+                let (name, text) = def.split_once('=').ok_or_else(|| {
+                    Error::Config(format!("bad view definition `{def}` (want name=xam)"))
+                })?;
+                engine.add_view_text(name, text, &doc)?;
+            }
+            let server = Server::start(
+                ServerConfig::default().with_addr(addr),
+                engine,
+                DocumentHandle::new(doc),
+            )?;
+            println!(
+                "serving on {} (stop with `uload client <ADDR> shutdown`)",
+                server.addr()
+            );
+            server.wait();
+            println!("server stopped");
+            Ok(())
+        }
+        "client" => {
+            let addr = parse_addr(args.get(1).ok_or_else(usage)?);
+            let mut client = Client::connect(&addr)?;
+            match args.get(2).map(String::as_str) {
+                Some("query") => {
+                    let reply = client.query(args.get(3).ok_or_else(usage)?)?;
+                    for row in &reply.rows {
+                        println!("{row}");
+                    }
+                    println!(
+                        "({} results, cached={}, fp={:016x}, v{}, {:.3} ms server-side)",
+                        reply.rows.len(),
+                        reply.cached,
+                        reply.fingerprint,
+                        reply.version,
+                        reply.ns as f64 / 1e6
+                    );
+                    client.quit()
+                }
+                Some("stats") => {
+                    println!("{}", client.stats_json()?);
+                    client.quit()
+                }
+                Some("shutdown") => client.shutdown_server(),
+                _ => Err(usage()),
+            }
         }
         _ => Err(usage()),
     }

@@ -2,7 +2,8 @@
 //!
 //! The façade of the workspace: one import surface over the layered
 //! crates (`xmltree` → `summary` → `xam-core` → `containment` →
-//! `rewriting` → `storage`). Typical use goes through [`prelude`]:
+//! `rewriting` → `storage` → `uload-server`). Typical use goes through
+//! [`prelude`]:
 //!
 //! ```
 //! use uload::prelude::*;
@@ -22,6 +23,33 @@
 //! # uload::Result::Ok(())
 //! ```
 //!
+//! For the serving path, the same query goes through a versioned
+//! [`DocumentHandle`] and a reusable [`PreparedQuery`]:
+//!
+//! ```
+//! use uload::prelude::*;
+//!
+//! let doc = parse_document("<bib><book><title>t</title></book></bib>")?;
+//! let mut engine = Uload::builder().document(&doc).build()?;
+//! engine.add_view_text("v", "//book[id:s]{ /n? t:title[cont] }", &doc)?;
+//! let handle = DocumentHandle::new(doc);
+//! let prep = engine.prepare_query(
+//!     r#"for $b in doc("d")//book return <r>{$b/title}</r>"#,
+//! )?;
+//! let out = engine.execute_prepared(&prep, &handle)?;
+//! assert_eq!(out.items.len(), 1);
+//! assert_eq!(out.plan_fingerprint, prep.fingerprint());
+//! # uload::Result::Ok(())
+//! ```
+//!
+//! One-off helpers that need no engine instance (XAM evaluation, direct
+//! XQuery execution, pattern extraction) are associated functions on
+//! [`Uload`] — [`Uload::evaluate_xam`], [`Uload::execute_direct`],
+//! [`Uload::parse_query`], [`Uload::extract_patterns`]. The historical
+//! crate-root free functions for those still exist as deprecated
+//! wrappers; [`parse_document`] and [`parse_xam`] remain first-class
+//! (they are the two entry points everything else starts from).
+//!
 //! Every fallible function of this façade returns [`Result`] with the
 //! unified [`Error`] — the per-crate error types never surface here.
 
@@ -39,93 +67,76 @@ pub use containment::{
 pub use obs::json;
 pub use obs::{
     init_from_env, ArmTelemetry, CacheCounters, EnvFilter, ExecMetrics, FmtSubscriber, Json,
-    OpProfile, OpStreamProfile, PlanNodeProfile, QueryProfile, StreamProfile,
+    OpProfile, OpStreamProfile, PlanNodeProfile, QueryProfile, ResultCacheCounters, SessionProfile,
+    StreamProfile,
 };
 pub use rewriting::{
-    rewrite_with_engine, EngineConfig, EngineOptions, QueryResults, RewriteConfig, RewriteStats,
-    Rewriting, Uload, UloadBuilder,
+    plan_fingerprint, rewrite_with_engine, EngineConfig, EngineOptions, PreparedQuery, QueryItem,
+    QueryOutput, QueryResults, RewriteConfig, RewriteStats, Rewriting, Uload, UloadBuilder,
 };
-pub use storage::{catalog, qep, IdStreamIndex};
+pub use storage::{catalog, qep, DocumentHandle, DocumentVersion, IdStreamIndex};
 pub use summary::Summary;
 pub use xam_core::{Xam, XamNodeId};
 pub use xmltree::{generate, Document};
 pub use xquery::{ExtractedQuery, Query};
 
+/// The multi-client serving layer (re-export of the `uload-server`
+/// crate): [`server::Server`], [`server::ServerConfig`],
+/// [`server::Client`] and the line protocol.
+pub use uload_server as server;
+
+pub use uload_server::{BindAddr, Client, ExecReply, Server, ServerConfig, ServerHandle};
+
 /// Parse an XML document (façade wrapper returning the unified error).
 pub fn parse_document(text: &str) -> Result<Document> {
-    xmltree::parse_document(text).map_err(|e| Error::Parse(e.to_string()))
+    Uload::parse_document(text)
 }
 
 /// Parse a textual XAM pattern.
 pub fn parse_xam(text: &str) -> Result<Xam> {
-    xam_core::parse_xam(text).map_err(|e| Error::Parse(e.to_string()))
+    Uload::parse_xam(text)
 }
 
 /// Evaluate a XAM directly over a document (no views involved).
+#[deprecated(since = "0.5.0", note = "use `Uload::evaluate_xam` instead")]
 pub fn evaluate_xam(xam: &Xam, doc: &Document) -> Result<Relation> {
-    xam_core::evaluate(xam, doc).map_err(|e| Error::Eval(e.to_string()))
-}
-
-/// Typed output of [`execute_query`]: one serialized item per result
-/// row, plus a fingerprint of the logical plan that produced them
-/// (stable across runs of the same engine version, so regressions in
-/// planning show up as a fingerprint change even when the rows agree).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QueryOutput {
-    /// The query's result items, in result order.
-    pub items: Vec<QueryItem>,
-    /// Hash of the executed logical plan's canonical textual form.
-    pub plan_fingerprint: u64,
-}
-
-/// One serialized result item of a [`QueryOutput`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QueryItem {
-    /// The item serialized as XML.
-    pub xml: String,
-}
-
-impl QueryOutput {
-    /// The serialized items as plain strings (the pre-0.4 shape).
-    pub fn into_strings(self) -> Vec<String> {
-        self.items.into_iter().map(|i| i.xml).collect()
-    }
+    Uload::evaluate_xam(xam, doc)
 }
 
 /// Execute an XQuery directly over a document (no views involved),
 /// returning the typed [`QueryOutput`].
+#[deprecated(since = "0.5.0", note = "use `Uload::execute_direct` instead")]
 pub fn execute_query(text: &str, doc: &Document) -> Result<QueryOutput> {
-    use std::hash::{Hash, Hasher};
-    let (items, plan) =
-        xquery::execute_query_with_plan(text, doc).map_err(|e| Error::Translate(e.to_string()))?;
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    plan.to_string().hash(&mut h);
-    Ok(QueryOutput {
-        items: items.into_iter().map(|xml| QueryItem { xml }).collect(),
-        plan_fingerprint: h.finish(),
-    })
+    Uload::execute_direct(text, doc)
 }
 
 /// Parse an XQuery into its AST (for pattern extraction).
+#[deprecated(since = "0.5.0", note = "use `Uload::parse_query` instead")]
 pub fn parse_query(text: &str) -> Result<Query> {
-    xquery::parse_query(text).map_err(|e| Error::Parse(e.to_string()))
+    Uload::parse_query(text)
 }
 
 /// Extract the maximal XAM patterns of a parsed XQuery (Chapter 3).
+#[deprecated(since = "0.5.0", note = "use `Uload::extract_patterns` instead")]
 pub fn extract_patterns(q: &Query) -> Result<ExtractedQuery> {
-    xquery::extract_patterns(q).map_err(|e| Error::Translate(e.to_string()))
+    Uload::extract_patterns(q)
 }
 
 /// The one-stop import: `use uload::prelude::*;`.
+///
+/// Deliberately excludes the deprecated crate-root free functions —
+/// their replacements are associated functions on [`Uload`], which the
+/// prelude already brings in.
 pub mod prelude {
     pub use crate::{
-        canonical_model, catalog, contain, contained_in_union, equivalent, evaluate_xam,
-        execute_query, extract_patterns, fuse_struct_joins, generate, init_from_env,
-        minimize_by_contraction, minimize_global, parse_document, parse_query, parse_xam, qep,
-        rewrite_with_engine, CacheStats, CanonicalCache, ContainOptions, ContainmentOutcome,
-        Document, EngineConfig, EngineOptions, Error, Evaluator, IdStreamIndex, PlanNodeProfile,
-        QueryItem, QueryOutput, QueryProfile, QueryResults, Relation, Result, RewriteConfig,
-        Rewriting, StreamProfile, Summary, TupleBatch, TwigPattern, Uload, Xam,
+        canonical_model, catalog, contain, contained_in_union, equivalent, fuse_struct_joins,
+        generate, init_from_env, minimize_by_contraction, minimize_global, parse_document,
+        parse_xam, plan_fingerprint, qep, rewrite_with_engine, BindAddr, CacheStats,
+        CanonicalCache, Client, ContainOptions, ContainmentOutcome, Document, DocumentHandle,
+        DocumentVersion, EngineConfig, EngineOptions, Error, Evaluator, ExecReply, IdStreamIndex,
+        PlanNodeProfile, PreparedQuery, QueryItem, QueryOutput, QueryProfile, QueryResults,
+        Relation, Result, ResultCacheCounters, RewriteConfig, Rewriting, Server, ServerConfig,
+        ServerHandle, SessionProfile, StreamProfile, Summary, TupleBatch, TwigPattern, Uload, Xam,
     };
 }
 
@@ -153,5 +164,17 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(engine.summary().len(), 2);
+    }
+
+    #[test]
+    fn associated_facade_matches_free_wrappers() {
+        let doc = parse_document("<a><b>1</b></a>").unwrap();
+        let xam = parse_xam("//b[id:s]").unwrap();
+        let rel = Uload::evaluate_xam(&xam, &doc).unwrap();
+        assert_eq!(rel.len(), 1);
+        let out = Uload::execute_direct(r#"doc("d")//b"#, &doc).unwrap();
+        assert_eq!(out.items.len(), 1);
+        let q = Uload::parse_query(r#"doc("d")//b"#).unwrap();
+        assert!(!Uload::extract_patterns(&q).unwrap().patterns.is_empty());
     }
 }

@@ -1,0 +1,300 @@
+//! Integration tests of the multi-client query server: concurrent
+//! sessions sharing the versioned result cache (identical and
+//! rewritten-equivalent query texts), graceful mid-stream cancellation
+//! (explicit `CANCEL` and plain disconnect) releasing the `Residency`
+//! budget, admission control bounding oversubscribed clients, and
+//! document swaps invalidating the cache through the version key.
+
+use std::time::{Duration, Instant};
+
+use uload::json;
+use uload::prelude::*;
+use uload::server::RowEvent;
+
+const QUERY: &str = r#"for $x in doc("X")//item return <res>{$x/name/text()}</res>"#;
+/// Same plan as [`QUERY`] after parsing: whitespace and variable
+/// spelling differ, the extracted pattern does not.
+const QUERY_EQUIV: &str = r#"for   $y in doc("X")//item   return <res>{$y/name/text()}</res>"#;
+const VIEW: &str = "//item[id:s]{ /n? name1:name[val] }";
+
+fn engine_over(doc: &Document, batch_size: usize) -> Uload {
+    let mut u = Uload::builder()
+        .document(doc)
+        .batch_size(batch_size)
+        .cache_capacity(1024)
+        .build()
+        .unwrap();
+    u.add_view_text("V", VIEW, doc).unwrap();
+    u
+}
+
+fn start(doc: Document, batch_size: usize, config: ServerConfig) -> ServerHandle {
+    let engine = engine_over(&doc, batch_size);
+    Server::start(config, engine, DocumentHandle::new(doc)).unwrap()
+}
+
+fn wait_until(what: &str, mut ok: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !ok() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn equivalent_texts_share_a_fingerprint_and_a_cache_entry() {
+    let server = start(generate::xmark(2, 13), 64, ServerConfig::default());
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    let fp = c.prepare(QUERY).unwrap();
+    let fp_equiv = c.prepare(QUERY_EQUIV).unwrap();
+    assert_eq!(
+        fp, fp_equiv,
+        "equivalent texts must plan to one fingerprint"
+    );
+    assert_eq!(server.state().prepared_count(), 1);
+
+    let cold = c.exec(fp).unwrap();
+    assert!(!cold.cached && !cold.rows.is_empty());
+    let warm = c.exec(fp_equiv).unwrap();
+    assert!(warm.cached, "second execution must hit the result cache");
+    assert_eq!(cold.rows, warm.rows);
+
+    // the full-text QUERY path lands on the same cache entry too
+    let via_query = c.query(QUERY_EQUIV).unwrap();
+    assert!(via_query.cached);
+    assert_eq!(via_query.fingerprint, fp);
+
+    let stats = json::parse(&c.stats_json().unwrap()).unwrap();
+    let rc = stats.get("result_cache").unwrap();
+    assert_eq!(rc.get("hits").unwrap().as_f64().unwrap(), 2.0);
+    assert_eq!(rc.get("misses").unwrap().as_f64().unwrap(), 1.0);
+    c.quit().unwrap();
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn concurrent_sessions_hit_the_shared_caches() {
+    let server = start(generate::xmark(2, 13), 64, ServerConfig::default());
+    let addr = server.addr().clone();
+
+    // round 1: populate (exactly one session inserts; racing sessions
+    // may each miss once). round 2: everyone must hit.
+    let mut warm = Client::connect(&addr).unwrap();
+    let baseline = warm.query(QUERY).unwrap();
+    assert!(!baseline.cached);
+
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            let want = baseline.rows.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                // alternate identical and rewritten-equivalent spellings
+                let text = if i % 2 == 0 { QUERY } else { QUERY_EQUIV };
+                let reply = c.query(text).unwrap();
+                assert!(reply.cached, "client {i} missed a warm cache");
+                assert_eq!(reply.rows, want, "client {i} rows diverged");
+                c.quit().unwrap();
+            })
+        })
+        .collect();
+    for t in clients {
+        t.join().unwrap();
+    }
+
+    // shared result cache: 1 miss (the warm-up), 4 hits
+    let counters = server.state().result_cache().counters();
+    assert_eq!(counters.hits, 4);
+    assert_eq!(counters.misses, 1);
+    assert_eq!(counters.entries, 1);
+
+    // the rewriting layer's CanonicalCache served repeat preparations
+    let stats = json::parse(&warm.stats_json().unwrap()).unwrap();
+    let canonical = stats.get("canonical_cache").unwrap();
+    assert!(
+        canonical.get("hits").unwrap().as_f64().unwrap() > 0.0,
+        "concurrent equivalent queries never hit the CanonicalCache"
+    );
+    warm.quit().unwrap();
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn cancel_mid_stream_releases_budget_and_leaves_server_serving() {
+    // one-row batches and a per-batch throttle → the stream is reliably
+    // still in flight when the CANCEL lands
+    let config = ServerConfig::default().with_stream_throttle(Duration::from_millis(20));
+    let server = start(generate::xmark(3, 13), 1, config);
+    let mut c = Client::connect(server.addr()).unwrap();
+    let fp = c.prepare(QUERY).unwrap();
+
+    c.start_exec(fp).unwrap();
+    let mut seen = 0u64;
+    // read a couple of rows, then cancel mid-stream
+    let outcome = loop {
+        match c.next_event().unwrap() {
+            RowEvent::Row(_) => {
+                seen += 1;
+                if seen == 2 {
+                    c.cancel().unwrap();
+                }
+            }
+            other => break other,
+        }
+    };
+    match outcome {
+        RowEvent::Cancelled { rows } => assert!(rows >= 2, "cancel lost delivered rows"),
+        other => panic!("expected CANCELLED, got {other:?}"),
+    }
+
+    // the admission permit must be back and the residency released
+    wait_until("cancelled permit release", || {
+        server.state().admission().in_use() == 0
+    });
+
+    // the cancelled request never memoized a partial result…
+    assert_eq!(server.state().result_cache().counters().entries, 0);
+    // …and the same session (and a fresh one) still get full answers
+    let full = c.exec(fp).unwrap();
+    assert!(!full.cached && full.rows.len() as u64 > 2);
+    let mut c2 = Client::connect(server.addr()).unwrap();
+    assert_eq!(c2.query(QUERY).unwrap().rows, full.rows);
+
+    let stats = json::parse(&c.stats_json().unwrap()).unwrap();
+    assert_eq!(stats.get("cancelled").unwrap().as_f64().unwrap(), 1.0);
+    c.quit().unwrap();
+    c2.quit().unwrap();
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn dropped_session_mid_stream_releases_budget() {
+    let config = ServerConfig::default().with_stream_throttle(Duration::from_millis(20));
+    let server = start(generate::xmark(3, 13), 1, config);
+    {
+        let mut c = Client::connect(server.addr()).unwrap();
+        let fp = c.prepare(QUERY).unwrap();
+        c.start_exec(fp).unwrap();
+        match c.next_event().unwrap() {
+            RowEvent::Row(_) => {}
+            other => panic!("expected a first row, got {other:?}"),
+        }
+        assert!(
+            server.state().admission().in_use() > 0,
+            "stream in flight must hold its admission permit"
+        );
+        // client dropped here, socket closes with the stream in flight
+    }
+    wait_until("disconnect permit release", || {
+        server.state().admission().in_use() == 0
+    });
+    // the server is still healthy for other sessions
+    let mut c2 = Client::connect(server.addr()).unwrap();
+    assert!(!c2.query(QUERY).unwrap().rows.is_empty());
+    c2.quit().unwrap();
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn oversubscribed_clients_never_exceed_the_admission_budget() {
+    // two admission slots, result cache off so every request executes
+    let config = ServerConfig::default()
+        .with_admission(2 * (1 << 18), 1 << 18)
+        .with_result_cache(0, 0);
+    let server = start(generate::xmark(2, 13), 16, config);
+    let addr = server.addr().clone();
+
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                for _ in 0..3 {
+                    assert!(!c.query(QUERY).unwrap().rows.is_empty());
+                }
+                c.quit().unwrap();
+            })
+        })
+        .collect();
+    for t in clients {
+        t.join().unwrap();
+    }
+
+    let adm = server.state().admission();
+    assert_eq!(adm.admitted_total(), 18, "all requests must have executed");
+    assert!(
+        adm.peak() <= adm.total(),
+        "admission over-committed: peak {} > total {}",
+        adm.peak(),
+        adm.total()
+    );
+    assert_eq!(adm.in_use(), 0);
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn per_query_budget_overrun_aborts_with_an_error() {
+    // a 1-tuple ceiling no real join can stay under
+    let config = ServerConfig::default()
+        .with_admission(1, 1)
+        .with_result_cache(0, 0);
+    let server = start(generate::xmark(2, 13), 8, config);
+    let mut c = Client::connect(server.addr()).unwrap();
+    let err = c.query(QUERY).unwrap_err();
+    assert!(
+        err.to_string().contains("budget exceeded"),
+        "expected a budget abort, got: {err}"
+    );
+    let stats = json::parse(&c.stats_json().unwrap()).unwrap();
+    assert_eq!(stats.get("budget_aborts").unwrap().as_f64().unwrap(), 1.0);
+    // budget released despite the abort
+    assert_eq!(server.state().admission().in_use(), 0);
+    c.quit().unwrap();
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn document_swap_invalidates_through_the_version_key() {
+    let server = start(generate::xmark(2, 13), 64, ServerConfig::default());
+    let mut c = Client::connect(server.addr()).unwrap();
+    let fp = c.prepare(QUERY).unwrap();
+    let cold = c.exec(fp).unwrap();
+    assert!(c.exec(fp).unwrap().cached);
+
+    // same fingerprint, new version → the warm entry silently stops
+    // matching; no explicit invalidation anywhere. (The rows themselves
+    // still come from the engine's materialized views, so the point of
+    // the version key is conservative invalidation: never serve a
+    // memoized result attributed to a document that has been replaced.)
+    let v2 = server.state().swap_document(generate::xmark(3, 17));
+    let fresh = c.exec(fp).unwrap();
+    assert!(!fresh.cached, "stale entry served across a document swap");
+    assert_eq!(fresh.version, v2.0);
+    assert_ne!(cold.version, fresh.version);
+    // and the new version is itself cached now
+    assert!(c.exec(fp).unwrap().cached);
+    c.quit().unwrap();
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn unix_socket_transport_works_end_to_end() {
+    let path = std::env::temp_dir().join(format!("uload-server-test-{}.sock", std::process::id()));
+    let config = ServerConfig::default().with_addr(BindAddr::Unix(path.clone()));
+    let server = start(generate::xmark(2, 13), 64, config);
+    let mut c = Client::connect(server.addr()).unwrap();
+    let reply = c.query(QUERY).unwrap();
+    assert!(!reply.rows.is_empty());
+    c.quit().unwrap();
+    server.shutdown();
+    server.wait();
+    assert!(!path.exists(), "socket file must be cleaned up on shutdown");
+}

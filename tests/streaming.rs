@@ -1,7 +1,7 @@
 //! End-to-end tests of the streaming `Uload::query` API: streamed rows
 //! equal materialized `answer` rows at every batch size, early
 //! termination cancels the cursor tree, the stream profile carries the
-//! executor's counters, and the typed `execute_query` façade (plus its
+//! executor's counters, and the typed `Uload::execute_direct` façade (plus its
 //! deprecated string shim) behaves.
 
 use uload::prelude::*;
@@ -160,15 +160,15 @@ fn batch_size_zero_is_rejected_at_build_time() {
 fn execute_query_returns_typed_output_with_stable_fingerprint() {
     let doc = generate::bib_sample();
     let q = r#"for $b in doc("d")//book return <r>{$b/title}</r>"#;
-    let out = uload::execute_query(q, &doc).unwrap();
+    let out = Uload::execute_direct(q, &doc).unwrap();
     assert_eq!(out.items.len(), 2);
     assert!(out.items[0].xml.contains("<title>Data on the Web</title>"));
     // the fingerprint is a function of the plan: same query, same value
-    let again = uload::execute_query(q, &doc).unwrap();
+    let again = Uload::execute_direct(q, &doc).unwrap();
     assert_eq!(out.plan_fingerprint, again.plan_fingerprint);
     assert_eq!(out, again);
     // a different query plans differently
-    let other = uload::execute_query(r#"doc("d")//book/title"#, &doc).unwrap();
+    let other = Uload::execute_direct(r#"doc("d")//book/title"#, &doc).unwrap();
     assert_ne!(out.plan_fingerprint, other.plan_fingerprint);
 }
 
@@ -176,7 +176,7 @@ fn execute_query_returns_typed_output_with_stable_fingerprint() {
 fn into_strings_preserves_items_in_order() {
     let doc = generate::bib_sample();
     let q = r#"for $b in doc("d")//book return <r>{$b/title}</r>"#;
-    let out = uload::execute_query(q, &doc).unwrap();
+    let out = Uload::execute_direct(q, &doc).unwrap();
     let items: Vec<String> = out.items.iter().map(|i| i.xml.clone()).collect();
     assert_eq!(out.into_strings(), items);
 }
