@@ -1035,13 +1035,8 @@ impl Cursor for TwigCursor<'_> {
             self.state = match &self.shape {
                 Some(shape) => {
                     let slot = self.mon.metrics_slot();
-                    let solutions = twig_solutions(
-                        &rels,
-                        shape,
-                        &self.steps,
-                        self.eval.use_skip_index,
-                        slot.as_ref(),
-                    );
+                    let solutions =
+                        twig_solutions(&rels, shape, &self.steps, self.eval, slot.as_ref());
                     if let Some(s) = slot {
                         self.mon.absorb(s.into_inner());
                     }

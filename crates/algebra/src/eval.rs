@@ -20,11 +20,16 @@ use crate::order::{tuple_cmp_all, value_cmp, OrderSpec};
 use crate::plan::{
     Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate, TwigStep,
 };
-use crate::skip::SkipIndex;
+use crate::simd::IdColumns;
+use crate::skip::{SkipIndex, DEFAULT_BLOCK};
 use crate::stacktree::{
-    nested_loop_pairs, stack_tree_pairs_indexed, stack_tree_pairs_indexed_metered,
+    nested_loop_pairs, stack_tree_pairs_columnar, stack_tree_pairs_columnar_metered,
+    stack_tree_pairs_indexed, stack_tree_pairs_indexed_metered,
 };
-use crate::twig::{twig_join_indexed, twig_join_indexed_metered, twig_to_cascade, TwigPattern};
+use crate::twig::{
+    twig_join_columnar, twig_join_columnar_metered, twig_join_indexed, twig_join_indexed_metered,
+    twig_to_cascade, TwigPattern,
+};
 use crate::value::{Collection, Field, FieldKind, Schema, Tuple, Value};
 
 /// A materialized nested relation: schema + tuples (list semantics).
@@ -118,6 +123,14 @@ pub struct EvalConfig {
     /// merge and the twig kernel seek over prunable regions instead of
     /// scanning them (`false` = linear advance, for the ablation bench).
     pub use_skip_index: bool,
+    /// Pack join input streams into [`IdColumns`] and run the
+    /// vectorized kernels (`twig_join_columnar`,
+    /// `stack_tree_pairs_columnar`): batched containment windows and
+    /// galloping seeks over the sorted pre column. Off = the scalar
+    /// element-at-a-time kernels (ablation baseline). Columnar streams
+    /// are seekable by construction, so this subsumes skipping even
+    /// when `use_skip_index` is off.
+    pub columnar_kernels: bool,
 }
 
 impl Default for EvalConfig {
@@ -126,6 +139,7 @@ impl Default for EvalConfig {
             use_stacktree: true,
             use_twigstack: true,
             use_skip_index: true,
+            columnar_kernels: true,
         }
     }
 }
@@ -599,16 +613,32 @@ impl<'a> Evaluator<'a> {
             if !is_sorted_by_pre(&rids) {
                 rids.sort_by_key(|(s, _)| s.pre);
             }
-            let ix = self.config.use_skip_index.then(|| SkipIndex::build(&rids));
-            match &self.metrics {
-                Some(m) => stack_tree_pairs_indexed_metered(
-                    &lids,
-                    &rids,
-                    axis,
-                    ix.as_ref(),
-                    &mut *m.borrow_mut(),
-                ),
-                None => stack_tree_pairs_indexed(&lids, &rids, axis, ix.as_ref()),
+            if self.config.columnar_kernels
+                && lids.len() < u32::MAX as usize
+                && rids.len() < u32::MAX as usize
+            {
+                // pack to structure-of-arrays and run the vectorized
+                // merge; packing is one linear pass, like an index build
+                let lc = IdColumns::from_pairs(&lids, DEFAULT_BLOCK);
+                let rc = IdColumns::from_pairs(&rids, DEFAULT_BLOCK);
+                match &self.metrics {
+                    Some(m) => {
+                        stack_tree_pairs_columnar_metered(&lc, &rc, axis, &mut *m.borrow_mut())
+                    }
+                    None => stack_tree_pairs_columnar(&lc, &rc, axis),
+                }
+            } else {
+                let ix = self.config.use_skip_index.then(|| SkipIndex::build(&rids));
+                match &self.metrics {
+                    Some(m) => stack_tree_pairs_indexed_metered(
+                        &lids,
+                        &rids,
+                        axis,
+                        ix.as_ref(),
+                        &mut *m.borrow_mut(),
+                    ),
+                    None => stack_tree_pairs_indexed(&lids, &rids, axis, ix.as_ref()),
+                }
             }
         } else {
             if let Some(m) = &self.metrics {
@@ -725,13 +755,7 @@ impl<'a> Evaluator<'a> {
                 return self.eval(&twig_to_cascade(root, steps));
             }
         };
-        let solutions = twig_solutions(
-            &rels,
-            &shape,
-            steps,
-            self.config.use_skip_index,
-            self.metrics.as_ref(),
-        );
+        let solutions = twig_solutions(&rels, &shape, steps, self.config, self.metrics.as_ref());
         // one output tuple per solution; twig_join already emits them in
         // the cascade's lexicographic order
         let mut tuples = Vec::with_capacity(solutions.len());
@@ -1370,7 +1394,7 @@ pub(crate) fn twig_solutions(
     rels: &[Relation],
     shape: &TwigShape,
     steps: &[TwigStep],
-    use_skip: bool,
+    config: EvalConfig,
     metrics: Option<&RefCell<ExecMetrics>>,
 ) -> Vec<Vec<usize>> {
     let mut pattern = TwigPattern::root();
@@ -1392,15 +1416,28 @@ pub(crate) fn twig_solutions(
         }
         streams.push(ids);
     }
+    if config.columnar_kernels && streams.iter().all(|s| s.len() < u32::MAX as usize) {
+        // pack each stream to structure-of-arrays — one linear pass per
+        // stream, like the index builds — and run the vectorized merge
+        let cols: Vec<IdColumns> = streams
+            .iter()
+            .map(|s| IdColumns::from_pairs(s, DEFAULT_BLOCK))
+            .collect();
+        let refs: Vec<&IdColumns> = cols.iter().collect();
+        return match metrics {
+            Some(m) => twig_join_columnar_metered(&pattern, &refs, &mut *m.borrow_mut()),
+            None => twig_join_columnar(&pattern, &refs),
+        };
+    }
     let refs: Vec<&[(StructuralId, usize)]> = streams.iter().map(|s| s.as_slice()).collect();
     // index build is one O(n/block) pass per stream — negligible next to
     // the merge, and it unlocks the kernel's seek-based pruning
-    let indexes: Vec<SkipIndex> = if use_skip {
+    let indexes: Vec<SkipIndex> = if config.use_skip_index {
         streams.iter().map(|s| SkipIndex::build(s)).collect()
     } else {
         Vec::new()
     };
-    let opts: Vec<Option<&SkipIndex>> = if use_skip {
+    let opts: Vec<Option<&SkipIndex>> = if config.use_skip_index {
         indexes.iter().map(Some).collect()
     } else {
         vec![None; refs.len()]

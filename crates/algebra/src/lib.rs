@@ -24,6 +24,7 @@ pub mod cursor;
 pub mod eval;
 pub mod order;
 pub mod plan;
+pub mod simd;
 pub mod skip;
 pub mod stacktree;
 pub mod twig;
@@ -40,10 +41,19 @@ pub use order::OrderSpec;
 pub use plan::{
     Axis, CmpOp, FetchWhat, JoinKind, LogicalPlan, NavMode, Operand, Path, Predicate, TwigStep,
 };
+pub use simd::{
+    count_leading_lt, count_leading_lt2, find_first_ge, find_first_gt, IdColumns, LANE,
+};
 pub use skip::{Seek, SidLike, SkipIndex, DEFAULT_BLOCK};
+pub use stacktree::{
+    nested_loop_pairs, stack_tree_pairs, stack_tree_pairs_columnar,
+    stack_tree_pairs_columnar_metered, stack_tree_pairs_indexed, stack_tree_pairs_indexed_metered,
+    stack_tree_pairs_metered,
+};
 pub use twig::{
-    fuse_struct_joins, twig_join, twig_join_indexed, twig_join_indexed_metered, twig_join_metered,
-    twig_to_cascade, TwigNode, TwigPattern,
+    fuse_struct_joins, twig_join, twig_join_columnar, twig_join_columnar_metered,
+    twig_join_indexed, twig_join_indexed_metered, twig_join_metered, twig_to_cascade, TwigNode,
+    TwigPattern,
 };
 pub use value::{CollKind, Collection, Field, FieldKind, Schema, Tuple, Value};
 pub use xmlgen::Template;

@@ -18,6 +18,7 @@ use obs::{Meter, NoMeter};
 use xmltree::StructuralId;
 
 use crate::plan::Axis;
+use crate::simd::IdColumns;
 use crate::skip::SkipIndex;
 
 /// Does `anc` match `desc` on the given axis?
@@ -148,6 +149,109 @@ pub fn stack_tree_pairs_indexed_metered<M: Meter>(
         for &(a, apay) in stack.iter().rev() {
             if axis_match(a, d, axis) {
                 out.push((apay, dpay));
+            }
+        }
+        di += 1;
+    }
+    out
+}
+
+/// [`stack_tree_pairs`] over packed [`IdColumns`] streams — the
+/// vectorized cascade kernel behind `columnar_kernels`. Emits exactly
+/// the pairs (and order) of the scalar merge; the advance machinery
+/// exploits the columnar layout twice:
+///
+/// * **bulk emit** — when exactly one ancestor is open and the next
+///   ancestor candidate starts later, every following descendant whose
+///   pre rank stays below that next candidate and whose post rank stays
+///   inside the open ancestor pairs with it and only it: no push, no
+///   pop, no per-element stack scan. [`IdColumns::leading_run`] counts
+///   the run a block at a time; the `/` axis adds a depth-column check
+///   per element but still no stack traffic.
+/// * **bulk skip** — an empty stack with the next ancestor ahead means
+///   a prunable descendant run; [`IdColumns::seek_pre_gt`] gallops past
+///   it (the sorted pre column is seekable by construction, so the
+///   columnar kernel always skips, index or not).
+pub fn stack_tree_pairs_columnar(
+    anc: &IdColumns,
+    desc: &IdColumns,
+    axis: Axis,
+) -> Vec<(usize, usize)> {
+    stack_tree_pairs_columnar_metered(anc, desc, axis, &mut NoMeter)
+}
+
+/// [`stack_tree_pairs_columnar`] with execution counters; the vector
+/// kernels additionally report `batches_scanned` / `vector_compares`.
+pub fn stack_tree_pairs_columnar_metered<M: Meter>(
+    anc: &IdColumns,
+    desc: &IdColumns,
+    axis: Axis,
+    meter: &mut M,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(anc.len().min(desc.len()));
+    let mut stack: Vec<(StructuralId, usize)> = Vec::with_capacity(16);
+    let mut ai = 0;
+    let mut di = 0;
+    while di < desc.len() {
+        let dpre = desc.pre()[di];
+        if stack.is_empty() && !(ai < anc.len() && anc.pre()[ai] <= dpre) {
+            // same skipped-count convention as the scalar indexed merge:
+            // the inspected element is excluded
+            if ai >= anc.len() {
+                meter.skipped((desc.len() - di - 1) as u64);
+                break;
+            }
+            // anc.pre()[ai] > dpre: seek to the first possible
+            // descendant of that candidate (first pre above it —
+            // inclusive bound, a node is not its own ancestor)
+            let s = desc.seek_pre_gt(di, anc.pre()[ai], meter);
+            meter.skipped((s - di - 1) as u64);
+            di = s;
+            continue;
+        }
+        while ai < anc.len() && anc.pre()[ai] <= dpre {
+            let a = anc.sid(ai);
+            pop_closed(&mut stack, a.post);
+            stack.push((a, anc.payload(ai)));
+            meter.stack_depth(stack.len());
+            ai += 1;
+        }
+        let d = desc.sid(di);
+        pop_closed(&mut stack, d.post);
+        if stack.len() == 1 && stack[0].0.pre < d.pre {
+            // single open ancestor `a`, next candidate strictly ahead:
+            // the whole run below both bounds pairs with `a` alone. The
+            // run is non-empty — d itself qualifies (pre > a.pre by the
+            // guard; post < a.post or pop_closed would have popped `a`;
+            // pre < next candidate's pre since the push loop drained
+            // every candidate at or below d.pre).
+            let (a, apay) = stack[0];
+            let next_pre = anc.pre().get(ai).copied().unwrap_or(u32::MAX);
+            let run = desc.leading_run(di, next_pre, a.post, meter);
+            debug_assert!(run > 0);
+            match axis {
+                Axis::Descendant => {
+                    for i in di..di + run {
+                        out.push((apay, desc.payload(i)));
+                    }
+                }
+                Axis::Child => {
+                    let want = a.depth + 1;
+                    for i in di..di + run {
+                        if desc.depth()[i] == want {
+                            out.push((apay, desc.payload(i)));
+                        }
+                    }
+                }
+            }
+            meter.comparisons(run as u64);
+            di += run;
+            continue;
+        }
+        meter.comparisons(stack.len() as u64);
+        for &(a, apay) in stack.iter().rev() {
+            if axis_match(a, d, axis) {
+                out.push((apay, desc.payload(di)));
             }
         }
         di += 1;
@@ -314,6 +418,75 @@ mod tests {
                 let mut got = stack_tree_pairs_indexed(&anc, &desc, axis, Some(&ix));
                 got.sort_unstable();
                 assert_eq!(got, want, "{axis:?} block={block}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_merge_matches_scalar_and_batches() {
+        let doc = generate::xmark(4, 11);
+        for (anc_l, desc_l) in [
+            ("item", "keyword"),
+            ("parlist", "listitem"),
+            ("parlist", "parlist"),
+            ("description", "bold"),
+            ("site", "item"),
+            ("mail", "keyword"),
+        ] {
+            let anc = ids(&doc, anc_l);
+            let desc = ids(&doc, desc_l);
+            for axis in [Axis::Child, Axis::Descendant] {
+                let want = stack_tree_pairs(&anc, &desc, axis);
+                for block in [1, 2, 13, 64] {
+                    let ac = IdColumns::from_pairs(&anc, block);
+                    let dc = IdColumns::from_pairs(&desc, block);
+                    assert_eq!(
+                        stack_tree_pairs_columnar(&ac, &dc, axis),
+                        want,
+                        "{anc_l} {axis:?} {desc_l} block={block}"
+                    );
+                }
+            }
+        }
+        // dense pairing goes through the bulk-emit path; sparse
+        // ancestors exercise the gallop
+        let anc = ids(&doc, "site");
+        let desc = ids(&doc, "item");
+        let ac = IdColumns::from_pairs(&anc, 64);
+        let dc = IdColumns::from_pairs(&desc, 64);
+        let mut m = obs::ExecMetrics::default();
+        let got = stack_tree_pairs_columnar_metered(&ac, &dc, Axis::Descendant, &mut m);
+        assert_eq!(got, stack_tree_pairs(&anc, &desc, Axis::Descendant));
+        assert!(m.batches_scanned > 0, "{m:?}");
+        let anc = ids(&doc, "mail");
+        let desc = ids(&doc, "keyword");
+        let ac = IdColumns::from_pairs(&anc, 64);
+        let dc = IdColumns::from_pairs(&desc, 64);
+        let mut m = obs::ExecMetrics::default();
+        stack_tree_pairs_columnar_metered(&ac, &dc, Axis::Descendant, &mut m);
+        assert!(m.elements_skipped > 0, "{m:?}");
+    }
+
+    #[test]
+    fn columnar_merge_handles_duplicate_ids() {
+        let doc = generate::xmark(3, 11);
+        let anc = ids(&doc, "item");
+        let mut desc: Vec<(StructuralId, usize)> = Vec::new();
+        for (i, (sid, _)) in ids(&doc, "keyword").into_iter().enumerate() {
+            for _ in 0..=(i % 3) {
+                desc.push((sid, desc.len()));
+            }
+        }
+        for axis in [Axis::Child, Axis::Descendant] {
+            let want = stack_tree_pairs(&anc, &desc, axis);
+            for block in [1, 2, 13, 64] {
+                let ac = IdColumns::from_pairs(&anc, block);
+                let dc = IdColumns::from_pairs(&desc, block);
+                assert_eq!(
+                    stack_tree_pairs_columnar(&ac, &dc, axis),
+                    want,
+                    "{axis:?} block={block}"
+                );
             }
         }
     }

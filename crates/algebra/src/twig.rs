@@ -20,6 +20,7 @@ use obs::{Meter, NoMeter};
 use xmltree::StructuralId;
 
 use crate::plan::{Axis, JoinKind, LogicalPlan, TwigStep};
+use crate::simd::IdColumns;
 use crate::skip::SkipIndex;
 use crate::stacktree::axis_match;
 
@@ -284,6 +285,181 @@ pub fn twig_join_indexed_metered<M: Meter>(
         }
         cur[q] += 1;
         heads[q] = streams[q].get(cur[q]).map_or(u32::MAX, |e| e.0.pre);
+        for k in 0..pattern.children(q).len() {
+            let c = pattern.children(q)[k];
+            let start = lists[c].entries.len() as u32;
+            lists[q].ranges.push(start);
+            lists[q].ranges.push(0);
+        }
+        lists[q].entries.push(Entry {
+            sid,
+            payload,
+            satisfied: false,
+        });
+        resident += 1;
+        meter.solutions(resident);
+        open.push((q, lists[q].entries.len() - 1));
+        meter.stack_depth(open.len());
+        open_count[q] += 1;
+    }
+    while let Some((oq, oi)) = open.pop() {
+        close_entry(pattern, &mut lists, oq, oi, meter);
+    }
+    enumerate(pattern, &lists, meter)
+}
+
+/// [`twig_join`] over packed [`IdColumns`] streams — the vectorized
+/// kernel behind `columnar_kernels`. Produces exactly the solutions (and
+/// order) of the scalar kernels; only the advance machinery differs:
+///
+/// * **bulk leaf append** — when the minimum head belongs to a leaf
+///   pattern node, every following leaf element whose pre rank stays
+///   strictly below all other heads and whose post rank stays inside the
+///   innermost open entry can be appended with no stack transition at
+///   all: no pop can trigger (posts are nested), the parent entry stays
+///   open, and leaf entries are born satisfied (their pattern subtree is
+///   empty). [`IdColumns::leading_run`] counts that run a block at a
+///   time and the loop appends it wholesale.
+/// * **bulk discard** — the parent-open pruning arm always seeks: the
+///   sorted `pre` column *is* the level-0 fence of a skip index, so
+///   [`IdColumns::seek_pre_gt`] gallops past the prunable run instead of
+///   stepping. This covers the unindexed case too — a packed column is
+///   seekable by construction.
+///
+/// Leaf entries appended in bulk never enter the open chain, so
+/// `stack_high_water` can read lower than the scalar kernel's; solution
+/// output is nevertheless byte-identical (entries, windows and
+/// satisfiability are the same — see the soundness notes in DESIGN.md).
+pub fn twig_join_columnar(pattern: &TwigPattern, streams: &[&IdColumns]) -> Vec<Vec<usize>> {
+    twig_join_columnar_metered(pattern, streams, &mut NoMeter)
+}
+
+/// [`twig_join_columnar`] with execution counters; the vector kernels
+/// additionally report `batches_scanned` / `vector_compares`.
+pub fn twig_join_columnar_metered<M: Meter>(
+    pattern: &TwigPattern,
+    streams: &[&IdColumns],
+    meter: &mut M,
+) -> Vec<Vec<usize>> {
+    let n = pattern.len();
+    assert_eq!(streams.len(), n, "one stream per pattern node");
+    let mut lists: Vec<NodeList> = (0..n)
+        .map(|q| NodeList {
+            entries: Vec::with_capacity(streams[q].len()),
+            ranges: Vec::with_capacity(streams[q].len() * 2 * pattern.children(q).len()),
+        })
+        .collect();
+    let is_leaf: Vec<bool> = (0..n).map(|q| pattern.children(q).is_empty()).collect();
+    let mut cur = vec![0usize; n];
+    let mut heads: Vec<u32> = (0..n)
+        .map(|q| streams[q].pre().first().copied().unwrap_or(u32::MAX))
+        .collect();
+    let mut open: Vec<(usize, usize)> = Vec::new();
+    let mut open_count = vec![0usize; n];
+    let mut resident = 0usize;
+    loop {
+        let mut q = 0;
+        for r in 1..n {
+            if heads[r] < heads[q] {
+                q = r;
+            }
+        }
+        if heads[q] == u32::MAX {
+            break;
+        }
+        // only the post rank matters until an entry is actually pushed —
+        // defer the depth gather instead of reassembling the full sid
+        let post_q = streams[q].post()[cur[q]];
+        while let Some(&(oq, oi)) = open.last() {
+            if lists[oq].entries[oi].sid.post < post_q {
+                close_entry(pattern, &mut lists, oq, oi, meter);
+                open_count[oq] -= 1;
+                open.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(p) = pattern.node(q).parent {
+            if open_count[p] == 0 {
+                if heads[p] == u32::MAX {
+                    meter.skipped((streams[q].len() - cur[q] - 1) as u64);
+                    cur[q] = streams[q].len();
+                    heads[q] = u32::MAX;
+                } else {
+                    // q held the minimum head, so heads[q] <= heads[p]
+                    // and the seek always advances past cur[q]
+                    let s = streams[q].seek_pre_gt(cur[q], heads[p], meter);
+                    meter.skipped((s - cur[q] - 1) as u64);
+                    cur[q] = s;
+                    heads[q] = streams[q].pre().get(cur[q]).copied().unwrap_or(u32::MAX);
+                }
+                continue;
+            }
+        }
+        if is_leaf[q] {
+            // bound on pre: the run must stay strictly below every other
+            // head so q keeps holding the merge minimum (ties fall back
+            // to the scalar step, preserving its tie-break); bound on
+            // post: the innermost open entry has the smallest open post,
+            // so staying under it triggers no pops and keeps the parent
+            // entry open for the whole run
+            let mut pre_bound = u32::MAX;
+            for (r, &h) in heads.iter().enumerate() {
+                if r != q && h < pre_bound {
+                    pre_bound = h;
+                }
+            }
+            let post_bound = open
+                .last()
+                .map_or(u32::MAX, |&(oq, oi)| lists[oq].entries[oi].sid.post);
+            let run = streams[q].leading_run(cur[q], pre_bound, post_bound, meter);
+            if run == 1 {
+                // dominant short-run case: a plain push beats the
+                // zipped extend's iterator setup
+                lists[q].entries.push(Entry {
+                    sid: streams[q].sid(cur[q]),
+                    payload: streams[q].payload(cur[q]),
+                    satisfied: true,
+                });
+                resident += 1;
+                meter.solutions(resident);
+                cur[q] += 1;
+                heads[q] = streams[q].pre().get(cur[q]).copied().unwrap_or(u32::MAX);
+                continue;
+            }
+            if run > 0 {
+                let end = cur[q] + run;
+                let pres = &streams[q].pre()[cur[q]..end];
+                let posts = &streams[q].post()[cur[q]..end];
+                let depths = &streams[q].depth()[cur[q]..end];
+                let packed = pres.iter().zip(posts).zip(depths);
+                match streams[q].payloads() {
+                    Some(pl) => lists[q].entries.extend(packed.zip(&pl[cur[q]..end]).map(
+                        |(((&p, &o), &d), &w)| Entry {
+                            sid: StructuralId::new(p, o, d),
+                            payload: w as usize,
+                            satisfied: true,
+                        },
+                    )),
+                    None => lists[q].entries.extend(packed.zip(cur[q]..end).map(
+                        |(((&p, &o), &d), w)| Entry {
+                            sid: StructuralId::new(p, o, d),
+                            payload: w,
+                            satisfied: true,
+                        },
+                    )),
+                }
+                resident += run;
+                meter.solutions(resident);
+                cur[q] += run;
+                heads[q] = streams[q].pre().get(cur[q]).copied().unwrap_or(u32::MAX);
+                continue;
+            }
+        }
+        let sid = streams[q].sid(cur[q]);
+        let payload = streams[q].payload(cur[q]);
+        cur[q] += 1;
+        heads[q] = streams[q].pre().get(cur[q]).copied().unwrap_or(u32::MAX);
         for k in 0..pattern.children(q).len() {
             let c = pattern.children(q)[k];
             let start = lists[c].entries.len() as u32;
@@ -634,7 +810,8 @@ mod tests {
         let got = twig_join(pattern, streams);
         let want = reference(pattern, streams);
         assert_eq!(got, want);
-        // the indexed kernel must agree for every block layout
+        // the indexed and columnar kernels must agree for every block
+        // layout
         for block in [1, 2, 64, 7] {
             let ixs: Vec<SkipIndex> = streams
                 .iter()
@@ -645,6 +822,16 @@ mod tests {
                 twig_join_indexed(pattern, streams, &refs),
                 want,
                 "indexed kernel diverged at block={block}"
+            );
+            let cols: Vec<IdColumns> = streams
+                .iter()
+                .map(|s| IdColumns::from_pairs(s, block))
+                .collect();
+            let crefs: Vec<&IdColumns> = cols.iter().collect();
+            assert_eq!(
+                twig_join_columnar(pattern, &crefs),
+                want,
+                "columnar kernel diverged at block={block}"
             );
         }
     }
@@ -778,6 +965,47 @@ mod tests {
         // mixed registration: only the leaf stream indexed
         let mixed: Vec<Option<&SkipIndex>> = vec![None, Some(&ixs[1])];
         assert_eq!(twig_join_indexed(&pattern, &refs, &mixed), indexed);
+    }
+
+    #[test]
+    fn columnar_kernel_skips_and_batches() {
+        let doc = generate::xmark(4, 21);
+        // selective chain: the columnar kernel must gallop (skips), and
+        // the dense leaf runs must go through the batch path
+        let streams: Vec<Vec<(StructuralId, usize)>> =
+            ["mail", "keyword"].iter().map(|l| ids(&doc, l)).collect();
+        let cols: Vec<IdColumns> = streams
+            .iter()
+            .map(|s| IdColumns::from_pairs(s, 64))
+            .collect();
+        let crefs: Vec<&IdColumns> = cols.iter().collect();
+        let refs: Vec<&[(StructuralId, usize)]> = streams.iter().map(|s| s.as_slice()).collect();
+        let pattern = TwigPattern::chain(&[Axis::Descendant]);
+        let mut metrics = obs::ExecMetrics::default();
+        let got = twig_join_columnar_metered(&pattern, &crefs, &mut metrics);
+        assert_eq!(got, twig_join(&pattern, &refs));
+        assert!(metrics.elements_skipped > 0, "{metrics:?}");
+        assert!(metrics.batches_scanned > 0, "{metrics:?}");
+        assert!(metrics.vector_compares > 0, "{metrics:?}");
+    }
+
+    #[test]
+    fn columnar_kernel_handles_duplicate_ids() {
+        // multi-tuple join inputs repeat IDs; bulk appends and seeks
+        // must stay exact on non-strictly sorted columns
+        let doc = generate::xmark(3, 11);
+        let items = ids(&doc, "item");
+        let mut keywords: Vec<(StructuralId, usize)> = Vec::new();
+        for (i, (sid, _)) in ids(&doc, "keyword").into_iter().enumerate() {
+            for _ in 0..=(i % 3) {
+                keywords.push((sid, keywords.len()));
+            }
+        }
+        for axis in [Axis::Child, Axis::Descendant] {
+            let pattern = TwigPattern::chain(&[axis]);
+            let refs: Vec<&[(StructuralId, usize)]> = vec![&items, &keywords];
+            check(&pattern, &refs);
+        }
     }
 
     #[test]

@@ -535,6 +535,24 @@ pub fn twig_workloads() -> Vec<TwigWorkload> {
     ]
 }
 
+/// The E14 grid: every E10 workload plus high-fanout "wide" dense
+/// chains. The E10 shapes cap their leaf runs at 1–3 elements (each
+/// `text` holds exactly one `bold`/`emph`/`keyword`), which is where a
+/// batched append can only tie the scalar kernel; an `item` subtree
+/// holds several `keyword`/`emph` descendants (description parlists
+/// plus mailbox texts) and `site` is a single always-open ancestor, so
+/// these chains give the columnar kernel real runs to retire in bulk.
+pub fn vector_workloads() -> Vec<TwigWorkload> {
+    let mut ws = twig_workloads();
+    ws.push(chain("chain_depth2_wide", &["item", "keyword"]));
+    ws.push(chain("chain_depth2_emph", &["item", "emph"]));
+    ws.push(chain("chain_depth2_bold", &["item", "bold"]));
+    ws.push(chain("chain_depth3_wide", &["site", "item", "keyword"]));
+    ws.push(chain("chain_depth3_emph", &["site", "item", "emph"]));
+    ws.push(chain("chain_depth3_bold", &["site", "item", "bold"]));
+    ws
+}
+
 /// The E11 grid: every E10 workload plus two multiplying twigs whose
 /// binary cascades materialize intermediate solution lists far larger
 /// than any base stream — exactly where a pipelined executor's
@@ -920,9 +938,13 @@ pub fn skip_ablation(doc: &xmltree::Document, reps: usize) -> Vec<SkipRow> {
         let allowed =
             summary::compatible_nodes(&summary, &w.labels, &w.parents, &matcher_axes(&w.axes));
         // run-time stream preparation for the pruning-on cells, plus
-        // the (opened, total) partition figures it reports
+        // the (opened, total) partition figures it reports and the skip
+        // indexes each pruned stream carries (fence levels over exactly
+        // its ids — the composed cell seeks through these instead of
+        // rebuilding an index over the merged output)
         let prune = || {
             let mut streams = Vec::with_capacity(w.labels.len());
+            let mut skips = Vec::with_capacity(w.labels.len());
             let (mut opened, mut total) = (0usize, 0usize);
             for (q, l) in w.labels.iter().enumerate() {
                 let p = pruned_idx.pruned_stream(l, xmltree::NodeKind::Element, &allowed[q]);
@@ -935,8 +957,9 @@ pub fn skip_ablation(doc: &xmltree::Document, reps: usize) -> Vec<SkipRow> {
                         .map(|(i, sid)| (sid, i))
                         .collect::<Vec<_>>(),
                 );
+                skips.push(p.skip);
             }
-            (streams, opened, total)
+            (streams, skips, opened, total)
         };
         // solutions as structural IDs: positions renumber under pruning
         let sids = |streams: &[Vec<(xmltree::StructuralId, usize)>], sols: &[Vec<usize>]| {
@@ -952,11 +975,19 @@ pub fn skip_ablation(doc: &xmltree::Document, reps: usize) -> Vec<SkipRow> {
             v.sort_unstable();
             v
         };
+        let run_opts = |streams: &[Vec<(xmltree::StructuralId, usize)>],
+                        opts: &[Option<&SkipIndex>],
+                        meter: Option<&mut obs::ExecMetrics>| {
+            let refs: Vec<&[(xmltree::StructuralId, usize)]> =
+                streams.iter().map(|s| s.as_slice()).collect();
+            match meter {
+                Some(m) => twig_join_indexed_metered(&pattern, &refs, opts, m),
+                None => twig_join_indexed(&pattern, &refs, opts),
+            }
+        };
         let run = |streams: &[Vec<(xmltree::StructuralId, usize)>],
                    skip: bool,
                    meter: Option<&mut obs::ExecMetrics>| {
-            let refs: Vec<&[(xmltree::StructuralId, usize)]> =
-                streams.iter().map(|s| s.as_slice()).collect();
             let built: Vec<SkipIndex> = if skip {
                 streams.iter().map(|s| SkipIndex::build(s)).collect()
             } else {
@@ -967,13 +998,10 @@ pub fn skip_ablation(doc: &xmltree::Document, reps: usize) -> Vec<SkipRow> {
             } else {
                 vec![None; streams.len()]
             };
-            match meter {
-                Some(m) => twig_join_indexed_metered(&pattern, &refs, &opts, m),
-                None => twig_join_indexed(&pattern, &refs, &opts),
-            }
+            run_opts(streams, &opts, meter)
         };
         let oracle = sids(&full_streams, &run(&full_streams, false, None));
-        let (pruned_streams, opened, total) = prune();
+        let (pruned_streams, pruned_skips, opened, total) = prune();
         let mut cells = Vec::new();
         for (skip, pruning) in [(false, false), (true, false), (false, true), (true, true)] {
             let streams = if pruning {
@@ -981,9 +1009,15 @@ pub fn skip_ablation(doc: &xmltree::Document, reps: usize) -> Vec<SkipRow> {
             } else {
                 &full_streams
             };
-            // correctness first, collecting the cell's counters
+            // correctness first, collecting the cell's counters (the
+            // composed cell seeks through the streams' carried fences)
             let mut m = obs::ExecMetrics::default();
-            let sols = run(streams, skip, Some(&mut m));
+            let sols = if skip && pruning {
+                let opts: Vec<Option<&SkipIndex>> = pruned_skips.iter().map(Some).collect();
+                run_opts(streams, &opts, Some(&mut m))
+            } else {
+                run(streams, skip, Some(&mut m))
+            };
             assert_eq!(
                 sids(streams, &sols),
                 oracle,
@@ -996,8 +1030,13 @@ pub fn skip_ablation(doc: &xmltree::Document, reps: usize) -> Vec<SkipRow> {
             for _ in 0..reps.max(1) {
                 let t0 = Instant::now();
                 let n = if pruning {
-                    let (streams, _, _) = prune();
-                    run(&streams, skip, None).len()
+                    let (streams, skips, _, _) = prune();
+                    if skip {
+                        let opts: Vec<Option<&SkipIndex>> = skips.iter().map(Some).collect();
+                        run_opts(&streams, &opts, None).len()
+                    } else {
+                        run(&streams, false, None).len()
+                    }
                 } else {
                     run(&full_streams, skip, None).len()
                 };
@@ -1075,6 +1114,125 @@ pub fn cascade_solutions_with(
             .collect();
     }
     tuples
+}
+
+// --------------------------------------------------------------------
+// E14 — columnar kernels: dense-parity grid
+
+/// One measured row of the E14 vectorized-kernel grid: the holistic
+/// twig join timed under three access paths over identical streams —
+/// scalar linear (no seeks), scalar with XB-tree skip indexes, and the
+/// columnar kernel over packed pre/post/depth columns.
+#[derive(Debug, Clone)]
+pub struct VectorRow {
+    pub name: String,
+    /// Output cardinality (identical across all three paths).
+    pub rows: usize,
+    /// Member of the dense grid (plain chains and child fans): the
+    /// workloads where seeking cannot discard much, so lane-wide
+    /// batching has to carry the win on its own.
+    pub dense: bool,
+    /// Total elements across the workload's input streams.
+    pub stream_elements: usize,
+    /// Median wall-clock per access path, nanoseconds. Access
+    /// structures (skip indexes, packed columns) are prebuilt outside
+    /// the timed region — the store carries both, so steady-state
+    /// serving never rebuilds them per query.
+    pub linear_ns: u128,
+    pub skip_ns: u128,
+    pub columnar_ns: u128,
+    /// Columnar-kernel counters from a metered correctness pass.
+    pub batches_scanned: u64,
+    pub vector_compares: u64,
+    pub elements_skipped: u64,
+}
+
+impl VectorRow {
+    /// Columnar speedup over the scalar linear sweep.
+    pub fn speedup_vs_linear(&self) -> f64 {
+        self.linear_ns as f64 / self.columnar_ns.max(1) as f64
+    }
+
+    /// Columnar speedup over the scalar skip-indexed path.
+    pub fn speedup_vs_skip(&self) -> f64 {
+        self.skip_ns as f64 / self.columnar_ns.max(1) as f64
+    }
+
+    /// Skip-indexed speedup over the linear sweep (context column).
+    pub fn skip_vs_linear(&self) -> f64 {
+        self.linear_ns as f64 / self.skip_ns.max(1) as f64
+    }
+}
+
+/// Run every twig workload through the holistic kernel under the three
+/// access paths of [`VectorRow`], checking that all three produce
+/// identical solutions before timing `reps` times each.
+pub fn vector_parity(doc: &xmltree::Document, reps: usize) -> Vec<VectorRow> {
+    use algebra::{
+        twig_join, twig_join_columnar_metered, twig_join_indexed, IdColumns, SkipIndex,
+        DEFAULT_BLOCK,
+    };
+    let idx = storage::IdStreamIndex::build(doc);
+    let mut out = Vec::new();
+    for w in vector_workloads() {
+        let pattern = w.pattern();
+        let streams = w.streams(&idx);
+        let refs: Vec<&[(xmltree::StructuralId, usize)]> =
+            streams.iter().map(|s| s.as_slice()).collect();
+        // prebuilt access structures, exactly as the store serves them
+        let skips: Vec<SkipIndex> = streams.iter().map(|s| SkipIndex::build(s)).collect();
+        let opts: Vec<Option<&SkipIndex>> = skips.iter().map(Some).collect();
+        let cols: Vec<IdColumns> = streams
+            .iter()
+            .map(|s| IdColumns::from_pairs(s, DEFAULT_BLOCK))
+            .collect();
+        let col_refs: Vec<&IdColumns> = cols.iter().collect();
+
+        // correctness first, collecting the columnar kernel's counters
+        let linear = twig_join(&pattern, &refs);
+        let skip_sols = twig_join_indexed(&pattern, &refs, &opts);
+        let mut m = obs::ExecMetrics::default();
+        let col_sols = twig_join_columnar_metered(&pattern, &col_refs, &mut m);
+        assert_eq!(skip_sols, linear, "{}: skip path vs linear", w.name);
+        assert_eq!(col_sols, linear, "{}: columnar path vs linear", w.name);
+
+        // interleave the three paths rep-by-rep so clock drift and
+        // scheduler interference land on all of them equally instead of
+        // skewing whichever path ran its block last
+        let paths: [&dyn Fn() -> usize; 3] = [
+            &|| twig_join(&pattern, &refs).len(),
+            &|| twig_join_indexed(&pattern, &refs, &opts).len(),
+            &|| algebra::twig_join_columnar(&pattern, &col_refs).len(),
+        ];
+        let mut samples: [Vec<u128>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for _ in 0..reps.max(1) {
+            for (path, out) in paths.iter().zip(samples.iter_mut()) {
+                let t0 = Instant::now();
+                let n = path();
+                out.push(t0.elapsed().as_nanos());
+                assert_eq!(n, linear.len());
+            }
+        }
+        let [lin_s, skip_s, col_s] = samples;
+        let linear_ns = median_ns(lin_s);
+        let skip_ns = median_ns(skip_s);
+        let columnar_ns = median_ns(col_s);
+
+        let dense = w.name.starts_with("chain_depth") || w.name.starts_with("fan_width");
+        out.push(VectorRow {
+            name: w.name,
+            rows: linear.len(),
+            dense,
+            stream_elements: streams.iter().map(|s| s.len()).sum(),
+            linear_ns,
+            skip_ns,
+            columnar_ns,
+            batches_scanned: m.batches_scanned,
+            vector_compares: m.vector_compares,
+            elements_skipped: m.elements_skipped,
+        });
+    }
+    out
 }
 
 // --------------------------------------------------------------------

@@ -33,6 +33,12 @@ pub struct ExecMetrics {
     pub partitions_opened: u64,
     /// Total stream partitions the same scans could have opened.
     pub partitions_total: u64,
+    /// Lane-wide column blocks examined by the vectorized kernels
+    /// (`algebra::simd`); zero on the scalar paths.
+    pub batches_scanned: u64,
+    /// Element comparisons issued by the vectorized range kernels
+    /// (whole blocks at a time, so this counts lanes, not branches).
+    pub vector_compares: u64,
 }
 
 impl ExecMetrics {
@@ -46,6 +52,8 @@ impl ExecMetrics {
         self.blocks_pruned += other.blocks_pruned;
         self.partitions_opened += other.partitions_opened;
         self.partitions_total += other.partitions_total;
+        self.batches_scanned += other.batches_scanned;
+        self.vector_compares += other.vector_compares;
     }
 
     pub fn is_zero(&self) -> bool {
@@ -77,6 +85,12 @@ pub trait Meter {
     /// A partitioned scan opened `opened` of `total` stream partitions.
     #[inline(always)]
     fn partitions(&mut self, _opened: u64, _total: u64) {}
+    /// A vectorized kernel examined `n` lane-wide column blocks.
+    #[inline(always)]
+    fn batches(&mut self, _n: u64) {}
+    /// A vectorized kernel issued `n` element comparisons.
+    #[inline(always)]
+    fn vector_compares(&mut self, _n: u64) {}
 }
 
 /// The free instantiation: counts nothing, costs nothing.
@@ -118,6 +132,14 @@ impl Meter for ExecMetrics {
     fn partitions(&mut self, opened: u64, total: u64) {
         self.partitions_opened += opened;
         self.partitions_total += total;
+    }
+    #[inline]
+    fn batches(&mut self, n: u64) {
+        self.batches_scanned += n;
+    }
+    #[inline]
+    fn vector_compares(&mut self, n: u64) {
+        self.vector_compares += n;
     }
 }
 
@@ -197,6 +219,8 @@ mod tests {
             blocks_pruned: 2,
             partitions_opened: 1,
             partitions_total: 4,
+            batches_scanned: 8,
+            vector_compares: 512,
         };
         let b = ExecMetrics {
             comparisons: 5,
@@ -207,6 +231,8 @@ mod tests {
             blocks_pruned: 3,
             partitions_opened: 2,
             partitions_total: 6,
+            batches_scanned: 2,
+            vector_compares: 128,
         };
         a.absorb(&b);
         assert_eq!(a.comparisons, 15);
@@ -217,6 +243,8 @@ mod tests {
         assert_eq!(a.blocks_pruned, 5);
         assert_eq!(a.partitions_opened, 3);
         assert_eq!(a.partitions_total, 10);
+        assert_eq!(a.batches_scanned, 10);
+        assert_eq!(a.vector_compares, 640);
         assert!(!a.is_zero());
         assert!(ExecMetrics::default().is_zero());
     }
@@ -232,6 +260,8 @@ mod tests {
             m.skipped(11);
             m.blocks_pruned(2);
             m.partitions(1, 5);
+            m.batches(3);
+            m.vector_compares(192);
         }
         let mut m = ExecMetrics::default();
         kernel(&mut m);
@@ -243,6 +273,8 @@ mod tests {
         assert_eq!(m.blocks_pruned, 2);
         assert_eq!(m.partitions_opened, 1);
         assert_eq!(m.partitions_total, 5);
+        assert_eq!(m.batches_scanned, 3);
+        assert_eq!(m.vector_compares, 192);
         kernel(&mut NoMeter); // must simply compile and do nothing
     }
 

@@ -114,6 +114,14 @@ impl PlanNodeProfile {
                 "partitions_total",
                 Json::Num(self.metrics.partitions_total as f64),
             ),
+            (
+                "batches_scanned",
+                Json::Num(self.metrics.batches_scanned as f64),
+            ),
+            (
+                "vector_compares",
+                Json::Num(self.metrics.vector_compares as f64),
+            ),
             ("mispredicted", Json::Bool(self.mispredicted)),
             (
                 "children",
@@ -207,6 +215,14 @@ impl OpStreamProfile {
             (
                 "partitions_total",
                 Json::Num(self.metrics.partitions_total as f64),
+            ),
+            (
+                "batches_scanned",
+                Json::Num(self.metrics.batches_scanned as f64),
+            ),
+            (
+                "vector_compares",
+                Json::Num(self.metrics.vector_compares as f64),
             ),
         ])
     }
@@ -533,6 +549,12 @@ fn render_node(
             node.metrics.partitions_opened, node.metrics.partitions_total
         );
     }
+    if node.metrics.batches_scanned > 0 {
+        let _ = write!(extras, " vbatches={}", node.metrics.batches_scanned);
+    }
+    if node.metrics.vector_compares > 0 {
+        let _ = write!(extras, " vcmp={}", node.metrics.vector_compares);
+    }
     let _ = writeln!(
         out,
         "{branch}{}  (est cost={:.1} rows={:.1})  (actual rows={} time={}{extras}){}",
@@ -578,6 +600,8 @@ mod tests {
                     blocks_pruned: 3,
                     partitions_opened: 2,
                     partitions_total: 5,
+                    batches_scanned: 7,
+                    vector_compares: 448,
                     ..ExecMetrics::default()
                 },
                 mispredicted: true,
@@ -694,6 +718,8 @@ mod tests {
         assert!(text.contains("skip=75"));
         assert!(text.contains("blocks=3"));
         assert!(text.contains("parts=2/5"));
+        assert!(text.contains("vbatches=7"));
+        assert!(text.contains("vcmp=448"));
         assert!(text.contains("cache: hits=2"));
         assert!(text.contains("arm: chose twig"));
         assert!(text.contains("phases: parse=1.0µs"));
@@ -731,6 +757,20 @@ mod tests {
                 .and_then(|s| s.get("peak_resident_tuples"))
                 .and_then(Json::as_f64),
             Some(62.0)
+        );
+        assert_eq!(
+            reparsed
+                .get("plan")
+                .and_then(|p| p.get("vector_compares"))
+                .and_then(Json::as_f64),
+            Some(448.0)
+        );
+        assert_eq!(
+            reparsed
+                .get("plan")
+                .and_then(|p| p.get("batches_scanned"))
+                .and_then(Json::as_f64),
+            Some(7.0)
         );
         // a profile without a streamed pass serializes "streamed": null
         let mut plain = sample();

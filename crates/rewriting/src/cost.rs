@@ -9,13 +9,55 @@
 
 use algebra::{Catalog, JoinKind, LogicalPlan};
 
+/// What the executor will actually have available when a plan runs. The
+/// cost model must never prefer a plan on the strength of a disabled
+/// access method, so the pipeline derives this from `EngineConfig` and
+/// passes it to every estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecCaps {
+    /// XB-tree skip indexes are available (`use_skip_index`): twig merges
+    /// may assume fence-guided seeking over non-joinable runs.
+    pub seekable: bool,
+    /// Columnar pre/post/depth kernels are available (`columnar_kernels`):
+    /// merges advance in lane-wide batches, and the packed pre column is
+    /// seekable by construction even without an XB-tree.
+    pub columnar: bool,
+}
+
+impl ExecCaps {
+    pub fn new(seekable: bool, columnar: bool) -> Self {
+        Self { seekable, columnar }
+    }
+
+    /// Caps for a scalar executor with every access method off. Used by
+    /// tests and as the conservative floor.
+    pub fn scalar() -> Self {
+        Self {
+            seekable: false,
+            columnar: false,
+        }
+    }
+
+    /// Whether twig merges may price in seeking: either an explicit
+    /// XB-tree, or the columnar layout whose sorted pre column supports
+    /// galloped seeks with no extra structure.
+    fn can_seek(self) -> bool {
+        self.seekable || self.columnar
+    }
+}
+
+/// Batched columnar sweeps retire compares lane-at-a-time with no
+/// data-dependent branches; the measured per-element constant on dense
+/// merges sits well under the scalar loop's. The discount is deliberately
+/// modest so the planner never picks a larger plan purely on kernel
+/// width.
+const COLUMNAR_SWEEP_DISCOUNT: f64 = 0.5;
+
 /// Estimated (cost, output-rows) of a plan over a catalog of materialized
-/// relations. Unknown relations count as size 1000. `seekable` says
-/// whether the executor will have XB-tree skip indexes available
-/// (`use_skip_index`); only then may twig costs assume seeking, so the
-/// planner never prefers a plan on the strength of a disabled access
-/// method.
-pub fn estimate(plan: &LogicalPlan, catalog: &Catalog, seekable: bool) -> (f64, f64) {
+/// relations. Unknown relations count as size 1000. `caps` says which
+/// access methods the executor will actually have (see [`ExecCaps`]);
+/// only then may twig costs assume seeking or batched sweeps.
+pub fn estimate(plan: &LogicalPlan, catalog: &Catalog, caps: ExecCaps) -> (f64, f64) {
     use LogicalPlan::*;
     match plan {
         Scan { relation } => {
@@ -23,26 +65,26 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog, seekable: bool) -> (f64, 
             (rows, rows)
         }
         Select { input, .. } => {
-            let (c, r) = estimate(input, catalog, seekable);
+            let (c, r) = estimate(input, catalog, caps);
             (c + r, r * 0.33)
         }
         Project {
             input, distinct, ..
         } => {
-            let (c, r) = estimate(input, catalog, seekable);
+            let (c, r) = estimate(input, catalog, caps);
             // duplicate elimination pays a comparison sweep
             (c + if *distinct { r * r.log2().max(1.0) } else { r }, r)
         }
         Product { left, right } => {
-            let (cl, rl) = estimate(left, catalog, seekable);
-            let (cr, rr) = estimate(right, catalog, seekable);
+            let (cl, rl) = estimate(left, catalog, caps);
+            let (cr, rr) = estimate(right, catalog, caps);
             (cl + cr + rl * rr, rl * rr)
         }
         Join {
             left, right, kind, ..
         } => {
-            let (cl, rl) = estimate(left, catalog, seekable);
-            let (cr, rr) = estimate(right, catalog, seekable);
+            let (cl, rl) = estimate(left, catalog, caps);
+            let (cr, rr) = estimate(right, catalog, caps);
             let out = match kind {
                 JoinKind::Semi => rl * 0.5,
                 JoinKind::Nest | JoinKind::NestOuter => rl,
@@ -54,8 +96,8 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog, seekable: bool) -> (f64, 
         StructJoin {
             left, right, kind, ..
         } => {
-            let (cl, rl) = estimate(left, catalog, seekable);
-            let (cr, rr) = estimate(right, catalog, seekable);
+            let (cl, rl) = estimate(left, catalog, caps);
+            let (cr, rr) = estimate(right, catalog, caps);
             let out = match kind {
                 JoinKind::Semi => rl * 0.5,
                 JoinKind::Nest | JoinKind::NestOuter => rl,
@@ -73,28 +115,38 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog, seekable: bool) -> (f64, 
             // the combined stream length; output folds the binary Inner
             // formula step by step (same answer, none of the cascade's
             // per-level sort-merge charges).
-            let (mut cost, mut out) = estimate(root, catalog, seekable);
+            let (mut cost, mut out) = estimate(root, catalog, caps);
             let mut total_rows = out;
             let mut min_rows = out;
             for s in steps {
-                let (cs, rs) = estimate(&s.input, catalog, seekable);
+                let (cs, rs) = estimate(&s.input, catalog, caps);
                 cost += cs;
                 total_rows += rs;
                 min_rows = min_rows.min(rs);
                 out = rs.max(out * 0.5);
             }
             let log = total_rows.log2().max(1.0);
-            let linear_merge = total_rows * log;
-            let merge = if seekable {
-                // Skip-aware selectivity: with XB-tree seek indexes the
+            // Columnar kernels batch the sweep: lane-wide branch-free
+            // compares retire elements at a fraction of the scalar
+            // per-element constant, which matters exactly in the dense
+            // case where seeking cannot help.
+            let sweep_factor = if caps.columnar {
+                COLUMNAR_SWEEP_DISCOUNT
+            } else {
+                1.0
+            };
+            let linear_merge = total_rows * log * sweep_factor;
+            let merge = if caps.can_seek() {
+                // Skip-aware selectivity: with XB-tree seek indexes (or
+                // the columnar pre column, seekable by construction) the
                 // merge touches roughly the most selective stream plus
                 // the output — everything else is seeked over at a
                 // fence-descent (log) charge per touched element and
                 // stream. On skewed twigs this term undercuts the linear
                 // sweep, which is exactly when the twig-vs-cascade arm
-                // should prefer seeking. With `use_skip_index` off the
-                // kernel really does the full sweep, so the discount
-                // must not apply.
+                // should prefer seeking. With both access methods off
+                // the kernel really does the full scalar sweep, so the
+                // discount must not apply.
                 let seek_merge = (min_rows + out) * log * (steps.len() as f64 + 1.0);
                 linear_merge.min(seek_merge)
             } else {
@@ -103,33 +155,33 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog, seekable: bool) -> (f64, 
             (cost + merge, out)
         }
         Union { left, right } => {
-            let (cl, rl) = estimate(left, catalog, seekable);
-            let (cr, rr) = estimate(right, catalog, seekable);
+            let (cl, rl) = estimate(left, catalog, caps);
+            let (cr, rr) = estimate(right, catalog, caps);
             (cl + cr, rl + rr)
         }
         Difference { left, right } => {
-            let (cl, rl) = estimate(left, catalog, seekable);
-            let (cr, rr) = estimate(right, catalog, seekable);
+            let (cl, rl) = estimate(left, catalog, caps);
+            let (cr, rr) = estimate(right, catalog, caps);
             (cl + cr + rl * rr, rl)
         }
         GroupBy { input, .. } | Sort { input, .. } => {
-            let (c, r) = estimate(input, catalog, seekable);
+            let (c, r) = estimate(input, catalog, caps);
             (c + r * r.log2().max(1.0), r)
         }
         Unnest { input, .. } => {
-            let (c, r) = estimate(input, catalog, seekable);
+            let (c, r) = estimate(input, catalog, caps);
             (c + r, r * 3.0)
         }
         NestAll { input, .. } => {
-            let (c, r) = estimate(input, catalog, seekable);
+            let (c, r) = estimate(input, catalog, caps);
             (c + r, 1.0)
         }
         XmlTemplate { input, .. } => {
-            let (c, r) = estimate(input, catalog, seekable);
+            let (c, r) = estimate(input, catalog, caps);
             (c + r, r)
         }
         Navigate { input, mode, .. } => {
-            let (c, r) = estimate(input, catalog, seekable);
+            let (c, r) = estimate(input, catalog, caps);
             let out = match mode {
                 algebra::NavMode::Exists => r * 0.5,
                 _ => r * 2.0,
@@ -138,22 +190,27 @@ pub fn estimate(plan: &LogicalPlan, catalog: &Catalog, seekable: bool) -> (f64, 
             (c + r * 4.0, out)
         }
         DeriveAncestorId { input, .. } | Fetch { input, .. } => {
-            let (c, r) = estimate(input, catalog, seekable);
+            let (c, r) = estimate(input, catalog, caps);
             (c + r * 2.0, r)
         }
-        Rename { input, .. } | CastSchema { input, .. } => estimate(input, catalog, seekable),
+        Rename { input, .. } | CastSchema { input, .. } => estimate(input, catalog, caps),
     }
 }
 
 /// The scalar plan cost used for ranking.
-pub fn plan_cost(plan: &LogicalPlan, catalog: &Catalog, seekable: bool) -> f64 {
-    estimate(plan, catalog, seekable).0
+pub fn plan_cost(plan: &LogicalPlan, catalog: &Catalog, caps: ExecCaps) -> f64 {
+    estimate(plan, catalog, caps).0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use algebra::{Relation, Schema, Tuple, Value};
+
+    const ALL: ExecCaps = ExecCaps {
+        seekable: true,
+        columnar: true,
+    };
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -174,11 +231,11 @@ mod tests {
     fn scans_cost_their_size() {
         let c = catalog();
         assert!(
-            plan_cost(&LogicalPlan::scan("small"), &c, true)
-                < plan_cost(&LogicalPlan::scan("big"), &c, true)
+            plan_cost(&LogicalPlan::scan("small"), &c, ALL)
+                < plan_cost(&LogicalPlan::scan("big"), &c, ALL)
         );
         // unknown relations get a default
-        assert!(plan_cost(&LogicalPlan::scan("nope"), &c, true) > 0.0);
+        assert!(plan_cost(&LogicalPlan::scan("nope"), &c, ALL) > 0.0);
     }
 
     #[test]
@@ -190,7 +247,7 @@ mod tests {
             algebra::Predicate::True,
             algebra::JoinKind::Inner,
         );
-        assert!(plan_cost(&via_small, &c, true) < plan_cost(&via_big, &c, true));
+        assert!(plan_cost(&via_small, &c, ALL) < plan_cost(&via_big, &c, ALL));
     }
 
     #[test]
@@ -219,12 +276,15 @@ mod tests {
         let twig = chain(true);
         assert!(matches!(twig, LogicalPlan::TwigJoin { .. }));
         for seekable in [true, false] {
-            assert!(
-                plan_cost(&twig, &c, seekable) < plan_cost(&cascade, &c, seekable),
-                "seekable={seekable}: twig {} vs cascade {}",
-                plan_cost(&twig, &c, seekable),
-                plan_cost(&cascade, &c, seekable)
-            );
+            for columnar in [true, false] {
+                let caps = ExecCaps::new(seekable, columnar);
+                assert!(
+                    plan_cost(&twig, &c, caps) < plan_cost(&cascade, &c, caps),
+                    "{caps:?}: twig {} vs cascade {}",
+                    plan_cost(&twig, &c, caps),
+                    plan_cost(&cascade, &c, caps)
+                );
+            }
         }
     }
 
@@ -253,10 +313,10 @@ mod tests {
             algebra::fuse_struct_joins(&plan)
         };
         assert!(
-            plan_cost(&twig("small"), &c, true) < plan_cost(&twig("big"), &c, true),
+            plan_cost(&twig("small"), &c, ALL) < plan_cost(&twig("big"), &c, ALL),
             "selective twig {} vs uniform twig {}",
-            plan_cost(&twig("small"), &c, true),
-            plan_cost(&twig("big"), &c, true)
+            plan_cost(&twig("small"), &c, ALL),
+            plan_cost(&twig("big"), &c, ALL)
         );
     }
 
@@ -284,17 +344,24 @@ mod tests {
             );
         let twig = algebra::fuse_struct_joins(&plan);
         assert!(matches!(twig, LogicalPlan::TwigJoin { .. }));
-        let seekable = plan_cost(&twig, &c, true);
-        let linear = plan_cost(&twig, &c, false);
+        let seekable = plan_cost(&twig, &c, ExecCaps::new(true, false));
+        let linear = plan_cost(&twig, &c, ExecCaps::scalar());
         assert!(
             seekable < linear,
             "discount must vanish with seeks off: {seekable} vs {linear}"
         );
-        // non-twig plans are priced identically either way
+        // the columnar pre column is seekable by construction, so the
+        // seek discount survives use_skip_index being off
+        let columnar_only = plan_cost(&twig, &c, ExecCaps::new(false, true));
+        assert!(
+            columnar_only < linear,
+            "columnar caps must keep the seek discount: {columnar_only} vs {linear}"
+        );
+        // non-twig plans are priced identically under every cap set
         assert_eq!(
-            plan_cost(&plan, &c, true),
-            plan_cost(&plan, &c, false),
-            "cascade cost must not depend on the knob"
+            plan_cost(&plan, &c, ALL),
+            plan_cost(&plan, &c, ExecCaps::scalar()),
+            "cascade cost must not depend on the knobs"
         );
     }
 
@@ -308,7 +375,7 @@ mod tests {
             algebra::Axis::Child,
             algebra::JoinKind::Semi,
         );
-        let (_, semi_rows) = estimate(&semi, &c, true);
+        let (_, semi_rows) = estimate(&semi, &c, ALL);
         let inner = LogicalPlan::scan("big").struct_join(
             LogicalPlan::scan("small"),
             "ID",
@@ -316,7 +383,33 @@ mod tests {
             algebra::Axis::Child,
             algebra::JoinKind::Inner,
         );
-        let (_, inner_rows) = estimate(&inner, &c, true);
+        let (_, inner_rows) = estimate(&inner, &c, ALL);
         assert!(semi_rows <= inner_rows);
+    }
+
+    #[test]
+    fn columnar_discounts_the_dense_sweep() {
+        // a uniform (dense) twig gets no help from seeking — the merge
+        // touches everything — but the batched columnar sweep still
+        // undercuts the scalar one
+        let c = catalog();
+        let mut plan = LogicalPlan::scan("big").rename(&["a"]);
+        for (i, col) in ["b", "c"].iter().enumerate() {
+            plan = plan.struct_join(
+                LogicalPlan::scan("big").rename(&[*col]),
+                if i == 0 { "a" } else { "b" },
+                *col,
+                algebra::Axis::Descendant,
+                algebra::JoinKind::Inner,
+            );
+        }
+        let twig = algebra::fuse_struct_joins(&plan);
+        assert!(matches!(twig, LogicalPlan::TwigJoin { .. }));
+        let scalar = plan_cost(&twig, &c, ExecCaps::scalar());
+        let columnar = plan_cost(&twig, &c, ExecCaps::new(false, true));
+        assert!(
+            columnar < scalar,
+            "dense twig must get the batched-sweep discount: {columnar} vs {scalar}"
+        );
     }
 }

@@ -99,6 +99,13 @@ pub struct EngineConfig {
     /// open only summary-compatible partitions (`false` = whole-column
     /// streams, for the ablation).
     pub use_summary_pruning: bool,
+    /// Run the structural-join kernels over the packed pre/post/depth
+    /// columns (`storage`'s structure-of-arrays layout) with lane-wide
+    /// batched advance loops. The packed pre column is seekable by
+    /// construction, so this subsumes `use_skip_index` when both are on.
+    /// Off, the kernels take the scalar element-at-a-time paths (for the
+    /// ablation).
+    pub columnar_kernels: bool,
     /// The rewriting search bounds (§5.3's generate-and-test knobs).
     pub rewrite: RewriteConfig,
 }
@@ -113,6 +120,7 @@ impl Default for EngineConfig {
             batch_size: 1024,
             use_skip_index: true,
             use_summary_pruning: true,
+            columnar_kernels: true,
             rewrite: RewriteConfig::default(),
         }
     }
@@ -161,10 +169,22 @@ impl EngineConfig {
         self
     }
 
+    /// Toggle the columnar (structure-of-arrays) join kernels.
+    pub fn with_columnar_kernels(mut self, on: bool) -> Self {
+        self.columnar_kernels = on;
+        self
+    }
+
     /// The rewriting search bounds.
     pub fn with_rewrite(mut self, rewrite: RewriteConfig) -> Self {
         self.rewrite = rewrite;
         self
+    }
+
+    /// The access-method capabilities this configuration grants the
+    /// executor, as the cost model wants them.
+    pub fn exec_caps(&self) -> crate::cost::ExecCaps {
+        crate::cost::ExecCaps::new(self.use_skip_index, self.columnar_kernels)
     }
 
     /// Sanity-check the knobs (the builder calls this).
@@ -242,6 +262,12 @@ impl<'d> UloadBuilder<'d> {
     /// Toggle summary-path partitioning of document ID streams.
     pub fn use_summary_pruning(mut self, on: bool) -> Self {
         self.config.use_summary_pruning = on;
+        self
+    }
+
+    /// Toggle the columnar (structure-of-arrays) join kernels.
+    pub fn columnar_kernels(mut self, on: bool) -> Self {
+        self.config.columnar_kernels = on;
         self
     }
 
@@ -378,9 +404,9 @@ impl Uload {
             &self.engine_options(),
         );
         rws.sort_by(|a, b| {
-            let seekable = self.config.use_skip_index;
-            let ca = crate::cost::plan_cost(&a.plan, self.store.catalog(), seekable);
-            let cb = crate::cost::plan_cost(&b.plan, self.store.catalog(), seekable);
+            let caps = self.config.exec_caps();
+            let ca = crate::cost::plan_cost(&a.plan, self.store.catalog(), caps);
+            let cb = crate::cost::plan_cost(&b.plan, self.store.catalog(), caps);
             ca.partial_cmp(&cb)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.size.cmp(&b.size))
@@ -505,6 +531,7 @@ impl Uload {
     pub fn answer_prepared(&self, prep: &PreparedQuery, doc: &Document) -> Result<Vec<String>> {
         let mut ev = Evaluator::with_document(self.store.catalog(), doc);
         ev.config.use_skip_index = self.config.use_skip_index;
+        ev.config.columnar_kernels = self.config.columnar_kernels;
         ev.config.use_twigstack = prep.use_twigstack;
         let rel = ev
             .eval(&prep.plan)
@@ -552,6 +579,7 @@ impl Uload {
             ..CursorConfig::default()
         };
         ccfg.eval.use_skip_index = self.config.use_skip_index;
+        ccfg.eval.columnar_kernels = self.config.columnar_kernels;
         ccfg.eval.use_twigstack = prep.use_twigstack;
         if !prep.breakers.is_empty() {
             tracing::debug!(
@@ -623,6 +651,7 @@ impl Uload {
             let mut ev = Evaluator::with_document(catalog, doc);
             ev.config.use_twigstack = twig_on;
             ev.config.use_skip_index = self.config.use_skip_index;
+            ev.config.columnar_kernels = self.config.columnar_kernels;
             ev
         };
 
@@ -666,16 +695,8 @@ impl Uload {
             }
             Some(ArmTelemetry {
                 chosen: chosen_name.to_string(),
-                est_chosen: crate::cost::plan_cost(
-                    &chosen_plan,
-                    catalog,
-                    self.config.use_skip_index,
-                ),
-                est_alternative: crate::cost::plan_cost(
-                    alt_plan,
-                    catalog,
-                    self.config.use_skip_index,
-                ),
+                est_chosen: crate::cost::plan_cost(&chosen_plan, catalog, self.config.exec_caps()),
+                est_alternative: crate::cost::plan_cost(alt_plan, catalog, self.config.exec_caps()),
                 actual_chosen_ns: chosen_ns,
                 actual_alternative_ns: alt_ns,
                 mispredicted,
@@ -695,6 +716,7 @@ impl Uload {
             };
             ccfg.eval.use_twigstack = chosen_is_twig;
             ccfg.eval.use_skip_index = self.config.use_skip_index;
+            ccfg.eval.columnar_kernels = self.config.columnar_kernels;
             let breakers = algebra::pipeline_breakers(&chosen_plan);
             let mut exec = algebra::build_cursor(&chosen_plan, catalog, Some(doc), &ccfg)
                 .map_err(|e| Error::Eval(e.to_string()))?;
@@ -707,12 +729,8 @@ impl Uload {
             stream_profile_of(&exec, batches, rows, breakers)
         };
 
-        let plan_profile = pair_estimates(
-            &chosen_plan,
-            &op_profile,
-            catalog,
-            self.config.use_skip_index,
-        );
+        let plan_profile =
+            pair_estimates(&chosen_plan, &op_profile, catalog, self.config.exec_caps());
         let profile = QueryProfile {
             query: query.to_string(),
             phases: vec![
@@ -1028,14 +1046,14 @@ fn pair_estimates(
     plan: &LogicalPlan,
     prof: &OpProfile,
     catalog: &algebra::Catalog,
-    seekable: bool,
+    caps: crate::cost::ExecCaps,
 ) -> PlanNodeProfile {
-    let (est_cost, est_rows) = crate::cost::estimate(plan, catalog, seekable);
+    let (est_cost, est_rows) = crate::cost::estimate(plan, catalog, caps);
     let children = plan
         .child_plans()
         .into_iter()
         .zip(prof.children.iter())
-        .map(|(cp, cprof)| pair_estimates(cp, cprof, catalog, seekable))
+        .map(|(cp, cprof)| pair_estimates(cp, cprof, catalog, caps))
         .collect();
     let actual = prof.out_rows as f64;
     let ratio = (actual.max(1.0) / est_rows.max(1.0)).max(est_rows.max(1.0) / actual.max(1.0));

@@ -25,11 +25,21 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use algebra::{OrderSpec, Relation, Schema, Seek, SkipIndex, Tuple, TupleBatch, Value};
+use algebra::{IdColumns, OrderSpec, Relation, Schema, Seek, SkipIndex, Tuple, TupleBatch, Value};
 use summary::{Summary, SummaryNodeId};
 use xmltree::{Document, NodeKind, StructuralId};
 
 use algebra::Catalog;
+
+/// Keep-fraction above which [`IdStreamIndex::pruned_stream`] serves the
+/// whole column instead of merging partitions: when the summary keeps
+/// more than 3/4 of a column, the k-way heap merge costs more than the
+/// scan it saves *and* its freshly-merged output used to arrive without
+/// fences, so skip-seeks silently degraded to linear advances whenever
+/// pruning was on. Falling back keeps the stored fences live — this is
+/// what makes `skip_index × summary_pruning` compose on dense columns.
+const KEEP_FALLBACK_NUM: usize = 3;
+const KEEP_FALLBACK_DEN: usize = 4;
 
 /// One summary-path slice of a column: the IDs (in document order) of
 /// exactly the nodes classified to `path`.
@@ -41,11 +51,16 @@ pub struct Partition {
 
 /// A pruned scan's result: the merged IDs plus how many of the column's
 /// partitions were opened to produce them — the `partitions_opened /
-/// partitions_total` figures of the execution metrics.
+/// partitions_total` figures of the execution metrics. The stream
+/// carries its own fence levels so skip-seeks compose with pruning:
+/// either the stored column's index (fallback case) or one built over
+/// the merged output.
 #[derive(Debug, Clone)]
 pub struct PrunedStream {
     /// Pre-sorted merge of the selected partitions.
     pub ids: Vec<StructuralId>,
+    /// Fence levels over exactly `ids`, ready for the seek kernels.
+    pub skip: SkipIndex,
     pub opened: usize,
     pub total: usize,
 }
@@ -53,6 +68,10 @@ pub struct PrunedStream {
 #[derive(Debug, Clone)]
 struct Column {
     ids: Vec<StructuralId>,
+    /// The same stream in packed structure-of-arrays layout, for the
+    /// vectorized kernels (`columnar_kernels`). Kept alongside the
+    /// array-of-structs `ids` so `scan_slices` can stay zero-copy.
+    cols: IdColumns,
     skip: SkipIndex,
     /// Summary-path partitions, sorted by path id; empty when the index
     /// was built without a summary.
@@ -118,10 +137,12 @@ impl IdStreamIndex {
                     .unwrap_or_default();
                 partitions.sort_by_key(|p| p.path);
                 let skip = SkipIndex::build(&ids);
+                let cols = IdColumns::from_sids(&ids);
                 (
                     key,
                     Column {
                         ids,
+                        cols,
                         skip,
                         partitions,
                     },
@@ -159,6 +180,14 @@ impl IdStreamIndex {
     /// The skip index over a column, if the column exists.
     pub fn skip_index(&self, label: &str, kind: NodeKind) -> Option<&SkipIndex> {
         self.column(label, kind).map(|c| &c.skip)
+    }
+
+    /// The packed structure-of-arrays layout of a column, if the column
+    /// exists — the physical representation the vectorized kernels
+    /// consume. Payloads are positions, matching the order of
+    /// [`IdStreamIndex::stream`].
+    pub fn columnar(&self, label: &str, kind: NodeKind) -> Option<&IdColumns> {
+        self.column(label, kind).map(|c| &c.cols)
     }
 
     /// Seek the column to the first position at or after `from` whose ID
@@ -211,6 +240,15 @@ impl IdStreamIndex {
     /// returns its candidate sets sorted). Without partitions the whole
     /// column is returned and `opened == total == 0` signals that no
     /// pruning was available.
+    ///
+    /// When the selected partitions hold more than
+    /// `KEEP_FALLBACK_NUM/KEEP_FALLBACK_DEN` of the column, the scan
+    /// serves the whole column (with its stored fences) instead: the
+    /// merge would cost more than the few elements it removes, and the
+    /// prebuilt skip index over the full column keeps seek-skipping
+    /// effective. `opened == total` reports the declined pruning
+    /// honestly. Genuinely pruned merges get a fresh [`SkipIndex`] built
+    /// over the merged output, so seeks compose either way.
     pub fn pruned_stream(
         &self,
         label: &str,
@@ -221,6 +259,7 @@ impl IdStreamIndex {
         let Some(c) = self.column(label, kind) else {
             return PrunedStream {
                 ids: Vec::new(),
+                skip: SkipIndex::default(),
                 opened: 0,
                 total: 0,
             };
@@ -228,6 +267,7 @@ impl IdStreamIndex {
         if c.partitions.is_empty() {
             return PrunedStream {
                 ids: c.ids.clone(),
+                skip: c.skip.clone(),
                 opened: 0,
                 total: 0,
             };
@@ -237,10 +277,19 @@ impl IdStreamIndex {
             .iter()
             .filter(|p| allowed.binary_search(&p.path).is_ok())
             .collect();
+        let kept: usize = selected.iter().map(|p| p.ids.len()).sum();
+        if kept * KEEP_FALLBACK_DEN > c.ids.len() * KEEP_FALLBACK_NUM {
+            return PrunedStream {
+                ids: c.ids.clone(),
+                skip: c.skip.clone(),
+                opened: c.partitions.len(),
+                total: c.partitions.len(),
+            };
+        }
         // k-way merge by pre rank via a min-heap of partition heads;
         // partitions are individually sorted, so each element costs
         // O(log k) instead of a linear scan over all open cursors
-        let mut ids = Vec::with_capacity(selected.iter().map(|p| p.ids.len()).sum());
+        let mut ids = Vec::with_capacity(kept);
         let mut cursors = vec![0usize; selected.len()];
         let mut heap: BinaryHeap<Reverse<(u32, usize)>> = selected
             .iter()
@@ -255,8 +304,10 @@ impl IdStreamIndex {
                 heap.push(Reverse((next.pre, i)));
             }
         }
+        let skip = SkipIndex::build(&ids);
         PrunedStream {
             ids,
+            skip,
             opened: selected.len(),
             total: c.partitions.len(),
         }
@@ -475,16 +526,22 @@ mod tests {
         let idx = IdStreamIndex::build_with_summary(&doc, &s);
         let parts = idx.partitions("keyword", NodeKind::Element);
         assert!(parts.len() >= 2, "need several keyword paths");
-        // all partitions selected == the full column
+        // all partitions selected ⇒ keep-fraction fallback: the full
+        // column with its stored fences, opened == total
         let all: Vec<SummaryNodeId> = parts.iter().map(|p| p.path).collect();
         let full = idx.pruned_stream("keyword", NodeKind::Element, &all);
         assert_eq!(full.ids, idx.elements("keyword"));
         assert_eq!(full.opened, full.total);
-        // a single partition comes back verbatim, still pre-sorted
-        let one = idx.pruned_stream("keyword", NodeKind::Element, &all[..1]);
-        assert_eq!(one.ids, parts[0].ids);
+        assert_eq!(full.skip.len(), full.ids.len());
+        // a single small partition (under the keep-fraction threshold)
+        // comes back verbatim, still pre-sorted, with fresh fences
+        let small = parts.iter().min_by_key(|p| p.ids.len()).unwrap();
+        assert!(small.ids.len() * 4 <= idx.elements("keyword").len() * 3);
+        let one = idx.pruned_stream("keyword", NodeKind::Element, &[small.path]);
+        assert_eq!(one.ids, small.ids);
         assert_eq!(one.opened, 1);
         assert!(one.ids.windows(2).all(|w| w[0].pre < w[1].pre));
+        assert_eq!(one.skip.len(), one.ids.len());
         // nothing selected → empty stream, zero opened
         let none = idx.pruned_stream("keyword", NodeKind::Element, &[]);
         assert!(none.ids.is_empty());
@@ -495,5 +552,57 @@ mod tests {
         let fallback = plain.pruned_stream("keyword", NodeKind::Element, &[]);
         assert_eq!(fallback.ids, plain.elements("keyword"));
         assert_eq!((fallback.opened, fallback.total), (0, 0));
+        assert_eq!(fallback.skip.len(), fallback.ids.len());
+    }
+
+    #[test]
+    fn pruned_streams_carry_composable_fences() {
+        // a genuinely pruned merge must arrive with fences over exactly
+        // the merged output so skip-seeks compose with pruning
+        let doc = generate::xmark(3, 11);
+        let s = Summary::of_document(&doc);
+        let idx = IdStreamIndex::build_with_summary(&doc, &s);
+        let parts = idx.partitions("keyword", NodeKind::Element);
+        let mut chosen: Vec<SummaryNodeId> = Vec::new();
+        let mut kept = 0usize;
+        let limit = idx.elements("keyword").len() / 2;
+        for p in parts {
+            if kept + p.ids.len() <= limit {
+                chosen.push(p.path);
+                kept += p.ids.len();
+            }
+        }
+        chosen.sort_unstable();
+        assert!(!chosen.is_empty(), "need a sub-threshold selection");
+        let pruned = idx.pruned_stream("keyword", NodeKind::Element, &chosen);
+        assert!(pruned.ids.len() < idx.elements("keyword").len());
+        assert_eq!(pruned.skip.len(), pruned.ids.len());
+        // the carried index seeks correctly over the merged stream
+        let anchor = idx.elements("item")[2];
+        let want = pruned
+            .ids
+            .iter()
+            .position(|s| s.pre > anchor.pre)
+            .unwrap_or(pruned.ids.len());
+        assert_eq!(
+            pruned.skip.seek_descendant_of(&pruned.ids, 0, anchor).pos,
+            want
+        );
+    }
+
+    #[test]
+    fn columnar_layout_mirrors_the_streams() {
+        let doc = generate::xmark(3, 7);
+        let idx = IdStreamIndex::build(&doc);
+        for label in ["item", "keyword", "parlist"] {
+            let cols = idx.columnar(label, NodeKind::Element).unwrap();
+            let ids = idx.elements(label);
+            assert_eq!(cols.len(), ids.len(), "{label}");
+            for (i, &sid) in ids.iter().enumerate() {
+                assert_eq!(cols.sid(i), sid);
+                assert_eq!(cols.payload(i), i);
+            }
+        }
+        assert!(idx.columnar("no_such", NodeKind::Element).is_none());
     }
 }

@@ -16,7 +16,9 @@
 //! writes `BENCH_pipeline.json`), `skip` (E12 skip-index × summary-
 //! pruning access-method grid; writes `BENCH_skip.json`), `server`
 //! (E13 multi-client query server: warm result-cache speedup plus a
-//! QPS/latency sweep over client counts; writes `BENCH_server.json`).
+//! QPS/latency sweep over client counts; writes `BENCH_server.json`),
+//! `vector` (E14 columnar-kernel dense-parity grid: scalar linear vs
+//! skip-indexed vs columnar; writes `BENCH_vector.json`).
 //!
 //! `--profile` runs one view-backed query with `EXPLAIN ANALYZE` and
 //! prints the rendered profile; `--profile-json` prints the same profile
@@ -90,6 +92,9 @@ fn main() {
     }
     if want("server") {
         server(quick);
+    }
+    if want("vector") {
+        vector(quick);
     }
 }
 
@@ -408,6 +413,91 @@ fn skip(quick: bool) {
     println!(
         "(seeks engage where parent-open pruning discards whole runs; summary pruning \
          shrinks the streams before the merge starts — dense twigs are the honest near-tie)"
+    );
+}
+
+fn vector(quick: bool) {
+    header("E14 — columnar kernels: packed columns vs scalar paths");
+    let (scale, reps) = if quick { (4, 3) } else { (15, 49) };
+    let doc = uload::generate::xmark(scale, 42);
+    let rows = experiments::vector_parity(&doc, reps);
+    println!(
+        "{:<15} {:>7} {:>6} {:>11} {:>11} {:>11} {:>8} {:>8} {:>9} {:>10}",
+        "workload",
+        "rows",
+        "dense",
+        "linear(ns)",
+        "+skip(ns)",
+        "column(ns)",
+        "x linear",
+        "x skip",
+        "vbatches",
+        "vcmp"
+    );
+    for r in &rows {
+        println!(
+            "{:<15} {:>7} {:>6} {:>11} {:>11} {:>11} {:>8.2} {:>8.2} {:>9} {:>10}",
+            r.name,
+            r.rows,
+            r.dense,
+            r.linear_ns,
+            r.skip_ns,
+            r.columnar_ns,
+            r.speedup_vs_linear(),
+            r.speedup_vs_skip(),
+            r.batches_scanned,
+            r.vector_compares
+        );
+    }
+    let mut dense: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.dense)
+        .map(|r| r.speedup_vs_linear())
+        .collect();
+    dense.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let dense_median = dense[dense.len() / 2];
+    println!("dense-grid median columnar speedup vs linear: {dense_median:.2}x");
+    // machine-readable record (hand-rolled JSON — the workspace
+    // deliberately carries no serializer dependency)
+    let mut json = String::from("{\n  \"experiment\": \"vector_parity\",\n");
+    json.push_str(&format!(
+        "  \"document\": \"xmark({scale}, 42)\",\n  \"reps\": {reps},\n  \
+         \"block\": {},\n  \"dense_median_speedup_vs_linear\": {dense_median:.3},\n  \
+         \"workloads\": [\n",
+        uload::DEFAULT_BLOCK
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rows\": {}, \"dense\": {}, \
+             \"stream_elements\": {}, \"linear_ns\": {}, \"skip_ns\": {}, \
+             \"columnar_ns\": {}, \"speedup_vs_linear\": {:.3}, \
+             \"speedup_vs_skip\": {:.3}, \"skip_vs_linear\": {:.3}, \
+             \"batches_scanned\": {}, \"vector_compares\": {}, \
+             \"elements_skipped\": {}}}{}\n",
+            r.name,
+            r.rows,
+            r.dense,
+            r.stream_elements,
+            r.linear_ns,
+            r.skip_ns,
+            r.columnar_ns,
+            r.speedup_vs_linear(),
+            r.speedup_vs_skip(),
+            r.skip_vs_linear(),
+            r.batches_scanned,
+            r.vector_compares,
+            r.elements_skipped,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_vector.json", &json) {
+        Ok(()) => println!("(wrote BENCH_vector.json)"),
+        Err(e) => eprintln!("(could not write BENCH_vector.json: {e})"),
+    }
+    println!(
+        "(the packed pre/post/depth columns win the dense case by retiring compares \
+         lane-at-a-time; on selective twigs the galloped seeks keep pace with the XB-tree)"
     );
 }
 

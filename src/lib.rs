@@ -45,10 +45,10 @@
 //! One-off helpers that need no engine instance (XAM evaluation, direct
 //! XQuery execution, pattern extraction) are associated functions on
 //! [`Uload`] — [`Uload::evaluate_xam`], [`Uload::execute_direct`],
-//! [`Uload::parse_query`], [`Uload::extract_patterns`]. The historical
-//! crate-root free functions for those still exist as deprecated
-//! wrappers; [`parse_document`] and [`parse_xam`] remain first-class
-//! (they are the two entry points everything else starts from).
+//! [`Uload::parse_query`], [`Uload::extract_patterns`]. Only
+//! [`parse_document`] and [`parse_xam`] remain first-class crate-root
+//! functions (they are the two entry points everything else starts
+//! from); the old deprecated free-function wrappers are gone.
 //!
 //! Every fallible function of this façade returns [`Result`] with the
 //! unified [`Error`] — the per-crate error types never surface here.
@@ -97,36 +97,10 @@ pub fn parse_xam(text: &str) -> Result<Xam> {
     Uload::parse_xam(text)
 }
 
-/// Evaluate a XAM directly over a document (no views involved).
-#[deprecated(since = "0.5.0", note = "use `Uload::evaluate_xam` instead")]
-pub fn evaluate_xam(xam: &Xam, doc: &Document) -> Result<Relation> {
-    Uload::evaluate_xam(xam, doc)
-}
-
-/// Execute an XQuery directly over a document (no views involved),
-/// returning the typed [`QueryOutput`].
-#[deprecated(since = "0.5.0", note = "use `Uload::execute_direct` instead")]
-pub fn execute_query(text: &str, doc: &Document) -> Result<QueryOutput> {
-    Uload::execute_direct(text, doc)
-}
-
-/// Parse an XQuery into its AST (for pattern extraction).
-#[deprecated(since = "0.5.0", note = "use `Uload::parse_query` instead")]
-pub fn parse_query(text: &str) -> Result<Query> {
-    Uload::parse_query(text)
-}
-
-/// Extract the maximal XAM patterns of a parsed XQuery (Chapter 3).
-#[deprecated(since = "0.5.0", note = "use `Uload::extract_patterns` instead")]
-pub fn extract_patterns(q: &Query) -> Result<ExtractedQuery> {
-    Uload::extract_patterns(q)
-}
-
 /// The one-stop import: `use uload::prelude::*;`.
 ///
-/// Deliberately excludes the deprecated crate-root free functions —
-/// their replacements are associated functions on [`Uload`], which the
-/// prelude already brings in.
+/// The one-off helpers live as associated functions on [`Uload`], which
+/// the prelude already brings in.
 pub mod prelude {
     pub use crate::{
         canonical_model, catalog, contain, contained_in_union, equivalent, fuse_struct_joins,
@@ -167,7 +141,7 @@ mod tests {
     }
 
     #[test]
-    fn associated_facade_matches_free_wrappers() {
+    fn associated_facade_helpers_work() {
         let doc = parse_document("<a><b>1</b></a>").unwrap();
         let xam = parse_xam("//b[id:s]").unwrap();
         let rel = Uload::evaluate_xam(&xam, &doc).unwrap();

@@ -392,6 +392,106 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// The columnar (structure-of-arrays) kernels are invisible to
+    /// results: on random XMark and DBLP twig patterns the batched
+    /// `twig_join_columnar` over packed pre/post/depth columns — at
+    /// block sizes 1, 2, 13 and 64 — returns byte-identical output to
+    /// the scalar kernel and the nested-loop oracle, and the planner
+    /// paths (materialized evaluation and the streamed cursor executor)
+    /// return the same relation with `columnar_kernels` on and off.
+    #[test]
+    fn columnar_matches_scalar(
+        spec in prop::collection::vec((0usize..10, 0usize..8, 0usize..2), 2..7),
+        dblp_sel in 0usize..2,
+        batch_pick in 0usize..4,
+    ) {
+        let dblp = dblp_sel == 1;
+        let doc = if dblp { generate::dblp(6, 7) } else { generate::xmark(3, 7) };
+        let pool: [&'static str; 10] = if dblp {
+            ["dblp", "article", "inproceedings", "book", "author",
+             "title", "year", "journal", "pages", "url"]
+        } else {
+            ["site", "regions", "item", "name", "description",
+             "parlist", "listitem", "text", "keyword", "mailbox"]
+        };
+        let mut w = uload_bench::experiments::TwigWorkload {
+            name: "prop".into(),
+            labels: Vec::new(),
+            parents: Vec::new(),
+            axes: Vec::new(),
+        };
+        for (k, &(label, parent, child)) in spec.iter().enumerate() {
+            w.labels.push(pool[label]);
+            w.parents.push(if k == 0 { 0 } else { parent % k });
+            w.axes.push(if child == 1 { algebra::Axis::Child } else { algebra::Axis::Descendant });
+        }
+
+        let idx = storage::IdStreamIndex::build(&doc);
+        let pattern = w.pattern();
+        let streams = w.streams(&idx);
+        let refs: Vec<&[(xmltree::StructuralId, usize)]> =
+            streams.iter().map(|s| s.as_slice()).collect();
+        let scalar = algebra::twig_join(&pattern, &refs);
+        let mut nested = uload_bench::experiments::cascade_solutions(
+            &w.parents, &w.axes, &streams, false);
+        nested.sort_unstable();
+        prop_assert_eq!(&scalar, &nested, "scalar twig vs nested loop on {:?}", w.labels);
+
+        // the batched kernel across degenerate, tiny, non-power-of-two
+        // and default block sizes
+        for block in [1usize, 2, 13, 64] {
+            let cols: Vec<algebra::IdColumns> = streams
+                .iter()
+                .map(|s| algebra::IdColumns::from_pairs(s, block))
+                .collect();
+            let col_refs: Vec<&algebra::IdColumns> = cols.iter().collect();
+            let columnar = algebra::twig_join_columnar(&pattern, &col_refs);
+            prop_assert_eq!(
+                &columnar, &scalar,
+                "columnar twig (block {}) vs scalar on {:?}", block, w.labels
+            );
+        }
+
+        // planner paths: same relation with the knob on and off, both
+        // materialized and through the streamed cursor executor
+        if streams.iter().all(|s| !s.is_empty()) {
+            let cat = uload_bench::experiments::twig_catalog(&doc);
+            let plan = w.twig_plan();
+            let batch_size = [1usize, 2, 7, 1024][batch_pick];
+            let mut oracle = None;
+            for columnar_on in [true, false] {
+                let mut ev = algebra::Evaluator::new(&cat);
+                ev.config.columnar_kernels = columnar_on;
+                let mat = ev.eval(&plan).unwrap();
+                let mut ccfg = algebra::CursorConfig {
+                    batch_size,
+                    ..Default::default()
+                };
+                ccfg.eval.columnar_kernels = columnar_on;
+                let exec = algebra::build_cursor(&plan, &cat, None, &ccfg).unwrap();
+                let streamed = exec.collect().unwrap();
+                prop_assert_eq!(
+                    &streamed, &mat,
+                    "streamed != materialized (columnar {}, batch {}) on {:?}",
+                    columnar_on, batch_size, w.labels
+                );
+                if let Some(prev) = &oracle {
+                    prop_assert_eq!(
+                        prev, &mat,
+                        "columnar kernels changed results on {:?}", w.labels
+                    );
+                } else {
+                    prop_assert_eq!(mat.tuples.len(), scalar.len());
+                    oracle = Some(mat);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
     /// Structural joins over inputs that repeat node IDs across tuples
     /// (as a view column legitimately does) stay exact on the default
     /// seek-indexed path: the skip index is built over a *non-strictly*

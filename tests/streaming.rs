@@ -1,8 +1,8 @@
 //! End-to-end tests of the streaming `Uload::query` API: streamed rows
 //! equal materialized `answer` rows at every batch size, early
 //! termination cancels the cursor tree, the stream profile carries the
-//! executor's counters, and the typed `Uload::execute_direct` façade (plus its
-//! deprecated string shim) behaves.
+//! executor's counters, and the typed `Uload::execute_direct` façade
+//! behaves.
 
 use uload::prelude::*;
 
