@@ -1,0 +1,155 @@
+//! Telemetry overhead on the serving path.
+//!
+//! The server's request loop differs between telemetry off and on in
+//! exactly three ways: the metered stream (`stream_prepared_metered`
+//! forces per-operator `ExecMetrics` collection), the absorb of those
+//! counters into the registry's `exec.*` totals, and one log-linear
+//! histogram record per request. This bench prices the whole bundle:
+//!
+//! * `metrics_off` — `stream_prepared` with profiling off, rows drained:
+//!   the exact work a telemetry-disabled server performs per uncached
+//!   request (minus the wire).
+//! * `metrics_on` — `stream_prepared_metered`, rows drained, op metrics
+//!   absorbed into a [`ServerMetrics`] registry, latency recorded into
+//!   the uncached histogram.
+//!
+//! The `overhead_guard` target re-measures both paths with a manual
+//! alternating A/B loop and asserts the metrics-on median stays within
+//! 5% of metrics-off — the bound `ServerConfig::telemetry` documents.
+//! The workload is the join-bearing two-view rewriting (navigation off)
+//! so the meters genuinely count: a pure view scan would price an
+//! all-zero absorb.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obs::ExecMetrics;
+use rewriting::{EngineConfig, PreparedQuery, Uload};
+use storage::DocumentHandle;
+use uload_server::ServerMetrics;
+
+const QUERY: &str = r#"doc("X")//item/name"#;
+
+fn setup() -> (Uload, DocumentHandle, PreparedQuery) {
+    let doc = xmltree::generate::xmark(8, 42);
+    let mut cfg = EngineConfig::default();
+    cfg.rewrite.allow_navigation = false;
+    let mut engine = Uload::builder()
+        .document(&doc)
+        .config(cfg)
+        .build()
+        .expect("engine over xmark");
+    engine
+        .add_view_text("v_items", "//item[id:s]", &doc)
+        .expect("items view");
+    engine
+        .add_view_text("v_names", "//name[id:s,val]", &doc)
+        .expect("names view");
+    let prep = engine.prepare_query(QUERY).expect("prepare");
+    (engine, DocumentHandle::new(doc), prep)
+}
+
+/// The telemetry-off request body: stream and drain.
+fn run_off(engine: &Uload, prep: &PreparedQuery, handle: &DocumentHandle) -> u64 {
+    let mut results = engine.stream_prepared(prep, handle).expect("stream");
+    let mut rows = 0u64;
+    for r in results.by_ref() {
+        r.expect("row");
+        rows += 1;
+    }
+    rows
+}
+
+/// The telemetry-on request body: metered stream, drain, absorb the op
+/// counters into the registry, record the latency histogram — the same
+/// sequence the server's `execute` performs per uncached request.
+fn run_on(
+    engine: &Uload,
+    prep: &PreparedQuery,
+    handle: &DocumentHandle,
+    metrics: &ServerMetrics,
+) -> u64 {
+    let start = Instant::now();
+    let mut results = engine
+        .stream_prepared_metered(prep, handle)
+        .expect("stream");
+    let mut rows = 0u64;
+    for r in results.by_ref() {
+        r.expect("row");
+        rows += 1;
+    }
+    let profile = results.stream_profile();
+    let mut exec = ExecMetrics::default();
+    for op in &profile.ops {
+        exec.absorb(&op.metrics);
+    }
+    metrics.absorb_exec(&exec);
+    metrics
+        .residency_high_water
+        .set_max(profile.peak_resident_tuples);
+    metrics.rows_streamed.add(rows);
+    metrics.requests.inc();
+    metrics.record_uncached(start.elapsed());
+    rows
+}
+
+fn telemetry_price_points(c: &mut Criterion) {
+    let (engine, handle, prep) = setup();
+    let metrics = ServerMetrics::new();
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+    g.bench_function("metrics_off", |b| {
+        b.iter(|| run_off(&engine, &prep, &handle))
+    });
+    g.bench_function("metrics_on", |b| {
+        b.iter(|| run_on(&engine, &prep, &handle, &metrics))
+    });
+    g.finish();
+}
+
+/// Alternating A/B medians: the metrics-on path must stay within 5% of
+/// metrics-off (small absolute slack absorbs scheduler jitter on short
+/// runs).
+fn overhead_guard(_c: &mut Criterion) {
+    let (engine, handle, prep) = setup();
+    let metrics = ServerMetrics::new();
+    for _ in 0..3 {
+        run_off(&engine, &prep, &handle);
+        run_on(&engine, &prep, &handle, &metrics);
+    }
+    let reps = 21;
+    let (mut off_ns, mut on_ns) = (Vec::with_capacity(reps), Vec::with_capacity(reps));
+    for _ in 0..reps {
+        let t = Instant::now();
+        run_off(&engine, &prep, &handle);
+        off_ns.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        run_on(&engine, &prep, &handle, &metrics);
+        on_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    off_ns.sort_unstable();
+    on_ns.sort_unstable();
+    let (off, on) = (off_ns[reps / 2], on_ns[reps / 2]);
+    let bound = off + off / 20 + 200_000; // 5% relative + 0.2ms absolute
+    eprintln!(
+        "telemetry_overhead guard: off p50 {off} ns, on p50 {on} ns ({:+.2}%)",
+        (on as f64 / off as f64 - 1.0) * 100.0
+    );
+    assert!(
+        on <= bound,
+        "telemetry-on median {on} ns exceeds 5% bound over {off} ns"
+    );
+    // the metered runs really counted: the absorb was not a no-op
+    assert!(
+        metrics.exec_comparisons.get() > 0,
+        "metered runs never recorded kernel counters"
+    );
+    assert_eq!(metrics.exec_uncached_ns.count(), (reps + 3) as u64);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = telemetry_price_points, overhead_guard
+}
+criterion_main!(benches);

@@ -14,7 +14,14 @@
 //!   JSON-Schema-subset validator (the workspace carries no serializer
 //!   dependency), used to keep the profile format contract-checked;
 //! * [`subscriber`] — a `tracing` subscriber with an env-filter,
-//!   installed from the `ULOAD_LOG` variable by [`init_from_env`].
+//!   installed from the `ULOAD_LOG` variable by [`init_from_env`];
+//! * [`telemetry`] — server-wide metrics: the [`MetricsRegistry`] of
+//!   atomic [`Counter`]s/[`Gauge`]s and lock-free log-linear
+//!   [`Histogram`]s with mergeable snapshots (p50/p90/p99/p999);
+//! * [`stats`] — the [`StatsStore`] cardinality feedback store:
+//!   measured per-plan-node cardinalities and twig-vs-cascade arm
+//!   outcomes keyed by `(document version, plan fingerprint)`, recorded
+//!   from every profiled run for later adaptive re-optimization.
 //!
 //! ## Span taxonomy
 //!
@@ -30,11 +37,14 @@
 //! | `uload::eval`        | physical evaluation, twig fallbacks             |
 //! | `uload::cost`        | cost-model decisions and mispredictions         |
 //! | `uload::storage`     | ID-stream index builds, QEP construction        |
+//! | `uload::server`      | serving path: `PREPARE`/`EXEC`/`QUERY` handling |
 
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod stats;
 pub mod subscriber;
+pub mod telemetry;
 
 pub use json::Json;
 pub use metrics::{CacheCounters, ExecMetrics, Meter, NoMeter, ResultCacheCounters};
@@ -42,4 +52,8 @@ pub use profile::{
     ArmTelemetry, OpProfile, OpStreamProfile, PlanNodeProfile, QueryProfile, SessionProfile,
     StreamProfile,
 };
+pub use stats::{ArmStats, NodeStats, StatsKey, StatsStore};
 pub use subscriber::{init_from_env, EnvFilter, FmtSubscriber};
+pub use telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+};

@@ -321,6 +321,12 @@ pub struct SessionProfile {
     pub result_cache: ResultCacheCounters,
     /// Engine-wide `CanonicalCache` snapshot, when the engine caches.
     pub canonical: Option<CacheCounters>,
+    /// Kernel counters absorbed from this session's uncached executions
+    /// (counters sum; high-waters keep the max), so serving-path clients
+    /// see `batches_scanned`/`vector_compares`/`elements_skipped`
+    /// without enabling full profiling. All-zero when the server runs
+    /// with telemetry off.
+    pub exec: ExecMetrics,
 }
 
 impl SessionProfile {
@@ -361,6 +367,42 @@ impl SessionProfile {
                     ]),
                     None => Json::Null,
                 },
+            ),
+            (
+                "exec",
+                Json::obj(vec![
+                    ("comparisons", Json::Num(self.exec.comparisons as f64)),
+                    (
+                        "elements_skipped",
+                        Json::Num(self.exec.elements_skipped as f64),
+                    ),
+                    ("blocks_pruned", Json::Num(self.exec.blocks_pruned as f64)),
+                    (
+                        "batches_scanned",
+                        Json::Num(self.exec.batches_scanned as f64),
+                    ),
+                    (
+                        "vector_compares",
+                        Json::Num(self.exec.vector_compares as f64),
+                    ),
+                    (
+                        "partitions_opened",
+                        Json::Num(self.exec.partitions_opened as f64),
+                    ),
+                    (
+                        "partitions_total",
+                        Json::Num(self.exec.partitions_total as f64),
+                    ),
+                    ("twig_fallbacks", Json::Num(self.exec.twig_fallbacks as f64)),
+                    (
+                        "stack_high_water",
+                        Json::Num(self.exec.stack_high_water as f64),
+                    ),
+                    (
+                        "solutions_high_water",
+                        Json::Num(self.exec.solutions_high_water as f64),
+                    ),
+                ]),
             ),
         ])
     }

@@ -1,0 +1,367 @@
+//! The cardinality feedback store.
+//!
+//! EXPLAIN ANALYZE (PR 3) measures per-node actual cardinalities and
+//! flags ≥4× mispredictions, and the twig-vs-cascade arm telemetry
+//! flags ≥2× wrong arm choices — but until now both were rendered and
+//! dropped. [`StatsStore`] is the durable half of the
+//! observe-and-re-optimize loop (ROADMAP item 6): every profiled run
+//! records what each plan node *actually* produced, keyed by
+//! `(document version, plan fingerprint, plan-node index)`, plus the
+//! arm-choice outcome per `(document version, plan fingerprint)`.
+//!
+//! This module records and exposes; a later PR will make the planner
+//! read it back. Keys are raw `u64`s (`obs` sits below `storage`, so it
+//! cannot name `DocumentVersion`); version `0` is the conventional key
+//! for unversioned embedded runs.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::json::Json;
+use crate::profile::{PlanNodeProfile, QueryProfile};
+
+/// Key of one plan-node observation series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatsKey {
+    /// `DocumentVersion` counter (0 = unversioned embedded run).
+    pub doc_version: u64,
+    /// Plan fingerprint of the executed plan.
+    pub plan_fp: u64,
+    /// Pre-order index of the node within that plan.
+    pub node_idx: u32,
+}
+
+/// Accumulated measurements for one plan node under one document
+/// version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    /// Operator label (from the profiled plan).
+    pub op: String,
+    /// Profiled runs observed.
+    pub observations: u64,
+    /// The cost model's cardinality estimate (latest run).
+    pub est_rows: f64,
+    /// Measured output cardinality of the latest run.
+    pub last_actual_rows: u64,
+    /// Sum of measured cardinalities across runs (for the mean).
+    pub total_actual_rows: u64,
+    /// Smallest measured cardinality.
+    pub min_actual_rows: u64,
+    /// Largest measured cardinality.
+    pub max_actual_rows: u64,
+    /// Runs where the estimate was off ≥4× (the profile's flag).
+    pub mispredicts: u64,
+}
+
+impl NodeStats {
+    /// Mean measured cardinality across all observations.
+    pub fn mean_actual_rows(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.total_actual_rows as f64 / self.observations as f64
+        }
+    }
+
+    fn to_json(&self, key: &StatsKey) -> Json {
+        Json::obj(vec![
+            ("doc_version", Json::Num(key.doc_version as f64)),
+            ("plan_fp", Json::Str(format!("{:016x}", key.plan_fp))),
+            ("node_idx", Json::Num(key.node_idx as f64)),
+            ("op", Json::Str(self.op.clone())),
+            ("observations", Json::Num(self.observations as f64)),
+            ("est_rows", Json::Num(self.est_rows)),
+            ("last_actual_rows", Json::Num(self.last_actual_rows as f64)),
+            ("mean_actual_rows", Json::Num(self.mean_actual_rows())),
+            ("min_actual_rows", Json::Num(self.min_actual_rows as f64)),
+            ("max_actual_rows", Json::Num(self.max_actual_rows as f64)),
+            ("mispredicts", Json::Num(self.mispredicts as f64)),
+        ])
+    }
+}
+
+/// Accumulated twig-vs-cascade arm outcomes for one plan under one
+/// document version.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArmStats {
+    /// Profiled runs where the cost model picked the twig arm.
+    pub chosen_twig: u64,
+    /// Profiled runs where it picked the cascade arm.
+    pub chosen_cascade: u64,
+    /// Runs where the chosen arm ran ≥2× slower than the alternative.
+    pub mispredicts: u64,
+    /// Wall time of the chosen arm on the latest run.
+    pub last_chosen_ns: u64,
+    /// Wall time of the alternative arm on the latest run.
+    pub last_alternative_ns: u64,
+}
+
+impl ArmStats {
+    fn to_json(&self, doc_version: u64, plan_fp: u64) -> Json {
+        Json::obj(vec![
+            ("doc_version", Json::Num(doc_version as f64)),
+            ("plan_fp", Json::Str(format!("{plan_fp:016x}"))),
+            ("chosen_twig", Json::Num(self.chosen_twig as f64)),
+            ("chosen_cascade", Json::Num(self.chosen_cascade as f64)),
+            ("mispredicts", Json::Num(self.mispredicts as f64)),
+            ("last_chosen_ns", Json::Num(self.last_chosen_ns as f64)),
+            (
+                "last_alternative_ns",
+                Json::Num(self.last_alternative_ns as f64),
+            ),
+        ])
+    }
+}
+
+/// Thread-safe store of measured cardinalities and arm-choice outcomes,
+/// fed by every profiled run. Recording walks the profiled plan tree in
+/// pre-order, so `node_idx` is stable for a given plan shape (and the
+/// plan fingerprint pins the shape).
+#[derive(Debug, Default)]
+pub struct StatsStore {
+    nodes: Mutex<HashMap<StatsKey, NodeStats>>,
+    arms: Mutex<HashMap<(u64, u64), ArmStats>>,
+}
+
+impl StatsStore {
+    pub fn new() -> StatsStore {
+        StatsStore::default()
+    }
+
+    /// Record one profiled run: every plan node's measured cardinality
+    /// (pre-order) and the arm outcome, if the profile carries one.
+    pub fn record_profile(&self, doc_version: u64, plan_fp: u64, profile: &QueryProfile) {
+        {
+            let mut nodes = self.nodes.lock().unwrap_or_else(|e| e.into_inner());
+            let mut idx = 0u32;
+            record_node(&mut nodes, doc_version, plan_fp, &profile.plan, &mut idx);
+        }
+        if let Some(arm) = &profile.arm {
+            let mut arms = self.arms.lock().unwrap_or_else(|e| e.into_inner());
+            let entry = arms.entry((doc_version, plan_fp)).or_default();
+            if arm.chosen == "twig" {
+                entry.chosen_twig += 1;
+            } else {
+                entry.chosen_cascade += 1;
+            }
+            if arm.mispredicted {
+                entry.mispredicts += 1;
+            }
+            entry.last_chosen_ns = arm.actual_chosen_ns;
+            entry.last_alternative_ns = arm.actual_alternative_ns;
+        }
+    }
+
+    /// Look up one node's accumulated stats.
+    pub fn node(&self, doc_version: u64, plan_fp: u64, node_idx: u32) -> Option<NodeStats> {
+        self.nodes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&StatsKey {
+                doc_version,
+                plan_fp,
+                node_idx,
+            })
+            .cloned()
+    }
+
+    /// Look up one plan's accumulated arm outcomes.
+    pub fn arm(&self, doc_version: u64, plan_fp: u64) -> Option<ArmStats> {
+        self.arms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&(doc_version, plan_fp))
+            .cloned()
+    }
+
+    /// Distinct `(version, fingerprint, node)` series recorded.
+    pub fn len(&self) -> usize {
+        self.nodes.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Distinct `(version, fingerprint)` arm series recorded.
+    pub fn arm_len(&self) -> usize {
+        self.arms.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Total node observations across all series.
+    pub fn observations(&self) -> u64 {
+        self.nodes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .map(|n| n.observations)
+            .sum()
+    }
+
+    /// Node series that have seen at least one ≥4× misprediction.
+    pub fn mispredicted_nodes(&self) -> u64 {
+        self.nodes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .filter(|n| n.mispredicts > 0)
+            .count() as u64
+    }
+
+    /// Compact rollup (the `"stats_store"` object of the `METRICS`
+    /// schema).
+    pub fn summary_json(&self) -> Json {
+        Json::obj(vec![
+            ("entries", Json::Num(self.len() as f64)),
+            ("observations", Json::Num(self.observations() as f64)),
+            (
+                "mispredicted_nodes",
+                Json::Num(self.mispredicted_nodes() as f64),
+            ),
+            ("arms", Json::Num(self.arm_len() as f64)),
+        ])
+    }
+
+    /// Full dump: every node series and arm series, deterministically
+    /// ordered by key.
+    pub fn to_json(&self) -> Json {
+        let mut nodes: Vec<(StatsKey, NodeStats)> = self
+            .nodes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        nodes.sort_by_key(|(k, _)| (k.doc_version, k.plan_fp, k.node_idx));
+        let mut arms: Vec<((u64, u64), ArmStats)> = self
+            .arms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        arms.sort_by_key(|(k, _)| *k);
+        Json::obj(vec![
+            (
+                "nodes",
+                Json::Arr(nodes.iter().map(|(k, n)| n.to_json(k)).collect()),
+            ),
+            (
+                "arms",
+                Json::Arr(arms.iter().map(|((v, fp), a)| a.to_json(*v, *fp)).collect()),
+            ),
+        ])
+    }
+}
+
+fn record_node(
+    nodes: &mut HashMap<StatsKey, NodeStats>,
+    doc_version: u64,
+    plan_fp: u64,
+    prof: &PlanNodeProfile,
+    idx: &mut u32,
+) {
+    let key = StatsKey {
+        doc_version,
+        plan_fp,
+        node_idx: *idx,
+    };
+    *idx += 1;
+    let entry = nodes.entry(key).or_insert_with(|| NodeStats {
+        op: prof.op.clone(),
+        observations: 0,
+        est_rows: prof.est_rows,
+        last_actual_rows: 0,
+        total_actual_rows: 0,
+        min_actual_rows: u64::MAX,
+        max_actual_rows: 0,
+        mispredicts: 0,
+    });
+    entry.observations += 1;
+    entry.est_rows = prof.est_rows;
+    entry.last_actual_rows = prof.actual_rows;
+    entry.total_actual_rows += prof.actual_rows;
+    entry.min_actual_rows = entry.min_actual_rows.min(prof.actual_rows);
+    entry.max_actual_rows = entry.max_actual_rows.max(prof.actual_rows);
+    if prof.mispredicted {
+        entry.mispredicts += 1;
+    }
+    for child in &prof.children {
+        record_node(nodes, doc_version, plan_fp, child, idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ExecMetrics;
+    use crate::profile::ArmTelemetry;
+
+    fn leaf(op: &str, est: f64, actual: u64, mispredicted: bool) -> PlanNodeProfile {
+        PlanNodeProfile {
+            op: op.to_string(),
+            est_cost: 1.0,
+            est_rows: est,
+            actual_rows: actual,
+            time_ns: 10,
+            metrics: ExecMetrics::default(),
+            mispredicted,
+            children: Vec::new(),
+        }
+    }
+
+    fn profile(plan: PlanNodeProfile, arm: Option<ArmTelemetry>) -> QueryProfile {
+        QueryProfile {
+            query: "//a".to_string(),
+            phases: Vec::new(),
+            plan,
+            cache: None,
+            arm,
+            streamed: None,
+            total_ns: 100,
+        }
+    }
+
+    #[test]
+    fn records_nodes_preorder_and_accumulates() {
+        let store = StatsStore::new();
+        let mut root = leaf("join", 100.0, 10, false);
+        root.children.push(leaf("scan-a", 50.0, 400, true));
+        root.children.push(leaf("scan-b", 8.0, 9, false));
+        store.record_profile(7, 0xfeed, &profile(root.clone(), None));
+        store.record_profile(7, 0xfeed, &profile(root, None));
+
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.observations(), 6);
+        assert_eq!(store.mispredicted_nodes(), 1);
+        let scan_a = store.node(7, 0xfeed, 1).expect("pre-order idx 1");
+        assert_eq!(scan_a.op, "scan-a");
+        assert_eq!(scan_a.observations, 2);
+        assert_eq!(scan_a.last_actual_rows, 400);
+        assert_eq!(scan_a.mispredicts, 2);
+        assert_eq!(scan_a.mean_actual_rows(), 400.0);
+        assert_eq!(store.node(7, 0xfeed, 2).unwrap().op, "scan-b");
+        assert!(store.node(8, 0xfeed, 0).is_none());
+    }
+
+    #[test]
+    fn records_arm_outcomes() {
+        let store = StatsStore::new();
+        let arm = ArmTelemetry {
+            chosen: "twig".to_string(),
+            est_chosen: 10.0,
+            est_alternative: 20.0,
+            actual_chosen_ns: 900,
+            actual_alternative_ns: 300,
+            mispredicted: true,
+        };
+        store.record_profile(0, 0xbeef, &profile(leaf("twig", 1.0, 1, false), Some(arm)));
+        let a = store.arm(0, 0xbeef).unwrap();
+        assert_eq!(a.chosen_twig, 1);
+        assert_eq!(a.chosen_cascade, 0);
+        assert_eq!(a.mispredicts, 1);
+        assert_eq!(store.arm_len(), 1);
+        let json = store.to_json().to_string_compact();
+        assert!(json.contains("\"arms\""), "{json}");
+    }
+}

@@ -21,7 +21,7 @@ use algebra::{CursorConfig, Evaluator, LogicalPlan, Relation, StreamExec, TupleB
 use containment::{CacheStats, CanonicalCache};
 use obs::{
     ArmTelemetry, CacheCounters, OpProfile, OpStreamProfile, PlanNodeProfile, QueryProfile,
-    StreamProfile,
+    StatsStore, StreamProfile,
 };
 use parking_lot::Mutex;
 use storage::DocumentHandle;
@@ -301,6 +301,7 @@ pub struct Uload {
     config: EngineConfig,
     cache: Option<Arc<CanonicalCache>>,
     last_profile: Mutex<Option<QueryProfile>>,
+    stats: Arc<StatsStore>,
 }
 
 impl Uload {
@@ -327,6 +328,7 @@ impl Uload {
             config,
             cache,
             last_profile: Mutex::new(None),
+            stats: Arc::new(StatsStore::new()),
         }
     }
 
@@ -362,6 +364,15 @@ impl Uload {
     /// is disabled).
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache.as_deref().map(CanonicalCache::stats)
+    }
+
+    /// The engine's cardinality feedback store: measured per-plan-node
+    /// cardinalities and arm-choice outcomes, recorded by every
+    /// profiled run ([`Uload::answer_profiled`] under document-version
+    /// key `0`, [`Uload::profile_prepared`] under the handle's real
+    /// version). The durable feed for adaptive re-optimization.
+    pub fn stats_store(&self) -> &Arc<StatsStore> {
+        &self.stats
     }
 
     /// The execution context handed to the rewriting/containment layers.
@@ -565,7 +576,22 @@ impl Uload {
         prep: &PreparedQuery,
         handle: &'e DocumentHandle,
     ) -> Result<QueryResults<'e>> {
-        self.stream_prepared_doc(prep, handle.document())
+        self.stream_prepared_with(prep, handle.document(), self.config.profiling)
+    }
+
+    /// [`Uload::stream_prepared`] with per-operator metering forced on
+    /// regardless of [`EngineConfig::profiling`], so
+    /// [`QueryResults::stream_profile`] reports real kernel counters.
+    /// The server's telemetry path uses this to feed per-session and
+    /// registry `ExecMetrics` totals; the `Meter` kernels make the
+    /// metered run cost the same as the plain one (held to ≤5% by the
+    /// `telemetry_overhead` bench).
+    pub fn stream_prepared_metered<'e>(
+        &'e self,
+        prep: &PreparedQuery,
+        handle: &'e DocumentHandle,
+    ) -> Result<QueryResults<'e>> {
+        self.stream_prepared_with(prep, handle.document(), true)
     }
 
     fn stream_prepared_doc<'e>(
@@ -573,9 +599,18 @@ impl Uload {
         prep: &PreparedQuery,
         doc: &'e Document,
     ) -> Result<QueryResults<'e>> {
+        self.stream_prepared_with(prep, doc, self.config.profiling)
+    }
+
+    fn stream_prepared_with<'e>(
+        &'e self,
+        prep: &PreparedQuery,
+        doc: &'e Document,
+        profiling: bool,
+    ) -> Result<QueryResults<'e>> {
         let mut ccfg = CursorConfig {
             batch_size: self.config.batch_size,
-            profiling: self.config.profiling,
+            profiling,
             ..CursorConfig::default()
         };
         ccfg.eval.use_skip_index = self.config.use_skip_index;
@@ -753,8 +788,60 @@ impl Uload {
             streamed: Some(streamed),
             total_ns: total.elapsed().as_nanos() as u64,
         };
+        self.stats
+            .record_profile(0, plan_fingerprint(&chosen_plan), &profile);
         *self.last_profile.lock() = Some(profile.clone());
         Ok((Self::serialize(&rel), p.used, profile))
+    }
+
+    /// `EXPLAIN ANALYZE` an already-prepared plan over a versioned
+    /// [`DocumentHandle`] — the serving path's profiling entry point
+    /// (the server uses it to capture slow queries). Runs only the
+    /// chosen arm (the plan was fused or not at prepare time, so there
+    /// is no alternative to time), pairs the cost model's estimates
+    /// with the measured cardinalities, records the result in the
+    /// [`StatsStore`] under the handle's real document version, and
+    /// stashes it for [`Uload::last_profile`].
+    pub fn profile_prepared(
+        &self,
+        prep: &PreparedQuery,
+        handle: &DocumentHandle,
+    ) -> Result<QueryProfile> {
+        let total = Instant::now();
+        let span = tracing::debug_span!(target: "uload::query", "profile_prepared");
+        let _g = span.enter();
+        let catalog = self.store.catalog();
+        let mut ev = Evaluator::with_document(catalog, handle.document());
+        ev.config.use_twigstack = prep.use_twigstack;
+        ev.config.use_skip_index = self.config.use_skip_index;
+        ev.config.columnar_kernels = self.config.columnar_kernels;
+        let t = Instant::now();
+        let (_rel, op_profile) = ev
+            .eval_profiled(&prep.plan)
+            .map_err(|e| Error::Eval(e.to_string()))?;
+        let eval_ns = t.elapsed().as_nanos() as u64;
+        let plan_profile =
+            pair_estimates(&prep.plan, &op_profile, catalog, self.config.exec_caps());
+        let profile = QueryProfile {
+            query: prep.query.clone(),
+            phases: vec![("eval".to_string(), eval_ns)],
+            plan: plan_profile,
+            cache: self.cache_stats().map(|s| CacheCounters {
+                hits: s.hits,
+                misses: s.misses,
+                evictions: s.evictions,
+                verdict_entries: s.verdict_entries,
+                model_entries: s.model_entries,
+                annotation_entries: s.annotation_entries,
+            }),
+            arm: None,
+            streamed: None,
+            total_ns: total.elapsed().as_nanos() as u64,
+        };
+        self.stats
+            .record_profile(handle.version().0, prep.fingerprint, &profile);
+        *self.last_profile.lock() = Some(profile.clone());
+        Ok(profile)
     }
 
     /// The profile of the most recent profiled answer on this engine

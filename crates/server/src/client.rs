@@ -177,6 +177,29 @@ impl Client {
         }
     }
 
+    /// The server-wide `METRICS` snapshot as compact JSON text
+    /// (latency histograms, counters/gauges, cache and `StatsStore`
+    /// rollups — the shape of `schemas/metrics.schema.json`).
+    pub fn metrics_json(&mut self) -> Result<String> {
+        self.send_line("METRICS")?;
+        let line = self.read_line()?;
+        match line.split_once(' ') {
+            Some(("METRICS", json)) => Ok(json.to_string()),
+            _ => Err(server_err(&line)),
+        }
+    }
+
+    /// Drain the server's slow-query log as a compact JSON array (each
+    /// captured entry is delivered to exactly one caller).
+    pub fn slowlog_json(&mut self) -> Result<String> {
+        self.send_line("SLOWLOG")?;
+        let line = self.read_line()?;
+        match line.split_once(' ') {
+            Some(("SLOWLOG", json)) => Ok(json.to_string()),
+            _ => Err(server_err(&line)),
+        }
+    }
+
     /// Stop the whole server (it answers `BYE` and begins shutdown).
     pub fn shutdown_server(&mut self) -> Result<()> {
         self.send_line("SHUTDOWN")?;

@@ -23,7 +23,12 @@
 //!   releasing resident state and the admission permit immediately;
 //! * **Observability** — `STATS` returns a per-session
 //!   [`SessionProfile`](obs::SessionProfile) with result-cache and
-//!   `CanonicalCache` hit rates.
+//!   `CanonicalCache` hit rates plus absorbed kernel counters;
+//!   `METRICS` returns the server-wide [`metrics`] snapshot (latency
+//!   histograms with p50/p90/p99/p999, admission-wait and queue-depth
+//!   telemetry, cache and `StatsStore` rollups), `SLOWLOG` drains the
+//!   structured [`slowlog`] ring of threshold-crossing requests, and
+//!   `ULOAD_LOG=uload::server=debug` traces the serving path.
 //!
 //! ```no_run
 //! use uload_server::{Client, Server, ServerConfig};
@@ -49,11 +54,15 @@ pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod conn;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod slowlog;
 
 pub use admission::{Admission, AdmissionError, Permit};
 pub use cache::ResultCache;
 pub use client::{Client, ExecReply, RowEvent};
 pub use conn::BindAddr;
+pub use metrics::ServerMetrics;
 pub use server::{Server, ServerConfig, ServerHandle, ServerState};
+pub use slowlog::{SlowDisposition, SlowLog, SlowQueryEntry};

@@ -13,6 +13,8 @@
 //! | `EXEC <fp-hex>`        | run a prepared plan, stream rows                |
 //! | `QUERY <query>`        | prepare + exec in one round trip                |
 //! | `STATS`                | this session's [`obs::SessionProfile`] as JSON  |
+//! | `METRICS`              | server-wide registry snapshot as JSON           |
+//! | `SLOWLOG`              | drain the slow-query log as a JSON array        |
 //! | `CANCEL`               | abort the in-flight `EXEC`/`QUERY` mid-stream   |
 //! | `SHUTDOWN`             | stop the whole server (then `BYE`)              |
 //! | `QUIT`                 | end this session (then `BYE`)                   |
@@ -20,7 +22,11 @@
 //! Responses: `PREPARED fp=<hex>`, zero or more `ROW <escaped-xml>`,
 //! then exactly one terminator — `DONE rows=<n> cached=<bool>
 //! fp=<hex> version=<v> ns=<n>`, `CANCELLED rows=<n>`, or
-//! `ERR <message>`. `STATS` answers `STATS <compact-json>`; `QUIT` and
+//! `ERR <message>`. `STATS` answers `STATS <compact-json>` (the
+//! per-session profile); `METRICS` answers `METRICS <compact-json>`
+//! (the global view, validated against `schemas/metrics.schema.json`);
+//! `SLOWLOG` answers `SLOWLOG <compact-json-array>` and *drains* the
+//! log — each captured entry is delivered exactly once. `QUIT` and
 //! `SHUTDOWN` answer `BYE`.
 //!
 //! Row payloads and error messages are escaped so embedded newlines
@@ -70,6 +76,8 @@ pub enum Request {
     Exec(u64),
     Query(String),
     Stats,
+    Metrics,
+    Slowlog,
     Cancel,
     Shutdown,
     Quit,
@@ -90,6 +98,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             .map_err(|_| format!("EXEC expects a hex fingerprint, got {rest:?}")),
         "QUERY" if !rest.is_empty() => Ok(Request::Query(unescape(rest))),
         "STATS" => Ok(Request::Stats),
+        "METRICS" => Ok(Request::Metrics),
+        "SLOWLOG" => Ok(Request::Slowlog),
         "CANCEL" => Ok(Request::Cancel),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "QUIT" => Ok(Request::Quit),
@@ -146,6 +156,8 @@ mod tests {
             Ok(Request::Exec(255))
         );
         assert_eq!(parse_request("STATS\r\n"), Ok(Request::Stats));
+        assert_eq!(parse_request("metrics"), Ok(Request::Metrics));
+        assert_eq!(parse_request("Slowlog\r\n"), Ok(Request::Slowlog));
         assert_eq!(parse_request("cancel"), Ok(Request::Cancel));
         assert!(parse_request("EXEC zz").is_err());
         assert!(parse_request("").is_err());

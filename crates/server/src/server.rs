@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use obs::{CacheCounters, ResultCacheCounters, SessionProfile};
+use obs::{CacheCounters, ExecMetrics, Json, ResultCacheCounters, SessionProfile};
 use parking_lot::{Mutex, RwLock};
 use rewriting::{PreparedQuery, Uload};
 use storage::{DocumentHandle, DocumentVersion};
@@ -23,9 +23,11 @@ use uload_error::{Error, Result};
 use crate::admission::{Admission, AdmissionError};
 use crate::cache::ResultCache;
 use crate::conn::{is_poll_timeout, BindAddr, Conn, Listener};
+use crate::metrics::ServerMetrics;
 use crate::protocol::{
     cancelled_line, done_line, err_line, parse_request, prepared_line, row_line, Request,
 };
+use crate::slowlog::{SlowDisposition, SlowLog, SlowQueryEntry};
 
 /// Serving knobs. Builder-style like
 /// [`EngineConfig`](rewriting::EngineConfig): start from `default()`,
@@ -65,6 +67,24 @@ pub struct ServerConfig {
     /// which a mid-stream `CANCEL` is observed, which the cancellation
     /// tests rely on.
     pub stream_throttle: Duration,
+    /// Collect server-wide telemetry: latency histograms, registry
+    /// counters, per-session `ExecMetrics` (uncached executions run
+    /// with per-operator metering forced on — the zero-cost `Meter`
+    /// discipline keeps this within the `telemetry_overhead` bench's
+    /// ≤5% bound). Off, `METRICS` still answers but histograms and
+    /// kernel counters stay empty.
+    pub telemetry: bool,
+    /// Latency at or above which a request is captured in the
+    /// slow-query log.
+    pub slow_query_threshold: Duration,
+    /// Slow-query ring capacity in entries (`0` disables capture).
+    pub slowlog_capacity: usize,
+    /// Attach a full `EXPLAIN ANALYZE` profile to slow-log entries by
+    /// re-running completed uncached slow queries in profiled mode
+    /// (which also feeds the engine's `StatsStore` under the real
+    /// document version). The re-run happens on the session thread,
+    /// after the rows were already streamed.
+    pub slowlog_profile: bool,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +98,10 @@ impl Default for ServerConfig {
             result_cache_max_rows: 100_000,
             idle_poll: Duration::from_millis(50),
             stream_throttle: Duration::ZERO,
+            telemetry: true,
+            slow_query_threshold: Duration::from_millis(250),
+            slowlog_capacity: 128,
+            slowlog_profile: true,
         }
     }
 }
@@ -122,6 +146,27 @@ impl ServerConfig {
         self
     }
 
+    /// Server-wide telemetry collection on/off.
+    pub fn with_telemetry(mut self, on: bool) -> ServerConfig {
+        self.telemetry = on;
+        self
+    }
+
+    /// Slow-query log shape: capture requests at or over `threshold`,
+    /// keep the most recent `capacity` (0 disables capture).
+    pub fn with_slowlog(mut self, threshold: Duration, capacity: usize) -> ServerConfig {
+        self.slow_query_threshold = threshold;
+        self.slowlog_capacity = capacity;
+        self
+    }
+
+    /// Attach `EXPLAIN ANALYZE` profiles to slow-log entries (a
+    /// profiled re-run of the offending plan) on/off.
+    pub fn with_slowlog_profile(mut self, on: bool) -> ServerConfig {
+        self.slowlog_profile = on;
+        self
+    }
+
     /// Reject nonsensical combinations up front.
     pub fn validate(&self) -> Result<()> {
         if self.admission_per_query == 0 {
@@ -147,6 +192,8 @@ pub struct ServerState {
     prepared: RwLock<HashMap<u64, Arc<PreparedQuery>>>,
     cache: ResultCache,
     admission: Admission,
+    metrics: ServerMetrics,
+    slowlog: SlowLog,
     config: ServerConfig,
     shutdown: AtomicBool,
     next_session: AtomicU64,
@@ -166,6 +213,8 @@ impl ServerState {
                 config.admission_per_query,
                 config.admission_timeout,
             ),
+            metrics: ServerMetrics::new(),
+            slowlog: SlowLog::new(config.slow_query_threshold, config.slowlog_capacity),
             config,
             shutdown: AtomicBool::new(false),
             next_session: AtomicU64::new(1),
@@ -202,6 +251,79 @@ impl ServerState {
     /// The shared result cache (for observability and tests).
     pub fn result_cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// The server's global metrics (histograms, counters, gauges).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// The slow-query log (drained by the `SLOWLOG` command).
+    pub fn slowlog(&self) -> &SlowLog {
+        &self.slowlog
+    }
+
+    /// The `METRICS` response: the whole-server observability snapshot
+    /// — session/admission/slowlog state, cache counters, the
+    /// `StatsStore` rollup and the full registry (counters, gauges,
+    /// latency histograms). Validated against
+    /// `schemas/metrics.schema.json`.
+    pub fn metrics_json(&self) -> Json {
+        // point-in-time gauges are refreshed at snapshot time
+        let admission = Json::obj(vec![
+            ("total", Json::Num(self.admission.total() as f64)),
+            ("per_query", Json::Num(self.admission.per_query() as f64)),
+            ("in_use", Json::Num(self.admission.in_use() as f64)),
+            ("peak", Json::Num(self.admission.peak() as f64)),
+            (
+                "admitted_total",
+                Json::Num(self.admission.admitted_total() as f64),
+            ),
+            (
+                "timeouts_total",
+                Json::Num(self.admission.timeouts_total() as f64),
+            ),
+        ]);
+        let rc = self.cache.counters();
+        let result_cache = Json::obj(vec![
+            ("hits", Json::Num(rc.hits as f64)),
+            ("misses", Json::Num(rc.misses as f64)),
+            ("insertions", Json::Num(rc.insertions as f64)),
+            ("evictions", Json::Num(rc.evictions as f64)),
+            ("entries", Json::Num(rc.entries as f64)),
+            ("hit_rate", Json::Num(rc.hit_rate())),
+        ]);
+        let canonical = match self.engine.cache_stats() {
+            Some(s) => Json::obj(vec![
+                ("hits", Json::Num(s.hits as f64)),
+                ("misses", Json::Num(s.misses as f64)),
+                ("evictions", Json::Num(s.evictions as f64)),
+                (
+                    "entries",
+                    Json::Num((s.verdict_entries + s.model_entries + s.annotation_entries) as f64),
+                ),
+            ]),
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            (
+                "server",
+                Json::obj(vec![
+                    ("telemetry", Json::Bool(self.config.telemetry)),
+                    ("sessions_active", Json::Num(self.sessions_active() as f64)),
+                    ("sessions_total", Json::Num(self.sessions_total() as f64)),
+                    ("prepared_plans", Json::Num(self.prepared_count() as f64)),
+                    ("admission", admission),
+                ]),
+            ),
+            (
+                "caches",
+                Json::obj(vec![("result", result_cache), ("canonical", canonical)]),
+            ),
+            ("slowlog", self.slowlog.summary_json()),
+            ("stats_store", self.engine.stats_store().summary_json()),
+            ("registry", self.metrics.snapshot().to_json()),
+        ])
     }
 
     /// Prepared plans currently registered.
@@ -373,6 +495,9 @@ struct SessionCounters {
     admission_timeouts: u64,
     rc_hits: u64,
     rc_misses: u64,
+    /// Kernel counters absorbed from this session's metered uncached
+    /// executions (telemetry on only).
+    exec: ExecMetrics,
 }
 
 fn session_profile(id: u64, c: &SessionCounters, state: &ServerState) -> SessionProfile {
@@ -400,6 +525,7 @@ fn session_profile(id: u64, c: &SessionCounters, state: &ServerState) -> Session
             model_entries: s.model_entries,
             annotation_entries: s.annotation_entries,
         }),
+        exec: c.exec,
     }
 }
 
@@ -452,50 +578,98 @@ fn session_loop(id: u64, conn: Box<dyn Conn>, state: &ServerState) -> std::io::R
             }
         };
         match req {
-            Request::Prepare(text) => match state.engine.prepare_query(&text) {
-                Ok(prep) => {
-                    counters.prepared += 1;
-                    let fp = state.register(prep);
-                    send(&mut writer, &prepared_line(fp))?;
+            Request::Prepare(text) => {
+                let span = tracing::debug_span!(target: "uload::server", "prepare");
+                let _g = span.enter();
+                let t = Instant::now();
+                match state.engine.prepare_query(&text) {
+                    Ok(prep) => {
+                        counters.prepared += 1;
+                        state.metrics.prepares.inc();
+                        if state.config.telemetry {
+                            state.metrics.prepare_ns.record_duration(t.elapsed());
+                        }
+                        let fp = state.register(prep);
+                        tracing::debug!(
+                            target: "uload::server",
+                            "session {id}: prepared fp={fp:016x} in {}ns",
+                            t.elapsed().as_nanos()
+                        );
+                        send(&mut writer, &prepared_line(fp))?;
+                    }
+                    Err(e) => {
+                        state.metrics.errors.inc();
+                        send(&mut writer, &err_line(&e.to_string()))?
+                    }
                 }
-                Err(e) => send(&mut writer, &err_line(&e.to_string()))?,
-            },
-            Request::Exec(fp) => match state.lookup(fp) {
-                Some(prep) => {
-                    let end = execute(
-                        state,
-                        &prep,
-                        &mut reader,
-                        &mut writer,
-                        &mut line,
-                        &mut counters,
-                    )?;
-                    finish(&mut writer, fp, end, &mut counters)?;
+            }
+            Request::Exec(fp) => {
+                let span = tracing::debug_span!(target: "uload::server", "exec");
+                let _g = span.enter();
+                match state.lookup(fp) {
+                    Some(prep) => {
+                        let end = execute(
+                            state,
+                            id,
+                            &prep,
+                            &mut reader,
+                            &mut writer,
+                            &mut line,
+                            &mut counters,
+                        )?;
+                        finish(&mut writer, fp, end, &mut counters)?;
+                    }
+                    None => {
+                        state.metrics.errors.inc();
+                        send(
+                            &mut writer,
+                            &err_line(&format!("no prepared plan under fingerprint {fp:016x}")),
+                        )?
+                    }
                 }
-                None => send(
-                    &mut writer,
-                    &err_line(&format!("no prepared plan under fingerprint {fp:016x}")),
-                )?,
-            },
-            Request::Query(text) => match state.engine.prepare_query(&text) {
-                Ok(prep) => {
-                    let fp = state.register(prep);
-                    let prep = state.lookup(fp).expect("just registered");
-                    let end = execute(
-                        state,
-                        &prep,
-                        &mut reader,
-                        &mut writer,
-                        &mut line,
-                        &mut counters,
-                    )?;
-                    finish(&mut writer, fp, end, &mut counters)?;
+            }
+            Request::Query(text) => {
+                let span = tracing::debug_span!(target: "uload::server", "query");
+                let _g = span.enter();
+                match state.engine.prepare_query(&text) {
+                    Ok(prep) => {
+                        let fp = state.register(prep);
+                        let prep = state.lookup(fp).expect("just registered");
+                        let end = execute(
+                            state,
+                            id,
+                            &prep,
+                            &mut reader,
+                            &mut writer,
+                            &mut line,
+                            &mut counters,
+                        )?;
+                        finish(&mut writer, fp, end, &mut counters)?;
+                    }
+                    Err(e) => {
+                        state.metrics.errors.inc();
+                        send(&mut writer, &err_line(&e.to_string()))?
+                    }
                 }
-                Err(e) => send(&mut writer, &err_line(&e.to_string()))?,
-            },
+            }
             Request::Stats => {
                 let json = session_profile(id, &counters, state).to_json();
                 send(&mut writer, &format!("STATS {}", json.to_string_compact()))?;
+            }
+            Request::Metrics => {
+                let json = state.metrics_json();
+                send(
+                    &mut writer,
+                    &format!("METRICS {}", json.to_string_compact()),
+                )?;
+            }
+            Request::Slowlog => {
+                let entries = state.slowlog().drain();
+                let json = Json::Arr(entries.iter().map(SlowQueryEntry::to_json).collect());
+                send(
+                    &mut writer,
+                    &format!("SLOWLOG {}", json.to_string_compact()),
+                )?;
             }
             Request::Cancel => {
                 // nothing in flight: acknowledge as a zero-row cancel
@@ -556,6 +730,7 @@ fn finish(
 /// memoized for the snapshot's document version.
 fn execute(
     state: &ServerState,
+    session_id: u64,
     prep: &PreparedQuery,
     reader: &mut BufReader<Box<dyn Conn>>,
     writer: &mut BufWriter<Box<dyn Conn>>,
@@ -563,42 +738,96 @@ fn execute(
     counters: &mut SessionCounters,
 ) -> std::io::Result<ExecEnd> {
     let started = Instant::now();
+    let telemetry = state.config.telemetry;
+    state.metrics.requests.inc();
     let handle = state.document(); // snapshot: swaps don't affect us mid-stream
     let key = (prep.fingerprint(), handle.version());
 
     if let Some(rows) = state.cache.get(key) {
         counters.rc_hits += 1;
+        state.metrics.result_cache_hits.inc();
         for xml in rows.iter() {
             writer.write_all(row_line(xml).as_bytes())?;
             writer.write_all(b"\n")?;
         }
         writer.flush()?;
+        let elapsed = started.elapsed();
+        let n = rows.len() as u64;
+        state.metrics.rows_streamed.add(n);
+        if telemetry {
+            state.metrics.record_cached(elapsed);
+        }
+        observe_slow(
+            state,
+            session_id,
+            prep,
+            &handle,
+            elapsed,
+            true,
+            n,
+            SlowDisposition::Done,
+        );
         return Ok(ExecEnd::Done {
-            rows: rows.len() as u64,
+            rows: n,
             cached: true,
             version: handle.version(),
-            ns: started.elapsed().as_nanos() as u64,
+            ns: elapsed.as_nanos() as u64,
         });
     }
     counters.rc_misses += 1;
+    state.metrics.result_cache_misses.inc();
 
-    let _permit = match state.admission.acquire() {
+    state.metrics.queue_depth.inc();
+    let wait = Instant::now();
+    let acquired = state.admission.acquire();
+    state.metrics.queue_depth.dec();
+    if telemetry {
+        state
+            .metrics
+            .admission_wait_ns
+            .record_duration(wait.elapsed());
+    }
+    let _permit = match acquired {
         Ok(p) => p,
         Err(AdmissionError::Timeout) => {
             counters.admission_timeouts += 1;
+            state.metrics.admission_timeouts.inc();
+            state.metrics.errors.inc();
+            observe_slow(
+                state,
+                session_id,
+                prep,
+                &handle,
+                started.elapsed(),
+                false,
+                0,
+                SlowDisposition::Failed,
+            );
             return Ok(ExecEnd::Failed(
                 "admission queue full: server at its resident-tuple budget".into(),
             ));
         }
     };
 
-    let mut results = match state.engine.stream_prepared(prep, &handle) {
+    // with telemetry on, per-operator metering is forced on so kernel
+    // counters reach the session and registry totals (the zero-cost
+    // `Meter` kernels keep the metered run within the bench's bound)
+    let stream = if telemetry {
+        state.engine.stream_prepared_metered(prep, &handle)
+    } else {
+        state.engine.stream_prepared(prep, &handle)
+    };
+    let mut results = match stream {
         Ok(r) => r,
-        Err(e) => return Ok(ExecEnd::Failed(e.to_string())),
+        Err(e) => {
+            state.metrics.errors.inc();
+            return Ok(ExecEnd::Failed(e.to_string()));
+        }
     };
 
     let per_query = state.admission.per_query();
     let mut emitted: u64 = 0;
+    let mut budget_abort = false;
     let mut collected: Option<Vec<String>> = Some(Vec::new());
     let outcome = loop {
         match results.next_batch() {
@@ -620,6 +849,7 @@ fn execute(
                 if results.peak_resident_tuples() > per_query {
                     results.close();
                     counters.budget_aborts += 1;
+                    budget_abort = true;
                     break ExecEnd::Failed(format!(
                         "per-query budget exceeded: {} resident tuples > {per_query}",
                         results.peak_resident_tuples()
@@ -660,8 +890,113 @@ fn execute(
             }
         }
     };
+
+    let elapsed = started.elapsed();
+    state
+        .metrics
+        .residency_high_water
+        .set_max(results.peak_resident_tuples());
+    if telemetry {
+        let sp = results.stream_profile();
+        let mut totals = ExecMetrics::default();
+        for op in &sp.ops {
+            totals.absorb(&op.metrics);
+        }
+        counters.exec.absorb(&totals);
+        state.metrics.absorb_exec(&totals);
+    }
+    drop(results); // release resident state before any profiled re-run
+
+    let (rows_out, disposition) = match &outcome {
+        ExecEnd::Done { rows, .. } => {
+            if telemetry {
+                state.metrics.record_uncached(elapsed);
+            }
+            state.metrics.rows_streamed.add(*rows);
+            (*rows, SlowDisposition::Done)
+        }
+        ExecEnd::Cancelled { rows } => {
+            state.metrics.cancelled.inc();
+            state.metrics.rows_streamed.add(*rows);
+            (*rows, SlowDisposition::Cancelled)
+        }
+        ExecEnd::Failed(_) => {
+            state.metrics.errors.inc();
+            if budget_abort {
+                state.metrics.budget_aborts.inc();
+            }
+            (
+                emitted,
+                if budget_abort {
+                    SlowDisposition::BudgetAbort
+                } else {
+                    SlowDisposition::Failed
+                },
+            )
+        }
+    };
+    observe_slow(
+        state,
+        session_id,
+        prep,
+        &handle,
+        elapsed,
+        false,
+        rows_out,
+        disposition,
+    );
     // permit drops here, after the stream released its resident state
     Ok(outcome)
+}
+
+/// Count a request against the slow-query threshold and, when it
+/// qualifies, capture it in the ring — for completed uncached
+/// executions optionally with a profiled re-run of the same plan over
+/// the same document snapshot (which also records its measured
+/// cardinalities in the engine's `StatsStore` under the real document
+/// version). The re-run happens after the rows were streamed and the
+/// cursor's resident state was released, but still under the session's
+/// admission permit, so it cannot over-admit the server.
+#[allow(clippy::too_many_arguments)]
+fn observe_slow(
+    state: &ServerState,
+    session_id: u64,
+    prep: &PreparedQuery,
+    handle: &DocumentHandle,
+    latency: Duration,
+    cached: bool,
+    rows: u64,
+    disposition: SlowDisposition,
+) {
+    if latency >= state.config.slow_query_threshold {
+        state.metrics.slow_queries.inc();
+    }
+    if !state.slowlog.qualifies(latency) {
+        return;
+    }
+    let profile = if state.config.slowlog_profile && !cached && disposition == SlowDisposition::Done
+    {
+        state.engine.profile_prepared(prep, handle).ok()
+    } else {
+        None
+    };
+    tracing::debug!(
+        target: "uload::server",
+        "session {session_id}: slow query fp={:016x} latency={}ns rows={rows} ({})",
+        prep.fingerprint(),
+        latency.as_nanos(),
+        disposition.as_str()
+    );
+    state.slowlog.record(SlowQueryEntry {
+        session_id,
+        fingerprint: prep.fingerprint(),
+        query: prep.query().to_string(),
+        latency_ns: latency.as_nanos() as u64,
+        cached,
+        rows,
+        disposition,
+        profile,
+    });
 }
 
 enum Poll {

@@ -605,54 +605,66 @@ fn server(quick: bool) {
     // cold path: each repetition swaps the document first, minting a new
     // version so the (fingerprint, version) cache key can never match —
     // the server plans nothing (the query is prepared) but executes fully
-    let mut uncached_ns = Vec::with_capacity(reps);
     for _ in 0..reps {
         server.state().swap_document(doc.clone());
         let reply = warm.exec(fp).expect("uncached exec");
         assert!(!reply.cached, "document swap failed to invalidate");
-        uncached_ns.push(reply.ns);
     }
     // warm path: the last miss memoized the current version's rows
-    let mut cached_ns = Vec::with_capacity(reps);
     for _ in 0..reps {
         let reply = warm.exec(fp).expect("cached exec");
         assert!(reply.cached, "warm exec missed the result cache");
-        cached_ns.push(reply.ns);
     }
-    uncached_ns.sort_unstable();
-    cached_ns.sort_unstable();
-    // server-side latencies (request receipt → DONE), so the comparison
-    // excludes the wire and measures execute-vs-memoize honestly
-    let uncached_p50 = percentile(&uncached_ns, 0.5);
-    let cached_p50 = percentile(&cached_ns, 0.5);
+    // server-side latencies come from the telemetry histograms the
+    // request path records into (request receipt → DONE), so the
+    // comparison excludes the wire and measures execute-vs-memoize
+    // honestly — and exercises the same snapshots METRICS serves
+    let uncached_hist = server.state().metrics().exec_uncached_ns.snapshot();
+    let cached_hist = server.state().metrics().exec_cached_ns.snapshot();
+    assert_eq!(
+        uncached_hist.count(),
+        reps as u64,
+        "uncached histogram missed executions"
+    );
+    assert_eq!(
+        cached_hist.count(),
+        reps as u64,
+        "cached histogram missed cache hits"
+    );
+    let uncached_p50 = uncached_hist.p50();
+    let cached_p50 = cached_hist.p50();
     let warm_speedup = uncached_p50 as f64 / cached_p50.max(1) as f64;
     println!(
-        "{:<10} {:>12} {:>12} {:>5}",
-        "phase", "p50 (ns)", "p99 (ns)", "n"
+        "{:<10} {:>12} {:>12} {:>12} {:>5}",
+        "phase", "p50 (ns)", "p99 (ns)", "p999 (ns)", "n"
     );
     println!(
-        "{:<10} {:>12} {:>12} {:>5}",
+        "{:<10} {:>12} {:>12} {:>12} {:>5}",
         "uncached",
         uncached_p50,
-        percentile(&uncached_ns, 0.99),
+        uncached_hist.p99(),
+        uncached_hist.p999(),
         reps
     );
     println!(
-        "{:<10} {:>12} {:>12} {:>5}",
+        "{:<10} {:>12} {:>12} {:>12} {:>5}",
         "cached",
         cached_p50,
-        percentile(&cached_ns, 0.99),
+        cached_hist.p99(),
+        cached_hist.p999(),
         reps
     );
     println!("warm result-cache speedup: {warm_speedup:.2}x");
 
-    // concurrency sweep: N clients hammer the warm entry, client-side
-    // wall latencies → QPS and tail percentiles per client count
+    // concurrency sweep: N clients hammer the warm entry; each thread
+    // records client-side wall latencies into its own lock-free
+    // histogram and the per-round stats come from the merged snapshots
+    // (the same mergeability METRICS relies on)
     let addr = server.addr().clone();
     let mut sweep = Vec::new();
     println!(
-        "\n{:>7} {:>9} {:>10} {:>12} {:>12}",
-        "clients", "requests", "qps", "p50 (ns)", "p99 (ns)"
+        "\n{:>7} {:>9} {:>10} {:>12} {:>12} {:>12}",
+        "clients", "requests", "qps", "p50 (ns)", "p90 (ns)", "p99 (ns)"
     );
     for &n in &client_counts {
         // connect + prepare happen before the barrier: the timed window
@@ -666,31 +678,34 @@ fn server(quick: bool) {
                     let mut c = Client::connect(&addr).expect("sweep connect");
                     let fp = c.prepare(query).expect("sweep prepare");
                     barrier.wait();
-                    let mut lat = Vec::with_capacity(per_client);
+                    let lat = uload::Histogram::new();
                     for _ in 0..per_client {
                         let start = Instant::now();
                         let reply = c.exec(fp).expect("sweep exec");
-                        lat.push(start.elapsed().as_nanos() as u64);
+                        lat.record_duration(start.elapsed());
                         assert!(!reply.rows.is_empty(), "sweep exec lost its rows");
                     }
                     let _ = c.quit();
-                    lat
+                    lat.snapshot()
                 })
             })
             .collect();
         barrier.wait();
         let round = Instant::now();
-        let mut lat: Vec<u64> = threads
-            .into_iter()
-            .flat_map(|t| t.join().expect("sweep thread"))
-            .collect();
+        let mut lat = uload::HistogramSnapshot::empty();
+        for t in threads {
+            lat.merge(&t.join().expect("sweep thread"));
+        }
         let wall = round.elapsed();
-        lat.sort_unstable();
         let requests = n * per_client;
         let qps = requests as f64 / wall.as_secs_f64();
-        let (p50, p99) = (percentile(&lat, 0.5), percentile(&lat, 0.99));
-        println!("{n:>7} {requests:>9} {qps:>10.0} {p50:>12} {p99:>12}");
-        sweep.push((n, requests, qps, p50, p99));
+        println!(
+            "{n:>7} {requests:>9} {qps:>10.0} {:>12} {:>12} {:>12}",
+            lat.p50(),
+            lat.p90(),
+            lat.p99()
+        );
+        sweep.push((n, requests, qps, lat));
     }
 
     let rc = server.state().result_cache().counters();
@@ -726,12 +741,23 @@ fn server(quick: bool) {
     ));
     json.push_str(&format!(
         "  \"uncached_ns_p50\": {uncached_p50},\n  \"cached_ns_p50\": {cached_p50},\n  \
-         \"warm_speedup\": {warm_speedup:.3},\n  \"sweep\": [\n"
+         \"warm_speedup\": {warm_speedup:.3},\n"
     ));
-    for (i, (n, requests, qps, p50, p99)) in sweep.iter().enumerate() {
+    // full server-side snapshots (summary stats + non-empty buckets),
+    // spliced in compact form from the telemetry layer's own serializer
+    json.push_str(&format!(
+        "  \"server_histograms\": {{\"uncached\": {}, \"cached\": {}}},\n  \"sweep\": [\n",
+        uncached_hist.to_json().to_string_compact(),
+        cached_hist.to_json().to_string_compact()
+    ));
+    for (i, (n, requests, qps, lat)) in sweep.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"clients\": {n}, \"requests\": {requests}, \"qps\": {qps:.1}, \
-             \"p50_ns\": {p50}, \"p99_ns\": {p99}}}{}\n",
+             \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}{}\n",
+            lat.p50(),
+            lat.p90(),
+            lat.p99(),
+            lat.p999(),
             if i + 1 == sweep.len() { "" } else { "," }
         ));
     }
@@ -777,9 +803,4 @@ fn server(quick: bool) {
         "(cache hits bypass admission and the executor entirely — the warm path serves \
          memoized rows; the sweep shows the shared entry scaling across sessions)"
     );
-}
-
-/// Nearest-rank percentile over an ascending-sorted sample.
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
 }

@@ -9,10 +9,13 @@
 //!                                          # (--limit streams and stops early)
 //! uload contain <file.xml> '<xam p>' '<xam q>' [--threads N]
 //!                                          # decide p ⊆_S q under the summary
-//! uload serve <file.xml> [--addr HOST:PORT | --unix PATH] ['<name>=<xam>'…]
+//! uload serve <file.xml> [--addr HOST:PORT | --unix PATH] [--slow-ms N] ['<name>=<xam>'…]
 //!                                          # serve the document to clients
+//!                                          # (--slow-ms: slow-query threshold)
 //! uload client <ADDR> query '<xquery>'     # one query against a server
 //! uload client <ADDR> stats                # the session's profile JSON
+//! uload client <ADDR> metrics              # server-wide metrics JSON
+//! uload client <ADDR> slowlog              # drain the slow-query log
 //! uload client <ADDR> shutdown             # stop a running server
 //! ```
 //!
@@ -49,8 +52,8 @@ fn usage() -> Error {
          uload query <file.xml> '<xquery>'\n  \
          uload rewrite <file.xml> '<xquery>' '<name>=<xam>'… [--limit N]\n  \
          uload contain <file.xml> '<xam p>' '<xam q>' [--threads N]\n  \
-         uload serve <file.xml> [--addr HOST:PORT | --unix PATH] ['<name>=<xam>'…]\n  \
-         uload client <ADDR> (query '<xquery>' | stats | shutdown)"
+         uload serve <file.xml> [--addr HOST:PORT | --unix PATH] [--slow-ms N] ['<name>=<xam>'…]\n  \
+         uload client <ADDR> (query '<xquery>' | stats | metrics | slowlog | shutdown)"
             .to_string(),
     )
 }
@@ -209,6 +212,7 @@ fn run(args: &[String]) -> Result<()> {
             let doc = load(args.get(1).ok_or_else(usage)?)?;
             let mut addr = BindAddr::Tcp("127.0.0.1:7711".into());
             let mut views: Vec<&str> = Vec::new();
+            let mut config = ServerConfig::default();
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -218,6 +222,17 @@ fn run(args: &[String]) -> Result<()> {
                     }
                     "--unix" => {
                         addr = BindAddr::Unix(args.get(i + 1).ok_or_else(usage)?.into());
+                        i += 2;
+                    }
+                    "--slow-ms" => {
+                        let ms = args
+                            .get(i + 1)
+                            .ok_or_else(usage)?
+                            .parse::<u64>()
+                            .map_err(|e| Error::Config(format!("--slow-ms: {e}")))?;
+                        let capacity = config.slowlog_capacity;
+                        config =
+                            config.with_slowlog(std::time::Duration::from_millis(ms), capacity);
                         i += 2;
                     }
                     v => {
@@ -236,11 +251,7 @@ fn run(args: &[String]) -> Result<()> {
                 })?;
                 engine.add_view_text(name, text, &doc)?;
             }
-            let server = Server::start(
-                ServerConfig::default().with_addr(addr),
-                engine,
-                DocumentHandle::new(doc),
-            )?;
+            let server = Server::start(config.with_addr(addr), engine, DocumentHandle::new(doc))?;
             println!(
                 "serving on {} (stop with `uload client <ADDR> shutdown`)",
                 server.addr()
@@ -270,6 +281,14 @@ fn run(args: &[String]) -> Result<()> {
                 }
                 Some("stats") => {
                     println!("{}", client.stats_json()?);
+                    client.quit()
+                }
+                Some("metrics") => {
+                    println!("{}", client.metrics_json()?);
+                    client.quit()
+                }
+                Some("slowlog") => {
+                    println!("{}", client.slowlog_json()?);
                     client.quit()
                 }
                 Some("shutdown") => client.shutdown_server(),

@@ -66,9 +66,10 @@ pub use containment::{
 };
 pub use obs::json;
 pub use obs::{
-    init_from_env, ArmTelemetry, CacheCounters, EnvFilter, ExecMetrics, FmtSubscriber, Json,
-    OpProfile, OpStreamProfile, PlanNodeProfile, QueryProfile, ResultCacheCounters, SessionProfile,
-    StreamProfile,
+    init_from_env, ArmStats, ArmTelemetry, CacheCounters, Counter, EnvFilter, ExecMetrics,
+    FmtSubscriber, Gauge, Histogram, HistogramSnapshot, Json, MetricsRegistry, NodeStats,
+    OpProfile, OpStreamProfile, PlanNodeProfile, QueryProfile, RegistrySnapshot,
+    ResultCacheCounters, SessionProfile, StatsKey, StatsStore, StreamProfile,
 };
 pub use rewriting::{
     plan_fingerprint, rewrite_with_engine, EngineConfig, EngineOptions, PreparedQuery, QueryItem,
@@ -85,7 +86,10 @@ pub use xquery::{ExtractedQuery, Query};
 /// [`server::Client`] and the line protocol.
 pub use uload_server as server;
 
-pub use uload_server::{BindAddr, Client, ExecReply, Server, ServerConfig, ServerHandle};
+pub use uload_server::{
+    BindAddr, Client, ExecReply, Server, ServerConfig, ServerHandle, ServerMetrics, SlowLog,
+    SlowQueryEntry,
+};
 
 /// Parse an XML document (façade wrapper returning the unified error).
 pub fn parse_document(text: &str) -> Result<Document> {
@@ -107,10 +111,11 @@ pub mod prelude {
         generate, init_from_env, minimize_by_contraction, minimize_global, parse_document,
         parse_xam, plan_fingerprint, qep, rewrite_with_engine, BindAddr, CacheStats,
         CanonicalCache, Client, ContainOptions, ContainmentOutcome, Document, DocumentHandle,
-        DocumentVersion, EngineConfig, EngineOptions, Error, Evaluator, ExecReply, IdStreamIndex,
-        PlanNodeProfile, PreparedQuery, QueryItem, QueryOutput, QueryProfile, QueryResults,
-        Relation, Result, ResultCacheCounters, RewriteConfig, Rewriting, Server, ServerConfig,
-        ServerHandle, SessionProfile, StreamProfile, Summary, TupleBatch, TwigPattern, Uload, Xam,
+        DocumentVersion, EngineConfig, EngineOptions, Error, Evaluator, ExecReply, Histogram,
+        HistogramSnapshot, IdStreamIndex, MetricsRegistry, PlanNodeProfile, PreparedQuery,
+        QueryItem, QueryOutput, QueryProfile, QueryResults, Relation, Result, ResultCacheCounters,
+        RewriteConfig, Rewriting, Server, ServerConfig, ServerHandle, SessionProfile, StatsStore,
+        StreamProfile, Summary, TupleBatch, TwigPattern, Uload, Xam,
     };
 }
 

@@ -558,6 +558,57 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Telemetry histograms bound true quantiles within one log-linear
+    /// bucket, and merging per-shard snapshots is indistinguishable from
+    /// recording everything into a single histogram. The reported
+    /// quantile never undershoots the exact nearest-rank order statistic
+    /// and overshoots by at most the bucket width (exact below 16,
+    /// ≤ 1/16 relative above).
+    #[test]
+    fn histogram_quantiles_within_one_bucket(
+        values in prop::collection::vec(0u64..(1u64 << 44), 1..400),
+        parts in 1usize..6,
+    ) {
+        let shards: Vec<uload::Histogram> =
+            (0..parts).map(|_| uload::Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % parts].record(v);
+        }
+        let mut merged = uload::HistogramSnapshot::empty();
+        for s in &shards {
+            merged.merge(&s.snapshot());
+        }
+        prop_assert_eq!(merged.count(), values.len() as u64);
+
+        // sharded-and-merged == one whole histogram, bucket for bucket
+        let whole = uload::Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        prop_assert_eq!(&merged, &whole.snapshot());
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(merged.min(), sorted[0]);
+        prop_assert_eq!(merged.max(), *sorted.last().unwrap());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let got = merged.quantile(q);
+            prop_assert!(got >= truth, "q={} reported {} < true {}", q, got, truth);
+            let slack = if truth < 16 { 0 } else { truth >> 4 };
+            prop_assert!(
+                got - truth <= slack,
+                "q={} reported {} vs true {} exceeds one bucket (slack {})",
+                q, got, truth, slack
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(2))]
 
     /// The parallel, cache-backed engine is observationally identical to

@@ -286,6 +286,156 @@ fn document_swap_invalidates_through_the_version_key() {
 }
 
 #[test]
+fn slow_query_lands_in_slowlog_with_profile_and_fast_one_does_not() {
+    // one-row batches plus a per-batch throttle make the uncached
+    // execution reliably cross the slow-query threshold; the cached
+    // replay serves memoized rows at full speed and must stay out
+    let config = ServerConfig::default()
+        .with_stream_throttle(Duration::from_millis(10))
+        .with_slowlog(Duration::from_millis(25), 16);
+    let server = start(generate::xmark(2, 13), 1, config);
+    let mut c = Client::connect(server.addr()).unwrap();
+    let fp = c.prepare(QUERY).unwrap();
+
+    let cold = c.exec(fp).unwrap();
+    assert!(!cold.cached && cold.rows.len() >= 3);
+    let warm = c.exec(fp).unwrap();
+    assert!(warm.cached);
+
+    let log = json::parse(&c.slowlog_json().unwrap()).unwrap();
+    let entries = log.as_arr().unwrap();
+    assert_eq!(
+        entries.len(),
+        1,
+        "exactly the throttled uncached exec qualifies: {entries:?}"
+    );
+    let e = &entries[0];
+    assert_eq!(e.get("fp").unwrap().as_str().unwrap(), format!("{fp:016x}"));
+    assert_eq!(e.get("disposition").unwrap().as_str().unwrap(), "done");
+    assert!(matches!(e.get("cached").unwrap(), uload::Json::Bool(false)));
+    assert!(e.get("latency_ns").unwrap().as_f64().unwrap() >= 25e6);
+    assert_eq!(
+        e.get("rows").unwrap().as_f64().unwrap(),
+        cold.rows.len() as f64
+    );
+    // the captured QueryProfile is the full per-node tree, not a stub
+    let profile = e.get("profile").unwrap();
+    assert!(
+        profile.get("plan").is_some(),
+        "slow entry must carry the re-profiled plan: {profile:?}"
+    );
+
+    // the profiled re-run fed the cardinality feedback store under the
+    // served document's version
+    let stats = server.state().engine().stats_store();
+    assert!(!stats.is_empty(), "StatsStore empty after a profiled run");
+    assert!(stats.observations() > 0);
+
+    // SLOWLOG drains: a second call returns nothing, but the lifetime
+    // counter remembers the capture
+    let again = json::parse(&c.slowlog_json().unwrap()).unwrap();
+    assert!(again.as_arr().unwrap().is_empty());
+    assert_eq!(server.state().slowlog().recorded(), 1);
+    assert_eq!(server.state().metrics().slow_queries.get(), 1);
+
+    c.quit().unwrap();
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn metrics_snapshot_validates_against_schema_and_stats_absorb_exec_counters() {
+    // join-only rewriting over two single-node views: the plan is a
+    // structural join (fused twig), so the metered execution reports
+    // real kernel counters instead of a pure view scan's zeros
+    let doc = generate::xmark(2, 13);
+    let mut cfg = EngineConfig::default();
+    cfg.rewrite.allow_navigation = false;
+    let mut engine = Uload::builder().document(&doc).config(cfg).build().unwrap();
+    engine
+        .add_view_text("v_items", "//item[id:s]", &doc)
+        .unwrap();
+    engine
+        .add_view_text("v_names", "//name[id:s,val]", &doc)
+        .unwrap();
+    let server = Server::start(ServerConfig::default(), engine, DocumentHandle::new(doc)).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let fp = c.prepare(r#"doc("X")//item/name"#).unwrap();
+    assert!(!c.exec(fp).unwrap().cached);
+    assert!(c.exec(fp).unwrap().cached);
+
+    // per-session STATS surfaces the absorbed kernel counters of the
+    // uncached execution
+    let stats = json::parse(&c.stats_json().unwrap()).unwrap();
+    let exec = stats.get("exec").unwrap();
+    assert!(
+        exec.get("comparisons").unwrap().as_f64().unwrap() > 0.0,
+        "session exec counters never absorbed: {exec:?}"
+    );
+    assert!(exec.get("batches_scanned").unwrap().as_f64().is_some());
+    assert!(exec.get("vector_compares").unwrap().as_f64().is_some());
+
+    // METRICS validates against the published contract
+    let metrics = json::parse(&c.metrics_json().unwrap()).unwrap();
+    let schema_text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/schemas/metrics.schema.json"
+    ))
+    .unwrap();
+    let schema = json::parse(&schema_text).unwrap();
+    json::validate(&metrics, &schema).unwrap();
+
+    // the request path recorded exactly one uncached and one cached
+    // execution into the latency histograms
+    let m = server.state().metrics();
+    assert_eq!(m.exec_uncached_ns.count(), 1);
+    assert_eq!(m.exec_cached_ns.count(), 1);
+    assert_eq!(m.requests.get(), 2);
+    assert_eq!(m.result_cache_hits.get(), 1);
+    assert_eq!(m.result_cache_misses.get(), 1);
+    assert!(m.exec_comparisons.get() > 0);
+
+    // ...and the registry snapshot agrees with the wire form
+    let uncached = metrics
+        .get("registry")
+        .unwrap()
+        .get("histograms")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .find(|h| h.get("name").unwrap().as_str() == Some("server.exec_uncached_ns"))
+        .expect("exec_uncached_ns histogram missing from METRICS");
+    assert_eq!(uncached.get("count").unwrap().as_f64().unwrap(), 1.0);
+
+    c.quit().unwrap();
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn telemetry_off_still_answers_metrics_with_empty_histograms() {
+    let config = ServerConfig::default().with_telemetry(false);
+    let server = start(generate::xmark(2, 13), 64, config);
+    let mut c = Client::connect(server.addr()).unwrap();
+    assert!(!c.query(QUERY).unwrap().rows.is_empty());
+
+    let metrics = json::parse(&c.metrics_json().unwrap()).unwrap();
+    assert!(matches!(
+        metrics.get("server").unwrap().get("telemetry").unwrap(),
+        uload::Json::Bool(false)
+    ));
+    let m = server.state().metrics();
+    assert_eq!(m.exec_uncached_ns.count(), 0, "histograms must stay idle");
+    // structural counters still tick (they are free), latency ones don't
+    assert!(m.requests.get() > 0);
+
+    c.quit().unwrap();
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
 fn unix_socket_transport_works_end_to_end() {
     let path = std::env::temp_dir().join(format!("uload-server-test-{}.sock", std::process::id()));
     let config = ServerConfig::default().with_addr(BindAddr::Unix(path.clone()));
