@@ -37,8 +37,9 @@
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::sync::Arc;
 
-use obs::ExecMetrics;
+use obs::{ExecMetrics, StatsStore};
 use xmltree::Document;
 
 use crate::eval::{
@@ -183,6 +184,43 @@ pub trait Cursor {
     fn close(&mut self);
 }
 
+/// Runtime arm-switch hint for the holistic twig operator, threaded in
+/// by the planner when the feedback store says this plan's arm choice
+/// has mispredicted before. At the first batch boundary (after the leaf
+/// streams are drained, before the merge runs) the twig cursor compares
+/// the observed combined leaf cardinality against `est_leaf_rows`; a
+/// ≥2× deviation in either direction means the cost model priced the
+/// merge from the wrong stream sizes, so the cursor falls over to the
+/// cascade arm (the same one-shot path uncovered shapes take — answers
+/// are identical by construction) and records the outcome back into the
+/// store. The cascade→twig direction has no mid-query hook (an unfused
+/// plan carries no `TwigJoin` node); it is handled at re-plan time.
+#[derive(Debug, Clone)]
+pub struct ArmSwitchHint {
+    /// The feedback store the switch outcome is recorded into.
+    pub stats: Arc<StatsStore>,
+    /// `DocumentVersion` counter the plan runs under (0 = unversioned).
+    pub doc_version: u64,
+    /// Fingerprint of the executing plan.
+    pub plan_fp: u64,
+    /// The cost model's estimate of the combined twig leaf cardinality.
+    pub est_leaf_rows: f64,
+}
+
+/// Observed-vs-estimated leaf-cardinality deviation that triggers the
+/// mid-query arm fallover (mirrors the ≥2× wrong-arm telemetry rule).
+const ARM_SWITCH_RATIO: f64 = 2.0;
+
+impl ArmSwitchHint {
+    /// Whether `observed` leaf rows contradict the estimate badly enough
+    /// to fall over to the cascade arm.
+    fn should_switch(&self, observed: f64) -> bool {
+        let est = self.est_leaf_rows.max(1.0);
+        let obs = observed.max(1.0);
+        (obs / est).max(est / obs) >= ARM_SWITCH_RATIO
+    }
+}
+
 /// Knobs for [`build_cursor`].
 #[derive(Debug, Clone)]
 pub struct CursorConfig {
@@ -194,6 +232,9 @@ pub struct CursorConfig {
     /// Collect per-operator batch/row counters and kernel metrics,
     /// reported via [`StreamExec::op_stats`].
     pub profiling: bool,
+    /// Mid-query twig→cascade fallover hint (see [`ArmSwitchHint`]);
+    /// `None` disables the check entirely.
+    pub arm_hint: Option<ArmSwitchHint>,
 }
 
 impl Default for CursorConfig {
@@ -202,6 +243,7 @@ impl Default for CursorConfig {
             batch_size: 1024,
             eval: EvalConfig::default(),
             profiling: false,
+            arm_hint: None,
         }
     }
 }
@@ -578,6 +620,7 @@ impl<'a> Builder<'a> {
             batch: self.batch(),
             doc: self.doc,
             eval: self.cfg.eval,
+            hint: self.cfg.arm_hint.clone(),
             mon,
             closed: false,
         }))
@@ -997,6 +1040,7 @@ struct TwigCursor<'a> {
     batch: usize,
     doc: Option<&'a Document>,
     eval: EvalConfig,
+    hint: Option<ArmSwitchHint>,
     mon: Mon,
     closed: bool,
 }
@@ -1032,8 +1076,28 @@ impl Cursor for TwigCursor<'_> {
                 c.close();
                 rels.push(Relation::new(schema, tuples));
             }
+            // Mid-query arm check: the leaf streams are fully drained, so
+            // their real combined cardinality is known before the merge
+            // has run. If a hint is attached (the store flagged this
+            // plan's arm choice before) and the observation contradicts
+            // the estimate the merge was priced on, fall over to the
+            // cascade arm below — same answers, honestly-priced path —
+            // and record the outcome.
+            let fall_over = match (&self.shape, &self.hint) {
+                (Some(_), Some(h)) if h.should_switch(resident as f64) => {
+                    h.stats.record_arm_switch(h.doc_version, h.plan_fp, false);
+                    tracing::debug!(
+                        target: "uload::cost",
+                        "twig arm fell over to cascade mid-query: observed {} leaf rows vs est {:.0}",
+                        resident,
+                        h.est_leaf_rows
+                    );
+                    true
+                }
+                _ => false,
+            };
             self.state = match &self.shape {
-                Some(shape) => {
+                Some(shape) if !fall_over => {
                     let slot = self.mon.metrics_slot();
                     let solutions =
                         twig_solutions(&rels, shape, &self.steps, self.eval, slot.as_ref());
@@ -1047,15 +1111,22 @@ impl Cursor for TwigCursor<'_> {
                         resident,
                     }
                 }
-                None => {
+                _ => {
                     let mut cat = Catalog::new();
                     for (n, r) in self.names.iter().zip(rels) {
                         cat.insert(n.clone(), r);
                     }
+                    // on a fallover the shape *is* covered, so the
+                    // one-shot evaluation must have the holistic knob
+                    // off or it would just run the twig arm again
+                    let mut eval_cfg = self.eval;
+                    if fall_over {
+                        eval_cfg.use_twigstack = false;
+                    }
                     let ev = Evaluator {
                         catalog: &cat,
                         doc: self.doc,
-                        config: self.eval,
+                        config: eval_cfg,
                         metrics: self.mon.metrics_slot(),
                     };
                     let out = ev.eval(&self.one_level)?;
@@ -1318,6 +1389,73 @@ mod tests {
             .collect()
             .unwrap();
         assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn arm_hint_falls_over_to_cascade_and_records_the_switch() {
+        let (doc, cat) = setup();
+        let plan = id_col("library", "id0").twig_join(vec![
+            TwigStep {
+                input: id_col("book", "id1"),
+                parent_attr: "id0".into(),
+                attr: "id1".into(),
+                axis: Axis::Descendant,
+            },
+            TwigStep {
+                input: id_col("title", "id2"),
+                parent_attr: "id1".into(),
+                attr: "id2".into(),
+                axis: Axis::Child,
+            },
+        ]);
+        let oracle = build_cursor(&plan, &cat, Some(&doc), &CursorConfig::default())
+            .unwrap()
+            .collect()
+            .unwrap();
+
+        // estimate wildly above the real combined leaf cardinality: the
+        // cursor must fall over to the cascade arm, produce identical
+        // rows, and record exactly one switch in the store
+        let stats = Arc::new(StatsStore::new());
+        let cfg = CursorConfig {
+            arm_hint: Some(ArmSwitchHint {
+                stats: Arc::clone(&stats),
+                doc_version: 5,
+                plan_fp: 0x51,
+                est_leaf_rows: 1_000_000.0,
+            }),
+            ..Default::default()
+        };
+        let got = build_cursor(&plan, &cat, Some(&doc), &cfg)
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(got, oracle, "fallover must not change answers");
+        let arm = stats.arm(5, 0x51).expect("switch recorded");
+        assert_eq!(arm.switches, 1);
+        assert_eq!(arm.mispredicts, 1);
+
+        // an accurate estimate keeps the twig arm and records nothing
+        let quiet = Arc::new(StatsStore::new());
+        let total: usize = ["library", "book", "title"]
+            .iter()
+            .map(|n| cat.get(n).unwrap().len())
+            .sum();
+        let cfg = CursorConfig {
+            arm_hint: Some(ArmSwitchHint {
+                stats: Arc::clone(&quiet),
+                doc_version: 5,
+                plan_fp: 0x51,
+                est_leaf_rows: total as f64,
+            }),
+            ..Default::default()
+        };
+        let got = build_cursor(&plan, &cat, Some(&doc), &cfg)
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(got, oracle);
+        assert!(quiet.arm(5, 0x51).is_none(), "no switch on a sane estimate");
     }
 
     #[test]

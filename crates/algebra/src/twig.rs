@@ -582,12 +582,18 @@ pub fn twig_to_cascade(root: &LogicalPlan, steps: &[TwigStep]) -> LogicalPlan {
     })
 }
 
-/// Rewrite every maximal left-deep cascade of flat `Inner` structural
-/// joins over top-level ID attributes into a single
-/// [`LogicalPlan::TwigJoin`], recursing through all other operators.
-/// Joins with nesting, outer/semi flavours or dotted (map-extended)
-/// attributes are left untouched — the holistic operator only covers the
-/// conjunctive core.
+/// Rewrite every maximal cascade of flat `Inner` structural joins over
+/// top-level ID attributes into a single [`LogicalPlan::TwigJoin`],
+/// recursing through all other operators. Left-deep chains extend the
+/// twig's step list directly; a *right*-nested twig is spliced into the
+/// enclosing pattern when the enclosing join keys on the nested twig's
+/// root attribute (witnessed by the nested first step hanging off it) —
+/// without the splice, a right-deep `a//(b//c)` plan evaluates as two
+/// nested twigs and materializes the same multiplying `b//c`
+/// intermediate the holistic operator exists to avoid. Joins with
+/// nesting, outer/semi flavours or dotted (map-extended) attributes are
+/// left untouched — the holistic operator only covers the conjunctive
+/// core.
 pub fn fuse_struct_joins(plan: &LogicalPlan) -> LogicalPlan {
     use LogicalPlan::*;
     let rec = |p: &LogicalPlan| Box::new(fuse_struct_joins(p));
@@ -601,21 +607,39 @@ pub fn fuse_struct_joins(plan: &LogicalPlan) -> LogicalPlan {
             kind: JoinKind::Inner,
             nest_as: None,
         } if !left_attr.as_str().contains('.') && !right_attr.as_str().contains('.') => {
-            let step = TwigStep {
+            let mut step = TwigStep {
                 input: fuse_struct_joins(right),
                 parent_attr: left_attr.clone(),
                 attr: right_attr.clone(),
                 axis: *axis,
             };
+            // right-deep splice: the nested twig's first step hangs off
+            // its root (twig_shape resolves it against the root schema
+            // alone), so `attr == first.parent_attr` proves the enclosing
+            // join keys on that root and the patterns merge into one tree
+            let mut spliced = Vec::new();
+            if let TwigJoin { steps, .. } = &step.input {
+                if steps.first().is_some_and(|s| s.parent_attr == step.attr) {
+                    if let TwigJoin { root, steps } = step.input {
+                        step.input = *root;
+                        spliced = steps;
+                    }
+                }
+            }
             match fuse_struct_joins(left) {
                 TwigJoin { root, mut steps } => {
                     steps.push(step);
+                    steps.extend(spliced);
                     TwigJoin { root, steps }
                 }
-                other => TwigJoin {
-                    root: Box::new(other),
-                    steps: vec![step],
-                },
+                other => {
+                    let mut steps = vec![step];
+                    steps.extend(spliced);
+                    TwigJoin {
+                        root: Box::new(other),
+                        steps,
+                    }
+                }
             }
         }
         Scan { .. } => plan.clone(),

@@ -9,10 +9,16 @@
 //! `(document version, plan fingerprint, plan-node index)`, plus the
 //! arm-choice outcome per `(document version, plan fingerprint)`.
 //!
-//! This module records and exposes; a later PR will make the planner
-//! read it back. Keys are raw `u64`s (`obs` sits below `storage`, so it
-//! cannot name `DocumentVersion`); version `0` is the conventional key
-//! for unversioned embedded runs.
+//! This module records and exposes; the planner reads it back through
+//! `rewriting::CostModel::with_feedback`, the server's re-planning check
+//! polls the per-fingerprint rollups ([`StatsStore::mispredicted_nodes_for`]),
+//! and the streamed executor's mid-query arm switch reports back through
+//! [`StatsStore::record_arm_switch`]. Keys are raw `u64`s (`obs` sits
+//! below `storage`, so it cannot name `DocumentVersion`); version `0` is
+//! the conventional key for unversioned embedded runs. Entries for
+//! document versions that are no longer resident are evicted with
+//! [`StatsStore::retain_versions`] (the server calls it on every
+//! document swap, mirroring the result cache's lifecycle).
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -94,6 +100,9 @@ pub struct ArmStats {
     pub last_chosen_ns: u64,
     /// Wall time of the alternative arm on the latest run.
     pub last_alternative_ns: u64,
+    /// Mid-query arm fallovers the streamed executor performed when the
+    /// observed leaf cardinality contradicted the estimate.
+    pub switches: u64,
 }
 
 impl ArmStats {
@@ -109,6 +118,7 @@ impl ArmStats {
                 "last_alternative_ns",
                 Json::Num(self.last_alternative_ns as f64),
             ),
+            ("switches", Json::Num(self.switches as f64)),
         ])
     }
 }
@@ -174,6 +184,73 @@ impl StatsStore {
             .cloned()
     }
 
+    /// Record a mid-query arm fallover the streamed executor performed
+    /// for this plan (`to_twig` says which direction it fell).
+    pub fn record_arm_switch(&self, doc_version: u64, plan_fp: u64, to_twig: bool) {
+        let mut arms = self.arms.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = arms.entry((doc_version, plan_fp)).or_default();
+        entry.switches += 1;
+        // the switch is evidence the planned arm was the wrong one
+        entry.mispredicts += 1;
+        if to_twig {
+            entry.chosen_cascade += 1;
+        } else {
+            entry.chosen_twig += 1;
+        }
+    }
+
+    /// Whether the store holds any node observations recorded under
+    /// `(doc_version, plan_fp)` — the gate for feedback-aware costing.
+    pub fn has_feedback(&self, doc_version: u64, plan_fp: u64) -> bool {
+        self.observations_for(doc_version, plan_fp) > 0
+    }
+
+    /// Total node observations recorded under `(doc_version, plan_fp)`.
+    pub fn observations_for(&self, doc_version: u64, plan_fp: u64) -> u64 {
+        self.nodes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|(k, _)| k.doc_version == doc_version && k.plan_fp == plan_fp)
+            .map(|(_, n)| n.observations)
+            .sum()
+    }
+
+    /// Per-fingerprint rollup: node series under `(doc_version, plan_fp)`
+    /// with at least one ≥4× misprediction. The server's re-planning
+    /// check compares this against its threshold before every `EXEC`.
+    pub fn mispredicted_nodes_for(&self, doc_version: u64, plan_fp: u64) -> u64 {
+        self.nodes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|(k, n)| {
+                k.doc_version == doc_version && k.plan_fp == plan_fp && n.mispredicts > 0
+            })
+            .count() as u64
+    }
+
+    /// Evict every node and arm series whose document version is not in
+    /// `keep`, returning `(nodes_evicted, arms_evicted)`. The server
+    /// calls this on `swap_document` with the resident versions (plus
+    /// the conventional version 0), so the store follows the same
+    /// lifecycle as the result cache instead of growing without bound.
+    pub fn retain_versions(&self, keep: &[u64]) -> (usize, usize) {
+        let nodes_evicted = {
+            let mut nodes = self.nodes.lock().unwrap_or_else(|e| e.into_inner());
+            let before = nodes.len();
+            nodes.retain(|k, _| keep.contains(&k.doc_version));
+            before - nodes.len()
+        };
+        let arms_evicted = {
+            let mut arms = self.arms.lock().unwrap_or_else(|e| e.into_inner());
+            let before = arms.len();
+            arms.retain(|(v, _), _| keep.contains(v));
+            before - arms.len()
+        };
+        (nodes_evicted, arms_evicted)
+    }
+
     /// Distinct `(version, fingerprint, node)` series recorded.
     pub fn len(&self) -> usize {
         self.nodes.lock().unwrap_or_else(|e| e.into_inner()).len()
@@ -208,6 +285,16 @@ impl StatsStore {
             .count() as u64
     }
 
+    /// Total mid-query arm fallovers across all series.
+    pub fn arm_switches(&self) -> u64 {
+        self.arms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .map(|a| a.switches)
+            .sum()
+    }
+
     /// Compact rollup (the `"stats_store"` object of the `METRICS`
     /// schema).
     pub fn summary_json(&self) -> Json {
@@ -219,6 +306,7 @@ impl StatsStore {
                 Json::Num(self.mispredicted_nodes() as f64),
             ),
             ("arms", Json::Num(self.arm_len() as f64)),
+            ("arm_switches", Json::Num(self.arm_switches() as f64)),
         ])
     }
 
@@ -363,5 +451,54 @@ mod tests {
         assert_eq!(store.arm_len(), 1);
         let json = store.to_json().to_string_compact();
         assert!(json.contains("\"arms\""), "{json}");
+    }
+
+    #[test]
+    fn per_fingerprint_rollups_filter_by_key() {
+        let store = StatsStore::new();
+        let mut root = leaf("join", 100.0, 10, false);
+        root.children.push(leaf("scan-a", 50.0, 400, true));
+        root.children.push(leaf("scan-b", 8.0, 9, false));
+        store.record_profile(7, 0xfeed, &profile(root.clone(), None));
+        store.record_profile(8, 0xfeed, &profile(root, None));
+
+        assert!(store.has_feedback(7, 0xfeed));
+        assert!(!store.has_feedback(7, 0xdead));
+        assert!(!store.has_feedback(9, 0xfeed));
+        assert_eq!(store.observations_for(7, 0xfeed), 3);
+        assert_eq!(store.mispredicted_nodes_for(7, 0xfeed), 1);
+        assert_eq!(store.mispredicted_nodes_for(7, 0xdead), 0);
+    }
+
+    #[test]
+    fn arm_switches_accumulate_and_flag_mispredicts() {
+        let store = StatsStore::new();
+        store.record_arm_switch(2, 0xabba, true);
+        store.record_arm_switch(2, 0xabba, true);
+        let a = store.arm(2, 0xabba).unwrap();
+        assert_eq!(a.switches, 2);
+        assert_eq!(a.mispredicts, 2);
+        assert_eq!(a.chosen_cascade, 2);
+        assert_eq!(store.arm_switches(), 2);
+        let json = store.summary_json().to_string_compact();
+        assert!(json.contains("\"arm_switches\":2"), "{json}");
+    }
+
+    #[test]
+    fn retain_versions_evicts_stale_document_versions() {
+        let store = StatsStore::new();
+        store.record_profile(0, 0xa, &profile(leaf("scan", 1.0, 1, false), None));
+        store.record_profile(3, 0xa, &profile(leaf("scan", 1.0, 1, false), None));
+        store.record_profile(4, 0xa, &profile(leaf("scan", 1.0, 1, false), None));
+        store.record_arm_switch(3, 0xa, true);
+        store.record_arm_switch(4, 0xa, false);
+
+        let (nodes, arms) = store.retain_versions(&[0, 4]);
+        assert_eq!((nodes, arms), (1, 1));
+        assert!(store.node(3, 0xa, 0).is_none());
+        assert!(store.node(4, 0xa, 0).is_some());
+        assert!(store.node(0, 0xa, 0).is_some());
+        assert!(store.arm(3, 0xa).is_none());
+        assert!(store.arm(4, 0xa).is_some());
     }
 }

@@ -1,4 +1,4 @@
-//! A simple cost model for rewriting plans.
+//! The cost model for rewriting plans, with cardinality feedback.
 //!
 //! The paper ranks rewritings by operator count ("a minimal plan", §5.3);
 //! a real optimizer also weighs the data volumes behind the scans. This
@@ -6,8 +6,20 @@
 //! (available in the catalog) with textbook per-operator formulas, and the
 //! pipeline uses it to pick among verified rewritings. Estimates feed on
 //! the same statistics a path summary supports (§4.2.1).
+//!
+//! Since PR 9 the model is a struct, [`CostModel`], and the estimate is
+//! typed ([`Estimate`]): besides the catalog it can consume the measured
+//! cardinalities a profiled run left in [`obs::StatsStore`]. When the
+//! store holds observations for `(document version, plan fingerprint,
+//! node)`, the node's row estimate blends the measured mean over the
+//! catalog figure with a confidence weight that grows with the number of
+//! observations; nodes (or whole document versions) the store has never
+//! seen fall back to the pure catalog estimate, so planning for unseen
+//! data stays deterministic and byte-identical to the feedback-free
+//! model.
 
 use algebra::{Catalog, JoinKind, LogicalPlan};
+use obs::StatsStore;
 
 /// What the executor will actually have available when a plan runs. The
 /// cost model must never prefer a plan on the strength of a disabled
@@ -53,159 +65,349 @@ impl ExecCaps {
 /// width.
 const COLUMNAR_SWEEP_DISCOUNT: f64 = 0.5;
 
-/// Estimated (cost, output-rows) of a plan over a catalog of materialized
-/// relations. Unknown relations count as size 1000. `caps` says which
-/// access methods the executor will actually have (see [`ExecCaps`]);
-/// only then may twig costs assume seeking or batched sweeps.
-pub fn estimate(plan: &LogicalPlan, catalog: &Catalog, caps: ExecCaps) -> (f64, f64) {
-    use LogicalPlan::*;
-    match plan {
-        Scan { relation } => {
-            let rows = catalog.get(relation).map(|r| r.len()).unwrap_or(1000) as f64;
-            (rows, rows)
-        }
-        Select { input, .. } => {
-            let (c, r) = estimate(input, catalog, caps);
-            (c + r, r * 0.33)
-        }
-        Project {
-            input, distinct, ..
-        } => {
-            let (c, r) = estimate(input, catalog, caps);
-            // duplicate elimination pays a comparison sweep
-            (c + if *distinct { r * r.log2().max(1.0) } else { r }, r)
-        }
-        Product { left, right } => {
-            let (cl, rl) = estimate(left, catalog, caps);
-            let (cr, rr) = estimate(right, catalog, caps);
-            (cl + cr + rl * rr, rl * rr)
-        }
-        Join {
-            left, right, kind, ..
-        } => {
-            let (cl, rl) = estimate(left, catalog, caps);
-            let (cr, rr) = estimate(right, catalog, caps);
-            let out = match kind {
-                JoinKind::Semi => rl * 0.5,
-                JoinKind::Nest | JoinKind::NestOuter => rl,
-                _ => (rl * rr * 0.1).max(rl.min(rr)),
-            };
-            // nested-loop value join
-            (cl + cr + rl * rr, out)
-        }
-        StructJoin {
-            left, right, kind, ..
-        } => {
-            let (cl, rl) = estimate(left, catalog, caps);
-            let (cr, rr) = estimate(right, catalog, caps);
-            let out = match kind {
-                JoinKind::Semi => rl * 0.5,
-                JoinKind::Nest | JoinKind::NestOuter => rl,
-                JoinKind::LeftOuter => rl.max(rr),
-                JoinKind::Inner => rr.max(rl * 0.5),
-            };
-            // StackTree: sort + merge
-            let sort = (rl + rr) * (rl + rr).log2().max(1.0);
-            (cl + cr + sort, out)
-        }
-        TwigJoin { root, steps } => {
-            // Holistic TwigStack: one multi-way merge over all streams,
-            // no intermediate pair lists between the binary joins. Cost
-            // is the sum of the input costs plus a single merge sweep of
-            // the combined stream length; output folds the binary Inner
-            // formula step by step (same answer, none of the cascade's
-            // per-level sort-merge charges).
-            let (mut cost, mut out) = estimate(root, catalog, caps);
-            let mut total_rows = out;
-            let mut min_rows = out;
-            for s in steps {
-                let (cs, rs) = estimate(&s.input, catalog, caps);
-                cost += cs;
-                total_rows += rs;
-                min_rows = min_rows.min(rs);
-                out = rs.max(out * 0.5);
-            }
-            let log = total_rows.log2().max(1.0);
-            // Columnar kernels batch the sweep: lane-wide branch-free
-            // compares retire elements at a fraction of the scalar
-            // per-element constant, which matters exactly in the dense
-            // case where seeking cannot help.
-            let sweep_factor = if caps.columnar {
-                COLUMNAR_SWEEP_DISCOUNT
-            } else {
-                1.0
-            };
-            let linear_merge = total_rows * log * sweep_factor;
-            let merge = if caps.can_seek() {
-                // Skip-aware selectivity: with XB-tree seek indexes (or
-                // the columnar pre column, seekable by construction) the
-                // merge touches roughly the most selective stream plus
-                // the output — everything else is seeked over at a
-                // fence-descent (log) charge per touched element and
-                // stream. On skewed twigs this term undercuts the linear
-                // sweep, which is exactly when the twig-vs-cascade arm
-                // should prefer seeking. With both access methods off
-                // the kernel really does the full scalar sweep, so the
-                // discount must not apply.
-                let seek_merge = (min_rows + out) * log * (steps.len() as f64 + 1.0);
-                linear_merge.min(seek_merge)
-            } else {
-                linear_merge
-            };
-            (cost + merge, out)
-        }
-        Union { left, right } => {
-            let (cl, rl) = estimate(left, catalog, caps);
-            let (cr, rr) = estimate(right, catalog, caps);
-            (cl + cr, rl + rr)
-        }
-        Difference { left, right } => {
-            let (cl, rl) = estimate(left, catalog, caps);
-            let (cr, rr) = estimate(right, catalog, caps);
-            (cl + cr + rl * rr, rl)
-        }
-        GroupBy { input, .. } | Sort { input, .. } => {
-            let (c, r) = estimate(input, catalog, caps);
-            (c + r * r.log2().max(1.0), r)
-        }
-        Unnest { input, .. } => {
-            let (c, r) = estimate(input, catalog, caps);
-            (c + r, r * 3.0)
-        }
-        NestAll { input, .. } => {
-            let (c, r) = estimate(input, catalog, caps);
-            (c + r, 1.0)
-        }
-        XmlTemplate { input, .. } => {
-            let (c, r) = estimate(input, catalog, caps);
-            (c + r, r)
-        }
-        Navigate { input, mode, .. } => {
-            let (c, r) = estimate(input, catalog, caps);
-            let out = match mode {
-                algebra::NavMode::Exists => r * 0.5,
-                _ => r * 2.0,
-            };
-            // document navigation per input tuple
-            (c + r * 4.0, out)
-        }
-        DeriveAncestorId { input, .. } | Fetch { input, .. } => {
-            let (c, r) = estimate(input, catalog, caps);
-            (c + r * 2.0, r)
-        }
-        Rename { input, .. } | CastSchema { input, .. } => estimate(input, catalog, caps),
+/// Laplace-style smoothing constant of the feedback blend: with `n`
+/// observations the measured mean gets weight `n / (n + K)`, so one
+/// observation already moves the estimate but never fully overrides the
+/// catalog, and repeated confirmation converges toward the measurement.
+const FEEDBACK_SMOOTHING: f64 = 2.0;
+
+/// Where a node's row estimate came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateSource {
+    /// Pure catalog arithmetic — no measured observations consulted.
+    Catalog,
+    /// Blended with measured cardinalities from the [`StatsStore`].
+    Feedback,
+}
+
+/// A typed cost estimate: output cardinality, abstract cost units, and
+/// the provenance of the row figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Estimated output rows (blended with measurements when available).
+    pub rows: f64,
+    /// Estimated cost in abstract units (comparisons touched).
+    pub cost: f64,
+    /// Whether `rows` consumed measured feedback.
+    pub source: EstimateSource,
+    /// Feedback weight in `[0, 1)`: `0.0` for pure catalog estimates,
+    /// approaching `1.0` as observations accumulate.
+    pub confidence: f64,
+}
+
+/// One node of an estimated plan tree (the payload of `EXPLAIN`):
+/// operator label, its [`Estimate`], and the children in
+/// `child_plans()` order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateNode {
+    /// Operator label (`LogicalPlan::node_label`).
+    pub op: String,
+    /// This node's estimate.
+    pub estimate: Estimate,
+    pub children: Vec<EstimateNode>,
+}
+
+impl EstimateNode {
+    /// Nodes in this subtree whose estimate consumed feedback.
+    pub fn feedback_nodes(&self) -> usize {
+        let own = usize::from(self.estimate.source == EstimateSource::Feedback);
+        own + self
+            .children
+            .iter()
+            .map(EstimateNode::feedback_nodes)
+            .sum::<usize>()
+    }
+
+    /// Total nodes in this subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(EstimateNode::node_count)
+            .sum::<usize>()
     }
 }
 
+#[derive(Debug, Clone, Copy)]
+struct FeedbackContext<'a> {
+    stats: &'a StatsStore,
+    doc_version: u64,
+    plan_fp: u64,
+}
+
+/// The cost model: a catalog of materialized relation sizes, the
+/// executor's access-method capabilities, and (optionally) the
+/// cardinality feedback recorded by profiled runs.
+///
+/// Unknown relations count as size 1000. `caps` says which access
+/// methods the executor will actually have (see [`ExecCaps`]); only then
+/// may twig costs assume seeking or batched sweeps. Without feedback
+/// ([`CostModel::new`]) the arithmetic is exactly the historical static
+/// model; [`CostModel::with_feedback`] keys the store lookup by the
+/// `(document version, plan fingerprint)` the observations were recorded
+/// under, matching node indices by the same pre-order walk
+/// `StatsStore::record_profile` uses.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel<'a> {
+    catalog: &'a Catalog,
+    caps: ExecCaps,
+    feedback: Option<FeedbackContext<'a>>,
+}
+
+impl<'a> CostModel<'a> {
+    /// A feedback-free model: pure catalog estimates.
+    pub fn new(catalog: &'a Catalog, caps: ExecCaps) -> CostModel<'a> {
+        CostModel {
+            catalog,
+            caps,
+            feedback: None,
+        }
+    }
+
+    /// Attach measured-cardinality feedback: node estimates blend the
+    /// store's observations recorded under `(doc_version, plan_fp)`.
+    pub fn with_feedback(
+        mut self,
+        stats: &'a StatsStore,
+        doc_version: u64,
+        plan_fp: u64,
+    ) -> CostModel<'a> {
+        self.feedback = Some(FeedbackContext {
+            stats,
+            doc_version,
+            plan_fp,
+        });
+        self
+    }
+
+    /// The root estimate of `plan`.
+    pub fn estimate(&self, plan: &LogicalPlan) -> Estimate {
+        self.estimate_tree(plan).estimate
+    }
+
+    /// The scalar plan cost used for ranking.
+    pub fn cost(&self, plan: &LogicalPlan) -> f64 {
+        self.estimate(plan).cost
+    }
+
+    /// The full per-node estimate tree (the `EXPLAIN` payload).
+    pub fn estimate_tree(&self, plan: &LogicalPlan) -> EstimateNode {
+        let mut idx = 0u32;
+        self.node(plan, &mut idx)
+    }
+
+    /// Estimate one node: pre-order index assignment (matching
+    /// `StatsStore::record_profile`), recurse into `child_plans()`,
+    /// combine with the per-operator formula, then blend in feedback.
+    fn node(&self, plan: &LogicalPlan, idx: &mut u32) -> EstimateNode {
+        let my_idx = *idx;
+        *idx += 1;
+        let children: Vec<EstimateNode> = plan
+            .child_plans()
+            .into_iter()
+            .map(|c| self.node(c, idx))
+            .collect();
+        let (cost, rows) = self.combine(plan, &children);
+        let (rows, source, confidence) = self.blend(my_idx, rows);
+        EstimateNode {
+            op: plan.node_label(),
+            estimate: Estimate {
+                rows,
+                cost,
+                source,
+                confidence,
+            },
+            children,
+        }
+    }
+
+    /// Blend the catalog row estimate with the store's measured mean,
+    /// weighted by observation count. Catalog passthrough when the store
+    /// has never seen this `(version, fingerprint, node)`.
+    fn blend(&self, node_idx: u32, est_rows: f64) -> (f64, EstimateSource, f64) {
+        if let Some(fb) = &self.feedback {
+            if let Some(stats) = fb.stats.node(fb.doc_version, fb.plan_fp, node_idx) {
+                if stats.observations > 0 {
+                    let n = stats.observations as f64;
+                    let w = n / (n + FEEDBACK_SMOOTHING);
+                    let rows = w * stats.mean_actual_rows() + (1.0 - w) * est_rows;
+                    return (rows, EstimateSource::Feedback, w);
+                }
+            }
+        }
+        (est_rows, EstimateSource::Catalog, 0.0)
+    }
+
+    /// Per-operator (cost, rows) from the already-estimated children —
+    /// the historical formulas, fed the children's (possibly blended)
+    /// cardinalities so measured selectivities propagate upward.
+    fn combine(&self, plan: &LogicalPlan, children: &[EstimateNode]) -> (f64, f64) {
+        use LogicalPlan::*;
+        let ch = |i: usize| {
+            let e = &children[i].estimate;
+            (e.cost, e.rows)
+        };
+        match plan {
+            Scan { relation } => {
+                let rows = self.catalog.get(relation).map(|r| r.len()).unwrap_or(1000) as f64;
+                (rows, rows)
+            }
+            Select { .. } => {
+                let (c, r) = ch(0);
+                (c + r, r * 0.33)
+            }
+            Project { distinct, .. } => {
+                let (c, r) = ch(0);
+                // duplicate elimination pays a comparison sweep
+                (c + if *distinct { r * r.log2().max(1.0) } else { r }, r)
+            }
+            Product { .. } => {
+                let (cl, rl) = ch(0);
+                let (cr, rr) = ch(1);
+                (cl + cr + rl * rr, rl * rr)
+            }
+            Join { kind, .. } => {
+                let (cl, rl) = ch(0);
+                let (cr, rr) = ch(1);
+                let out = match kind {
+                    JoinKind::Semi => rl * 0.5,
+                    JoinKind::Nest | JoinKind::NestOuter => rl,
+                    _ => (rl * rr * 0.1).max(rl.min(rr)),
+                };
+                // nested-loop value join
+                (cl + cr + rl * rr, out)
+            }
+            StructJoin { kind, .. } => {
+                let (cl, rl) = ch(0);
+                let (cr, rr) = ch(1);
+                let out = match kind {
+                    JoinKind::Semi => rl * 0.5,
+                    JoinKind::Nest | JoinKind::NestOuter => rl,
+                    JoinKind::LeftOuter => rl.max(rr),
+                    JoinKind::Inner => rr.max(rl * 0.5),
+                };
+                // StackTree: sort + merge
+                let sort = (rl + rr) * (rl + rr).log2().max(1.0);
+                (cl + cr + sort, out)
+            }
+            TwigJoin { steps, .. } => {
+                // Holistic TwigStack: one multi-way merge over all streams,
+                // no intermediate pair lists between the binary joins. Cost
+                // is the sum of the input costs plus a single merge sweep of
+                // the combined stream length; output folds the binary Inner
+                // formula step by step (same answer, none of the cascade's
+                // per-level sort-merge charges).
+                let (mut cost, mut out) = ch(0);
+                let mut total_rows = out;
+                let mut min_rows = out;
+                for i in 0..steps.len() {
+                    let (cs, rs) = ch(1 + i);
+                    cost += cs;
+                    total_rows += rs;
+                    min_rows = min_rows.min(rs);
+                    out = rs.max(out * 0.5);
+                }
+                let log = total_rows.log2().max(1.0);
+                // Columnar kernels batch the sweep: lane-wide branch-free
+                // compares retire elements at a fraction of the scalar
+                // per-element constant, which matters exactly in the dense
+                // case where seeking cannot help.
+                let sweep_factor = if self.caps.columnar {
+                    COLUMNAR_SWEEP_DISCOUNT
+                } else {
+                    1.0
+                };
+                let linear_merge = total_rows * log * sweep_factor;
+                let merge = if self.caps.can_seek() {
+                    // Skip-aware selectivity: with XB-tree seek indexes (or
+                    // the columnar pre column, seekable by construction) the
+                    // merge touches roughly the most selective stream plus
+                    // the output — everything else is seeked over at a
+                    // fence-descent (log) charge per touched element and
+                    // stream. On skewed twigs this term undercuts the linear
+                    // sweep, which is exactly when the twig-vs-cascade arm
+                    // should prefer seeking. With both access methods off
+                    // the kernel really does the full scalar sweep, so the
+                    // discount must not apply.
+                    let seek_merge = (min_rows + out) * log * (steps.len() as f64 + 1.0);
+                    linear_merge.min(seek_merge)
+                } else {
+                    linear_merge
+                };
+                (cost + merge, out)
+            }
+            Union { .. } => {
+                let (cl, rl) = ch(0);
+                let (cr, rr) = ch(1);
+                (cl + cr, rl + rr)
+            }
+            Difference { .. } => {
+                let (cl, rl) = ch(0);
+                let (cr, rr) = ch(1);
+                (cl + cr + rl * rr, rl)
+            }
+            GroupBy { .. } | Sort { .. } => {
+                let (c, r) = ch(0);
+                (c + r * r.log2().max(1.0), r)
+            }
+            Unnest { .. } => {
+                let (c, r) = ch(0);
+                (c + r, r * 3.0)
+            }
+            NestAll { .. } => {
+                let (c, r) = ch(0);
+                (c + r, 1.0)
+            }
+            XmlTemplate { .. } => {
+                let (c, r) = ch(0);
+                (c + r, r)
+            }
+            Navigate { mode, .. } => {
+                let (c, r) = ch(0);
+                let out = match mode {
+                    algebra::NavMode::Exists => r * 0.5,
+                    _ => r * 2.0,
+                };
+                // document navigation per input tuple
+                (c + r * 4.0, out)
+            }
+            DeriveAncestorId { .. } | Fetch { .. } => {
+                let (c, r) = ch(0);
+                (c + r * 2.0, r)
+            }
+            // Pure schema adapters: pass the child's figures through
+            // unchanged. (They still hold a pre-order index of their own,
+            // matching the profiled plan tree.)
+            Rename { .. } | CastSchema { .. } => ch(0),
+        }
+    }
+}
+
+/// Estimated (cost, output-rows) of a plan over a catalog of materialized
+/// relations.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `CostModel::new(catalog, caps).estimate(plan)` (optionally `.with_feedback(..)`)"
+)]
+pub fn estimate(plan: &LogicalPlan, catalog: &Catalog, caps: ExecCaps) -> (f64, f64) {
+    let e = CostModel::new(catalog, caps).estimate(plan);
+    (e.cost, e.rows)
+}
+
 /// The scalar plan cost used for ranking.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `CostModel::new(catalog, caps).cost(plan)` (optionally `.with_feedback(..)`)"
+)]
 pub fn plan_cost(plan: &LogicalPlan, catalog: &Catalog, caps: ExecCaps) -> f64 {
-    estimate(plan, catalog, caps).0
+    CostModel::new(catalog, caps).cost(plan)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use algebra::{Relation, Schema, Tuple, Value};
+    use obs::{ExecMetrics, PlanNodeProfile, QueryProfile};
 
     const ALL: ExecCaps = ExecCaps {
         seekable: true,
@@ -225,6 +427,45 @@ mod tests {
         c.insert("small", mk(10));
         c.insert("big", mk(10_000));
         c
+    }
+
+    fn plan_cost(plan: &LogicalPlan, c: &Catalog, caps: ExecCaps) -> f64 {
+        CostModel::new(c, caps).cost(plan)
+    }
+
+    fn rows_of(plan: &LogicalPlan, c: &Catalog, caps: ExecCaps) -> f64 {
+        CostModel::new(c, caps).estimate(plan).rows
+    }
+
+    /// A profile tree mirroring `plan`'s shape where every node reports
+    /// `actual` measured rows.
+    fn uniform_profile(plan: &LogicalPlan, actual: u64) -> PlanNodeProfile {
+        PlanNodeProfile {
+            op: plan.node_label(),
+            est_cost: 0.0,
+            est_rows: 0.0,
+            actual_rows: actual,
+            time_ns: 1,
+            metrics: ExecMetrics::default(),
+            mispredicted: false,
+            children: plan
+                .child_plans()
+                .into_iter()
+                .map(|c| uniform_profile(c, actual))
+                .collect(),
+        }
+    }
+
+    fn query_profile(plan: PlanNodeProfile) -> QueryProfile {
+        QueryProfile {
+            query: "q".to_string(),
+            phases: Vec::new(),
+            plan,
+            cache: None,
+            arm: None,
+            streamed: None,
+            total_ns: 1,
+        }
     }
 
     #[test]
@@ -375,7 +616,7 @@ mod tests {
             algebra::Axis::Child,
             algebra::JoinKind::Semi,
         );
-        let (_, semi_rows) = estimate(&semi, &c, ALL);
+        let semi_rows = rows_of(&semi, &c, ALL);
         let inner = LogicalPlan::scan("big").struct_join(
             LogicalPlan::scan("small"),
             "ID",
@@ -383,7 +624,7 @@ mod tests {
             algebra::Axis::Child,
             algebra::JoinKind::Inner,
         );
-        let (_, inner_rows) = estimate(&inner, &c, ALL);
+        let inner_rows = rows_of(&inner, &c, ALL);
         assert!(semi_rows <= inner_rows);
     }
 
@@ -411,5 +652,131 @@ mod tests {
             columnar < scalar,
             "dense twig must get the batched-sweep discount: {columnar} vs {scalar}"
         );
+    }
+
+    #[test]
+    fn deprecated_shims_match_the_model() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("big").select(algebra::Predicate::True);
+        #[allow(deprecated)]
+        let (shim_cost, shim_rows) = super::estimate(&plan, &c, ALL);
+        let e = CostModel::new(&c, ALL).estimate(&plan);
+        assert_eq!(shim_cost, e.cost);
+        assert_eq!(shim_rows, e.rows);
+        #[allow(deprecated)]
+        let shim_pc = super::plan_cost(&plan, &c, ALL);
+        assert_eq!(shim_pc, e.cost);
+        assert_eq!(e.source, EstimateSource::Catalog);
+        assert_eq!(e.confidence, 0.0);
+    }
+
+    #[test]
+    fn feedback_blends_measured_rows_with_growing_confidence() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("big").select(algebra::Predicate::True);
+        let fp = 0xfeedu64;
+        let stats = obs::StatsStore::new();
+
+        // catalog says Select outputs 10_000 * 0.33; the runs measure 10
+        let catalog_est = CostModel::new(&c, ALL).estimate(&plan);
+        stats.record_profile(7, fp, &query_profile(uniform_profile(&plan, 10)));
+        let one = CostModel::new(&c, ALL)
+            .with_feedback(&stats, 7, fp)
+            .estimate(&plan);
+        assert_eq!(one.source, EstimateSource::Feedback);
+        assert!(one.confidence > 0.0 && one.confidence < 1.0);
+        assert!(
+            one.rows < catalog_est.rows && one.rows > 10.0,
+            "blend must sit between measurement and catalog: {} vs ({}, {})",
+            one.rows,
+            catalog_est.rows,
+            10.0
+        );
+
+        // more observations → more weight on the measurement
+        for _ in 0..9 {
+            stats.record_profile(7, fp, &query_profile(uniform_profile(&plan, 10)));
+        }
+        let ten = CostModel::new(&c, ALL)
+            .with_feedback(&stats, 7, fp)
+            .estimate(&plan);
+        assert!(ten.confidence > one.confidence);
+        assert!(ten.rows < one.rows, "{} !< {}", ten.rows, one.rows);
+
+        // an unseen document version falls back to pure catalog figures
+        let unseen = CostModel::new(&c, ALL)
+            .with_feedback(&stats, 8, fp)
+            .estimate(&plan);
+        assert_eq!(unseen, catalog_est);
+        // as does an unseen fingerprint
+        let other_fp = CostModel::new(&c, ALL)
+            .with_feedback(&stats, 7, fp ^ 1)
+            .estimate(&plan);
+        assert_eq!(other_fp, catalog_est);
+    }
+
+    #[test]
+    fn feedback_rescores_the_twig_vs_cascade_arm() {
+        // A 2-step twig the static model prices above a cheap plan; once
+        // feedback reveals the streams are tiny, the twig arm's cost
+        // must drop below its static figure.
+        let c = catalog();
+        let plan = LogicalPlan::scan("big")
+            .rename(&["a"])
+            .struct_join(
+                LogicalPlan::scan("big").rename(&["b"]),
+                "a",
+                "b",
+                algebra::Axis::Descendant,
+                algebra::JoinKind::Inner,
+            )
+            .struct_join(
+                LogicalPlan::scan("big").rename(&["c"]),
+                "b",
+                "c",
+                algebra::Axis::Descendant,
+                algebra::JoinKind::Inner,
+            );
+        let twig = algebra::fuse_struct_joins(&plan);
+        let fp = 0xabcdu64;
+        let stats = obs::StatsStore::new();
+        for _ in 0..8 {
+            stats.record_profile(3, fp, &query_profile(uniform_profile(&twig, 5)));
+        }
+        let cold = CostModel::new(&c, ALL).cost(&twig);
+        let warm = CostModel::new(&c, ALL)
+            .with_feedback(&stats, 3, fp)
+            .cost(&twig);
+        assert!(
+            warm < cold,
+            "measured-tiny streams must cut the twig cost: {warm} vs {cold}"
+        );
+    }
+
+    #[test]
+    fn estimate_tree_indexes_match_the_profile_walk() {
+        // Rename is a pure adapter but still holds a pre-order slot, so
+        // the tree must line up node-for-node with the profiled plan.
+        let c = catalog();
+        let plan = LogicalPlan::scan("small")
+            .rename(&["x"])
+            .select(algebra::Predicate::True);
+        let tree = CostModel::new(&c, ALL).estimate_tree(&plan);
+        assert_eq!(tree.node_count(), 3);
+        assert_eq!(tree.op, plan.node_label());
+        assert_eq!(tree.children[0].children[0].op, "Scan(small)");
+
+        // feedback recorded at pre-order idx 2 (the scan) must land on
+        // the scan node of the tree, not the adapters
+        let stats = obs::StatsStore::new();
+        let fp = 0x77u64;
+        stats.record_profile(1, fp, &query_profile(uniform_profile(&plan, 4)));
+        let warm = CostModel::new(&c, ALL)
+            .with_feedback(&stats, 1, fp)
+            .estimate_tree(&plan);
+        assert_eq!(warm.feedback_nodes(), 3);
+        let scan = &warm.children[0].children[0];
+        assert_eq!(scan.estimate.source, EstimateSource::Feedback);
+        assert!(scan.estimate.rows < 10.0, "blend toward the measured 4");
     }
 }

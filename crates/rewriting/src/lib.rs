@@ -21,9 +21,10 @@ pub mod pipeline;
 pub mod planpat;
 pub mod rewrite;
 
+pub use cost::{CostModel, Estimate, EstimateNode, EstimateSource, ExecCaps};
 pub use pipeline::{
-    plan_fingerprint, EngineConfig, PreparedQuery, QueryItem, QueryOutput, QueryResults, Uload,
-    UloadBuilder,
+    plan_fingerprint, EngineConfig, Explain, PreparedQuery, QueryItem, QueryOutput, QueryResults,
+    Uload, UloadBuilder,
 };
 pub use planpat::PlanPattern;
 pub use rewrite::{

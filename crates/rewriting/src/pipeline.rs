@@ -30,6 +30,7 @@ use uload_error::{Error, Result};
 use xam_core::Xam;
 use xmltree::Document;
 
+use crate::cost::{CostModel, EstimateNode};
 use crate::rewrite::{rewrite_with_engine, EngineOptions, RewriteConfig, Rewriting};
 
 /// Former error type of the pipeline; the engine now reports through the
@@ -414,10 +415,13 @@ impl Uload {
             self.config.rewrite,
             &self.engine_options(),
         );
+        // candidate ranking stays catalog-only (no feedback): the chosen
+        // rewriting must not depend on what happened to run before, so
+        // the same view set always yields the same plan
+        let model = CostModel::new(self.store.catalog(), self.config.exec_caps());
         rws.sort_by(|a, b| {
-            let caps = self.config.exec_caps();
-            let ca = crate::cost::plan_cost(&a.plan, self.store.catalog(), caps);
-            let cb = crate::cost::plan_cost(&b.plan, self.store.catalog(), caps);
+            let ca = model.cost(&a.plan);
+            let cb = model.cost(&b.plan);
             ca.partial_cmp(&cb)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.size.cmp(&b.size))
@@ -519,20 +523,239 @@ impl Uload {
         let _g = span.enter();
         let p = self.prepare(query)?;
         let use_twigstack = self.config.use_twigstack;
-        let plan = if use_twigstack {
-            algebra::fuse_struct_joins(&p.base_plan)
-        } else {
-            p.base_plan
+        let fused = algebra::fuse_struct_joins(&p.base_plan);
+        let has_twig_arm = fused != p.base_plan;
+        let plan = if use_twigstack { fused } else { p.base_plan };
+        let arm = match (has_twig_arm, use_twigstack) {
+            (false, _) => "single",
+            (true, true) => "twig",
+            (true, false) => "cascade",
         };
+        Ok(Self::finish_prepared(
+            query,
+            plan,
+            use_twigstack,
+            p.used,
+            0,
+            arm,
+            "knob",
+        ))
+    }
+
+    /// [`Uload::prepare_query`] with cardinality feedback: when the
+    /// [`StatsStore`] holds observations for this query's plans under
+    /// `doc_version`, the twig-vs-cascade arm is re-chosen from the
+    /// measured evidence instead of the `use_twigstack` knob. With an
+    /// empty store (or an unseen document version) this is exactly
+    /// [`Uload::prepare_query`] — same plan, same fingerprint — so
+    /// results stay deterministic.
+    pub fn prepare_query_for_version(
+        &self,
+        query: &str,
+        doc_version: u64,
+    ) -> Result<PreparedQuery> {
+        self.prepare_adaptive(query, doc_version, 0)
+    }
+
+    /// Re-plan an already-prepared query under feedback for
+    /// `doc_version`, bumping the plan epoch. The server calls this when
+    /// the store's rollup marks the prepared fingerprint mispredicted
+    /// past its threshold; the returned plan (possibly the other arm)
+    /// replaces the shared prepared entry.
+    pub fn replan_prepared(&self, prep: &PreparedQuery, doc_version: u64) -> Result<PreparedQuery> {
+        self.prepare_adaptive(&prep.query, doc_version, prep.epoch + 1)
+    }
+
+    fn prepare_adaptive(&self, query: &str, doc_version: u64, epoch: u64) -> Result<PreparedQuery> {
+        let span = tracing::debug_span!(target: "uload::query", "prepare_adaptive");
+        let _g = span.enter();
+        let p = self.prepare(query)?;
+        let fused = algebra::fuse_struct_joins(&p.base_plan);
+        let choice = self.choose_arm(&p.base_plan, &fused, doc_version);
+        if choice.source != "knob" {
+            tracing::debug!(
+                target: "uload::cost",
+                "adaptive prepare chose the {} arm via {} (epoch {epoch}, doc version {doc_version})",
+                choice.arm,
+                choice.source
+            );
+        }
+        Ok(Self::finish_prepared(
+            query,
+            choice.plan,
+            choice.use_twigstack,
+            p.used,
+            epoch,
+            choice.arm,
+            choice.source,
+        ))
+    }
+
+    /// Pick the twig or cascade arm for a plan pair under feedback for
+    /// `doc_version`. The cascade, in order of evidence strength:
+    /// measured arm outcomes (a plan whose chosen arm ran ≥2× slower
+    /// flips to the alternative), then blended-cost comparison when the
+    /// store holds node observations for either arm, then the
+    /// `use_twigstack` knob. An empty store always lands on the knob.
+    fn choose_arm(
+        &self,
+        base_plan: &LogicalPlan,
+        fused: &LogicalPlan,
+        doc_version: u64,
+    ) -> ArmChoice {
+        let knob_twig = self.config.use_twigstack;
+        if fused == base_plan {
+            let cost = self
+                .cost_model(doc_version, plan_fingerprint(base_plan))
+                .cost(base_plan);
+            return ArmChoice {
+                plan: base_plan.clone(),
+                use_twigstack: knob_twig,
+                arm: "single",
+                source: "knob",
+                chosen_cost: cost,
+                alternative: None,
+            };
+        }
+        let twig_fp = plan_fingerprint(fused);
+        let cascade_fp = plan_fingerprint(base_plan);
+        let twig_cost = self.cost_model(doc_version, twig_fp).cost(fused);
+        let cascade_cost = self.cost_model(doc_version, cascade_fp).cost(base_plan);
+        let (knob_fp, alt_fp) = if knob_twig {
+            (twig_fp, cascade_fp)
+        } else {
+            (cascade_fp, twig_fp)
+        };
+        let arm_mispredicts =
+            |fp: u64| self.stats.arm(doc_version, fp).map_or(0, |a| a.mispredicts);
+        let knob_arm_bad = arm_mispredicts(knob_fp) > 0;
+        let alt_arm_bad = arm_mispredicts(alt_fp) > 0;
+        let has_node_feedback = self.stats.has_feedback(doc_version, twig_fp)
+            || self.stats.has_feedback(doc_version, cascade_fp);
+        let (choose_twig, source) = if knob_arm_bad && !alt_arm_bad {
+            // the measured arm outcome is the strongest signal: the knob's
+            // arm ran ≥2× slower than the alternative at least once
+            (!knob_twig, "feedback-arm")
+        } else if has_node_feedback || knob_arm_bad {
+            // measured cardinalities exist (or both arms misfired):
+            // re-score both arms with blended selectivities
+            (twig_cost <= cascade_cost, "feedback-cost")
+        } else {
+            (knob_twig, "knob")
+        };
+        let (plan, arm, chosen_cost, alt_arm, alt_cost) = if choose_twig {
+            (fused.clone(), "twig", twig_cost, "cascade", cascade_cost)
+        } else {
+            (
+                base_plan.clone(),
+                "cascade",
+                cascade_cost,
+                "twig",
+                twig_cost,
+            )
+        };
+        ArmChoice {
+            plan,
+            use_twigstack: choose_twig,
+            arm,
+            source,
+            chosen_cost,
+            alternative: Some((alt_arm, alt_cost)),
+        }
+    }
+
+    /// The feedback-aware cost model for plans keyed by
+    /// `(doc_version, plan_fp)` in the stats store.
+    fn cost_model(&self, doc_version: u64, plan_fp: u64) -> CostModel<'_> {
+        CostModel::new(self.store.catalog(), self.config.exec_caps()).with_feedback(
+            &self.stats,
+            doc_version,
+            plan_fp,
+        )
+    }
+
+    /// Build the mid-query arm-switch hint for a streamed twig plan.
+    ///
+    /// The hint is only attached when the stats store holds evidence
+    /// that the twig arm has mispredicted for this `(version, plan)`
+    /// before — a cold store never perturbs execution, keeping
+    /// feedback-free runs byte-identical to the static planner.
+    fn arm_hint(&self, prep: &PreparedQuery, doc_version: u64) -> Option<algebra::ArmSwitchHint> {
+        if !prep.use_twigstack {
+            return None;
+        }
+        let arm = self.stats.arm(doc_version, prep.fingerprint)?;
+        if arm.mispredicts == 0 {
+            return None;
+        }
+        let tree = self
+            .cost_model(doc_version, prep.fingerprint)
+            .estimate_tree(&prep.plan);
+        let twig = find_twig_node(&tree)?;
+        let est_leaf_rows: f64 = twig.children.iter().map(|c| c.estimate.rows).sum();
+        Some(algebra::ArmSwitchHint {
+            stats: Arc::clone(&self.stats),
+            doc_version,
+            plan_fp: prep.fingerprint,
+            est_leaf_rows,
+        })
+    }
+
+    fn finish_prepared(
+        query: &str,
+        plan: LogicalPlan,
+        use_twigstack: bool,
+        rewritings: Vec<Rewriting>,
+        epoch: u64,
+        arm: &str,
+        arm_source: &str,
+    ) -> PreparedQuery {
         let breakers = algebra::pipeline_breakers(&plan);
         let fingerprint = plan_fingerprint(&plan);
-        Ok(PreparedQuery {
+        PreparedQuery {
             query: query.to_string(),
             plan,
             use_twigstack,
-            rewritings: p.used,
+            rewritings,
             breakers,
             fingerprint,
+            epoch,
+            arm: arm.to_string(),
+            arm_source: arm_source.to_string(),
+        }
+    }
+
+    /// `EXPLAIN` without executing: the typed plan tree with per-node
+    /// [`crate::cost::Estimate`]s (feedback provenance included) and the
+    /// chosen/alternative arm, for the conventional embedded document
+    /// version `0`. Callers no longer have to parse the `QueryProfile`
+    /// JSON to see why a plan was picked.
+    pub fn explain(&self, query: &str) -> Result<Explain> {
+        self.explain_for_version(query, 0)
+    }
+
+    /// [`Uload::explain`] under a specific document version — the
+    /// server's `EXPLAIN` command uses the live handle's version so the
+    /// report reflects exactly what the next `EXEC` would plan.
+    pub fn explain_for_version(&self, query: &str, doc_version: u64) -> Result<Explain> {
+        let p = self.prepare(query)?;
+        let fused = algebra::fuse_struct_joins(&p.base_plan);
+        let choice = self.choose_arm(&p.base_plan, &fused, doc_version);
+        let fingerprint = plan_fingerprint(&choice.plan);
+        let tree = self
+            .cost_model(doc_version, fingerprint)
+            .estimate_tree(&choice.plan);
+        Ok(Explain {
+            query: query.to_string(),
+            fingerprint,
+            doc_version,
+            chosen_arm: choice.arm.to_string(),
+            arm_source: choice.source.to_string(),
+            chosen_cost: choice.chosen_cost,
+            alternative_arm: choice.alternative.map(|(a, _)| a.to_string()),
+            alternative_cost: choice.alternative.map(|(_, c)| c),
+            feedback_nodes: tree.feedback_nodes(),
+            plan: tree,
         })
     }
 
@@ -576,7 +799,12 @@ impl Uload {
         prep: &PreparedQuery,
         handle: &'e DocumentHandle,
     ) -> Result<QueryResults<'e>> {
-        self.stream_prepared_with(prep, handle.document(), self.config.profiling)
+        self.stream_prepared_with(
+            prep,
+            handle.document(),
+            handle.version().0,
+            self.config.profiling,
+        )
     }
 
     /// [`Uload::stream_prepared`] with per-operator metering forced on
@@ -591,7 +819,7 @@ impl Uload {
         prep: &PreparedQuery,
         handle: &'e DocumentHandle,
     ) -> Result<QueryResults<'e>> {
-        self.stream_prepared_with(prep, handle.document(), true)
+        self.stream_prepared_with(prep, handle.document(), handle.version().0, true)
     }
 
     fn stream_prepared_doc<'e>(
@@ -599,13 +827,14 @@ impl Uload {
         prep: &PreparedQuery,
         doc: &'e Document,
     ) -> Result<QueryResults<'e>> {
-        self.stream_prepared_with(prep, doc, self.config.profiling)
+        self.stream_prepared_with(prep, doc, 0, self.config.profiling)
     }
 
     fn stream_prepared_with<'e>(
         &'e self,
         prep: &PreparedQuery,
         doc: &'e Document,
+        doc_version: u64,
         profiling: bool,
     ) -> Result<QueryResults<'e>> {
         let mut ccfg = CursorConfig {
@@ -616,6 +845,7 @@ impl Uload {
         ccfg.eval.use_skip_index = self.config.use_skip_index;
         ccfg.eval.columnar_kernels = self.config.columnar_kernels;
         ccfg.eval.use_twigstack = prep.use_twigstack;
+        ccfg.arm_hint = self.arm_hint(prep, doc_version);
         if !prep.breakers.is_empty() {
             tracing::debug!(
                 target: "uload::eval",
@@ -730,8 +960,12 @@ impl Uload {
             }
             Some(ArmTelemetry {
                 chosen: chosen_name.to_string(),
-                est_chosen: crate::cost::plan_cost(&chosen_plan, catalog, self.config.exec_caps()),
-                est_alternative: crate::cost::plan_cost(alt_plan, catalog, self.config.exec_caps()),
+                est_chosen: self
+                    .cost_model(0, plan_fingerprint(&chosen_plan))
+                    .cost(&chosen_plan),
+                est_alternative: self
+                    .cost_model(0, plan_fingerprint(alt_plan))
+                    .cost(alt_plan),
                 actual_chosen_ns: chosen_ns,
                 actual_alternative_ns: alt_ns,
                 mispredicted,
@@ -764,8 +998,9 @@ impl Uload {
             stream_profile_of(&exec, batches, rows, breakers)
         };
 
+        let chosen_fp = plan_fingerprint(&chosen_plan);
         let plan_profile =
-            pair_estimates(&chosen_plan, &op_profile, catalog, self.config.exec_caps());
+            pair_estimates(&chosen_plan, &op_profile, &self.cost_model(0, chosen_fp));
         let profile = QueryProfile {
             query: query.to_string(),
             phases: vec![
@@ -788,8 +1023,7 @@ impl Uload {
             streamed: Some(streamed),
             total_ns: total.elapsed().as_nanos() as u64,
         };
-        self.stats
-            .record_profile(0, plan_fingerprint(&chosen_plan), &profile);
+        self.stats.record_profile(0, chosen_fp, &profile);
         *self.last_profile.lock() = Some(profile.clone());
         Ok((Self::serialize(&rel), p.used, profile))
     }
@@ -820,8 +1054,11 @@ impl Uload {
             .eval_profiled(&prep.plan)
             .map_err(|e| Error::Eval(e.to_string()))?;
         let eval_ns = t.elapsed().as_nanos() as u64;
-        let plan_profile =
-            pair_estimates(&prep.plan, &op_profile, catalog, self.config.exec_caps());
+        let plan_profile = pair_estimates(
+            &prep.plan,
+            &op_profile,
+            &self.cost_model(handle.version().0, prep.fingerprint),
+        );
         let profile = QueryProfile {
             query: prep.query.clone(),
             phases: vec![("eval".to_string(), eval_ns)],
@@ -918,12 +1155,35 @@ pub struct PreparedQuery {
     rewritings: Vec<Rewriting>,
     breakers: Vec<String>,
     fingerprint: u64,
+    epoch: u64,
+    arm: String,
+    arm_source: String,
 }
 
 impl PreparedQuery {
     /// The original query text.
     pub fn query(&self) -> &str {
         &self.query
+    }
+
+    /// The plan epoch: `0` for the initial preparation, bumped by every
+    /// [`Uload::replan_prepared`]. The server surfaces it so clients can
+    /// see a shared prepared plan was adaptively swapped.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Which arm the plan runs: `"twig"`, `"cascade"`, or `"single"`
+    /// when the query has no holistic alternative.
+    pub fn arm(&self) -> &str {
+        &self.arm
+    }
+
+    /// What chose the arm: `"knob"` (the `use_twigstack` config),
+    /// `"feedback-arm"` (a measured wrong-arm outcome flipped it), or
+    /// `"feedback-cost"` (blended-cost comparison under feedback).
+    pub fn arm_source(&self) -> &str {
+        &self.arm_source
     }
 
     /// The executable plan.
@@ -1127,20 +1387,121 @@ struct Prepared {
     plan_ns: u64,
 }
 
-/// Walk the plan and its measured [`OpProfile`] in lockstep (they share
-/// one shape by construction) and attach the cost model's estimates.
-fn pair_estimates(
-    plan: &LogicalPlan,
-    prof: &OpProfile,
-    catalog: &algebra::Catalog,
-    caps: crate::cost::ExecCaps,
-) -> PlanNodeProfile {
-    let (est_cost, est_rows) = crate::cost::estimate(plan, catalog, caps);
-    let children = plan
-        .child_plans()
-        .into_iter()
+/// Outcome of the twig-vs-cascade arm choice (see `Uload::choose_arm`).
+struct ArmChoice {
+    plan: LogicalPlan,
+    use_twigstack: bool,
+    arm: &'static str,
+    source: &'static str,
+    chosen_cost: f64,
+    alternative: Option<(&'static str, f64)>,
+}
+
+/// Typed output of [`Uload::explain`]: why the planner picked what it
+/// picked. The plan tree carries a per-node [`crate::cost::Estimate`]
+/// with feedback provenance ([`crate::cost::EstimateSource`] plus
+/// confidence), and the arm fields report the chosen physical arm, the
+/// evidence that chose it, and the road not taken.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The query text.
+    pub query: String,
+    /// Fingerprint of the chosen executable plan.
+    pub fingerprint: u64,
+    /// The document version the estimates were keyed by.
+    pub doc_version: u64,
+    /// `"twig"`, `"cascade"`, or `"single"`.
+    pub chosen_arm: String,
+    /// `"knob"`, `"feedback-arm"`, or `"feedback-cost"`.
+    pub arm_source: String,
+    /// Estimated cost of the chosen arm (feedback-blended when available).
+    pub chosen_cost: f64,
+    /// The alternative arm, when the plan has one.
+    pub alternative_arm: Option<String>,
+    /// Its estimated cost.
+    pub alternative_cost: Option<f64>,
+    /// Plan nodes whose estimate consumed measured feedback.
+    pub feedback_nodes: usize,
+    /// The per-node estimate tree of the chosen plan.
+    pub plan: EstimateNode,
+}
+
+impl Explain {
+    /// Serialize for the wire (`EXPLAIN` protocol reply) and the CLI.
+    pub fn to_json(&self) -> obs::Json {
+        use obs::Json;
+        let mut fields = vec![
+            ("query", Json::Str(self.query.clone())),
+            (
+                "fingerprint",
+                Json::Str(format!("{:016x}", self.fingerprint)),
+            ),
+            ("doc_version", Json::Num(self.doc_version as f64)),
+            ("chosen_arm", Json::Str(self.chosen_arm.clone())),
+            ("arm_source", Json::Str(self.arm_source.clone())),
+            ("chosen_cost", Json::Num(self.chosen_cost)),
+        ];
+        if let (Some(arm), Some(cost)) = (&self.alternative_arm, self.alternative_cost) {
+            fields.push(("alternative_arm", Json::Str(arm.clone())));
+            fields.push(("alternative_cost", Json::Num(cost)));
+        }
+        fields.push(("feedback_nodes", Json::Num(self.feedback_nodes as f64)));
+        fields.push(("plan", estimate_node_json(&self.plan)));
+        Json::obj(fields)
+    }
+}
+
+/// Depth-first search for the (outermost) `TwigJoin` node in an
+/// estimate tree — the node whose leaf children the arm-switch hint
+/// compares against observed stream cardinality.
+fn find_twig_node(node: &EstimateNode) -> Option<&EstimateNode> {
+    if node.op.starts_with("TwigJoin") {
+        return Some(node);
+    }
+    node.children.iter().find_map(find_twig_node)
+}
+
+fn estimate_node_json(node: &EstimateNode) -> obs::Json {
+    use obs::Json;
+    Json::obj(vec![
+        ("op", Json::Str(node.op.clone())),
+        ("est_rows", Json::Num(node.estimate.rows)),
+        ("est_cost", Json::Num(node.estimate.cost)),
+        (
+            "source",
+            Json::Str(
+                match node.estimate.source {
+                    crate::cost::EstimateSource::Catalog => "catalog",
+                    crate::cost::EstimateSource::Feedback => "feedback",
+                }
+                .to_string(),
+            ),
+        ),
+        ("confidence", Json::Num(node.estimate.confidence)),
+        (
+            "children",
+            Json::Arr(node.children.iter().map(estimate_node_json).collect()),
+        ),
+    ])
+}
+
+/// Walk the plan's estimate tree and its measured [`OpProfile`] in
+/// lockstep (they share one shape by construction) and attach the cost
+/// model's estimates. With a feedback-bearing model the estimates are
+/// blended, so repeated profiled runs see their mispredict flags clear
+/// as the store converges on the measured cardinalities.
+fn pair_estimates(plan: &LogicalPlan, prof: &OpProfile, model: &CostModel<'_>) -> PlanNodeProfile {
+    pair_nodes(&model.estimate_tree(plan), prof)
+}
+
+fn pair_nodes(est: &EstimateNode, prof: &OpProfile) -> PlanNodeProfile {
+    let est_rows = est.estimate.rows;
+    let est_cost = est.estimate.cost;
+    let children = est
+        .children
+        .iter()
         .zip(prof.children.iter())
-        .map(|(cp, cprof)| pair_estimates(cp, cprof, catalog, caps))
+        .map(|(ce, cprof)| pair_nodes(ce, cprof))
         .collect();
     let actual = prof.out_rows as f64;
     let ratio = (actual.max(1.0) / est_rows.max(1.0)).max(est_rows.max(1.0) / actual.max(1.0));

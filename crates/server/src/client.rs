@@ -167,6 +167,20 @@ impl Client {
         }
     }
 
+    /// Plan `query` server-side without executing it, returning the
+    /// engine's typed explain — arm choice with its cost and the
+    /// rejected alternative's, plus the per-node estimate tree with
+    /// feedback provenance — as compact JSON text, evaluated under the
+    /// currently served document version's feedback.
+    pub fn explain_json(&mut self, query: &str) -> Result<String> {
+        self.send_line(&format!("EXPLAIN {}", crate::protocol::escape(query)))?;
+        let line = self.read_line()?;
+        match line.split_once(' ') {
+            Some(("EXPLAIN", json)) => Ok(json.to_string()),
+            _ => Err(server_err(&line)),
+        }
+    }
+
     /// This session's [`obs::SessionProfile`] as compact JSON text.
     pub fn stats_json(&mut self) -> Result<String> {
         self.send_line("STATS")?;

@@ -12,6 +12,7 @@
 //! | `PREPARE <query>`      | plan once, register under the plan fingerprint  |
 //! | `EXEC <fp-hex>`        | run a prepared plan, stream rows                |
 //! | `QUERY <query>`        | prepare + exec in one round trip                |
+//! | `EXPLAIN <query>`      | plan (don't run): typed cost/feedback explain   |
 //! | `STATS`                | this session's [`obs::SessionProfile`] as JSON  |
 //! | `METRICS`              | server-wide registry snapshot as JSON           |
 //! | `SLOWLOG`              | drain the slow-query log as a JSON array        |
@@ -26,8 +27,12 @@
 //! per-session profile); `METRICS` answers `METRICS <compact-json>`
 //! (the global view, validated against `schemas/metrics.schema.json`);
 //! `SLOWLOG` answers `SLOWLOG <compact-json-array>` and *drains* the
-//! log — each captured entry is delivered exactly once. `QUIT` and
-//! `SHUTDOWN` answer `BYE`.
+//! log — each captured entry is delivered exactly once. `EXPLAIN`
+//! answers `EXPLAIN <compact-json>` — the engine's typed
+//! [`Explain`](rewriting::Explain) (arm choice, per-node estimates
+//! with feedback provenance) under the currently served document
+//! version, without executing anything. `QUIT` and `SHUTDOWN` answer
+//! `BYE`.
 //!
 //! Row payloads and error messages are escaped so embedded newlines
 //! cannot break framing ([`escape`]/[`unescape`]).
@@ -75,6 +80,7 @@ pub enum Request {
     Prepare(String),
     Exec(u64),
     Query(String),
+    Explain(String),
     Stats,
     Metrics,
     Slowlog,
@@ -97,6 +103,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             .map(Request::Exec)
             .map_err(|_| format!("EXEC expects a hex fingerprint, got {rest:?}")),
         "QUERY" if !rest.is_empty() => Ok(Request::Query(unescape(rest))),
+        "EXPLAIN" if !rest.is_empty() => Ok(Request::Explain(unescape(rest))),
         "STATS" => Ok(Request::Stats),
         "METRICS" => Ok(Request::Metrics),
         "SLOWLOG" => Ok(Request::Slowlog),
@@ -154,6 +161,10 @@ mod tests {
         assert_eq!(
             parse_request("EXEC 00000000000000ff"),
             Ok(Request::Exec(255))
+        );
+        assert_eq!(
+            parse_request("explain //book"),
+            Ok(Request::Explain("//book".into()))
         );
         assert_eq!(parse_request("STATS\r\n"), Ok(Request::Stats));
         assert_eq!(parse_request("metrics"), Ok(Request::Metrics));

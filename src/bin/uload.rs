@@ -13,6 +13,7 @@
 //!                                          # serve the document to clients
 //!                                          # (--slow-ms: slow-query threshold)
 //! uload client <ADDR> query '<xquery>'     # one query against a server
+//! uload client <ADDR> explain '<xquery>'   # plan + cost/feedback JSON, no exec
 //! uload client <ADDR> stats                # the session's profile JSON
 //! uload client <ADDR> metrics              # server-wide metrics JSON
 //! uload client <ADDR> slowlog              # drain the slow-query log
@@ -53,7 +54,7 @@ fn usage() -> Error {
          uload rewrite <file.xml> '<xquery>' '<name>=<xam>'… [--limit N]\n  \
          uload contain <file.xml> '<xam p>' '<xam q>' [--threads N]\n  \
          uload serve <file.xml> [--addr HOST:PORT | --unix PATH] [--slow-ms N] ['<name>=<xam>'…]\n  \
-         uload client <ADDR> (query '<xquery>' | stats | metrics | slowlog | shutdown)"
+         uload client <ADDR> (query '<xquery>' | explain '<xquery>' | stats | metrics | slowlog | shutdown)"
             .to_string(),
     )
 }
@@ -277,6 +278,10 @@ fn run(args: &[String]) -> Result<()> {
                         reply.version,
                         reply.ns as f64 / 1e6
                     );
+                    client.quit()
+                }
+                Some("explain") => {
+                    println!("{}", client.explain_json(args.get(3).ok_or_else(usage)?)?);
                     client.quit()
                 }
                 Some("stats") => {

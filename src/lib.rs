@@ -56,8 +56,8 @@
 pub use uload_error::{Error, Result};
 
 pub use algebra::{
-    fuse_struct_joins, Evaluator, Relation, Seek, SkipIndex, StreamExec, TupleBatch, TwigPattern,
-    DEFAULT_BLOCK,
+    fuse_struct_joins, ArmSwitchHint, Evaluator, Relation, Seek, SkipIndex, StreamExec, TupleBatch,
+    TwigPattern, DEFAULT_BLOCK,
 };
 pub use containment::{
     canonical_model, contain, contained_in_union, equivalent, equivalent_with,
@@ -72,8 +72,9 @@ pub use obs::{
     ResultCacheCounters, SessionProfile, StatsKey, StatsStore, StreamProfile,
 };
 pub use rewriting::{
-    plan_fingerprint, rewrite_with_engine, EngineConfig, EngineOptions, PreparedQuery, QueryItem,
-    QueryOutput, QueryResults, RewriteConfig, RewriteStats, Rewriting, Uload, UloadBuilder,
+    plan_fingerprint, rewrite_with_engine, CostModel, EngineConfig, EngineOptions, Estimate,
+    EstimateNode, EstimateSource, Explain, PreparedQuery, QueryItem, QueryOutput, QueryResults,
+    RewriteConfig, RewriteStats, Rewriting, Uload, UloadBuilder,
 };
 pub use storage::{catalog, qep, DocumentHandle, DocumentVersion, IdStreamIndex};
 pub use summary::Summary;
@@ -110,12 +111,13 @@ pub mod prelude {
         canonical_model, catalog, contain, contained_in_union, equivalent, fuse_struct_joins,
         generate, init_from_env, minimize_by_contraction, minimize_global, parse_document,
         parse_xam, plan_fingerprint, qep, rewrite_with_engine, BindAddr, CacheStats,
-        CanonicalCache, Client, ContainOptions, ContainmentOutcome, Document, DocumentHandle,
-        DocumentVersion, EngineConfig, EngineOptions, Error, Evaluator, ExecReply, Histogram,
-        HistogramSnapshot, IdStreamIndex, MetricsRegistry, PlanNodeProfile, PreparedQuery,
-        QueryItem, QueryOutput, QueryProfile, QueryResults, Relation, Result, ResultCacheCounters,
-        RewriteConfig, Rewriting, Server, ServerConfig, ServerHandle, SessionProfile, StatsStore,
-        StreamProfile, Summary, TupleBatch, TwigPattern, Uload, Xam,
+        CanonicalCache, Client, ContainOptions, ContainmentOutcome, CostModel, Document,
+        DocumentHandle, DocumentVersion, EngineConfig, EngineOptions, Error, Estimate,
+        EstimateNode, EstimateSource, Evaluator, ExecReply, Explain, Histogram, HistogramSnapshot,
+        IdStreamIndex, MetricsRegistry, PlanNodeProfile, PreparedQuery, QueryItem, QueryOutput,
+        QueryProfile, QueryResults, Relation, Result, ResultCacheCounters, RewriteConfig,
+        Rewriting, Server, ServerConfig, ServerHandle, SessionProfile, StatsStore, StreamProfile,
+        Summary, TupleBatch, TwigPattern, Uload, Xam,
     };
 }
 

@@ -608,6 +608,93 @@ proptest! {
     }
 }
 
+/// Overwrite a profiled plan tree's measurements with synthetic skew:
+/// every node claims `rows` actual rows and a ≥4× misprediction flag,
+/// regardless of what really ran.
+fn skew_profile(p: &mut uload::PlanNodeProfile, rows: u64) {
+    p.actual_rows = rows;
+    p.mispredicted = true;
+    for c in &mut p.children {
+        skew_profile(c, rows);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cardinality feedback is invisible to answers: an engine whose
+    /// `StatsStore` holds profiled runs plus adversarial synthetic skew
+    /// (every node flagged mispredicted, the arm choice flagged wrong)
+    /// returns byte-identical results to a cold engine — materialized,
+    /// streamed (where the skew arms the mid-query fallover hint), and
+    /// through the adaptive prepare path that may pick the other arm.
+    #[test]
+    fn feedback_never_changes_answers(
+        qsel in 0usize..3,
+        skew in 1u64..10_000,
+        observations in 1usize..4,
+    ) {
+        let doc = generate::xmark(2, 13);
+        let build = || {
+            let mut cfg = uload::EngineConfig::default();
+            cfg.rewrite.allow_navigation = false;
+            let mut u = uload::Uload::builder()
+                .document(&doc)
+                .config(cfg)
+                .batch_size(7)
+                .build()
+                .unwrap();
+            u.add_view_text("v_items", "//item[id:s]", &doc).unwrap();
+            u.add_view_text("v_names", "//name[id:s,val]", &doc).unwrap();
+            u
+        };
+        let query = [
+            r#"doc("X")//item/name"#,
+            r#"for $n in doc("X")//item/name return <r>{$n}</r>"#,
+            r#"doc("X")//name"#,
+        ][qsel];
+        let cold = build();
+        let warm = build();
+
+        // populate warm's store with real profiled runs, then poison it
+        // with synthetic skew under the plan's own fingerprint
+        let fp = warm.prepare_query(query).unwrap().fingerprint();
+        for _ in 0..observations {
+            let (_, _, mut profile) = warm.answer_profiled(query, &doc).unwrap();
+            skew_profile(&mut profile.plan, skew);
+            if let Some(arm) = profile.arm.as_mut() {
+                arm.mispredicted = true;
+            }
+            warm.stats_store().record_profile(0, fp, &profile);
+        }
+        prop_assert!(warm.stats_store().has_feedback(0, fp), "store never populated");
+        prop_assert!(cold.stats_store().is_empty());
+
+        // materialized path
+        let (rows_cold, _) = cold.answer(query, &doc).unwrap();
+        let (rows_warm, _) = warm.answer(query, &doc).unwrap();
+        prop_assert_eq!(&rows_cold, &rows_warm, "feedback changed materialized answers");
+
+        // streamed path: the skewed arm stats arm the fallover hint
+        let drain = |u: &uload::Uload| -> Vec<String> {
+            let res = u.query(query, &doc).unwrap();
+            res.map(|item| item.unwrap()).collect()
+        };
+        prop_assert_eq!(&drain(&cold), &rows_cold, "cold streamed != materialized");
+        prop_assert_eq!(&drain(&warm), &rows_cold, "feedback changed streamed answers");
+
+        // adaptive prepare: whatever arm the feedback picks, the rows
+        // are the cold plan's rows
+        let prep_cold = cold.prepare_query(query).unwrap();
+        let prep_warm = warm.prepare_query_for_version(query, 0).unwrap();
+        let h1 = uload::DocumentHandle::new(doc.clone());
+        let out_cold = cold.execute_prepared(&prep_cold, &h1).unwrap();
+        let out_warm = warm.execute_prepared(&prep_warm, &h1).unwrap();
+        let xml = |o: &uload::QueryOutput| o.items.iter().map(|i| i.xml.clone()).collect::<Vec<_>>();
+        prop_assert_eq!(xml(&out_cold), xml(&out_warm), "adaptive prepare changed answers");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(2))]
 

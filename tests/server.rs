@@ -414,6 +414,144 @@ fn metrics_snapshot_validates_against_schema_and_stats_absorb_exec_counters() {
 }
 
 #[test]
+fn forced_mispredict_triggers_exactly_one_replan_and_invalidates_the_stale_entry() {
+    // join-only rewriting over two single-node views: the prepared plan
+    // has a real twig arm, so feedback can flip it to the cascade
+    let doc = generate::xmark(2, 13);
+    let mut cfg = EngineConfig::default();
+    cfg.rewrite.allow_navigation = false;
+    let mut engine = Uload::builder().document(&doc).config(cfg).build().unwrap();
+    engine
+        .add_view_text("v_items", "//item[id:s]", &doc)
+        .unwrap();
+    engine
+        .add_view_text("v_names", "//name[id:s,val]", &doc)
+        .unwrap();
+    let server = Server::start(ServerConfig::default(), engine, DocumentHandle::new(doc)).unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    let fp = c.prepare(r#"doc("X")//item/name"#).unwrap();
+    let prep0 = server.state().prepared_plan(fp).unwrap();
+    assert_eq!((prep0.arm(), prep0.arm_source()), ("twig", "knob"));
+    let cold = c.exec(fp).unwrap();
+    assert!(!cold.cached && !cold.rows.is_empty());
+    assert!(c.exec(fp).unwrap().cached, "second exec must hit the cache");
+
+    // forced mispredict: feed the stats store a measured arm outcome
+    // saying the chosen (twig) arm ran slower than the alternative,
+    // under the served document's real version
+    let version = server.state().document().version().0;
+    let profile = QueryProfile {
+        query: r#"doc("X")//item/name"#.to_string(),
+        phases: Vec::new(),
+        plan: PlanNodeProfile {
+            op: "TwigJoin(3 steps)".to_string(),
+            est_cost: 1.0,
+            est_rows: 1.0,
+            actual_rows: 1,
+            time_ns: 1,
+            metrics: uload::ExecMetrics::default(),
+            mispredicted: false,
+            children: Vec::new(),
+        },
+        cache: None,
+        arm: Some(uload::ArmTelemetry {
+            chosen: "twig".to_string(),
+            est_chosen: 10.0,
+            est_alternative: 20.0,
+            actual_chosen_ns: 900,
+            actual_alternative_ns: 300,
+            mispredicted: true,
+        }),
+        streamed: None,
+        total_ns: 1,
+    };
+    server
+        .state()
+        .engine()
+        .stats_store()
+        .record_profile(version, fp, &profile);
+
+    // next EXEC: the mispredict crosses the (default) threshold, the
+    // plan is re-planned onto the cascade arm, the stale cache entry
+    // under the old fingerprint is dropped, and the request executes
+    // the swapped plan uncached — with byte-identical rows
+    let replanned = c.exec(fp).unwrap();
+    assert!(!replanned.cached, "stale entry served after a re-plan");
+    assert_eq!(replanned.rows, cold.rows, "re-planned arm changed answers");
+    let m = server.state().metrics();
+    assert_eq!(m.replan_triggered.get(), 1);
+    assert_eq!(m.replan_swapped.get(), 1);
+    assert_eq!(m.replan_cache_invalidated.get(), 1);
+    let swapped = server.state().prepared_plan(fp).unwrap();
+    assert_eq!(
+        (swapped.arm(), swapped.arm_source()),
+        ("cascade", "feedback-arm")
+    );
+    assert_eq!(swapped.epoch(), 1);
+    assert_ne!(swapped.fingerprint(), fp, "the swapped plan must differ");
+
+    // the swap is idempotent per (plan, version): no second re-plan,
+    // and the new plan's results are cached normally
+    assert!(c.exec(fp).unwrap().cached);
+    assert_eq!(
+        m.replan_triggered.get(),
+        1,
+        "re-planned twice for one version"
+    );
+
+    // the swap left an audit entry in the slow-query log, bypassing the
+    // latency threshold
+    let log = json::parse(&c.slowlog_json().unwrap()).unwrap();
+    let entries = log.as_arr().unwrap();
+    let replans: Vec<_> = entries
+        .iter()
+        .filter(|e| e.get("disposition").unwrap().as_str() == Some("replan"))
+        .collect();
+    assert_eq!(replans.len(), 1, "exactly one REPLAN entry: {entries:?}");
+    assert_eq!(
+        replans[0].get("fp").unwrap().as_str().unwrap(),
+        format!("{fp:016x}")
+    );
+    assert_eq!(replans[0].get("rows").unwrap().as_f64().unwrap(), 0.0);
+
+    c.quit().unwrap();
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn explain_reports_arm_choice_and_feedback_provenance_without_executing() {
+    let server = start(generate::xmark(2, 13), 64, ServerConfig::default());
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    let explain = json::parse(&c.explain_json(QUERY).unwrap()).unwrap();
+    assert_eq!(explain.get("query").unwrap().as_str().unwrap(), QUERY);
+    assert!(explain.get("fingerprint").unwrap().as_str().is_some());
+    assert!(explain.get("chosen_arm").unwrap().as_str().is_some());
+    assert_eq!(
+        explain.get("arm_source").unwrap().as_str().unwrap(),
+        "knob",
+        "an empty stats store must leave the knob in charge"
+    );
+    assert_eq!(
+        explain.get("feedback_nodes").unwrap().as_f64().unwrap(),
+        0.0
+    );
+    let plan = explain.get("plan").unwrap();
+    assert!(plan.get("op").unwrap().as_str().is_some());
+    assert!(plan.get("est_rows").unwrap().as_f64().is_some());
+    assert_eq!(plan.get("source").unwrap().as_str().unwrap(), "catalog");
+    // nothing executed: no request counted, nothing cached
+    assert_eq!(server.state().metrics().requests.get(), 0);
+    assert_eq!(server.state().result_cache().counters().entries, 0);
+
+    c.quit().unwrap();
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
 fn telemetry_off_still_answers_metrics_with_empty_histograms() {
     let config = ServerConfig::default().with_telemetry(false);
     let server = start(generate::xmark(2, 13), 64, config);
